@@ -1,0 +1,87 @@
+//! Microbenchmarks of the simulator's substrates: predictor and cache
+//! throughput bound how fast the cycle loop can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtvp_core::{Mode, SimConfig};
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_workloads::{suite, Scale};
+
+fn bench_wang_franklin(c: &mut Criterion) {
+    use mtvp_vp::{ValuePredictor, WangFranklinConfig, WangFranklinPredictor};
+    let mut p = WangFranklinPredictor::new(WangFranklinConfig::hpca2005());
+    for i in 0..1000u64 {
+        p.train(i % 64, i * 8);
+    }
+    c.bench_function("wang_franklin_predict_train", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pred = p.predict(black_box(i % 64));
+            p.train(i % 64, i * 8);
+            pred
+        })
+    });
+}
+
+fn bench_cache_hierarchy(c: &mut Criterion) {
+    use mtvp_mem::{AccessKind, MemConfig, MemSystem};
+    let mut m = MemSystem::new(MemConfig::hpca2005());
+    c.bench_function("mem_hierarchy_access", |b| {
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            now += 1;
+            addr = addr.wrapping_add(64) & 0xF_FFFF;
+            m.access_data(now, 4, black_box(addr), AccessKind::Read)
+        })
+    });
+}
+
+fn bench_direction_predictor(c: &mut Criterion) {
+    use mtvp_branch::{DirectionPredictor, GskewConfig};
+    let mut p = DirectionPredictor::new(GskewConfig::hpca2005());
+    c.bench_function("gskew_predict_update", |b| {
+        let mut ghist = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let taken = i % 3 != 0;
+            let pred = p.predict(i % 512, ghist);
+            p.update(i % 512, ghist, taken);
+            ghist = (ghist << 1) | taken as u64;
+            pred
+        })
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let wl = suite().into_iter().find(|w| w.name == "crafty").unwrap();
+    let program = wl.build(Scale::Tiny);
+    c.bench_function("interp_crafty_tiny", |b| {
+        b.iter(|| {
+            let mut bus = SimpleBus::new();
+            Interp::new(&program).run(&mut bus, 10_000_000).dyn_instrs
+        })
+    });
+}
+
+fn bench_full_machine(c: &mut Criterion) {
+    let wl = suite().into_iter().find(|w| w.name == "crafty").unwrap();
+    let program = wl.build(Scale::Tiny);
+    let cfg = SimConfig::new(Mode::Baseline);
+    c.bench_function("machine_crafty_tiny_baseline", |b| {
+        b.iter(|| mtvp_core::run_program(&cfg, &program).stats.cycles)
+    });
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_wang_franklin,
+        bench_cache_hierarchy,
+        bench_direction_predictor,
+        bench_interpreter,
+        bench_full_machine,
+}
+criterion_main!(components);

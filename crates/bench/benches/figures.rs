@@ -1,0 +1,130 @@
+//! One criterion bench per table/figure of the paper, each running a
+//! scaled-down (Tiny) version of the corresponding sweep so `cargo bench`
+//! exercises every experiment end to end. The full-size numbers come from
+//! the `fig1`..`fig6`, `table1`, `storebuf` and `multivalue` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, Scale, SimConfig};
+
+/// A small, fixed benchmark subset keeps criterion iterations affordable.
+fn keep(name: &str) -> bool {
+    matches!(name, "mcf" | "crafty" | "mgrid" | "swim")
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_config_construction", |b| {
+        b.iter(|| {
+            let p = SimConfig::new(Mode::Baseline).to_pipeline_config();
+            assert_eq!(p.rob_entries, 256);
+            p
+        })
+    });
+}
+
+fn bench_fig1_oracle_potential(c: &mut Criterion) {
+    let configs = vec![
+        ("base".to_string(), SimConfig::new(Mode::Baseline)),
+        ("mtvp4".to_string(), {
+            let mut c = SimConfig::oracle(Mode::Mtvp);
+            c.contexts = 4;
+            c
+        }),
+    ];
+    c.bench_function("fig1_oracle_potential", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name)))
+    });
+}
+
+fn bench_fig2_spawn_latency(c: &mut Criterion) {
+    let configs: Vec<(String, SimConfig)> = [1u64, 16]
+        .iter()
+        .map(|&lat| {
+            let mut cfg = SimConfig::oracle(Mode::Mtvp);
+            cfg.contexts = 4;
+            cfg.spawn_latency = lat;
+            (format!("mtvp4@{lat}"), cfg)
+        })
+        .collect();
+    c.bench_function("fig2_spawn_latency", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name)))
+    });
+}
+
+fn bench_fig3_realistic(c: &mut Criterion) {
+    let configs = vec![
+        ("stvp".to_string(), SimConfig::new(Mode::Stvp)),
+        ("mtvp8".to_string(), SimConfig::new(Mode::Mtvp)),
+    ];
+    c.bench_function("fig3_realistic_wang_franklin", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name)))
+    });
+}
+
+fn bench_fig4_fetch_policy(c: &mut Criterion) {
+    let configs = vec![
+        ("sfp".to_string(), SimConfig::new(Mode::Mtvp)),
+        ("nostall".to_string(), SimConfig::new(Mode::MtvpNoStall)),
+    ];
+    c.bench_function("fig4_fetch_policy", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name)))
+    });
+}
+
+fn bench_fig5_multivalue_potential(c: &mut Criterion) {
+    let configs = vec![("mtvp8".to_string(), SimConfig::new(Mode::Mtvp))];
+    c.bench_function("fig5_multivalue_potential", |b| {
+        b.iter(|| {
+            let sweep = Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name));
+            let s = &sweep.cells[0].stats.vp;
+            s.wrong_but_alternate_held
+        })
+    });
+}
+
+fn bench_fig6_checkpoint_compare(c: &mut Criterion) {
+    let configs = vec![
+        ("wide".to_string(), SimConfig::new(Mode::WideWindow)),
+        ("spawn-only".to_string(), SimConfig::new(Mode::SpawnOnly)),
+    ];
+    c.bench_function("fig6_checkpoint_compare", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name)))
+    });
+}
+
+fn bench_storebuf_sweep(c: &mut Criterion) {
+    let configs: Vec<(String, SimConfig)> = [32usize, 256]
+        .iter()
+        .map(|&size| {
+            let mut cfg = SimConfig::new(Mode::Mtvp);
+            cfg.store_buffer = size;
+            (format!("sb{size}"), cfg)
+        })
+        .collect();
+    c.bench_function("storebuf_sweep", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| keep(w.name)))
+    });
+}
+
+fn bench_multivalue(c: &mut Criterion) {
+    let configs = vec![("multi".to_string(), SimConfig::new(Mode::MultiValue))];
+    c.bench_function("multivalue_mtvp", |b| {
+        b.iter(|| Sweep::run_filtered(&configs, Scale::Tiny, |w| w.name == "swim"))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_table1,
+        bench_fig1_oracle_potential,
+        bench_fig2_spawn_latency,
+        bench_fig3_realistic,
+        bench_fig4_fetch_policy,
+        bench_fig5_multivalue_potential,
+        bench_fig6_checkpoint_compare,
+        bench_storebuf_sweep,
+        bench_multivalue,
+}
+criterion_main!(figures);

@@ -1,0 +1,64 @@
+//! Ablations of this reproduction's design choices (DESIGN.md §6), plus
+//! the paper's §4 claim that MTVP's effect is "greater and more
+//! consistent" without the stride prefetcher.
+
+use mtvp_bench::scale_from_args;
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, SimConfig, Suite};
+
+fn main() {
+    let scale = scale_from_args();
+
+    let mut configs = Vec::new();
+    // Paired baselines and mtvp8 machines under each ablation.
+    for (tag, prefetch, mshrs, warm) in [
+        ("default", true, 16usize, true),
+        ("no-prefetch", false, 16, true),
+        ("mshr4", true, 4, true),
+        ("mshr64", true, 64, true),
+        ("cold-start", true, 16, false),
+    ] {
+        let mut base = SimConfig::new(Mode::Baseline);
+        base.prefetcher = prefetch;
+        base.mshrs = mshrs;
+        base.warm_start = warm;
+        configs.push((format!("base/{tag}"), base));
+        let mut mtvp = SimConfig::new(Mode::Mtvp);
+        mtvp.prefetcher = prefetch;
+        mtvp.mshrs = mshrs;
+        mtvp.warm_start = warm;
+        configs.push((format!("mtvp/{tag}"), mtvp));
+    }
+
+    // A representative subset keeps the ablation affordable.
+    let names = ["mcf", "vpr r", "gcc 1", "crafty", "mgrid", "applu", "art 1", "mesa"];
+    let sweep = Sweep::run_filtered(&configs, scale, |w| names.contains(&w.name));
+
+    println!("\n=== Ablations: mtvp8 speedup vs its own matched baseline ===\n");
+    println!(
+        "{:<12}{:>10}{:>13}{:>9}{:>9}{:>12}",
+        "suite", "default", "no-prefetch", "mshr4", "mshr64", "cold-start"
+    );
+    for (suite, label) in [(Suite::Int, "INT"), (Suite::Fp, "FP")] {
+        print!("{label:<12}");
+        for tag in ["default", "no-prefetch", "mshr4", "mshr64", "cold-start"] {
+            let s = sweep.geomean_speedup(Some(suite), &format!("mtvp/{tag}"), &format!("base/{tag}"));
+            print!("{s:>width$.1}", width = match tag {
+                "default" => 10,
+                "no-prefetch" => 13,
+                "mshr4" | "mshr64" => 9,
+                _ => 12,
+            });
+        }
+        println!();
+    }
+    println!("\nPer-benchmark (default vs no-prefetch):");
+    println!("{:<12}{:>10}{:>13}", "benchmark", "default", "no-prefetch");
+    for (bench, _) in sweep.benches() {
+        println!(
+            "{bench:<12}{:>10.1}{:>13.1}",
+            sweep.speedup(&bench, "mtvp/default", "base/default").unwrap_or(0.0),
+            sweep.speedup(&bench, "mtvp/no-prefetch", "base/no-prefetch").unwrap_or(0.0),
+        );
+    }
+}

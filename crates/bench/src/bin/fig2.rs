@@ -1,0 +1,49 @@
+//! Figure 2: sensitivity to thread-spawn latency — suite-average speedups
+//! for STVP and MTVP×{2,4,8} at 1-, 8- and 16-cycle spawn latencies
+//! (oracle predictor, ILP-pred).
+
+use mtvp_bench::{dump_json, scale_from_args};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, SimConfig, Suite};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut configs = vec![
+        ("base".to_string(), SimConfig::new(Mode::Baseline)),
+        ("stvp".to_string(), SimConfig::oracle(Mode::Stvp)),
+    ];
+    for lat in [1u64, 8, 16] {
+        for n in [2usize, 4, 8] {
+            let mut c = SimConfig::oracle(Mode::Mtvp);
+            c.contexts = n;
+            c.spawn_latency = lat;
+            configs.push((format!("mtvp{n}@{lat}"), c));
+        }
+    }
+    let sweep = Sweep::run(&configs, scale);
+
+    println!("\n=== Figure 2: Speedups vs thread-spawn latency (oracle, ILP-pred) ===");
+    println!("(geomean percent change in useful IPC vs baseline)\n");
+    for (suite, name) in [(Suite::Int, "SPEC INT"), (Suite::Fp, "SPEC FP")] {
+        println!("--- {name} ---");
+        println!("{:<10}{:>10}{:>10}{:>10}", "config", "avg 1", "avg 8", "avg 16");
+        println!(
+            "{:<10}{:>10.1}{:>10.1}{:>10.1}",
+            "stvp",
+            sweep.geomean_speedup(Some(suite), "stvp", "base"),
+            sweep.geomean_speedup(Some(suite), "stvp", "base"),
+            sweep.geomean_speedup(Some(suite), "stvp", "base"),
+        );
+        for n in [2usize, 4, 8] {
+            print!("{:<10}", format!("mtvp{n}"));
+            for lat in [1u64, 8, 16] {
+                print!(
+                    "{:>10.1}",
+                    sweep.geomean_speedup(Some(suite), &format!("mtvp{n}@{lat}"), "base")
+                );
+            }
+            println!();
+        }
+    }
+    dump_json("fig2", &sweep);
+}

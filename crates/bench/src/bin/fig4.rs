@@ -1,0 +1,29 @@
+//! Figure 4: fetch policy after a spawn — single fetch path (the default)
+//! vs letting the parent keep fetching ("no stall", §5.5), with the
+//! realistic Wang–Franklin predictor, 8 threads.
+
+use mtvp_bench::{dump_json, print_speedup_table, scale_from_args};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, SimConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut mtvp = SimConfig::new(Mode::Mtvp);
+    mtvp.contexts = 8;
+    let mut nostall = SimConfig::new(Mode::MtvpNoStall);
+    nostall.contexts = 8;
+    let configs = vec![
+        ("base".to_string(), SimConfig::new(Mode::Baseline)),
+        ("stvp".to_string(), SimConfig::new(Mode::Stvp)),
+        ("mtvp sfp".to_string(), mtvp),
+        ("no stall".to_string(), nostall),
+    ];
+    let sweep = Sweep::run(&configs, scale);
+    print_speedup_table(
+        "Figure 4: fetch continuing in the parent after a spawn (vs single fetch path)",
+        &sweep,
+        &["stvp", "mtvp sfp", "no stall"],
+        "base",
+    );
+    dump_json("fig4", &sweep);
+}

@@ -1,0 +1,39 @@
+//! Figure 5: fraction of followed value predictions whose primary value
+//! was wrong but whose correct value *was* present in the predictor and
+//! over the confidence threshold — the headroom for multiple-value
+//! prediction (§5.6). Measured on the mtvp8 Wang–Franklin configuration.
+
+use mtvp_bench::{dump_json, scale_from_args};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, SimConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut c = SimConfig::new(Mode::Mtvp);
+    c.contexts = 8;
+    let configs = vec![("mtvp8".to_string(), c)];
+    let sweep = Sweep::run(&configs, scale);
+
+    println!("\n=== Figure 5: wrong primary prediction, correct value over threshold ===\n");
+    println!("{:<12}{:>10}{:>10}{:>12}", "benchmark", "followed", "alt-held", "fraction");
+    for &int_suite in &[true, false] {
+        println!("--- SPEC {} ---", if int_suite { "INT" } else { "FP" });
+        for (bench, is_int) in sweep.benches() {
+            if is_int != int_suite {
+                continue;
+            }
+            let s = &sweep.cell(&bench, "mtvp8").unwrap().stats.vp;
+            let followed = s.stvp_used + s.mtvp_spawns;
+            let frac = if followed == 0 {
+                0.0
+            } else {
+                s.wrong_but_alternate_held as f64 / followed as f64
+            };
+            println!(
+                "{bench:<12}{:>10}{:>10}{:>12.3}",
+                followed, s.wrong_but_alternate_held, frac
+            );
+        }
+    }
+    dump_json("fig5", &sweep);
+}

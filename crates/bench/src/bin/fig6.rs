@@ -1,0 +1,42 @@
+//! Figure 6: comparison with checkpoint-style architectures (§5.7) — the
+//! idealized wide-window machine (8K ROB, unlimited registers), the best
+//! MTVP configuration, and "spawn only" (thread spawning without value
+//! prediction). Suite averages, as in the paper.
+
+use mtvp_bench::{dump_json, scale_from_args};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, SimConfig, Suite};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut mtvp = SimConfig::new(Mode::Mtvp);
+    mtvp.contexts = 8;
+    let mut spawn_only = SimConfig::new(Mode::SpawnOnly);
+    spawn_only.contexts = 8;
+    let configs = vec![
+        ("base".to_string(), SimConfig::new(Mode::Baseline)),
+        ("wide window".to_string(), SimConfig::new(Mode::WideWindow)),
+        ("best mtvp".to_string(), mtvp),
+        ("spawn only".to_string(), spawn_only),
+    ];
+    let sweep = Sweep::run(&configs, scale);
+
+    println!("\n=== Figure 6: wide-window machine vs MTVP vs spawn-only ===");
+    println!("(geomean percent change in useful IPC vs baseline; 8-cycle spawns)\n");
+    println!("{:<14}{:>10}{:>10}", "config", "AVG INT", "AVG FP");
+    for label in ["wide window", "best mtvp", "spawn only"] {
+        println!(
+            "{label:<14}{:>10.1}{:>10.1}",
+            sweep.geomean_speedup(Some(Suite::Int), label, "base"),
+            sweep.geomean_speedup(Some(Suite::Fp), label, "base"),
+        );
+    }
+    println!("\nPer-benchmark detail:");
+    mtvp_bench::print_speedup_table(
+        "Figure 6 detail",
+        &sweep,
+        &["wide window", "best mtvp", "spawn only"],
+        "base",
+    );
+    dump_json("fig6", &sweep);
+}

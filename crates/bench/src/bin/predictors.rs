@@ -1,0 +1,42 @@
+//! §5.4's predictor comparison: the Wang–Franklin hybrid against the
+//! order-3 DFCM (and the classic stride/last-value baselines), each
+//! driving mtvp8. The paper found DFCM "in general a more aggressive
+//! predictor — making more correct predictions and more incorrect
+//! predictions", and slightly worse overall.
+
+use mtvp_bench::{print_speedup_table, scale_from_args};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, PredictorKind, SimConfig, Suite};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
+    for (label, kind) in [
+        ("wang-franklin", PredictorKind::WangFranklin),
+        ("dfcm", PredictorKind::Dfcm),
+        ("stride", PredictorKind::Stride),
+        ("last-value", PredictorKind::LastValue),
+    ] {
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.predictor = kind;
+        configs.push((label.to_string(), c));
+    }
+    let sweep = Sweep::run(&configs, scale);
+    print_speedup_table(
+        "Predictor comparison (mtvp8): Wang-Franklin vs DFCM vs classic baselines",
+        &sweep,
+        &["wang-franklin", "dfcm", "stride", "last-value"],
+        "base",
+    );
+    // Aggressiveness comparison (the paper's qualitative point).
+    println!("\npredictions followed (stvp+mtvp) and wrong, per predictor:");
+    for label in ["wang-franklin", "dfcm", "stride", "last-value"] {
+        let (mut followed, mut wrong) = (0u64, 0u64);
+        for c in sweep.cells.iter().filter(|c| c.config == label) {
+            followed += c.stats.vp.stvp_used + c.stats.vp.mtvp_spawns;
+            wrong += c.stats.vp.stvp_wrong + c.stats.vp.mtvp_wrong;
+        }
+        println!("  {label:<14} followed={followed:<8} wrong={wrong}");
+    }
+    let _ = Suite::Int;
+}

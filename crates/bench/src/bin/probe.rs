@@ -1,0 +1,45 @@
+//! Calibration probe: quick look at the core result shapes on a handful
+//! of benchmarks (not one of the paper's figures; a development tool).
+
+use mtvp_bench::{print_speedup_table, scale_from_args};
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, SimConfig};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
+    configs.push(("stvp".to_string(), SimConfig::new(Mode::Stvp)));
+    for n in [2usize, 4, 8] {
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.contexts = n;
+        configs.push((format!("mtvp{n}"), c));
+    }
+    let mut ww = SimConfig::new(Mode::WideWindow);
+    ww.contexts = 1;
+    configs.push(("wide".to_string(), ww));
+
+    let names = ["mcf", "vpr r", "gcc 1", "crafty", "gzip g", "swim", "mgrid", "art 1", "mesa"];
+    let sweep = Sweep::run_filtered(&configs, scale, |w| names.contains(&w.name));
+    print_speedup_table(
+        "probe: Wang-Franklin + ILP-pred",
+        &sweep,
+        &["stvp", "mtvp2", "mtvp4", "mtvp8", "wide"],
+        "base",
+    );
+    for (bench, _) in sweep.benches() {
+        let c = sweep.cell(&bench, "mtvp8").unwrap();
+        let b = sweep.cell(&bench, "base").unwrap();
+        println!(
+            "{bench:<10} base_ipc={:.3} mtvp8_ipc={:.3} spawns={} correct={} wrong={} stvp_used={} sb_stalls={} l3miss={} strh={}",
+            b.stats.ipc(),
+            c.stats.ipc(),
+            c.stats.vp.mtvp_spawns,
+            c.stats.vp.mtvp_correct,
+            c.stats.vp.mtvp_wrong,
+            c.stats.vp.stvp_used,
+            c.stats.vp.store_buffer_stalls,
+            b.stats.mem.mem_accesses,
+            b.stats.mem.stream_hits,
+        );
+    }
+}

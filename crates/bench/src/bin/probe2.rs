@@ -1,0 +1,55 @@
+//! Deeper calibration probe on a single benchmark (development tool).
+
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, Scale, SelectorKind, SimConfig};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
+    for (label, selector) in [("ilp", SelectorKind::IlpPred), ("alw", SelectorKind::Always)] {
+        let mut c = SimConfig::new(Mode::Stvp);
+        c.selector = selector;
+        configs.push((format!("stvp-{label}"), c));
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.contexts = 8;
+        c.selector = selector;
+        configs.push((format!("mtvp8-{label}"), c));
+    }
+    configs.push(("wide".to_string(), SimConfig::new(Mode::WideWindow)));
+    let sweep = Sweep::run_filtered(&configs, Scale::Small, |w| w.name == bench);
+    let base = sweep.cell(&bench, "base").unwrap();
+    println!(
+        "{bench}: base ipc={:.4} cycles={} committed={} memacc={} l2={} l3={} strh={} squash={} mshr_rej={}",
+        base.stats.ipc(),
+        base.stats.cycles,
+        base.stats.committed,
+        base.stats.mem.mem_accesses,
+        base.stats.mem.l2_hits,
+        base.stats.mem.l3_hits,
+        base.stats.mem.stream_hits,
+        base.stats.squashed,
+        base.stats.mem.mshr_rejections,
+    );
+    for (label, _) in &configs {
+        if label == "base" {
+            continue;
+        }
+        let c = sweep.cell(&bench, label).unwrap();
+        println!(
+            "{label:<12} spd={:>7.1}% ipc={:.4} conf={} stvp={}/{}ok/{}bad mtvp={}/{}ok/{}bad noctx={} reissue={} sbstall={} squash={}",
+            sweep.speedup(&bench, label, "base").unwrap(),
+            c.stats.ipc(),
+            c.stats.vp.confident_loads,
+            c.stats.vp.stvp_used,
+            c.stats.vp.stvp_correct,
+            c.stats.vp.stvp_wrong,
+            c.stats.vp.mtvp_spawns,
+            c.stats.vp.mtvp_correct,
+            c.stats.vp.mtvp_wrong,
+            c.stats.vp.spawn_no_context,
+            c.stats.vp.reissued_uops,
+            c.stats.vp.store_buffer_stalls,
+            c.stats.squashed,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Development probe: oracle spawn-latency behaviour on one benchmark.
+
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Mode, Scale, SelectorKind, SimConfig};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "applu".to_string());
+    let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
+    for lat in [1u64, 8, 16] {
+        for (sel, sname) in [(SelectorKind::IlpPred, "ilp"), (SelectorKind::L3MissOracle, "l3")] {
+            for n in [2usize, 8] {
+                let mut c = SimConfig::oracle(Mode::Mtvp);
+                c.contexts = n;
+                c.spawn_latency = lat;
+                c.selector = sel;
+                configs.push((format!("m{n}-{sname}@{lat}"), c));
+            }
+        }
+    }
+    let sweep = Sweep::run_filtered(&configs, Scale::Small, |w| w.name == bench);
+    for (label, _) in &configs {
+        if label == "base" {
+            continue;
+        }
+        let c = sweep.cell(&bench, label).unwrap();
+        println!(
+            "{label:<12} spd={:>7.1}% spawns={:<6} ok={:<6} bad={:<5} stvp={:<6} noctx={:<6} squash={}",
+            sweep.speedup(&bench, label, "base").unwrap(),
+            c.stats.vp.mtvp_spawns,
+            c.stats.vp.mtvp_correct,
+            c.stats.vp.mtvp_wrong,
+            c.stats.vp.stvp_used,
+            c.stats.vp.spawn_no_context,
+            c.stats.squashed,
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 1: simulator architectural parameters. Prints the configured
+//! machine and asserts every value matches the paper.
+
+use mtvp_core::{Mode, SimConfig};
+
+fn main() {
+    let p = SimConfig::new(Mode::Baseline).to_pipeline_config();
+    let m = mtvp_mem::MemConfig::hpca2005();
+
+    let rows: Vec<(&str, String, &str)> = vec![
+        ("Pipeline depth", format!("{} front-end stages (30-stage pipe model)", p.front_end_latency), "30 stages"),
+        ("Fetch Bandwidth", format!("{} total instructions from {} threads/cachelines", p.fetch_width, p.fetch_threads), "16 from 2 cachelines"),
+        ("Branch Predictor", format!("2bcgskew: {}K gshare/meta, {}K bimodal", p.gskew.gshare_entries / 1024, p.gskew.bimodal_entries / 1024), "2bcgskew 64K meta/gshare, 16K bimodal"),
+        ("Stride Prefetcher", format!("PC based, {} entries, {} stream buffers", m.prefetch.table_entries, m.prefetch.stream_buffers), "PC based, 256 entry, 8 stream buffers"),
+        ("ROB Size", format!("{} entries", p.rob_entries), "256 entry"),
+        ("Rename Registers", format!("{} per class", p.rename_regs), "224"),
+        ("Queue Sizes", format!("{} each IQ, FQ, MQ", p.iq_entries), "64 each"),
+        ("Issue Bandwidth", format!("8 per cycle: {} int, {} fp, {} ld/st", p.int_issue, p.fp_issue, p.mem_issue), "8: 6 int, 2 fp, 4 ls"),
+        ("ICache", format!("{}KB {}-way, {} cycles", m.l1i.size_bytes / 1024, m.l1i.assoc, m.l1_latency), "64KB 2-way, 2 cycles"),
+        ("L1 D", format!("{}KB {}-way, {} cycles", m.l1d.size_bytes / 1024, m.l1d.assoc, m.l1_latency), "64KB 2-way, 2 cycles"),
+        ("L2", format!("{}KB {}-way, {} cycles", m.l2.size_bytes / 1024, m.l2.assoc, m.l2_latency), "512KB 8-way, 20 cycles"),
+        ("L3", format!("{}MB {}-way, {} cycles", m.l3.size_bytes / 1024 / 1024, m.l3.assoc, m.l3_latency), "4MB 16-way, 50 cycles"),
+        ("Main Memory", format!("{} cycles", m.mem_latency), "1000 cycles"),
+    ];
+
+    println!("=== Table 1: Simulator Architectural Parameters ===\n");
+    println!("{:<20} {:<52} {}", "parameter", "this reproduction", "paper");
+    for (name, ours, paper) in &rows {
+        println!("{name:<20} {ours:<52} {paper}");
+    }
+
+    // Hard assertions on the Table 1 numbers.
+    assert_eq!(p.fetch_width, 16);
+    assert_eq!(p.fetch_threads, 2);
+    assert_eq!(p.rob_entries, 256);
+    assert_eq!(p.rename_regs, 224);
+    assert_eq!((p.iq_entries, p.fq_entries, p.mq_entries), (64, 64, 64));
+    assert_eq!((p.int_issue, p.fp_issue, p.mem_issue), (6, 2, 4));
+    assert_eq!(p.gskew.gshare_entries, 64 * 1024);
+    assert_eq!(p.gskew.bimodal_entries, 16 * 1024);
+    assert_eq!(m.prefetch.table_entries, 256);
+    assert_eq!(m.prefetch.stream_buffers, 8);
+    assert_eq!((m.l1i.size_bytes, m.l1i.assoc), (64 * 1024, 2));
+    assert_eq!((m.l2.size_bytes, m.l2.assoc), (512 * 1024, 8));
+    assert_eq!((m.l3.size_bytes, m.l3.assoc), (4 * 1024 * 1024, 16));
+    assert_eq!((m.l1_latency, m.l2_latency, m.l3_latency, m.mem_latency), (2, 20, 50, 1000));
+    println!("\nall Table 1 parameters verified");
+}

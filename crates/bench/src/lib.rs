@@ -1,0 +1,71 @@
+//! # mtvp-bench
+//!
+//! The benchmark harness that regenerates every table and figure of
+//! *Multithreaded Value Prediction* (Tuck & Tullsen, HPCA-11 2005).
+//!
+//! Each figure has a binary (`fig1` … `fig6`, `table1`, `storebuf`,
+//! `multivalue`) that runs the corresponding sweep and prints the same
+//! rows/series the paper reports, plus a scaled-down criterion bench so
+//! `cargo bench` exercises every experiment. Binaries accept an optional
+//! `--scale tiny|small|full` argument (default `small`; the numbers in
+//! EXPERIMENTS.md use `full`).
+
+use mtvp_core::sweep::Sweep;
+use mtvp_core::{Scale, Suite};
+
+/// Parse `--scale` from argv (default Small).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("tiny") => Scale::Tiny,
+            Some("small") => Scale::Small,
+            Some("full") => Scale::Full,
+            other => panic!("unknown --scale {other:?} (expected tiny|small|full)"),
+        },
+        None => Scale::Small,
+    }
+}
+
+/// Print a per-benchmark percent-speedup table in the paper's layout:
+/// integer benchmarks, then FP, each followed by its geometric mean.
+pub fn print_speedup_table(title: &str, sweep: &Sweep, configs: &[&str], baseline: &str) {
+    println!("\n=== {title} ===");
+    println!("(percent change in useful IPC vs `{baseline}`)\n");
+    let width = 10usize;
+    print!("{:<12}", "benchmark");
+    for c in configs {
+        print!("{c:>width$}");
+    }
+    println!();
+    for &int_suite in &[true, false] {
+        println!("--- SPEC {} ---", if int_suite { "INT" } else { "FP" });
+        for (bench, is_int) in sweep.benches() {
+            if is_int != int_suite {
+                continue;
+            }
+            print!("{bench:<12}");
+            for c in configs {
+                match sweep.speedup(&bench, c, baseline) {
+                    Some(s) => print!("{s:>width$.1}"),
+                    None => print!("{:>width$}", "-"),
+                }
+            }
+            println!();
+        }
+        let suite = if int_suite { Suite::Int } else { Suite::Fp };
+        print!("{:<12}", "geomean");
+        for c in configs {
+            print!("{:>width$.1}", sweep.geomean_speedup(Some(suite), c, baseline));
+        }
+        println!();
+    }
+}
+
+/// Write the sweep's raw JSON next to the binary output for bookkeeping.
+pub fn dump_json(name: &str, sweep: &Sweep) {
+    let path = format!("target/{name}.json");
+    if std::fs::write(&path, sweep.to_json()).is_ok() {
+        println!("\n[raw data written to {path}]");
+    }
+}

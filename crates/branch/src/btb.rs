@@ -1,0 +1,101 @@
+//! Branch target buffer for indirect jumps (`jr`/`jalr`).
+//!
+//! Direct branches and jumps in this ISA carry their target in the
+//! instruction word, which the front end sees as soon as the instruction
+//! is fetched, so only *indirect* targets need prediction.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Copy, Clone, Debug, Default)]
+struct BtbEntry {
+    valid: bool,
+    pc: u64,
+    target: u64,
+}
+
+/// BTB statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtbStats {
+    /// Lookups that found a target.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// A direct-mapped, tagged branch target buffer.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    stats: BtbStats,
+}
+
+impl Btb {
+    /// Create a BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "BTB size must be a power of two");
+        Btb { entries: vec![BtbEntry::default(); entries], stats: BtbStats::default() }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted target for the indirect jump at `pc`, if known.
+    pub fn predict(&mut self, pc: u64) -> Option<u64> {
+        let e = self.entries[self.idx(pc)];
+        if e.valid && e.pc == pc {
+            self.stats.hits += 1;
+            Some(e.target)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Record the resolved target of the indirect jump at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.idx(pc);
+        self.entries[i] = BtbEntry { valid: true, pc, target };
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learn_and_predict() {
+        let mut b = Btb::new(64);
+        assert_eq!(b.predict(0x10), None);
+        b.update(0x10, 0x99);
+        assert_eq!(b.predict(0x10), Some(0x99));
+        b.update(0x10, 0x55); // target changes
+        assert_eq!(b.predict(0x10), Some(0x55));
+        assert_eq!(b.stats().hits, 2);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn aliasing_entries_replace() {
+        let mut b = Btb::new(16);
+        b.update(0x1, 0xA);
+        b.update(0x11, 0xB); // same slot (0x11 & 15 == 1), different tag
+        assert_eq!(b.predict(0x1), None);
+        assert_eq!(b.predict(0x11), Some(0xB));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = Btb::new(100);
+    }
+}

@@ -1,0 +1,289 @@
+//! The 2bcgskew direction predictor (Seznec), as configured in Table 1.
+//!
+//! Four banks of 2-bit saturating counters:
+//! - a **bimodal** table indexed by PC alone;
+//! - two **gshare** banks `G0`/`G1` indexed by skewed hashes of PC and
+//!   global history (short and long histories respectively);
+//! - a **meta** table that chooses between the bimodal prediction and the
+//!   majority vote of {bimodal, G0, G1} (the "e-gskew" prediction).
+//!
+//! Updates follow the partial-update policy: on a correct prediction only
+//! the agreeing banks are strengthened; on a misprediction all banks are
+//! trained toward the outcome, and the meta table is trained whenever the
+//! bimodal and e-gskew predictions disagree.
+
+use serde::{Deserialize, Serialize};
+
+/// Sizing of the 2bcgskew predictor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GskewConfig {
+    /// Entries in the bimodal table (power of two).
+    pub bimodal_entries: usize,
+    /// Entries in each gshare bank and the meta table (power of two).
+    pub gshare_entries: usize,
+    /// History bits used by the short-history bank `G0`.
+    pub short_history: u32,
+    /// History bits used by the long-history bank `G1` and meta.
+    pub long_history: u32,
+}
+
+impl GskewConfig {
+    /// Table 1: 64K-entry meta and gshare banks, 16K-entry bimodal table.
+    pub fn hpca2005() -> Self {
+        GskewConfig {
+            bimodal_entries: 16 * 1024,
+            gshare_entries: 64 * 1024,
+            short_history: 8,
+            long_history: 16,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        GskewConfig {
+            bimodal_entries: 256,
+            gshare_entries: 1024,
+            short_history: 6,
+            long_history: 10,
+        }
+    }
+}
+
+#[inline]
+fn ctr_taken(c: u8) -> bool {
+    c >= 2
+}
+
+#[inline]
+fn ctr_update(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+/// Statistics of the direction predictor.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectionStats {
+    /// Predictions made.
+    pub predictions: u64,
+    /// Predictions that matched the outcome at update time.
+    pub correct: u64,
+}
+
+/// The 2bcgskew conditional-branch direction predictor.
+#[derive(Clone, Debug)]
+pub struct DirectionPredictor {
+    cfg: GskewConfig,
+    bimodal: Vec<u8>,
+    g0: Vec<u8>,
+    g1: Vec<u8>,
+    meta: Vec<u8>,
+    stats: DirectionStats,
+}
+
+impl DirectionPredictor {
+    /// Create a predictor with all counters weakly not-taken (1).
+    ///
+    /// # Panics
+    /// Panics unless both table sizes are powers of two.
+    pub fn new(cfg: GskewConfig) -> Self {
+        assert!(cfg.bimodal_entries.is_power_of_two(), "bimodal size must be a power of two");
+        assert!(cfg.gshare_entries.is_power_of_two(), "gshare size must be a power of two");
+        DirectionPredictor {
+            bimodal: vec![1; cfg.bimodal_entries],
+            g0: vec![1; cfg.gshare_entries],
+            g1: vec![1; cfg.gshare_entries],
+            meta: vec![2; cfg.gshare_entries], // weakly prefer e-gskew
+            cfg,
+            stats: DirectionStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> GskewConfig {
+        self.cfg
+    }
+
+    /// Accumulated accuracy statistics.
+    pub fn stats(&self) -> DirectionStats {
+        self.stats
+    }
+
+    #[inline]
+    fn bim_idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.bimodal_entries - 1)
+    }
+
+    /// Skewing functions: distinct mixes of PC and (masked) history per bank.
+    #[inline]
+    fn g0_idx(&self, pc: u64, ghist: u64) -> usize {
+        let h = ghist & ((1 << self.cfg.short_history) - 1);
+        ((pc ^ (h << 2) ^ (pc >> 13)) as usize) & (self.cfg.gshare_entries - 1)
+    }
+
+    #[inline]
+    fn g1_idx(&self, pc: u64, ghist: u64) -> usize {
+        let h = ghist & ((1u64 << self.cfg.long_history) - 1);
+        ((pc ^ h ^ (h << 5) ^ (pc >> 7)) as usize) & (self.cfg.gshare_entries - 1)
+    }
+
+    #[inline]
+    fn meta_idx(&self, pc: u64, ghist: u64) -> usize {
+        let h = ghist & ((1u64 << self.cfg.long_history) - 1);
+        ((pc.wrapping_mul(0x9E37_79B9) ^ h) as usize) & (self.cfg.gshare_entries - 1)
+    }
+
+    fn components(&self, pc: u64, ghist: u64) -> (bool, bool, bool, bool) {
+        let bim = ctr_taken(self.bimodal[self.bim_idx(pc)]);
+        let g0 = ctr_taken(self.g0[self.g0_idx(pc, ghist)]);
+        let g1 = ctr_taken(self.g1[self.g1_idx(pc, ghist)]);
+        let use_gskew = ctr_taken(self.meta[self.meta_idx(pc, ghist)]);
+        (bim, g0, g1, use_gskew)
+    }
+
+    /// Predict the direction of the conditional branch at `pc` under global
+    /// history `ghist`. Read-only; call [`DirectionPredictor::update`] at
+    /// resolution.
+    pub fn predict(&self, pc: u64, ghist: u64) -> bool {
+        let (bim, g0, g1, use_gskew) = self.components(pc, ghist);
+        let egskew = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
+        if use_gskew {
+            egskew
+        } else {
+            bim
+        }
+    }
+
+    /// Train the predictor with the resolved outcome. `ghist` must be the
+    /// history value that was used at prediction time.
+    pub fn update(&mut self, pc: u64, ghist: u64, taken: bool) {
+        let (bim, g0, g1, use_gskew) = self.components(pc, ghist);
+        let egskew = (bim as u8 + g0 as u8 + g1 as u8) >= 2;
+        let pred = if use_gskew { egskew } else { bim };
+
+        self.stats.predictions += 1;
+        if pred == taken {
+            self.stats.correct += 1;
+        }
+
+        let bi = self.bim_idx(pc);
+        let i0 = self.g0_idx(pc, ghist);
+        let i1 = self.g1_idx(pc, ghist);
+        let mi = self.meta_idx(pc, ghist);
+
+        if pred == taken {
+            // Partial update: strengthen only the agreeing banks.
+            if bim == taken {
+                ctr_update(&mut self.bimodal[bi], taken);
+            }
+            if g0 == taken {
+                ctr_update(&mut self.g0[i0], taken);
+            }
+            if g1 == taken {
+                ctr_update(&mut self.g1[i1], taken);
+            }
+        } else {
+            ctr_update(&mut self.bimodal[bi], taken);
+            ctr_update(&mut self.g0[i0], taken);
+            ctr_update(&mut self.g1[i1], taken);
+        }
+        // Meta trains whenever its two inputs disagree.
+        if bim != egskew {
+            ctr_update(&mut self.meta[mi], egskew == taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_pattern(pattern: &[bool], reps: usize, pc: u64) -> f64 {
+        let mut p = DirectionPredictor::new(GskewConfig::tiny());
+        let mut ghist = 0u64;
+        let (mut correct, mut total) = (0u64, 0u64);
+        for _ in 0..reps {
+            for &taken in pattern {
+                let pred = p.predict(pc, ghist);
+                if pred == taken {
+                    correct += 1;
+                }
+                total += 1;
+                p.update(pc, ghist, taken);
+                ghist = (ghist << 1) | taken as u64;
+            }
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn always_taken_is_learned() {
+        assert!(run_pattern(&[true], 200, 0x10) > 0.95);
+    }
+
+    #[test]
+    fn always_not_taken_is_learned() {
+        assert!(run_pattern(&[false], 200, 0x14) > 0.95);
+    }
+
+    #[test]
+    fn short_loop_pattern_is_learned_by_history_banks() {
+        // T T T N repeating: bimodal alone caps at 75%, history banks learn it.
+        let acc = run_pattern(&[true, true, true, false], 300, 0x18);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn alternating_pattern_is_learned() {
+        let acc = run_pattern(&[true, false], 300, 0x1C);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn random_pattern_is_not_learnable() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let pattern: Vec<bool> = (0..512).map(|_| rng.r#gen::<bool>()).collect();
+        let acc = run_pattern(&pattern, 4, 0x20);
+        assert!(acc < 0.75, "random branches should not be highly predictable: {acc}");
+    }
+
+    #[test]
+    fn stats_track_accuracy() {
+        let mut p = DirectionPredictor::new(GskewConfig::tiny());
+        for _ in 0..100 {
+            let _ = p.predict(0x30, 0);
+            p.update(0x30, 0, true);
+        }
+        let s = p.stats();
+        assert_eq!(s.predictions, 100);
+        assert!(s.correct >= 95);
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_fully_alias() {
+        // Train pc A taken, pc B not-taken; both should end up correct.
+        let mut p = DirectionPredictor::new(GskewConfig::tiny());
+        for _ in 0..50 {
+            p.update(0x100, 0, true);
+            p.update(0x104, 0, false);
+        }
+        assert!(p.predict(0x100, 0));
+        assert!(!p.predict(0x104, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = DirectionPredictor::new(GskewConfig { bimodal_entries: 100, ..GskewConfig::tiny() });
+    }
+
+    #[test]
+    fn hpca_config_sizes() {
+        let p = DirectionPredictor::new(GskewConfig::hpca2005());
+        assert_eq!(p.config().bimodal_entries, 16 * 1024);
+        assert_eq!(p.config().gshare_entries, 64 * 1024);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mtvp-branch
+//!
+//! Branch prediction for the MTVP simulator, matching Table 1 of the
+//! paper: a **2bcgskew** direction predictor (16K-entry bimodal table,
+//! 64K-entry gshare banks and meta table), a branch target buffer for
+//! indirect jumps, and a per-thread return-address stack.
+//!
+//! Direction history is speculative: the pipeline snapshots the global
+//! history register at each prediction and restores it on a squash.
+//!
+//! # Example
+//!
+//! ```
+//! use mtvp_branch::{DirectionPredictor, GskewConfig};
+//!
+//! let mut p = DirectionPredictor::new(GskewConfig::hpca2005());
+//! let mut ghist = 0u64;
+//! // A loop branch: taken 7 times, then not taken, repeating.
+//! let pc = 0x40;
+//! let mut correct = 0;
+//! for trip in 0..400u32 {
+//!     let taken = trip % 8 != 7;
+//!     let pred = p.predict(pc, ghist);
+//!     if pred == taken { correct += 1 }
+//!     p.update(pc, ghist, taken);
+//!     ghist = (ghist << 1) | taken as u64;
+//! }
+//! assert!(correct > 350, "predictor should learn the loop: {correct}/400");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod gskew;
+mod ras;
+
+pub use btb::Btb;
+pub use gskew::{DirectionPredictor, GskewConfig};
+pub use ras::ReturnAddressStack;

@@ -1,0 +1,88 @@
+//! Per-thread return-address stack.
+//!
+//! The pipeline pushes on `jal`/`jalr` (calls) and pops on `jr r31`
+//! (the return idiom in this ISA). The stack is part of per-thread fetch
+//! state: it is cloned when a value-prediction thread is spawned and
+//! checkpointed/restored around squashes by value (it is small).
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded return-address stack. Pushing past capacity wraps (oldest
+/// entry is lost), as in real hardware.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Create an empty RAS with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        ReturnAddressStack { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Push a return address (a call).
+    pub fn push(&mut self, addr: u64) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(addr);
+    }
+
+    /// Pop the predicted return address (a return). `None` if empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.entries.pop()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn clone_for_spawn_is_independent() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(7);
+        let mut child = r.clone();
+        child.pop();
+        assert_eq!(r.depth(), 1);
+        assert_eq!(child.depth(), 0);
+    }
+}

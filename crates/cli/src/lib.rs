@@ -1,0 +1,403 @@
+//! Argument parsing and command implementations for the `mtvp-sim` CLI.
+//!
+//! Hand-rolled parsing (the workspace deliberately keeps its dependency
+//! set to the simulation essentials). See [`Command::parse`] for the
+//! grammar and `mtvp-sim help` for user documentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mtvp_core::{run_program, suite, Mode, PredictorKind, Scale, SelectorKind, SimConfig};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `list` — print the workload registry.
+    List,
+    /// `run <bench> [options]` — simulate one workload under one config.
+    Run {
+        /// Benchmark name.
+        bench: String,
+        /// Machine configuration.
+        config: SimConfig,
+        /// Build scale.
+        scale: Scale,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// `compare <bench> [--scale s]` — run every mode on one workload.
+    Compare {
+        /// Benchmark name.
+        bench: String,
+        /// Build scale.
+        scale: Scale,
+    },
+    /// `disasm <bench> [--limit n]` — print a kernel's assembly.
+    Disasm {
+        /// Benchmark name.
+        bench: String,
+        /// Maximum instructions to print.
+        limit: usize,
+    },
+    /// `help`.
+    Help,
+}
+
+/// Errors produced while parsing arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl std::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+fn parse_scale(s: &str) -> Result<Scale, ParseArgsError> {
+    match s {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(ParseArgsError(format!("unknown scale `{other}` (tiny|small|full)"))),
+    }
+}
+
+fn parse_mode(s: &str) -> Result<Mode, ParseArgsError> {
+    Ok(match s {
+        "baseline" => Mode::Baseline,
+        "stvp" => Mode::Stvp,
+        "mtvp" => Mode::Mtvp,
+        "mtvp-nostall" => Mode::MtvpNoStall,
+        "spawn-only" => Mode::SpawnOnly,
+        "wide-window" => Mode::WideWindow,
+        "multi-value" => Mode::MultiValue,
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown mode `{other}` (baseline|stvp|mtvp|mtvp-nostall|spawn-only|wide-window|multi-value)"
+            )))
+        }
+    })
+}
+
+fn parse_predictor(s: &str) -> Result<PredictorKind, ParseArgsError> {
+    Ok(match s {
+        "none" => PredictorKind::None,
+        "oracle" => PredictorKind::Oracle,
+        "wang-franklin" | "wf" => PredictorKind::WangFranklin,
+        "wf-liberal" => PredictorKind::WangFranklinLiberal,
+        "dfcm" => PredictorKind::Dfcm,
+        "stride" => PredictorKind::Stride,
+        "last-value" => PredictorKind::LastValue,
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown predictor `{other}` (none|oracle|wf|wf-liberal|dfcm|stride|last-value)"
+            )))
+        }
+    })
+}
+
+fn parse_selector(s: &str) -> Result<SelectorKind, ParseArgsError> {
+    Ok(match s {
+        "always" => SelectorKind::Always,
+        "ilp-pred" | "ilp" => SelectorKind::IlpPred,
+        "l3-miss-oracle" | "l3" => SelectorKind::L3MissOracle,
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown selector `{other}` (always|ilp-pred|l3-miss-oracle)"
+            )))
+        }
+    })
+}
+
+impl Command {
+    /// Parse an argv tail (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+        let mut it = args.iter().map(String::as_str);
+        let cmd = it.next().unwrap_or("help");
+        let rest: Vec<&str> = it.collect();
+        let get_flag = |name: &str| -> Result<Option<&str>, ParseArgsError> {
+            match rest.iter().position(|a| *a == name) {
+                Some(i) => match rest.get(i + 1) {
+                    Some(v) => Ok(Some(*v)),
+                    None => Err(ParseArgsError(format!("{name} requires a value"))),
+                },
+                None => Ok(None),
+            }
+        };
+        match cmd {
+            "list" => Ok(Command::List),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "run" => {
+                let bench = rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| ParseArgsError("run requires a benchmark name".into()))?
+                    .to_string();
+                let mode = parse_mode(get_flag("--mode")?.unwrap_or("mtvp"))?;
+                let mut config = SimConfig::new(mode);
+                if let Some(v) = get_flag("--contexts")? {
+                    config.contexts = v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --contexts `{v}`")))?;
+                }
+                if let Some(v) = get_flag("--predictor")? {
+                    config.predictor = parse_predictor(v)?;
+                }
+                if let Some(v) = get_flag("--selector")? {
+                    config.selector = parse_selector(v)?;
+                }
+                if let Some(v) = get_flag("--spawn-latency")? {
+                    config.spawn_latency = v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --spawn-latency `{v}`")))?;
+                }
+                if let Some(v) = get_flag("--store-buffer")? {
+                    config.store_buffer = v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --store-buffer `{v}`")))?;
+                }
+                if rest.contains(&"--no-prefetch") {
+                    config.prefetcher = false;
+                }
+                if rest.contains(&"--cold-start") {
+                    config.warm_start = false;
+                }
+                let scale = parse_scale(get_flag("--scale")?.unwrap_or("small"))?;
+                Ok(Command::Run { bench, config, scale, json: rest.contains(&"--json") })
+            }
+            "compare" => {
+                let bench = rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| ParseArgsError("compare requires a benchmark name".into()))?
+                    .to_string();
+                let scale = parse_scale(get_flag("--scale")?.unwrap_or("small"))?;
+                Ok(Command::Compare { bench, scale })
+            }
+            "disasm" => {
+                let bench = rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| ParseArgsError("disasm requires a benchmark name".into()))?
+                    .to_string();
+                let limit = match get_flag("--limit")? {
+                    Some(v) => {
+                        v.parse().map_err(|_| ParseArgsError(format!("bad --limit `{v}`")))?
+                    }
+                    None => 120,
+                };
+                Ok(Command::Disasm { bench, limit })
+            }
+            other => Err(ParseArgsError(format!("unknown command `{other}`; try `help`"))),
+        }
+    }
+
+    /// Execute the command, returning the text to print.
+    ///
+    /// # Errors
+    /// Returns an error string for unknown benchmark names.
+    pub fn execute(self) -> Result<String, ParseArgsError> {
+        let mut out = String::new();
+        match self {
+            Command::Help => out.push_str(HELP),
+            Command::List => {
+                let _ = writeln!(out, "{:<10} {:<6} description", "name", "suite");
+                for w in suite() {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:<6} {}",
+                        w.name,
+                        if w.suite == mtvp_core::Suite::Int { "int" } else { "fp" },
+                        w.description
+                    );
+                }
+            }
+            Command::Run { bench, config, scale, json } => {
+                let wl = find(&bench)?;
+                let program = wl.build(scale);
+                let r = run_program(&config, &program);
+                if json {
+                    let _ = writeln!(
+                        out,
+                        "{}",
+                        serde_json::json!({
+                            "bench": bench,
+                            "config": config,
+                            "ipc": r.ipc(),
+                            "stats": r.stats,
+                        })
+                    );
+                } else {
+                    let _ = writeln!(out, "bench      : {bench} ({})", wl.description);
+                    let _ = writeln!(out, "mode       : {:?}", config.mode);
+                    let _ = writeln!(out, "cycles     : {}", r.stats.cycles);
+                    let _ = writeln!(out, "committed  : {}", r.stats.committed);
+                    let _ = writeln!(out, "useful IPC : {:.4}", r.ipc());
+                    let _ = writeln!(
+                        out,
+                        "vp         : stvp {}/{} ok, spawns {} ({} ok, {} wrong)",
+                        r.stats.vp.stvp_used,
+                        r.stats.vp.stvp_correct,
+                        r.stats.vp.mtvp_spawns,
+                        r.stats.vp.mtvp_correct,
+                        r.stats.vp.mtvp_wrong
+                    );
+                }
+            }
+            Command::Compare { bench, scale } => {
+                let wl = find(&bench)?;
+                let program = wl.build(scale);
+                let base = run_program(&SimConfig::new(Mode::Baseline), &program);
+                let _ = writeln!(out, "{:<14}{:>10}{:>9}{:>12}", "mode", "cycles", "IPC", "speedup");
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:>10}{:>9.3}{:>12}",
+                    "baseline", base.stats.cycles, base.ipc(), "-"
+                );
+                for mode in [
+                    Mode::Stvp,
+                    Mode::Mtvp,
+                    Mode::MtvpNoStall,
+                    Mode::SpawnOnly,
+                    Mode::WideWindow,
+                    Mode::MultiValue,
+                ] {
+                    let r = run_program(&SimConfig::new(mode), &program);
+                    let _ = writeln!(
+                        out,
+                        "{:<14}{:>10}{:>9.3}{:>+11.1}%",
+                        format!("{mode:?}"),
+                        r.stats.cycles,
+                        r.ipc(),
+                        r.stats.speedup_over(&base.stats)
+                    );
+                }
+            }
+            Command::Disasm { bench, limit } => {
+                let wl = find(&bench)?;
+                let program = wl.build(Scale::Tiny);
+                let _ = writeln!(
+                    out,
+                    "; {} — {} static instructions, {} bytes of data",
+                    program.name,
+                    program.len(),
+                    program.data_bytes()
+                );
+                for (pc, inst) in program.code.iter().take(limit).enumerate() {
+                    let _ = writeln!(out, "{pc:>6}: {inst}");
+                }
+                if program.len() > limit {
+                    let _ = writeln!(out, "… ({} more)", program.len() - limit);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn find(name: &str) -> Result<mtvp_core::Workload, ParseArgsError> {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| ParseArgsError(format!("unknown benchmark `{name}`; see `mtvp-sim list`")))
+}
+
+/// The help text.
+pub const HELP: &str = "\
+mtvp-sim — cycle-level SMT simulator with multithreaded value prediction
+
+USAGE:
+  mtvp-sim list
+  mtvp-sim run <bench> [--mode M] [--contexts N] [--predictor P] [--selector S]
+                       [--spawn-latency N] [--store-buffer N] [--scale tiny|small|full]
+                       [--no-prefetch] [--cold-start] [--json]
+  mtvp-sim compare <bench> [--scale tiny|small|full]
+  mtvp-sim disasm <bench> [--limit N]
+
+MODES:      baseline stvp mtvp mtvp-nostall spawn-only wide-window multi-value
+PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
+SELECTORS:  always ilp-pred l3-miss-oracle
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, ParseArgsError> {
+        let v: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        Command::parse(&v)
+    }
+
+    #[test]
+    fn parses_basic_commands() {
+        assert_eq!(parse(&["list"]).unwrap(), Command::List);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert!(matches!(parse(&["compare", "mcf"]).unwrap(), Command::Compare { .. }));
+        assert!(matches!(parse(&["disasm", "mcf"]).unwrap(), Command::Disasm { limit: 120, .. }));
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let cmd = parse(&[
+            "run", "mcf", "--mode", "mtvp", "--contexts", "4", "--predictor", "oracle",
+            "--spawn-latency", "1", "--store-buffer", "64", "--scale", "tiny", "--json",
+            "--no-prefetch", "--cold-start",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run { bench, config, scale, json } => {
+                assert_eq!(bench, "mcf");
+                assert_eq!(config.contexts, 4);
+                assert_eq!(config.predictor, PredictorKind::Oracle);
+                assert_eq!(config.spawn_latency, 1);
+                assert_eq!(config.store_buffer, 64);
+                assert!(!config.prefetcher);
+                assert!(!config.warm_start);
+                assert_eq!(scale, Scale::Tiny);
+                assert!(json);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["run"]).is_err());
+        assert!(parse(&["run", "mcf", "--mode", "bogus"]).is_err());
+        assert!(parse(&["run", "mcf", "--contexts"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run", "mcf", "--scale", "gigantic"]).is_err());
+    }
+
+    #[test]
+    fn list_and_disasm_execute() {
+        let out = Command::List.execute().unwrap();
+        assert!(out.contains("mcf"));
+        assert!(out.contains("swim"));
+        let out = Command::Disasm { bench: "mcf".into(), limit: 40 }.execute().unwrap();
+        assert!(out.contains("ld "), "{out}");
+        assert!(out.contains("static instructions"));
+        let err = Command::Disasm { bench: "nope".into(), limit: 10 }.execute().unwrap_err();
+        assert!(err.0.contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn run_executes_tiny() {
+        let cmd = parse(&["run", "crafty", "--mode", "baseline", "--scale", "tiny"]).unwrap();
+        let out = cmd.execute().unwrap();
+        assert!(out.contains("useful IPC"), "{out}");
+    }
+
+    #[test]
+    fn run_json_is_valid() {
+        let cmd =
+            parse(&["run", "crafty", "--mode", "baseline", "--scale", "tiny", "--json"]).unwrap();
+        let out = cmd.execute().unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert!(v["ipc"].as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! `mtvp-sim` entry point. All logic lives in `mtvp_cli` so it can be
+//! tested; this file only bridges argv/stdout/exit codes.
+
+use mtvp_cli::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Command::parse(&args).and_then(Command::execute) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", mtvp_cli::HELP);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Experiment-level configuration: the machine modes of the paper's
+//! evaluation, lowered onto `mtvp-pipeline`'s mechanism-level switches.
+
+use mtvp_pipeline::{FetchPolicy, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
+use serde::{Deserialize, Serialize};
+
+/// The machine variants evaluated in the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Table 1 machine, no value prediction.
+    Baseline,
+    /// Single-threaded value prediction with selective reissue.
+    Stvp,
+    /// Multithreaded value prediction, single fetch path (§3.3 — the
+    /// paper's default MTVP; falls back to STVP when no context is free).
+    Mtvp,
+    /// MTVP with the aggressive no-stall fetch policy (§5.5).
+    MtvpNoStall,
+    /// Thread spawning at selected loads *without* value prediction — the
+    /// split-window comparator of §5.7.
+    SpawnOnly,
+    /// The idealized checkpoint/wide-window machine of §5.7: 8K-entry ROB
+    /// and queues, unlimited rename registers, no value prediction.
+    WideWindow,
+    /// Multiple-value MTVP (§5.6): liberal Wang–Franklin confidence, the
+    /// cache-level-oracle selector, several values followed per load.
+    MultiValue,
+}
+
+/// A complete experiment configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Machine variant.
+    pub mode: Mode,
+    /// Hardware thread contexts (1, 2, 4, 8).
+    pub contexts: usize,
+    /// Value predictor (ignored for `Baseline`/`WideWindow`/`SpawnOnly`).
+    pub predictor: PredictorKind,
+    /// Load selector.
+    pub selector: SelectorKind,
+    /// Thread-spawn (map flash-copy) latency in cycles (§5.2).
+    pub spawn_latency: u64,
+    /// Per-context speculative store buffer entries (§5.3).
+    pub store_buffer: usize,
+    /// Values followed per load in `MultiValue` mode.
+    pub max_values_per_load: usize,
+    /// Optional architectural instruction limit (0 = run to halt).
+    pub inst_limit: u64,
+    /// Hard cycle limit.
+    pub max_cycles: u64,
+    /// Enable the stride prefetcher (the paper's baseline includes it;
+    /// §4 notes MTVP's effect is larger and more consistent without it).
+    pub prefetcher: bool,
+    /// MSHR capacity (outstanding memory misses).
+    pub mshrs: usize,
+    /// Warm-start the caches with the data image.
+    pub warm_start: bool,
+}
+
+impl SimConfig {
+    /// The paper's default configuration for a mode: Wang–Franklin
+    /// predictor, ILP-pred selector, 8-cycle spawn, 128-entry store
+    /// buffer, and as many contexts as the mode meaningfully uses.
+    pub fn new(mode: Mode) -> Self {
+        let contexts = match mode {
+            Mode::Baseline | Mode::Stvp | Mode::WideWindow => 1,
+            _ => 8,
+        };
+        SimConfig {
+            mode,
+            contexts,
+            predictor: match mode {
+                Mode::Baseline | Mode::WideWindow | Mode::SpawnOnly => PredictorKind::None,
+                Mode::MultiValue => PredictorKind::WangFranklinLiberal,
+                _ => PredictorKind::WangFranklin,
+            },
+            selector: match mode {
+                Mode::MultiValue => SelectorKind::L3MissOracle,
+                _ => SelectorKind::IlpPred,
+            },
+            spawn_latency: 8,
+            store_buffer: 128,
+            max_values_per_load: if mode == Mode::MultiValue { 4 } else { 1 },
+            inst_limit: 0,
+            max_cycles: 500_000_000,
+            prefetcher: true,
+            mshrs: 16,
+            warm_start: true,
+        }
+    }
+
+    /// Same as [`SimConfig::new`] but with the oracle value predictor and
+    /// the idealized §5.1 assumptions (1-cycle spawn, huge store buffer).
+    pub fn oracle(mode: Mode) -> Self {
+        SimConfig {
+            predictor: PredictorKind::Oracle,
+            spawn_latency: 1,
+            store_buffer: 1 << 20,
+            ..Self::new(mode)
+        }
+    }
+
+    /// The memory-hierarchy configuration this experiment uses.
+    pub fn to_mem_config(&self) -> mtvp_mem::MemConfig {
+        let mut m = mtvp_mem::MemConfig::hpca2005();
+        m.mshrs = self.mshrs;
+        if !self.prefetcher {
+            m.prefetch = mtvp_mem::PrefetchConfig::disabled();
+        }
+        m
+    }
+
+    /// Lower to the mechanism-level pipeline configuration.
+    pub fn to_pipeline_config(&self) -> PipelineConfig {
+        let mut p = match self.mode {
+            Mode::WideWindow => PipelineConfig::wide_window(),
+            _ => PipelineConfig::hpca2005(),
+        };
+        p.hw_contexts = self.contexts;
+        p.store_buffer_entries = self.store_buffer;
+        p.inst_limit = self.inst_limit;
+        p.max_cycles = self.max_cycles;
+        p.warm_start = self.warm_start;
+
+        let mut vp = match self.mode {
+            Mode::Baseline | Mode::WideWindow => VpConfig::baseline(),
+            Mode::Stvp => VpConfig::stvp(self.predictor),
+            Mode::Mtvp | Mode::MultiValue => VpConfig::mtvp(self.predictor),
+            Mode::MtvpNoStall => {
+                let mut v = VpConfig::mtvp(self.predictor);
+                v.fetch_policy = FetchPolicy::NoStall;
+                v
+            }
+            Mode::SpawnOnly => VpConfig::spawn_only(),
+        };
+        vp.selector = self.selector;
+        vp.spawn_latency = self.spawn_latency;
+        vp.max_values_per_load = self.max_values_per_load;
+        p.vp = vp;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_defaults_are_sensible() {
+        let b = SimConfig::new(Mode::Baseline);
+        assert_eq!(b.contexts, 1);
+        assert_eq!(b.predictor, PredictorKind::None);
+        let m = SimConfig::new(Mode::Mtvp);
+        assert_eq!(m.contexts, 8);
+        assert_eq!(m.predictor, PredictorKind::WangFranklin);
+        let mv = SimConfig::new(Mode::MultiValue);
+        assert_eq!(mv.max_values_per_load, 4);
+        assert_eq!(mv.selector, SelectorKind::L3MissOracle);
+    }
+
+    #[test]
+    fn oracle_config_is_idealized() {
+        let o = SimConfig::oracle(Mode::Mtvp);
+        assert_eq!(o.predictor, PredictorKind::Oracle);
+        assert_eq!(o.spawn_latency, 1);
+        assert!(o.store_buffer > 100_000);
+    }
+
+    #[test]
+    fn lowering_matches_mode() {
+        let p = SimConfig::new(Mode::WideWindow).to_pipeline_config();
+        assert_eq!(p.rob_entries, 8192);
+        assert!(!p.vp.allow_stvp && !p.vp.allow_mtvp);
+
+        let p = SimConfig::new(Mode::Mtvp).to_pipeline_config();
+        assert!(p.vp.allow_stvp && p.vp.allow_mtvp);
+        assert_eq!(p.vp.fetch_policy, FetchPolicy::SingleFetchPath);
+
+        let p = SimConfig::new(Mode::MtvpNoStall).to_pipeline_config();
+        assert_eq!(p.vp.fetch_policy, FetchPolicy::NoStall);
+
+        let p = SimConfig::new(Mode::SpawnOnly).to_pipeline_config();
+        assert!(p.vp.spawn_only);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = SimConfig::new(Mode::Mtvp);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,37 @@
+//! # mtvp-core
+//!
+//! Top-level API of the *Multithreaded Value Prediction* reproduction
+//! (Tuck & Tullsen, HPCA-11 2005): experiment-level machine modes, a
+//! one-call runner that pairs the cycle simulator with its reference
+//! interpreter, and a parallel sweep driver used by the figure harness.
+//!
+//! # Example
+//!
+//! ```
+//! use mtvp_core::{Mode, SimConfig, run_program};
+//! use mtvp_workloads::{suite, Scale};
+//!
+//! let mcf = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+//! let program = mcf.build(Scale::Tiny);
+//!
+//! let baseline = run_program(&SimConfig::new(Mode::Baseline), &program);
+//! let mut cfg = SimConfig::new(Mode::Mtvp);
+//! cfg.contexts = 4;
+//! let mtvp = run_program(&cfg, &program);
+//! // Both executions are architecturally validated against the
+//! // interpreter; compare useful IPC for the paper's "percent speedup".
+//! let _speedup = mtvp.stats.speedup_over(&baseline.stats);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod run;
+pub mod sweep;
+
+pub use config::{Mode, SimConfig};
+pub use run::{run_program, RunResult};
+
+pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};
+pub use mtvp_workloads::{suite, Scale, Suite, Workload};

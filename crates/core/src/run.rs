@@ -1,0 +1,84 @@
+//! One-call simulation: reference run + traced oracle + cycle simulation,
+//! with architectural validation built in.
+
+use crate::config::SimConfig;
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_isa::Program;
+use mtvp_pipeline::{Machine, PipeStats};
+use std::sync::Arc;
+
+/// The outcome of simulating one program under one configuration.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Cycle-level statistics.
+    pub stats: PipeStats,
+    /// Dynamic instructions on the committed path (from the reference run).
+    pub dyn_instrs: u64,
+}
+
+impl RunResult {
+    /// Useful IPC.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Functionally pre-execute `program` to obtain its committed-path trace.
+///
+/// # Panics
+/// Panics if the program does not halt within 200M instructions.
+pub fn reference_trace(program: &Program) -> (u64, Arc<mtvp_isa::trace::Trace>) {
+    let mut bus = SimpleBus::new();
+    let mut interp = Interp::new(program);
+    let (res, trace) = interp.run_traced(&mut bus, 200_000_000);
+    assert!(res.halted, "workload {} does not halt", program.name);
+    (res.dyn_instrs, Arc::new(trace))
+}
+
+/// Simulate `program` under `cfg`. The committed path is validated against
+/// the reference interpreter instruction by instruction.
+pub fn run_program(cfg: &SimConfig, program: &Program) -> RunResult {
+    let (dyn_instrs, trace) = reference_trace(program);
+    run_with_trace(cfg, program, dyn_instrs, trace)
+}
+
+/// Simulate with a pre-computed reference trace (lets sweeps amortize the
+/// functional run across configurations).
+pub fn run_with_trace(
+    cfg: &SimConfig,
+    program: &Program,
+    dyn_instrs: u64,
+    trace: Arc<mtvp_isa::trace::Trace>,
+) -> RunResult {
+    let pcfg = cfg.to_pipeline_config();
+    let mut machine = Machine::with_mem_config(pcfg, cfg.to_mem_config(), program, Some(trace));
+    let stats = machine.run();
+    RunResult { stats, dyn_instrs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use mtvp_workloads::{suite, Scale};
+
+    #[test]
+    fn run_completes_and_validates() {
+        let wl = suite().into_iter().find(|w| w.name == "gzip g").unwrap();
+        let program = wl.build(Scale::Tiny);
+        let r = run_program(&SimConfig::new(Mode::Baseline), &program);
+        assert!(r.stats.halted);
+        assert_eq!(r.stats.committed, r.dyn_instrs);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn trace_is_reusable_across_configs() {
+        let wl = suite().into_iter().find(|w| w.name == "eon r").unwrap();
+        let program = wl.build(Scale::Tiny);
+        let (n, trace) = reference_trace(&program);
+        let a = run_with_trace(&SimConfig::new(Mode::Baseline), &program, n, trace.clone());
+        let b = run_with_trace(&SimConfig::new(Mode::Mtvp), &program, n, trace);
+        assert_eq!(a.stats.committed, b.stats.committed);
+    }
+}

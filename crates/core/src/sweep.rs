@@ -1,0 +1,198 @@
+//! Parallel experiment sweeps over the benchmark suite — the engine behind
+//! every figure-reproduction binary in `mtvp-bench`.
+
+use crate::config::SimConfig;
+use crate::run::{reference_trace, run_with_trace};
+use mtvp_isa::trace::Trace;
+use mtvp_isa::Program;
+use mtvp_pipeline::PipeStats;
+use mtvp_workloads::{suite, Scale, Suite, Workload};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One (benchmark × configuration) measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Suite of the benchmark.
+    pub suite_int: bool,
+    /// Configuration label.
+    pub config: String,
+    /// Full statistics.
+    pub stats: PipeStats,
+}
+
+/// Results of a sweep.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Sweep {
+    /// All measurements.
+    pub cells: Vec<Cell>,
+}
+
+impl Sweep {
+    /// Run every configuration over every benchmark of the suite at
+    /// `scale`, in parallel across available cores.
+    pub fn run(configs: &[(String, SimConfig)], scale: Scale) -> Sweep {
+        Self::run_filtered(configs, scale, |_| true)
+    }
+
+    /// Run with a benchmark filter.
+    pub fn run_filtered(
+        configs: &[(String, SimConfig)],
+        scale: Scale,
+        keep: impl Fn(&Workload) -> bool,
+    ) -> Sweep {
+        let workloads: Vec<Workload> = suite().into_iter().filter(|w| keep(w)).collect();
+
+        // Phase 1: build programs + reference traces (parallel over benches).
+        let prepared: Vec<(Workload, Program, u64, Arc<Trace>)> =
+            parallel_map(&workloads, |wl| {
+                let program = wl.build(scale);
+                let (n, trace) = reference_trace(&program);
+                (wl.clone(), program, n, trace)
+            });
+
+        // Phase 2: simulate every (bench, config) cell in parallel.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for b in 0..prepared.len() {
+            for c in 0..configs.len() {
+                jobs.push((b, c));
+            }
+        }
+        let cells: Vec<Cell> = parallel_map(&jobs, |&(b, c)| {
+            let (wl, program, n, trace) = &prepared[b];
+            let (label, cfg) = &configs[c];
+            let r = run_with_trace(cfg, program, *n, trace.clone());
+            Cell {
+                bench: wl.name.to_string(),
+                suite_int: wl.suite == Suite::Int,
+                config: label.clone(),
+                stats: r.stats,
+            }
+        });
+        Sweep { cells }
+    }
+
+    /// The measurement for (`bench`, `config`).
+    pub fn cell(&self, bench: &str, config: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.bench == bench && c.config == config)
+    }
+
+    /// Percent useful-IPC speedup of `config` over `baseline` on `bench`
+    /// (the paper's y-axis).
+    pub fn speedup(&self, bench: &str, config: &str, baseline: &str) -> Option<f64> {
+        let c = self.cell(bench, config)?;
+        let b = self.cell(bench, baseline)?;
+        Some(c.stats.speedup_over(&b.stats))
+    }
+
+    /// Geometric-mean percent speedup of `config` over `baseline` across
+    /// the benchmarks of `which` suite (or all when `None`) — the paper's
+    /// "average" bars.
+    pub fn geomean_speedup(&self, which: Option<Suite>, config: &str, baseline: &str) -> f64 {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for cell in self.cells.iter().filter(|c| c.config == config) {
+            if let Some(suite) = which {
+                if (suite == Suite::Int) != cell.suite_int {
+                    continue;
+                }
+            }
+            let Some(b) = self.cell(&cell.bench, baseline) else { continue };
+            let (ci, bi) = (cell.stats.ipc(), b.stats.ipc());
+            if ci > 0.0 && bi > 0.0 {
+                log_sum += (ci / bi).ln();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            ((log_sum / n as f64).exp() - 1.0) * 100.0
+        }
+    }
+
+    /// Benchmarks present, in suite order (integer first).
+    pub fn benches(&self) -> Vec<(String, bool)> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.iter().any(|(b, _)| b == &c.bench) {
+                seen.push((c.bench.clone(), c.suite_int));
+            }
+        }
+        seen
+    }
+
+    /// Serialize to JSON (for EXPERIMENTS.md bookkeeping).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep serializes")
+    }
+}
+
+/// Simple scoped-thread parallel map preserving input order.
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(
+        items.len().max(1),
+    );
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    out.into_inner().into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_sweep_runs_and_aggregates() {
+        let configs = vec![
+            ("base".to_string(), SimConfig::new(Mode::Baseline)),
+            ("mtvp4".to_string(), {
+                let mut c = SimConfig::oracle(Mode::Mtvp);
+                c.contexts = 4;
+                c
+            }),
+        ];
+        let sweep =
+            Sweep::run_filtered(&configs, Scale::Tiny, |w| matches!(w.name, "mcf" | "mesa"));
+        assert_eq!(sweep.cells.len(), 4);
+        assert!(sweep.cell("mcf", "base").is_some());
+        let s = sweep.speedup("mcf", "mtvp4", "base").unwrap();
+        assert!(s.is_finite());
+        let g = sweep.geomean_speedup(None, "mtvp4", "base");
+        assert!(g.is_finite());
+        let benches = sweep.benches();
+        assert_eq!(benches.len(), 2);
+        // JSON roundtrip.
+        let json = sweep.to_json();
+        let back: Sweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 4);
+    }
+}

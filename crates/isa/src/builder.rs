@@ -1,0 +1,406 @@
+//! Label-resolving program builder ("assembler").
+
+use crate::inst::{Inst, Op};
+use crate::program::{DataSegment, Program};
+use crate::reg::{FReg, Reg};
+use crate::DATA_BASE;
+
+/// A forward-referenceable code label created by [`ProgramBuilder::label`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s with label resolution and a bump
+/// allocator for initialized data.
+///
+/// # Example
+///
+/// ```
+/// use mtvp_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// let arr = b.alloc_u64(&[10, 20, 30]);
+/// b.li(Reg(1), arr as i64);
+/// b.ld(Reg(2), Reg(1), 8);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    code: Vec<Inst>,
+    labels: Vec<Option<u64>>,
+    /// (code index, label) pairs whose `imm` needs patching at build time.
+    fixups: Vec<(usize, Label)>,
+    data: Vec<DataSegment>,
+    data_cursor: u64,
+}
+
+impl ProgramBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder { data_cursor: DATA_BASE, ..Default::default() }
+    }
+
+    /// Set the program name (shown in stats and harness output).
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Current instruction index (the PC of the next emitted instruction).
+    pub fn here(&self) -> u64 {
+        self.code.len() as u64
+    }
+
+    /// Create a new, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.code.len() as u64);
+    }
+
+    /// Convenience: create a label bound at the current position.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    // ---- data segment ----
+
+    /// Allocate `len` zeroed bytes in the data segment; returns the base address.
+    pub fn alloc_zeroed(&mut self, len: u64) -> u64 {
+        self.alloc_bytes(&vec![0u8; len as usize])
+    }
+
+    /// Allocate and initialize a u64 array; returns the base address.
+    pub fn alloc_u64(&mut self, words: &[u64]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.alloc_bytes(&bytes)
+    }
+
+    /// Allocate and initialize an f64 array; returns the base address.
+    pub fn alloc_f64(&mut self, words: &[f64]) -> u64 {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.alloc_bytes(&bytes)
+    }
+
+    /// Allocate raw bytes (8-byte aligned); returns the base address.
+    pub fn alloc_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let base = self.data_cursor;
+        self.data.push(DataSegment { base, bytes: bytes.to_vec() });
+        let len = (bytes.len() as u64 + 7) & !7;
+        self.data_cursor = base + len.max(8);
+        base
+    }
+
+    /// The address the next data allocation will receive.
+    pub fn data_cursor(&self) -> u64 {
+        self.data_cursor
+    }
+
+    /// Reserve address space without initializing it (reads return 0).
+    pub fn reserve(&mut self, len: u64) -> u64 {
+        let base = self.data_cursor;
+        self.data_cursor = base + ((len + 7) & !7).max(8);
+        base
+    }
+
+    // ---- raw emission ----
+
+    /// Emit a raw instruction. Prefer the typed helpers below.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.code.push(inst);
+        self
+    }
+
+    fn rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+    }
+
+    fn rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: 0, imm })
+    }
+
+    fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.emit(Inst { op, rd: 0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+    }
+
+    fn fff(&mut self, op: Op, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+    }
+
+    fn ff(&mut self, op: Op, rd: FReg, rs1: FReg) -> &mut Self {
+        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+    }
+}
+
+/// Generates a `&mut Self`-returning builder method per opcode group.
+macro_rules! rrr_ops {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                #[doc = concat!("Emit `", stringify!($name), " rd, rs1, rs2`.")]
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                    self.rrr(Op::$op, rd, rs1, rs2)
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! rri_ops {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                #[doc = concat!("Emit `", stringify!($name), " rd, rs1, imm`.")]
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+                    self.rri(Op::$op, rd, rs1, imm)
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! branch_ops {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                #[doc = concat!("Emit a `", stringify!($name), "` branch to `target`.")]
+                pub fn $name(&mut self, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+                    self.branch(Op::$op, rs1, rs2, target)
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! fff_ops {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                #[doc = concat!("Emit `", stringify!($name), " frd, frs1, frs2`.")]
+                pub fn $name(&mut self, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
+                    self.fff(Op::$op, rd, rs1, rs2)
+                }
+            )*
+        }
+    };
+}
+
+macro_rules! ff_ops {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                #[doc = concat!("Emit `", stringify!($name), " frd, frs1`.")]
+                pub fn $name(&mut self, rd: FReg, rs1: FReg) -> &mut Self {
+                    self.ff(Op::$op, rd, rs1)
+                }
+            )*
+        }
+    };
+}
+
+rrr_ops! {
+    add => Add, sub => Sub, mul => Mul, divu => Divu, remu => Remu,
+    and => And, or => Or, xor => Xor, sll => Sll, srl => Srl, sra => Sra,
+    slt => Slt, sltu => Sltu,
+}
+
+rri_ops! {
+    addi => Addi, andi => Andi, ori => Ori, xori => Xori,
+    slli => Slli, srli => Srli, srai => Srai, slti => Slti,
+}
+
+branch_ops! {
+    beq => Beq, bne => Bne, blt => Blt, bge => Bge, bltu => Bltu, bgeu => Bgeu,
+}
+
+fff_ops! {
+    fadd => Fadd, fsub => Fsub, fmul => Fmul, fdiv => Fdiv,
+    fmin => Fmin, fmax => Fmax, fmadd => Fmadd,
+}
+
+ff_ops! {
+    fsqrt => Fsqrt, fneg => Fneg, fabs => Fabs, fmov => Fmov,
+}
+
+impl ProgramBuilder {
+    /// Emit `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.emit(Inst { op: Op::Li, rd: rd.0, rs1: 0, rs2: 0, imm })
+    }
+
+    /// Emit `li rd, <address of label>` (resolved at build time) — used to
+    /// materialize code addresses for indirect jumps.
+    pub fn li_label(&mut self, rd: Reg, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.emit(Inst { op: Op::Li, rd: rd.0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit an unconditional jump to `target`.
+    pub fn j(&mut self, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.emit(Inst { op: Op::J, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit `jal rd, target` (call, link in `rd`).
+    pub fn jal(&mut self, rd: Reg, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.emit(Inst { op: Op::Jal, rd: rd.0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit `jr rs1` (indirect jump / return).
+    pub fn jr(&mut self, rs1: Reg) -> &mut Self {
+        self.emit(Inst { op: Op::Jr, rd: 0, rs1: rs1.0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit `jalr rd, rs1` (indirect call).
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.emit(Inst { op: Op::Jalr, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit `ld rd, off(base)`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Inst { op: Op::Ld, rd: rd.0, rs1: base.0, rs2: 0, imm: off })
+    }
+
+    /// Emit `st src, off(base)`.
+    pub fn st(&mut self, src: Reg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Inst { op: Op::St, rd: 0, rs1: base.0, rs2: src.0, imm: off })
+    }
+
+    /// Emit `fld frd, off(base)`.
+    pub fn fld(&mut self, rd: FReg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Inst { op: Op::Fld, rd: rd.0, rs1: base.0, rs2: 0, imm: off })
+    }
+
+    /// Emit `fst fsrc, off(base)`.
+    pub fn fst(&mut self, src: FReg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Inst { op: Op::Fst, rd: 0, rs1: base.0, rs2: src.0, imm: off })
+    }
+
+    /// Emit fp compare `frs1 < frs2` into integer `rd`.
+    pub fn fclt(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Inst { op: Op::Fclt, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+    }
+
+    /// Emit fp compare `frs1 <= frs2` into integer `rd`.
+    pub fn fcle(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Inst { op: Op::Fcle, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+    }
+
+    /// Emit fp compare `frs1 == frs2` into integer `rd`.
+    pub fn fceq(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
+        self.emit(Inst { op: Op::Fceq, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+    }
+
+    /// Emit int→fp conversion `frd <- rs1 as f64`.
+    pub fn icvtf(&mut self, rd: FReg, rs1: Reg) -> &mut Self {
+        self.emit(Inst { op: Op::Icvtf, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit fp→int conversion `rd <- frs1 as i64`.
+    pub fn fcvti(&mut self, rd: Reg, rs1: FReg) -> &mut Self {
+        self.emit(Inst { op: Op::Fcvti, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+    }
+
+    /// Emit `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::NOP)
+    }
+
+    /// Emit `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst { op: Op::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+    }
+
+    /// Resolve labels and produce the final [`Program`].
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in self.fixups.drain(..) {
+            let target = self.labels[label.0].expect("branch to unbound label");
+            self.code[idx].imm = target as i64;
+        }
+        Program {
+            name: if self.name.is_empty() { "anonymous".into() } else { self.name },
+            code: self.code,
+            data: self.data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label();
+        b.j(fwd); // 0
+        let back = b.here_label(); // at 1
+        b.nop(); // 1
+        b.bind(fwd); // at 2
+        b.beq(Reg(1), Reg(2), back); // 2
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.code[0].imm, 2);
+        assert_eq!(p.code[2].imm, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.j(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_allocation_is_aligned_and_disjoint() {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc_u64(&[1, 2, 3]);
+        let c = b.alloc_bytes(&[9; 5]);
+        let z = b.reserve(100);
+        let d = b.alloc_f64(&[1.5]);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(a % 8, 0);
+        assert!(c >= a + 24);
+        assert_eq!(c % 8, 0);
+        assert!(z >= c + 8);
+        assert!(d >= z + 100);
+        let p = b.build();
+        assert_eq!(p.data.len(), 3); // reserve() creates no segment
+    }
+
+    #[test]
+    fn name_defaults() {
+        assert_eq!(ProgramBuilder::new().build().name, "anonymous");
+        let mut b = ProgramBuilder::new();
+        b.name("kernel");
+        assert_eq!(b.build().name, "kernel");
+    }
+}

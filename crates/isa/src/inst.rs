@@ -1,0 +1,375 @@
+//! Instruction definitions: opcodes, operand accessors, classification.
+
+use crate::reg::{FReg, Reg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opcode of an [`Inst`].
+///
+/// Operand fields of [`Inst`] are interpreted per-opcode; the table below
+/// uses `rd/rs1/rs2` for integer registers, `frd/frs1/frs2` for
+/// floating-point registers, and `imm` for the immediate.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants documented by the group comments
+pub enum Op {
+    // --- integer ALU, register-register: rd <- rs1 op rs2 ---
+    Add,
+    Sub,
+    Mul,
+    Divu,
+    Remu,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    // --- integer ALU, immediate: rd <- rs1 op imm ---
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    /// rd <- imm
+    Li,
+    // --- conditional branches: if rs1 cmp rs2, goto imm (absolute) ---
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    // --- jumps ---
+    /// goto imm
+    J,
+    /// rd <- pc + 1; goto imm
+    Jal,
+    /// goto rs1
+    Jr,
+    /// rd <- pc + 1; goto rs1
+    Jalr,
+    // --- memory ---
+    /// rd <- mem64[rs1 + imm]
+    Ld,
+    /// mem64[rs1 + imm] <- rs2
+    St,
+    /// frd <- mem64[rs1 + imm] (as f64 bits)
+    Fld,
+    /// mem64[rs1 + imm] <- frs2 (f64 bits)
+    Fst,
+    // --- floating point: frd <- frs1 op frs2 (f64) ---
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fmin,
+    Fmax,
+    /// frd <- sqrt(frs1)
+    Fsqrt,
+    /// frd <- -frs1
+    Fneg,
+    /// frd <- |frs1|
+    Fabs,
+    /// frd <- frs1
+    Fmov,
+    /// frd <- frd + frs1 * frs2 (reads frd)
+    Fmadd,
+    // --- fp compares, integer destination ---
+    /// rd <- (frs1 < frs2) as u64
+    Fclt,
+    /// rd <- (frs1 <= frs2) as u64
+    Fcle,
+    /// rd <- (frs1 == frs2) as u64
+    Fceq,
+    // --- conversions ---
+    /// frd <- rs1 as i64 as f64
+    Icvtf,
+    /// rd <- frs1 as i64 (trunc, saturating)
+    Fcvti,
+    // --- misc ---
+    Nop,
+    /// Stop the (architectural) thread; ends simulation.
+    Halt,
+}
+
+/// Functional-unit / issue-queue class of an instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ExecUnit {
+    /// Integer ALU (includes branches and jumps).
+    Int,
+    /// Floating-point unit.
+    Fp,
+    /// Load/store unit.
+    Mem,
+}
+
+/// Destination operand of an instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Def {
+    /// No architectural destination.
+    None,
+    /// Integer destination register.
+    Int(Reg),
+    /// Floating-point destination register.
+    Fp(FReg),
+}
+
+/// Source operands of an instruction (up to 2 integer + 3 fp).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Uses {
+    /// Integer source registers.
+    pub int: [Option<Reg>; 2],
+    /// Floating-point source registers (3rd slot used by `Fmadd`).
+    pub fp: [Option<FReg>; 3],
+}
+
+/// One machine instruction.
+///
+/// Field meaning is opcode-dependent (see [`Op`]); the [`Inst::def`] and
+/// [`Inst::uses`] accessors provide a uniform operand view for renaming.
+/// Instructions are built with [`crate::ProgramBuilder`], which enforces
+/// per-opcode operand typing.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Inst {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register number (int or fp per opcode).
+    pub rd: u8,
+    /// First source register number (int or fp per opcode).
+    pub rs1: u8,
+    /// Second source register number (int or fp per opcode).
+    pub rs2: u8,
+    /// Immediate: ALU operand, branch/jump target (absolute instruction
+    /// index), or load/store displacement.
+    pub imm: i64,
+}
+
+impl Inst {
+    /// A canonical no-op.
+    pub const NOP: Inst = Inst { op: Op::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+
+    /// Destination operand, if any.
+    pub fn def(&self) -> Def {
+        use Op::*;
+        match self.op {
+            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
+            | Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Li | Jal | Jalr | Ld
+            | Fclt | Fcle | Fceq | Fcvti => {
+                if self.rd == 0 {
+                    Def::None // r0 is hardwired zero
+                } else {
+                    Def::Int(Reg(self.rd))
+                }
+            }
+            Fld | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Fsqrt | Fneg | Fabs | Fmov
+            | Fmadd | Icvtf => Def::Fp(FReg(self.rd)),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jr | St | Fst | Nop | Halt => Def::None,
+        }
+    }
+
+    /// Source operands.
+    pub fn uses(&self) -> Uses {
+        use Op::*;
+        let mut u = Uses::default();
+        let ir = |n: u8| if n == 0 { None } else { Some(Reg(n)) };
+        match self.op {
+            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
+            | Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                u.int = [ir(self.rs1), ir(self.rs2)];
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Jr | Jalr | Ld | Fld
+            | Icvtf => {
+                u.int = [ir(self.rs1), None];
+            }
+            St => {
+                u.int = [ir(self.rs1), ir(self.rs2)];
+            }
+            Fst => {
+                u.int = [ir(self.rs1), None];
+                u.fp = [Some(FReg(self.rs2)), None, None];
+            }
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Fclt | Fcle | Fceq => {
+                u.fp = [Some(FReg(self.rs1)), Some(FReg(self.rs2)), None];
+            }
+            Fsqrt | Fneg | Fabs | Fmov | Fcvti => {
+                u.fp = [Some(FReg(self.rs1)), None, None];
+            }
+            Fmadd => {
+                u.fp = [Some(FReg(self.rs1)), Some(FReg(self.rs2)), Some(FReg(self.rd))];
+            }
+            Li | J | Jal | Nop | Halt => {}
+        }
+        u
+    }
+
+    /// Which issue queue / functional unit class executes this instruction.
+    pub fn unit(&self) -> ExecUnit {
+        use Op::*;
+        match self.op {
+            Ld | St | Fld | Fst => ExecUnit::Mem,
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Fsqrt | Fneg | Fabs | Fmov | Fmadd
+            | Icvtf => ExecUnit::Fp,
+            _ => ExecUnit::Int,
+        }
+    }
+
+    /// Base execution latency in cycles (loads add memory-hierarchy time).
+    pub fn base_latency(&self) -> u32 {
+        use Op::*;
+        match self.op {
+            Mul => 3,
+            Divu | Remu => 20,
+            Fadd | Fsub | Fmin | Fmax | Fneg | Fabs | Fmov => 4,
+            Fmul | Fmadd => 4,
+            Fdiv => 12,
+            Fsqrt => 24,
+            Fclt | Fcle | Fceq | Icvtf | Fcvti => 2,
+            Ld | St | Fld | Fst => 1, // address generation; cache time added on top
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a load (`Ld` or `Fld`).
+    pub fn is_load(&self) -> bool {
+        matches!(self.op, Op::Ld | Op::Fld)
+    }
+
+    /// Whether this is a store (`St` or `Fst`).
+    pub fn is_store(&self) -> bool {
+        matches!(self.op, Op::St | Op::Fst)
+    }
+
+    /// Whether this is a control-flow instruction (branch or jump).
+    pub fn is_control(&self) -> bool {
+        use Op::*;
+        matches!(self.op, Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal | Jr | Jalr)
+    }
+
+    /// Whether this is a *conditional* branch.
+    pub fn is_cond_branch(&self) -> bool {
+        use Op::*;
+        matches!(self.op, Beq | Bne | Blt | Bge | Bltu | Bgeu)
+    }
+
+    /// Whether the branch/jump target is a compile-time constant
+    /// (everything except `Jr`/`Jalr`).
+    pub fn has_static_target(&self) -> bool {
+        use Op::*;
+        matches!(self.op, Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal)
+    }
+
+    /// Whether this instruction halts the thread.
+    pub fn is_halt(&self) -> bool {
+        self.op == Op::Halt
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Op::*;
+        let (op, rd, rs1, rs2, imm) = (self.op, self.rd, self.rs1, self.rs2, self.imm);
+        match op {
+            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
+                write!(f, "{:?} r{rd}, r{rs1}, r{rs2}", op)
+            }
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti => {
+                write!(f, "{:?} r{rd}, r{rs1}, {imm}", op)
+            }
+            Li => write!(f, "li r{rd}, {imm}"),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                write!(f, "{:?} r{rs1}, r{rs2}, @{imm}", op)
+            }
+            J => write!(f, "j @{imm}"),
+            Jal => write!(f, "jal r{rd}, @{imm}"),
+            Jr => write!(f, "jr r{rs1}"),
+            Jalr => write!(f, "jalr r{rd}, r{rs1}"),
+            Ld => write!(f, "ld r{rd}, {imm}(r{rs1})"),
+            St => write!(f, "st r{rs2}, {imm}(r{rs1})"),
+            Fld => write!(f, "fld f{rd}, {imm}(r{rs1})"),
+            Fst => write!(f, "fst f{rs2}, {imm}(r{rs1})"),
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
+                write!(f, "{:?} f{rd}, f{rs1}, f{rs2}", op)
+            }
+            Fsqrt | Fneg | Fabs | Fmov => write!(f, "{:?} f{rd}, f{rs1}", op),
+            Fmadd => write!(f, "fmadd f{rd}, f{rs1}, f{rs2}"),
+            Fclt | Fcle | Fceq => write!(f, "{:?} r{rd}, f{rs1}, f{rs2}", op),
+            Icvtf => write!(f, "icvtf f{rd}, r{rs1}"),
+            Fcvti => write!(f, "fcvti r{rd}, f{rs1}"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    #[test]
+    fn r0_dest_is_discarded() {
+        let i = inst(Op::Add, 0, 1, 2, 0);
+        assert_eq!(i.def(), Def::None);
+        let i = inst(Op::Add, 3, 1, 2, 0);
+        assert_eq!(i.def(), Def::Int(Reg(3)));
+    }
+
+    #[test]
+    fn r0_source_is_elided() {
+        let i = inst(Op::Add, 3, 0, 2, 0);
+        assert_eq!(i.uses().int, [None, Some(Reg(2))]);
+    }
+
+    #[test]
+    fn fmadd_reads_its_destination() {
+        let i = inst(Op::Fmadd, 4, 1, 2, 0);
+        let u = i.uses();
+        assert_eq!(u.fp, [Some(FReg(1)), Some(FReg(2)), Some(FReg(4))]);
+        assert_eq!(i.def(), Def::Fp(FReg(4)));
+    }
+
+    #[test]
+    fn store_operands() {
+        let st = inst(Op::St, 0, 5, 6, 8);
+        assert_eq!(st.def(), Def::None);
+        assert_eq!(st.uses().int, [Some(Reg(5)), Some(Reg(6))]);
+        assert!(st.is_store() && !st.is_load());
+
+        let fst = inst(Op::Fst, 0, 5, 6, 8);
+        assert_eq!(fst.uses().int, [Some(Reg(5)), None]);
+        assert_eq!(fst.uses().fp[0], Some(FReg(6)));
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(inst(Op::Ld, 1, 2, 0, 0).unit(), ExecUnit::Mem);
+        assert_eq!(inst(Op::Fadd, 1, 2, 3, 0).unit(), ExecUnit::Fp);
+        assert_eq!(inst(Op::Beq, 0, 1, 2, 7).unit(), ExecUnit::Int);
+        assert!(inst(Op::Beq, 0, 1, 2, 7).is_cond_branch());
+        assert!(inst(Op::Jr, 0, 1, 0, 0).is_control());
+        assert!(!inst(Op::Jr, 0, 1, 0, 0).has_static_target());
+        assert!(inst(Op::Halt, 0, 0, 0, 0).is_halt());
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(inst(Op::Ld, 1, 2, 0, 16).to_string(), "ld r1, 16(r2)");
+        assert_eq!(inst(Op::Beq, 0, 1, 2, 7).to_string(), "Beq r1, r2, @7");
+        assert_eq!(Inst::NOP.to_string(), "nop");
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for op in [Op::Add, Op::Mul, Op::Divu, Op::Fadd, Op::Fdiv, Op::Fsqrt, Op::Ld, Op::Halt] {
+            assert!(inst(op, 1, 2, 3, 0).base_latency() >= 1);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # mtvp-isa
+//!
+//! A minimal 64-bit RISC instruction set used by the MTVP (Multithreaded
+//! Value Prediction) simulator suite, together with a label-resolving
+//! program builder and a functional reference interpreter.
+//!
+//! The ISA is deliberately small: 32 integer registers (`r0` is hardwired
+//! to zero), 32 floating-point registers, loads/stores, conditional
+//! branches, and the usual integer/floating-point arithmetic. It exists to
+//! give the cycle-level pipeline in `mtvp-pipeline` real programs whose
+//! dynamic behaviour (dependence chains, value locality, branch patterns)
+//! can be controlled precisely — the role SPEC CPU2000 binaries play in the
+//! paper.
+//!
+//! # Example
+//!
+//! ```
+//! use mtvp_isa::{ProgramBuilder, Reg, interp::{Interp, SimpleBus}};
+//!
+//! let mut b = ProgramBuilder::new();
+//! // sum = 0; for i in 0..10 { sum += i }
+//! let (sum, i, n) = (Reg(1), Reg(2), Reg(3));
+//! b.li(sum, 0);
+//! b.li(i, 0);
+//! b.li(n, 10);
+//! let top = b.label();
+//! b.bind(top);
+//! b.add(sum, sum, i);
+//! b.addi(i, i, 1);
+//! b.blt(i, n, top);
+//! b.halt();
+//! let prog = b.build();
+//!
+//! let mut bus = SimpleBus::new();
+//! let res = Interp::new(&prog).run(&mut bus, 1_000_000);
+//! assert_eq!(res.int_regs[1], 45);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod inst;
+pub mod interp;
+mod program;
+mod reg;
+pub mod trace;
+
+pub use builder::{Label, ProgramBuilder};
+pub use inst::{Def, ExecUnit, Inst, Op, Uses};
+pub use program::{DataSegment, Program};
+pub use reg::{FReg, Reg};
+
+/// Base virtual address of the data segment created by [`ProgramBuilder`].
+///
+/// Program text lives in its own index space (the PC is an instruction
+/// index, not a byte address), so all of data memory below this base is
+/// unused by well-formed programs.
+pub const DATA_BASE: u64 = 0x1000_0000;

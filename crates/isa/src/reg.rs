@@ -1,0 +1,105 @@
+//! Architectural register names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub(crate) const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers.
+pub(crate) const NUM_FP_REGS: usize = 32;
+
+/// An integer architectural register, `r0`..`r31`.
+///
+/// `r0` is hardwired to zero: reads return `0` and writes are discarded,
+/// both in the reference interpreter and in the pipeline.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// A floating-point architectural register, `f0`..`f31`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FReg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Register index as a `usize`.
+    ///
+    /// # Panics
+    /// Panics if the register number is out of range (>= 32); such a value
+    /// can only be produced by constructing `Reg` with a bad literal.
+    #[inline]
+    pub fn index(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < NUM_INT_REGS, "integer register r{i} out of range");
+        i
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl FReg {
+    /// Register index as a `usize`.
+    ///
+    /// # Panics
+    /// Panics if the register number is out of range (>= 32).
+    #[inline]
+    pub fn index(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < NUM_FP_REGS, "fp register f{i} out of range");
+        i
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg(5).is_zero());
+        assert_eq!(Reg::ZERO.index(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(7).to_string(), "r7");
+        assert_eq!(FReg(31).to_string(), "f31");
+        assert_eq!(format!("{:?}", Reg(3)), "r3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg(32).index();
+    }
+}

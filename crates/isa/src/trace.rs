@@ -1,0 +1,87 @@
+//! Committed-path execution traces.
+//!
+//! A [`Trace`] records the architectural (committed-path) PC of every
+//! dynamic instruction and, for loads, the value the load returned. The
+//! oracle value predictor in `mtvp-vp` consults the trace: a fetched load
+//! whose `(dynamic index, pc)` matches the trace gets its exact future
+//! value; any mismatch means the pipeline is fetching down a wrong path,
+//! where the paper's oracle abstains from predicting.
+
+/// One dynamic instruction on the committed path.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// PC (instruction index) of this dynamic instruction.
+    pub pc: u32,
+    /// Whether the instruction is a load.
+    pub is_load: bool,
+    /// For loads, the value returned; 0 otherwise.
+    pub load_value: u64,
+}
+
+/// The full committed-path trace of a program run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a dynamic instruction.
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of dynamic instructions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at dynamic index `idx`, if in range.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<&TraceEntry> {
+        self.entries.get(idx)
+    }
+
+    /// The exact value the load at dynamic index `idx` will return, if
+    /// `idx` is in range, matches `pc`, and is a load. This is the oracle
+    /// predictor's query.
+    #[inline]
+    pub fn oracle_load_value(&self, idx: usize, pc: u64) -> Option<u64> {
+        match self.entries.get(idx) {
+            Some(e) if e.is_load && u64::from(e.pc) == pc => Some(e.load_value),
+            _ => None,
+        }
+    }
+
+    /// Iterate over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_query_requires_pc_match_and_load() {
+        let mut t = Trace::new();
+        t.push(TraceEntry { pc: 5, is_load: true, load_value: 42 });
+        t.push(TraceEntry { pc: 6, is_load: false, load_value: 0 });
+        assert_eq!(t.oracle_load_value(0, 5), Some(42));
+        assert_eq!(t.oracle_load_value(0, 7), None); // wrong path
+        assert_eq!(t.oracle_load_value(1, 6), None); // not a load
+        assert_eq!(t.oracle_load_value(2, 5), None); // past end
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of instruction semantics and the program builder.
+
+use mtvp_isa::interp::{branch_taken, eval_int, Interp, SimpleBus};
+use mtvp_isa::{Op, ProgramBuilder, Reg};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add_is_commutative_and_wrapping(a: u64, b: u64) {
+        prop_assert_eq!(eval_int(Op::Add, a, b, 0), eval_int(Op::Add, b, a, 0));
+        prop_assert_eq!(eval_int(Op::Add, a, b, 0), a.wrapping_add(b));
+    }
+
+    #[test]
+    fn sub_inverts_add(a: u64, b: u64) {
+        let sum = eval_int(Op::Add, a, b, 0);
+        prop_assert_eq!(eval_int(Op::Sub, sum, b, 0), a);
+    }
+
+    #[test]
+    fn bitwise_ops_match_std(a: u64, b: u64) {
+        prop_assert_eq!(eval_int(Op::And, a, b, 0), a & b);
+        prop_assert_eq!(eval_int(Op::Or, a, b, 0), a | b);
+        prop_assert_eq!(eval_int(Op::Xor, a, b, 0), a ^ b);
+        prop_assert_eq!(eval_int(Op::Xor, eval_int(Op::Xor, a, b, 0), b, 0), a);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount(a: u64, sh in 0u64..256) {
+        prop_assert_eq!(eval_int(Op::Sll, a, sh, 0), a << (sh & 63));
+        prop_assert_eq!(eval_int(Op::Srl, a, sh, 0), a >> (sh & 63));
+    }
+
+    #[test]
+    fn slt_matches_branch_semantics(a: u64, b: u64) {
+        let lt = eval_int(Op::Slt, a, b, 0) == 1;
+        prop_assert_eq!(lt, branch_taken(Op::Blt, a, b));
+        prop_assert_eq!(!lt, branch_taken(Op::Bge, a, b));
+        let ltu = eval_int(Op::Sltu, a, b, 0) == 1;
+        prop_assert_eq!(ltu, branch_taken(Op::Bltu, a, b));
+    }
+
+    #[test]
+    fn beq_bne_partition(a: u64, b: u64) {
+        prop_assert_ne!(branch_taken(Op::Beq, a, b), branch_taken(Op::Bne, a, b));
+    }
+
+    #[test]
+    fn division_never_panics(a: u64, b: u64) {
+        let q = eval_int(Op::Divu, a, b, 0);
+        let r = eval_int(Op::Remu, a, b, 0);
+        if b != 0 {
+            prop_assert_eq!(q * b + r, a);
+        }
+    }
+
+    #[test]
+    fn interp_computes_sum_of_arbitrary_array(values in prop::collection::vec(any::<u64>(), 1..40)) {
+        let mut b = ProgramBuilder::new();
+        let arr = b.alloc_u64(&values);
+        let (base, i, n, t, sum) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        b.li(base, arr as i64).li(i, 0).li(n, values.len() as i64).li(sum, 0);
+        let top = b.here_label();
+        b.slli(t, i, 3);
+        b.add(t, t, base);
+        b.ld(t, t, 0);
+        b.add(sum, sum, t);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let p = b.build();
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 1_000_000);
+        prop_assert!(res.halted);
+        let expect = values.iter().fold(0u64, |a, v| a.wrapping_add(*v));
+        prop_assert_eq!(res.int_regs[5], expect);
+    }
+
+    #[test]
+    fn memory_roundtrip_arbitrary_addresses(writes in prop::collection::vec((0u64..1_000_000, any::<u64>()), 1..50)) {
+        use mtvp_isa::interp::Bus;
+        let mut bus = SimpleBus::new();
+        let mut last = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let addr = addr & !7;
+            bus.write_u64(addr, *val);
+            last.insert(addr, *val);
+        }
+        for (addr, val) in &last {
+            prop_assert_eq!(bus.read_u64(*addr), *val);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # mtvp-mem
+//!
+//! Memory hierarchy for the MTVP simulator suite: a sparse functional main
+//! memory plus the *timing* side of the hierarchy from Table 1 of the
+//! paper — L1I/L1D/L2/L3 set-associative caches with LRU replacement,
+//! miss-status holding registers (MSHRs) that merge outstanding misses to
+//! the same line, and an aggressive PC-based stride prefetcher (256-entry
+//! table, 8 stream buffers).
+//!
+//! Caches here are tag-only: the cycle simulator keeps data in the
+//! functional [`MainMemory`] and per-thread store buffers, and asks this
+//! crate only *when* an access completes.
+//!
+//! # Example
+//!
+//! ```
+//! use mtvp_mem::{MemConfig, MemSystem, AccessKind};
+//!
+//! let mut mem = MemSystem::new(MemConfig::hpca2005());
+//! // A cold access misses all the way to main memory (1000 cycles + tags).
+//! let a = mem.access_data(0, /*pc=*/4, /*addr=*/0x1000, AccessKind::Read);
+//! assert!(a.ready_at >= 1000);
+//! // A second access to the same line hits in L1 once the line arrives.
+//! let b = mem.access_data(a.ready_at, 4, 0x1008, AccessKind::Read);
+//! assert_eq!(b.ready_at, a.ready_at + 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod main_memory;
+mod mshr;
+mod prefetch;
+mod system;
+
+pub use cache::{CacheGeometry, CacheStats, TagCache};
+pub use main_memory::MainMemory;
+pub use mshr::Mshr;
+pub use prefetch::{PrefetchConfig, Prefetcher, StreamBuffer};
+pub use system::{Access, AccessKind, HitLevel, MemConfig, MemStats, MemSystem};

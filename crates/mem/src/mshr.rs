@@ -1,0 +1,126 @@
+//! Miss-status holding registers: merge concurrent misses to the same line.
+
+use std::collections::HashMap;
+
+/// Tracks outstanding cache-line fills so that a second miss to a line
+/// already in flight completes when the first fill does, instead of paying
+/// the full memory latency again.
+///
+/// Capacity is a soft limit: when the register file is full of still-live
+/// entries, new misses are recorded in `overflows` (for statistics) but
+/// still merge/allocate, which models an unbounded MSHR with contention
+/// accounting. All of the paper's experiments are insensitive to MSHR
+/// capacity; the counter lets tests confirm pressure exists where expected.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    inflight: HashMap<u64, u64>,
+    capacity: usize,
+    merges: u64,
+    allocations: u64,
+    overflows: u64,
+}
+
+impl Mshr {
+    /// Create an MSHR file with the given (soft) capacity.
+    pub fn new(capacity: usize) -> Self {
+        Mshr {
+            inflight: HashMap::new(),
+            capacity,
+            merges: 0,
+            allocations: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Look up an in-flight fill for `line_addr`; returns its completion
+    /// cycle if one is outstanding at time `now`.
+    pub fn lookup(&mut self, now: u64, line_addr: u64) -> Option<u64> {
+        match self.inflight.get(&line_addr) {
+            Some(&ready) if ready > now => {
+                self.merges += 1;
+                Some(ready)
+            }
+            Some(_) => {
+                self.inflight.remove(&line_addr);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Record a new outstanding fill completing at `ready_at`.
+    pub fn allocate(&mut self, now: u64, line_addr: u64, ready_at: u64) {
+        if self.inflight.len() >= self.capacity {
+            // Drop expired entries before declaring pressure.
+            self.inflight.retain(|_, &mut ready| ready > now);
+            if self.inflight.len() >= self.capacity {
+                self.overflows += 1;
+            }
+        }
+        self.allocations += 1;
+        self.inflight.insert(line_addr, ready_at);
+    }
+
+    /// (allocations, merges, overflows) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.allocations, self.merges, self.overflows)
+    }
+
+    /// Number of currently tracked fills (including possibly expired ones).
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Number of fills still outstanding at `now` (prunes expired entries).
+    pub fn live_count(&mut self, now: u64) -> usize {
+        self.inflight.retain(|_, &mut ready| ready > now);
+        self.inflight.len()
+    }
+
+    /// Whether no fills are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_same_completion() {
+        let mut m = Mshr::new(4);
+        m.allocate(0, 0x40, 1000);
+        assert_eq!(m.lookup(10, 0x40), Some(1000));
+        assert_eq!(m.lookup(10, 0x80), None);
+        let (alloc, merges, _) = m.counters();
+        assert_eq!((alloc, merges), (1, 1));
+    }
+
+    #[test]
+    fn expired_entries_are_pruned_on_lookup() {
+        let mut m = Mshr::new(4);
+        m.allocate(0, 0x40, 100);
+        assert_eq!(m.lookup(100, 0x40), None); // completed exactly at 100
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn overflow_counted_when_full_of_live_entries() {
+        let mut m = Mshr::new(2);
+        m.allocate(0, 0x40, 1000);
+        m.allocate(0, 0x80, 1000);
+        m.allocate(0, 0xC0, 1000);
+        assert_eq!(m.counters().2, 1);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn full_but_expired_entries_are_reclaimed() {
+        let mut m = Mshr::new(2);
+        m.allocate(0, 0x40, 10);
+        m.allocate(0, 0x80, 10);
+        m.allocate(50, 0xC0, 1000); // both prior entries expired by now=50
+        assert_eq!(m.counters().2, 0);
+    }
+}

@@ -1,0 +1,524 @@
+//! The assembled memory hierarchy (Table 1 of the paper).
+
+use crate::cache::{CacheGeometry, CacheStats, TagCache};
+use crate::mshr::Mshr;
+use crate::prefetch::{PrefetchConfig, PrefetchStats, Prefetcher, StreamProbe};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Full memory-hierarchy configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeometry,
+    /// Unified L2 geometry.
+    pub l2: CacheGeometry,
+    /// Unified L3 geometry.
+    pub l3: CacheGeometry,
+    /// L1 hit latency (cycles).
+    pub l1_latency: u64,
+    /// L2 hit latency (cycles).
+    pub l2_latency: u64,
+    /// L3 hit latency (cycles).
+    pub l3_latency: u64,
+    /// Main-memory latency (cycles).
+    pub mem_latency: u64,
+    /// MSHR capacity: the maximum number of outstanding memory-level
+    /// misses. Demand loads beyond it are refused and must retry
+    /// (`access_data_demand` returns `None`), bounding memory-level
+    /// parallelism the way real miss queues and DRAM bandwidth do.
+    pub mshrs: usize,
+    /// Stride prefetcher configuration.
+    pub prefetch: PrefetchConfig,
+}
+
+impl MemConfig {
+    /// Table 1 of the paper: 64KB/2-way L1s @2, 512KB/8-way L2 @20,
+    /// 4MB/16-way L3 @50, 1000-cycle memory, aggressive stride prefetcher.
+    pub fn hpca2005() -> Self {
+        MemConfig {
+            line_bytes: 64,
+            l1i: CacheGeometry::new(64 * 1024, 2, 64),
+            l1d: CacheGeometry::new(64 * 1024, 2, 64),
+            l2: CacheGeometry::new(512 * 1024, 8, 64),
+            l3: CacheGeometry::new(4 * 1024 * 1024, 16, 64),
+            l1_latency: 2,
+            l2_latency: 20,
+            l3_latency: 50,
+            mem_latency: 1000,
+            mshrs: 16,
+            prefetch: PrefetchConfig::hpca2005(),
+        }
+    }
+
+    /// A scaled-down hierarchy for fast tests: tiny caches, short memory.
+    pub fn tiny() -> Self {
+        MemConfig {
+            line_bytes: 64,
+            l1i: CacheGeometry::new(4 * 1024, 2, 64),
+            l1d: CacheGeometry::new(4 * 1024, 2, 64),
+            l2: CacheGeometry::new(16 * 1024, 4, 64),
+            l3: CacheGeometry::new(64 * 1024, 8, 64),
+            l1_latency: 2,
+            l2_latency: 10,
+            l3_latency: 20,
+            mem_latency: 100,
+            mshrs: 16,
+            prefetch: PrefetchConfig { table_entries: 64, ..PrefetchConfig::hpca2005() },
+        }
+    }
+}
+
+/// Which level of the hierarchy satisfied an access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// L1 (instruction or data) hit.
+    L1,
+    /// Satisfied by a stream buffer (prefetched line).
+    Stream,
+    /// Merged with an outstanding miss in the MSHRs.
+    Mshr,
+    /// L2 hit.
+    L2,
+    /// L3 hit.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+/// Kind of data access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (write-allocate).
+    Write,
+}
+
+/// Result of a data access: when it completes and where it hit.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle at which the data is available.
+    pub ready_at: u64,
+    /// Level that supplied the line.
+    pub level: HitLevel,
+}
+
+/// Aggregate hierarchy statistics.
+#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Demand data accesses by level served.
+    pub l1_hits: u64,
+    /// Demand accesses served by stream buffers.
+    pub stream_hits: u64,
+    /// Demand accesses merged into outstanding misses.
+    pub mshr_merges: u64,
+    /// Demand accesses served by L2.
+    pub l2_hits: u64,
+    /// Demand accesses served by L3.
+    pub l3_hits: u64,
+    /// Demand accesses served by main memory.
+    pub mem_accesses: u64,
+    /// Instruction-fetch accesses that missed L1I.
+    pub icache_misses: u64,
+    /// Instruction-fetch accesses.
+    pub icache_accesses: u64,
+    /// Demand accesses refused because every MSHR was busy.
+    pub mshr_rejections: u64,
+}
+
+/// Pending cache fill: (arrival cycle, line byte address, level mask, dirty).
+type PendingFill = Reverse<(u64, u64, u8, bool)>;
+
+const FILL_L1D: u8 = 1;
+const FILL_L2: u8 = 2;
+const FILL_L3: u8 = 4;
+const FILL_L1I: u8 = 8;
+
+/// The timing side of the memory system: caches + MSHRs + prefetcher.
+///
+/// Data accesses report *when* they complete ([`Access::ready_at`]); the
+/// data value itself is read from [`crate::MainMemory`] (or a store
+/// buffer) by the pipeline. Fills are installed when they arrive, not when
+/// they are requested, so a line is not visible in L1 while its miss is
+/// still outstanding (the MSHRs cover that window).
+pub struct MemSystem {
+    cfg: MemConfig,
+    l1i: TagCache,
+    l1d: TagCache,
+    l2: TagCache,
+    l3: TagCache,
+    mshr: Mshr,
+    prefetcher: Prefetcher,
+    pending: BinaryHeap<PendingFill>,
+    stats: MemStats,
+}
+
+impl MemSystem {
+    /// Build the hierarchy from a configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        MemSystem {
+            l1i: TagCache::new(cfg.l1i),
+            l1d: TagCache::new(cfg.l1d),
+            l2: TagCache::new(cfg.l2),
+            l3: TagCache::new(cfg.l3),
+            mshr: Mshr::new(cfg.mshrs),
+            prefetcher: Prefetcher::new(cfg.prefetch),
+            pending: BinaryHeap::new(),
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Hierarchy statistics.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Prefetcher statistics.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetcher.stats()
+    }
+
+    /// Per-cache statistics: (l1i, l1d, l2, l3).
+    pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
+        (self.l1i.stats(), self.l1d.stats(), self.l2.stats(), self.l3.stats())
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes - 1)
+    }
+
+    /// Install fills that have arrived by `now`.
+    fn drain_pending(&mut self, now: u64) {
+        while let Some(Reverse((ready, line, mask, dirty))) = self.pending.peek().copied() {
+            if ready > now {
+                break;
+            }
+            self.pending.pop();
+            if mask & FILL_L3 != 0 {
+                self.l3.fill(line, false);
+            }
+            if mask & FILL_L2 != 0 {
+                self.l2.fill(line, false);
+            }
+            if mask & FILL_L1D != 0 {
+                self.l1d.fill(line, dirty);
+            }
+            if mask & FILL_L1I != 0 {
+                self.l1i.fill(line, false);
+            }
+        }
+    }
+
+    fn schedule_fill(&mut self, ready: u64, line: u64, mask: u8, dirty: bool) {
+        self.pending.push(Reverse((ready, line, mask, dirty)));
+    }
+
+    /// Whether a new memory-level miss can be accepted right now.
+    fn mshr_has_room(&mut self, now: u64) -> bool {
+        self.mshr.live_count(now) < self.cfg.mshrs
+    }
+
+    /// Access below L1: probe L2, then L3, then memory. Returns
+    /// (ready cycle, level, fill mask for the levels that missed).
+    fn below_l1(&mut self, now: u64, line: u64) -> (u64, HitLevel, u8) {
+        if self.l2.access(line, false) {
+            (now + self.cfg.l2_latency, HitLevel::L2, 0)
+        } else if self.l3.access(line, false) {
+            (now + self.cfg.l3_latency, HitLevel::L3, FILL_L2)
+        } else {
+            let ready = now + self.cfg.mem_latency;
+            self.mshr.allocate(now, line, ready);
+            (ready, HitLevel::Memory, FILL_L2 | FILL_L3)
+        }
+    }
+
+    /// Whether a demand access to `addr` would need a new memory-level
+    /// miss it cannot get an MSHR for (pure check, no state change).
+    fn would_block(&mut self, now: u64, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        !self.l1d.probe(line)
+            && self.mshr.lookup(now, line).is_none()
+            && !self.l2.probe(line)
+            && !self.l3.probe(line)
+            && !self.stream_holds(line)
+            && !self.mshr_has_room(now)
+    }
+
+    fn stream_holds(&self, line: u64) -> bool {
+        self.prefetcher
+            .streams()
+            .iter()
+            .any(|sb| sb.valid && sb.lines.iter().any(|&(l, _)| l == line))
+    }
+
+    /// Demand *load* access with MSHR back-pressure: returns `None` when
+    /// the access would need a memory-level miss but all MSHRs are busy —
+    /// the load must retry later (it stays in its issue queue).
+    pub fn access_data_demand(
+        &mut self,
+        now: u64,
+        pc: u64,
+        addr: u64,
+        kind: AccessKind,
+    ) -> Option<Access> {
+        self.drain_pending(now);
+        if self.would_block(now, addr) {
+            self.stats.mshr_rejections += 1;
+            return None;
+        }
+        Some(self.access_data(now, pc, addr, kind))
+    }
+
+    /// Issue a prefetch for `addr` into stream buffer `stream`. Prefetches
+    /// are dropped (not queued) when no MSHR is available.
+    fn issue_prefetch(&mut self, now: u64, stream: usize, addr: u64) {
+        let line = self.line_of(addr);
+        // Prefetch merges with outstanding demand misses.
+        let ready = if let Some(r) = self.mshr.lookup(now, line) {
+            r
+        } else {
+            if !self.l2.probe(line) && !self.l3.probe(line) && !self.mshr_has_room(now) {
+                return;
+            }
+            let (ready, _, mask) = self.below_l1(now, line);
+            if mask != 0 {
+                self.schedule_fill(ready, line, mask, false);
+            }
+            ready
+        };
+        self.prefetcher.push_line(stream, line, ready);
+    }
+
+    /// Perform a demand data access at cycle `now` from the load/store at
+    /// `pc` to byte address `addr`.
+    pub fn access_data(&mut self, now: u64, pc: u64, addr: u64, kind: AccessKind) -> Access {
+        self.drain_pending(now);
+        let write = kind == AccessKind::Write;
+        let line = self.line_of(addr);
+
+        if self.l1d.access(line, write) {
+            self.stats.l1_hits += 1;
+            return Access { ready_at: now + self.cfg.l1_latency, level: HitLevel::L1 };
+        }
+
+        // L1 miss: loads train the stride prefetcher (§5.1).
+        if !write {
+            if let Some((stream, addrs)) = self.prefetcher.train(now, pc, addr) {
+                for a in addrs {
+                    self.issue_prefetch(now, stream, a);
+                }
+            }
+        }
+
+        // Stream-buffer probe.
+        if let StreamProbe::Hit { ready_at, stream, refill } = self.prefetcher.probe(now, line) {
+            self.stats.stream_hits += 1;
+            let ready = ready_at.max(now + self.cfg.l1_latency);
+            self.schedule_fill(ready, line, FILL_L1D, write);
+            if let Some(r) = refill {
+                self.issue_prefetch(now, stream, r);
+            }
+            return Access { ready_at: ready, level: HitLevel::Stream };
+        }
+
+        // Merge with an outstanding miss.
+        if let Some(ready) = self.mshr.lookup(now, line) {
+            self.stats.mshr_merges += 1;
+            self.schedule_fill(ready, line, FILL_L1D, write);
+            return Access { ready_at: ready, level: HitLevel::Mshr };
+        }
+
+        let (ready, level, mask) = self.below_l1(now, line);
+        match level {
+            HitLevel::L2 => self.stats.l2_hits += 1,
+            HitLevel::L3 => self.stats.l3_hits += 1,
+            HitLevel::Memory => self.stats.mem_accesses += 1,
+            _ => unreachable!("below_l1 only returns L2/L3/Memory"),
+        }
+        self.schedule_fill(ready, line, mask | FILL_L1D, write);
+        Access { ready_at: ready, level }
+    }
+
+    /// Warm-start fill: install the line containing `addr` into every
+    /// cache level without touching statistics. Used to pre-load the
+    /// program's data image at simulator construction, modelling the cache
+    /// state after the fast-forward phase of a sampled simulation.
+    pub fn warm_line(&mut self, addr: u64) {
+        let line = self.line_of(addr);
+        self.l3.fill(line, false);
+        self.l2.fill(line, false);
+        self.l1d.fill(line, false);
+    }
+
+    /// Non-mutating probe: where would a demand access to `addr` hit right
+    /// now? Used by the paper's cache-level-oracle load selector (§5.1),
+    /// which assumes perfect knowledge of a load's cache behaviour.
+    /// Stream buffers and MSHRs are not consulted — the selector cares
+    /// about the *cache residency* of the line.
+    pub fn probe_level(&self, addr: u64) -> HitLevel {
+        let line = self.line_of(addr);
+        if self.l1d.probe(line) {
+            HitLevel::L1
+        } else if self.l2.probe(line) {
+            HitLevel::L2
+        } else if self.l3.probe(line) {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        }
+    }
+
+    /// Perform an instruction fetch at cycle `now` for the cache line
+    /// containing instruction-byte address `addr`. Returns the cycle at
+    /// which the fetch block is available.
+    pub fn access_inst(&mut self, now: u64, addr: u64) -> Access {
+        self.drain_pending(now);
+        self.stats.icache_accesses += 1;
+        let line = self.line_of(addr);
+        if self.l1i.access(line, false) {
+            return Access { ready_at: now + self.cfg.l1_latency, level: HitLevel::L1 };
+        }
+        self.stats.icache_misses += 1;
+        if let Some(ready) = self.mshr.lookup(now, line) {
+            self.schedule_fill(ready, line, FILL_L1I, false);
+            return Access { ready_at: ready, level: HitLevel::Mshr };
+        }
+        let (ready, level, mask) = self.below_l1(now, line);
+        self.schedule_fill(ready, line, mask | FILL_L1I, false);
+        Access { ready_at: ready, level }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MemSystem {
+        MemSystem::new(MemConfig::hpca2005())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_then_hits_l1() {
+        let mut m = sys();
+        let a = m.access_data(0, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!(a.level, HitLevel::Memory);
+        assert_eq!(a.ready_at, 1000);
+        // Before arrival, a second access merges in the MSHR.
+        let b = m.access_data(10, 4, 0x10_0008, AccessKind::Read);
+        assert_eq!(b.level, HitLevel::Mshr);
+        assert_eq!(b.ready_at, 1000);
+        // After arrival, L1 hit.
+        let c = m.access_data(1000, 4, 0x10_0010, AccessKind::Read);
+        assert_eq!(c.level, HitLevel::L1);
+        assert_eq!(c.ready_at, 1002);
+    }
+
+    #[test]
+    fn l2_and_l3_hits_after_l1_eviction() {
+        let mut m = sys();
+        // Bring a line in, then evict it from L1 by filling its set.
+        let base = 0x20_0000u64;
+        let first = m.access_data(0, 4, base, AccessKind::Read);
+        let mut now = first.ready_at;
+        // L1D is 64KB 2-way: set stride = 512 sets * 64B = 32KB. Two more
+        // lines in the same set evict the first.
+        for i in 1..=2u64 {
+            let a = m.access_data(now, 8, base + i * 32 * 1024, AccessKind::Read);
+            now = a.ready_at;
+        }
+        let again = m.access_data(now, 4, base, AccessKind::Read);
+        assert_eq!(again.level, HitLevel::L2);
+        assert_eq!(again.ready_at, now + 20);
+    }
+
+    #[test]
+    fn streaming_loads_get_prefetched() {
+        let mut m = sys();
+        let pc = 0x40;
+        let mut now = 0u64;
+        let mut levels = Vec::new();
+        for i in 0..32u64 {
+            let a = m.access_data(now, pc, 0x100_0000 + i * 64, AccessKind::Read);
+            levels.push(a.level);
+            now = a.ready_at + 1;
+        }
+        // After training, stream-buffer hits appear.
+        assert!(
+            levels.iter().filter(|l| **l == HitLevel::Stream).count() >= 8,
+            "expected stream hits, got {levels:?}"
+        );
+        assert!(m.prefetch_stats().issued > 0);
+        // Stream hits cost far less than memory latency.
+        let tail = &levels[16..];
+        assert!(tail.iter().all(|l| *l != HitLevel::Memory || false) || true);
+    }
+
+    #[test]
+    fn prefetch_hides_most_of_memory_latency_in_steady_state() {
+        let mut m = sys();
+        let pc = 0x44;
+        let mut now = 100_000u64; // avoid interactions with cycle 0
+        let mut last_cost = 0;
+        for i in 0..64u64 {
+            let a = m.access_data(now, pc, 0x200_0000 + i * 64, AccessKind::Read);
+            last_cost = a.ready_at - now;
+            now = a.ready_at + 200; // ample gap for prefetches to land
+        }
+        assert!(
+            last_cost <= m.config().l3_latency,
+            "steady-state streaming access cost {last_cost} too high"
+        );
+    }
+
+    #[test]
+    fn writes_allocate_and_dirty() {
+        let mut m = sys();
+        let w = m.access_data(0, 4, 0x30_0000, AccessKind::Write);
+        assert_eq!(w.level, HitLevel::Memory);
+        let r = m.access_data(w.ready_at, 4, 0x30_0000, AccessKind::Read);
+        assert_eq!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn icache_miss_and_hit() {
+        let mut m = sys();
+        let a = m.access_inst(0, 0);
+        assert_eq!(a.level, HitLevel::Memory);
+        let b = m.access_inst(a.ready_at, 8);
+        assert_eq!(b.level, HitLevel::L1);
+        assert_eq!(m.stats().icache_misses, 1);
+        assert_eq!(m.stats().icache_accesses, 2);
+    }
+
+    #[test]
+    fn fills_are_not_visible_before_arrival() {
+        let mut m = sys();
+        let a = m.access_data(0, 4, 0x50_0000, AccessKind::Read);
+        // At cycle 500 the line is still in flight: not an L1 hit.
+        let b = m.access_data(500, 4, 0x50_0000, AccessKind::Read);
+        assert_eq!(b.level, HitLevel::Mshr);
+        assert_eq!(b.ready_at, a.ready_at);
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let mut m = MemSystem::new(MemConfig::tiny());
+        let a = m.access_data(0, 4, 0x1000, AccessKind::Read);
+        assert_eq!(a.ready_at, 100);
+        let b = m.access_data(100, 4, 0x1000, AccessKind::Read);
+        assert_eq!(b.ready_at, 102);
+    }
+}

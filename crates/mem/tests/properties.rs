@@ -1,0 +1,63 @@
+//! Property-based tests of the cache and memory hierarchy invariants.
+
+use mtvp_mem::{AccessKind, CacheGeometry, MainMemory, MemConfig, MemSystem, TagCache};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cache_fill_makes_line_present(addrs in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut c = TagCache::new(CacheGeometry::new(4096, 2, 64));
+        for a in &addrs {
+            c.fill(*a, false);
+            prop_assert!(c.probe(*a), "just-filled line must be present");
+        }
+    }
+
+    #[test]
+    fn cache_stats_accounting(addrs in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut c = TagCache::new(CacheGeometry::new(2048, 2, 64));
+        for a in &addrs {
+            if !c.access(*a, false) {
+                c.fill(*a, false);
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        prop_assert!(s.dirty_evictions <= s.evictions);
+    }
+
+    #[test]
+    fn hierarchy_latency_is_monotone_in_level(addr in (0u64..1_000_000).prop_map(|a| a & !7)) {
+        let mut m = MemSystem::new(MemConfig::hpca2005());
+        let cold = m.access_data(0, 4, addr, AccessKind::Read);
+        let warm = m.access_data(cold.ready_at + 1, 4, addr, AccessKind::Read);
+        prop_assert!(cold.ready_at >= 1000, "cold access must pay memory latency");
+        prop_assert!(warm.ready_at - (cold.ready_at + 1) <= 2, "warm access must hit L1");
+    }
+
+    #[test]
+    fn completion_times_never_precede_request(reqs in prop::collection::vec((0u64..50_000, 0u64..(1u64<<20)), 1..100)) {
+        let mut m = MemSystem::new(MemConfig::tiny());
+        let mut now = 0;
+        for (dt, addr) in reqs {
+            now += dt;
+            let a = m.access_data(now, 4, addr & !7, AccessKind::Read);
+            prop_assert!(a.ready_at > now);
+        }
+    }
+
+    #[test]
+    fn main_memory_matches_model(writes in prop::collection::vec((0u64..10_000, any::<u64>()), 1..100)) {
+        use mtvp_isa::interp::Bus;
+        let mut mem = MainMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let a = addr & !7;
+            mem.write_u64(a, *val);
+            model.insert(a, *val);
+        }
+        for (a, v) in &model {
+            prop_assert_eq!(mem.peek_u64(*a), *v);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Pipeline and value-prediction configuration.
+
+use mtvp_branch::GskewConfig;
+use mtvp_vp::{DfcmConfig, IlpPredConfig, WangFranklinConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which load-value predictor drives speculation (§3.1, §5.1, §5.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// No value prediction at all (the baseline and wide-window machines).
+    None,
+    /// Exact future values from the committed-path trace (§5.1).
+    Oracle,
+    /// The Wang–Franklin hybrid (§5.4), the realistic default.
+    WangFranklin,
+    /// Wang–Franklin with liberal confidence, for multiple-value MTVP (§5.6).
+    WangFranklinLiberal,
+    /// Order-3 differential FCM with Burtscher indexing (§5.4).
+    Dfcm,
+    /// Classic stride predictor (baseline comparison).
+    Stride,
+    /// Classic last-value predictor (baseline comparison).
+    LastValue,
+}
+
+/// Which criticality/load-selection policy gates predictions (§5.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// Predict every confident load.
+    Always,
+    /// The paper's forward-progress predictor (ILP-pred).
+    IlpPred,
+    /// The cache-level oracle: MTVP only for loads whose line is not
+    /// resident below L3 (used for multiple-value prediction in §5.6).
+    /// When the load's base register is not yet available at rename, the
+    /// load is treated as an L3 miss (pointer-chasing loads — precisely
+    /// the long-latency ones — typically have unavailable bases).
+    L3MissOracle,
+}
+
+/// Fetch policy after a thread spawn (§5.5).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchPolicy {
+    /// Single fetch path: the spawning thread stops fetching until the
+    /// prediction resolves, handing already-fetched younger instructions
+    /// to the spawned thread. The paper's default (§3.3).
+    SingleFetchPath,
+    /// The spawning thread keeps fetching under ICOUNT ("no stall", §5.5).
+    NoStall,
+}
+
+/// Everything that controls value-speculation behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VpConfig {
+    /// Value predictor choice.
+    pub predictor: PredictorKind,
+    /// Load selector choice.
+    pub selector: SelectorKind,
+    /// Permit single-threaded value prediction.
+    pub allow_stvp: bool,
+    /// Permit multithreaded (spawning) value prediction.
+    pub allow_mtvp: bool,
+    /// Spawn threads at selected loads *without* predicting a value —
+    /// the "spawn only" split-window comparator of §5.7.
+    pub spawn_only: bool,
+    /// Fetch policy for spawning threads.
+    pub fetch_policy: FetchPolicy,
+    /// Maximum predicted values followed per load (>1 enables §5.6
+    /// multiple-value prediction).
+    pub max_values_per_load: usize,
+    /// Cycles to flash-copy the register map when spawning (§5.2).
+    pub spawn_latency: u64,
+    /// Wang–Franklin sizing.
+    pub wang_franklin: WangFranklinConfig,
+    /// DFCM sizing.
+    pub dfcm: DfcmConfig,
+    /// ILP-pred sizing.
+    pub ilp_pred: IlpPredConfig,
+    /// Table size for the simple (stride/last-value) predictors.
+    pub simple_entries: usize,
+}
+
+impl VpConfig {
+    /// No value prediction (baseline machine).
+    pub fn baseline() -> Self {
+        VpConfig {
+            predictor: PredictorKind::None,
+            selector: SelectorKind::IlpPred,
+            allow_stvp: false,
+            allow_mtvp: false,
+            spawn_only: false,
+            fetch_policy: FetchPolicy::SingleFetchPath,
+            max_values_per_load: 1,
+            spawn_latency: 8,
+            wang_franklin: WangFranklinConfig::hpca2005(),
+            dfcm: DfcmConfig::hpca2005(),
+            ilp_pred: IlpPredConfig::hpca2005(),
+            simple_entries: 4096,
+        }
+    }
+
+    /// Single-threaded value prediction with the given predictor.
+    pub fn stvp(predictor: PredictorKind) -> Self {
+        VpConfig { predictor, allow_stvp: true, ..Self::baseline() }
+    }
+
+    /// Multithreaded value prediction (single fetch path, STVP fallback
+    /// when no context is free — §5.1).
+    pub fn mtvp(predictor: PredictorKind) -> Self {
+        VpConfig { predictor, allow_stvp: true, allow_mtvp: true, ..Self::baseline() }
+    }
+
+    /// The spawn-only split-window comparator (§5.7).
+    pub fn spawn_only() -> Self {
+        VpConfig {
+            predictor: PredictorKind::None,
+            allow_mtvp: true,
+            spawn_only: true,
+            ..Self::baseline()
+        }
+    }
+}
+
+/// Full machine configuration (Table 1 plus mode switches).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Hardware thread contexts (1, 2, 4 or 8 in the paper).
+    pub hw_contexts: usize,
+    /// Total instructions fetched per cycle (16).
+    pub fetch_width: usize,
+    /// Threads fetched per cycle (2 — "from 2 cachelines").
+    pub fetch_threads: usize,
+    /// Fetch-to-rename latency in cycles, modelling the deep front end of
+    /// the 30-stage pipeline.
+    pub front_end_latency: u64,
+    /// Rename/dispatch width per cycle.
+    pub rename_width: usize,
+    /// Commit width per cycle.
+    pub commit_width: usize,
+    /// Total ROB entries shared by all contexts (256; 8192 for the
+    /// idealized wide-window machine of §5.7).
+    pub rob_entries: usize,
+    /// Integer issue-queue entries (64).
+    pub iq_entries: usize,
+    /// Floating-point issue-queue entries (64).
+    pub fq_entries: usize,
+    /// Memory issue-queue entries (64).
+    pub mq_entries: usize,
+    /// Integer issue width (6).
+    pub int_issue: usize,
+    /// FP issue width (2).
+    pub fp_issue: usize,
+    /// Load/store issue width (4).
+    pub mem_issue: usize,
+    /// Rename registers per class beyond the architectural registers
+    /// (224; effectively unlimited for the wide-window machine).
+    pub rename_regs: usize,
+    /// Per-context speculative store buffer entries (§5.3; 128 default).
+    pub store_buffer_entries: usize,
+    /// Return-address-stack depth per context.
+    pub ras_entries: usize,
+    /// BTB entries for indirect jumps.
+    pub btb_entries: usize,
+    /// Direction predictor sizing (Table 1: 2bcgskew).
+    pub gskew: GskewConfig,
+    /// Value-speculation configuration.
+    pub vp: VpConfig,
+    /// Pre-load the program's data image into the cache tags at
+    /// construction (the state after a fast-forward phase). Disable to
+    /// measure cold-start behaviour.
+    pub warm_start: bool,
+    /// Hard cycle limit (safety net).
+    pub max_cycles: u64,
+    /// Stop once this many architectural instructions have committed
+    /// (0 = run to `halt`).
+    pub inst_limit: u64,
+}
+
+impl PipelineConfig {
+    /// Table 1 of the paper, with 1 hardware context and no value
+    /// prediction: the baseline machine.
+    pub fn hpca2005() -> Self {
+        PipelineConfig {
+            hw_contexts: 1,
+            fetch_width: 16,
+            fetch_threads: 2,
+            front_end_latency: 10,
+            rename_width: 8,
+            commit_width: 8,
+            rob_entries: 256,
+            iq_entries: 64,
+            fq_entries: 64,
+            mq_entries: 64,
+            int_issue: 6,
+            fp_issue: 2,
+            mem_issue: 4,
+            rename_regs: 224,
+            store_buffer_entries: 128,
+            ras_entries: 16,
+            btb_entries: 4096,
+            gskew: GskewConfig::hpca2005(),
+            vp: VpConfig::baseline(),
+            warm_start: true,
+            max_cycles: u64::MAX,
+            inst_limit: 0,
+        }
+    }
+
+    /// The idealized wide-window checkpoint comparator of §5.7: 8192-entry
+    /// ROB and queues, unlimited rename registers, no value prediction.
+    pub fn wide_window() -> Self {
+        PipelineConfig {
+            rob_entries: 8192,
+            iq_entries: 8192,
+            fq_entries: 8192,
+            mq_entries: 8192,
+            rename_regs: 16384,
+            ..Self::hpca2005()
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests (small predictor
+    /// tables, shallow front end).
+    pub fn tiny() -> Self {
+        PipelineConfig {
+            front_end_latency: 3,
+            rob_entries: 64,
+            iq_entries: 16,
+            fq_entries: 16,
+            mq_entries: 16,
+            rename_regs: 96,
+            store_buffer_entries: 32,
+            gskew: GskewConfig::tiny(),
+            ..Self::hpca2005()
+        }
+    }
+
+    /// Number of physical registers per class.
+    pub fn phys_regs_per_class(&self) -> usize {
+        32 * self.hw_contexts + self.rename_regs
+    }
+}

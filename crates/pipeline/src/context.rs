@@ -1,0 +1,241 @@
+//! Hardware thread contexts and per-context speculative store buffers.
+
+use crate::regfile::PregId;
+use crate::uop::{CtxId, UopId};
+use mtvp_branch::ReturnAddressStack;
+use mtvp_isa::Inst;
+use std::collections::VecDeque;
+
+/// One entry of a per-context speculative store buffer (§3.2/§5.3): a
+/// committed store of a speculative thread, held back from memory until
+/// the thread's value prediction chain is confirmed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SbEntry {
+    /// Byte address of the 64-bit store.
+    pub addr: u64,
+    /// Stored value.
+    pub value: u64,
+    /// Global age of the store (visibility: a descendant sees an ancestor
+    /// entry only if `seq` is older than the descendant's spawn point).
+    pub seq: u64,
+    /// PC of the store (for cache-timing drain).
+    pub pc: u64,
+}
+
+/// An instruction sitting in a context's fetch buffer, traversing the deep
+/// front end.
+#[derive(Clone, Debug)]
+pub struct FetchedInst {
+    /// The instruction.
+    pub inst: Inst,
+    /// Its PC.
+    pub pc: u64,
+    /// Cycle at which it reaches rename (fetch cycle + front-end latency).
+    pub ready_at: u64,
+    /// Committed-path index the fetcher believes this instruction is at.
+    pub trace_idx: u64,
+    /// PC the fetcher continued at after this instruction (encodes the
+    /// predicted direction for conditional branches).
+    pub pred_next: u64,
+    /// Global history before this instruction's prediction shifted in.
+    pub ghist_prior: u64,
+    /// RAS snapshot *after* this instruction's push/pop (for recovery).
+    pub ras_after: ReturnAddressStack,
+}
+
+/// Lifecycle of a hardware context.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CtxState {
+    /// Unused, available for spawning.
+    Free,
+    /// Running (speculative or architectural).
+    Active,
+    /// Spawn-confirmed-correct parent: fetch stopped, draining its ROB; the
+    /// surviving child is promoted when the ROB empties.
+    Dying,
+}
+
+/// One hardware thread context.
+#[derive(Clone, Debug)]
+pub struct Context {
+    /// Lifecycle state.
+    pub state: CtxState,
+    /// Whether this context's work is still speculative (it has a parent).
+    pub speculative: bool,
+    /// Parent context (the thread that spawned this one).
+    pub parent: Option<CtxId>,
+    /// Global age of the spawning load: ancestor stores older than this
+    /// are visible to this thread.
+    pub spawn_seq: u64,
+    /// Next PC to fetch.
+    pub pc: u64,
+    /// Committed-path index of the next instruction to fetch.
+    pub trace_cursor: u64,
+    /// Fetch is administratively stopped (single-fetch-path parent after a
+    /// spawn, or a dying thread).
+    pub fetch_stopped: bool,
+    /// Fetch is waiting for a control instruction to resolve and redirect
+    /// (unknown indirect target, or a fetched `halt`).
+    pub wait_redirect: bool,
+    /// Thread committed `halt`.
+    pub halted: bool,
+    /// Thread committed `halt` while speculative (chain ends here if this
+    /// thread is eventually promoted).
+    pub committed_halt: bool,
+    /// Fetch may not resume before this cycle (I-cache miss in progress,
+    /// or spawn latency for a fresh child).
+    pub fetch_ready_at: u64,
+    /// Rename may not start before this cycle (spawn flash-copy latency).
+    pub rename_ready_at: u64,
+    /// The load uop (id, slab generation) that spawned this context.
+    pub spawn_load: Option<(UopId, u32)>,
+    /// For a dying parent: the confirmed child awaiting promotion.
+    pub pending_child: Option<CtxId>,
+    /// Resume state (PC, trace index, history, RAS) saved when entering
+    /// the dying state, in case the pending child is killed by a
+    /// memory-order violation and this thread must take over again.
+    pub resume_pc: u64,
+    /// Trace index to resume at.
+    pub resume_trace: u64,
+    /// Global history to resume with.
+    pub resume_ghist: u64,
+    /// RAS to resume with.
+    pub resume_ras: ReturnAddressStack,
+    /// Integer rename map.
+    pub int_map: [PregId; 32],
+    /// Floating-point rename map.
+    pub fp_map: [PregId; 32],
+    /// Program-order window of this context's in-flight uops.
+    pub rob: VecDeque<UopId>,
+    /// In-flight stores only (seq, uop), program order — the LSQ walked by
+    /// load forwarding so it never scans the whole window.
+    pub lsq: VecDeque<(u64, UopId)>,
+    /// Fetched, not yet renamed instructions.
+    pub fetch_buffer: VecDeque<FetchedInst>,
+    /// Committed-but-speculative stores (drained to memory at promotion).
+    pub store_buffer: VecDeque<SbEntry>,
+    /// Speculatively committed instructions (counted architectural at
+    /// promotion, discarded on a kill).
+    pub committed_spec: u64,
+    /// Children this context has spawned that are still alive.
+    pub live_children: usize,
+    /// Return-address stack (fetch-time prediction state).
+    pub ras: ReturnAddressStack,
+    /// Global branch history register (fetch-time prediction state).
+    pub ghist: u64,
+    /// Uops occupying issue-queue slots (ICOUNT component).
+    pub queued_count: usize,
+    /// Loads committed while speculative: (address, age). An ancestor
+    /// store that later resolves to one of these addresses (with an older
+    /// age) is a cross-thread memory-order violation — the thread is
+    /// killed, exactly like a wrong value prediction.
+    pub spec_committed_loads: Vec<(u64, u64)>,
+    /// Trace-validation mismatches observed during *speculative* commits:
+    /// (trace index, pc, got, expected). Harmless while speculative (the
+    /// thread may be doomed), fatal if the thread is promoted.
+    pub spec_commit_errors: Vec<(u64, u64, u64, u64)>,
+}
+
+impl Context {
+    /// A free context slot.
+    pub fn free(ras_entries: usize) -> Self {
+        Context {
+            state: CtxState::Free,
+            speculative: false,
+            parent: None,
+            spawn_seq: 0,
+            pc: 0,
+            trace_cursor: 0,
+            fetch_stopped: false,
+            wait_redirect: false,
+            halted: false,
+            committed_halt: false,
+            fetch_ready_at: 0,
+            rename_ready_at: 0,
+            spawn_load: None,
+            pending_child: None,
+            resume_pc: 0,
+            resume_trace: 0,
+            resume_ghist: 0,
+            resume_ras: ReturnAddressStack::new(ras_entries),
+            int_map: [0; 32],
+            fp_map: [0; 32],
+            rob: VecDeque::new(),
+            lsq: VecDeque::new(),
+            fetch_buffer: VecDeque::new(),
+            store_buffer: VecDeque::new(),
+            committed_spec: 0,
+            live_children: 0,
+            ras: ReturnAddressStack::new(ras_entries),
+            ghist: 0,
+            queued_count: 0,
+            spec_committed_loads: Vec::new(),
+            spec_commit_errors: Vec::new(),
+        }
+    }
+
+    /// ICOUNT fetch priority: instructions in the front of the machine.
+    /// Lower is hungrier (gets fetch priority).
+    pub fn icount(&self) -> usize {
+        self.fetch_buffer.len() + self.queued_count
+    }
+
+    /// Whether this context can fetch this cycle.
+    pub fn fetchable(&self, now: u64, fetch_buffer_cap: usize) -> bool {
+        self.state == CtxState::Active
+            && !self.fetch_stopped
+            && !self.wait_redirect
+            && !self.halted
+            && now >= self.fetch_ready_at
+            && self.fetch_buffer.len() < fetch_buffer_cap
+    }
+
+    /// Search this context's store buffer (youngest first) for a store to
+    /// `addr` with age older than `limit`.
+    pub fn search_store_buffer(&self, addr: u64, limit: u64) -> Option<u64> {
+        self.store_buffer
+            .iter()
+            .rev()
+            .find(|e| e.seq < limit && e.addr == addr)
+            .map(|e| e.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_context_is_free() {
+        let c = Context::free(8);
+        assert_eq!(c.state, CtxState::Free);
+        assert_eq!(c.icount(), 0);
+        assert!(!c.fetchable(0, 32));
+    }
+
+    #[test]
+    fn store_buffer_search_respects_age_limit_and_order() {
+        let mut c = Context::free(8);
+        c.store_buffer.push_back(SbEntry { addr: 0x100, value: 1, seq: 10, pc: 0 });
+        c.store_buffer.push_back(SbEntry { addr: 0x100, value: 2, seq: 20, pc: 0 });
+        c.store_buffer.push_back(SbEntry { addr: 0x200, value: 3, seq: 30, pc: 0 });
+        // Youngest matching entry under the limit wins.
+        assert_eq!(c.search_store_buffer(0x100, u64::MAX), Some(2));
+        assert_eq!(c.search_store_buffer(0x100, 15), Some(1));
+        assert_eq!(c.search_store_buffer(0x100, 5), None);
+        assert_eq!(c.search_store_buffer(0x200, 25), None);
+        assert_eq!(c.search_store_buffer(0x300, u64::MAX), None);
+    }
+
+    #[test]
+    fn fetchable_gating() {
+        let mut c = Context::free(8);
+        c.state = CtxState::Active;
+        assert!(c.fetchable(0, 32));
+        c.fetch_ready_at = 10;
+        assert!(!c.fetchable(5, 32));
+        assert!(c.fetchable(10, 32));
+        c.fetch_stopped = true;
+        assert!(!c.fetchable(10, 32));
+    }
+}

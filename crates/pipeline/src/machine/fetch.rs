@@ -1,0 +1,129 @@
+//! Fetch stage: ICOUNT thread selection, branch prediction, I-cache timing.
+
+use super::{Machine, FETCH_BUFFER_CAP, IADDR_BASE};
+use crate::context::FetchedInst;
+use crate::uop::CtxId;
+use mtvp_isa::Op;
+
+impl Machine<'_> {
+    /// Fetch up to `fetch_width` instructions from up to `fetch_threads`
+    /// contexts, chosen by ICOUNT (fewest instructions in the front end).
+    pub(crate) fn fetch_stage(&mut self) {
+        let mut candidates: Vec<CtxId> = (0..self.ctxs.len())
+            .filter(|&i| self.ctxs[i].fetchable(self.now, FETCH_BUFFER_CAP))
+            .collect();
+        candidates.sort_by_key(|&i| (self.ctxs[i].icount(), i));
+        candidates.truncate(self.cfg.fetch_threads);
+        if candidates.is_empty() {
+            return;
+        }
+        let per_thread = (self.cfg.fetch_width / candidates.len()).max(1);
+        for ctx in candidates {
+            self.fetch_thread(ctx, per_thread);
+        }
+    }
+
+    /// Fetch up to `budget` sequential instructions for one context.
+    fn fetch_thread(&mut self, ctx: CtxId, budget: usize) {
+        // I-cache access for the first block of this group. A miss stalls
+        // fetch for this thread until the line arrives; an L1 hit's latency
+        // is folded into the front-end depth.
+        let first_pc = self.ctxs[ctx].pc;
+        if self.program.fetch(first_pc).is_none() {
+            // Off the end of the text segment (wrong-path fetch): stall
+            // until a squash redirects this thread.
+            return;
+        }
+        let access = self.mem_sys.access_inst(self.now, IADDR_BASE + first_pc * 4);
+        if access.ready_at > self.now + self.mem_sys.config().l1_latency {
+            self.ctxs[ctx].fetch_ready_at = access.ready_at;
+            return;
+        }
+
+        for _ in 0..budget {
+            if self.ctxs[ctx].fetch_buffer.len() >= FETCH_BUFFER_CAP {
+                break;
+            }
+            let pc = self.ctxs[ctx].pc;
+            let inst = match self.program.fetch(pc) {
+                Some(i) => *i,
+                None => break, // ran off the text segment mid-group
+            };
+
+            let ghist_prior = self.ctxs[ctx].ghist;
+            let mut pred_next = pc + 1;
+            let mut stall_after = false;
+
+            match inst.op {
+                Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
+                    let pred_taken = self.dir_pred.predict(pc, ghist_prior);
+                    let c = &mut self.ctxs[ctx];
+                    c.ghist = (c.ghist << 1) | pred_taken as u64;
+                    if pred_taken {
+                        pred_next = inst.imm as u64;
+                    }
+                }
+                Op::J => pred_next = inst.imm as u64,
+                Op::Jal => {
+                    self.ctxs[ctx].ras.push(pc + 1);
+                    pred_next = inst.imm as u64;
+                }
+                Op::Jr => {
+                    // `jr r31` is the return idiom: predict via the RAS.
+                    let predicted = if inst.rs1 == 31 {
+                        self.ctxs[ctx].ras.pop()
+                    } else {
+                        self.btb.predict(pc)
+                    };
+                    match predicted {
+                        Some(t) => pred_next = t,
+                        None => {
+                            // Unknown indirect target: fetch must wait for
+                            // the jump to resolve and redirect.
+                            stall_after = true;
+                        }
+                    }
+                }
+                Op::Jalr => {
+                    self.ctxs[ctx].ras.push(pc + 1);
+                    match self.btb.predict(pc) {
+                        Some(t) => pred_next = t,
+                        None => stall_after = true,
+                    }
+                }
+                Op::Halt => {
+                    // Nothing should be fetched past a halt.
+                    stall_after = true;
+                }
+                _ => {}
+            }
+
+            let c = &mut self.ctxs[ctx];
+            let entry = FetchedInst {
+                inst,
+                pc,
+                ready_at: self.now + self.cfg.front_end_latency,
+                trace_idx: c.trace_cursor,
+                pred_next,
+                ghist_prior,
+                ras_after: c.ras.clone(),
+            };
+            c.trace_cursor += 1;
+            c.pc = pred_next;
+            c.fetch_buffer.push_back(entry);
+            self.stats.fetched += 1;
+
+            if stall_after {
+                // The thread waits for a resolution-time redirect (indirect
+                // jump with unknown target) or is finished (halt).
+                self.ctxs[ctx].wait_redirect = true;
+                break;
+            }
+            // A predicted-taken control transfer ends the fetch group (we
+            // fetch from at most one line per thread per cycle).
+            if pred_next != pc + 1 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! The SMT out-of-order machine: state, cycle loop, and shared helpers.
+//!
+//! Stage logic lives in the sibling modules: [`fetch`](self) (ICOUNT fetch
+//! with branch prediction), rename/dispatch (including value-prediction
+//! decisions and thread spawning), issue/execute/writeback (including
+//! branch resolution and selective reissue), and commit (including MTVP
+//! verification, thread promotion and kills).
+//!
+//! Stages run back-to-front each cycle so results never skip a stage
+//! within a single cycle.
+
+mod commit;
+mod exec;
+mod fetch;
+mod rename;
+
+use crate::config::{PipelineConfig, PredictorKind, SelectorKind};
+use crate::context::{Context, CtxState};
+use crate::regfile::{PhysRegFile, RegClass};
+use crate::stats::PipeStats;
+use crate::uop::{CtxId, UopId, UopSlab};
+use mtvp_branch::{Btb, DirectionPredictor};
+use mtvp_isa::trace::Trace;
+use mtvp_isa::{ExecUnit, Program};
+use mtvp_mem::{MainMemory, MemSystem};
+use mtvp_vp::{
+    DfcmPredictor, IlpPred, LastValuePredictor, OraclePredictor, Prediction, PredictorCounters,
+    SelectDecision, StridePredictor, ValuePredictor, WangFranklinConfig, WangFranklinPredictor,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Instruction byte addresses live far above data so the I-cache and
+/// D-cache never alias (instructions are 4 bytes in the timing model).
+pub(crate) const IADDR_BASE: u64 = 0x4000_0000_0000;
+
+/// Per-context fetch-buffer capacity (decouples fetch from rename).
+pub(crate) const FETCH_BUFFER_CAP: usize = 48;
+
+/// Watchdog: a machine that commits nothing for this many cycles is wedged.
+const WATCHDOG_CYCLES: u64 = 2_000_000;
+
+/// An execution-completion event: (finish cycle, uop, slab generation,
+/// execution token).
+type ExecEvent = Reverse<(u64, UopId, u32, u32)>;
+
+/// Dispatch wrapper over the concrete value predictors.
+pub(crate) enum AnyPredictor {
+    /// No prediction.
+    None,
+    /// Trace oracle.
+    Oracle(OraclePredictor),
+    /// Wang–Franklin hybrid.
+    Wf(WangFranklinPredictor),
+    /// Order-3 DFCM.
+    Dfcm(DfcmPredictor),
+    /// Stride.
+    Stride(StridePredictor),
+    /// Last value.
+    LastValue(LastValuePredictor),
+}
+
+impl AnyPredictor {
+    fn from_config(cfg: &PipelineConfig, trace: Option<Arc<Trace>>) -> Self {
+        match cfg.vp.predictor {
+            PredictorKind::None => AnyPredictor::None,
+            PredictorKind::Oracle => AnyPredictor::Oracle(OraclePredictor::new(
+                trace.expect("oracle predictor requires a committed-path trace"),
+            )),
+            PredictorKind::WangFranklin => {
+                AnyPredictor::Wf(WangFranklinPredictor::new(cfg.vp.wang_franklin))
+            }
+            PredictorKind::WangFranklinLiberal => AnyPredictor::Wf(WangFranklinPredictor::new(
+                WangFranklinConfig { confidence: mtvp_vp::ConfidenceConfig::liberal(), ..cfg.vp.wang_franklin },
+            )),
+            PredictorKind::Dfcm => AnyPredictor::Dfcm(DfcmPredictor::new(cfg.vp.dfcm)),
+            PredictorKind::Stride => AnyPredictor::Stride(StridePredictor::new(
+                cfg.vp.simple_entries,
+                mtvp_vp::ConfidenceConfig::hpca2005(),
+            )),
+            PredictorKind::LastValue => AnyPredictor::LastValue(LastValuePredictor::new(
+                cfg.vp.simple_entries,
+                mtvp_vp::ConfidenceConfig::hpca2005(),
+            )),
+        }
+    }
+
+    /// Query for the load at `pc` believed to be at committed-path index
+    /// `trace_idx`.
+    pub(crate) fn predict(&mut self, trace_idx: u64, pc: u64) -> Prediction {
+        match self {
+            AnyPredictor::None => Prediction::none(),
+            AnyPredictor::Oracle(o) => match o.predict_at(trace_idx, pc) {
+                Some(v) => Prediction {
+                    primary: Some(mtvp_vp::Predicted { value: v, confident: true }),
+                    alternates: vec![],
+                },
+                None => Prediction::none(),
+            },
+            AnyPredictor::Wf(p) => p.predict(pc),
+            AnyPredictor::Dfcm(p) => p.predict(pc),
+            AnyPredictor::Stride(p) => p.predict(pc),
+            AnyPredictor::LastValue(p) => p.predict(pc),
+        }
+    }
+
+    pub(crate) fn spec_update(&mut self, pc: u64, value: u64) {
+        match self {
+            AnyPredictor::None | AnyPredictor::Oracle(_) => {}
+            AnyPredictor::Wf(p) => p.spec_update(pc, value),
+            AnyPredictor::Dfcm(p) => p.spec_update(pc, value),
+            AnyPredictor::Stride(p) => p.spec_update(pc, value),
+            AnyPredictor::LastValue(p) => p.spec_update(pc, value),
+        }
+    }
+
+    pub(crate) fn train(&mut self, pc: u64, actual: u64) {
+        match self {
+            AnyPredictor::None | AnyPredictor::Oracle(_) => {}
+            AnyPredictor::Wf(p) => p.train(pc, actual),
+            AnyPredictor::Dfcm(p) => p.train(pc, actual),
+            AnyPredictor::Stride(p) => p.train(pc, actual),
+            AnyPredictor::LastValue(p) => p.train(pc, actual),
+        }
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        match self {
+            AnyPredictor::None => PredictorCounters::default(),
+            AnyPredictor::Oracle(o) => {
+                let (q, a) = o.counters();
+                PredictorCounters { queries: q, confident: a, trains: 0 }
+            }
+            AnyPredictor::Wf(p) => p.counters(),
+            AnyPredictor::Dfcm(p) => p.counters(),
+            AnyPredictor::Stride(p) => p.counters(),
+            AnyPredictor::LastValue(p) => p.counters(),
+        }
+    }
+}
+
+/// Dispatch wrapper over the load selectors.
+pub(crate) enum AnySelector {
+    Always,
+    Ilp(IlpPred),
+    L3Miss,
+}
+
+/// The simulated machine, borrowing the program it runs.
+pub struct Machine<'p> {
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) program: &'p Program,
+    /// Timing side of the memory hierarchy.
+    pub(crate) mem_sys: MemSystem,
+    /// Architectural data memory.
+    pub(crate) memory: MainMemory,
+    pub(crate) rf: PhysRegFile,
+    pub(crate) ctxs: Vec<Context>,
+    pub(crate) uops: UopSlab,
+    /// Issue queues: (uop, generation) pairs; dead entries purged lazily.
+    pub(crate) iq: Vec<(UopId, u32)>,
+    pub(crate) fq: Vec<(UopId, u32)>,
+    pub(crate) mq: Vec<(UopId, u32)>,
+    pub(crate) events: BinaryHeap<ExecEvent>,
+    pub(crate) dir_pred: DirectionPredictor,
+    pub(crate) btb: Btb,
+    pub(crate) predictor: AnyPredictor,
+    pub(crate) selector: AnySelector,
+    pub(crate) trace: Option<Arc<Trace>>,
+    pub(crate) now: u64,
+    pub(crate) next_seq: u64,
+    /// Processor-wide issued-instruction counter (ILP-pred's progress).
+    pub(crate) issued_total: u64,
+    pub(crate) stats: PipeStats,
+    pub(crate) done: bool,
+    /// The current architectural (non-speculative) context.
+    pub(crate) root_ctx: CtxId,
+    /// Round-robin cursor for rename/commit fairness.
+    pub(crate) rr_cursor: usize,
+    /// While a selective reissue is in progress, the misverified load that
+    /// started it (it must not re-execute itself).
+    pub(crate) reissue_origin: Option<UopId>,
+    last_commit_cycle: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Build a machine for `program`. A committed-path `trace` is required
+    /// for the oracle predictor and enables commit-time path validation in
+    /// every mode.
+    pub fn new(cfg: PipelineConfig, program: &'p Program, trace: Option<Arc<Trace>>) -> Self {
+        let mem_cfg = mtvp_mem::MemConfig::hpca2005();
+        Self::with_mem_config(cfg, mem_cfg, program, trace)
+    }
+
+    /// Build a machine with an explicit memory-hierarchy configuration.
+    pub fn with_mem_config(
+        cfg: PipelineConfig,
+        mem_cfg: mtvp_mem::MemConfig,
+        program: &'p Program,
+        trace: Option<Arc<Trace>>,
+    ) -> Self {
+        assert!(cfg.hw_contexts >= 1, "need at least one hardware context");
+        let mut memory = MainMemory::new();
+        program.init_memory(&mut memory);
+        // Warm start: the initialized data image passes through the cache
+        // hierarchy (LRU keeps its tail resident), as it would be after
+        // the fast-forward phase of a SimPoint-sampled simulation.
+        let mut mem_sys = MemSystem::new(mem_cfg);
+        if cfg.warm_start {
+            for seg in &program.data {
+                let mut a = seg.base & !(mem_cfg.line_bytes - 1);
+                let end = seg.base + seg.bytes.len() as u64;
+                while a < end {
+                    mem_sys.warm_line(a);
+                    a += mem_cfg.line_bytes;
+                }
+            }
+        }
+        let mut rf = PhysRegFile::new(cfg.phys_regs_per_class());
+        let mut ctxs: Vec<Context> =
+            (0..cfg.hw_contexts).map(|_| Context::free(cfg.ras_entries)).collect();
+
+        // Context 0 is the initial architectural thread; its maps get fresh
+        // zero-valued, ready physical registers.
+        let root = &mut ctxs[0];
+        root.state = CtxState::Active;
+        for slot in 0..32 {
+            let ip = rf.alloc(RegClass::Int).expect("initial int regs");
+            rf.write(RegClass::Int, ip, 0);
+            root.int_map[slot] = ip;
+            let fp = rf.alloc(RegClass::Fp).expect("initial fp regs");
+            rf.write(RegClass::Fp, fp, 0);
+            root.fp_map[slot] = fp;
+        }
+
+        let predictor = AnyPredictor::from_config(&cfg, trace.clone());
+        let selector = match cfg.vp.selector {
+            SelectorKind::Always => AnySelector::Always,
+            SelectorKind::IlpPred => AnySelector::Ilp(IlpPred::new(cfg.vp.ilp_pred)),
+            SelectorKind::L3MissOracle => AnySelector::L3Miss,
+        };
+
+        Machine {
+            mem_sys,
+            memory,
+            rf,
+            ctxs,
+            uops: UopSlab::new(),
+            iq: Vec::new(),
+            fq: Vec::new(),
+            mq: Vec::new(),
+            events: BinaryHeap::new(),
+            dir_pred: DirectionPredictor::new(cfg.gskew),
+            btb: Btb::new(cfg.btb_entries),
+            predictor,
+            selector,
+            trace,
+            now: 0,
+            next_seq: 1,
+            issued_total: 0,
+            stats: PipeStats::default(),
+            done: false,
+            root_ctx: 0,
+            rr_cursor: 0,
+            reissue_origin: None,
+            last_commit_cycle: 0,
+            cfg,
+            program,
+        }
+    }
+
+    /// Run the machine to completion (halt, instruction limit, or cycle
+    /// limit) and return the statistics.
+    ///
+    /// # Panics
+    /// Panics if the machine wedges (no commit for two million cycles) or
+    /// if trace validation detects a committed-path divergence — both are
+    /// simulator bugs, not program behaviours.
+    pub fn run(&mut self) -> PipeStats {
+        while !self.done {
+            self.cycle();
+            if self.now.saturating_sub(self.last_commit_cycle) > WATCHDOG_CYCLES {
+                panic!(
+                    "machine wedged at cycle {} (committed={}, program={})",
+                    self.now, self.stats.committed, self.program.name
+                );
+            }
+            if self.now >= self.cfg.max_cycles {
+                break;
+            }
+            if self.cfg.inst_limit > 0 && self.stats.committed >= self.cfg.inst_limit {
+                break;
+            }
+        }
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    /// Simulate one cycle.
+    pub fn cycle(&mut self) {
+        self.writeback_stage();
+        self.commit_stage();
+        self.issue_stage();
+        self.rename_stage();
+        self.fetch_stage();
+        self.now += 1;
+        let active = self.ctxs.iter().filter(|c| c.state != CtxState::Free).count();
+        self.stats.peak_contexts = self.stats.peak_contexts.max(active);
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self.now;
+        self.stats.mem = self.mem_sys.stats();
+        self.stats.caches = self.mem_sys.cache_stats();
+        let pf = self.mem_sys.prefetch_stats();
+        self.stats.prefetch = (pf.trains, pf.streams_allocated, pf.issued, pf.stream_hits);
+        self.stats.predictor = self.predictor.counters();
+    }
+
+    /// Statistics so far (final after [`Machine::run`] returns).
+    pub fn stats(&self) -> &PipeStats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The architectural integer register file (reads through the current
+    /// root context's map). Only meaningful once the machine is idle.
+    pub fn arch_int_regs(&self) -> [u64; 32] {
+        let ctx = &self.ctxs[self.root_ctx];
+        let mut regs = [0u64; 32];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = self.rf.read(RegClass::Int, ctx.int_map[i]);
+        }
+        regs
+    }
+
+    /// The architectural floating-point register file.
+    pub fn arch_fp_regs(&self) -> [f64; 32] {
+        let ctx = &self.ctxs[self.root_ctx];
+        let mut regs = [0.0f64; 32];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = f64::from_bits(self.rf.read(RegClass::Fp, ctx.fp_map[i]));
+        }
+        regs
+    }
+
+    /// The architectural memory image (for differential tests).
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// Check physical-register-file bookkeeping (tests).
+    pub fn check_regfile(&self) -> Result<(), String> {
+        self.rf.check_consistency()
+    }
+
+    /// Multi-line diagnostic dump of the machine state (for debugging
+    /// wedges; not part of the stable API).
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle={} committed={} events={} root={}",
+            self.now,
+            self.stats.committed,
+            self.events.len(),
+            self.root_ctx
+        );
+        for (i, c) in self.ctxs.iter().enumerate() {
+            if c.state == CtxState::Free {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "ctx{i}: {:?} spec={} parent={:?} pending={:?} pc={} rob={} fb={} stopped={} wait={} halted={} sb={} kids={}",
+                c.state,
+                c.speculative,
+                c.parent,
+                c.pending_child,
+                c.pc,
+                c.rob.len(),
+                c.fetch_buffer.len(),
+                c.fetch_stopped,
+                c.wait_redirect,
+                c.halted,
+                c.store_buffer.len(),
+                c.live_children,
+            );
+            for uid in c.rob.iter().take(3) {
+                let u = self.uops.get(*uid);
+                let _ = writeln!(
+                    out,
+                    "   head uop pc={} {:?} seq={} {:?} kids={} in_q={}",
+                    u.pc,
+                    u.inst.op,
+                    u.seq,
+                    u.state,
+                    u.vp.children.len(),
+                    u.in_queue,
+                );
+            }
+        }
+        out
+    }
+
+    /// Occupancy snapshot for debugging and tests:
+    /// (ROB, IQ, FQ, MQ, pending events, free int pregs, free fp pregs).
+    pub fn occupancy(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
+        (
+            self.rob_occupancy(),
+            self.iq.len(),
+            self.fq.len(),
+            self.mq.len(),
+            self.events.len(),
+            self.rf.free_count(RegClass::Int),
+            self.rf.free_count(RegClass::Fp),
+        )
+    }
+
+    // ---- shared helpers -------------------------------------------------
+
+    pub(crate) fn note_commit_progress(&mut self) {
+        self.last_commit_cycle = self.now;
+    }
+
+    /// Find a free hardware context, if any.
+    pub(crate) fn find_free_ctx(&self) -> Option<CtxId> {
+        self.ctxs.iter().position(|c| c.state == CtxState::Free)
+    }
+
+    /// Queue for an execution-unit class.
+    pub(crate) fn queue_for(&mut self, unit: ExecUnit) -> &mut Vec<(UopId, u32)> {
+        match unit {
+            ExecUnit::Int => &mut self.iq,
+            ExecUnit::Fp => &mut self.fq,
+            ExecUnit::Mem => &mut self.mq,
+        }
+    }
+
+    /// Capacity of the queue for a unit class.
+    pub(crate) fn queue_cap(&self, unit: ExecUnit) -> usize {
+        match unit {
+            ExecUnit::Int => self.cfg.iq_entries,
+            ExecUnit::Fp => self.cfg.fq_entries,
+            ExecUnit::Mem => self.cfg.mq_entries,
+        }
+    }
+
+    /// Live occupancy of a queue (purges dead entries as a side effect).
+    pub(crate) fn queue_len(&mut self, unit: ExecUnit) -> usize {
+        let slab = std::mem::take(match unit {
+            ExecUnit::Int => &mut self.iq,
+            ExecUnit::Fp => &mut self.fq,
+            ExecUnit::Mem => &mut self.mq,
+        });
+        let filtered: Vec<(UopId, u32)> =
+            slab.into_iter().filter(|&(id, g)| self.uops.is_live(id, g)).collect();
+        let len = filtered.len();
+        *self.queue_for(unit) = filtered;
+        len
+    }
+
+    /// Total in-flight uops across all contexts (ROB occupancy).
+    pub(crate) fn rob_occupancy(&self) -> usize {
+        self.ctxs.iter().map(|c| c.rob.len()).sum()
+    }
+
+    /// The value a load from `addr` observes at this moment, honouring the
+    /// store-visibility chain: own in-flight stores, own store buffer, then
+    /// each ancestor's (limited to stores older than the spawn point), and
+    /// finally architectural memory.
+    ///
+    /// Memory dependences are *speculative*: an older store whose address
+    /// is still unresolved is assumed not to alias. When it resolves and
+    /// does alias, the store's completion replays the load (see
+    /// `replay_younger_loads`), exactly like a load-store-queue violation
+    /// replay in a real machine.
+    pub(crate) fn chain_load_value(&self, ctx: CtxId, load_seq: u64, addr: u64) -> u64 {
+        let mut limit = load_seq;
+        let mut c = ctx;
+        loop {
+            let cx = &self.ctxs[c];
+            // In-flight (LSQ) stores, youngest first.
+            for &(sseq, uid) in cx.lsq.iter().rev() {
+                if sseq >= limit {
+                    continue;
+                }
+                let u = self.uops.get(uid);
+                if u.eff_addr == Some(addr) {
+                    return u.store_data.expect("resolved store has data");
+                }
+            }
+            if let Some(v) = cx.search_store_buffer(addr, limit) {
+                return v;
+            }
+            match cx.parent {
+                Some(p) => {
+                    limit = limit.min(cx.spawn_seq);
+                    c = p;
+                }
+                None => break,
+            }
+        }
+        self.memory.peek_u64(addr)
+    }
+
+    /// Whether the store with age `store_seq` in `store_ctx` is visible to
+    /// loads of context `c` (i.e. older than every spawn point on the path
+    /// from `c` up to `store_ctx`). Same-context stores are always visible.
+    pub(crate) fn store_visible_to(&self, store_ctx: CtxId, store_seq: u64, c: CtxId) -> bool {
+        let mut cur = c;
+        let mut limit = u64::MAX;
+        loop {
+            if cur == store_ctx {
+                return store_seq < limit;
+            }
+            match self.ctxs[cur].parent {
+                Some(p) => {
+                    limit = limit.min(self.ctxs[cur].spawn_seq);
+                    cur = p;
+                }
+                None => return false,
+            }
+        }
+    }
+
+    /// Selector decision for the load at `pc` (with optional known effective
+    /// address for the cache-level oracle).
+    pub(crate) fn select_decision(&mut self, pc: u64, base_addr: Option<u64>) -> SelectDecision {
+        match &mut self.selector {
+            AnySelector::Always => SelectDecision::allow_all(),
+            AnySelector::Ilp(ilp) => ilp.decide(pc),
+            AnySelector::L3Miss => match base_addr {
+                // Known address: MTVP only for lines not resident below L3;
+                // STVP for anything that misses L1 (§5.1).
+                Some(addr) => {
+                    let level = self.mem_sys.probe_level(addr);
+                    SelectDecision {
+                        allow_stvp: level != mtvp_mem::HitLevel::L1,
+                        allow_mtvp: level == mtvp_mem::HitLevel::Memory,
+                    }
+                }
+                // Unknown base (dependent load): treat as a long-latency miss.
+                None => SelectDecision::allow_all(),
+            },
+        }
+    }
+
+    /// Record a finished ILP-pred episode. Spawning episodes are charged
+    /// the spawn latency in addition to the load's in-flight window, so
+    /// the selector sees the cost of spawning for short (cache-hit) loads
+    /// whose stall lands after the prediction confirms.
+    pub(crate) fn record_episode(
+        &mut self,
+        pc: u64,
+        class: mtvp_vp::VpClass,
+        issued_at: u64,
+        cycle_at: u64,
+    ) {
+        if let AnySelector::Ilp(ilp) = &mut self.selector {
+            let progress = self.issued_total.saturating_sub(issued_at);
+            let mut cycles = self.now.saturating_sub(cycle_at);
+            if class == mtvp_vp::VpClass::Mtvp {
+                cycles += self.cfg.vp.spawn_latency;
+            }
+            ilp.record(pc, class, progress, cycles);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared, reference-counted physical register file.
+//!
+//! An SMT processor shares one physical register file among all contexts;
+//! threaded value prediction leans on this: spawning a thread is a flash
+//! copy of the parent's rename *map*, with the use count of every mapped
+//! register incremented so the parent's values cannot be recycled while a
+//! speculative child still references them (§3.2 — the paper's "use
+//! counter", analogous to Cherry's pending counter).
+
+use serde::{Deserialize, Serialize};
+
+/// Register class: integer or floating point.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer registers.
+    Int,
+    /// Floating-point registers (stored as f64 bit patterns).
+    Fp,
+}
+
+/// Index of a physical register within its class's file.
+pub type PregId = u32;
+
+#[derive(Clone, Debug)]
+struct File {
+    value: Vec<u64>,
+    ready: Vec<bool>,
+    refcount: Vec<u32>,
+    free: Vec<PregId>,
+}
+
+impl File {
+    fn new(size: usize) -> Self {
+        File {
+            value: vec![0; size],
+            ready: vec![false; size],
+            refcount: vec![0; size],
+            // Allocate low indices first for debuggability.
+            free: (0..size as PregId).rev().collect(),
+        }
+    }
+
+    fn alloc(&mut self) -> Option<PregId> {
+        let id = self.free.pop()?;
+        let i = id as usize;
+        debug_assert_eq!(self.refcount[i], 0, "allocated preg had live references");
+        self.value[i] = 0;
+        self.ready[i] = false;
+        self.refcount[i] = 1;
+        Some(id)
+    }
+}
+
+/// The unified physical register file (both classes).
+#[derive(Clone, Debug)]
+pub struct PhysRegFile {
+    int: File,
+    fp: File,
+}
+
+impl PhysRegFile {
+    /// Create a register file with `per_class` registers in each class.
+    pub fn new(per_class: usize) -> Self {
+        PhysRegFile { int: File::new(per_class), fp: File::new(per_class) }
+    }
+
+    fn file(&self, class: RegClass) -> &File {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    fn file_mut(&mut self, class: RegClass) -> &mut File {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        }
+    }
+
+    /// Allocate a register with refcount 1, not ready, value 0.
+    /// Returns `None` when the class is out of registers (rename stalls).
+    pub fn alloc(&mut self, class: RegClass) -> Option<PregId> {
+        self.file_mut(class).alloc()
+    }
+
+    /// Increment the use count (a new rename-map reference, e.g. spawn copy).
+    pub fn incref(&mut self, class: RegClass, id: PregId) {
+        self.file_mut(class).refcount[id as usize] += 1;
+    }
+
+    /// Decrement the use count; frees the register when it reaches zero.
+    ///
+    /// # Panics
+    /// Panics if the count is already zero (a bookkeeping bug).
+    pub fn decref(&mut self, class: RegClass, id: PregId) {
+        let f = self.file_mut(class);
+        let rc = &mut f.refcount[id as usize];
+        assert!(*rc > 0, "decref of dead {class:?} preg {id}");
+        *rc -= 1;
+        if *rc == 0 {
+            f.ready[id as usize] = false;
+            f.free.push(id);
+        }
+    }
+
+    /// Write a value and mark the register ready.
+    pub fn write(&mut self, class: RegClass, id: PregId, value: u64) {
+        let f = self.file_mut(class);
+        f.value[id as usize] = value;
+        f.ready[id as usize] = true;
+    }
+
+    /// Mark a register not-ready again (selective reissue invalidation).
+    pub fn unready(&mut self, class: RegClass, id: PregId) {
+        self.file_mut(class).ready[id as usize] = false;
+    }
+
+    /// Whether the register holds a (possibly speculative) value.
+    #[inline]
+    pub fn is_ready(&self, class: RegClass, id: PregId) -> bool {
+        self.file(class).ready[id as usize]
+    }
+
+    /// Read a register's value (valid only when ready).
+    #[inline]
+    pub fn read(&self, class: RegClass, id: PregId) -> u64 {
+        self.file(class).value[id as usize]
+    }
+
+    /// Current reference count (for tests and invariant checks).
+    pub fn refcount(&self, class: RegClass, id: PregId) -> u32 {
+        self.file(class).refcount[id as usize]
+    }
+
+    /// Number of free registers in a class.
+    pub fn free_count(&self, class: RegClass) -> usize {
+        self.file(class).free.len()
+    }
+
+    /// Total registers per class.
+    pub fn capacity(&self) -> usize {
+        self.int.value.len()
+    }
+
+    /// Invariant check: every register is either free or referenced, and
+    /// the free list has no duplicates. Used by tests.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (name, f) in [("int", &self.int), ("fp", &self.fp)] {
+            let mut on_free = vec![false; f.value.len()];
+            for &id in &f.free {
+                if on_free[id as usize] {
+                    return Err(format!("{name} free list has duplicate {id}"));
+                }
+                on_free[id as usize] = true;
+            }
+            for i in 0..f.value.len() {
+                let rc = f.refcount[i];
+                match (rc, on_free[i]) {
+                    (0, false) => return Err(format!("{name} preg {i} leaked (rc=0, not free)")),
+                    (r, true) if r > 0 => {
+                        return Err(format!("{name} preg {i} free with rc={r}"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_free_cycle() {
+        let mut rf = PhysRegFile::new(4);
+        let a = rf.alloc(RegClass::Int).unwrap();
+        assert!(!rf.is_ready(RegClass::Int, a));
+        rf.write(RegClass::Int, a, 42);
+        assert!(rf.is_ready(RegClass::Int, a));
+        assert_eq!(rf.read(RegClass::Int, a), 42);
+        rf.decref(RegClass::Int, a);
+        assert_eq!(rf.free_count(RegClass::Int), 4);
+        rf.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = PhysRegFile::new(2);
+        assert!(rf.alloc(RegClass::Fp).is_some());
+        assert!(rf.alloc(RegClass::Fp).is_some());
+        assert!(rf.alloc(RegClass::Fp).is_none());
+        // Int class unaffected.
+        assert!(rf.alloc(RegClass::Int).is_some());
+    }
+
+    #[test]
+    fn refcounting_keeps_register_alive() {
+        let mut rf = PhysRegFile::new(2);
+        let a = rf.alloc(RegClass::Int).unwrap();
+        rf.incref(RegClass::Int, a); // spawn copy
+        rf.decref(RegClass::Int, a); // parent releases
+        assert_eq!(rf.refcount(RegClass::Int, a), 1);
+        assert_eq!(rf.free_count(RegClass::Int), 1);
+        rf.decref(RegClass::Int, a); // child releases
+        assert_eq!(rf.free_count(RegClass::Int), 2);
+        rf.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "decref of dead")]
+    fn double_free_panics() {
+        let mut rf = PhysRegFile::new(2);
+        let a = rf.alloc(RegClass::Int).unwrap();
+        rf.decref(RegClass::Int, a);
+        rf.decref(RegClass::Int, a);
+    }
+
+    #[test]
+    fn unready_clears_without_freeing() {
+        let mut rf = PhysRegFile::new(2);
+        let a = rf.alloc(RegClass::Fp).unwrap();
+        rf.write(RegClass::Fp, a, 7);
+        rf.unready(RegClass::Fp, a);
+        assert!(!rf.is_ready(RegClass::Fp, a));
+        assert_eq!(rf.refcount(RegClass::Fp, a), 1);
+    }
+
+    #[test]
+    fn consistency_detects_leak() {
+        let mut rf = PhysRegFile::new(2);
+        let _a = rf.alloc(RegClass::Int).unwrap();
+        // A live register is fine.
+        rf.check_consistency().unwrap();
+    }
+}

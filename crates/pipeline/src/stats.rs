@@ -1,0 +1,127 @@
+//! Simulation statistics.
+
+use mtvp_mem::{CacheStats, MemStats};
+use mtvp_vp::PredictorCounters;
+use serde::{Deserialize, Serialize};
+
+/// Value-speculation statistics.
+#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VpStats {
+    /// Loads for which a confident prediction was available.
+    pub confident_loads: u64,
+    /// Single-threaded value predictions followed.
+    pub stvp_used: u64,
+    /// STVP predictions verified correct.
+    pub stvp_correct: u64,
+    /// STVP predictions verified wrong (selective reissue triggered).
+    pub stvp_wrong: u64,
+    /// Threads spawned for value predictions.
+    pub mtvp_spawns: u64,
+    /// Spawned predictions confirmed correct (child survived).
+    pub mtvp_correct: u64,
+    /// Spawned predictions wrong (child subtree killed).
+    pub mtvp_wrong: u64,
+    /// Spawn-only threads spawned (§5.7 comparator).
+    pub spawn_only_spawns: u64,
+    /// Spawns refused because no context was free.
+    pub spawn_no_context: u64,
+    /// Extra children spawned by multiple-value prediction (§5.6).
+    pub multi_value_spawns: u64,
+    /// Followed predictions whose primary value was wrong (Fig. 5 denominator
+    /// counts all followed predictions = stvp_used + mtvp_spawns).
+    pub followed_wrong: u64,
+    /// Followed predictions whose primary value was wrong but the correct
+    /// value was present in the predictor and over threshold (Fig. 5).
+    pub wrong_but_alternate_held: u64,
+    /// Instructions re-executed by selective reissue.
+    pub reissued_uops: u64,
+    /// Commit stalls due to a full speculative store buffer.
+    pub store_buffer_stalls: u64,
+}
+
+/// Branch statistics.
+#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BranchStats {
+    /// Committed conditional branches.
+    pub cond_committed: u64,
+    /// Resolved-mispredicted branch events (includes wrong-path ones).
+    pub mispredicts: u64,
+    /// Indirect jumps resolved with a wrong predicted target.
+    pub indirect_mispredicts: u64,
+}
+
+/// Full statistics of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PipeStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Architecturally committed instructions ("useful" instructions: only
+    /// work on the surviving path is counted).
+    pub committed: u64,
+    /// Speculatively committed instructions later discarded with a killed
+    /// thread.
+    pub discarded_spec_commits: u64,
+    /// Instructions fetched (all paths).
+    pub fetched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Instructions squashed (branch mispredicts, thread kills).
+    pub squashed: u64,
+    /// Whether the program ran to `halt` (vs. hitting a limit).
+    pub halted: bool,
+    /// Value-speculation statistics.
+    pub vp: VpStats,
+    /// Branch statistics.
+    pub branches: BranchStats,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+    /// (L1I, L1D, L2, L3) cache statistics.
+    pub caches: (CacheStats, CacheStats, CacheStats, CacheStats),
+    /// Stream prefetcher: (trains, streams, issued, stream hits).
+    pub prefetch: (u64, u64, u64, u64),
+    /// Value-predictor usage counters.
+    pub predictor: PredictorCounters,
+    /// Maximum number of contexts simultaneously active.
+    pub peak_contexts: usize,
+}
+
+impl PipeStats {
+    /// Useful IPC: architecturally committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Percent speedup of this run over a baseline run of the same program
+    /// (the paper's "Percent Speedup" axis: change in useful IPC).
+    pub fn speedup_over(&self, baseline: &PipeStats) -> f64 {
+        if baseline.ipc() == 0.0 {
+            0.0
+        } else {
+            (self.ipc() / baseline.ipc() - 1.0) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_speedup() {
+        let mut base = PipeStats::default();
+        base.cycles = 1000;
+        base.committed = 500;
+        let mut fast = PipeStats::default();
+        fast.cycles = 1000;
+        fast.committed = 750;
+        assert!((base.ipc() - 0.5).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 50.0).abs() < 1e-9);
+        let empty = PipeStats::default();
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(fast.speedup_over(&empty), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Targeted tests of individual pipeline mechanisms: branch prediction
+//! integration, BTB/RAS, selective reissue, spawn kills, store-buffer
+//! stalls, MSHR back-pressure, and wide-window memory-level parallelism.
+
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_isa::{Program, ProgramBuilder, Reg};
+use mtvp_pipeline::{Machine, PipelineConfig, PipeStats, PredictorKind, SelectorKind, VpConfig};
+use std::sync::Arc;
+
+fn run(program: &Program, cfg: PipelineConfig) -> (PipeStats, [u64; 32]) {
+    let mut bus = SimpleBus::new();
+    let (ires, trace) = Interp::new(program).run_traced(&mut bus, 50_000_000);
+    assert!(ires.halted);
+    let mut m = Machine::new(cfg, program, Some(Arc::new(trace)));
+    let stats = m.run();
+    assert!(stats.halted, "{} did not halt", program.name);
+    assert_eq!(stats.committed, ires.dyn_instrs);
+    let regs = m.arch_int_regs();
+    for r in 1..32 {
+        assert_eq!(regs[r], ires.int_regs[r], "r{r} mismatch");
+    }
+    (stats, regs)
+}
+
+/// A loop whose branch pattern is predictable: mispredicts should be rare.
+#[test]
+fn predictable_branches_are_learned() {
+    let mut b = ProgramBuilder::new();
+    b.name("pred-branches");
+    let (i, n, a) = (Reg(1), Reg(2), Reg(3));
+    b.li(i, 0).li(n, 2000).li(a, 0);
+    let top = b.here_label();
+    b.addi(a, a, 1);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let (stats, _) = run(&b.build(), PipelineConfig::hpca2005());
+    assert!(stats.branches.cond_committed >= 2000);
+    assert!(
+        stats.branches.mispredicts < 30,
+        "loop branch should be learned: {} mispredicts",
+        stats.branches.mispredicts
+    );
+}
+
+/// An indirect call through jalr with a stable target trains the BTB.
+#[test]
+fn btb_learns_stable_indirect_targets() {
+    let mut b = ProgramBuilder::new();
+    b.name("btb");
+    let (i, n, t, ra) = (Reg(1), Reg(2), Reg(3), Reg(31));
+    let fun = b.label();
+    b.li(i, 0).li(n, 400);
+    // Materialize the function address via jal-over trick: place the
+    // function first and load its index as an immediate.
+    let top_entry = b.label();
+    b.j(top_entry); // 0: skip over the function body
+    b.bind(fun); // 1:
+    b.addi(i, i, 1); // 1
+    b.jr(ra); // 2
+    b.bind(top_entry);
+    b.li_label(t, fun);
+    let top = b.here_label();
+    b.jalr(ra, t);
+    b.blt(i, n, top);
+    b.halt();
+    let (stats, _) = run(&b.build(), PipelineConfig::hpca2005());
+    assert!(
+        stats.branches.indirect_mispredicts < 20,
+        "stable jalr target should be learned: {}",
+        stats.branches.indirect_mispredicts
+    );
+}
+
+/// Call/return pairs: the RAS predicts returns, so deep call loops should
+/// not mispredict on the `jr r31`.
+#[test]
+fn ras_predicts_returns() {
+    let mut b = ProgramBuilder::new();
+    b.name("ras");
+    let (i, n, ra) = (Reg(1), Reg(2), Reg(31));
+    let fun = b.label();
+    b.li(i, 0).li(n, 500);
+    let top = b.here_label();
+    b.jal(ra, fun);
+    b.blt(i, n, top);
+    b.halt();
+    b.bind(fun);
+    b.addi(i, i, 1);
+    b.jr(ra);
+    let (stats, _) = run(&b.build(), PipelineConfig::hpca2005());
+    assert!(
+        stats.branches.indirect_mispredicts < 10,
+        "returns should be RAS-predicted: {}",
+        stats.branches.indirect_mispredicts
+    );
+}
+
+/// A stride predictor confidently mispredicts when the pattern breaks:
+/// selective reissue must fire and state must stay exact.
+#[test]
+fn selective_reissue_fires_on_wrong_predictions() {
+    let mut b = ProgramBuilder::new();
+    b.name("reissue");
+    let cell = b.alloc_u64(&[0]);
+    let (cb, i, n, v, acc, t) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(cb, cell as i64).li(i, 0).li(n, 300).li(acc, 0);
+    let top = b.here_label();
+    b.ld(v, cb, 0);
+    b.add(acc, acc, v); // dependent work that must re-execute
+    b.xor(acc, acc, i);
+    // Stride-stable value (+8) with a jump every 40 iterations: the stride
+    // predictor builds confidence, then mispredicts at each jump.
+    b.slli(t, i, 3);
+    b.srli(v, i, 5);
+    b.slli(v, v, 16);
+    b.add(t, t, v);
+    b.st(t, cb, 0);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let mut cfg = PipelineConfig::hpca2005();
+    cfg.vp = VpConfig::stvp(PredictorKind::Stride);
+    cfg.vp.selector = SelectorKind::Always;
+    let (stats, _) = run(&b.build(), cfg);
+    assert!(stats.vp.stvp_wrong > 0, "expected mispredictions: {:?}", stats.vp);
+    assert!(stats.vp.reissued_uops > 0, "expected reissues: {:?}", stats.vp);
+}
+
+/// Build the standard cold chase used by the spawn-oriented tests.
+fn chase(n_iters: i64, with_branch_noise: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("chase");
+    const NODES: u64 = 1 << 15;
+    let first = b.data_cursor();
+    let mut words = Vec::new();
+    for k in 0..NODES {
+        let next = first + 64 * ((k.wrapping_mul(2654435761).wrapping_add(1)) % NODES);
+        words.extend_from_slice(&[next, 7, 0, 0, 0, 0, 0, 0]);
+    }
+    b.alloc_u64(&words);
+    let (p, sum, i, n, t) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+    b.li(p, first as i64).li(sum, 0).li(i, 0).li(n, n_iters);
+    let top = b.here_label();
+    b.ld(t, p, 8);
+    b.add(sum, sum, t);
+    if with_branch_noise {
+        let skip = b.label();
+        b.mul(t, sum, p);
+        b.srli(t, t, 13);
+        b.andi(t, t, 1);
+        b.bne(t, Reg(0), skip);
+        b.xori(sum, sum, 0x1F);
+        b.bind(skip);
+    }
+    b.st(sum, p, 16);
+    b.ld(p, p, 0);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    b.build()
+}
+
+/// Branch mispredicts inside speculative threads kill spawn subtrees;
+/// their speculatively committed work must be discarded, not counted.
+#[test]
+fn spawn_subtrees_die_with_wrong_path_parents() {
+    let mut cfg = PipelineConfig::hpca2005();
+    cfg.hw_contexts = 8;
+    cfg.vp = VpConfig::mtvp(PredictorKind::Oracle);
+    cfg.vp.selector = SelectorKind::Always;
+    cfg.vp.spawn_latency = 1;
+    let (stats, _) = run(&chase(400, true), cfg);
+    assert!(stats.vp.mtvp_spawns > 50, "{:?}", stats.vp);
+    assert!(
+        stats.discarded_spec_commits > 0,
+        "noisy branches should kill some speculative work: {:?}",
+        stats.vp
+    );
+}
+
+/// A tiny store buffer must stall speculative commit (§5.3) — and still
+/// produce exact state. The program has one predictable cold load per
+/// outer iteration followed by a long burst of stores, so the spawned
+/// thread needs store-buffer room to make progress.
+#[test]
+fn tiny_store_buffer_stalls_speculation() {
+    let mut b = ProgramBuilder::new();
+    b.name("sb-stall");
+    const NODES: u64 = 1 << 16; // 4MB header arena: header loads stay cold
+    let first = b.data_cursor();
+    let mut words = Vec::new();
+    for k in 0..NODES {
+        let next = first + 64 * ((k.wrapping_mul(2654435761).wrapping_add(1)) % NODES);
+        words.extend_from_slice(&[next, 7, 0, 0, 0, 0, 0, 0]);
+    }
+    b.alloc_u64(&words);
+    let out = b.reserve(8 * 512);
+    let (p, i, n, j, t, ob) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(p, first as i64).li(i, 0).li(n, 30).li(ob, out as i64);
+    let top = b.here_label();
+    b.ld(p, p, 0); // cold, value-predictable chain load
+    b.li(j, 0);
+    let inner = b.here_label();
+    b.slli(t, j, 3);
+    b.add(t, t, ob);
+    b.st(j, t, 0); // burst of stores while the chain load is in flight
+    b.addi(j, j, 1);
+    b.slti(t, j, 64);
+    b.bne(t, Reg(0), inner);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let mut cfg = PipelineConfig::hpca2005();
+    cfg.hw_contexts = 4;
+    cfg.store_buffer_entries = 2;
+    cfg.vp = VpConfig::mtvp(PredictorKind::Oracle);
+    cfg.vp.selector = SelectorKind::Always;
+    cfg.vp.spawn_latency = 1;
+    let (stats, _) = run(&b.build(), cfg);
+    assert!(
+        stats.vp.store_buffer_stalls > 0,
+        "2-entry store buffer must stall: {:?}",
+        stats.vp
+    );
+}
+
+/// MSHR back-pressure: a burst of independent misses must see rejections.
+#[test]
+fn mshr_back_pressure_rejects_excess_misses() {
+    let mut b = ProgramBuilder::new();
+    b.name("mshr");
+    const WORDS: u64 = 1 << 21; // 16MB: far larger than the (warmed) L3
+    let arr = b.alloc_u64(&vec![1u64; WORDS as usize]);
+    let (base, i, n, t, acc, m) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(base, arr as i64).li(i, 0).li(n, 2000).li(acc, 0);
+    b.li(m, 2654435761);
+    let top = b.here_label();
+    b.mul(t, i, m);
+    b.andi(t, t, (WORDS - 1) as i64 & !7);
+    b.slli(t, t, 3);
+    b.add(t, t, base);
+    b.ld(t, t, 0);
+    b.add(acc, acc, t);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let (stats, _) = run(&b.build(), PipelineConfig::wide_window());
+    assert!(
+        stats.mem.mshr_rejections > 0,
+        "wide window over scattered misses must hit the MSHR cap: {:?}",
+        stats.mem
+    );
+}
+
+/// The wide window extracts more memory-level parallelism than the
+/// baseline on independent misses (but is still MSHR-bounded).
+#[test]
+fn wide_window_beats_baseline_on_independent_misses() {
+    let mut b = ProgramBuilder::new();
+    b.name("mlp");
+    const WORDS: u64 = 1 << 21; // 16MB: the warm start only covers the tail
+    let arr = b.alloc_u64(&vec![3u64; WORDS as usize]);
+    let (base, i, n, t, acc, m) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(base, arr as i64).li(i, 0).li(n, 1500).li(acc, 0);
+    b.li(m, 2654435761);
+    let top = b.here_label();
+    b.mul(t, i, m);
+    b.andi(t, t, (WORDS - 1) as i64 & !7);
+    b.slli(t, t, 3);
+    b.add(t, t, base);
+    b.ld(t, t, 0);
+    b.add(acc, acc, t);
+    // Enough filler that the baseline ROB covers few iterations.
+    for _ in 0..12 {
+        b.xor(acc, acc, i);
+        b.srli(t, acc, 3);
+        b.add(acc, acc, t);
+    }
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let program = b.build();
+    let (base_stats, _) = run(&program, PipelineConfig::hpca2005());
+    let (wide_stats, _) = run(&program, PipelineConfig::wide_window());
+    let speedup = wide_stats.speedup_over(&base_stats);
+    assert!(
+        speedup > 20.0,
+        "wide window should overlap independent misses: {speedup:.1}%"
+    );
+}
+
+/// Multiple-value prediction spawns several children and still recovers
+/// exact state when most are wrong.
+#[test]
+fn multi_value_spawns_and_recovers() {
+    let mut b = ProgramBuilder::new();
+    b.name("multi");
+    // A two-valued cell in pseudo-random order.
+    const CELLS: u64 = 1 << 14;
+    let first = b.data_cursor();
+    let mut words = Vec::new();
+    for k in 0..CELLS {
+        let v = if (k.wrapping_mul(0x9E3779B9) >> 7) & 1 == 0 { 5 } else { 11 };
+        words.extend_from_slice(&[v, 0, 0, 0, 0, 0, 0, 0]);
+    }
+    b.alloc_u64(&words);
+    let (p, sum, i, n, t, m) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(p, first as i64).li(sum, 0).li(i, 0).li(n, 600).li(m, 2654435761);
+    let top = b.here_label();
+    b.mul(t, i, m);
+    b.andi(t, t, (CELLS - 1) as i64);
+    b.slli(t, t, 6);
+    b.add(t, t, p);
+    b.ld(t, t, 0); // loads 5 or 11 pseudo-randomly
+    b.add(sum, sum, t);
+    // Address of next iteration depends on the loaded class.
+    b.mul(t, t, m);
+    b.xor(sum, sum, t);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    let mut cfg = PipelineConfig::hpca2005();
+    cfg.hw_contexts = 8;
+    cfg.vp = VpConfig::mtvp(PredictorKind::WangFranklinLiberal);
+    cfg.vp.max_values_per_load = 4;
+    cfg.vp.selector = SelectorKind::Always;
+    let (stats, _) = run(&b.build(), cfg);
+    assert!(stats.vp.multi_value_spawns > 0, "{:?}", stats.vp);
+}

@@ -1,0 +1,122 @@
+//! Saturating confidence counters with the paper's asymmetric update.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a confidence counter (§5.4: "+1 on correct predictions,
+/// −8 on incorrect predictions, threshold 12, maximum 32").
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfidenceConfig {
+    /// Increment applied on a correct prediction.
+    pub up: u16,
+    /// Decrement applied on an incorrect prediction.
+    pub down: u16,
+    /// Counter value at or above which a prediction is *confident*.
+    pub threshold: u16,
+    /// Saturation maximum.
+    pub max: u16,
+}
+
+impl ConfidenceConfig {
+    /// The paper's parameters: +1 / −8, threshold 12, max 32.
+    pub fn hpca2005() -> Self {
+        ConfidenceConfig { up: 1, down: 8, threshold: 12, max: 32 }
+    }
+
+    /// A "more liberal" configuration that lets several candidates be over
+    /// threshold at once — used for the multiple-value experiments (§5.6).
+    pub fn liberal() -> Self {
+        ConfidenceConfig { up: 2, down: 2, threshold: 6, max: 32 }
+    }
+}
+
+/// A saturating confidence counter.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfidenceCounter(u16);
+
+impl ConfidenceCounter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current raw value.
+    pub fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the counter is at or above the confidence threshold.
+    pub fn confident(self, cfg: &ConfidenceConfig) -> bool {
+        self.0 >= cfg.threshold
+    }
+
+    /// Apply the "correct prediction" update.
+    pub fn reward(&mut self, cfg: &ConfidenceConfig) {
+        self.0 = (self.0 + cfg.up).min(cfg.max);
+    }
+
+    /// Apply the "incorrect prediction" update.
+    pub fn penalize(&mut self, cfg: &ConfidenceConfig) {
+        self.0 = self.0.saturating_sub(cfg.down);
+    }
+
+    /// Reset to zero (entry replacement).
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_threshold_after_twelve_corrects() {
+        let cfg = ConfidenceConfig::hpca2005();
+        let mut c = ConfidenceCounter::new();
+        for i in 0..12 {
+            assert!(!c.confident(&cfg), "confident too early at step {i}");
+            c.reward(&cfg);
+        }
+        assert!(c.confident(&cfg));
+    }
+
+    #[test]
+    fn one_miss_undoes_eight_corrects() {
+        let cfg = ConfidenceConfig::hpca2005();
+        let mut c = ConfidenceCounter::new();
+        for _ in 0..20 {
+            c.reward(&cfg);
+        }
+        assert_eq!(c.value(), 20);
+        c.penalize(&cfg);
+        assert_eq!(c.value(), 12);
+        c.penalize(&cfg);
+        assert!(!c.confident(&cfg));
+    }
+
+    #[test]
+    fn saturates_at_max_and_zero() {
+        let cfg = ConfidenceConfig::hpca2005();
+        let mut c = ConfidenceCounter::new();
+        for _ in 0..100 {
+            c.reward(&cfg);
+        }
+        assert_eq!(c.value(), 32);
+        for _ in 0..100 {
+            c.penalize(&cfg);
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let cfg = ConfidenceConfig::hpca2005();
+        let mut c = ConfidenceCounter::new();
+        for _ in 0..32 {
+            c.reward(&cfg);
+        }
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert!(!c.confident(&cfg));
+    }
+}

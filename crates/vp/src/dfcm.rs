@@ -1,0 +1,233 @@
+//! Order-3 differential FCM with Burtscher's improved index function
+//! (§5.4 of the paper; Burtscher, CAN 30(3), 2002).
+//!
+//! Like FCM, but the context is the history of *deltas* between successive
+//! values, and level 2 predicts the next delta. Burtscher's improvement is
+//! an index function that draws more bits from the most recent delta and
+//! progressively fewer from older ones, instead of hashing all deltas
+//! symmetrically — recent deltas carry more information.
+
+use crate::confidence::{ConfidenceConfig, ConfidenceCounter};
+use crate::fcm::fold16;
+use crate::{Predicted, Prediction, PredictorCounters, ValuePredictor};
+use serde::{Deserialize, Serialize};
+
+/// DFCM sizing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfcmConfig {
+    /// Level-1 (per-PC) entries, power of two.
+    pub l1_entries: usize,
+    /// Level-2 (delta-context → next delta) entries, power of two.
+    pub l2_entries: usize,
+    /// Confidence parameters.
+    pub confidence: ConfidenceConfig,
+}
+
+impl DfcmConfig {
+    /// Size comparable to the paper's Wang–Franklin predictor
+    /// ("an improved third order DFCM predictor with similar size").
+    pub fn hpca2005() -> Self {
+        DfcmConfig {
+            l1_entries: 4096,
+            l2_entries: 32 * 1024,
+            confidence: ConfidenceConfig::hpca2005(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct L1Entry {
+    valid: bool,
+    pc: u64,
+    last: u64,
+    spec_last: u64,
+    deltas: [i64; 3],
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct L2Entry {
+    delta: i64,
+    conf: ConfidenceCounter,
+}
+
+/// The order-3 DFCM predictor.
+#[derive(Clone, Debug)]
+pub struct DfcmPredictor {
+    cfg: DfcmConfig,
+    l1: Vec<L1Entry>,
+    l2: Vec<L2Entry>,
+    counters: PredictorCounters,
+}
+
+impl DfcmPredictor {
+    /// Create a DFCM predictor.
+    ///
+    /// # Panics
+    /// Panics if table sizes are not powers of two.
+    pub fn new(cfg: DfcmConfig) -> Self {
+        assert!(cfg.l1_entries.is_power_of_two(), "L1 size must be a power of two");
+        assert!(cfg.l2_entries.is_power_of_two(), "L2 size must be a power of two");
+        DfcmPredictor {
+            l1: vec![L1Entry::default(); cfg.l1_entries],
+            l2: vec![L2Entry::default(); cfg.l2_entries],
+            cfg,
+            counters: PredictorCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn l1_idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.l1_entries - 1)
+    }
+
+    /// Burtscher-style asymmetric index: the newest delta contributes its
+    /// full folded 16 bits; older deltas are shifted so their bits overlap
+    /// progressively less significant positions.
+    fn delta_hash(&self, deltas: &[i64; 3], pc: u64) -> usize {
+        let d0 = fold16(deltas[0] as u64);
+        let d1 = fold16(deltas[1] as u64) >> 2;
+        let d2 = fold16(deltas[2] as u64) >> 4;
+        let h = d0 ^ (d1 << 5) ^ (d2 << 9) ^ (pc & 0x3F);
+        (h as usize) & (self.cfg.l2_entries - 1)
+    }
+}
+
+impl ValuePredictor for DfcmPredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        self.counters.queries += 1;
+        let i = self.l1_idx(pc);
+        let e = &self.l1[i];
+        if !e.valid || e.pc != pc {
+            return Prediction::none();
+        }
+        let l2 = &self.l2[self.delta_hash(&e.deltas, pc)];
+        let value = e.spec_last.wrapping_add(l2.delta as u64);
+        let confident = l2.conf.confident(&self.cfg.confidence);
+        if confident {
+            self.counters.confident += 1;
+        }
+        Prediction { primary: Some(Predicted { value, confident }), alternates: vec![] }
+    }
+
+    fn spec_update(&mut self, pc: u64, value: u64) {
+        let i = self.l1_idx(pc);
+        let e = &mut self.l1[i];
+        if e.valid && e.pc == pc {
+            e.spec_last = value;
+        }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        self.counters.trains += 1;
+        let i = self.l1_idx(pc);
+        if !self.l1[i].valid || self.l1[i].pc != pc {
+            self.l1[i] =
+                L1Entry { valid: true, pc, last: actual, spec_last: actual, deltas: [0; 3] };
+            return;
+        }
+        let ctx = self.delta_hash(&self.l1[i].deltas, pc);
+        let actual_delta = actual.wrapping_sub(self.l1[i].last) as i64;
+        let conf_cfg = self.cfg.confidence;
+        let l2 = &mut self.l2[ctx];
+        if l2.delta == actual_delta {
+            l2.conf.reward(&conf_cfg);
+        } else {
+            l2.conf.penalize(&conf_cfg);
+            if l2.conf.value() == 0 {
+                l2.delta = actual_delta;
+            }
+        }
+        let e = &mut self.l1[i];
+        e.deltas.rotate_right(1);
+        e.deltas[0] = actual_delta;
+        e.last = actual;
+        e.spec_last = actual;
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfcm() -> DfcmPredictor {
+        DfcmPredictor::new(DfcmConfig { l1_entries: 64, l2_entries: 1024, ..DfcmConfig::hpca2005() })
+    }
+
+    #[test]
+    fn learns_constant_stride() {
+        let mut p = dfcm();
+        for i in 0..40u64 {
+            p.train(0x10, i * 16);
+        }
+        assert_eq!(p.predict(0x10).confident_value(), Some(40 * 16));
+    }
+
+    #[test]
+    fn learns_repeating_delta_pattern() {
+        // Values walk +8, +8, -16 repeatedly (a 3-phase pointer walk);
+        // stride predictors thrash on this but order-3 DFCM nails it.
+        let mut p = dfcm();
+        let mut v = 1000u64;
+        let deltas = [8i64, 8, -16];
+        let mut hits = 0;
+        let mut total = 0;
+        for rep in 0..300 {
+            let d = deltas[rep % 3];
+            v = v.wrapping_add(d as u64);
+            if rep > 100 {
+                total += 1;
+                if p.predict(0x20).confident_value() == Some(v) {
+                    hits += 1;
+                }
+            }
+            p.train(0x20, v);
+        }
+        assert!(hits as f64 / total as f64 > 0.95, "{hits}/{total}");
+    }
+
+    #[test]
+    fn speculative_chaining() {
+        let mut p = dfcm();
+        for i in 0..40u64 {
+            p.train(0x30, i * 8);
+        }
+        let v1 = p.predict(0x30).confident_value().unwrap();
+        p.spec_update(0x30, v1);
+        let v2 = p.predict(0x30).confident_value().unwrap();
+        assert_eq!(v2, v1 + 8);
+    }
+
+    #[test]
+    fn random_sequence_low_confidence() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut p = dfcm();
+        let mut confident = 0;
+        for _ in 0..500 {
+            if p.predict(0x40).confident_value().is_some() {
+                confident += 1;
+            }
+            p.train(0x40, rng.r#gen());
+        }
+        assert!(confident < 25, "{confident} confident predictions on random data");
+    }
+
+    #[test]
+    fn is_more_aggressive_than_wang_franklin_style_confidence() {
+        // The paper notes DFCM makes more predictions (correct and
+        // incorrect). Sanity-check the mechanism exists: after a change of
+        // regime the predictor re-learns within a few trains.
+        let mut p = dfcm();
+        for i in 0..40u64 {
+            p.train(0x50, i * 4);
+        }
+        for i in 0..40u64 {
+            p.train(0x50, 100_000 + i * 4);
+        }
+        assert!(p.predict(0x50).confident_value().is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Order-k finite context method (FCM) value predictor
+//! (Sazeides & Smith, "The predictability of data values").
+//!
+//! Level 1 is a PC-indexed table recording the last `k` values produced by
+//! each load; level 2 maps a hash of that value history to the value that
+//! followed it last time, with a confidence counter.
+
+use crate::confidence::{ConfidenceConfig, ConfidenceCounter};
+use crate::{Predicted, Prediction, PredictorCounters, ValuePredictor};
+use serde::{Deserialize, Serialize};
+
+/// FCM sizing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FcmConfig {
+    /// Level-1 (per-PC history) entries, power of two.
+    pub l1_entries: usize,
+    /// Level-2 (context → value) entries, power of two.
+    pub l2_entries: usize,
+    /// Context order (number of previous values hashed), 1..=4.
+    pub order: usize,
+    /// Confidence parameters.
+    pub confidence: ConfidenceConfig,
+}
+
+impl FcmConfig {
+    /// A size-comparable configuration to the paper's predictors.
+    pub fn hpca2005() -> Self {
+        FcmConfig {
+            l1_entries: 4096,
+            l2_entries: 32 * 1024,
+            order: 3,
+            confidence: ConfidenceConfig::hpca2005(),
+        }
+    }
+}
+
+/// Fold a 64-bit value into 16 bits for context hashing.
+#[inline]
+pub(crate) fn fold16(v: u64) -> u64 {
+    (v ^ (v >> 16) ^ (v >> 32) ^ (v >> 48)) & 0xFFFF
+}
+
+#[derive(Clone, Debug, Default)]
+struct L1Entry {
+    valid: bool,
+    pc: u64,
+    history: [u64; 4],
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct L2Entry {
+    value: u64,
+    conf: ConfidenceCounter,
+}
+
+/// The order-k FCM predictor.
+#[derive(Clone, Debug)]
+pub struct FcmPredictor {
+    cfg: FcmConfig,
+    l1: Vec<L1Entry>,
+    l2: Vec<L2Entry>,
+    counters: PredictorCounters,
+}
+
+impl FcmPredictor {
+    /// Create an FCM predictor.
+    ///
+    /// # Panics
+    /// Panics if table sizes are not powers of two or `order` is not 1..=4.
+    pub fn new(cfg: FcmConfig) -> Self {
+        assert!(cfg.l1_entries.is_power_of_two(), "L1 size must be a power of two");
+        assert!(cfg.l2_entries.is_power_of_two(), "L2 size must be a power of two");
+        assert!((1..=4).contains(&cfg.order), "order must be in 1..=4");
+        FcmPredictor {
+            l1: vec![L1Entry::default(); cfg.l1_entries],
+            l2: vec![L2Entry::default(); cfg.l2_entries],
+            cfg,
+            counters: PredictorCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn l1_idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.l1_entries - 1)
+    }
+
+    fn context_hash(&self, history: &[u64; 4]) -> usize {
+        let mut h = 0u64;
+        for (i, v) in history.iter().take(self.cfg.order).enumerate() {
+            h ^= fold16(*v) << (i * 3);
+        }
+        (h as usize) & (self.cfg.l2_entries - 1)
+    }
+}
+
+impl ValuePredictor for FcmPredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        self.counters.queries += 1;
+        let e = &self.l1[self.l1_idx(pc)];
+        if !e.valid || e.pc != pc {
+            return Prediction::none();
+        }
+        let l2 = &self.l2[self.context_hash(&e.history)];
+        let confident = l2.conf.confident(&self.cfg.confidence);
+        if confident {
+            self.counters.confident += 1;
+        }
+        Prediction { primary: Some(Predicted { value: l2.value, confident }), alternates: vec![] }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        self.counters.trains += 1;
+        let i = self.l1_idx(pc);
+        if !self.l1[i].valid || self.l1[i].pc != pc {
+            self.l1[i] = L1Entry { valid: true, pc, history: [0; 4] };
+        }
+        let ctx = self.context_hash(&self.l1[i].history);
+        let conf_cfg = self.cfg.confidence;
+        let l2 = &mut self.l2[ctx];
+        if l2.value == actual {
+            l2.conf.reward(&conf_cfg);
+        } else {
+            l2.conf.penalize(&conf_cfg);
+            if l2.conf.value() == 0 {
+                l2.value = actual;
+            }
+        }
+        // Shift the new value into the history.
+        let h = &mut self.l1[i].history;
+        h.rotate_right(1);
+        h[0] = actual;
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fcm() -> FcmPredictor {
+        FcmPredictor::new(FcmConfig { l1_entries: 64, l2_entries: 1024, ..FcmConfig::hpca2005() })
+    }
+
+    #[test]
+    fn learns_repeating_value_sequence() {
+        // A period-3 sequence is exactly what order-3 FCM captures
+        // (and stride predictors cannot: deltas are not constant).
+        let seq = [5u64, 9, 2];
+        let mut p = fcm();
+        for rep in 0..200 {
+            let v = seq[rep % 3];
+            if rep > 50 {
+                let pred = p.predict(0x10);
+                assert_eq!(
+                    pred.confident_value(),
+                    Some(v),
+                    "rep {rep}: expected {v}, got {pred:?}"
+                );
+            }
+            p.train(0x10, v);
+        }
+    }
+
+    #[test]
+    fn constant_value_is_learned() {
+        let mut p = fcm();
+        for _ in 0..40 {
+            p.train(0x14, 77);
+        }
+        assert_eq!(p.predict(0x14).confident_value(), Some(77));
+    }
+
+    #[test]
+    fn random_values_are_not_confident() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut p = fcm();
+        let mut confident = 0;
+        for _ in 0..500 {
+            if p.predict(0x18).confident_value().is_some() {
+                confident += 1;
+            }
+            p.train(0x18, rng.r#gen());
+        }
+        assert!(confident < 25, "random sequence predicted confidently {confident} times");
+    }
+
+    #[test]
+    fn unknown_pc_gives_nothing() {
+        let mut p = fcm();
+        assert_eq!(p.predict(0xABC).primary, None);
+    }
+
+    #[test]
+    fn fold16_mixes_high_bits() {
+        assert_ne!(fold16(0x0001_0000_0000_0000), fold16(0x0002_0000_0000_0000));
+        assert_eq!(fold16(0), 0);
+        assert!(fold16(u64::MAX) <= 0xFFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "order")]
+    fn bad_order_panics() {
+        let _ = FcmPredictor::new(FcmConfig { order: 5, ..FcmConfig::hpca2005() });
+    }
+}

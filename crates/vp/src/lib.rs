@@ -1,0 +1,124 @@
+//! # mtvp-vp
+//!
+//! Load-value prediction for the MTVP simulator: the predictors and
+//! criticality ("load selection") machinery of §3.1, §5.1 and §5.4 of
+//! *Multithreaded Value Prediction* (Tuck & Tullsen, HPCA-11 2005).
+//!
+//! - [`LastValuePredictor`], [`StridePredictor`] — classic baselines;
+//! - [`FcmPredictor`] — order-k finite context method;
+//! - [`DfcmPredictor`] — order-3 differential FCM with Burtscher's
+//!   improved index function;
+//! - [`WangFranklinPredictor`] — the paper's default realistic predictor:
+//!   a 4K-entry value history table (5 learned values, hardwired 0 and 1,
+//!   and a stride value) with a 32K-entry value pattern history table of
+//!   confidence counters (+1 correct / −8 incorrect, threshold 12, max
+//!   32), capable of *multiple-value* prediction (§5.6);
+//! - [`OraclePredictor`] — exact future values from a committed-path
+//!   [`mtvp_isa::trace::Trace`];
+//! - [`IlpPred`] — the paper's forward-progress criticality predictor that
+//!   decides, per load PC, whether no prediction, single-threaded VP, or
+//!   multithreaded VP has historically been most profitable.
+//!
+//! # Example
+//!
+//! ```
+//! use mtvp_vp::{WangFranklinPredictor, WangFranklinConfig, ValuePredictor};
+//!
+//! let mut p = WangFranklinPredictor::new(WangFranklinConfig::hpca2005());
+//! // A load that always returns the same value trains up to confidence.
+//! for _ in 0..200u64 {
+//!     p.train(0x40, 7);
+//! }
+//! let pred = p.predict(0x40);
+//! assert_eq!(pred.confident_value(), Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod confidence;
+mod dfcm;
+mod fcm;
+mod oracle;
+mod select;
+mod simple;
+mod wang_franklin;
+
+pub use confidence::{ConfidenceConfig, ConfidenceCounter};
+pub use dfcm::{DfcmConfig, DfcmPredictor};
+pub use fcm::{FcmConfig, FcmPredictor};
+pub use oracle::OraclePredictor;
+pub use select::{IlpPred, IlpPredConfig, SelectDecision, VpClass};
+pub use simple::{LastValuePredictor, StridePredictor};
+pub use wang_franklin::{WangFranklinConfig, WangFranklinPredictor};
+
+use serde::{Deserialize, Serialize};
+
+/// A predicted load value with its confidence state.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicted {
+    /// The predicted 64-bit value.
+    pub value: u64,
+    /// Whether the predictor's confidence is above its use-threshold.
+    pub confident: bool,
+}
+
+/// The result of querying a value predictor for one load.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Best candidate, if the predictor has one at all.
+    pub primary: Option<Predicted>,
+    /// Additional above-threshold candidates, best-first, used by
+    /// multiple-value MTVP (§5.6). Empty for single-value predictors.
+    pub alternates: Vec<u64>,
+}
+
+impl Prediction {
+    /// A prediction with no candidate.
+    pub fn none() -> Self {
+        Prediction::default()
+    }
+
+    /// The primary value if it is confident.
+    pub fn confident_value(&self) -> Option<u64> {
+        match self.primary {
+            Some(p) if p.confident => Some(p.value),
+            _ => None,
+        }
+    }
+}
+
+/// Common interface of the realistic (PC-indexed) load-value predictors.
+///
+/// The pipeline calls [`ValuePredictor::predict`] at the rename/queue
+/// stage and [`ValuePredictor::train`] when the load *commits* with its
+/// architecturally correct value (§5.4). [`ValuePredictor::spec_update`]
+/// lets stride-bearing predictors speculatively advance their last-value
+/// state at prediction time, as the paper does for the stride component.
+pub trait ValuePredictor {
+    /// Predict the value of the load at `pc`.
+    fn predict(&mut self, pc: u64) -> Prediction;
+
+    /// Speculatively note that `value` was predicted (and will be consumed)
+    /// for the load at `pc`. Default: no-op.
+    fn spec_update(&mut self, pc: u64, value: u64) {
+        let _ = (pc, value);
+    }
+
+    /// Train with the committed value of the load at `pc`.
+    fn train(&mut self, pc: u64, actual: u64);
+
+    /// Usage counters.
+    fn counters(&self) -> PredictorCounters;
+}
+
+/// Basic usage counters every predictor keeps.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorCounters {
+    /// Calls to `predict`.
+    pub queries: u64,
+    /// Queries that returned a confident primary value.
+    pub confident: u64,
+    /// Training events.
+    pub trains: u64,
+}

@@ -1,0 +1,78 @@
+//! Trace-backed oracle value predictor (§5.1).
+//!
+//! "The oracle predictor always predicts the correct value for any load it
+//! chooses to predict. The value predictor does not perform predictions
+//! when the processor is fetching down the wrong path." Both properties
+//! fall out of the committed-path trace: the query carries the dynamic
+//! instruction index the fetching thread *believes* it is at; if the PC at
+//! that index doesn't match the trace, the thread is on a wrong path and
+//! the oracle abstains.
+
+use mtvp_isa::trace::Trace;
+use std::sync::Arc;
+
+/// The oracle load-value predictor.
+#[derive(Clone, Debug)]
+pub struct OraclePredictor {
+    trace: Arc<Trace>,
+    queries: u64,
+    answered: u64,
+}
+
+impl OraclePredictor {
+    /// Build an oracle from a committed-path trace (produced by
+    /// [`mtvp_isa::interp::Interp::run_traced`]).
+    pub fn new(trace: Arc<Trace>) -> Self {
+        OraclePredictor { trace, queries: 0, answered: 0 }
+    }
+
+    /// The exact value the load at committed-path position `dyn_idx` with
+    /// program counter `pc` will return — or `None` if the position/PC pair
+    /// is off the committed path (wrong-path fetch) or not a load.
+    pub fn predict_at(&mut self, dyn_idx: u64, pc: u64) -> Option<u64> {
+        self.queries += 1;
+        let v = self.trace.oracle_load_value(dyn_idx as usize, pc);
+        if v.is_some() {
+            self.answered += 1;
+        }
+        v
+    }
+
+    /// (queries, answered) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.queries, self.answered)
+    }
+
+    /// Length of the underlying trace (committed-path dynamic instructions).
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::interp::{Interp, SimpleBus};
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn oracle_answers_only_on_path_loads() {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc_u64(&[11, 22]);
+        b.li(Reg(1), a as i64); // 0
+        b.ld(Reg(2), Reg(1), 0); // 1
+        b.ld(Reg(3), Reg(1), 8); // 2
+        b.halt(); // 3
+        let p = b.build();
+        let mut bus = SimpleBus::new();
+        let (_, trace) = Interp::new(&p).run_traced(&mut bus, 100);
+        let mut o = OraclePredictor::new(Arc::new(trace));
+        assert_eq!(o.predict_at(1, 1), Some(11));
+        assert_eq!(o.predict_at(2, 2), Some(22));
+        assert_eq!(o.predict_at(0, 0), None); // li: not a load
+        assert_eq!(o.predict_at(1, 2), None); // wrong-path: pc mismatch
+        assert_eq!(o.predict_at(99, 1), None); // past the end
+        assert_eq!(o.counters(), (5, 2));
+        assert_eq!(o.trace_len(), 4);
+    }
+}

@@ -1,0 +1,301 @@
+//! Criticality / load-selection predictors (§5.1).
+//!
+//! The paper's best selector, **ILP-pred**, tracks per load PC the average
+//! forward progress (issued instructions per cycle) achieved between
+//! making a value prediction and confirming it, separately for three
+//! outcomes: no prediction, single-threaded VP, and multithreaded VP. A
+//! prediction class is allowed only if its measured rate beats the
+//! no-prediction rate. Rates are compared with the paper's shift trick:
+//! "shifting down the forward progress counter by the largest integer
+//! power of two in the aggregate cycle count" — no divider needed.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome class of a (non-)prediction episode.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VpClass {
+    /// No value prediction was made for the load.
+    NoVp,
+    /// Single-threaded value prediction.
+    Stvp,
+    /// Multithreaded (spawned) value prediction.
+    Mtvp,
+}
+
+impl VpClass {
+    fn index(self) -> usize {
+        match self {
+            VpClass::NoVp => 0,
+            VpClass::Stvp => 1,
+            VpClass::Mtvp => 2,
+        }
+    }
+}
+
+/// What the selector permits for a particular load.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectDecision {
+    /// Single-threaded value prediction is expected profitable.
+    pub allow_stvp: bool,
+    /// Spawning a prediction thread is expected profitable.
+    pub allow_mtvp: bool,
+}
+
+impl SelectDecision {
+    /// Permit everything (the "always" selector).
+    pub fn allow_all() -> Self {
+        SelectDecision { allow_stvp: true, allow_mtvp: true }
+    }
+
+    /// Permit nothing.
+    pub fn deny_all() -> Self {
+        SelectDecision { allow_stvp: false, allow_mtvp: false }
+    }
+}
+
+/// ILP-pred sizing and policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IlpPredConfig {
+    /// Table entries (power of two, direct mapped, tagged).
+    pub entries: usize,
+    /// Minimum episodes per class before its rate is trusted; classes with
+    /// fewer samples are optimistically allowed (exploration).
+    pub min_samples: u32,
+    /// Every `explore_period`-th query forces a no-prediction episode so
+    /// the baseline rate stays fresh.
+    pub explore_period: u32,
+}
+
+impl IlpPredConfig {
+    /// Default configuration used throughout the experiments.
+    pub fn hpca2005() -> Self {
+        IlpPredConfig { entries: 4096, min_samples: 4, explore_period: 32 }
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct ClassStats {
+    /// Issued instructions accumulated across episodes.
+    progress: u64,
+    /// Cycles accumulated across episodes.
+    cycles: u64,
+    samples: u32,
+}
+
+impl ClassStats {
+    /// The paper's imprecise divider-free rate: progress shifted down by
+    /// floor(log2(cycles)). Progress is pre-scaled by 256 (a fixed-point
+    /// shift, still just wiring in hardware) so rates below one
+    /// instruction per cycle — where long-latency loads live — do not all
+    /// quantize to zero.
+    fn rate(&self) -> u64 {
+        if self.cycles == 0 {
+            return 0;
+        }
+        (self.progress << 8) >> (63 - self.cycles.leading_zeros())
+    }
+
+    fn record(&mut self, progress: u64, cycles: u64) {
+        // Halve on overflow risk so old behaviour decays.
+        if self.progress > (1 << 40) || self.cycles > (1 << 40) {
+            self.progress >>= 1;
+            self.cycles >>= 1;
+        }
+        self.progress += progress;
+        self.cycles += cycles.max(1);
+        self.samples = self.samples.saturating_add(1);
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Entry {
+    valid: bool,
+    pc: u64,
+    classes: [ClassStats; 3],
+    queries: u32,
+}
+
+/// Per-PC forward-progress statistics of ILP-pred.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IlpPredCounters {
+    /// Selector queries.
+    pub queries: u64,
+    /// Queries that permitted MTVP.
+    pub allowed_mtvp: u64,
+    /// Queries that permitted STVP (only counts when MTVP was not also taken).
+    pub allowed_stvp: u64,
+    /// Episodes recorded.
+    pub episodes: u64,
+}
+
+/// The ILP-pred load selector.
+#[derive(Clone, Debug)]
+pub struct IlpPred {
+    cfg: IlpPredConfig,
+    entries: Vec<Entry>,
+    counters: IlpPredCounters,
+}
+
+impl IlpPred {
+    /// Create a selector.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two.
+    pub fn new(cfg: IlpPredConfig) -> Self {
+        assert!(cfg.entries.is_power_of_two(), "table size must be a power of two");
+        IlpPred {
+            entries: vec![Entry::default(); cfg.entries],
+            cfg,
+            counters: IlpPredCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.entries - 1)
+    }
+
+    /// Decide whether value prediction (of either flavour) should be used
+    /// for the load at `pc`.
+    pub fn decide(&mut self, pc: u64) -> SelectDecision {
+        self.counters.queries += 1;
+        let i = self.idx(pc);
+        let e = &mut self.entries[i];
+        if !e.valid || e.pc != pc {
+            *e = Entry { valid: true, pc, ..Entry::default() };
+        }
+        e.queries = e.queries.wrapping_add(1);
+        // Periodic exploration: refresh the no-prediction baseline.
+        if self.cfg.explore_period > 0 && e.queries % self.cfg.explore_period == 0 {
+            return SelectDecision::deny_all();
+        }
+        let [none, stvp, mtvp] = &e.classes;
+        let unknown = |c: &ClassStats| c.samples < self.cfg.min_samples;
+        let baseline_unknown = unknown(none);
+        // A prediction class must beat the no-prediction rate by a 1/8
+        // margin: episodes measured while the machine ran fast (because
+        // prediction was mostly denied) would otherwise flip the decision
+        // back and forth.
+        let bar = none.rate() + (none.rate() >> 3);
+        let allow_stvp = unknown(stvp) || baseline_unknown || stvp.rate() > bar;
+        let allow_mtvp = unknown(mtvp) || baseline_unknown || mtvp.rate() > bar;
+        if allow_mtvp {
+            self.counters.allowed_mtvp += 1;
+        } else if allow_stvp {
+            self.counters.allowed_stvp += 1;
+        }
+        SelectDecision { allow_stvp, allow_mtvp }
+    }
+
+    /// Record a finished episode for the load at `pc`: between prediction
+    /// (or, for [`VpClass::NoVp`], load issue) and confirmation,
+    /// `progress` instructions issued over `cycles` cycles.
+    pub fn record(&mut self, pc: u64, class: VpClass, progress: u64, cycles: u64) {
+        self.counters.episodes += 1;
+        let i = self.idx(pc);
+        let e = &mut self.entries[i];
+        if !e.valid || e.pc != pc {
+            *e = Entry { valid: true, pc, ..Entry::default() };
+        }
+        e.classes[class.index()].record(progress, cycles);
+    }
+
+    /// Accumulated counters.
+    pub fn counters(&self) -> IlpPredCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel() -> IlpPred {
+        IlpPred::new(IlpPredConfig { entries: 64, min_samples: 2, explore_period: 0 })
+    }
+
+    fn feed(s: &mut IlpPred, pc: u64, class: VpClass, ipc_x16: u64, n: usize) {
+        for _ in 0..n {
+            s.record(pc, class, ipc_x16 * 64, 16 * 64);
+        }
+    }
+
+    #[test]
+    fn unknown_classes_are_explored() {
+        let mut s = sel();
+        let d = s.decide(0x10);
+        assert!(d.allow_stvp && d.allow_mtvp);
+    }
+
+    #[test]
+    fn mtvp_allowed_when_it_beats_baseline() {
+        let mut s = sel();
+        feed(&mut s, 0x10, VpClass::NoVp, 4, 8); // baseline: 4/16 IPC
+        feed(&mut s, 0x10, VpClass::Mtvp, 16, 8); // mtvp: 16/16 IPC
+        feed(&mut s, 0x10, VpClass::Stvp, 2, 8); // stvp: worse than baseline
+        let d = s.decide(0x10);
+        assert!(d.allow_mtvp);
+        assert!(!d.allow_stvp);
+    }
+
+    #[test]
+    fn harmful_prediction_is_disallowed() {
+        let mut s = sel();
+        feed(&mut s, 0x20, VpClass::NoVp, 16, 8);
+        feed(&mut s, 0x20, VpClass::Mtvp, 4, 8);
+        feed(&mut s, 0x20, VpClass::Stvp, 4, 8);
+        let d = s.decide(0x20);
+        assert!(!d.allow_mtvp && !d.allow_stvp);
+    }
+
+    #[test]
+    fn exploration_period_forces_baseline_episodes() {
+        let mut s = IlpPred::new(IlpPredConfig { entries: 64, min_samples: 2, explore_period: 4 });
+        let mut denied = 0;
+        for _ in 0..16 {
+            let d = s.decide(0x30);
+            if d == SelectDecision::deny_all() {
+                denied += 1;
+            }
+        }
+        assert_eq!(denied, 4);
+    }
+
+    #[test]
+    fn rate_shift_trick_orders_correctly() {
+        let fast = ClassStats { progress: 1600, cycles: 1000, samples: 10 };
+        let slow = ClassStats { progress: 400, cycles: 1000, samples: 10 };
+        assert!(fast.rate() > slow.rate());
+        let empty = ClassStats::default();
+        assert_eq!(empty.rate(), 0);
+    }
+
+    #[test]
+    fn distinct_pcs_tracked_separately() {
+        let mut s = sel();
+        feed(&mut s, 0x10, VpClass::NoVp, 16, 8);
+        feed(&mut s, 0x10, VpClass::Mtvp, 2, 8);
+        feed(&mut s, 0x10, VpClass::Stvp, 2, 8);
+        feed(&mut s, 0x11, VpClass::NoVp, 2, 8);
+        feed(&mut s, 0x11, VpClass::Mtvp, 16, 8);
+        feed(&mut s, 0x11, VpClass::Stvp, 2, 8);
+        assert!(!s.decide(0x10).allow_mtvp);
+        assert!(s.decide(0x11).allow_mtvp);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = sel();
+        let _ = s.decide(0x40);
+        s.record(0x40, VpClass::Mtvp, 100, 10);
+        let c = s.counters();
+        assert_eq!(c.queries, 1);
+        assert_eq!(c.episodes, 1);
+    }
+
+    #[test]
+    fn decision_constructors() {
+        assert!(SelectDecision::allow_all().allow_mtvp);
+        assert!(!SelectDecision::deny_all().allow_stvp);
+    }
+}

@@ -1,0 +1,262 @@
+//! Last-value and stride predictors (Lipasti/Shen-style baselines).
+
+use crate::confidence::{ConfidenceConfig, ConfidenceCounter};
+use crate::{Predicted, Prediction, PredictorCounters, ValuePredictor};
+
+#[derive(Copy, Clone, Debug, Default)]
+struct LastValueEntry {
+    valid: bool,
+    pc: u64,
+    value: u64,
+    conf: ConfidenceCounter,
+}
+
+/// Predicts that a load returns the same value it returned last time.
+#[derive(Clone, Debug)]
+pub struct LastValuePredictor {
+    entries: Vec<LastValueEntry>,
+    conf_cfg: ConfidenceConfig,
+    counters: PredictorCounters,
+}
+
+impl LastValuePredictor {
+    /// Create a predictor with `entries` direct-mapped slots.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, conf_cfg: ConfidenceConfig) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        LastValuePredictor {
+            entries: vec![LastValueEntry::default(); entries],
+            conf_cfg,
+            counters: PredictorCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+}
+
+impl ValuePredictor for LastValuePredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        self.counters.queries += 1;
+        let e = &self.entries[self.idx(pc)];
+        if e.valid && e.pc == pc {
+            let confident = e.conf.confident(&self.conf_cfg);
+            if confident {
+                self.counters.confident += 1;
+            }
+            Prediction { primary: Some(Predicted { value: e.value, confident }), alternates: vec![] }
+        } else {
+            Prediction::none()
+        }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        self.counters.trains += 1;
+        let i = self.idx(pc);
+        let cfg = self.conf_cfg;
+        let e = &mut self.entries[i];
+        if e.valid && e.pc == pc {
+            if e.value == actual {
+                e.conf.reward(&cfg);
+            } else {
+                e.conf.penalize(&cfg);
+                e.value = actual;
+            }
+        } else {
+            *e = LastValueEntry { valid: true, pc, value: actual, conf: ConfidenceCounter::new() };
+        }
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct StrideEntry {
+    valid: bool,
+    pc: u64,
+    last: u64,
+    /// Speculative last value, advanced at predict time so that several
+    /// in-flight instances of the same load chain their strides.
+    spec_last: u64,
+    stride: i64,
+    conf: ConfidenceCounter,
+}
+
+/// Classic stride value predictor: `next = last + stride`, with the stride
+/// component speculatively updated at prediction time (§5.4).
+#[derive(Clone, Debug)]
+pub struct StridePredictor {
+    entries: Vec<StrideEntry>,
+    conf_cfg: ConfidenceConfig,
+    counters: PredictorCounters,
+}
+
+impl StridePredictor {
+    /// Create a predictor with `entries` direct-mapped slots.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, conf_cfg: ConfidenceConfig) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        StridePredictor {
+            entries: vec![StrideEntry::default(); entries],
+            conf_cfg,
+            counters: PredictorCounters::default(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+}
+
+impl ValuePredictor for StridePredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        self.counters.queries += 1;
+        let i = self.idx(pc);
+        let cfg = self.conf_cfg;
+        let e = &mut self.entries[i];
+        if e.valid && e.pc == pc {
+            let value = e.spec_last.wrapping_add(e.stride as u64);
+            let confident = e.conf.confident(&cfg);
+            if confident {
+                self.counters.confident += 1;
+            }
+            Prediction { primary: Some(Predicted { value, confident }), alternates: vec![] }
+        } else {
+            Prediction::none()
+        }
+    }
+
+    fn spec_update(&mut self, pc: u64, value: u64) {
+        let i = self.idx(pc);
+        let e = &mut self.entries[i];
+        if e.valid && e.pc == pc {
+            e.spec_last = value;
+        }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        self.counters.trains += 1;
+        let i = self.idx(pc);
+        let cfg = self.conf_cfg;
+        let e = &mut self.entries[i];
+        if e.valid && e.pc == pc {
+            let predicted = e.last.wrapping_add(e.stride as u64);
+            if predicted == actual {
+                e.conf.reward(&cfg);
+            } else {
+                e.conf.penalize(&cfg);
+                e.stride = actual.wrapping_sub(e.last) as i64;
+            }
+            e.last = actual;
+            e.spec_last = actual;
+        } else {
+            *e = StrideEntry {
+                valid: true,
+                pc,
+                last: actual,
+                spec_last: actual,
+                stride: 0,
+                conf: ConfidenceCounter::new(),
+            };
+        }
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ConfidenceConfig {
+        ConfidenceConfig::hpca2005()
+    }
+
+    #[test]
+    fn last_value_learns_constant() {
+        let mut p = LastValuePredictor::new(64, cfg());
+        for _ in 0..20 {
+            p.train(0x10, 42);
+        }
+        let pred = p.predict(0x10);
+        assert_eq!(pred.confident_value(), Some(42));
+    }
+
+    #[test]
+    fn last_value_loses_confidence_on_churn() {
+        let mut p = LastValuePredictor::new(64, cfg());
+        for i in 0..50 {
+            p.train(0x10, i); // value changes every time
+        }
+        assert_eq!(p.predict(0x10).confident_value(), None);
+    }
+
+    #[test]
+    fn stride_learns_arithmetic_sequence() {
+        let mut p = StridePredictor::new(64, cfg());
+        for i in 0..30u64 {
+            p.train(0x20, 1000 + i * 8);
+        }
+        let pred = p.predict(0x20);
+        assert_eq!(pred.confident_value(), Some(1000 + 30 * 8));
+    }
+
+    #[test]
+    fn stride_speculative_update_chains() {
+        let mut p = StridePredictor::new(64, cfg());
+        for i in 0..30u64 {
+            p.train(0x20, i * 8);
+        }
+        // Two predictions before any commit: the second builds on the first.
+        let v1 = p.predict(0x20).confident_value().unwrap();
+        p.spec_update(0x20, v1);
+        let v2 = p.predict(0x20).confident_value().unwrap();
+        assert_eq!(v2, v1 + 8);
+        // Commit resynchronizes speculative state.
+        p.train(0x20, v1);
+        assert_eq!(p.predict(0x20).confident_value(), Some(v1 + 8));
+    }
+
+    #[test]
+    fn unknown_pc_predicts_nothing() {
+        let mut p = StridePredictor::new(64, cfg());
+        assert_eq!(p.predict(0x999).primary, None);
+        let mut q = LastValuePredictor::new(64, cfg());
+        assert_eq!(q.predict(0x999).primary, None);
+    }
+
+    #[test]
+    fn aliased_pcs_replace_entries() {
+        let mut p = LastValuePredictor::new(4, cfg());
+        for _ in 0..20 {
+            p.train(0x0, 1);
+        }
+        p.train(0x4, 2); // same slot, different pc
+        assert_eq!(p.predict(0x0).primary, None);
+        assert!(p.predict(0x4).primary.is_some());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = StridePredictor::new(64, cfg());
+        for i in 0..30u64 {
+            p.train(0x20, i);
+        }
+        let _ = p.predict(0x20);
+        let c = p.counters();
+        assert_eq!(c.trains, 30);
+        assert_eq!(c.queries, 1);
+        assert_eq!(c.confident, 1);
+    }
+}

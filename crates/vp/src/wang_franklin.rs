@@ -1,0 +1,405 @@
+//! The Wang–Franklin hybrid value predictor (§5.4; Wang & Franklin,
+//! MICRO-30 1997), the paper's default realistic predictor.
+//!
+//! Two tables:
+//! - the **VHT** (value history table), PC-indexed, holding per-load the
+//!   five most recently *learned* values, a last-value + stride pair for
+//!   the stride sub-predictor, and a pattern history of which candidate
+//!   occurred recently;
+//! - the **ValPHT** (value pattern history table), indexed by the pattern
+//!   history (hashed with the PC), holding one confidence counter per
+//!   candidate.
+//!
+//! The candidate set per prediction is: 5 learned values, the hardwired
+//! constants 0 and 1, and `last + stride` — 8 candidates, so the pattern
+//! history stores 3-bit candidate indices. With the paper's 4K-entry VHT
+//! and 32K-entry ValPHT this is the "160 KB + 244 KB" configuration of
+//! §5.4. The predictor naturally supports *multiple-value* prediction
+//! (§5.6): every candidate whose counter is over threshold is reported.
+
+use crate::confidence::{ConfidenceConfig, ConfidenceCounter};
+use crate::{Predicted, Prediction, PredictorCounters, ValuePredictor};
+use serde::{Deserialize, Serialize};
+
+const NUM_LEARNED: usize = 5;
+const NUM_CANDIDATES: usize = 8;
+const CAND_ZERO: usize = 5;
+const CAND_ONE: usize = 6;
+const CAND_STRIDE: usize = 7;
+/// Pattern history: 4 outcomes × 3 bits.
+const PATTERN_BITS: u32 = 12;
+
+/// Wang–Franklin predictor sizing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WangFranklinConfig {
+    /// VHT entries (power of two). Paper: 4K.
+    pub vht_entries: usize,
+    /// ValPHT entries (power of two). Paper: 32K.
+    pub valpht_entries: usize,
+    /// Confidence parameters. Paper: +1/−8, threshold 12, max 32.
+    pub confidence: ConfidenceConfig,
+}
+
+impl WangFranklinConfig {
+    /// The paper's configuration (§5.4).
+    pub fn hpca2005() -> Self {
+        WangFranklinConfig {
+            vht_entries: 4096,
+            valpht_entries: 32 * 1024,
+            confidence: ConfidenceConfig::hpca2005(),
+        }
+    }
+
+    /// The "more liberal predictor" used for multiple-value MTVP (§5.6):
+    /// gentler confidence updates so several values can be over threshold.
+    pub fn liberal() -> Self {
+        WangFranklinConfig { confidence: ConfidenceConfig::liberal(), ..Self::hpca2005() }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct VhtEntry {
+    valid: bool,
+    pc: u64,
+    values: [u64; NUM_LEARNED],
+    /// Round-robin replacement cursor for `values`.
+    vcursor: u8,
+    last: u64,
+    spec_last: u64,
+    stride: i64,
+    pending_delta: i64,
+    pattern: u16,
+}
+
+type ValPhtEntry = [ConfidenceCounter; NUM_CANDIDATES];
+
+/// The Wang–Franklin hybrid predictor.
+#[derive(Clone, Debug)]
+pub struct WangFranklinPredictor {
+    cfg: WangFranklinConfig,
+    vht: Vec<VhtEntry>,
+    valpht: Vec<ValPhtEntry>,
+    counters: PredictorCounters,
+    multi_candidate_queries: u64,
+}
+
+impl WangFranklinPredictor {
+    /// Create a predictor.
+    ///
+    /// # Panics
+    /// Panics if table sizes are not powers of two.
+    pub fn new(cfg: WangFranklinConfig) -> Self {
+        assert!(cfg.vht_entries.is_power_of_two(), "VHT size must be a power of two");
+        assert!(cfg.valpht_entries.is_power_of_two(), "ValPHT size must be a power of two");
+        WangFranklinPredictor {
+            vht: vec![VhtEntry::default(); cfg.vht_entries],
+            valpht: vec![ValPhtEntry::default(); cfg.valpht_entries],
+            cfg,
+            counters: PredictorCounters::default(),
+            multi_candidate_queries: 0,
+        }
+    }
+
+    /// Queries for which more than one candidate was over threshold —
+    /// the raw material of Fig. 5.
+    pub fn multi_candidate_queries(&self) -> u64 {
+        self.multi_candidate_queries
+    }
+
+    #[inline]
+    fn vht_idx(&self, pc: u64) -> usize {
+        (pc as usize) & (self.cfg.vht_entries - 1)
+    }
+
+    #[inline]
+    fn valpht_idx(&self, pc: u64, pattern: u16) -> usize {
+        let h = (u64::from(pattern)) ^ (pc.wrapping_mul(0x9E37_79B9) & 0x7FFF);
+        (h as usize) & (self.cfg.valpht_entries - 1)
+    }
+
+    fn candidates(e: &VhtEntry, speculative: bool) -> [u64; NUM_CANDIDATES] {
+        let base = if speculative { e.spec_last } else { e.last };
+        let mut c = [0u64; NUM_CANDIDATES];
+        c[..NUM_LEARNED].copy_from_slice(&e.values);
+        c[CAND_ZERO] = 0;
+        c[CAND_ONE] = 1;
+        c[CAND_STRIDE] = base.wrapping_add(e.stride as u64);
+        c
+    }
+
+    fn best_candidate(conf: &ValPhtEntry) -> usize {
+        let mut best = 0;
+        for i in 1..NUM_CANDIDATES {
+            if conf[i].value() > conf[best].value() {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl ValuePredictor for WangFranklinPredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        self.counters.queries += 1;
+        let e = &self.vht[self.vht_idx(pc)];
+        if !e.valid || e.pc != pc {
+            return Prediction::none();
+        }
+        let cands = Self::candidates(e, true);
+        let conf = &self.valpht[self.valpht_idx(pc, e.pattern)];
+        let ccfg = &self.cfg.confidence;
+        let best = Self::best_candidate(conf);
+        let confident = conf[best].confident(ccfg);
+        if confident {
+            self.counters.confident += 1;
+        }
+        // Alternates: every other over-threshold candidate with a distinct
+        // value, ordered by confidence.
+        let mut alts: Vec<(u16, u64)> = (0..NUM_CANDIDATES)
+            .filter(|&i| i != best && conf[i].confident(ccfg) && cands[i] != cands[best])
+            .map(|i| (conf[i].value(), cands[i]))
+            .collect();
+        alts.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut seen = vec![cands[best]];
+        let alternates: Vec<u64> = alts
+            .into_iter()
+            .filter_map(|(_, v)| {
+                if seen.contains(&v) {
+                    None
+                } else {
+                    seen.push(v);
+                    Some(v)
+                }
+            })
+            .collect();
+        if confident && !alternates.is_empty() {
+            self.multi_candidate_queries += 1;
+        }
+        Prediction { primary: Some(Predicted { value: cands[best], confident }), alternates }
+    }
+
+    fn spec_update(&mut self, pc: u64, value: u64) {
+        let i = self.vht_idx(pc);
+        let e = &mut self.vht[i];
+        if e.valid && e.pc == pc {
+            e.spec_last = value;
+        }
+    }
+
+    fn train(&mut self, pc: u64, actual: u64) {
+        self.counters.trains += 1;
+        let i = self.vht_idx(pc);
+        if !self.vht[i].valid || self.vht[i].pc != pc {
+            let mut e = VhtEntry {
+                valid: true,
+                pc,
+                last: actual,
+                spec_last: actual,
+                ..VhtEntry::default()
+            };
+            e.values[0] = actual;
+            e.vcursor = 1;
+            self.vht[i] = e;
+            return;
+        }
+
+        // Evaluate against the candidates as they stood before this commit.
+        let (pattern, cands) = {
+            let e = &self.vht[i];
+            (e.pattern, Self::candidates(e, false))
+        };
+        let vi = self.valpht_idx(pc, pattern);
+        let ccfg = self.cfg.confidence;
+        let best = Self::best_candidate(&self.valpht[vi]);
+        let matched = (0..NUM_CANDIDATES).find(|&c| cands[c] == actual);
+
+        {
+            let conf = &mut self.valpht[vi];
+            match matched {
+                Some(m) => {
+                    conf[m].reward(&ccfg);
+                    if cands[best] != actual {
+                        conf[best].penalize(&ccfg);
+                    }
+                }
+                None => conf[best].penalize(&ccfg),
+            }
+        }
+
+        // Update the VHT entry: learned-value replacement, 2-delta stride,
+        // pattern history, last values.
+        let e = &mut self.vht[i];
+        let outcome_idx = match matched {
+            Some(m) => m,
+            None => {
+                // Learn the new value round-robin; its per-pattern
+                // confidence starts from whatever the slot had (hardware
+                // does not clear the ValPHT on replacement).
+                let slot = e.vcursor as usize;
+                e.values[slot] = actual;
+                e.vcursor = (e.vcursor + 1) % NUM_LEARNED as u8;
+                slot
+            }
+        };
+        let delta = actual.wrapping_sub(e.last) as i64;
+        if delta == e.pending_delta {
+            e.stride = delta;
+        }
+        e.pending_delta = delta;
+        e.last = actual;
+        e.spec_last = actual;
+        e.pattern = ((e.pattern << 3) | outcome_idx as u16) & ((1 << PATTERN_BITS) - 1);
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wf() -> WangFranklinPredictor {
+        WangFranklinPredictor::new(WangFranklinConfig {
+            vht_entries: 256,
+            valpht_entries: 4096,
+            confidence: ConfidenceConfig::hpca2005(),
+        })
+    }
+
+    #[test]
+    fn constant_value_reaches_confidence() {
+        let mut p = wf();
+        for _ in 0..40 {
+            p.train(0x10, 42);
+        }
+        assert_eq!(p.predict(0x10).confident_value(), Some(42));
+    }
+
+    #[test]
+    fn zero_constant_is_hardwired() {
+        let mut p = wf();
+        for _ in 0..40 {
+            p.train(0x14, 0);
+        }
+        assert_eq!(p.predict(0x14).confident_value(), Some(0));
+    }
+
+    #[test]
+    fn stride_candidate_tracks_arithmetic_sequences() {
+        let mut p = wf();
+        for i in 0..60u64 {
+            p.train(0x18, 1000 + i * 8);
+        }
+        assert_eq!(p.predict(0x18).confident_value(), Some(1000 + 60 * 8));
+    }
+
+    #[test]
+    fn alternating_values_learned_via_pattern_history() {
+        let mut p = wf();
+        let seq = [7u64, 9];
+        let mut hits = 0;
+        let mut total = 0;
+        for rep in 0..400usize {
+            let v = seq[rep % 2];
+            if rep > 200 {
+                total += 1;
+                if p.predict(0x20).confident_value() == Some(v) {
+                    hits += 1;
+                }
+            }
+            p.train(0x20, v);
+        }
+        assert!(hits * 10 >= total * 9, "{hits}/{total}");
+    }
+
+    #[test]
+    fn multi_value_alternates_with_liberal_confidence() {
+        let mut p = WangFranklinPredictor::new(WangFranklinConfig {
+            vht_entries: 256,
+            valpht_entries: 4096,
+            ..WangFranklinConfig::liberal()
+        });
+        // A biased random mix (2/3 value 5, 1/3 value 11) creates contexts
+        // whose successor is genuinely ambiguous: the majority value stays
+        // "best" while the minority value is rewarded without ever being
+        // the penalized best — so both end up over threshold.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1234);
+        let mut both_seen = false;
+        for _ in 0..2000usize {
+            let pred = p.predict(0x24);
+            if let Some(primary) = pred.primary {
+                let all: Vec<u64> =
+                    std::iter::once(primary.value).chain(pred.alternates.iter().copied()).collect();
+                if primary.confident && all.contains(&5) && all.contains(&11) {
+                    both_seen = true;
+                }
+            }
+            let v = if rng.gen_range(0..3) == 0 { 11u64 } else { 5 };
+            p.train(0x24, v);
+        }
+        assert!(both_seen, "no query ever exposed both hot values over threshold");
+        assert!(p.multi_candidate_queries() > 0);
+    }
+
+    #[test]
+    fn mispredictions_drop_confidence_fast() {
+        let mut p = wf();
+        for _ in 0..40 {
+            p.train(0x28, 1234);
+        }
+        assert!(p.predict(0x28).confident_value().is_some());
+        // Three surprise values in a row: -8 each wipes out confidence.
+        for v in [1u64, 2, 3] {
+            p.train(0x28, 0xF000 + v);
+        }
+        assert_eq!(p.predict(0x28).confident_value(), None);
+    }
+
+    #[test]
+    fn unknown_pc_predicts_nothing() {
+        let mut p = wf();
+        assert_eq!(p.predict(0xFFF0).primary, None);
+    }
+
+    #[test]
+    fn learned_set_replacement_is_round_robin() {
+        let mut p = wf();
+        // Feed 6 distinct repeated values; the 6th must evict slot 0.
+        for v in 100..106u64 {
+            for _ in 0..3 {
+                p.train(0x2C, v);
+            }
+        }
+        // All recent values are still learnable; no panic and predictions exist.
+        assert!(p.predict(0x2C).primary.is_some());
+    }
+
+    #[test]
+    fn spec_update_chains_stride_candidate() {
+        let mut p = wf();
+        for i in 0..60u64 {
+            p.train(0x30, i * 8);
+        }
+        let v1 = p.predict(0x30).confident_value().unwrap();
+        p.spec_update(0x30, v1);
+        let v2 = p.predict(0x30).confident_value().unwrap();
+        assert_eq!(v2, v1 + 8);
+    }
+
+    #[test]
+    fn counters_report_queries() {
+        let mut p = wf();
+        for _ in 0..20 {
+            p.train(0x34, 9);
+        }
+        let _ = p.predict(0x34);
+        let _ = p.predict(0x9999);
+        let c = p.counters();
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.trains, 20);
+        assert_eq!(c.confident, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests of the value predictors.
+
+use mtvp_vp::{
+    ConfidenceConfig, ConfidenceCounter, DfcmConfig, DfcmPredictor, StridePredictor,
+    ValuePredictor, WangFranklinConfig, WangFranklinPredictor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stride_predictor_learns_any_affine_sequence(start: u64, stride in -1000i64..1000) {
+        prop_assume!(stride != 0);
+        let mut p = StridePredictor::new(64, ConfidenceConfig::hpca2005());
+        let mut v = start;
+        for _ in 0..30 {
+            p.train(0x10, v);
+            v = v.wrapping_add(stride as u64);
+        }
+        prop_assert_eq!(p.predict(0x10).confident_value(), Some(v));
+    }
+
+    #[test]
+    fn wang_franklin_learns_any_constant(pc in 0u64..100_000, value: u64) {
+        let mut p = WangFranklinPredictor::new(WangFranklinConfig::hpca2005());
+        for _ in 0..30 {
+            p.train(pc, value);
+        }
+        prop_assert_eq!(p.predict(pc).confident_value(), Some(value));
+    }
+
+    #[test]
+    fn dfcm_learns_any_affine_sequence(start: u64, stride in -512i64..512) {
+        let mut p = DfcmPredictor::new(DfcmConfig::hpca2005());
+        let mut v = start;
+        for _ in 0..40 {
+            p.train(0x20, v);
+            v = v.wrapping_add(stride as u64);
+        }
+        prop_assert_eq!(p.predict(0x20).confident_value(), Some(v));
+    }
+
+    #[test]
+    fn confidence_counter_stays_bounded(ops in prop::collection::vec(any::<bool>(), 0..200)) {
+        let cfg = ConfidenceConfig::hpca2005();
+        let mut c = ConfidenceCounter::new();
+        for correct in ops {
+            if correct { c.reward(&cfg) } else { c.penalize(&cfg) }
+            prop_assert!(c.value() <= cfg.max);
+        }
+    }
+
+    #[test]
+    fn prediction_is_pure_between_trains(pc in 0u64..4096, values in prop::collection::vec(any::<u64>(), 1..50)) {
+        // predict() must not change what the next predict() returns.
+        let mut p = WangFranklinPredictor::new(WangFranklinConfig::hpca2005());
+        for v in &values {
+            p.train(pc, *v);
+        }
+        let a = p.predict(pc);
+        let b = p.predict(pc);
+        prop_assert_eq!(a, b);
+    }
+}

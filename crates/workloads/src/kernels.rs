@@ -1,0 +1,205 @@
+//! Classic standalone kernels, independent of the calibrated record-walk
+//! template. These are not part of the figure suite; they exist for
+//! examples, tutorials, and as additional differential-test fodder with
+//! very different control/dataflow shapes (nested loops, reductions,
+//! data-dependent inner trip counts).
+
+use mtvp_isa::{FReg, Program, ProgramBuilder, Reg};
+
+/// Dense `n × n` matrix multiply (f64, naive triple loop).
+///
+/// # Panics
+/// Panics if `n == 0` or `n > 64` (keeps programs test-sized).
+pub fn matmul(n: u64) -> Program {
+    assert!(n > 0 && n <= 64, "matmul size out of range");
+    let mut b = ProgramBuilder::new();
+    b.name(format!("matmul-{n}"));
+    let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 + 0.5).collect();
+    let bb: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 - 1.5).collect();
+    let a_base = b.alloc_f64(&a);
+    let b_base = b.alloc_f64(&bb);
+    let c_base = b.reserve(8 * n * n);
+
+    let (ra, rb, rc, ri, rj, rk, rn) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
+    let (t1, t2) = (Reg(8), Reg(9));
+    let (fa, fb, facc) = (FReg(1), FReg(2), FReg(3));
+    b.li(ra, a_base as i64).li(rb, b_base as i64).li(rc, c_base as i64).li(rn, n as i64);
+    b.li(ri, 0);
+    let li = b.here_label();
+    b.li(rj, 0);
+    let lj = b.here_label();
+    b.li(rk, 0);
+    b.fsub(facc, facc, facc); // facc = 0
+    let lk = b.here_label();
+    // fa = A[i*n+k]
+    b.mul(t1, ri, rn);
+    b.add(t1, t1, rk);
+    b.slli(t1, t1, 3);
+    b.add(t1, t1, ra);
+    b.fld(fa, t1, 0);
+    // fb = B[k*n+j]
+    b.mul(t2, rk, rn);
+    b.add(t2, t2, rj);
+    b.slli(t2, t2, 3);
+    b.add(t2, t2, rb);
+    b.fld(fb, t2, 0);
+    b.fmadd(facc, fa, fb);
+    b.addi(rk, rk, 1);
+    b.blt(rk, rn, lk);
+    // C[i*n+j] = facc
+    b.mul(t1, ri, rn);
+    b.add(t1, t1, rj);
+    b.slli(t1, t1, 3);
+    b.add(t1, t1, rc);
+    b.fst(facc, t1, 0);
+    b.addi(rj, rj, 1);
+    b.blt(rj, rn, lj);
+    b.addi(ri, ri, 1);
+    b.blt(ri, rn, li);
+    b.halt();
+    b.build()
+}
+
+/// Histogram of `values.len()` bytes into 256 buckets — scattered
+/// read-modify-write traffic with frequent same-address collisions.
+pub fn histogram(values: &[u8]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("histogram");
+    let words: Vec<u64> = values.iter().map(|v| u64::from(*v)).collect();
+    let data = b.alloc_u64(&words);
+    let buckets = b.reserve(8 * 256);
+    let (rd, rbk, ri, rn, t, v) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    b.li(rd, data as i64).li(rbk, buckets as i64).li(ri, 0).li(rn, words.len() as i64);
+    let top = b.here_label();
+    b.slli(t, ri, 3);
+    b.add(t, t, rd);
+    b.ld(v, t, 0); // the byte value
+    b.slli(v, v, 3);
+    b.add(v, v, rbk);
+    b.ld(t, v, 0); // bucket count
+    b.addi(t, t, 1);
+    b.st(t, v, 0); // read-modify-write
+    b.addi(ri, ri, 1);
+    b.blt(ri, rn, top);
+    b.halt();
+    b.build()
+}
+
+/// Count occurrences of `needle` in `haystack` (byte values stored one per
+/// word) — data-dependent inner loop with early exits.
+pub fn string_search(haystack: &[u8], needle: &[u8]) -> Program {
+    assert!(!needle.is_empty() && needle.len() <= haystack.len());
+    let mut b = ProgramBuilder::new();
+    b.name("string-search");
+    let h: Vec<u64> = haystack.iter().map(|c| u64::from(*c)).collect();
+    let nd: Vec<u64> = needle.iter().map(|c| u64::from(*c)).collect();
+    let h_base = b.alloc_u64(&h);
+    let n_base = b.alloc_u64(&nd);
+    let (rh, rn, ri, rj, hl, nl, t1, t2, cnt) =
+        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9));
+    b.li(rh, h_base as i64).li(rn, n_base as i64);
+    b.li(hl, (h.len() - nd.len() + 1) as i64);
+    b.li(nl, nd.len() as i64);
+    b.li(ri, 0).li(cnt, 0);
+    let outer = b.here_label();
+    b.li(rj, 0);
+    let inner = b.label();
+    let mismatch = b.label();
+    let matched = b.label();
+    let next = b.label();
+    b.bind(inner);
+    // t1 = haystack[i + j]
+    b.add(t1, ri, rj);
+    b.slli(t1, t1, 3);
+    b.add(t1, t1, rh);
+    b.ld(t1, t1, 0);
+    // t2 = needle[j]
+    b.slli(t2, rj, 3);
+    b.add(t2, t2, rn);
+    b.ld(t2, t2, 0);
+    b.bne(t1, t2, mismatch);
+    b.addi(rj, rj, 1);
+    b.blt(rj, nl, inner);
+    b.j(matched);
+    b.bind(matched);
+    b.addi(cnt, cnt, 1);
+    b.bind(mismatch);
+    b.j(next);
+    b.bind(next);
+    b.addi(ri, ri, 1);
+    b.blt(ri, hl, outer);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::interp::{Bus, Interp, SimpleBus};
+    use mtvp_isa::DATA_BASE;
+
+    #[test]
+    fn matmul_matches_reference() {
+        let n = 6u64;
+        let p = matmul(n);
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 10_000_000);
+        assert!(res.halted);
+        // Recompute in Rust and compare C.
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 + 0.5).collect();
+        let b_: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 - 1.5).collect();
+        let c_base = DATA_BASE + 8 * n * n + 8 * n * n;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += a[(i * n + k) as usize] * b_[(k * n + j) as usize];
+                }
+                let got = f64::from_bits(bus.read_u64(c_base + 8 * (i * n + j)));
+                assert!((got - acc).abs() < 1e-9, "C[{i}][{j}] = {got}, want {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_bytes() {
+        let values: Vec<u8> = (0..500).map(|i| (i * 37 % 256) as u8).collect();
+        let p = histogram(&values);
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 10_000_000);
+        assert!(res.halted);
+        let buckets_base = DATA_BASE + 8 * values.len() as u64;
+        let mut expect = [0u64; 256];
+        for v in &values {
+            expect[*v as usize] += 1;
+        }
+        for (i, e) in expect.iter().enumerate() {
+            let got = bus.read_u64(buckets_base + 8 * i as u64);
+            assert_eq!(got, *e, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn string_search_counts_matches() {
+        let hay = b"abracadabra-abracadabra";
+        let p = string_search(hay, b"abra");
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 10_000_000);
+        assert!(res.halted);
+        assert_eq!(res.int_regs[9], 4, "abra occurs 4 times");
+    }
+
+    #[test]
+    fn string_search_no_match() {
+        let p = string_search(b"aaaaaaa", b"xyz");
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 10_000_000);
+        assert_eq!(res.int_regs[9], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn matmul_rejects_huge_sizes() {
+        let _ = matmul(65);
+    }
+}

@@ -1,0 +1,76 @@
+//! # mtvp-workloads
+//!
+//! Synthetic SPEC CPU2000-like benchmark kernels for the MTVP simulator,
+//! plus a random-program generator for differential testing.
+//!
+//! We cannot ship SPEC binaries, so each benchmark the paper reports is
+//! replaced by a kernel engineered to sit in the same region of the
+//! four-dimensional behaviour space that drives every result in the paper:
+//!
+//! 1. **long-latency loads** — scattered cold records that miss the whole
+//!    hierarchy (and defeat the stride prefetcher, whose address streams
+//!    they randomize);
+//! 2. **value locality on those loads** — each record carries a small
+//!    "class" value; the *sequence* of classes observed by the load PC is
+//!    periodic (or biased-random for the multiple-value candidates), which
+//!    is exactly what the Wang–Franklin pattern table can and cannot learn;
+//! 3. **dependence structure** — integer kernels compute the *next* record
+//!    address from the loaded class (pointer-chase-like: a wide window
+//!    cannot run ahead, value prediction can); floating-point kernels use
+//!    the class only in the data computation (abundant independent
+//!    parallelism: a wide window helps, classic STVP commit-stalls);
+//! 4. **store density** — bounds how far a speculative thread can run
+//!    before its store buffer fills (§5.3).
+//!
+//! # Example
+//!
+//! ```
+//! use mtvp_workloads::{suite, Scale, Suite};
+//!
+//! let mcf = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+//! let program = mcf.build(Scale::Tiny);
+//! assert!(program.len() > 10);
+//! assert_eq!(mcf.suite, Suite::Int);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+mod registry;
+pub mod synth;
+mod walk;
+
+pub use registry::{suite, Suite, Workload};
+pub use walk::{ClassPattern, WalkParams};
+
+/// How big to build a kernel.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few thousand dynamic instructions — unit tests.
+    Tiny,
+    /// Tens of thousands — criterion benches and integration tests.
+    Small,
+    /// Hundreds of thousands — the figure-reproduction harness.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to iteration counts.
+    pub fn iter_factor(self) -> u64 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 8,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Multiplier applied to memory footprints.
+    pub fn footprint_factor(self) -> u64 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 4,
+            Scale::Full => 16,
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Random-program generation for differential testing.
+//!
+//! Generates arbitrary — but always-terminating and 8-byte-aligned —
+//! programs mixing ALU work, memory traffic, conditional forward skips
+//! and a bounded outer loop. The cycle-level machine must produce exactly
+//! the reference interpreter's architectural state on every one of them,
+//! under every speculation mode.
+
+use mtvp_isa::{Program, ProgramBuilder, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated program.
+#[derive(Copy, Clone, Debug)]
+pub struct SynthParams {
+    /// Outer-loop iterations (bounds dynamic length).
+    pub iterations: u64,
+    /// Random body operations per iteration.
+    pub body_ops: usize,
+    /// log2 of the data arena in 8-byte words.
+    pub arena_words_log2: u32,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams { iterations: 40, body_ops: 30, arena_words_log2: 10 }
+    }
+}
+
+/// Generate a random program from `seed`.
+///
+/// The program is guaranteed to halt: the only backward branch is the
+/// outer loop, bounded by a dedicated counter register that the random
+/// body never touches. All memory accesses are 8-byte aligned within a
+/// private arena.
+pub fn random_program(seed: u64, p: SynthParams) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    b.name(format!("synth-{seed}"));
+
+    let arena_words = 1u64 << p.arena_words_log2;
+    let init: Vec<u64> = (0..arena_words).map(|_| rng.r#gen()).collect();
+    let arena = b.alloc_u64(&init);
+
+    // r1..r8: random working registers. r20: arena base. r21: loop counter.
+    // r22: loop bound. r23: scratch address register.
+    let work: Vec<Reg> = (1..=8).map(Reg).collect();
+    let (base, cnt, bound, addr) = (Reg(20), Reg(21), Reg(22), Reg(23));
+    let arena_mask = ((arena_words - 1) << 3) as i64 & !7;
+
+    b.li(base, arena as i64);
+    b.li(cnt, 0);
+    b.li(bound, p.iterations as i64);
+    for (k, r) in work.iter().enumerate() {
+        b.li(*r, (seed as i64).wrapping_mul(k as i64 + 3) ^ 0x5A5A);
+    }
+
+    let top = b.here_label();
+    let mut pending_skip: Option<(mtvp_isa::Label, usize)> = None;
+
+    for op in 0..p.body_ops {
+        // Close a pending forward skip once its window elapses.
+        if let Some((label, end)) = pending_skip {
+            if op >= end {
+                b.bind(label);
+                pending_skip = None;
+            }
+        }
+        let rd = work[rng.gen_range(0..work.len())];
+        let rs1 = work[rng.gen_range(0..work.len())];
+        let rs2 = work[rng.gen_range(0..work.len())];
+        match rng.gen_range(0..12u32) {
+            0 => {
+                b.add(rd, rs1, rs2);
+            }
+            1 => {
+                b.sub(rd, rs1, rs2);
+            }
+            2 => {
+                b.mul(rd, rs1, rs2);
+            }
+            3 => {
+                b.xor(rd, rs1, rs2);
+            }
+            4 => {
+                b.addi(rd, rs1, rng.gen_range(-100..100));
+            }
+            5 => {
+                b.srli(rd, rs1, rng.gen_range(0..20));
+            }
+            6 => {
+                b.slt(rd, rs1, rs2);
+            }
+            7 | 8 => {
+                // Aligned load from the arena.
+                b.andi(addr, rs1, arena_mask);
+                b.add(addr, addr, base);
+                b.ld(rd, addr, 0);
+            }
+            9 | 10 => {
+                // Aligned store into the arena.
+                b.andi(addr, rs1, arena_mask);
+                b.add(addr, addr, base);
+                b.st(rs2, addr, 0);
+            }
+            _ => {
+                // Conditional forward skip (if none is pending).
+                if pending_skip.is_none() && op + 2 < p.body_ops {
+                    let label = b.label();
+                    let window = rng.gen_range(1..=4usize);
+                    b.beq(rs1, rs2, label);
+                    pending_skip = Some((label, op + window));
+                } else {
+                    b.nop();
+                }
+            }
+        }
+    }
+    if let Some((label, _)) = pending_skip {
+        b.bind(label);
+    }
+
+    b.addi(cnt, cnt, 1);
+    b.blt(cnt, bound, top);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::interp::{Interp, SimpleBus};
+
+    #[test]
+    fn generated_programs_halt() {
+        for seed in 0..20 {
+            let p = random_program(seed, SynthParams::default());
+            let mut bus = SimpleBus::new();
+            let res = Interp::new(&p).run(&mut bus, 1_000_000);
+            assert!(res.halted, "seed {seed} did not halt");
+            assert_eq!(res.dyn_instrs <= 1_000_000, true);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_program(7, SynthParams::default());
+        let b = random_program(7, SynthParams::default());
+        assert_eq!(a, b);
+        let c = random_program(8, SynthParams::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn memory_accesses_stay_aligned() {
+        // Structural property: every ld/st base register is masked with ~7
+        // two instructions earlier. Spot-check by running and ensuring the
+        // interpreter's loads are all aligned (via a wrapper bus).
+        struct AlignBus(SimpleBus);
+        impl mtvp_isa::interp::Bus for AlignBus {
+            fn read_u64(&mut self, addr: u64) -> u64 {
+                assert_eq!(addr % 8, 0, "unaligned read at {addr:#x}");
+                self.0.read_u64(addr)
+            }
+            fn write_u64(&mut self, addr: u64, val: u64) {
+                assert_eq!(addr % 8, 0, "unaligned write at {addr:#x}");
+                self.0.write_u64(addr, val)
+            }
+        }
+        for seed in 0..10 {
+            let p = random_program(seed, SynthParams::default());
+            let mut bus = AlignBus(SimpleBus::new());
+            let res = Interp::new(&p).run(&mut bus, 1_000_000);
+            assert!(res.halted);
+        }
+    }
+}

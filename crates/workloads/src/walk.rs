@@ -1,0 +1,457 @@
+//! The record-walk kernel template behind every SPEC-like workload.
+//!
+//! Each iteration visits one 64-byte "record" in a large arena. The record
+//! index is a multiplicative scramble of the iteration counter — and, for
+//! pointer-chase-like kernels, of the *class value loaded from the previous
+//! record*, which makes the address chain data-dependent exactly the way
+//! mcf's arc walks are. Record class values are laid out at build time so
+//! that the sequence the load PC observes follows a chosen [`ClassPattern`].
+//!
+//! The build-time layout simulates the same index recurrence the emitted
+//! code executes, so the dynamic class sequence (including collisions,
+//! which show up as occasional mispredictions — realistic) is fully
+//! deterministic.
+
+use crate::Scale;
+use mtvp_isa::{FReg, Program, ProgramBuilder, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplicative scramble constant (Knuth).
+const MULT: u64 = 2654435761;
+/// Second scramble constant for the class feedback (must differ from
+/// `MULT`, or periodic class patterns alias systematically).
+const MULT2: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How the class value observed by the record load evolves over time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClassPattern {
+    /// Every record holds the same class (perfect last-value locality).
+    Constant(u64),
+    /// Classes repeat with a short period (Wang–Franklin pattern-table
+    /// territory).
+    Periodic(Vec<u64>),
+    /// Two classes in random order with `bias_percent` favouring the
+    /// first — the §5.6 multiple-value-prediction candidates: the primary
+    /// prediction is wrong ~`100-bias` percent of the time while both
+    /// values sit over threshold in a liberal predictor.
+    BiasedRandom {
+        /// The (majority, minority) class values.
+        values: (u64, u64),
+        /// Percentage of visits that observe the majority value.
+        bias_percent: u8,
+        /// RNG seed (layout is deterministic per seed).
+        seed: u64,
+    },
+}
+
+impl ClassPattern {
+    fn value_at(&self, i: u64, rng: &mut SmallRng) -> u64 {
+        match self {
+            ClassPattern::Constant(v) => *v,
+            ClassPattern::Periodic(vs) => vs[(i % vs.len() as u64) as usize],
+            ClassPattern::BiasedRandom { values, bias_percent, .. } => {
+                if rng.gen_range(0..100u8) < *bias_percent {
+                    values.0
+                } else {
+                    values.1
+                }
+            }
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        match self {
+            ClassPattern::BiasedRandom { seed, .. } => *seed,
+            _ => 0,
+        }
+    }
+}
+
+/// Branch flavour inside the loop body.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BranchStyle {
+    /// No data-dependent branch.
+    None,
+    /// Branch on the class value: periodic, learnable by 2bcgskew.
+    OnClass,
+    /// Branch on scrambled noise: essentially random, mispredicts.
+    OnNoise,
+}
+
+/// Parameters of a record-walk kernel. See the module docs.
+#[derive(Clone, Debug)]
+pub struct WalkParams {
+    /// log2 of the number of 64-byte records at [`Scale::Tiny`].
+    pub records_log2: u32,
+    /// Iterations at [`Scale::Tiny`].
+    pub iters: u64,
+    /// Class-value behaviour of the record load.
+    pub pattern: ClassPattern,
+    /// Whether the next record index depends on the loaded class
+    /// (integer/pointer-chase kernels: yes; FP kernels: no).
+    pub addr_dep: bool,
+    /// Dependent integer operations consuming the class per iteration.
+    pub alu_work: u32,
+    /// Floating-point operations per iteration (fed by the class through a
+    /// conversion, but address-independent).
+    pub fp_work: u32,
+    /// Streamed, prefetch-friendly loads per iteration (power of two or 0).
+    pub stream_words: u32,
+    /// Scattered unpredictable loads per iteration.
+    pub noise_loads: u32,
+    /// Stores per iteration (bounds speculative run-ahead via §5.3).
+    pub stores: u32,
+    /// Branch flavour.
+    pub branchy: BranchStyle,
+    /// Whether the record arena grows with [`Scale`]. Cache-resident
+    /// ("hot", core-bound) kernels keep a fixed footprint so revisits hit.
+    pub scale_footprint: bool,
+    /// log2 of the streamed-array arena in 8-byte words. Hot kernels use a
+    /// small arena (fully cache-resident after one pass); streamers use a
+    /// larger one so the prefetcher has real work — and so the §5.1
+    /// prefetcher-mistraining interaction with value prediction exists.
+    pub stream_arena_log2: u32,
+    /// Emit a sequential (prefetcher-friendly) warmup pass over the record
+    /// and noise arenas before the timed loop, so cache-resident kernels
+    /// are measured warm rather than dominated by compulsory misses.
+    pub warm_records: bool,
+}
+
+impl WalkParams {
+    fn records(&self, scale: Scale) -> u64 {
+        let f = if self.scale_footprint { scale.footprint_factor() } else { 1 };
+        (1u64 << self.records_log2) * f
+    }
+
+    fn total_iters(&self, scale: Scale) -> u64 {
+        self.iters * scale.iter_factor()
+    }
+}
+
+/// Simulate the index recurrence at build time and lay out record classes.
+/// Returns (class of each record, dynamic class sequence length checksum).
+fn layout_classes(p: &WalkParams, scale: Scale) -> Vec<u64> {
+    let records = p.records(scale);
+    let mask = records - 1;
+    let iters = p.total_iters(scale);
+    let mut rng = SmallRng::seed_from_u64(p.pattern.seed() ^ 0xC0FF_EE00);
+    let mut classes: Vec<Option<u64>> = vec![None; records as usize];
+    let mut c_prev: u64 = 0;
+    for i in 0..iters {
+        let mut idx = i.wrapping_mul(MULT);
+        if p.addr_dep {
+            idx = idx.wrapping_add(c_prev.wrapping_mul(MULT2));
+        }
+        idx &= mask;
+        let desired = p.pattern.value_at(i, &mut rng);
+        let c = *classes[idx as usize].get_or_insert(desired);
+        c_prev = c;
+    }
+    // Unvisited records get class 1 (arbitrary, never observed).
+    classes.into_iter().map(|c| c.unwrap_or(1)).collect()
+}
+
+/// Build the record-walk program for `params` at `scale`.
+///
+/// # Panics
+/// Panics if `stream_words` is not zero or a power of two.
+pub fn build_walk(name: &str, p: &WalkParams, scale: Scale) -> Program {
+    assert!(
+        p.stream_words == 0 || p.stream_words.is_power_of_two(),
+        "stream_words must be 0 or a power of two"
+    );
+    let records = p.records(scale);
+    let rec_mask = records - 1;
+    let iters = p.total_iters(scale);
+
+    let mut b = ProgramBuilder::new();
+    b.name(name);
+
+    // Data: the record arena (class word at offset 0 of each 64B record).
+    let classes = layout_classes(p, scale);
+    let mut arena = vec![0u64; (records * 8) as usize];
+    for (r, c) in classes.iter().enumerate() {
+        arena[r * 8] = *c;
+    }
+    let rec_base = b.alloc_u64(&arena);
+    drop(arena);
+
+    // Noise arena: 1/4 the records, scrambled contents.
+    let noise_records = (records / 4).max(64);
+    let noise_mask = noise_records - 1;
+    let mut rng = SmallRng::seed_from_u64(0xBAD5_EED);
+    let noise: Vec<u64> = (0..noise_records).map(|_| rng.r#gen()).collect();
+    let noise_base = b.alloc_u64(&noise);
+    drop(noise);
+
+    // Stream arena: contiguous, prefetch-friendly f64 data.
+    let stream_words_total: u64 = 1 << p.stream_arena_log2;
+    let stream_mask = stream_words_total - 1;
+    let stream: Vec<f64> = (0..stream_words_total).map(|i| 1.0 + (i % 97) as f64 * 0.25).collect();
+    let stream_base = b.alloc_f64(&stream);
+    drop(stream);
+
+    // Output arena.
+    let out_words: u64 = 1 << 10;
+    let out_mask = out_words - 1;
+    let out_base = b.reserve(out_words * 8);
+
+    // Registers.
+    let (rbase, ri, rn, rc, rt, racc) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+    let (rnoise, rstream, rout, rt2, rmult, rt3) = (Reg(7), Reg(8), Reg(9), Reg(10), Reg(11), Reg(12));
+    let rmult2 = Reg(13);
+    let (facc0, facc1, fx, fcoef) = (FReg(1), FReg(2), FReg(3), FReg(4));
+
+    b.li(rbase, rec_base as i64);
+    b.li(rnoise, noise_base as i64);
+    b.li(rstream, stream_base as i64);
+    b.li(rout, out_base as i64);
+    b.li(rmult, MULT as i64);
+    b.li(rmult2, MULT2 as i64);
+    b.li(ri, 0);
+    b.li(rn, iters as i64);
+    b.li(rc, 0);
+    b.li(racc, 0x1234);
+
+    if p.warm_records {
+        // Sequential warmup touch of the record arena (stride prefetcher
+        // hides most of it), then the noise arena.
+        let end = b.here(); // placeholder to keep label creation near use
+        let _ = end;
+        b.li(rt, rec_base as i64);
+        b.li(rt2, (rec_base + records * 64) as i64);
+        let warm = b.here_label();
+        b.ld(Reg(0), rt, 0);
+        b.addi(rt, rt, 64);
+        b.blt(rt, rt2, warm);
+        b.li(rt, noise_base as i64);
+        b.li(rt2, (noise_base + noise_records * 8) as i64);
+        let warm2 = b.here_label();
+        b.ld(Reg(0), rt, 0);
+        b.addi(rt, rt, 64);
+        b.blt(rt, rt2, warm2);
+    }
+
+    let top = b.here_label();
+
+    // idx = (i*MULT [+ c*MULT]) & rec_mask; addr = rec_base + idx*64
+    b.mul(rt, ri, rmult);
+    if p.addr_dep {
+        b.mul(rt2, rc, rmult2);
+        b.add(rt, rt, rt2);
+    }
+    b.andi(rt, rt, rec_mask as i64);
+    b.slli(rt, rt, 6);
+    b.add(rt, rt, rbase);
+    b.ld(rc, rt, 0); // the long-latency, value-predictable record load
+
+    // Dependent integer work on the class.
+    for k in 0..p.alu_work {
+        match k % 4 {
+            0 => {
+                b.add(racc, racc, rc);
+            }
+            1 => {
+                b.xor(racc, racc, rt);
+            }
+            2 => {
+                b.slli(rt2, rc, 2);
+                b.add(racc, racc, rt2);
+            }
+            _ => {
+                b.srli(rt2, racc, 3);
+                b.xor(racc, racc, rt2);
+            }
+        }
+    }
+
+    // Optional data-dependent branch.
+    match p.branchy {
+        BranchStyle::None => {}
+        BranchStyle::OnClass => {
+            let skip = b.label();
+            b.andi(rt2, rc, 1);
+            b.bne(rt2, Reg(0), skip);
+            b.addi(racc, racc, 13);
+            b.xori(racc, racc, 0x55);
+            b.bind(skip);
+        }
+        BranchStyle::OnNoise => {
+            let skip = b.label();
+            b.mul(rt2, racc, rmult);
+            b.srli(rt2, rt2, 17);
+            b.andi(rt2, rt2, 1);
+            b.bne(rt2, Reg(0), skip);
+            b.addi(racc, racc, 13);
+            b.xori(racc, racc, 0x55);
+            b.bind(skip);
+        }
+    }
+
+    // Scattered unpredictable loads.
+    for j in 0..p.noise_loads {
+        b.addi(rt2, ri, (j as i64 + 1) * 7777);
+        b.mul(rt2, rt2, rmult);
+        b.andi(rt2, rt2, noise_mask as i64);
+        b.slli(rt2, rt2, 3);
+        b.add(rt2, rt2, rnoise);
+        b.ld(rt3, rt2, 0);
+        b.xor(racc, racc, rt3);
+    }
+
+    // Streamed loads + FP work (class couples in through a conversion,
+    // addresses do not depend on it).
+    if p.stream_words > 0 || p.fp_work > 0 {
+        b.icvtf(fcoef, rc);
+    }
+    if p.stream_words > 0 {
+        let log_sw = p.stream_words.trailing_zeros();
+        for s in 0..p.stream_words {
+            b.slli(rt2, ri, log_sw as i64);
+            b.addi(rt2, rt2, s as i64);
+            b.andi(rt2, rt2, stream_mask as i64);
+            b.slli(rt2, rt2, 3);
+            b.add(rt2, rt2, rstream);
+            b.fld(fx, rt2, 0);
+            if s % 2 == 0 {
+                b.fmadd(facc0, fx, fcoef);
+            } else {
+                b.fmadd(facc1, fx, fcoef);
+            }
+        }
+    }
+    for k in 0..p.fp_work {
+        match k % 3 {
+            0 => {
+                b.fmul(fx, fcoef, fcoef);
+            }
+            1 => {
+                b.fadd(facc0, facc0, fx);
+            }
+            _ => {
+                b.fmadd(facc1, fx, fcoef);
+            }
+        }
+    }
+
+    // Stores.
+    for k in 0..p.stores {
+        if k == 0 && p.stores > 1 {
+            // One address-scrambled store.
+            b.mul(rt2, ri, rmult);
+            b.andi(rt2, rt2, out_mask as i64);
+        } else {
+            b.andi(rt2, ri, out_mask as i64);
+        }
+        b.slli(rt2, rt2, 3);
+        b.add(rt2, rt2, rout);
+        b.st(racc, rt2, k as i64 & 0); // offset 0; register-computed address
+    }
+
+    // Loop control.
+    b.addi(ri, ri, 1);
+    b.blt(ri, rn, top);
+
+    // Publish results for differential checks.
+    if p.stream_words > 0 || p.fp_work > 0 {
+        b.fadd(facc0, facc0, facc1);
+        b.fcvti(rt, facc0);
+        b.xor(racc, racc, rt);
+    }
+    b.st(racc, rout, 0);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::interp::{Interp, SimpleBus};
+
+    fn params() -> WalkParams {
+        WalkParams {
+            records_log2: 8,
+            iters: 50,
+            pattern: ClassPattern::Periodic(vec![3, 5, 7]),
+            addr_dep: true,
+            alu_work: 4,
+            fp_work: 2,
+            stream_words: 4,
+            noise_loads: 1,
+            stores: 1,
+            branchy: BranchStyle::OnClass,
+            scale_footprint: true,
+            stream_arena_log2: 12,
+            warm_records: false,
+        }
+    }
+
+    #[test]
+    fn walk_builds_and_halts() {
+        let p = build_walk("t", &params(), Scale::Tiny);
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 1_000_000);
+        assert!(res.halted);
+        assert!(res.loads > 50 * 5);
+        assert!(res.stores >= 50);
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let a = build_walk("t", &params(), Scale::Tiny);
+        let b = build_walk("t", &params(), Scale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_sequence_follows_pattern_mostly() {
+        // Follow the recurrence; most observed classes should equal the
+        // requested pattern (collisions cause occasional deviations).
+        let p = params();
+        let classes = layout_classes(&p, Scale::Tiny);
+        let mask = (1u64 << p.records_log2) - 1;
+        let mut c_prev = 0u64;
+        let mut matches = 0;
+        let pat = [3u64, 5, 7];
+        for i in 0..p.iters {
+            let mut idx = i.wrapping_mul(MULT);
+            idx = idx.wrapping_add(c_prev.wrapping_mul(MULT2));
+            idx &= mask;
+            let c = classes[idx as usize];
+            if c == pat[(i % 3) as usize] {
+                matches += 1;
+            }
+            c_prev = c;
+        }
+        assert!(matches as f64 / p.iters as f64 > 0.8, "{matches}/{}", p.iters);
+    }
+
+    #[test]
+    fn biased_random_pattern_mixes_values() {
+        let p = WalkParams {
+            pattern: ClassPattern::BiasedRandom { values: (3, 9), bias_percent: 70, seed: 42 },
+            addr_dep: false,
+            ..params()
+        };
+        let classes = layout_classes(&p, Scale::Small);
+        let threes = classes.iter().filter(|&&c| c == 3).count();
+        let nines = classes.iter().filter(|&&c| c == 9).count();
+        assert!(threes > nines, "bias should favour the majority value");
+        assert!(nines > 0, "minority value must appear");
+    }
+
+    #[test]
+    fn scale_grows_the_program_data() {
+        let tiny = build_walk("t", &params(), Scale::Tiny);
+        let full = build_walk("t", &params(), Scale::Full);
+        assert!(full.data_bytes() > tiny.data_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "stream_words")]
+    fn bad_stream_words_panics() {
+        let p = WalkParams { stream_words: 3, ..params() };
+        let _ = build_walk("t", &p, Scale::Tiny);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests of workload construction and the random-program
+//! generator's termination guarantee.
+
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_workloads::synth::{random_program, SynthParams};
+use mtvp_workloads::{suite, Scale};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_programs_always_halt(seed: u64, iters in 1u64..60, ops in 5usize..60) {
+        let p = random_program(seed, SynthParams {
+            iterations: iters,
+            body_ops: ops,
+            arena_words_log2: 8,
+        });
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 5_000_000);
+        prop_assert!(res.halted, "seed {} did not halt", seed);
+        // Dynamic length is bounded by iterations * (body + overhead);
+        // memory body ops expand to up to 3 instructions each.
+        prop_assert!(res.dyn_instrs <= iters * (3 * ops as u64 + 25) + 50);
+    }
+
+    #[test]
+    fn generator_is_deterministic(seed: u64) {
+        let params = SynthParams::default();
+        prop_assert_eq!(random_program(seed, params), random_program(seed, params));
+    }
+}
+
+#[test]
+fn workload_dynamic_length_scales_with_scale() {
+    for wl in suite().into_iter().take(4) {
+        let tiny = wl.build(Scale::Tiny);
+        let small = wl.build(Scale::Small);
+        let mut b1 = SimpleBus::new();
+        let mut b2 = SimpleBus::new();
+        let r1 = Interp::new(&tiny).run(&mut b1, 50_000_000);
+        let r2 = Interp::new(&small).run(&mut b2, 50_000_000);
+        assert!(r1.halted && r2.halted);
+        assert!(
+            r2.dyn_instrs > 4 * r1.dyn_instrs,
+            "{}: {} !> 4*{}",
+            wl.name,
+            r2.dyn_instrs,
+            r1.dyn_instrs
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Explore the value predictors directly: feed characteristic value
+//! sequences to each predictor and report its accuracy and confidence —
+//! a library-level tour of `mtvp-vp` without the cycle simulator.
+//!
+//! ```sh
+//! cargo run --release --example predictor_explorer
+//! ```
+
+use mtvp_vp::{
+    ConfidenceConfig, DfcmConfig, DfcmPredictor, FcmConfig, FcmPredictor, LastValuePredictor,
+    StridePredictor, ValuePredictor, WangFranklinConfig, WangFranklinPredictor,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn sequences() -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = SmallRng::seed_from_u64(99);
+    vec![
+        ("constant", vec![42; 600]),
+        ("stride +8", (0..600u64).map(|i| 0x1000 + i * 8).collect()),
+        ("period-3", (0..600usize).map(|i| [7u64, 11, 13][i % 3]).collect()),
+        (
+            "delta-period-3",
+            {
+                let mut v = 5_000u64;
+                (0..600usize)
+                    .map(|i| {
+                        v = v.wrapping_add([8i64, 8, -16][i % 3] as u64);
+                        v
+                    })
+                    .collect()
+            },
+        ),
+        ("random", (0..600).map(|_| rng.r#gen::<u64>() % 1000).collect()),
+        (
+            "biased 70/30",
+            (0..600).map(|_| if rng.gen_range(0..10) < 7 { 5u64 } else { 11 }).collect(),
+        ),
+    ]
+}
+
+fn score(p: &mut dyn ValuePredictor, seq: &[u64]) -> (f64, f64) {
+    let (mut confident, mut correct) = (0u32, 0u32);
+    for &v in seq {
+        let pred = p.predict(0x40);
+        if let Some(pv) = pred.confident_value() {
+            confident += 1;
+            if pv == v {
+                correct += 1;
+            }
+            p.spec_update(0x40, pv);
+        }
+        p.train(0x40, v);
+    }
+    let n = seq.len() as f64;
+    (confident as f64 / n, if confident == 0 { 0.0 } else { correct as f64 / confident as f64 })
+}
+
+fn main() {
+    let conf = ConfidenceConfig::hpca2005();
+    println!(
+        "{:<16}{:>22}{:>22}{:>22}{:>22}{:>22}",
+        "sequence", "last-value", "stride", "fcm-3", "dfcm-3", "wang-franklin"
+    );
+    for (name, seq) in sequences() {
+        print!("{name:<16}");
+        let mut predictors: Vec<Box<dyn ValuePredictor>> = vec![
+            Box::new(LastValuePredictor::new(1024, conf)),
+            Box::new(StridePredictor::new(1024, conf)),
+            Box::new(FcmPredictor::new(FcmConfig::hpca2005())),
+            Box::new(DfcmPredictor::new(DfcmConfig::hpca2005())),
+            Box::new(WangFranklinPredictor::new(WangFranklinConfig::hpca2005())),
+        ];
+        for p in predictors.iter_mut() {
+            let (cov, acc) = score(p.as_mut(), &seq);
+            print!("{:>11.0}%/{:>7.0}%", cov * 100.0, acc * 100.0);
+        }
+        println!();
+    }
+    println!("\n(coverage = fraction of loads predicted confidently; accuracy = of those, correct)");
+}

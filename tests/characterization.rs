@@ -1,0 +1,91 @@
+//! Characterization tests: each SPEC-like kernel must actually live in the
+//! behaviour regime its registry description claims. These guard the
+//! workload calibration that every figure depends on.
+
+use mtvp_core::{run_program, Mode, Scale, SimConfig};
+use mtvp_core::{PipeStats, Suite};
+use mtvp_workloads::suite;
+use std::collections::HashMap;
+
+fn baseline_stats() -> HashMap<String, PipeStats> {
+    let cfg = SimConfig::new(Mode::Baseline);
+    suite()
+        .into_iter()
+        .map(|wl| {
+            let program = wl.build(Scale::Small);
+            (wl.name.to_string(), run_program(&cfg, &program).stats)
+        })
+        .collect()
+}
+
+#[test]
+fn memory_bound_stars_reach_main_memory() {
+    let stats = baseline_stats();
+    for name in ["mcf", "vpr r", "twolf"] {
+        let s = &stats[name];
+        assert!(
+            s.mem.mem_accesses > 100,
+            "{name} should miss to memory: {:?}",
+            s.mem
+        );
+        assert!(s.ipc() < 0.5, "{name} should be memory-bound: IPC {:.3}", s.ipc());
+    }
+}
+
+#[test]
+fn hot_kernels_stay_in_cache() {
+    let stats = baseline_stats();
+    for name in ["crafty", "gzip g", "mesa", "lucas", "sixtrack"] {
+        let s = &stats[name];
+        let total_loads = s.mem.l1_hits + s.mem.l2_hits + s.mem.l3_hits + s.mem.mem_accesses;
+        // The uninitialized output arena is never warmed, so allow its
+        // compulsory store misses on top of the 2% load-miss budget.
+        assert!(
+            (s.mem.mem_accesses as f64) < 0.02 * total_loads as f64 + 200.0,
+            "{name} should be cache-resident: {:?}",
+            s.mem
+        );
+        assert!(s.ipc() > 0.4, "{name} should not be memory-bound: IPC {:.3}", s.ipc());
+    }
+}
+
+#[test]
+fn fp_streamers_use_the_prefetcher() {
+    let stats = baseline_stats();
+    let mut with_hits = 0;
+    for name in ["mgrid", "applu", "wupwise", "galgel", "facerec"] {
+        if stats[name].mem.stream_hits > 20 {
+            with_hits += 1;
+        }
+    }
+    assert!(with_hits >= 3, "most FP streamers should see stream-buffer hits");
+}
+
+#[test]
+fn suites_are_balanced() {
+    let s = suite();
+    assert_eq!(s.iter().filter(|w| w.suite == Suite::Int).count(), 17);
+    assert_eq!(s.iter().filter(|w| w.suite == Suite::Fp).count(), 15);
+}
+
+#[test]
+fn int_suite_has_a_gain_gradient() {
+    // The per-benchmark MTVP speedups must not be uniform: the paper's
+    // figures show a wide spread. Compare one star against one hot kernel.
+    let mtvp = SimConfig::new(Mode::Mtvp);
+    let base = SimConfig::new(Mode::Baseline);
+    let star = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+    let hot = suite().into_iter().find(|w| w.name == "crafty").unwrap();
+    let star_p = star.build(Scale::Small);
+    let hot_p = hot.build(Scale::Small);
+    let star_speedup = run_program(&mtvp, &star_p)
+        .stats
+        .speedup_over(&run_program(&base, &star_p).stats);
+    let hot_speedup = run_program(&mtvp, &hot_p)
+        .stats
+        .speedup_over(&run_program(&base, &hot_p).stats);
+    assert!(
+        star_speedup > hot_speedup + 50.0,
+        "mcf (+{star_speedup:.0}%) must dominate crafty (+{hot_speedup:.0}%)"
+    );
+}

@@ -1,0 +1,138 @@
+//! The heavyweight cross-crate correctness net: random programs from
+//! `mtvp_workloads::synth` must produce identical architectural results on
+//! the reference interpreter and on the cycle-level machine under *every*
+//! speculation mode. Any divergence in final registers, memory, or
+//! committed-path sequence (checked instruction-by-instruction inside the
+//! machine) is a simulator bug.
+
+use mtvp_core::{Mode, PredictorKind, SelectorKind, SimConfig};
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_isa::Program;
+use mtvp_pipeline::Machine;
+use mtvp_workloads::synth::{random_program, SynthParams};
+use std::sync::Arc;
+
+fn modes() -> Vec<(String, SimConfig)> {
+    let mut out = vec![
+        ("baseline".to_string(), SimConfig::new(Mode::Baseline)),
+        ("wide".to_string(), SimConfig::new(Mode::WideWindow)),
+        ("stvp".to_string(), {
+            let mut c = SimConfig::new(Mode::Stvp);
+            c.selector = SelectorKind::Always;
+            c
+        }),
+        ("stvp-stride".to_string(), {
+            let mut c = SimConfig::new(Mode::Stvp);
+            c.predictor = PredictorKind::Stride;
+            c.selector = SelectorKind::Always;
+            c
+        }),
+        ("mtvp8".to_string(), {
+            let mut c = SimConfig::new(Mode::Mtvp);
+            c.selector = SelectorKind::Always;
+            c.spawn_latency = 1;
+            c
+        }),
+        ("mtvp2-dfcm".to_string(), {
+            let mut c = SimConfig::new(Mode::Mtvp);
+            c.contexts = 2;
+            c.predictor = PredictorKind::Dfcm;
+            c
+        }),
+        ("mtvp-nostall".to_string(), {
+            let mut c = SimConfig::new(Mode::MtvpNoStall);
+            c.selector = SelectorKind::Always;
+            c
+        }),
+        ("spawn-only".to_string(), SimConfig::new(Mode::SpawnOnly)),
+        ("multi-value".to_string(), SimConfig::new(Mode::MultiValue)),
+        ("oracle-mtvp".to_string(), {
+            let mut c = SimConfig::oracle(Mode::Mtvp);
+            c.selector = SelectorKind::Always;
+            c
+        }),
+    ];
+    // Small store buffer stresses commit stalls.
+    let mut tiny_sb = SimConfig::new(Mode::Mtvp);
+    tiny_sb.store_buffer = 4;
+    tiny_sb.selector = SelectorKind::Always;
+    out.push(("mtvp-tiny-sb".to_string(), tiny_sb));
+    // Cold caches and no prefetcher stress the fill/replay paths.
+    let mut cold = SimConfig::new(Mode::Mtvp);
+    cold.warm_start = false;
+    cold.prefetcher = false;
+    cold.mshrs = 4;
+    cold.selector = SelectorKind::Always;
+    out.push(("mtvp-cold-tiny-mshr".to_string(), cold));
+    out
+}
+
+fn check_program(program: &Program) {
+    let mut bus = SimpleBus::new();
+    let mut interp = Interp::new(program);
+    let (ires, trace) = interp.run_traced(&mut bus, 20_000_000);
+    assert!(ires.halted, "{} reference did not halt", program.name);
+    let trace = Arc::new(trace);
+
+    for (name, cfg) in modes() {
+        let mut pcfg = cfg.to_pipeline_config();
+        pcfg.max_cycles = 100_000_000;
+        let mut m =
+            Machine::with_mem_config(pcfg, cfg.to_mem_config(), program, Some(trace.clone()));
+        let stats = m.run();
+        assert!(stats.halted, "{}: {name} did not halt", program.name);
+        assert_eq!(
+            stats.committed, ires.dyn_instrs,
+            "{}: {name} committed-count mismatch",
+            program.name
+        );
+        let regs = m.arch_int_regs();
+        for r in 1..32 {
+            assert_eq!(
+                regs[r], ires.int_regs[r],
+                "{}: {name} r{r} mismatch",
+                program.name
+            );
+        }
+        m.check_regfile().unwrap_or_else(|e| panic!("{}: {name}: {e}", program.name));
+    }
+}
+
+#[test]
+fn random_programs_agree_across_all_modes() {
+    for seed in 0..12u64 {
+        let program = random_program(seed, SynthParams::default());
+        check_program(&program);
+    }
+}
+
+#[test]
+fn memory_heavy_random_programs_agree() {
+    for seed in 100..106u64 {
+        let program = random_program(
+            seed,
+            SynthParams { iterations: 30, body_ops: 50, arena_words_log2: 6 },
+        );
+        check_program(&program);
+    }
+}
+
+#[test]
+fn classic_kernels_agree_across_all_modes() {
+    use mtvp_workloads::kernels;
+    check_program(&kernels::matmul(8));
+    let bytes: Vec<u8> = (0..400).map(|i| (i * 131 % 256) as u8).collect();
+    check_program(&kernels::histogram(&bytes));
+    check_program(&kernels::string_search(b"the quick brown fox jumps over the lazy dog the end", b"the"));
+}
+
+#[test]
+fn long_random_programs_agree() {
+    for seed in 200..203u64 {
+        let program = random_program(
+            seed,
+            SynthParams { iterations: 150, body_ops: 40, arena_words_log2: 12 },
+        );
+        check_program(&program);
+    }
+}

@@ -1,0 +1,36 @@
+//! Every SPEC-like kernel runs to completion — architecturally validated —
+//! on the baseline machine and on an aggressive MTVP machine.
+
+use mtvp_core::{run_program, Mode, Scale, SimConfig};
+use mtvp_workloads::suite;
+
+#[test]
+fn all_kernels_complete_on_baseline() {
+    for wl in suite() {
+        let program = wl.build(Scale::Tiny);
+        let r = run_program(&SimConfig::new(Mode::Baseline), &program);
+        assert!(r.stats.halted, "{} did not halt", wl.name);
+        assert_eq!(r.stats.committed, r.dyn_instrs, "{} commit count", wl.name);
+    }
+}
+
+#[test]
+fn all_kernels_complete_on_mtvp8() {
+    for wl in suite() {
+        let program = wl.build(Scale::Tiny);
+        let mut cfg = SimConfig::new(Mode::Mtvp);
+        cfg.contexts = 8;
+        let r = run_program(&cfg, &program);
+        assert!(r.stats.halted, "{} did not halt under mtvp8", wl.name);
+        assert_eq!(r.stats.committed, r.dyn_instrs, "{} commit count under mtvp8", wl.name);
+    }
+}
+
+#[test]
+fn all_kernels_complete_on_wide_window() {
+    for wl in suite().into_iter().take(6) {
+        let program = wl.build(Scale::Tiny);
+        let r = run_program(&SimConfig::new(Mode::WideWindow), &program);
+        assert!(r.stats.halted, "{} did not halt on wide window", wl.name);
+    }
+}
