@@ -45,7 +45,7 @@ fn bench_direction_predictor(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let taken = i % 3 != 0;
+            let taken = !i.is_multiple_of(3);
             let pred = p.predict(i % 512, ghist);
             p.update(i % 512, ghist, taken);
             ghist = (ghist << 1) | taken as u64;

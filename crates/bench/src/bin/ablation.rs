@@ -31,7 +31,9 @@ fn main() {
     }
 
     // A representative subset keeps the ablation affordable.
-    let names = ["mcf", "vpr r", "gcc 1", "crafty", "mgrid", "applu", "art 1", "mesa"];
+    let names = [
+        "mcf", "vpr r", "gcc 1", "crafty", "mgrid", "applu", "art 1", "mesa",
+    ];
     let sweep = Sweep::run_filtered(&configs, scale, |w| names.contains(&w.name));
 
     println!("\n=== Ablations: mtvp8 speedup vs its own matched baseline ===\n");
@@ -42,13 +44,17 @@ fn main() {
     for (suite, label) in [(Suite::Int, "INT"), (Suite::Fp, "FP")] {
         print!("{label:<12}");
         for tag in ["default", "no-prefetch", "mshr4", "mshr64", "cold-start"] {
-            let s = sweep.geomean_speedup(Some(suite), &format!("mtvp/{tag}"), &format!("base/{tag}"));
-            print!("{s:>width$.1}", width = match tag {
-                "default" => 10,
-                "no-prefetch" => 13,
-                "mshr4" | "mshr64" => 9,
-                _ => 12,
-            });
+            let s =
+                sweep.geomean_speedup(Some(suite), &format!("mtvp/{tag}"), &format!("base/{tag}"));
+            print!(
+                "{s:>width$.1}",
+                width = match tag {
+                    "default" => 10,
+                    "no-prefetch" => 13,
+                    "mshr4" | "mshr64" => 9,
+                    _ => 12,
+                }
+            );
         }
         println!();
     }
@@ -57,8 +63,12 @@ fn main() {
     for (bench, _) in sweep.benches() {
         println!(
             "{bench:<12}{:>10.1}{:>13.1}",
-            sweep.speedup(&bench, "mtvp/default", "base/default").unwrap_or(0.0),
-            sweep.speedup(&bench, "mtvp/no-prefetch", "base/no-prefetch").unwrap_or(0.0),
+            sweep
+                .speedup(&bench, "mtvp/default", "base/default")
+                .unwrap_or(0.0),
+            sweep
+                .speedup(&bench, "mtvp/no-prefetch", "base/no-prefetch")
+                .unwrap_or(0.0),
         );
     }
 }

@@ -26,7 +26,10 @@ fn main() {
     println!("(geomean percent change in useful IPC vs baseline)\n");
     for (suite, name) in [(Suite::Int, "SPEC INT"), (Suite::Fp, "SPEC FP")] {
         println!("--- {name} ---");
-        println!("{:<10}{:>10}{:>10}{:>10}", "config", "avg 1", "avg 8", "avg 16");
+        println!(
+            "{:<10}{:>10}{:>10}{:>10}",
+            "config", "avg 1", "avg 8", "avg 16"
+        );
         println!(
             "{:<10}{:>10.1}{:>10.1}{:>10.1}",
             "stvp",

@@ -15,7 +15,10 @@ fn main() {
     let sweep = Sweep::run(&configs, scale);
 
     println!("\n=== Figure 5: wrong primary prediction, correct value over threshold ===\n");
-    println!("{:<12}{:>10}{:>10}{:>12}", "benchmark", "followed", "alt-held", "fraction");
+    println!(
+        "{:<12}{:>10}{:>10}{:>12}",
+        "benchmark", "followed", "alt-held", "fraction"
+    );
     for &int_suite in &[true, false] {
         println!("--- SPEC {} ---", if int_suite { "INT" } else { "FP" });
         for (bench, is_int) in sweep.benches() {

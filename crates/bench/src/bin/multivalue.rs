@@ -21,11 +21,13 @@ fn main() {
         ("single-value".to_string(), single),
         ("multi-value".to_string(), multi),
     ];
-    let sweep =
-        Sweep::run_filtered(&configs, scale, |w| matches!(w.name, "swim" | "parser"));
+    let sweep = Sweep::run_filtered(&configs, scale, |w| matches!(w.name, "swim" | "parser"));
 
     println!("\n=== Multiple-value MTVP (mtvp8) on the Section 5.6 benchmarks ===\n");
-    println!("{:<12}{:>14}{:>14}", "benchmark", "single-value", "multi-value");
+    println!(
+        "{:<12}{:>14}{:>14}",
+        "benchmark", "single-value", "multi-value"
+    );
     for (bench, _) in sweep.benches() {
         println!(
             "{bench:<12}{:>13.1}%{:>13.1}%",

@@ -18,7 +18,9 @@ fn main() {
     ww.contexts = 1;
     configs.push(("wide".to_string(), ww));
 
-    let names = ["mcf", "vpr r", "gcc 1", "crafty", "gzip g", "swim", "mgrid", "art 1", "mesa"];
+    let names = [
+        "mcf", "vpr r", "gcc 1", "crafty", "gzip g", "swim", "mgrid", "art 1", "mesa",
+    ];
     let sweep = Sweep::run_filtered(&configs, scale, |w| names.contains(&w.name));
     print_speedup_table(
         "probe: Wang-Franklin + ILP-pred",

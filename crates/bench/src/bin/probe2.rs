@@ -6,7 +6,10 @@ use mtvp_core::{Mode, Scale, SelectorKind, SimConfig};
 fn main() {
     let bench = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
     let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
-    for (label, selector) in [("ilp", SelectorKind::IlpPred), ("alw", SelectorKind::Always)] {
+    for (label, selector) in [
+        ("ilp", SelectorKind::IlpPred),
+        ("alw", SelectorKind::Always),
+    ] {
         let mut c = SimConfig::new(Mode::Stvp);
         c.selector = selector;
         configs.push((format!("stvp-{label}"), c));

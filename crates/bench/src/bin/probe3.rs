@@ -4,10 +4,15 @@ use mtvp_core::sweep::Sweep;
 use mtvp_core::{Mode, Scale, SelectorKind, SimConfig};
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "applu".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "applu".to_string());
     let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
     for lat in [1u64, 8, 16] {
-        for (sel, sname) in [(SelectorKind::IlpPred, "ilp"), (SelectorKind::L3MissOracle, "l3")] {
+        for (sel, sname) in [
+            (SelectorKind::IlpPred, "ilp"),
+            (SelectorKind::L3MissOracle, "l3"),
+        ] {
             for n in [2usize, 8] {
                 let mut c = SimConfig::oracle(Mode::Mtvp);
                 c.contexts = n;

@@ -1,0 +1,160 @@
+//! Simulator-throughput benchmark: how fast does the simulator itself run?
+//!
+//! For a representative set of workloads and machine configurations this
+//! measures wall-clock simulation speed — simulated kilocycles per second
+//! and committed millions-of-instructions per second — with idle-cycle
+//! fast-forwarding off and on, and writes the results to
+//! `BENCH_throughput.json`. The simulated statistics are bit-identical
+//! between the two runs (asserted here; see `tests/fast_forward.rs`), so
+//! any difference is pure simulator speed.
+//!
+//! Usage: `sim_bench [--scale tiny|small|full] [--out PATH]`
+
+use mtvp_bench::scale_from_args;
+use mtvp_core::run::{reference_trace, run_with_trace};
+use mtvp_core::{Mode, Scale, SimConfig};
+use mtvp_workloads::suite;
+use std::time::Instant;
+
+/// Workloads spanning the interesting regimes: pointer-chasing and
+/// cache-resident integer codes plus a floating-point kernel.
+const BENCHES: &[&str] = &["mcf", "gzip g", "vpr r", "mesa", "equake"];
+
+fn configs() -> Vec<(String, SimConfig)> {
+    let mut v = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
+    for n in [4usize, 8] {
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.contexts = n;
+        v.push((format!("mtvp{n}"), c));
+    }
+    v
+}
+
+struct Measure {
+    wall_s: f64,
+    kcycles_per_s: f64,
+    mips: f64,
+}
+
+fn measure(
+    cfg: &SimConfig,
+    program: &mtvp_isa::Program,
+    n: u64,
+    trace: &std::sync::Arc<mtvp_isa::trace::Trace>,
+) -> (mtvp_core::PipeStats, Measure) {
+    // Best of three runs: the simulator is deterministic, so the fastest
+    // wall-clock is the least noise-polluted estimate.
+    let mut best: Option<(mtvp_core::PipeStats, f64)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = run_with_trace(cfg, program, n, trace.clone());
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        match &best {
+            Some((stats, best_wall)) => {
+                assert_eq!(*stats, r.stats, "simulator must be deterministic");
+                if wall < *best_wall {
+                    best = Some((r.stats, wall));
+                }
+            }
+            None => best = Some((r.stats, wall)),
+        }
+    }
+    let (stats, wall) = best.expect("at least one run");
+    let m = Measure {
+        wall_s: wall,
+        kcycles_per_s: stats.cycles as f64 / wall / 1e3,
+        mips: stats.committed as f64 / wall / 1e6,
+    };
+    (stats, m)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => args.get(i + 1).expect("--out needs a path").clone(),
+        None => "BENCH_throughput.json".to_string(),
+    };
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+
+    let configs = configs();
+    let mut cells: Vec<serde_json::Value> = Vec::new();
+    println!(
+        "{:<10} {:<8} {:>12} {:>10} | {:>12} {:>8} | {:>12} {:>8} | {:>7}",
+        "bench",
+        "config",
+        "sim cycles",
+        "committed",
+        "kcyc/s (off)",
+        "MIPS",
+        "kcyc/s (on)",
+        "MIPS",
+        "speedup"
+    );
+    for bench in BENCHES {
+        let wl = suite()
+            .into_iter()
+            .find(|w| w.name == *bench)
+            .unwrap_or_else(|| panic!("workload {bench} not in suite"));
+        let program = wl.build(scale);
+        let (n, trace) = reference_trace(&program);
+        for (label, cfg) in &configs {
+            let mut off_cfg = cfg.clone();
+            off_cfg.fast_forward = false;
+            let (off_stats, off) = measure(&off_cfg, &program, n, &trace);
+            let mut on_cfg = cfg.clone();
+            on_cfg.fast_forward = true;
+            let (on_stats, on) = measure(&on_cfg, &program, n, &trace);
+            assert_eq!(
+                off_stats, on_stats,
+                "fast-forward changed statistics on {bench}/{label}"
+            );
+            let speedup = on.kcycles_per_s / off.kcycles_per_s;
+            println!(
+                "{:<10} {:<8} {:>12} {:>10} | {:>12.0} {:>8.2} | {:>12.0} {:>8.2} | {:>6.2}x",
+                bench,
+                label,
+                on_stats.cycles,
+                on_stats.committed,
+                off.kcycles_per_s,
+                off.mips,
+                on.kcycles_per_s,
+                on.mips,
+                speedup
+            );
+            cells.push(serde_json::json!({
+                "bench": *bench,
+                "config": label.as_str(),
+                "sim_cycles": on_stats.cycles,
+                "committed": on_stats.committed,
+                "idle_cycles": on_stats.idle_cycles,
+                "ff_off": serde_json::json!({
+                    "wall_s": off.wall_s,
+                    "kcycles_per_s": off.kcycles_per_s,
+                    "committed_mips": off.mips
+                }),
+                "ff_on": serde_json::json!({
+                    "wall_s": on.wall_s,
+                    "kcycles_per_s": on.kcycles_per_s,
+                    "committed_mips": on.mips
+                }),
+                "speedup": speedup
+            }));
+        }
+    }
+    let doc = serde_json::json!({
+        "scale": scale_name,
+        "note": "simulator throughput with idle-cycle fast-forward off/on; simulated stats are bit-identical",
+        "cells": cells
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serializes"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

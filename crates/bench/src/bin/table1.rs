@@ -8,23 +8,111 @@ fn main() {
     let m = mtvp_mem::MemConfig::hpca2005();
 
     let rows: Vec<(&str, String, &str)> = vec![
-        ("Pipeline depth", format!("{} front-end stages (30-stage pipe model)", p.front_end_latency), "30 stages"),
-        ("Fetch Bandwidth", format!("{} total instructions from {} threads/cachelines", p.fetch_width, p.fetch_threads), "16 from 2 cachelines"),
-        ("Branch Predictor", format!("2bcgskew: {}K gshare/meta, {}K bimodal", p.gskew.gshare_entries / 1024, p.gskew.bimodal_entries / 1024), "2bcgskew 64K meta/gshare, 16K bimodal"),
-        ("Stride Prefetcher", format!("PC based, {} entries, {} stream buffers", m.prefetch.table_entries, m.prefetch.stream_buffers), "PC based, 256 entry, 8 stream buffers"),
-        ("ROB Size", format!("{} entries", p.rob_entries), "256 entry"),
-        ("Rename Registers", format!("{} per class", p.rename_regs), "224"),
-        ("Queue Sizes", format!("{} each IQ, FQ, MQ", p.iq_entries), "64 each"),
-        ("Issue Bandwidth", format!("8 per cycle: {} int, {} fp, {} ld/st", p.int_issue, p.fp_issue, p.mem_issue), "8: 6 int, 2 fp, 4 ls"),
-        ("ICache", format!("{}KB {}-way, {} cycles", m.l1i.size_bytes / 1024, m.l1i.assoc, m.l1_latency), "64KB 2-way, 2 cycles"),
-        ("L1 D", format!("{}KB {}-way, {} cycles", m.l1d.size_bytes / 1024, m.l1d.assoc, m.l1_latency), "64KB 2-way, 2 cycles"),
-        ("L2", format!("{}KB {}-way, {} cycles", m.l2.size_bytes / 1024, m.l2.assoc, m.l2_latency), "512KB 8-way, 20 cycles"),
-        ("L3", format!("{}MB {}-way, {} cycles", m.l3.size_bytes / 1024 / 1024, m.l3.assoc, m.l3_latency), "4MB 16-way, 50 cycles"),
-        ("Main Memory", format!("{} cycles", m.mem_latency), "1000 cycles"),
+        (
+            "Pipeline depth",
+            format!(
+                "{} front-end stages (30-stage pipe model)",
+                p.front_end_latency
+            ),
+            "30 stages",
+        ),
+        (
+            "Fetch Bandwidth",
+            format!(
+                "{} total instructions from {} threads/cachelines",
+                p.fetch_width, p.fetch_threads
+            ),
+            "16 from 2 cachelines",
+        ),
+        (
+            "Branch Predictor",
+            format!(
+                "2bcgskew: {}K gshare/meta, {}K bimodal",
+                p.gskew.gshare_entries / 1024,
+                p.gskew.bimodal_entries / 1024
+            ),
+            "2bcgskew 64K meta/gshare, 16K bimodal",
+        ),
+        (
+            "Stride Prefetcher",
+            format!(
+                "PC based, {} entries, {} stream buffers",
+                m.prefetch.table_entries, m.prefetch.stream_buffers
+            ),
+            "PC based, 256 entry, 8 stream buffers",
+        ),
+        (
+            "ROB Size",
+            format!("{} entries", p.rob_entries),
+            "256 entry",
+        ),
+        (
+            "Rename Registers",
+            format!("{} per class", p.rename_regs),
+            "224",
+        ),
+        (
+            "Queue Sizes",
+            format!("{} each IQ, FQ, MQ", p.iq_entries),
+            "64 each",
+        ),
+        (
+            "Issue Bandwidth",
+            format!(
+                "8 per cycle: {} int, {} fp, {} ld/st",
+                p.int_issue, p.fp_issue, p.mem_issue
+            ),
+            "8: 6 int, 2 fp, 4 ls",
+        ),
+        (
+            "ICache",
+            format!(
+                "{}KB {}-way, {} cycles",
+                m.l1i.size_bytes / 1024,
+                m.l1i.assoc,
+                m.l1_latency
+            ),
+            "64KB 2-way, 2 cycles",
+        ),
+        (
+            "L1 D",
+            format!(
+                "{}KB {}-way, {} cycles",
+                m.l1d.size_bytes / 1024,
+                m.l1d.assoc,
+                m.l1_latency
+            ),
+            "64KB 2-way, 2 cycles",
+        ),
+        (
+            "L2",
+            format!(
+                "{}KB {}-way, {} cycles",
+                m.l2.size_bytes / 1024,
+                m.l2.assoc,
+                m.l2_latency
+            ),
+            "512KB 8-way, 20 cycles",
+        ),
+        (
+            "L3",
+            format!(
+                "{}MB {}-way, {} cycles",
+                m.l3.size_bytes / 1024 / 1024,
+                m.l3.assoc,
+                m.l3_latency
+            ),
+            "4MB 16-way, 50 cycles",
+        ),
+        (
+            "Main Memory",
+            format!("{} cycles", m.mem_latency),
+            "1000 cycles",
+        ),
     ];
 
     println!("=== Table 1: Simulator Architectural Parameters ===\n");
-    println!("{:<20} {:<52} {}", "parameter", "this reproduction", "paper");
+    println!("{:<20} {:<52} paper", "parameter", "this reproduction");
     for (name, ours, paper) in &rows {
         println!("{name:<20} {ours:<52} {paper}");
     }
@@ -43,6 +131,9 @@ fn main() {
     assert_eq!((m.l1i.size_bytes, m.l1i.assoc), (64 * 1024, 2));
     assert_eq!((m.l2.size_bytes, m.l2.assoc), (512 * 1024, 8));
     assert_eq!((m.l3.size_bytes, m.l3.assoc), (4 * 1024 * 1024, 16));
-    assert_eq!((m.l1_latency, m.l2_latency, m.l3_latency, m.mem_latency), (2, 20, 50, 1000));
+    assert_eq!(
+        (m.l1_latency, m.l2_latency, m.l3_latency, m.mem_latency),
+        (2, 20, 50, 1000)
+    );
     println!("\nall Table 1 parameters verified");
 }

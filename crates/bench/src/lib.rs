@@ -56,7 +56,10 @@ pub fn print_speedup_table(title: &str, sweep: &Sweep, configs: &[&str], baselin
         let suite = if int_suite { Suite::Int } else { Suite::Fp };
         print!("{:<12}", "geomean");
         for c in configs {
-            print!("{:>width$.1}", sweep.geomean_speedup(Some(suite), c, baseline));
+            print!(
+                "{:>width$.1}",
+                sweep.geomean_speedup(Some(suite), c, baseline)
+            );
         }
         println!();
     }

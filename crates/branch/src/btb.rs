@@ -36,7 +36,10 @@ impl Btb {
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two(), "BTB size must be a power of two");
-        Btb { entries: vec![BtbEntry::default(); entries], stats: BtbStats::default() }
+        Btb {
+            entries: vec![BtbEntry::default(); entries],
+            stats: BtbStats::default(),
+        }
     }
 
     #[inline]
@@ -59,7 +62,11 @@ impl Btb {
     /// Record the resolved target of the indirect jump at `pc`.
     pub fn update(&mut self, pc: u64, target: u64) {
         let i = self.idx(pc);
-        self.entries[i] = BtbEntry { valid: true, pc, target };
+        self.entries[i] = BtbEntry {
+            valid: true,
+            pc,
+            target,
+        };
     }
 
     /// Accumulated statistics.

@@ -89,8 +89,14 @@ impl DirectionPredictor {
     /// # Panics
     /// Panics unless both table sizes are powers of two.
     pub fn new(cfg: GskewConfig) -> Self {
-        assert!(cfg.bimodal_entries.is_power_of_two(), "bimodal size must be a power of two");
-        assert!(cfg.gshare_entries.is_power_of_two(), "gshare size must be a power of two");
+        assert!(
+            cfg.bimodal_entries.is_power_of_two(),
+            "bimodal size must be a power of two"
+        );
+        assert!(
+            cfg.gshare_entries.is_power_of_two(),
+            "gshare size must be a power of two"
+        );
         DirectionPredictor {
             bimodal: vec![1; cfg.bimodal_entries],
             g0: vec![1; cfg.gshare_entries],
@@ -247,7 +253,10 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
         let pattern: Vec<bool> = (0..512).map(|_| rng.r#gen::<bool>()).collect();
         let acc = run_pattern(&pattern, 4, 0x20);
-        assert!(acc < 0.75, "random branches should not be highly predictable: {acc}");
+        assert!(
+            acc < 0.75,
+            "random branches should not be highly predictable: {acc}"
+        );
     }
 
     #[test]
@@ -277,7 +286,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_panics() {
-        let _ = DirectionPredictor::new(GskewConfig { bimodal_entries: 100, ..GskewConfig::tiny() });
+        let _ = DirectionPredictor::new(GskewConfig {
+            bimodal_entries: 100,
+            ..GskewConfig::tiny()
+        });
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl ReturnAddressStack {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be positive");
-        ReturnAddressStack { entries: Vec::with_capacity(capacity), capacity }
+        ReturnAddressStack {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Push a return address (a call).

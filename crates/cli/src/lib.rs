@@ -61,7 +61,9 @@ fn parse_scale(s: &str) -> Result<Scale, ParseArgsError> {
         "tiny" => Ok(Scale::Tiny),
         "small" => Ok(Scale::Small),
         "full" => Ok(Scale::Full),
-        other => Err(ParseArgsError(format!("unknown scale `{other}` (tiny|small|full)"))),
+        other => Err(ParseArgsError(format!(
+            "unknown scale `{other}` (tiny|small|full)"
+        ))),
     }
 }
 
@@ -166,7 +168,12 @@ impl Command {
                     config.warm_start = false;
                 }
                 let scale = parse_scale(get_flag("--scale")?.unwrap_or("small"))?;
-                Ok(Command::Run { bench, config, scale, json: rest.contains(&"--json") })
+                Ok(Command::Run {
+                    bench,
+                    config,
+                    scale,
+                    json: rest.contains(&"--json"),
+                })
             }
             "compare" => {
                 let bench = rest
@@ -184,14 +191,16 @@ impl Command {
                     .ok_or_else(|| ParseArgsError("disasm requires a benchmark name".into()))?
                     .to_string();
                 let limit = match get_flag("--limit")? {
-                    Some(v) => {
-                        v.parse().map_err(|_| ParseArgsError(format!("bad --limit `{v}`")))?
-                    }
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --limit `{v}`")))?,
                     None => 120,
                 };
                 Ok(Command::Disasm { bench, limit })
             }
-            other => Err(ParseArgsError(format!("unknown command `{other}`; try `help`"))),
+            other => Err(ParseArgsError(format!(
+                "unknown command `{other}`; try `help`"
+            ))),
         }
     }
 
@@ -210,12 +219,21 @@ impl Command {
                         out,
                         "{:<10} {:<6} {}",
                         w.name,
-                        if w.suite == mtvp_core::Suite::Int { "int" } else { "fp" },
+                        if w.suite == mtvp_core::Suite::Int {
+                            "int"
+                        } else {
+                            "fp"
+                        },
                         w.description
                     );
                 }
             }
-            Command::Run { bench, config, scale, json } => {
+            Command::Run {
+                bench,
+                config,
+                scale,
+                json,
+            } => {
                 let wl = find(&bench)?;
                 let program = wl.build(scale);
                 let r = run_program(&config, &program);
@@ -251,11 +269,18 @@ impl Command {
                 let wl = find(&bench)?;
                 let program = wl.build(scale);
                 let base = run_program(&SimConfig::new(Mode::Baseline), &program);
-                let _ = writeln!(out, "{:<14}{:>10}{:>9}{:>12}", "mode", "cycles", "IPC", "speedup");
+                let _ = writeln!(
+                    out,
+                    "{:<14}{:>10}{:>9}{:>12}",
+                    "mode", "cycles", "IPC", "speedup"
+                );
                 let _ = writeln!(
                     out,
                     "{:<14}{:>10}{:>9.3}{:>12}",
-                    "baseline", base.stats.cycles, base.ipc(), "-"
+                    "baseline",
+                    base.stats.cycles,
+                    base.ipc(),
+                    "-"
                 );
                 for mode in [
                     Mode::Stvp,
@@ -336,20 +361,45 @@ mod tests {
         assert_eq!(parse(&["list"]).unwrap(), Command::List);
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&["help"]).unwrap(), Command::Help);
-        assert!(matches!(parse(&["compare", "mcf"]).unwrap(), Command::Compare { .. }));
-        assert!(matches!(parse(&["disasm", "mcf"]).unwrap(), Command::Disasm { limit: 120, .. }));
+        assert!(matches!(
+            parse(&["compare", "mcf"]).unwrap(),
+            Command::Compare { .. }
+        ));
+        assert!(matches!(
+            parse(&["disasm", "mcf"]).unwrap(),
+            Command::Disasm { limit: 120, .. }
+        ));
     }
 
     #[test]
     fn parses_run_flags() {
         let cmd = parse(&[
-            "run", "mcf", "--mode", "mtvp", "--contexts", "4", "--predictor", "oracle",
-            "--spawn-latency", "1", "--store-buffer", "64", "--scale", "tiny", "--json",
-            "--no-prefetch", "--cold-start",
+            "run",
+            "mcf",
+            "--mode",
+            "mtvp",
+            "--contexts",
+            "4",
+            "--predictor",
+            "oracle",
+            "--spawn-latency",
+            "1",
+            "--store-buffer",
+            "64",
+            "--scale",
+            "tiny",
+            "--json",
+            "--no-prefetch",
+            "--cold-start",
         ])
         .unwrap();
         match cmd {
-            Command::Run { bench, config, scale, json } => {
+            Command::Run {
+                bench,
+                config,
+                scale,
+                json,
+            } => {
                 assert_eq!(bench, "mcf");
                 assert_eq!(config.contexts, 4);
                 assert_eq!(config.predictor, PredictorKind::Oracle);
@@ -378,10 +428,20 @@ mod tests {
         let out = Command::List.execute().unwrap();
         assert!(out.contains("mcf"));
         assert!(out.contains("swim"));
-        let out = Command::Disasm { bench: "mcf".into(), limit: 40 }.execute().unwrap();
+        let out = Command::Disasm {
+            bench: "mcf".into(),
+            limit: 40,
+        }
+        .execute()
+        .unwrap();
         assert!(out.contains("ld "), "{out}");
         assert!(out.contains("static instructions"));
-        let err = Command::Disasm { bench: "nope".into(), limit: 10 }.execute().unwrap_err();
+        let err = Command::Disasm {
+            bench: "nope".into(),
+            limit: 10,
+        }
+        .execute()
+        .unwrap_err();
         assert!(err.0.contains("unknown benchmark"));
     }
 
@@ -394,8 +454,10 @@ mod tests {
 
     #[test]
     fn run_json_is_valid() {
-        let cmd =
-            parse(&["run", "crafty", "--mode", "baseline", "--scale", "tiny", "--json"]).unwrap();
+        let cmd = parse(&[
+            "run", "crafty", "--mode", "baseline", "--scale", "tiny", "--json",
+        ])
+        .unwrap();
         let out = cmd.execute().unwrap();
         let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
         assert!(v["ipc"].as_f64().unwrap() > 0.0);

@@ -55,6 +55,10 @@ pub struct SimConfig {
     pub mshrs: usize,
     /// Warm-start the caches with the data image.
     pub warm_start: bool,
+    /// Fast-forward fully idle cycles (long memory stalls). Statistics are
+    /// bit-identical either way; this only changes simulator wall-clock
+    /// speed. See `PipelineConfig::fast_forward`.
+    pub fast_forward: bool,
 }
 
 impl SimConfig {
@@ -86,6 +90,7 @@ impl SimConfig {
             prefetcher: true,
             mshrs: 16,
             warm_start: true,
+            fast_forward: true,
         }
     }
 
@@ -121,6 +126,7 @@ impl SimConfig {
         p.inst_limit = self.inst_limit;
         p.max_cycles = self.max_cycles;
         p.warm_start = self.warm_start;
+        p.fast_forward = self.fast_forward;
 
         let mut vp = match self.mode {
             Mode::Baseline | Mode::WideWindow => VpConfig::baseline(),

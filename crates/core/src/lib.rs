@@ -27,11 +27,11 @@
 #![warn(missing_docs)]
 
 mod config;
-mod run;
+pub mod run;
 pub mod sweep;
 
 pub use config::{Mode, SimConfig};
-pub use run::{run_program, RunResult};
+pub use run::{reference_trace, run_program, run_with_trace, RunResult};
 
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};
 pub use mtvp_workloads::{suite, Scale, Suite, Workload};

@@ -7,7 +7,6 @@ use mtvp_isa::trace::Trace;
 use mtvp_isa::Program;
 use mtvp_pipeline::PipeStats;
 use mtvp_workloads::{suite, Scale, Suite, Workload};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -48,12 +47,11 @@ impl Sweep {
         let workloads: Vec<Workload> = suite().into_iter().filter(|w| keep(w)).collect();
 
         // Phase 1: build programs + reference traces (parallel over benches).
-        let prepared: Vec<(Workload, Program, u64, Arc<Trace>)> =
-            parallel_map(&workloads, |wl| {
-                let program = wl.build(scale);
-                let (n, trace) = reference_trace(&program);
-                (wl.clone(), program, n, trace)
-            });
+        let prepared: Vec<(Workload, Program, u64, Arc<Trace>)> = parallel_map(&workloads, |wl| {
+            let program = wl.build(scale);
+            let (n, trace) = reference_trace(&program);
+            (wl.clone(), program, n, trace)
+        });
 
         // Phase 2: simulate every (bench, config) cell in parallel.
         let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -78,7 +76,9 @@ impl Sweep {
 
     /// The measurement for (`bench`, `config`).
     pub fn cell(&self, bench: &str, config: &str) -> Option<&Cell> {
-        self.cells.iter().find(|c| c.bench == bench && c.config == config)
+        self.cells
+            .iter()
+            .find(|c| c.bench == bench && c.config == config)
     }
 
     /// Percent useful-IPC speedup of `config` over `baseline` on `bench`
@@ -93,6 +93,14 @@ impl Sweep {
     /// the benchmarks of `which` suite (or all when `None`) — the paper's
     /// "average" bars.
     pub fn geomean_speedup(&self, which: Option<Suite>, config: &str, baseline: &str) -> f64 {
+        // One pass to index the baseline cells by bench name, so the loop
+        // below is O(cells) instead of a linear `cell()` scan per bench.
+        let baseline_by_bench: std::collections::HashMap<&str, &Cell> = self
+            .cells
+            .iter()
+            .filter(|c| c.config == baseline)
+            .map(|c| (c.bench.as_str(), c))
+            .collect();
         let mut log_sum = 0.0;
         let mut n = 0usize;
         for cell in self.cells.iter().filter(|c| c.config == config) {
@@ -101,7 +109,9 @@ impl Sweep {
                     continue;
                 }
             }
-            let Some(b) = self.cell(&cell.bench, baseline) else { continue };
+            let Some(b) = baseline_by_bench.get(cell.bench.as_str()) else {
+                continue;
+            };
             let (ci, bi) = (cell.stats.ipc(), b.stats.ipc());
             if ci > 0.0 && bi > 0.0 {
                 log_sum += (ci / bi).ln();
@@ -133,29 +143,43 @@ impl Sweep {
 }
 
 /// Simple scoped-thread parallel map preserving input order.
+///
+/// Work is claimed dynamically via an atomic cursor; each worker sends
+/// `(index, result)` pairs over a channel and the caller reassembles them
+/// in input order, so workers never contend on a results lock.
 fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(
-        items.len().max(1),
-    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|s| {
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                out.lock()[i] = Some(r);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
             });
         }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("every job ran")).collect()
     })
-    .expect("worker threads do not panic");
-    out.into_inner().into_iter().map(|r| r.expect("every job ran")).collect()
 }
 
 #[cfg(test)]

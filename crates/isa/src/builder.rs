@@ -38,7 +38,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Create an empty builder.
     pub fn new() -> Self {
-        ProgramBuilder { data_cursor: DATA_BASE, ..Default::default() }
+        ProgramBuilder {
+            data_cursor: DATA_BASE,
+            ..Default::default()
+        }
     }
 
     /// Set the program name (shown in stats and harness output).
@@ -97,7 +100,10 @@ impl ProgramBuilder {
     /// Allocate raw bytes (8-byte aligned); returns the base address.
     pub fn alloc_bytes(&mut self, bytes: &[u8]) -> u64 {
         let base = self.data_cursor;
-        self.data.push(DataSegment { base, bytes: bytes.to_vec() });
+        self.data.push(DataSegment {
+            base,
+            bytes: bytes.to_vec(),
+        });
         let len = (bytes.len() as u64 + 7) & !7;
         self.data_cursor = base + len.max(8);
         base
@@ -124,24 +130,54 @@ impl ProgramBuilder {
     }
 
     fn rrr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        })
     }
 
     fn rri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
-        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: 0, imm })
+        self.emit(Inst {
+            op,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm,
+        })
     }
 
     fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.code.len(), target));
-        self.emit(Inst { op, rd: 0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: 0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        })
     }
 
     fn fff(&mut self, op: Op, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        })
     }
 
     fn ff(&mut self, op: Op, rd: FReg, rs1: FReg) -> &mut Self {
-        self.emit(Inst { op, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 }
 
@@ -238,81 +274,171 @@ ff_ops! {
 impl ProgramBuilder {
     /// Emit `li rd, imm`.
     pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
-        self.emit(Inst { op: Op::Li, rd: rd.0, rs1: 0, rs2: 0, imm })
+        self.emit(Inst {
+            op: Op::Li,
+            rd: rd.0,
+            rs1: 0,
+            rs2: 0,
+            imm,
+        })
     }
 
     /// Emit `li rd, <address of label>` (resolved at build time) — used to
     /// materialize code addresses for indirect jumps.
     pub fn li_label(&mut self, rd: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.code.len(), target));
-        self.emit(Inst { op: Op::Li, rd: rd.0, rs1: 0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Li,
+            rd: rd.0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit an unconditional jump to `target`.
     pub fn j(&mut self, target: Label) -> &mut Self {
         self.fixups.push((self.code.len(), target));
-        self.emit(Inst { op: Op::J, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::J,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit `jal rd, target` (call, link in `rd`).
     pub fn jal(&mut self, rd: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.code.len(), target));
-        self.emit(Inst { op: Op::Jal, rd: rd.0, rs1: 0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Jal,
+            rd: rd.0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit `jr rs1` (indirect jump / return).
     pub fn jr(&mut self, rs1: Reg) -> &mut Self {
-        self.emit(Inst { op: Op::Jr, rd: 0, rs1: rs1.0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Jr,
+            rd: 0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit `jalr rd, rs1` (indirect call).
     pub fn jalr(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
-        self.emit(Inst { op: Op::Jalr, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Jalr,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit `ld rd, off(base)`.
     pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
-        self.emit(Inst { op: Op::Ld, rd: rd.0, rs1: base.0, rs2: 0, imm: off })
+        self.emit(Inst {
+            op: Op::Ld,
+            rd: rd.0,
+            rs1: base.0,
+            rs2: 0,
+            imm: off,
+        })
     }
 
     /// Emit `st src, off(base)`.
     pub fn st(&mut self, src: Reg, base: Reg, off: i64) -> &mut Self {
-        self.emit(Inst { op: Op::St, rd: 0, rs1: base.0, rs2: src.0, imm: off })
+        self.emit(Inst {
+            op: Op::St,
+            rd: 0,
+            rs1: base.0,
+            rs2: src.0,
+            imm: off,
+        })
     }
 
     /// Emit `fld frd, off(base)`.
     pub fn fld(&mut self, rd: FReg, base: Reg, off: i64) -> &mut Self {
-        self.emit(Inst { op: Op::Fld, rd: rd.0, rs1: base.0, rs2: 0, imm: off })
+        self.emit(Inst {
+            op: Op::Fld,
+            rd: rd.0,
+            rs1: base.0,
+            rs2: 0,
+            imm: off,
+        })
     }
 
     /// Emit `fst fsrc, off(base)`.
     pub fn fst(&mut self, src: FReg, base: Reg, off: i64) -> &mut Self {
-        self.emit(Inst { op: Op::Fst, rd: 0, rs1: base.0, rs2: src.0, imm: off })
+        self.emit(Inst {
+            op: Op::Fst,
+            rd: 0,
+            rs1: base.0,
+            rs2: src.0,
+            imm: off,
+        })
     }
 
     /// Emit fp compare `frs1 < frs2` into integer `rd`.
     pub fn fclt(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.emit(Inst { op: Op::Fclt, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Fclt,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        })
     }
 
     /// Emit fp compare `frs1 <= frs2` into integer `rd`.
     pub fn fcle(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.emit(Inst { op: Op::Fcle, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Fcle,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        })
     }
 
     /// Emit fp compare `frs1 == frs2` into integer `rd`.
     pub fn fceq(&mut self, rd: Reg, rs1: FReg, rs2: FReg) -> &mut Self {
-        self.emit(Inst { op: Op::Fceq, rd: rd.0, rs1: rs1.0, rs2: rs2.0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Fceq,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: rs2.0,
+            imm: 0,
+        })
     }
 
     /// Emit int→fp conversion `frd <- rs1 as f64`.
     pub fn icvtf(&mut self, rd: FReg, rs1: Reg) -> &mut Self {
-        self.emit(Inst { op: Op::Icvtf, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Icvtf,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit fp→int conversion `rd <- frs1 as i64`.
     pub fn fcvti(&mut self, rd: Reg, rs1: FReg) -> &mut Self {
-        self.emit(Inst { op: Op::Fcvti, rd: rd.0, rs1: rs1.0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Fcvti,
+            rd: rd.0,
+            rs1: rs1.0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Emit `nop`.
@@ -322,7 +448,13 @@ impl ProgramBuilder {
 
     /// Emit `halt`.
     pub fn halt(&mut self) -> &mut Self {
-        self.emit(Inst { op: Op::Halt, rd: 0, rs1: 0, rs2: 0, imm: 0 })
+        self.emit(Inst {
+            op: Op::Halt,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        })
     }
 
     /// Resolve labels and produce the final [`Program`].
@@ -335,7 +467,11 @@ impl ProgramBuilder {
             self.code[idx].imm = target as i64;
         }
         Program {
-            name: if self.name.is_empty() { "anonymous".into() } else { self.name },
+            name: if self.name.is_empty() {
+                "anonymous".into()
+            } else {
+                self.name
+            },
             code: self.code,
             data: self.data,
         }

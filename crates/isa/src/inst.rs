@@ -151,7 +151,13 @@ pub struct Inst {
 
 impl Inst {
     /// A canonical no-op.
-    pub const NOP: Inst = Inst { op: Op::Nop, rd: 0, rs1: 0, rs2: 0, imm: 0 };
+    pub const NOP: Inst = Inst {
+        op: Op::Nop,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        imm: 0,
+    };
 
     /// Destination operand, if any.
     pub fn def(&self) -> Def {
@@ -166,8 +172,8 @@ impl Inst {
                     Def::Int(Reg(self.rd))
                 }
             }
-            Fld | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Fsqrt | Fneg | Fabs | Fmov
-            | Fmadd | Icvtf => Def::Fp(FReg(self.rd)),
+            Fld | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax | Fsqrt | Fneg | Fabs | Fmov | Fmadd
+            | Icvtf => Def::Fp(FReg(self.rd)),
             Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jr | St | Fst | Nop | Halt => Def::None,
         }
     }
@@ -178,12 +184,11 @@ impl Inst {
         let mut u = Uses::default();
         let ir = |n: u8| if n == 0 { None } else { Some(Reg(n)) };
         match self.op {
-            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu
-            | Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Beq
+            | Bne | Blt | Bge | Bltu | Bgeu => {
                 u.int = [ir(self.rs1), ir(self.rs2)];
             }
-            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Jr | Jalr | Ld | Fld
-            | Icvtf => {
+            Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Jr | Jalr | Ld | Fld | Icvtf => {
                 u.int = [ir(self.rs1), None];
             }
             St => {
@@ -200,7 +205,11 @@ impl Inst {
                 u.fp = [Some(FReg(self.rs1)), None, None];
             }
             Fmadd => {
-                u.fp = [Some(FReg(self.rs1)), Some(FReg(self.rs2)), Some(FReg(self.rd))];
+                u.fp = [
+                    Some(FReg(self.rs1)),
+                    Some(FReg(self.rs2)),
+                    Some(FReg(self.rd)),
+                ];
             }
             Li | J | Jal | Nop | Halt => {}
         }
@@ -247,7 +256,10 @@ impl Inst {
     /// Whether this is a control-flow instruction (branch or jump).
     pub fn is_control(&self) -> bool {
         use Op::*;
-        matches!(self.op, Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal | Jr | Jalr)
+        matches!(
+            self.op,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal | Jr | Jalr
+        )
     }
 
     /// Whether this is a *conditional* branch.
@@ -311,7 +323,13 @@ mod tests {
     use super::*;
 
     fn inst(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i64) -> Inst {
-        Inst { op, rd, rs1, rs2, imm }
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        }
     }
 
     #[test]
@@ -368,7 +386,16 @@ mod tests {
 
     #[test]
     fn latencies_are_positive() {
-        for op in [Op::Add, Op::Mul, Op::Divu, Op::Fadd, Op::Fdiv, Op::Fsqrt, Op::Ld, Op::Halt] {
+        for op in [
+            Op::Add,
+            Op::Mul,
+            Op::Divu,
+            Op::Fadd,
+            Op::Fdiv,
+            Op::Fsqrt,
+            Op::Ld,
+            Op::Halt,
+        ] {
             assert!(inst(op, 1, 2, 3, 0).base_latency() >= 1);
         }
     }

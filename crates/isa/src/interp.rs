@@ -40,7 +40,9 @@ impl SimpleBus {
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Read a single byte.
@@ -113,20 +115,8 @@ pub fn eval_int(op: Op, a: u64, b: u64, imm: i64) -> u64 {
         Add => a.wrapping_add(b),
         Sub => a.wrapping_sub(b),
         Mul => a.wrapping_mul(b),
-        Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
-        Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        Remu => a.checked_rem(b).unwrap_or(a),
         And => a & b,
         Or => a | b,
         Xor => a ^ b,
@@ -317,7 +307,11 @@ impl<'p> Interp<'p> {
         };
         self.counts.dyn_instrs += 1;
         let pc32 = self.pc as u32;
-        let mut entry = TraceEntry { pc: pc32, is_load: false, load_value: 0 };
+        let mut entry = TraceEntry {
+            pc: pc32,
+            is_load: false,
+            load_value: 0,
+        };
         let mut next_pc = self.pc + 1;
 
         match inst.op {
@@ -462,7 +456,7 @@ mod tests {
         bus.write_u64(0x1000, 0xDEAD_BEEF_CAFE_F00D);
         assert_eq!(bus.read_u64(0x1000), 0xDEAD_BEEF_CAFE_F00D);
         assert_eq!(bus.read_u64(0x9999_0000), 0); // untouched reads zero
-        // Page-straddling write/read.
+                                                  // Page-straddling write/read.
         let addr = 2 * 4096 - 3;
         bus.write_u64(addr, 0x0102_0304_0506_0708);
         assert_eq!(bus.read_u64(addr), 0x0102_0304_0506_0708);

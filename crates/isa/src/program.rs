@@ -51,7 +51,10 @@ impl Program {
             let mut addr = seg.base;
             let mut chunks = seg.bytes.chunks_exact(8);
             for ch in &mut chunks {
-                bus.write_u64(addr, u64::from_le_bytes(ch.try_into().expect("8-byte chunk")));
+                bus.write_u64(
+                    addr,
+                    u64::from_le_bytes(ch.try_into().expect("8-byte chunk")),
+                );
                 addr += 8;
             }
             let rem = chunks.remainder();
@@ -80,7 +83,13 @@ mod tests {
     fn fetch_in_and_out_of_range() {
         let p = Program {
             name: "t".into(),
-            code: vec![Inst::NOP, Inst { op: Op::Halt, ..Inst::NOP }],
+            code: vec![
+                Inst::NOP,
+                Inst {
+                    op: Op::Halt,
+                    ..Inst::NOP
+                },
+            ],
             data: vec![],
         };
         assert_eq!(p.len(), 2);
@@ -96,8 +105,14 @@ mod tests {
             name: "t".into(),
             code: vec![],
             data: vec![
-                DataSegment { base: 0x1000, bytes: vec![1, 0, 0, 0, 0, 0, 0, 0, 2] },
-                DataSegment { base: 0x2000, bytes: 0xAAu64.to_le_bytes().to_vec() },
+                DataSegment {
+                    base: 0x1000,
+                    bytes: vec![1, 0, 0, 0, 0, 0, 0, 0, 2],
+                },
+                DataSegment {
+                    base: 0x2000,
+                    bytes: 0xAAu64.to_le_bytes().to_vec(),
+                },
             ],
         };
         let mut bus = SimpleBus::new();

@@ -75,8 +75,16 @@ mod tests {
     #[test]
     fn oracle_query_requires_pc_match_and_load() {
         let mut t = Trace::new();
-        t.push(TraceEntry { pc: 5, is_load: true, load_value: 42 });
-        t.push(TraceEntry { pc: 6, is_load: false, load_value: 0 });
+        t.push(TraceEntry {
+            pc: 5,
+            is_load: true,
+            load_value: 42,
+        });
+        t.push(TraceEntry {
+            pc: 6,
+            is_load: false,
+            load_value: 0,
+        });
         assert_eq!(t.oracle_load_value(0, 5), Some(42));
         assert_eq!(t.oracle_load_value(0, 7), None); // wrong path
         assert_eq!(t.oracle_load_value(1, 6), None); // not a load

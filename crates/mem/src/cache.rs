@@ -20,7 +20,10 @@ impl CacheGeometry {
     /// Panics unless `line_bytes` is a power of two and
     /// `size_bytes` is a multiple of `assoc * line_bytes`.
     pub fn new(size_bytes: u64, assoc: u32, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
         assert_eq!(
             size_bytes % (u64::from(assoc) * line_bytes),
@@ -29,7 +32,11 @@ impl CacheGeometry {
         );
         let sets = size_bytes / (u64::from(assoc) * line_bytes);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        CacheGeometry { size_bytes, assoc, line_bytes }
+        CacheGeometry {
+            size_bytes,
+            assoc,
+            line_bytes,
+        }
     }
 
     /// Number of sets.
@@ -129,7 +136,7 @@ impl TagCache {
     pub fn access(&mut self, addr: u64, write: bool) -> bool {
         self.clock += 1;
         let la = self.line_addr(addr);
-        let tag = la >> 0; // full line address as tag (set bits redundant but harmless)
+        let tag = la; // full line address as tag (set bits redundant but harmless)
         let range = self.set_range(la);
         for line in &mut self.lines[range] {
             if line.valid && line.tag == tag {
@@ -181,7 +188,12 @@ impl TagCache {
                 evicted = Some(victim.tag << self.line_shift);
             }
         }
-        *victim = Line { tag: la, valid: true, dirty, lru: clock };
+        *victim = Line {
+            tag: la,
+            valid: true,
+            dirty,
+            lru: clock,
+        };
         evicted
     }
 

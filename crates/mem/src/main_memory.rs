@@ -1,9 +1,12 @@
 //! Sparse functional main memory.
 
 use mtvp_isa::interp::Bus;
-use std::collections::HashMap;
+use std::cell::Cell;
 
 const PAGE_SIZE: u64 = 4096;
+/// Pages per directory group: each group table spans 64 MiB of address
+/// space and costs 64 KiB of `u32` slots when touched.
+const GROUP_PAGES: u64 = 1 << 14;
 
 /// Sparse, paged, byte-addressable main memory holding the architectural
 /// data image during a cycle-level simulation.
@@ -11,9 +14,25 @@ const PAGE_SIZE: u64 = 4096;
 /// Implements [`mtvp_isa::interp::Bus`], so the reference interpreter and
 /// the pipeline can run against identical memory semantics. Untouched
 /// memory reads as zero.
+///
+/// Pages live in a flat arena indexed through a two-level directory
+/// (group → page slot), with a one-entry cache of the last page touched.
+/// Loads and stores show strong page locality, so the common case is a
+/// compare + direct slice index instead of a hash-map probe. Reads of
+/// absent pages never allocate, which keeps wrong-path and
+/// value-speculated addresses free.
 #[derive(Clone, Debug, Default)]
 pub struct MainMemory {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// All resident pages, in allocation order.
+    arena: Vec<Box<[u8]>>,
+    /// Page number of each arena slot (parallel to `arena`).
+    page_addrs: Vec<u64>,
+    /// Group directory: `dir[page >> 14][page & 0x3fff]` is the arena
+    /// slot + 1 of that page, or 0 when the page is absent.
+    dir: Vec<Option<Box<[u32]>>>,
+    /// `(page_number, arena_slot + 1)` of the last page touched; slot 0
+    /// means the cache is empty. A `Cell` lets read paths keep `&self`.
+    last_page: Cell<(u64, u32)>,
     reads: u64,
     writes: u64,
 }
@@ -24,14 +43,52 @@ impl MainMemory {
         Self::default()
     }
 
+    /// Arena slot of `page`, if resident.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<usize> {
+        let (cached_page, cached_slot) = self.last_page.get();
+        if cached_slot != 0 && cached_page == page {
+            return Some(cached_slot as usize - 1);
+        }
+        let group = (page / GROUP_PAGES) as usize;
+        let slot = *self
+            .dir
+            .get(group)?
+            .as_ref()?
+            .get((page % GROUP_PAGES) as usize)?;
+        if slot == 0 {
+            return None;
+        }
+        self.last_page.set((page, slot));
+        Some(slot as usize - 1)
+    }
+
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let idx = match self.slot_of(page) {
+            Some(idx) => idx,
+            None => {
+                let group = (page / GROUP_PAGES) as usize;
+                if group >= self.dir.len() {
+                    self.dir.resize_with(group + 1, || None);
+                }
+                let table = self.dir[group]
+                    .get_or_insert_with(|| vec![0u32; GROUP_PAGES as usize].into_boxed_slice());
+                self.arena
+                    .push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                self.page_addrs.push(page);
+                let slot = self.arena.len() as u32; // slot + 1 encoding
+                table[(page % GROUP_PAGES) as usize] = slot;
+                self.last_page.set((page, slot));
+                slot as usize - 1
+            }
+        };
+        &mut self.arena[idx]
     }
 
     /// Read one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
         let (page, off) = (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize);
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.slot_of(page).map_or(0, |idx| self.arena[idx][off])
     }
 
     /// Write one byte.
@@ -45,8 +102,11 @@ impl MainMemory {
     pub fn peek_u64(&self, addr: u64) -> u64 {
         if addr % PAGE_SIZE <= PAGE_SIZE - 8 {
             let (page, off) = (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize);
-            match self.pages.get(&page) {
-                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+            match self.slot_of(page) {
+                Some(idx) => {
+                    let p = &self.arena[idx];
+                    u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"))
+                }
                 None => 0,
             }
         } else {
@@ -65,15 +125,20 @@ impl MainMemory {
 
     /// Number of resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
     }
 
     /// FNV-1a checksum over all resident page contents (page-order
     /// independent: each page hashed with its address). Used by
     /// differential tests to compare final memory images.
     pub fn checksum(&self) -> u64 {
-        let mut pages: Vec<_> = self.pages.iter().collect();
-        pages.sort_by_key(|(addr, _)| **addr);
+        let mut pages: Vec<(u64, &[u8])> = self
+            .page_addrs
+            .iter()
+            .copied()
+            .zip(self.arena.iter().map(|p| &p[..]))
+            .collect();
+        pages.sort_by_key(|&(addr, _)| addr);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |b: u8| {
             h ^= u64::from(b);
@@ -149,5 +214,22 @@ mod tests {
         c.write_u64(0x1008, 2);
         c.write_u64(0x1000, 1);
         assert_eq!(b.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn distant_pages_and_absent_reads() {
+        let mut m = MainMemory::new();
+        // Pages far apart land in different directory groups.
+        let far = GROUP_PAGES * PAGE_SIZE * 3 + 8;
+        m.write_u64(8, 1);
+        m.write_u64(far, 2);
+        assert_eq!(m.peek_u64(8), 1);
+        assert_eq!(m.peek_u64(far), 2);
+        assert_eq!(m.resident_pages(), 2);
+        // Reading an absent page (even beyond the directory) allocates
+        // nothing and yields zero.
+        assert_eq!(m.peek_u64(far * 1000), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+        assert_eq!(m.resident_pages(), 2);
     }
 }

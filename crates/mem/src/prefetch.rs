@@ -44,7 +44,10 @@ impl PrefetchConfig {
     /// Disabled prefetcher (for the paper's "without a stride prefetcher"
     /// observation).
     pub fn disabled() -> Self {
-        PrefetchConfig { enabled: false, ..Self::hpca2005() }
+        PrefetchConfig {
+            enabled: false,
+            ..Self::hpca2005()
+        }
     }
 }
 
@@ -131,7 +134,9 @@ impl Prefetcher {
     pub fn new(cfg: PrefetchConfig) -> Self {
         Prefetcher {
             table: vec![StrideEntry::default(); cfg.table_entries.max(1)],
-            streams: (0..cfg.stream_buffers.max(1)).map(|_| StreamBuffer::empty()).collect(),
+            streams: (0..cfg.stream_buffers.max(1))
+                .map(|_| StreamBuffer::empty())
+                .collect(),
             cfg,
             stats: PrefetchStats::default(),
         }
@@ -177,7 +182,11 @@ impl Prefetcher {
                 } else {
                     None
                 };
-                return StreamProbe::Hit { ready_at, stream: idx, refill };
+                return StreamProbe::Hit {
+                    ready_at,
+                    stream: idx,
+                    refill,
+                };
             }
         }
         StreamProbe::Miss
@@ -196,7 +205,13 @@ impl Prefetcher {
         let idx = (pc as usize) % self.table.len();
         let e = &mut self.table[idx];
         if !e.valid || e.pc != pc {
-            *e = StrideEntry { valid: true, pc, last_addr: addr, stride: 0, conf: 0 };
+            *e = StrideEntry {
+                valid: true,
+                pc,
+                last_addr: addr,
+                stride: 0,
+                conf: 0,
+            };
             return None;
         }
         let new_stride = addr.wrapping_sub(e.last_addr) as i64;
@@ -273,7 +288,10 @@ mod tests {
     use super::*;
 
     fn pf() -> Prefetcher {
-        Prefetcher::new(PrefetchConfig { stream_depth: 3, ..PrefetchConfig::hpca2005() })
+        Prefetcher::new(PrefetchConfig {
+            stream_depth: 3,
+            ..PrefetchConfig::hpca2005()
+        })
     }
 
     /// Feed a steady stride until a stream allocates; returns (stream, addrs).
@@ -299,7 +317,9 @@ mod tests {
         }
         // Demand access to a prefetched line hits.
         match p.probe(200, addrs[0]) {
-            StreamProbe::Hit { ready_at, refill, .. } => {
+            StreamProbe::Hit {
+                ready_at, refill, ..
+            } => {
                 assert_eq!(ready_at, 100);
                 assert!(refill.is_some());
             }
@@ -373,13 +393,22 @@ mod tests {
 
     #[test]
     fn lru_stream_replacement() {
-        let cfg = PrefetchConfig { stream_buffers: 2, stream_depth: 2, ..PrefetchConfig::hpca2005() };
+        let cfg = PrefetchConfig {
+            stream_buffers: 2,
+            stream_depth: 2,
+            ..PrefetchConfig::hpca2005()
+        };
         let mut p = Prefetcher::new(cfg);
         train_to_stream(&mut p, 0x1, 0x10_0000, 64);
         train_to_stream(&mut p, 0x2, 0x20_0000, 64);
         // Third stream evicts the LRU (pc=0x1).
         train_to_stream(&mut p, 0x3, 0x30_0000, 64);
-        let pcs: Vec<u64> = p.streams().iter().filter(|s| s.valid).map(|s| s.pc).collect();
+        let pcs: Vec<u64> = p
+            .streams()
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| s.pc)
+            .collect();
         assert!(pcs.contains(&0x3));
         assert!(!pcs.contains(&0x1));
     }

@@ -69,7 +69,10 @@ impl MemConfig {
             l3_latency: 20,
             mem_latency: 100,
             mshrs: 16,
-            prefetch: PrefetchConfig { table_entries: 64, ..PrefetchConfig::hpca2005() },
+            prefetch: PrefetchConfig {
+                table_entries: 64,
+                ..PrefetchConfig::hpca2005()
+            },
         }
     }
 }
@@ -110,7 +113,7 @@ pub struct Access {
 }
 
 /// Aggregate hierarchy statistics.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemStats {
     /// Demand data accesses by level served.
     pub l1_hits: u64,
@@ -192,7 +195,12 @@ impl MemSystem {
 
     /// Per-cache statistics: (l1i, l1d, l2, l3).
     pub fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
-        (self.l1i.stats(), self.l1d.stats(), self.l2.stats(), self.l3.stats())
+        (
+            self.l1i.stats(),
+            self.l1d.stats(),
+            self.l2.stats(),
+            self.l3.stats(),
+        )
     }
 
     #[inline]
@@ -311,7 +319,10 @@ impl MemSystem {
 
         if self.l1d.access(line, write) {
             self.stats.l1_hits += 1;
-            return Access { ready_at: now + self.cfg.l1_latency, level: HitLevel::L1 };
+            return Access {
+                ready_at: now + self.cfg.l1_latency,
+                level: HitLevel::L1,
+            };
         }
 
         // L1 miss: loads train the stride prefetcher (§5.1).
@@ -324,21 +335,32 @@ impl MemSystem {
         }
 
         // Stream-buffer probe.
-        if let StreamProbe::Hit { ready_at, stream, refill } = self.prefetcher.probe(now, line) {
+        if let StreamProbe::Hit {
+            ready_at,
+            stream,
+            refill,
+        } = self.prefetcher.probe(now, line)
+        {
             self.stats.stream_hits += 1;
             let ready = ready_at.max(now + self.cfg.l1_latency);
             self.schedule_fill(ready, line, FILL_L1D, write);
             if let Some(r) = refill {
                 self.issue_prefetch(now, stream, r);
             }
-            return Access { ready_at: ready, level: HitLevel::Stream };
+            return Access {
+                ready_at: ready,
+                level: HitLevel::Stream,
+            };
         }
 
         // Merge with an outstanding miss.
         if let Some(ready) = self.mshr.lookup(now, line) {
             self.stats.mshr_merges += 1;
             self.schedule_fill(ready, line, FILL_L1D, write);
-            return Access { ready_at: ready, level: HitLevel::Mshr };
+            return Access {
+                ready_at: ready,
+                level: HitLevel::Mshr,
+            };
         }
 
         let (ready, level, mask) = self.below_l1(now, line);
@@ -349,7 +371,29 @@ impl MemSystem {
             _ => unreachable!("below_l1 only returns L2/L3/Memory"),
         }
         self.schedule_fill(ready, line, mask | FILL_L1D, write);
-        Access { ready_at: ready, level }
+        Access {
+            ready_at: ready,
+            level,
+        }
+    }
+
+    /// Earliest cycle strictly after `now` at which the hierarchy's state
+    /// changes on its own: a scheduled cache fill arrives or an in-flight
+    /// MSHR fill completes. Returns `None` when nothing is outstanding.
+    ///
+    /// Pure observation — nothing is drained or pruned — so callers (the
+    /// pipeline's idle fast-forward) can poll it without perturbing timing.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let fill = self
+            .pending
+            .iter()
+            .map(|&Reverse((ready, _, _, _))| ready)
+            .filter(|&r| r > now)
+            .min();
+        match (fill, self.mshr.next_ready(now)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Warm-start fill: install the line containing `addr` into every
@@ -389,16 +433,25 @@ impl MemSystem {
         self.stats.icache_accesses += 1;
         let line = self.line_of(addr);
         if self.l1i.access(line, false) {
-            return Access { ready_at: now + self.cfg.l1_latency, level: HitLevel::L1 };
+            return Access {
+                ready_at: now + self.cfg.l1_latency,
+                level: HitLevel::L1,
+            };
         }
         self.stats.icache_misses += 1;
         if let Some(ready) = self.mshr.lookup(now, line) {
             self.schedule_fill(ready, line, FILL_L1I, false);
-            return Access { ready_at: ready, level: HitLevel::Mshr };
+            return Access {
+                ready_at: ready,
+                level: HitLevel::Mshr,
+            };
         }
         let (ready, level, mask) = self.below_l1(now, line);
         self.schedule_fill(ready, line, mask | FILL_L1I, false);
-        Access { ready_at: ready, level }
+        Access {
+            ready_at: ready,
+            level,
+        }
     }
 }
 
@@ -463,7 +516,10 @@ mod tests {
         assert!(m.prefetch_stats().issued > 0);
         // Stream hits cost far less than memory latency.
         let tail = &levels[16..];
-        assert!(tail.iter().all(|l| *l != HitLevel::Memory || false) || true);
+        assert!(
+            tail.iter().all(|l| *l != HitLevel::Memory),
+            "late accesses still going to memory: {tail:?}"
+        );
     }
 
     #[test]
@@ -511,6 +567,24 @@ mod tests {
         let b = m.access_data(500, 4, 0x50_0000, AccessKind::Read);
         assert_eq!(b.level, HitLevel::Mshr);
         assert_eq!(b.ready_at, a.ready_at);
+    }
+
+    #[test]
+    fn next_event_cycle_tracks_fills_and_mshrs() {
+        let mut m = sys();
+        assert_eq!(m.next_event_cycle(0), None);
+        let a = m.access_data(0, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!(a.level, HitLevel::Memory);
+        // The in-flight fill is the next event from any earlier cycle...
+        assert_eq!(m.next_event_cycle(0), Some(a.ready_at));
+        assert_eq!(m.next_event_cycle(a.ready_at - 1), Some(a.ready_at));
+        // ...and is in the past once `now` reaches it ("strictly after").
+        assert_eq!(m.next_event_cycle(a.ready_at), None);
+        // Observation does not install the fill: the line still becomes an
+        // L1 hit at arrival, exactly as without the query.
+        let b = m.access_data(a.ready_at, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!(b.level, HitLevel::L1);
+        assert_eq!(m.next_event_cycle(b.ready_at), None);
     }
 
     #[test]

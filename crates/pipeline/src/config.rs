@@ -101,13 +101,22 @@ impl VpConfig {
 
     /// Single-threaded value prediction with the given predictor.
     pub fn stvp(predictor: PredictorKind) -> Self {
-        VpConfig { predictor, allow_stvp: true, ..Self::baseline() }
+        VpConfig {
+            predictor,
+            allow_stvp: true,
+            ..Self::baseline()
+        }
     }
 
     /// Multithreaded value prediction (single fetch path, STVP fallback
     /// when no context is free — §5.1).
     pub fn mtvp(predictor: PredictorKind) -> Self {
-        VpConfig { predictor, allow_stvp: true, allow_mtvp: true, ..Self::baseline() }
+        VpConfig {
+            predictor,
+            allow_stvp: true,
+            allow_mtvp: true,
+            ..Self::baseline()
+        }
     }
 
     /// The spawn-only split-window comparator (§5.7).
@@ -174,6 +183,11 @@ pub struct PipelineConfig {
     /// Stop once this many architectural instructions have committed
     /// (0 = run to `halt`).
     pub inst_limit: u64,
+    /// Skip straight to the next scheduled event when an entire cycle
+    /// makes no observable progress (long memory stalls). Statistics are
+    /// bit-identical with this on or off; it only changes wall-clock
+    /// speed. On by default; the differential tests turn it off.
+    pub fast_forward: bool,
 }
 
 impl PipelineConfig {
@@ -203,6 +217,7 @@ impl PipelineConfig {
             warm_start: true,
             max_cycles: u64::MAX,
             inst_limit: 0,
+            fast_forward: true,
         }
     }
 

@@ -216,9 +216,24 @@ mod tests {
     #[test]
     fn store_buffer_search_respects_age_limit_and_order() {
         let mut c = Context::free(8);
-        c.store_buffer.push_back(SbEntry { addr: 0x100, value: 1, seq: 10, pc: 0 });
-        c.store_buffer.push_back(SbEntry { addr: 0x100, value: 2, seq: 20, pc: 0 });
-        c.store_buffer.push_back(SbEntry { addr: 0x200, value: 3, seq: 30, pc: 0 });
+        c.store_buffer.push_back(SbEntry {
+            addr: 0x100,
+            value: 1,
+            seq: 10,
+            pc: 0,
+        });
+        c.store_buffer.push_back(SbEntry {
+            addr: 0x100,
+            value: 2,
+            seq: 20,
+            pc: 0,
+        });
+        c.store_buffer.push_back(SbEntry {
+            addr: 0x200,
+            value: 3,
+            seq: 30,
+            pc: 0,
+        });
         // Youngest matching entry under the limit wins.
         assert_eq!(c.search_store_buffer(0x100, u64::MAX), Some(2));
         assert_eq!(c.search_store_buffer(0x100, 15), Some(1));

@@ -59,26 +59,43 @@ impl Machine<'_> {
         if inst.is_store() {
             let (addr, value) = {
                 let u = self.uops.get(head);
-                (u.eff_addr.expect("committed store has addr"), u.store_data.expect("data"))
+                (
+                    u.eff_addr.expect("committed store has addr"),
+                    u.store_data.expect("data"),
+                )
             };
             if speculative {
                 if self.ctxs[ctx].store_buffer.len() >= self.cfg.store_buffer_entries {
                     self.stats.vp.store_buffer_stalls += 1;
                     return false;
                 }
-                self.ctxs[ctx].store_buffer.push_back(SbEntry { addr, value, seq, pc });
+                self.ctxs[ctx].store_buffer.push_back(SbEntry {
+                    addr,
+                    value,
+                    seq,
+                    pc,
+                });
             } else {
                 self.memory.write_u64(addr, value);
-                self.mem_sys.access_data(self.now, pc, addr, AccessKind::Write);
+                self.mem_sys
+                    .access_data(self.now, pc, addr, AccessKind::Write);
             }
         }
 
         // Trainers run at commit (§5.4).
         if inst.is_load() {
-            let actual = self.uops.get(head).exec_value.expect("committed load has value");
+            let actual = self
+                .uops
+                .get(head)
+                .exec_value
+                .expect("committed load has value");
             self.predictor.train(pc, actual);
             if speculative {
-                let addr = self.uops.get(head).eff_addr.expect("committed load has addr");
+                let addr = self
+                    .uops
+                    .get(head)
+                    .eff_addr
+                    .expect("committed load has addr");
                 self.ctxs[ctx].spec_committed_loads.push((addr, seq));
             }
         }
@@ -100,7 +117,11 @@ impl Machine<'_> {
         self.ctxs[ctx].rob.pop_front();
         if uop.inst.is_store() {
             let popped = self.ctxs[ctx].lsq.pop_front();
-            debug_assert_eq!(popped.map(|(s, _)| s), Some(uop.seq), "LSQ out of sync at commit");
+            debug_assert_eq!(
+                popped.map(|(s, _)| s),
+                Some(uop.seq),
+                "LSQ out of sync at commit"
+            );
         }
         if uop.in_queue {
             self.ctxs[ctx].queued_count = self.ctxs[ctx].queued_count.saturating_sub(1);
@@ -195,7 +216,7 @@ impl Machine<'_> {
             if !value.is_none() {
                 was_value_spawn = true;
             }
-            let correct = value.map_or(true, |v| v == actual);
+            let correct = value.is_none_or(|v| v == actual);
             if correct && survivor.is_none() {
                 survivor = Some(*child);
             } else {
@@ -224,7 +245,10 @@ impl Machine<'_> {
                 self.squash_younger(ctx, seq);
                 let (resume_ghist, resume_ras) = {
                     let u = self.uops.get(load);
-                    let b = u.branch.as_ref().expect("spawning load stored resume state");
+                    let b = u
+                        .branch
+                        .as_ref()
+                        .expect("spawning load stored resume state");
                     (b.ghist_prior, b.ras_after.clone())
                 };
                 let c = &mut self.ctxs[ctx];
@@ -245,7 +269,10 @@ impl Machine<'_> {
                 if self.ctxs[ctx].fetch_stopped && self.ctxs[ctx].state == CtxState::Active {
                     let (ghist, ras) = {
                         let u = self.uops.get(load);
-                        let b = u.branch.as_ref().expect("spawning load stored resume state");
+                        let b = u
+                            .branch
+                            .as_ref()
+                            .expect("spawning load stored resume state");
                         (b.ghist_prior, b.ras_after.clone())
                     };
                     let c = &mut self.ctxs[ctx];
@@ -265,8 +292,13 @@ impl Machine<'_> {
     /// the surviving child (§3.2: "either the spawning thread or the
     /// spawned thread commits, never both").
     fn finalize_promotion(&mut self, parent: CtxId) {
-        let child = self.ctxs[parent].pending_child.expect("dying parent has a pending child");
-        debug_assert_eq!(self.ctxs[parent].live_children, 1, "dying parent with stray children");
+        let child = self.ctxs[parent]
+            .pending_child
+            .expect("dying parent has a pending child");
+        debug_assert_eq!(
+            self.ctxs[parent].live_children, 1,
+            "dying parent with stray children"
+        );
 
         // The child takes the parent's place in the spawn tree.
         let (grand, parent_spawn_load, parent_spawn_seq) = {
@@ -332,7 +364,8 @@ impl Machine<'_> {
             self.stats.committed += commits;
             for e in drained {
                 self.memory.write_u64(e.addr, e.value);
-                self.mem_sys.access_data(self.now, e.pc, e.addr, AccessKind::Write);
+                self.mem_sys
+                    .access_data(self.now, e.pc, e.addr, AccessKind::Write);
             }
             self.root_ctx = child;
             if child_halted {
@@ -361,7 +394,11 @@ impl Machine<'_> {
         debug_assert_eq!(uop.ctx, ctx);
         if uop.inst.is_store() {
             let popped = self.ctxs[ctx].lsq.pop_back();
-            debug_assert_eq!(popped.map(|(s, _)| s), Some(uop.seq), "LSQ out of sync at squash");
+            debug_assert_eq!(
+                popped.map(|(s, _)| s),
+                Some(uop.seq),
+                "LSQ out of sync at squash"
+            );
         }
         for (child, _) in &uop.vp.children {
             self.kill_subtree(*child);
@@ -387,7 +424,10 @@ impl Machine<'_> {
 
     /// Kill a speculative thread and every thread it spawned.
     pub(crate) fn kill_subtree(&mut self, ctx: CtxId) {
-        debug_assert!(self.ctxs[ctx].speculative, "killing a non-speculative context");
+        debug_assert!(
+            self.ctxs[ctx].speculative,
+            "killing a non-speculative context"
+        );
         // Squash the whole window (recursively killing grandchildren).
         while let Some(&tail) = self.ctxs[ctx].rob.back() {
             self.ctxs[ctx].rob.pop_back();
@@ -397,7 +437,10 @@ impl Machine<'_> {
         if let Some(pending) = self.ctxs[ctx].pending_child.take() {
             self.kill_subtree(pending);
         }
-        debug_assert_eq!(self.ctxs[ctx].live_children, 0, "children outlived their uops");
+        debug_assert_eq!(
+            self.ctxs[ctx].live_children, 0,
+            "children outlived their uops"
+        );
         if let Some(p) = self.ctxs[ctx].parent {
             self.ctxs[p].live_children = self.ctxs[p].live_children.saturating_sub(1);
         }
@@ -407,7 +450,11 @@ impl Machine<'_> {
         // stopped fetching at the spawn must resume past the load now.
         if let Some((lid, lgen)) = self.ctxs[ctx].spawn_load {
             if self.uops.is_live(lid, lgen) {
-                self.uops.get_mut(lid).vp.children.retain(|(c, _)| *c != ctx);
+                self.uops
+                    .get_mut(lid)
+                    .vp
+                    .children
+                    .retain(|(c, _)| *c != ctx);
                 let (orphaned, lctx, lpc, ltrace, resume) = {
                     let u = self.uops.get(lid);
                     let resume = u
@@ -417,11 +464,10 @@ impl Machine<'_> {
                     (u.vp.children.is_empty(), u.ctx, u.pc, u.trace_idx, resume)
                 };
                 if orphaned && lctx != ctx {
-                    let stalled = self.ctxs[lctx].state == CtxState::Active
-                        && self.ctxs[lctx].fetch_stopped;
+                    let stalled =
+                        self.ctxs[lctx].state == CtxState::Active && self.ctxs[lctx].fetch_stopped;
                     if stalled {
-                        let (ghist, ras) =
-                            resume.expect("spawning load stored resume state");
+                        let (ghist, ras) = resume.expect("spawning load stored resume state");
                         let c = &mut self.ctxs[lctx];
                         c.pc = lpc + 1;
                         c.trace_cursor = ltrace + 1;

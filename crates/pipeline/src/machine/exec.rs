@@ -18,25 +18,26 @@ impl Machine<'_> {
             (ExecUnit::Fp, self.cfg.fp_issue),
             (ExecUnit::Mem, self.cfg.mem_issue),
         ] {
-            // Gather ready candidates (purging dead queue entries).
-            let queue = std::mem::take(self.queue_for(unit));
-            let mut kept = Vec::with_capacity(queue.len());
-            let mut ready: Vec<(u64, UopId)> = Vec::new();
-            for (id, gen) in queue {
+            // Gather ready candidates (purging dead queue entries). Both
+            // buffers are taken out of `self` and put back afterwards, so
+            // the scan allocates nothing in steady state.
+            let mut queue = std::mem::take(self.queue_for(unit));
+            let mut ready = std::mem::take(&mut self.scratch_ready);
+            ready.clear();
+            queue.retain(|&(id, gen)| {
                 if !self.uops.is_live(id, gen) {
-                    continue;
+                    return false;
                 }
                 let u = self.uops.get(id);
                 if !u.in_queue {
-                    continue; // issued earlier; slot already released
+                    return false; // issued earlier; slot already released
                 }
-                kept.push((id, gen));
-                if u.state != UopState::Dispatched || !u.srcs_ready(&self.rf) {
-                    continue;
+                if u.state == UopState::Dispatched && u.srcs_ready(&self.rf) {
+                    ready.push((u.seq, id));
                 }
-                ready.push((u.seq, id));
-            }
-            *self.queue_for(unit) = kept;
+                true
+            });
+            *self.queue_for(unit) = queue;
 
             ready.sort_unstable();
             // Bounded attempts: an MSHR-blocked load costs a slot, so a
@@ -50,6 +51,7 @@ impl Machine<'_> {
                     issued += 1;
                 }
             }
+            self.scratch_ready = ready;
         }
     }
 
@@ -81,7 +83,10 @@ impl Machine<'_> {
             let done_at = if from_store {
                 self.now + self.mem_sys.config().l1_latency
             } else {
-                match self.mem_sys.access_data_demand(self.now, pc, addr, AccessKind::Read) {
+                match self
+                    .mem_sys
+                    .access_data_demand(self.now, pc, addr, AccessKind::Read)
+                {
                     Some(access) => access.ready_at.max(self.now + 1),
                     None => return false, // all MSHRs busy: retry next cycle
                 }
@@ -150,7 +155,12 @@ impl Machine<'_> {
     fn replay_younger_loads(&mut self, store: UopId) {
         let (sctx, sseq, saddr, sdata) = {
             let u = self.uops.get(store);
-            (u.ctx, u.seq, u.eff_addr.expect("resolved store"), u.store_data)
+            (
+                u.ctx,
+                u.seq,
+                u.eff_addr.expect("resolved store"),
+                u.store_data,
+            )
         };
         // A speculative descendant that has already *committed* a load of
         // this address past the store cannot be replayed — the violation
@@ -211,12 +221,7 @@ impl Machine<'_> {
     /// Kill every speculative descendant of `sctx` that committed a load
     /// younger than `sseq` from `addr` (or from anywhere when `addr` is
     /// `None` — used when a reissued store's old address is unknown).
-    pub(crate) fn kill_violating_descendants(
-        &mut self,
-        sctx: usize,
-        sseq: u64,
-        addr: Option<u64>,
-    ) {
+    pub(crate) fn kill_violating_descendants(&mut self, sctx: usize, sseq: u64, addr: Option<u64>) {
         let candidates: Vec<usize> = (0..self.ctxs.len())
             .filter(|&d| {
                 d != sctx
@@ -226,7 +231,7 @@ impl Machine<'_> {
                     && self.ctxs[d]
                         .spec_committed_loads
                         .iter()
-                        .any(|&(a, q)| q > sseq && addr.map_or(true, |sa| a == sa))
+                        .any(|&(a, q)| q > sseq && addr.is_none_or(|sa| a == sa))
             })
             .collect();
         for d in candidates {
@@ -290,7 +295,11 @@ impl Machine<'_> {
     fn compute_result(&self, id: UopId) -> Option<u64> {
         use Op::*;
         let u = self.uops.get(id);
-        let src = |i: usize| u.srcs[i].map(|s| self.rf.read(s.class, s.preg)).unwrap_or(0);
+        let src = |i: usize| {
+            u.srcs[i]
+                .map(|s| self.rf.read(s.class, s.preg))
+                .unwrap_or(0)
+        };
         let fsrc = |i: usize| f64::from_bits(src(i));
         match u.inst.op {
             Add | Sub | Mul | Divu | Remu | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
@@ -353,7 +362,11 @@ impl Machine<'_> {
 
         // First resolution compares against the fetch-time prediction;
         // re-resolutions compare against what the machine actually followed.
-        let followed = if was_resolved { prev_target } else { pred_target };
+        let followed = if was_resolved {
+            prev_target
+        } else {
+            pred_target
+        };
         if followed == target {
             return;
         }
@@ -454,7 +467,8 @@ impl Machine<'_> {
         while !work.is_empty() || !tainted_stores.is_empty() {
             // Register taint pass.
             while let Some((class, preg)) = work.pop() {
-                let victims: Vec<(UopId, u32)> = self.live_uop_ids()
+                let victims: Vec<(UopId, u32)> = self
+                    .live_uop_ids()
                     .into_iter()
                     .filter(|&uid| {
                         if Some(uid) == origin {
@@ -479,7 +493,8 @@ impl Machine<'_> {
             // that store's context subtree may have forwarded stale data.
             while let Some((sctx, sseq)) = tainted_stores.pop() {
                 let subtree = self.subtree_of(sctx);
-                let victims: Vec<(UopId, u32)> = self.live_uop_ids()
+                let victims: Vec<(UopId, u32)> = self
+                    .live_uop_ids()
                     .into_iter()
                     .filter(|&uid| {
                         let u = self.uops.get(uid);
@@ -501,7 +516,10 @@ impl Machine<'_> {
 
     /// All live uop ids (ROB contents of every context).
     fn live_uop_ids(&self) -> Vec<UopId> {
-        self.ctxs.iter().flat_map(|c| c.rob.iter().copied()).collect()
+        self.ctxs
+            .iter()
+            .flat_map(|c| c.rob.iter().copied())
+            .collect()
     }
 
     /// Context ids of `root` and all its descendants.
@@ -564,7 +582,17 @@ impl Machine<'_> {
         self.kill_descendants_after(ctx, seq);
         self.stats.vp.reissued_uops += 1;
         if !was_queued {
-            self.queue_for(unit).push((id, generation));
+            // The issue stage releases queue slots lazily: an already-issued
+            // uop may still have a stale entry in the queue vector. Setting
+            // `in_queue` above revives such an entry — pushing a second one
+            // here would make the issue stage see (and issue) the uop twice.
+            let already_present = self
+                .queue_for(unit)
+                .iter()
+                .any(|&(qid, qgen)| qid == id && qgen == generation);
+            if !already_present {
+                self.queue_for(unit).push((id, generation));
+            }
             self.ctxs[ctx].queued_count += 1;
         }
         if let Some(d) = dst {

@@ -9,18 +9,22 @@ impl Machine<'_> {
     /// Fetch up to `fetch_width` instructions from up to `fetch_threads`
     /// contexts, chosen by ICOUNT (fewest instructions in the front end).
     pub(crate) fn fetch_stage(&mut self) {
-        let mut candidates: Vec<CtxId> = (0..self.ctxs.len())
-            .filter(|&i| self.ctxs[i].fetchable(self.now, FETCH_BUFFER_CAP))
-            .collect();
+        // The candidate list reuses a scratch buffer kept on the machine,
+        // so this stage allocates nothing in steady state.
+        let mut candidates = std::mem::take(&mut self.scratch_ctxs);
+        candidates.clear();
+        candidates.extend(
+            (0..self.ctxs.len()).filter(|&i| self.ctxs[i].fetchable(self.now, FETCH_BUFFER_CAP)),
+        );
         candidates.sort_by_key(|&i| (self.ctxs[i].icount(), i));
         candidates.truncate(self.cfg.fetch_threads);
-        if candidates.is_empty() {
-            return;
+        if !candidates.is_empty() {
+            let per_thread = (self.cfg.fetch_width / candidates.len()).max(1);
+            for &ctx in &candidates {
+                self.fetch_thread(ctx, per_thread);
+            }
         }
-        let per_thread = (self.cfg.fetch_width / candidates.len()).max(1);
-        for ctx in candidates {
-            self.fetch_thread(ctx, per_thread);
-        }
+        self.scratch_ctxs = candidates;
     }
 
     /// Fetch up to `budget` sequential instructions for one context.
@@ -34,7 +38,9 @@ impl Machine<'_> {
             // until a squash redirects this thread.
             return;
         }
-        let access = self.mem_sys.access_inst(self.now, IADDR_BASE + first_pc * 4);
+        let access = self
+            .mem_sys
+            .access_inst(self.now, IADDR_BASE + first_pc * 4);
         if access.ready_at > self.now + self.mem_sys.config().l1_latency {
             self.ctxs[ctx].fetch_ready_at = access.ready_at;
             return;

@@ -17,12 +17,12 @@ mod rename;
 use crate::config::{PipelineConfig, PredictorKind, SelectorKind};
 use crate::context::{Context, CtxState};
 use crate::regfile::{PhysRegFile, RegClass};
-use crate::stats::PipeStats;
+use crate::stats::{BranchStats, PipeStats, VpStats};
 use crate::uop::{CtxId, UopId, UopSlab};
 use mtvp_branch::{Btb, DirectionPredictor};
 use mtvp_isa::trace::Trace;
 use mtvp_isa::{ExecUnit, Program};
-use mtvp_mem::{MainMemory, MemSystem};
+use mtvp_mem::{MainMemory, MemStats, MemSystem};
 use mtvp_vp::{
     DfcmPredictor, IlpPred, LastValuePredictor, OraclePredictor, Prediction, PredictorCounters,
     SelectDecision, StridePredictor, ValuePredictor, WangFranklinConfig, WangFranklinPredictor,
@@ -71,9 +71,12 @@ impl AnyPredictor {
             PredictorKind::WangFranklin => {
                 AnyPredictor::Wf(WangFranklinPredictor::new(cfg.vp.wang_franklin))
             }
-            PredictorKind::WangFranklinLiberal => AnyPredictor::Wf(WangFranklinPredictor::new(
-                WangFranklinConfig { confidence: mtvp_vp::ConfidenceConfig::liberal(), ..cfg.vp.wang_franklin },
-            )),
+            PredictorKind::WangFranklinLiberal => {
+                AnyPredictor::Wf(WangFranklinPredictor::new(WangFranklinConfig {
+                    confidence: mtvp_vp::ConfidenceConfig::liberal(),
+                    ..cfg.vp.wang_franklin
+                }))
+            }
             PredictorKind::Dfcm => AnyPredictor::Dfcm(DfcmPredictor::new(cfg.vp.dfcm)),
             PredictorKind::Stride => AnyPredictor::Stride(StridePredictor::new(
                 cfg.vp.simple_entries,
@@ -93,7 +96,10 @@ impl AnyPredictor {
             AnyPredictor::None => Prediction::none(),
             AnyPredictor::Oracle(o) => match o.predict_at(trace_idx, pc) {
                 Some(v) => Prediction {
-                    primary: Some(mtvp_vp::Predicted { value: v, confident: true }),
+                    primary: Some(mtvp_vp::Predicted {
+                        value: v,
+                        confident: true,
+                    }),
                     alternates: vec![],
                 },
                 None => Prediction::none(),
@@ -130,7 +136,11 @@ impl AnyPredictor {
             AnyPredictor::None => PredictorCounters::default(),
             AnyPredictor::Oracle(o) => {
                 let (q, a) = o.counters();
-                PredictorCounters { queries: q, confident: a, trains: 0 }
+                PredictorCounters {
+                    queries: q,
+                    confident: a,
+                    trains: 0,
+                }
             }
             AnyPredictor::Wf(p) => p.counters(),
             AnyPredictor::Dfcm(p) => p.counters(),
@@ -182,6 +192,51 @@ pub struct Machine<'p> {
     /// started it (it must not re-execute itself).
     pub(crate) reissue_origin: Option<UopId>,
     last_commit_cycle: u64,
+    /// Reusable issue-stage scratch: ready candidates of the unit being
+    /// scanned (capacity persists across cycles).
+    pub(crate) scratch_ready: Vec<(u64, UopId)>,
+    /// Reusable fetch-stage scratch: ICOUNT-sorted fetch candidates.
+    pub(crate) scratch_ctxs: Vec<CtxId>,
+}
+
+/// Snapshot of every observable-progress indicator of the machine, taken
+/// before and after a cycle by [`Machine::run`]. Two equal marks mean the
+/// cycle was fully idle: no stage fetched, renamed, issued, completed,
+/// committed, squashed or touched the memory hierarchy, so every later
+/// cycle is identical until the next scheduled event fires.
+///
+/// Deliberately excluded: `now` (always advances), `rr_cursor` (advances
+/// unconditionally every cycle; a fast-forward jump replays the skipped
+/// advances), and `stats.idle_cycles` (the counter this mechanism itself
+/// maintains).
+#[derive(PartialEq, Eq)]
+struct ProgressMark {
+    fetched: u64,
+    issued: u64,
+    committed: u64,
+    squashed: u64,
+    discarded: u64,
+    halted: bool,
+    vp: VpStats,
+    branches: BranchStats,
+    mem: MemStats,
+    mem_words: (u64, u64),
+    events: usize,
+    iq: usize,
+    fq: usize,
+    mq: usize,
+    rob: usize,
+    fetch_buffered: usize,
+    store_buffered: usize,
+    lsq: usize,
+    active: usize,
+    last_commit: u64,
+    done: bool,
+    next_seq: u64,
+    issued_total: u64,
+    free_int: usize,
+    free_fp: usize,
+    reissue_origin: Option<UopId>,
 }
 
 impl<'p> Machine<'p> {
@@ -218,8 +273,9 @@ impl<'p> Machine<'p> {
             }
         }
         let mut rf = PhysRegFile::new(cfg.phys_regs_per_class());
-        let mut ctxs: Vec<Context> =
-            (0..cfg.hw_contexts).map(|_| Context::free(cfg.ras_entries)).collect();
+        let mut ctxs: Vec<Context> = (0..cfg.hw_contexts)
+            .map(|_| Context::free(cfg.ras_entries))
+            .collect();
 
         // Context 0 is the initial architectural thread; its maps get fresh
         // zero-valued, ready physical registers.
@@ -265,6 +321,8 @@ impl<'p> Machine<'p> {
             rr_cursor: 0,
             reissue_origin: None,
             last_commit_cycle: 0,
+            scratch_ready: Vec::new(),
+            scratch_ctxs: Vec::new(),
             cfg,
             program,
         }
@@ -278,8 +336,21 @@ impl<'p> Machine<'p> {
     /// if trace validation detects a committed-path divergence — both are
     /// simulator bugs, not program behaviours.
     pub fn run(&mut self) -> PipeStats {
+        let mut before = self.progress_mark();
         while !self.done {
             self.cycle();
+            let after = self.progress_mark();
+            if after == before {
+                // A fully idle cycle: every context is waiting on an
+                // in-flight event (memory fill, execution completion,
+                // front-end latency). Count it, and optionally jump
+                // straight to the next cycle where anything can happen.
+                self.stats.idle_cycles += 1;
+                if self.cfg.fast_forward {
+                    self.fast_forward_idle();
+                }
+            }
+            before = after;
             if self.now.saturating_sub(self.last_commit_cycle) > WATCHDOG_CYCLES {
                 panic!(
                     "machine wedged at cycle {} (committed={}, program={})",
@@ -297,6 +368,116 @@ impl<'p> Machine<'p> {
         self.stats.clone()
     }
 
+    /// Jump from a detected idle cycle to the next cycle at which any
+    /// stage can make progress. Bit-identical to stepping cycle-by-cycle:
+    /// idle cycles mutate nothing but `now`, the round-robin cursor
+    /// (replayed below) and the idle counter (credited in bulk), and the
+    /// jump target is clamped so the watchdog and `max_cycles` checks in
+    /// [`Machine::run`] fire at exactly the same cycle either way.
+    fn fast_forward_idle(&mut self) {
+        let cap = self
+            .cfg
+            .max_cycles
+            .min(self.last_commit_cycle.saturating_add(WATCHDOG_CYCLES + 1));
+        let target = match self.next_wakeup_cycle() {
+            Some(t) => t.min(cap),
+            // Nothing scheduled at all: idle straight into the watchdog
+            // (or the cycle limit), exactly as stepping would.
+            None => cap,
+        };
+        if target <= self.now {
+            return;
+        }
+        let skipped = target - self.now;
+        self.stats.idle_cycles += skipped;
+        let n = self.ctxs.len();
+        self.rr_cursor = (self.rr_cursor + (skipped % n as u64) as usize) % n;
+        self.now = target;
+    }
+
+    /// Earliest cycle strictly after `now` at which any scheduled event
+    /// lands: an execution completion, a context's front end coming ready,
+    /// the head of a fetch buffer maturing, or a memory-hierarchy fill.
+    /// A stalled stage with none of these pending (e.g. a wrong-path
+    /// context that ran off the text segment) is woken by whichever event
+    /// eventually redirects it, so the set above is exhaustive.
+    fn next_wakeup_cycle(&self) -> Option<u64> {
+        // `now` is the next cycle to execute, so an event due exactly at
+        // `now` must be kept (it makes the jump a no-op), not skipped.
+        let mut wake: Option<u64> = None;
+        let mut note = |t: u64| {
+            if t >= self.now {
+                wake = Some(wake.map_or(t, |w| w.min(t)));
+            }
+        };
+        if let Some(&Reverse((t, _, _, _))) = self.events.peek() {
+            note(t);
+        }
+        for c in &self.ctxs {
+            if c.state == CtxState::Free {
+                continue;
+            }
+            note(c.fetch_ready_at);
+            note(c.rename_ready_at);
+            if let Some(f) = c.fetch_buffer.front() {
+                note(f.ready_at);
+            }
+        }
+        // `next_event_cycle` is strict ("after `now`"), so probe from the
+        // previous cycle to include fills landing exactly at `now`.
+        if let Some(t) = self.mem_sys.next_event_cycle(self.now.saturating_sub(1)) {
+            note(t);
+        }
+        wake
+    }
+
+    /// Snapshot the machine's observable-progress indicators (see
+    /// [`ProgressMark`]).
+    fn progress_mark(&self) -> ProgressMark {
+        let mut rob = 0;
+        let mut fetch_buffered = 0;
+        let mut store_buffered = 0;
+        let mut lsq = 0;
+        let mut active = 0;
+        for c in &self.ctxs {
+            if c.state != CtxState::Free {
+                active += 1;
+            }
+            rob += c.rob.len();
+            fetch_buffered += c.fetch_buffer.len();
+            store_buffered += c.store_buffer.len();
+            lsq += c.lsq.len();
+        }
+        ProgressMark {
+            fetched: self.stats.fetched,
+            issued: self.stats.issued,
+            committed: self.stats.committed,
+            squashed: self.stats.squashed,
+            discarded: self.stats.discarded_spec_commits,
+            halted: self.stats.halted,
+            vp: self.stats.vp,
+            branches: self.stats.branches,
+            mem: self.mem_sys.stats(),
+            mem_words: self.memory.access_counts(),
+            events: self.events.len(),
+            iq: self.iq.len(),
+            fq: self.fq.len(),
+            mq: self.mq.len(),
+            rob,
+            fetch_buffered,
+            store_buffered,
+            lsq,
+            active,
+            last_commit: self.last_commit_cycle,
+            done: self.done,
+            next_seq: self.next_seq,
+            issued_total: self.issued_total,
+            free_int: self.rf.free_count(RegClass::Int),
+            free_fp: self.rf.free_count(RegClass::Fp),
+            reissue_origin: self.reissue_origin,
+        }
+    }
+
     /// Simulate one cycle.
     pub fn cycle(&mut self) {
         self.writeback_stage();
@@ -305,7 +486,11 @@ impl<'p> Machine<'p> {
         self.rename_stage();
         self.fetch_stage();
         self.now += 1;
-        let active = self.ctxs.iter().filter(|c| c.state != CtxState::Free).count();
+        let active = self
+            .ctxs
+            .iter()
+            .filter(|c| c.state != CtxState::Free)
+            .count();
         self.stats.peak_contexts = self.stats.peak_contexts.max(active);
     }
 
@@ -454,15 +639,12 @@ impl<'p> Machine<'p> {
 
     /// Live occupancy of a queue (purges dead entries as a side effect).
     pub(crate) fn queue_len(&mut self, unit: ExecUnit) -> usize {
-        let slab = std::mem::take(match unit {
-            ExecUnit::Int => &mut self.iq,
-            ExecUnit::Fp => &mut self.fq,
-            ExecUnit::Mem => &mut self.mq,
-        });
-        let filtered: Vec<(UopId, u32)> =
-            slab.into_iter().filter(|&(id, g)| self.uops.is_live(id, g)).collect();
-        let len = filtered.len();
-        *self.queue_for(unit) = filtered;
+        // Take the buffer out so `retain` can borrow `self.uops`; the same
+        // allocation goes back, so this never allocates.
+        let mut q = std::mem::take(self.queue_for(unit));
+        q.retain(|&(id, g)| self.uops.is_live(id, g));
+        let len = q.len();
+        *self.queue_for(unit) = q;
         len
     }
 

@@ -16,8 +16,7 @@ impl Machine<'_> {
         let mut budget = self.cfg.rename_width;
         for k in 0..n {
             let ctx = (self.rr_cursor + k) % n;
-            if self.ctxs[ctx].state != CtxState::Active
-                || self.now < self.ctxs[ctx].rename_ready_at
+            if self.ctxs[ctx].state != CtxState::Active || self.now < self.ctxs[ctx].rename_ready_at
             {
                 continue;
             }
@@ -65,7 +64,10 @@ impl Machine<'_> {
             }
         }
 
-        let fi = self.ctxs[ctx].fetch_buffer.pop_front().expect("peeked entry");
+        let fi = self.ctxs[ctx]
+            .fetch_buffer
+            .pop_front()
+            .expect("peeked entry");
         let seq = self.next_seq;
         self.next_seq += 1;
 
@@ -95,13 +97,23 @@ impl Machine<'_> {
                 let preg = self.rf.alloc(RegClass::Int).expect("checked free above");
                 let old = self.ctxs[ctx].int_map[r.index()];
                 self.ctxs[ctx].int_map[r.index()] = preg;
-                Some(DstOperand { class: RegClass::Int, arch: r.0, preg, old_preg: old })
+                Some(DstOperand {
+                    class: RegClass::Int,
+                    arch: r.0,
+                    preg,
+                    old_preg: old,
+                })
             }
             Def::Fp(f) => {
                 let preg = self.rf.alloc(RegClass::Fp).expect("checked free above");
                 let old = self.ctxs[ctx].fp_map[f.index()];
                 self.ctxs[ctx].fp_map[f.index()] = preg;
-                Some(DstOperand { class: RegClass::Fp, arch: f.0, preg, old_preg: old })
+                Some(DstOperand {
+                    class: RegClass::Fp,
+                    arch: f.0,
+                    preg,
+                    old_preg: old,
+                })
             }
         };
 
@@ -116,7 +128,11 @@ impl Machine<'_> {
             None
         };
 
-        let state = if needs_queue { UopState::Dispatched } else { UopState::Completed };
+        let state = if needs_queue {
+            UopState::Dispatched
+        } else {
+            UopState::Completed
+        };
         let uop = Uop {
             inst,
             pc: fi.pc,
@@ -173,9 +189,9 @@ impl Machine<'_> {
         let base_addr = {
             let u = self.uops.get(load);
             match u.srcs[0] {
-                Some(s) if self.rf.is_ready(s.class, s.preg) => {
-                    Some(mtvp_isa::interp::effective_addr(self.rf.read(s.class, s.preg), u.inst.imm))
-                }
+                Some(s) if self.rf.is_ready(s.class, s.preg) => Some(
+                    mtvp_isa::interp::effective_addr(self.rf.read(s.class, s.preg), u.inst.imm),
+                ),
                 Some(_) => None,
                 None => Some(u.inst.imm as u64), // base is r0
             }
@@ -332,7 +348,14 @@ impl Machine<'_> {
             let (buf, pc, cursor, ghist, ras, wait) = {
                 let p = &mut self.ctxs[parent];
                 let buf = std::mem::take(&mut p.fetch_buffer);
-                let out = (buf, p.pc, p.trace_cursor, p.ghist, p.ras.clone(), p.wait_redirect);
+                let out = (
+                    buf,
+                    p.pc,
+                    p.trace_cursor,
+                    p.ghist,
+                    p.ras.clone(),
+                    p.wait_redirect,
+                );
                 p.fetch_stopped = true;
                 p.wait_redirect = false;
                 out

@@ -61,7 +61,10 @@ pub struct PhysRegFile {
 impl PhysRegFile {
     /// Create a register file with `per_class` registers in each class.
     pub fn new(per_class: usize) -> Self {
-        PhysRegFile { int: File::new(per_class), fp: File::new(per_class) }
+        PhysRegFile {
+            int: File::new(per_class),
+            fp: File::new(per_class),
+        }
     }
 
     fn file(&self, class: RegClass) -> &File {
@@ -154,13 +157,11 @@ impl PhysRegFile {
                 }
                 on_free[id as usize] = true;
             }
-            for i in 0..f.value.len() {
+            for (i, &free) in on_free.iter().enumerate() {
                 let rc = f.refcount[i];
-                match (rc, on_free[i]) {
+                match (rc, free) {
                     (0, false) => return Err(format!("{name} preg {i} leaked (rc=0, not free)")),
-                    (r, true) if r > 0 => {
-                        return Err(format!("{name} preg {i} free with rc={r}"))
-                    }
+                    (r, true) if r > 0 => return Err(format!("{name} preg {i} free with rc={r}")),
                     _ => {}
                 }
             }

@@ -5,7 +5,7 @@ use mtvp_vp::PredictorCounters;
 use serde::{Deserialize, Serialize};
 
 /// Value-speculation statistics.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VpStats {
     /// Loads for which a confident prediction was available.
     pub confident_loads: u64,
@@ -40,7 +40,7 @@ pub struct VpStats {
 }
 
 /// Branch statistics.
-#[derive(Copy, Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BranchStats {
     /// Committed conditional branches.
     pub cond_committed: u64,
@@ -51,10 +51,15 @@ pub struct BranchStats {
 }
 
 /// Full statistics of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipeStats {
     /// Cycles simulated.
     pub cycles: u64,
+    /// Cycles on which no pipeline stage made observable progress (the
+    /// machine was purely waiting for an in-flight event). Counted
+    /// identically whether idle stretches are stepped cycle-by-cycle or
+    /// fast-forwarded.
+    pub idle_cycles: u64,
     /// Architecturally committed instructions ("useful" instructions: only
     /// work on the surviving path is counted).
     pub committed: u64,
@@ -112,12 +117,16 @@ mod tests {
 
     #[test]
     fn ipc_and_speedup() {
-        let mut base = PipeStats::default();
-        base.cycles = 1000;
-        base.committed = 500;
-        let mut fast = PipeStats::default();
-        fast.cycles = 1000;
-        fast.committed = 750;
+        let base = PipeStats {
+            cycles: 1000,
+            committed: 500,
+            ..Default::default()
+        };
+        let fast = PipeStats {
+            cycles: 1000,
+            committed: 750,
+            ..Default::default()
+        };
         assert!((base.ipc() - 0.5).abs() < 1e-12);
         assert!((fast.speedup_over(&base) - 50.0).abs() < 1e-9);
         let empty = PipeStats::default();

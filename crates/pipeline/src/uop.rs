@@ -211,7 +211,7 @@ impl UopSlab {
     }
 
     /// Whether no uops are live.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)] // API symmetry with `len`
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }

@@ -21,22 +21,27 @@ fn run_both(program: &Program, mut cfg: PipelineConfig) -> mtvp_pipeline::PipeSt
     let mut m = Machine::new(cfg, program, Some(trace));
     let stats = m.run();
     assert!(stats.halted, "machine run of {} must halt", program.name);
-    assert_eq!(stats.committed, ires.dyn_instrs, "committed count mismatch on {}", program.name);
+    assert_eq!(
+        stats.committed, ires.dyn_instrs,
+        "committed count mismatch on {}",
+        program.name
+    );
 
     let regs = m.arch_int_regs();
-    for r in 1..32 {
-        assert_eq!(regs[r], ires.int_regs[r], "r{r} mismatch on {}", program.name);
+    for (r, &reg) in regs.iter().enumerate().take(32).skip(1) {
+        assert_eq!(reg, ires.int_regs[r], "r{r} mismatch on {}", program.name);
     }
     let fregs = m.arch_fp_regs();
-    for f in 0..32 {
+    for (f, freg) in fregs.iter().enumerate().take(32) {
         assert_eq!(
-            fregs[f].to_bits(),
+            freg.to_bits(),
             ires.fp_regs[f].to_bits(),
             "f{f} mismatch on {}",
             program.name
         );
     }
-    m.check_regfile().expect("physical register file consistent");
+    m.check_regfile()
+        .expect("physical register file consistent");
     stats
 }
 
@@ -202,7 +207,10 @@ fn prog_fp() -> Program {
     let out = b.reserve(8 * 64);
     let (base, obase, i, n, t) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
     let (x, acc, c) = (FReg(1), FReg(2), FReg(3));
-    b.li(base, xs as i64).li(obase, out as i64).li(i, 0).li(n, 64);
+    b.li(base, xs as i64)
+        .li(obase, out as i64)
+        .li(i, 0)
+        .li(n, 64);
     b.li(t, 3);
     b.icvtf(c, t); // c = 3.0
     let top = b.here_label();
@@ -246,7 +254,7 @@ fn prog_calls() -> Program {
     // Indirect jump via register (jalr) to a computed target.
     let tgt = b.label();
     b.li(ft, 0); // patched below via label math: use jal-style
-    // Use a simple jalr to a label whose address we materialize.
+                 // Use a simple jalr to a label whose address we materialize.
     let after = b.label();
     b.bind(after); // address of 'after' == current; compute target below
     b.nop();
@@ -294,7 +302,10 @@ fn prog_store_past_load() -> Program {
     let flag = b.alloc_u64(&[42]);
     let out = b.reserve(8 * 512);
     let (fbase, obase, i, n, t, v) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
-    b.li(fbase, flag as i64).li(obase, out as i64).li(i, 0).li(n, 256);
+    b.li(fbase, flag as i64)
+        .li(obase, out as i64)
+        .li(i, 0)
+        .li(n, 256);
     let top = b.here_label();
     b.ld(v, fbase, 0); // predictable load
     b.mul(t, i, v);
@@ -356,7 +367,11 @@ fn mtvp_actually_spawns_on_predictable_chase() {
     cfg.vp.spawn_latency = 1;
     let stats = run_both(&program, cfg);
     assert!(stats.vp.mtvp_spawns > 0, "expected spawns: {:?}", stats.vp);
-    assert!(stats.vp.mtvp_correct > 0, "expected confirmed spawns: {:?}", stats.vp);
+    assert!(
+        stats.vp.mtvp_correct > 0,
+        "expected confirmed spawns: {:?}",
+        stats.vp
+    );
 }
 
 #[test]

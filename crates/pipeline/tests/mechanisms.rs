@@ -4,7 +4,7 @@
 
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::{Program, ProgramBuilder, Reg};
-use mtvp_pipeline::{Machine, PipelineConfig, PipeStats, PredictorKind, SelectorKind, VpConfig};
+use mtvp_pipeline::{Machine, PipeStats, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
 use std::sync::Arc;
 
 fn run(program: &Program, cfg: PipelineConfig) -> (PipeStats, [u64; 32]) {
@@ -16,8 +16,8 @@ fn run(program: &Program, cfg: PipelineConfig) -> (PipeStats, [u64; 32]) {
     assert!(stats.halted, "{} did not halt", program.name);
     assert_eq!(stats.committed, ires.dyn_instrs);
     let regs = m.arch_int_regs();
-    for r in 1..32 {
-        assert_eq!(regs[r], ires.int_regs[r], "r{r} mismatch");
+    for (r, &reg) in regs.iter().enumerate().take(32).skip(1) {
+        assert_eq!(reg, ires.int_regs[r], "r{r} mismatch");
     }
     (stats, regs)
 }
@@ -123,8 +123,16 @@ fn selective_reissue_fires_on_wrong_predictions() {
     cfg.vp = VpConfig::stvp(PredictorKind::Stride);
     cfg.vp.selector = SelectorKind::Always;
     let (stats, _) = run(&b.build(), cfg);
-    assert!(stats.vp.stvp_wrong > 0, "expected mispredictions: {:?}", stats.vp);
-    assert!(stats.vp.reissued_uops > 0, "expected reissues: {:?}", stats.vp);
+    assert!(
+        stats.vp.stvp_wrong > 0,
+        "expected mispredictions: {:?}",
+        stats.vp
+    );
+    assert!(
+        stats.vp.reissued_uops > 0,
+        "expected reissues: {:?}",
+        stats.vp
+    );
 }
 
 /// Build the standard cold chase used by the spawn-oriented tests.
@@ -301,12 +309,20 @@ fn multi_value_spawns_and_recovers() {
     let first = b.data_cursor();
     let mut words = Vec::new();
     for k in 0..CELLS {
-        let v = if (k.wrapping_mul(0x9E3779B9) >> 7) & 1 == 0 { 5 } else { 11 };
+        let v = if (k.wrapping_mul(0x9E3779B9) >> 7) & 1 == 0 {
+            5
+        } else {
+            11
+        };
         words.extend_from_slice(&[v, 0, 0, 0, 0, 0, 0, 0]);
     }
     b.alloc_u64(&words);
     let (p, sum, i, n, t, m) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
-    b.li(p, first as i64).li(sum, 0).li(i, 0).li(n, 600).li(m, 2654435761);
+    b.li(p, first as i64)
+        .li(sum, 0)
+        .li(i, 0)
+        .li(n, 600)
+        .li(m, 2654435761);
     let top = b.here_label();
     b.mul(t, i, m);
     b.andi(t, t, (CELLS - 1) as i64);

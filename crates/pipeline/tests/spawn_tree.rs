@@ -3,7 +3,7 @@
 
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::{Program, ProgramBuilder, Reg};
-use mtvp_pipeline::{Machine, PipelineConfig, PipeStats, PredictorKind, SelectorKind, VpConfig};
+use mtvp_pipeline::{Machine, PipeStats, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
 use std::sync::Arc;
 
 fn run(program: &Program, cfg: PipelineConfig) -> PipeStats {
@@ -15,8 +15,8 @@ fn run(program: &Program, cfg: PipelineConfig) -> PipeStats {
     assert!(stats.halted);
     assert_eq!(stats.committed, ires.dyn_instrs);
     let regs = m.arch_int_regs();
-    for r in 1..32 {
-        assert_eq!(regs[r], ires.int_regs[r], "r{r} mismatch");
+    for (r, &reg) in regs.iter().enumerate().take(32).skip(1) {
+        assert_eq!(reg, ires.int_regs[r], "r{r} mismatch");
     }
     m.check_regfile().expect("regfile consistent");
     stats
@@ -59,7 +59,11 @@ fn mtvp_cfg(contexts: usize) -> PipelineConfig {
 #[test]
 fn nested_spawn_chains_use_all_contexts() {
     let stats = run(&deep_chase(400), mtvp_cfg(8));
-    assert!(stats.peak_contexts >= 6, "chain should nest deep: {}", stats.peak_contexts);
+    assert!(
+        stats.peak_contexts >= 6,
+        "chain should nest deep: {}",
+        stats.peak_contexts
+    );
     assert!(stats.vp.mtvp_correct > 30, "{:?}", stats.vp);
 }
 
@@ -147,7 +151,7 @@ fn killed_child_stores_never_leak() {
     b.slli(t, t, 6);
     b.add(t, t, p);
     b.ld(t, t, 0); // 0 or 1, pseudo-random: mispredicts happen
-    // Write something derived from the loaded value, then read it back.
+                   // Write something derived from the loaded value, then read it back.
     b.st(t, s, 0);
     b.ld(t, s, 0);
     b.add(acc, acc, t);
@@ -163,7 +167,11 @@ fn killed_child_stores_never_leak() {
     let stats = run(&program, cfg);
     // Differential equality is checked by run(); also require that the
     // run actually exercised kills.
-    assert!(stats.vp.mtvp_wrong + stats.discarded_spec_commits > 0, "{:?}", stats.vp);
+    assert!(
+        stats.vp.mtvp_wrong + stats.discarded_spec_commits > 0,
+        "{:?}",
+        stats.vp
+    );
 }
 
 /// No-stall fetch policy with nested spawns stays architecturally exact.

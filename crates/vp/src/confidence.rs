@@ -19,13 +19,23 @@ pub struct ConfidenceConfig {
 impl ConfidenceConfig {
     /// The paper's parameters: +1 / −8, threshold 12, max 32.
     pub fn hpca2005() -> Self {
-        ConfidenceConfig { up: 1, down: 8, threshold: 12, max: 32 }
+        ConfidenceConfig {
+            up: 1,
+            down: 8,
+            threshold: 12,
+            max: 32,
+        }
     }
 
     /// A "more liberal" configuration that lets several candidates be over
     /// threshold at once — used for the multiple-value experiments (§5.6).
     pub fn liberal() -> Self {
-        ConfidenceConfig { up: 2, down: 2, threshold: 6, max: 32 }
+        ConfidenceConfig {
+            up: 2,
+            down: 2,
+            threshold: 6,
+            max: 32,
+        }
     }
 }
 

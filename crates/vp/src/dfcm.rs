@@ -65,8 +65,14 @@ impl DfcmPredictor {
     /// # Panics
     /// Panics if table sizes are not powers of two.
     pub fn new(cfg: DfcmConfig) -> Self {
-        assert!(cfg.l1_entries.is_power_of_two(), "L1 size must be a power of two");
-        assert!(cfg.l2_entries.is_power_of_two(), "L2 size must be a power of two");
+        assert!(
+            cfg.l1_entries.is_power_of_two(),
+            "L1 size must be a power of two"
+        );
+        assert!(
+            cfg.l2_entries.is_power_of_two(),
+            "L2 size must be a power of two"
+        );
         DfcmPredictor {
             l1: vec![L1Entry::default(); cfg.l1_entries],
             l2: vec![L2Entry::default(); cfg.l2_entries],
@@ -106,7 +112,10 @@ impl ValuePredictor for DfcmPredictor {
         if confident {
             self.counters.confident += 1;
         }
-        Prediction { primary: Some(Predicted { value, confident }), alternates: vec![] }
+        Prediction {
+            primary: Some(Predicted { value, confident }),
+            alternates: vec![],
+        }
     }
 
     fn spec_update(&mut self, pc: u64, value: u64) {
@@ -121,8 +130,13 @@ impl ValuePredictor for DfcmPredictor {
         self.counters.trains += 1;
         let i = self.l1_idx(pc);
         if !self.l1[i].valid || self.l1[i].pc != pc {
-            self.l1[i] =
-                L1Entry { valid: true, pc, last: actual, spec_last: actual, deltas: [0; 3] };
+            self.l1[i] = L1Entry {
+                valid: true,
+                pc,
+                last: actual,
+                spec_last: actual,
+                deltas: [0; 3],
+            };
             return;
         }
         let ctx = self.delta_hash(&self.l1[i].deltas, pc);
@@ -154,7 +168,11 @@ mod tests {
     use super::*;
 
     fn dfcm() -> DfcmPredictor {
-        DfcmPredictor::new(DfcmConfig { l1_entries: 64, l2_entries: 1024, ..DfcmConfig::hpca2005() })
+        DfcmPredictor::new(DfcmConfig {
+            l1_entries: 64,
+            l2_entries: 1024,
+            ..DfcmConfig::hpca2005()
+        })
     }
 
     #[test]
@@ -213,7 +231,10 @@ mod tests {
             }
             p.train(0x40, rng.r#gen());
         }
-        assert!(confident < 25, "{confident} confident predictions on random data");
+        assert!(
+            confident < 25,
+            "{confident} confident predictions on random data"
+        );
     }
 
     #[test]

@@ -68,8 +68,14 @@ impl FcmPredictor {
     /// # Panics
     /// Panics if table sizes are not powers of two or `order` is not 1..=4.
     pub fn new(cfg: FcmConfig) -> Self {
-        assert!(cfg.l1_entries.is_power_of_two(), "L1 size must be a power of two");
-        assert!(cfg.l2_entries.is_power_of_two(), "L2 size must be a power of two");
+        assert!(
+            cfg.l1_entries.is_power_of_two(),
+            "L1 size must be a power of two"
+        );
+        assert!(
+            cfg.l2_entries.is_power_of_two(),
+            "L2 size must be a power of two"
+        );
         assert!((1..=4).contains(&cfg.order), "order must be in 1..=4");
         FcmPredictor {
             l1: vec![L1Entry::default(); cfg.l1_entries],
@@ -105,14 +111,24 @@ impl ValuePredictor for FcmPredictor {
         if confident {
             self.counters.confident += 1;
         }
-        Prediction { primary: Some(Predicted { value: l2.value, confident }), alternates: vec![] }
+        Prediction {
+            primary: Some(Predicted {
+                value: l2.value,
+                confident,
+            }),
+            alternates: vec![],
+        }
     }
 
     fn train(&mut self, pc: u64, actual: u64) {
         self.counters.trains += 1;
         let i = self.l1_idx(pc);
         if !self.l1[i].valid || self.l1[i].pc != pc {
-            self.l1[i] = L1Entry { valid: true, pc, history: [0; 4] };
+            self.l1[i] = L1Entry {
+                valid: true,
+                pc,
+                history: [0; 4],
+            };
         }
         let ctx = self.context_hash(&self.l1[i].history);
         let conf_cfg = self.cfg.confidence;
@@ -141,7 +157,11 @@ mod tests {
     use super::*;
 
     fn fcm() -> FcmPredictor {
-        FcmPredictor::new(FcmConfig { l1_entries: 64, l2_entries: 1024, ..FcmConfig::hpca2005() })
+        FcmPredictor::new(FcmConfig {
+            l1_entries: 64,
+            l2_entries: 1024,
+            ..FcmConfig::hpca2005()
+        })
     }
 
     #[test]
@@ -185,7 +205,10 @@ mod tests {
             }
             p.train(0x18, rng.r#gen());
         }
-        assert!(confident < 25, "random sequence predicted confidently {confident} times");
+        assert!(
+            confident < 25,
+            "random sequence predicted confidently {confident} times"
+        );
     }
 
     #[test]
@@ -204,6 +227,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "order")]
     fn bad_order_panics() {
-        let _ = FcmPredictor::new(FcmConfig { order: 5, ..FcmConfig::hpca2005() });
+        let _ = FcmPredictor::new(FcmConfig {
+            order: 5,
+            ..FcmConfig::hpca2005()
+        });
     }
 }

@@ -23,7 +23,11 @@ impl OraclePredictor {
     /// Build an oracle from a committed-path trace (produced by
     /// [`mtvp_isa::interp::Interp::run_traced`]).
     pub fn new(trace: Arc<Trace>) -> Self {
-        OraclePredictor { trace, queries: 0, answered: 0 }
+        OraclePredictor {
+            trace,
+            queries: 0,
+            answered: 0,
+        }
     }
 
     /// The exact value the load at committed-path position `dyn_idx` with

@@ -44,12 +44,18 @@ pub struct SelectDecision {
 impl SelectDecision {
     /// Permit everything (the "always" selector).
     pub fn allow_all() -> Self {
-        SelectDecision { allow_stvp: true, allow_mtvp: true }
+        SelectDecision {
+            allow_stvp: true,
+            allow_mtvp: true,
+        }
     }
 
     /// Permit nothing.
     pub fn deny_all() -> Self {
-        SelectDecision { allow_stvp: false, allow_mtvp: false }
+        SelectDecision {
+            allow_stvp: false,
+            allow_mtvp: false,
+        }
     }
 }
 
@@ -69,7 +75,11 @@ pub struct IlpPredConfig {
 impl IlpPredConfig {
     /// Default configuration used throughout the experiments.
     pub fn hpca2005() -> Self {
-        IlpPredConfig { entries: 4096, min_samples: 4, explore_period: 32 }
+        IlpPredConfig {
+            entries: 4096,
+            min_samples: 4,
+            explore_period: 32,
+        }
     }
 }
 
@@ -142,7 +152,10 @@ impl IlpPred {
     /// # Panics
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: IlpPredConfig) -> Self {
-        assert!(cfg.entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         IlpPred {
             entries: vec![Entry::default(); cfg.entries],
             cfg,
@@ -162,11 +175,15 @@ impl IlpPred {
         let i = self.idx(pc);
         let e = &mut self.entries[i];
         if !e.valid || e.pc != pc {
-            *e = Entry { valid: true, pc, ..Entry::default() };
+            *e = Entry {
+                valid: true,
+                pc,
+                ..Entry::default()
+            };
         }
         e.queries = e.queries.wrapping_add(1);
         // Periodic exploration: refresh the no-prediction baseline.
-        if self.cfg.explore_period > 0 && e.queries % self.cfg.explore_period == 0 {
+        if self.cfg.explore_period > 0 && e.queries.is_multiple_of(self.cfg.explore_period) {
             return SelectDecision::deny_all();
         }
         let [none, stvp, mtvp] = &e.classes;
@@ -184,7 +201,10 @@ impl IlpPred {
         } else if allow_stvp {
             self.counters.allowed_stvp += 1;
         }
-        SelectDecision { allow_stvp, allow_mtvp }
+        SelectDecision {
+            allow_stvp,
+            allow_mtvp,
+        }
     }
 
     /// Record a finished episode for the load at `pc`: between prediction
@@ -195,7 +215,11 @@ impl IlpPred {
         let i = self.idx(pc);
         let e = &mut self.entries[i];
         if !e.valid || e.pc != pc {
-            *e = Entry { valid: true, pc, ..Entry::default() };
+            *e = Entry {
+                valid: true,
+                pc,
+                ..Entry::default()
+            };
         }
         e.classes[class.index()].record(progress, cycles);
     }
@@ -211,7 +235,11 @@ mod tests {
     use super::*;
 
     fn sel() -> IlpPred {
-        IlpPred::new(IlpPredConfig { entries: 64, min_samples: 2, explore_period: 0 })
+        IlpPred::new(IlpPredConfig {
+            entries: 64,
+            min_samples: 2,
+            explore_period: 0,
+        })
     }
 
     fn feed(s: &mut IlpPred, pc: u64, class: VpClass, ipc_x16: u64, n: usize) {
@@ -250,7 +278,11 @@ mod tests {
 
     #[test]
     fn exploration_period_forces_baseline_episodes() {
-        let mut s = IlpPred::new(IlpPredConfig { entries: 64, min_samples: 2, explore_period: 4 });
+        let mut s = IlpPred::new(IlpPredConfig {
+            entries: 64,
+            min_samples: 2,
+            explore_period: 4,
+        });
         let mut denied = 0;
         for _ in 0..16 {
             let d = s.decide(0x30);
@@ -263,8 +295,16 @@ mod tests {
 
     #[test]
     fn rate_shift_trick_orders_correctly() {
-        let fast = ClassStats { progress: 1600, cycles: 1000, samples: 10 };
-        let slow = ClassStats { progress: 400, cycles: 1000, samples: 10 };
+        let fast = ClassStats {
+            progress: 1600,
+            cycles: 1000,
+            samples: 10,
+        };
+        let slow = ClassStats {
+            progress: 400,
+            cycles: 1000,
+            samples: 10,
+        };
         assert!(fast.rate() > slow.rate());
         let empty = ClassStats::default();
         assert_eq!(empty.rate(), 0);

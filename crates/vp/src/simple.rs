@@ -25,7 +25,10 @@ impl LastValuePredictor {
     /// # Panics
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, conf_cfg: ConfidenceConfig) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         LastValuePredictor {
             entries: vec![LastValueEntry::default(); entries],
             conf_cfg,
@@ -48,7 +51,13 @@ impl ValuePredictor for LastValuePredictor {
             if confident {
                 self.counters.confident += 1;
             }
-            Prediction { primary: Some(Predicted { value: e.value, confident }), alternates: vec![] }
+            Prediction {
+                primary: Some(Predicted {
+                    value: e.value,
+                    confident,
+                }),
+                alternates: vec![],
+            }
         } else {
             Prediction::none()
         }
@@ -67,7 +76,12 @@ impl ValuePredictor for LastValuePredictor {
                 e.value = actual;
             }
         } else {
-            *e = LastValueEntry { valid: true, pc, value: actual, conf: ConfidenceCounter::new() };
+            *e = LastValueEntry {
+                valid: true,
+                pc,
+                value: actual,
+                conf: ConfidenceCounter::new(),
+            };
         }
     }
 
@@ -103,7 +117,10 @@ impl StridePredictor {
     /// # Panics
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, conf_cfg: ConfidenceConfig) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         StridePredictor {
             entries: vec![StrideEntry::default(); entries],
             conf_cfg,
@@ -129,7 +146,10 @@ impl ValuePredictor for StridePredictor {
             if confident {
                 self.counters.confident += 1;
             }
-            Prediction { primary: Some(Predicted { value, confident }), alternates: vec![] }
+            Prediction {
+                primary: Some(Predicted { value, confident }),
+                alternates: vec![],
+            }
         } else {
             Prediction::none()
         }

@@ -53,7 +53,10 @@ impl WangFranklinConfig {
     /// The "more liberal predictor" used for multiple-value MTVP (§5.6):
     /// gentler confidence updates so several values can be over threshold.
     pub fn liberal() -> Self {
-        WangFranklinConfig { confidence: ConfidenceConfig::liberal(), ..Self::hpca2005() }
+        WangFranklinConfig {
+            confidence: ConfidenceConfig::liberal(),
+            ..Self::hpca2005()
+        }
     }
 }
 
@@ -89,8 +92,14 @@ impl WangFranklinPredictor {
     /// # Panics
     /// Panics if table sizes are not powers of two.
     pub fn new(cfg: WangFranklinConfig) -> Self {
-        assert!(cfg.vht_entries.is_power_of_two(), "VHT size must be a power of two");
-        assert!(cfg.valpht_entries.is_power_of_two(), "ValPHT size must be a power of two");
+        assert!(
+            cfg.vht_entries.is_power_of_two(),
+            "VHT size must be a power of two"
+        );
+        assert!(
+            cfg.valpht_entries.is_power_of_two(),
+            "ValPHT size must be a power of two"
+        );
         WangFranklinPredictor {
             vht: vec![VhtEntry::default(); cfg.vht_entries],
             valpht: vec![ValPhtEntry::default(); cfg.valpht_entries],
@@ -159,7 +168,7 @@ impl ValuePredictor for WangFranklinPredictor {
             .filter(|&i| i != best && conf[i].confident(ccfg) && cands[i] != cands[best])
             .map(|i| (conf[i].value(), cands[i]))
             .collect();
-        alts.sort_by(|a, b| b.0.cmp(&a.0));
+        alts.sort_by_key(|a| std::cmp::Reverse(a.0));
         let mut seen = vec![cands[best]];
         let alternates: Vec<u64> = alts
             .into_iter()
@@ -175,7 +184,13 @@ impl ValuePredictor for WangFranklinPredictor {
         if confident && !alternates.is_empty() {
             self.multi_candidate_queries += 1;
         }
-        Prediction { primary: Some(Predicted { value: cands[best], confident }), alternates }
+        Prediction {
+            primary: Some(Predicted {
+                value: cands[best],
+                confident,
+            }),
+            alternates,
+        }
     }
 
     fn spec_update(&mut self, pc: u64, value: u64) {
@@ -331,8 +346,9 @@ mod tests {
         for _ in 0..2000usize {
             let pred = p.predict(0x24);
             if let Some(primary) = pred.primary {
-                let all: Vec<u64> =
-                    std::iter::once(primary.value).chain(pred.alternates.iter().copied()).collect();
+                let all: Vec<u64> = std::iter::once(primary.value)
+                    .chain(pred.alternates.iter().copied())
+                    .collect();
                 if primary.confident && all.contains(&5) && all.contains(&11) {
                     both_seen = true;
                 }
@@ -340,7 +356,10 @@ mod tests {
             let v = if rng.gen_range(0..3) == 0 { 11u64 } else { 5 };
             p.train(0x24, v);
         }
-        assert!(both_seen, "no query ever exposed both hot values over threshold");
+        assert!(
+            both_seen,
+            "no query ever exposed both hot values over threshold"
+        );
         assert!(p.multi_candidate_queries() > 0);
     }
 

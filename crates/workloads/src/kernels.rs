@@ -23,7 +23,10 @@ pub fn matmul(n: u64) -> Program {
     let (ra, rb, rc, ri, rj, rk, rn) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7));
     let (t1, t2) = (Reg(8), Reg(9));
     let (fa, fb, facc) = (FReg(1), FReg(2), FReg(3));
-    b.li(ra, a_base as i64).li(rb, b_base as i64).li(rc, c_base as i64).li(rn, n as i64);
+    b.li(ra, a_base as i64)
+        .li(rb, b_base as i64)
+        .li(rc, c_base as i64)
+        .li(rn, n as i64);
     b.li(ri, 0);
     let li = b.here_label();
     b.li(rj, 0);
@@ -69,7 +72,10 @@ pub fn histogram(values: &[u8]) -> Program {
     let data = b.alloc_u64(&words);
     let buckets = b.reserve(8 * 256);
     let (rd, rbk, ri, rn, t, v) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
-    b.li(rd, data as i64).li(rbk, buckets as i64).li(ri, 0).li(rn, words.len() as i64);
+    b.li(rd, data as i64)
+        .li(rbk, buckets as i64)
+        .li(ri, 0)
+        .li(rn, words.len() as i64);
     let top = b.here_label();
     b.slli(t, ri, 3);
     b.add(t, t, rd);
@@ -95,8 +101,17 @@ pub fn string_search(haystack: &[u8], needle: &[u8]) -> Program {
     let nd: Vec<u64> = needle.iter().map(|c| u64::from(*c)).collect();
     let h_base = b.alloc_u64(&h);
     let n_base = b.alloc_u64(&nd);
-    let (rh, rn, ri, rj, hl, nl, t1, t2, cnt) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8), Reg(9));
+    let (rh, rn, ri, rj, hl, nl, t1, t2, cnt) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(8),
+        Reg(9),
+    );
     b.li(rh, h_base as i64).li(rn, n_base as i64);
     b.li(hl, (h.len() - nd.len() + 1) as i64);
     b.li(nl, nd.len() as i64);

@@ -57,13 +57,13 @@ impl Workload {
     }
 }
 
-fn w(
-    name: &'static str,
-    suite: Suite,
-    description: &'static str,
-    params: WalkParams,
-) -> Workload {
-    Workload { name, suite, description, params }
+fn w(name: &'static str, suite: Suite, description: &'static str, params: WalkParams) -> Workload {
+    Workload {
+        name,
+        suite,
+        description,
+        params,
+    }
 }
 
 /// Cold dependent walker (the MTVP-friendly regime).
@@ -124,301 +124,510 @@ fn fp_stream() -> WalkParams {
 }
 
 /// The full benchmark suite in the paper's figure order (integer first).
+#[allow(clippy::vec_init_then_push)] // one entry per benchmark, each a sizeable block
 pub fn suite() -> Vec<Workload> {
     use BranchStyle::*;
     use ClassPattern::*;
     let mut v = Vec::new();
 
     // ---- SPEC INT ----
-    v.push(w("gzip g", Suite::Int, "compression: hot window, modest gains", WalkParams {
-        records_log2: 6,
-        iters: 220,
-        noise_loads: 1,
-        alu_work: 10,
-        pattern: Constant(7),
-        scale_footprint: false,
-        ..hot_int()
-    }));
-    v.push(w("gzip r", Suite::Int, "compression, alternate input: L2-resident window walk", WalkParams {
-        records_log2: 12,
-        iters: 110,
-        noise_loads: 1,
-        alu_work: 10,
-        addr_dep: true,
-        pattern: Constant(7),
-        scale_footprint: false,
-        ..hot_int()
-    }));
-    v.push(w("vpr r", Suite::Int, "place&route: large dependent chase, high locality", WalkParams {
-        records_log2: 15,
-        iters: 50,
-        alu_work: 32,
-        noise_loads: 0,
-        stores: 1,
-        pattern: Constant(3),
-        ..cold_int()
-    }));
-    v.push(w("gcc 1", Suite::Int, "compiler: branchy, L2-resident walk (128KB)", WalkParams {
-        records_log2: 11,
-        iters: 150,
-        alu_work: 12,
-        noise_loads: 1,
-        pattern: BiasedRandom { values: (5, 13), bias_percent: 92, seed: 11 },
-        branchy: OnClass,
-        scale_footprint: false,
-        warm_records: false,
-        ..cold_int()
-    }));
-    v.push(w("gcc e", Suite::Int, "compiler: unpredictable branches dominate", WalkParams {
-        records_log2: 10,
-        iters: 80,
-        alu_work: 12,
-        noise_loads: 1,
-        pattern: Periodic(vec![3, 5, 7, 9]),
-        branchy: OnNoise,
-        ..cold_int()
-    }));
-    v.push(w("gcc 2", Suite::Int, "compiler: larger working set, L3-resident (512KB)", WalkParams {
-        records_log2: 13,
-        iters: 130,
-        alu_work: 16,
-        noise_loads: 2,
-        pattern: BiasedRandom { values: (5, 9), bias_percent: 90, seed: 12 },
-        scale_footprint: false,
-        warm_records: false,
-        ..cold_int()
-    }));
-    v.push(w("gcc i", Suite::Int, "compiler: hot loop variant, noisy branches", WalkParams {
-        records_log2: 7,
-        iters: 110,
-        alu_work: 12,
-        noise_loads: 0,
-        pattern: Periodic(vec![5, 9]),
-        branchy: OnNoise,
-        ..hot_int()
-    }));
-    v.push(w("mcf", Suite::Int, "network simplex: huge dependent chase, constant arc fields", WalkParams {
-        records_log2: 15,
-        iters: 50,
-        alu_work: 40,
-        noise_loads: 0,
-        stores: 2,
-        pattern: Constant(3),
-        ..cold_int()
-    }));
-    v.push(w("crafty", Suite::Int, "chess: core-bound, unpredictable branches", WalkParams {
-        records_log2: 6,
-        iters: 120,
-        alu_work: 16,
-        branchy: OnNoise,
-        ..hot_int()
-    }));
-    v.push(w("parser", Suite::Int, "NL parser: biased two-valued loads (multi-value candidate)", WalkParams {
-        records_log2: 13,
-        iters: 55,
-        alu_work: 32,
-        noise_loads: 0,
-        stores: 1,
-        pattern: BiasedRandom { values: (3, 9), bias_percent: 88, seed: 1001 },
-        ..cold_int()
-    }));
-    v.push(w("eon r", Suite::Int, "raytracer: hot int/fp mix", WalkParams {
-        records_log2: 7,
-        iters: 100,
-        alu_work: 8,
-        fp_work: 6,
-        stream_words: 4,
-        ..hot_int()
-    }));
-    v.push(w("perlbmk", Suite::Int, "interpreter: L2-resident dispatch-table walk (256KB)", WalkParams {
-        records_log2: 12,
-        iters: 150,
-        alu_work: 10,
-        noise_loads: 1,
-        pattern: BiasedRandom { values: (7, 3), bias_percent: 93, seed: 13 },
-        scale_footprint: false,
-        warm_records: false,
-        ..cold_int()
-    }));
-    v.push(w("gap", Suite::Int, "group theory: L3-resident dependent walk (512KB)", WalkParams {
-        records_log2: 13,
-        iters: 100,
-        alu_work: 24,
-        noise_loads: 1,
-        pattern: BiasedRandom { values: (5, 7), bias_percent: 94, seed: 14 },
-        scale_footprint: false,
-        warm_records: false,
-        ..cold_int()
-    }));
-    v.push(w("vortex", Suite::Int, "OO database: L2-resident object store, scattered noise", WalkParams {
-        records_log2: 12,
-        iters: 140,
-        scale_footprint: false,
-        warm_records: false,
-        alu_work: 8,
-        noise_loads: 3,
-        pattern: BiasedRandom { values: (3, 9), bias_percent: 91, seed: 15 },
-        ..cold_int()
-    }));
-    v.push(w("bzip g", Suite::Int, "compression: L2/L3 block-sorting walk", WalkParams {
-        records_log2: 13,
-        iters: 100,
-        alu_work: 18,
-        noise_loads: 1,
-        addr_dep: true,
-        pattern: Constant(9),
-        scale_footprint: false,
-        ..hot_int()
-    }));
-    v.push(w("bzip p", Suite::Int, "compression, larger input: L3-resident walk (1MB)", WalkParams {
-        records_log2: 14,
-        iters: 80,
-        alu_work: 28,
-        noise_loads: 2,
-        pattern: BiasedRandom { values: (7, 5), bias_percent: 92, seed: 16 },
-        scale_footprint: false,
-        warm_records: false,
-        ..cold_int()
-    }));
-    v.push(w("twolf", Suite::Int, "place&route: large dependent chase", WalkParams {
-        records_log2: 15,
-        iters: 50,
-        alu_work: 36,
-        noise_loads: 0,
-        stores: 1,
-        pattern: Constant(5),
-        ..cold_int()
-    }));
+    v.push(w(
+        "gzip g",
+        Suite::Int,
+        "compression: hot window, modest gains",
+        WalkParams {
+            records_log2: 6,
+            iters: 220,
+            noise_loads: 1,
+            alu_work: 10,
+            pattern: Constant(7),
+            scale_footprint: false,
+            ..hot_int()
+        },
+    ));
+    v.push(w(
+        "gzip r",
+        Suite::Int,
+        "compression, alternate input: L2-resident window walk",
+        WalkParams {
+            records_log2: 12,
+            iters: 110,
+            noise_loads: 1,
+            alu_work: 10,
+            addr_dep: true,
+            pattern: Constant(7),
+            scale_footprint: false,
+            ..hot_int()
+        },
+    ));
+    v.push(w(
+        "vpr r",
+        Suite::Int,
+        "place&route: large dependent chase, high locality",
+        WalkParams {
+            records_log2: 15,
+            iters: 50,
+            alu_work: 32,
+            noise_loads: 0,
+            stores: 1,
+            pattern: Constant(3),
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "gcc 1",
+        Suite::Int,
+        "compiler: branchy, L2-resident walk (128KB)",
+        WalkParams {
+            records_log2: 11,
+            iters: 150,
+            alu_work: 12,
+            noise_loads: 1,
+            pattern: BiasedRandom {
+                values: (5, 13),
+                bias_percent: 92,
+                seed: 11,
+            },
+            branchy: OnClass,
+            scale_footprint: false,
+            warm_records: false,
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "gcc e",
+        Suite::Int,
+        "compiler: unpredictable branches dominate",
+        WalkParams {
+            records_log2: 10,
+            iters: 80,
+            alu_work: 12,
+            noise_loads: 1,
+            pattern: Periodic(vec![3, 5, 7, 9]),
+            branchy: OnNoise,
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "gcc 2",
+        Suite::Int,
+        "compiler: larger working set, L3-resident (512KB)",
+        WalkParams {
+            records_log2: 13,
+            iters: 130,
+            alu_work: 16,
+            noise_loads: 2,
+            pattern: BiasedRandom {
+                values: (5, 9),
+                bias_percent: 90,
+                seed: 12,
+            },
+            scale_footprint: false,
+            warm_records: false,
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "gcc i",
+        Suite::Int,
+        "compiler: hot loop variant, noisy branches",
+        WalkParams {
+            records_log2: 7,
+            iters: 110,
+            alu_work: 12,
+            noise_loads: 0,
+            pattern: Periodic(vec![5, 9]),
+            branchy: OnNoise,
+            ..hot_int()
+        },
+    ));
+    v.push(w(
+        "mcf",
+        Suite::Int,
+        "network simplex: huge dependent chase, constant arc fields",
+        WalkParams {
+            records_log2: 15,
+            iters: 50,
+            alu_work: 40,
+            noise_loads: 0,
+            stores: 2,
+            pattern: Constant(3),
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "crafty",
+        Suite::Int,
+        "chess: core-bound, unpredictable branches",
+        WalkParams {
+            records_log2: 6,
+            iters: 120,
+            alu_work: 16,
+            branchy: OnNoise,
+            ..hot_int()
+        },
+    ));
+    v.push(w(
+        "parser",
+        Suite::Int,
+        "NL parser: biased two-valued loads (multi-value candidate)",
+        WalkParams {
+            records_log2: 13,
+            iters: 55,
+            alu_work: 32,
+            noise_loads: 0,
+            stores: 1,
+            pattern: BiasedRandom {
+                values: (3, 9),
+                bias_percent: 88,
+                seed: 1001,
+            },
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "eon r",
+        Suite::Int,
+        "raytracer: hot int/fp mix",
+        WalkParams {
+            records_log2: 7,
+            iters: 100,
+            alu_work: 8,
+            fp_work: 6,
+            stream_words: 4,
+            ..hot_int()
+        },
+    ));
+    v.push(w(
+        "perlbmk",
+        Suite::Int,
+        "interpreter: L2-resident dispatch-table walk (256KB)",
+        WalkParams {
+            records_log2: 12,
+            iters: 150,
+            alu_work: 10,
+            noise_loads: 1,
+            pattern: BiasedRandom {
+                values: (7, 3),
+                bias_percent: 93,
+                seed: 13,
+            },
+            scale_footprint: false,
+            warm_records: false,
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "gap",
+        Suite::Int,
+        "group theory: L3-resident dependent walk (512KB)",
+        WalkParams {
+            records_log2: 13,
+            iters: 100,
+            alu_work: 24,
+            noise_loads: 1,
+            pattern: BiasedRandom {
+                values: (5, 7),
+                bias_percent: 94,
+                seed: 14,
+            },
+            scale_footprint: false,
+            warm_records: false,
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "vortex",
+        Suite::Int,
+        "OO database: L2-resident object store, scattered noise",
+        WalkParams {
+            records_log2: 12,
+            iters: 140,
+            scale_footprint: false,
+            warm_records: false,
+            alu_work: 8,
+            noise_loads: 3,
+            pattern: BiasedRandom {
+                values: (3, 9),
+                bias_percent: 91,
+                seed: 15,
+            },
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "bzip g",
+        Suite::Int,
+        "compression: L2/L3 block-sorting walk",
+        WalkParams {
+            records_log2: 13,
+            iters: 100,
+            alu_work: 18,
+            noise_loads: 1,
+            addr_dep: true,
+            pattern: Constant(9),
+            scale_footprint: false,
+            ..hot_int()
+        },
+    ));
+    v.push(w(
+        "bzip p",
+        Suite::Int,
+        "compression, larger input: L3-resident walk (1MB)",
+        WalkParams {
+            records_log2: 14,
+            iters: 80,
+            alu_work: 28,
+            noise_loads: 2,
+            pattern: BiasedRandom {
+                values: (7, 5),
+                bias_percent: 92,
+                seed: 16,
+            },
+            scale_footprint: false,
+            warm_records: false,
+            ..cold_int()
+        },
+    ));
+    v.push(w(
+        "twolf",
+        Suite::Int,
+        "place&route: large dependent chase",
+        WalkParams {
+            records_log2: 15,
+            iters: 50,
+            alu_work: 36,
+            noise_loads: 0,
+            stores: 1,
+            pattern: Constant(5),
+            ..cold_int()
+        },
+    ));
 
     // ---- SPEC FP ----
-    v.push(w("wupwise", Suite::Fp, "QCD: streams + slowly-varying coefficient records", WalkParams {
-        records_log2: 14,
-        stream_words: 8,
-        fp_work: 8,
-        pattern: BiasedRandom { values: (5, 3), bias_percent: 96, seed: 21 },
-        ..fp_stream()
-    }));
-    v.push(w("swim", Suite::Fp, "shallow water: biased two-valued coefficients (multi-value star)", WalkParams {
-        records_log2: 14,
-        iters: 60,
-        stream_words: 8,
-        fp_work: 6,
-        pattern: BiasedRandom { values: (5, 11), bias_percent: 86, seed: 2002 },
-        ..fp_stream()
-    }));
-    v.push(w("mgrid", Suite::Fp, "multigrid: streams + constant coefficients", WalkParams {
-        records_log2: 15,
-        stream_words: 16,
-        fp_work: 4,
-        ..fp_stream()
-    }));
-    v.push(w("applu", Suite::Fp, "PDE solver: streams + coefficients, denser stores", WalkParams {
-        records_log2: 14,
-        stream_words: 8,
-        fp_work: 8,
-        stores: 3,
-        ..fp_stream()
-    }));
-    v.push(w("mesa", Suite::Fp, "3D graphics: compute-bound, hot footprint", WalkParams {
-        records_log2: 7,
-        iters: 90,
-        stream_words: 4,
-        fp_work: 12,
-        scale_footprint: false,
-        stream_arena_log2: 9,
-        ..fp_stream()
-    }));
-    v.push(w("galgel", Suite::Fp, "fluid dynamics: streams + scattered noise", WalkParams {
-        records_log2: 14,
-        stream_words: 8,
-        fp_work: 6,
-        noise_loads: 1,
-        ..fp_stream()
-    }));
-    v.push(w("art 1", Suite::Fp, "neural net: scans with many independent misses", WalkParams {
-        records_log2: 14,
-        iters: 60,
-        stream_words: 4,
-        fp_work: 6,
-        noise_loads: 2,
-        ..fp_stream()
-    }));
-    v.push(w("art 4", Suite::Fp, "neural net, alternate input", WalkParams {
-        records_log2: 14,
-        iters: 60,
-        stream_words: 4,
-        fp_work: 6,
-        noise_loads: 1,
-        ..fp_stream()
-    }));
-    v.push(w("equake", Suite::Fp, "FEM: sparse dependent addressing, L3-resident (512KB)", WalkParams {
-        records_log2: 13,
-        iters: 90,
-        scale_footprint: false,
-        warm_records: false,
-        addr_dep: true,
-        alu_work: 6,
-        stream_words: 4,
-        fp_work: 6,
-        pattern: BiasedRandom { values: (3, 5), bias_percent: 93, seed: 23 },
-        ..fp_stream()
-    }));
-    v.push(w("facerec", Suite::Fp, "face recognition: streams + coefficients", WalkParams {
-        records_log2: 14,
-        stream_words: 8,
-        fp_work: 6,
-        pattern: BiasedRandom { values: (5, 9), bias_percent: 95, seed: 22 },
-        ..fp_stream()
-    }));
-    v.push(w("ammp", Suite::Fp, "molecular dynamics: chase-like neighbour lists (1MB)", WalkParams {
-        records_log2: 14,
-        iters: 80,
-        scale_footprint: false,
-        warm_records: false,
-        addr_dep: true,
-        alu_work: 6,
-        stream_words: 4,
-        fp_work: 8,
-        pattern: BiasedRandom { values: (7, 3), bias_percent: 94, seed: 24 },
-        ..fp_stream()
-    }));
-    v.push(w("lucas", Suite::Fp, "primality: compute-bound, tiny footprint", WalkParams {
-        records_log2: 6,
-        iters: 90,
-        stream_words: 4,
-        fp_work: 14,
-        scale_footprint: false,
-        stream_arena_log2: 9,
-        ..fp_stream()
-    }));
-    v.push(w("fma3d", Suite::Fp, "crash simulation: wide streams, periodic element classes", WalkParams {
-        records_log2: 14,
-        iters: 45,
-        stream_words: 16,
-        fp_work: 6,
-        stores: 3,
-        pattern: Constant(7),
-        ..fp_stream()
-    }));
-    v.push(w("sixtrack", Suite::Fp, "accelerator physics: compute-bound", WalkParams {
-        records_log2: 7,
-        iters: 90,
-        stream_words: 4,
-        fp_work: 14,
-        scale_footprint: false,
-        stream_arena_log2: 9,
-        ..fp_stream()
-    }));
-    v.push(w("apsi", Suite::Fp, "meteorology: mixed streams and scattered records", WalkParams {
-        records_log2: 14,
-        iters: 55,
-        stream_words: 4,
-        fp_work: 10,
-        stores: 3,
-        noise_loads: 1,
-        pattern: Constant(3),
-        ..fp_stream()
-    }));
+    v.push(w(
+        "wupwise",
+        Suite::Fp,
+        "QCD: streams + slowly-varying coefficient records",
+        WalkParams {
+            records_log2: 14,
+            stream_words: 8,
+            fp_work: 8,
+            pattern: BiasedRandom {
+                values: (5, 3),
+                bias_percent: 96,
+                seed: 21,
+            },
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "swim",
+        Suite::Fp,
+        "shallow water: biased two-valued coefficients (multi-value star)",
+        WalkParams {
+            records_log2: 14,
+            iters: 60,
+            stream_words: 8,
+            fp_work: 6,
+            pattern: BiasedRandom {
+                values: (5, 11),
+                bias_percent: 86,
+                seed: 2002,
+            },
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "mgrid",
+        Suite::Fp,
+        "multigrid: streams + constant coefficients",
+        WalkParams {
+            records_log2: 15,
+            stream_words: 16,
+            fp_work: 4,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "applu",
+        Suite::Fp,
+        "PDE solver: streams + coefficients, denser stores",
+        WalkParams {
+            records_log2: 14,
+            stream_words: 8,
+            fp_work: 8,
+            stores: 3,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "mesa",
+        Suite::Fp,
+        "3D graphics: compute-bound, hot footprint",
+        WalkParams {
+            records_log2: 7,
+            iters: 90,
+            stream_words: 4,
+            fp_work: 12,
+            scale_footprint: false,
+            stream_arena_log2: 9,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "galgel",
+        Suite::Fp,
+        "fluid dynamics: streams + scattered noise",
+        WalkParams {
+            records_log2: 14,
+            stream_words: 8,
+            fp_work: 6,
+            noise_loads: 1,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "art 1",
+        Suite::Fp,
+        "neural net: scans with many independent misses",
+        WalkParams {
+            records_log2: 14,
+            iters: 60,
+            stream_words: 4,
+            fp_work: 6,
+            noise_loads: 2,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "art 4",
+        Suite::Fp,
+        "neural net, alternate input",
+        WalkParams {
+            records_log2: 14,
+            iters: 60,
+            stream_words: 4,
+            fp_work: 6,
+            noise_loads: 1,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "equake",
+        Suite::Fp,
+        "FEM: sparse dependent addressing, L3-resident (512KB)",
+        WalkParams {
+            records_log2: 13,
+            iters: 90,
+            scale_footprint: false,
+            warm_records: false,
+            addr_dep: true,
+            alu_work: 6,
+            stream_words: 4,
+            fp_work: 6,
+            pattern: BiasedRandom {
+                values: (3, 5),
+                bias_percent: 93,
+                seed: 23,
+            },
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "facerec",
+        Suite::Fp,
+        "face recognition: streams + coefficients",
+        WalkParams {
+            records_log2: 14,
+            stream_words: 8,
+            fp_work: 6,
+            pattern: BiasedRandom {
+                values: (5, 9),
+                bias_percent: 95,
+                seed: 22,
+            },
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "ammp",
+        Suite::Fp,
+        "molecular dynamics: chase-like neighbour lists (1MB)",
+        WalkParams {
+            records_log2: 14,
+            iters: 80,
+            scale_footprint: false,
+            warm_records: false,
+            addr_dep: true,
+            alu_work: 6,
+            stream_words: 4,
+            fp_work: 8,
+            pattern: BiasedRandom {
+                values: (7, 3),
+                bias_percent: 94,
+                seed: 24,
+            },
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "lucas",
+        Suite::Fp,
+        "primality: compute-bound, tiny footprint",
+        WalkParams {
+            records_log2: 6,
+            iters: 90,
+            stream_words: 4,
+            fp_work: 14,
+            scale_footprint: false,
+            stream_arena_log2: 9,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "fma3d",
+        Suite::Fp,
+        "crash simulation: wide streams, periodic element classes",
+        WalkParams {
+            records_log2: 14,
+            iters: 45,
+            stream_words: 16,
+            fp_work: 6,
+            stores: 3,
+            pattern: Constant(7),
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "sixtrack",
+        Suite::Fp,
+        "accelerator physics: compute-bound",
+        WalkParams {
+            records_log2: 7,
+            iters: 90,
+            stream_words: 4,
+            fp_work: 14,
+            scale_footprint: false,
+            stream_arena_log2: 9,
+            ..fp_stream()
+        },
+    ));
+    v.push(w(
+        "apsi",
+        Suite::Fp,
+        "meteorology: mixed streams and scattered records",
+        WalkParams {
+            records_log2: 14,
+            iters: 55,
+            stream_words: 4,
+            fp_work: 10,
+            stores: 3,
+            noise_loads: 1,
+            pattern: Constant(3),
+            ..fp_stream()
+        },
+    ));
 
     v
 }
@@ -450,8 +659,17 @@ mod tests {
             let mut bus = SimpleBus::new();
             let res = Interp::new(&p).run(&mut bus, 10_000_000);
             assert!(res.halted, "{} did not halt", wl.name);
-            assert!(res.dyn_instrs > 500, "{} too short: {}", wl.name, res.dyn_instrs);
-            assert!(res.loads > 0 && res.stores > 0, "{} has no memory traffic", wl.name);
+            assert!(
+                res.dyn_instrs > 500,
+                "{} too short: {}",
+                wl.name,
+                res.dyn_instrs
+            );
+            assert!(
+                res.loads > 0 && res.stores > 0,
+                "{} has no memory traffic",
+                wl.name
+            );
         }
     }
 

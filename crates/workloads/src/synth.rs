@@ -23,7 +23,11 @@ pub struct SynthParams {
 
 impl Default for SynthParams {
     fn default() -> Self {
-        SynthParams { iterations: 40, body_ops: 30, arena_words_log2: 10 }
+        SynthParams {
+            iterations: 40,
+            body_ops: 30,
+            arena_words_log2: 10,
+        }
     }
 }
 
@@ -138,7 +142,7 @@ mod tests {
             let mut bus = SimpleBus::new();
             let res = Interp::new(&p).run(&mut bus, 1_000_000);
             assert!(res.halted, "seed {seed} did not halt");
-            assert_eq!(res.dyn_instrs <= 1_000_000, true);
+            assert!(res.dyn_instrs <= 1_000_000);
         }
     }
 

@@ -50,7 +50,11 @@ impl ClassPattern {
         match self {
             ClassPattern::Constant(v) => *v,
             ClassPattern::Periodic(vs) => vs[(i % vs.len() as u64) as usize],
-            ClassPattern::BiasedRandom { values, bias_percent, .. } => {
+            ClassPattern::BiasedRandom {
+                values,
+                bias_percent,
+                ..
+            } => {
                 if rng.gen_range(0..100u8) < *bias_percent {
                     values.0
                 } else {
@@ -120,7 +124,11 @@ pub struct WalkParams {
 
 impl WalkParams {
     fn records(&self, scale: Scale) -> u64 {
-        let f = if self.scale_footprint { scale.footprint_factor() } else { 1 };
+        let f = if self.scale_footprint {
+            scale.footprint_factor()
+        } else {
+            1
+        };
         (1u64 << self.records_log2) * f
     }
 
@@ -180,7 +188,7 @@ pub fn build_walk(name: &str, p: &WalkParams, scale: Scale) -> Program {
     // Noise arena: 1/4 the records, scrambled contents.
     let noise_records = (records / 4).max(64);
     let noise_mask = noise_records - 1;
-    let mut rng = SmallRng::seed_from_u64(0xBAD5_EED);
+    let mut rng = SmallRng::seed_from_u64(0x0BAD_5EED);
     let noise: Vec<u64> = (0..noise_records).map(|_| rng.r#gen()).collect();
     let noise_base = b.alloc_u64(&noise);
     drop(noise);
@@ -188,7 +196,9 @@ pub fn build_walk(name: &str, p: &WalkParams, scale: Scale) -> Program {
     // Stream arena: contiguous, prefetch-friendly f64 data.
     let stream_words_total: u64 = 1 << p.stream_arena_log2;
     let stream_mask = stream_words_total - 1;
-    let stream: Vec<f64> = (0..stream_words_total).map(|i| 1.0 + (i % 97) as f64 * 0.25).collect();
+    let stream: Vec<f64> = (0..stream_words_total)
+        .map(|i| 1.0 + (i % 97) as f64 * 0.25)
+        .collect();
     let stream_base = b.alloc_f64(&stream);
     drop(stream);
 
@@ -199,7 +209,8 @@ pub fn build_walk(name: &str, p: &WalkParams, scale: Scale) -> Program {
 
     // Registers.
     let (rbase, ri, rn, rc, rt, racc) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
-    let (rnoise, rstream, rout, rt2, rmult, rt3) = (Reg(7), Reg(8), Reg(9), Reg(10), Reg(11), Reg(12));
+    let (rnoise, rstream, rout, rt2, rmult, rt3) =
+        (Reg(7), Reg(8), Reg(9), Reg(10), Reg(11), Reg(12));
     let rmult2 = Reg(13);
     let (facc0, facc1, fx, fcoef) = (FReg(1), FReg(2), FReg(3), FReg(4));
 
@@ -346,7 +357,7 @@ pub fn build_walk(name: &str, p: &WalkParams, scale: Scale) -> Program {
         }
         b.slli(rt2, rt2, 3);
         b.add(rt2, rt2, rout);
-        b.st(racc, rt2, k as i64 & 0); // offset 0; register-computed address
+        b.st(racc, rt2, 0); // offset 0; register-computed address
     }
 
     // Loop control.
@@ -424,13 +435,21 @@ mod tests {
             }
             c_prev = c;
         }
-        assert!(matches as f64 / p.iters as f64 > 0.8, "{matches}/{}", p.iters);
+        assert!(
+            matches as f64 / p.iters as f64 > 0.8,
+            "{matches}/{}",
+            p.iters
+        );
     }
 
     #[test]
     fn biased_random_pattern_mixes_values() {
         let p = WalkParams {
-            pattern: ClassPattern::BiasedRandom { values: (3, 9), bias_percent: 70, seed: 42 },
+            pattern: ClassPattern::BiasedRandom {
+                values: (3, 9),
+                bias_percent: 70,
+                seed: 42,
+            },
             addr_dep: false,
             ..params()
         };
@@ -451,7 +470,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "stream_words")]
     fn bad_stream_words_panics() {
-        let p = WalkParams { stream_words: 3, ..params() };
+        let p = WalkParams {
+            stream_words: 3,
+            ..params()
+        };
         let _ = build_walk("t", &p, Scale::Tiny);
     }
 }

@@ -11,7 +11,10 @@
 use mtvp_core::{run_program, suite, Mode, Scale, SimConfig};
 
 fn main() {
-    let swim = suite().into_iter().find(|w| w.name == "swim").expect("swim in suite");
+    let swim = suite()
+        .into_iter()
+        .find(|w| w.name == "swim")
+        .expect("swim in suite");
     println!("swim kernel: {}", swim.description);
     let program = swim.build(Scale::Small);
 

@@ -9,7 +9,10 @@
 use mtvp_core::{run_program, suite, Mode, Scale, SimConfig};
 
 fn main() {
-    let mcf = suite().into_iter().find(|w| w.name == "mcf").expect("mcf in suite");
+    let mcf = suite()
+        .into_iter()
+        .find(|w| w.name == "mcf")
+        .expect("mcf in suite");
     println!("mcf kernel: {}", mcf.description);
     let program = mcf.build(Scale::Small);
 
@@ -18,7 +21,13 @@ fn main() {
         "\n{:<14}{:>10}{:>8}{:>12}",
         "mode", "cycles", "IPC", "vs baseline"
     );
-    println!("{:<14}{:>10}{:>8.3}{:>12}", "baseline", base.stats.cycles, base.ipc(), "-");
+    println!(
+        "{:<14}{:>10}{:>8.3}{:>12}",
+        "baseline",
+        base.stats.cycles,
+        base.ipc(),
+        "-"
+    );
 
     let modes: Vec<(&str, SimConfig)> = vec![
         ("stvp", SimConfig::new(Mode::Stvp)),

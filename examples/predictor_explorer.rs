@@ -18,23 +18,28 @@ fn sequences() -> Vec<(&'static str, Vec<u64>)> {
     vec![
         ("constant", vec![42; 600]),
         ("stride +8", (0..600u64).map(|i| 0x1000 + i * 8).collect()),
-        ("period-3", (0..600usize).map(|i| [7u64, 11, 13][i % 3]).collect()),
         (
-            "delta-period-3",
-            {
-                let mut v = 5_000u64;
-                (0..600usize)
-                    .map(|i| {
-                        v = v.wrapping_add([8i64, 8, -16][i % 3] as u64);
-                        v
-                    })
-                    .collect()
-            },
+            "period-3",
+            (0..600usize).map(|i| [7u64, 11, 13][i % 3]).collect(),
         ),
-        ("random", (0..600).map(|_| rng.r#gen::<u64>() % 1000).collect()),
+        ("delta-period-3", {
+            let mut v = 5_000u64;
+            (0..600usize)
+                .map(|i| {
+                    v = v.wrapping_add([8i64, 8, -16][i % 3] as u64);
+                    v
+                })
+                .collect()
+        }),
+        (
+            "random",
+            (0..600).map(|_| rng.r#gen::<u64>() % 1000).collect(),
+        ),
         (
             "biased 70/30",
-            (0..600).map(|_| if rng.gen_range(0..10) < 7 { 5u64 } else { 11 }).collect(),
+            (0..600)
+                .map(|_| if rng.gen_range(0..10) < 7 { 5u64 } else { 11 })
+                .collect(),
         ),
     ]
 }
@@ -53,7 +58,14 @@ fn score(p: &mut dyn ValuePredictor, seq: &[u64]) -> (f64, f64) {
         p.train(0x40, v);
     }
     let n = seq.len() as f64;
-    (confident as f64 / n, if confident == 0 { 0.0 } else { correct as f64 / confident as f64 })
+    (
+        confident as f64 / n,
+        if confident == 0 {
+            0.0
+        } else {
+            correct as f64 / confident as f64
+        },
+    )
 }
 
 fn main() {
@@ -77,5 +89,7 @@ fn main() {
         }
         println!();
     }
-    println!("\n(coverage = fraction of loads predicted confidently; accuracy = of those, correct)");
+    println!(
+        "\n(coverage = fraction of loads predicted confidently; accuracy = of those, correct)"
+    );
 }

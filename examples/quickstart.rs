@@ -26,9 +26,21 @@ fn main() {
     }
     b.alloc_u64(&words);
 
-    let (base, c, sum, i, n, t, m1, m2) =
-        (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7), Reg(8));
-    b.li(base, first as i64).li(c, 0).li(sum, 0).li(i, 0).li(n, 2_000);
+    let (base, c, sum, i, n, t, m1, m2) = (
+        Reg(1),
+        Reg(2),
+        Reg(3),
+        Reg(4),
+        Reg(5),
+        Reg(6),
+        Reg(7),
+        Reg(8),
+    );
+    b.li(base, first as i64)
+        .li(c, 0)
+        .li(sum, 0)
+        .li(i, 0)
+        .li(n, 2_000);
     b.li(m1, 2654435761);
     b.li(m2, 0x9E37_79B9_7F4A_7C15u64 as i64);
     let top = b.here_label();

@@ -28,7 +28,11 @@ fn memory_bound_stars_reach_main_memory() {
             "{name} should miss to memory: {:?}",
             s.mem
         );
-        assert!(s.ipc() < 0.5, "{name} should be memory-bound: IPC {:.3}", s.ipc());
+        assert!(
+            s.ipc() < 0.5,
+            "{name} should be memory-bound: IPC {:.3}",
+            s.ipc()
+        );
     }
 }
 
@@ -45,7 +49,11 @@ fn hot_kernels_stay_in_cache() {
             "{name} should be cache-resident: {:?}",
             s.mem
         );
-        assert!(s.ipc() > 0.4, "{name} should not be memory-bound: IPC {:.3}", s.ipc());
+        assert!(
+            s.ipc() > 0.4,
+            "{name} should not be memory-bound: IPC {:.3}",
+            s.ipc()
+        );
     }
 }
 
@@ -58,7 +66,10 @@ fn fp_streamers_use_the_prefetcher() {
             with_hits += 1;
         }
     }
-    assert!(with_hits >= 3, "most FP streamers should see stream-buffer hits");
+    assert!(
+        with_hits >= 3,
+        "most FP streamers should see stream-buffer hits"
+    );
 }
 
 #[test]

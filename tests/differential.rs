@@ -87,14 +87,15 @@ fn check_program(program: &Program) {
             program.name
         );
         let regs = m.arch_int_regs();
-        for r in 1..32 {
+        for (r, &reg) in regs.iter().enumerate().take(32).skip(1) {
             assert_eq!(
-                regs[r], ires.int_regs[r],
+                reg, ires.int_regs[r],
                 "{}: {name} r{r} mismatch",
                 program.name
             );
         }
-        m.check_regfile().unwrap_or_else(|e| panic!("{}: {name}: {e}", program.name));
+        m.check_regfile()
+            .unwrap_or_else(|e| panic!("{}: {name}: {e}", program.name));
     }
 }
 
@@ -111,7 +112,11 @@ fn memory_heavy_random_programs_agree() {
     for seed in 100..106u64 {
         let program = random_program(
             seed,
-            SynthParams { iterations: 30, body_ops: 50, arena_words_log2: 6 },
+            SynthParams {
+                iterations: 30,
+                body_ops: 50,
+                arena_words_log2: 6,
+            },
         );
         check_program(&program);
     }
@@ -123,7 +128,10 @@ fn classic_kernels_agree_across_all_modes() {
     check_program(&kernels::matmul(8));
     let bytes: Vec<u8> = (0..400).map(|i| (i * 131 % 256) as u8).collect();
     check_program(&kernels::histogram(&bytes));
-    check_program(&kernels::string_search(b"the quick brown fox jumps over the lazy dog the end", b"the"));
+    check_program(&kernels::string_search(
+        b"the quick brown fox jumps over the lazy dog the end",
+        b"the",
+    ));
 }
 
 #[test]
@@ -131,7 +139,11 @@ fn long_random_programs_agree() {
     for seed in 200..203u64 {
         let program = random_program(
             seed,
-            SynthParams { iterations: 150, body_ops: 40, arena_words_log2: 12 },
+            SynthParams {
+                iterations: 150,
+                body_ops: 40,
+                arena_words_log2: 12,
+            },
         );
         check_program(&program);
     }

@@ -1,0 +1,71 @@
+//! Idle-cycle fast-forwarding must be invisible: running a workload with
+//! `fast_forward` on and off has to produce *bit-identical* statistics —
+//! same cycle count, same idle-cycle count, same hit/miss breakdown, same
+//! speculation outcomes. The jump only replaces a stretch of provably
+//! inert cycles with arithmetic.
+
+use mtvp_core::{run_program, Mode, SelectorKind, SimConfig};
+use mtvp_pipeline::PipeStats;
+use mtvp_workloads::{suite, Scale};
+
+fn run_both(bench: &str, mut cfg: SimConfig) -> (PipeStats, PipeStats) {
+    let wl = suite()
+        .into_iter()
+        .find(|w| w.name == bench)
+        .unwrap_or_else(|| {
+            panic!("workload {bench} not in suite");
+        });
+    let program = wl.build(Scale::Tiny);
+    cfg.fast_forward = false;
+    let slow = run_program(&cfg, &program).stats;
+    cfg.fast_forward = true;
+    let fast = run_program(&cfg, &program).stats;
+    (slow, fast)
+}
+
+#[test]
+fn baseline_mcf_is_bit_identical() {
+    // Pointer-chasing mcf on the single-context baseline: long stretches
+    // of pure memory stall, the fast path's bread and butter.
+    let (slow, fast) = run_both("mcf", SimConfig::new(Mode::Baseline));
+    assert_eq!(slow, fast);
+    assert!(fast.halted);
+    assert!(
+        fast.idle_cycles > 0,
+        "memory-bound run should have idle cycles"
+    );
+}
+
+#[test]
+fn baseline_cold_gzip_is_bit_identical() {
+    // Cold caches and no prefetcher stress the fill/MSHR wakeup sources.
+    let mut cfg = SimConfig::new(Mode::Baseline);
+    cfg.warm_start = false;
+    cfg.prefetcher = false;
+    let (slow, fast) = run_both("gzip g", cfg);
+    assert_eq!(slow, fast);
+    assert!(fast.halted);
+}
+
+#[test]
+fn mtvp_with_spawned_threads_is_bit_identical() {
+    // Multi-context MTVP: thread spawns, speculative store buffers, and
+    // the round-robin cursor (which fast-forward must replay) all in play.
+    let mut cfg = SimConfig::new(Mode::Mtvp);
+    cfg.contexts = 4;
+    cfg.selector = SelectorKind::Always;
+    let (slow, fast) = run_both("mcf", cfg);
+    assert_eq!(slow, fast);
+    assert!(fast.halted);
+    assert!(
+        fast.vp.mtvp_spawns > 0,
+        "MTVP run should actually spawn threads"
+    );
+}
+
+#[test]
+fn fp_workload_is_bit_identical() {
+    let (slow, fast) = run_both("mesa", SimConfig::new(Mode::Stvp));
+    assert_eq!(slow, fast);
+    assert!(fast.halted);
+}

@@ -24,8 +24,14 @@ fn fig1_oracle_sweep_runs() {
     // dependent chase with an oracle predictor.
     let stvp = sweep.speedup("mcf", "stvp", "base").unwrap();
     let mtvp = sweep.speedup("mcf", "mtvp4", "base").unwrap();
-    assert!(mtvp > 20.0, "oracle mtvp4 should clearly win on mcf: {mtvp:.1}%");
-    assert!(mtvp > stvp, "mtvp ({mtvp:.1}%) should beat stvp ({stvp:.1}%) on mcf");
+    assert!(
+        mtvp > 20.0,
+        "oracle mtvp4 should clearly win on mcf: {mtvp:.1}%"
+    );
+    assert!(
+        mtvp > stvp,
+        "mtvp ({mtvp:.1}%) should beat stvp ({stvp:.1}%) on mcf"
+    );
 }
 
 #[test]

@@ -22,7 +22,11 @@ fn all_kernels_complete_on_mtvp8() {
         cfg.contexts = 8;
         let r = run_program(&cfg, &program);
         assert!(r.stats.halted, "{} did not halt under mtvp8", wl.name);
-        assert_eq!(r.stats.committed, r.dyn_instrs, "{} commit count under mtvp8", wl.name);
+        assert_eq!(
+            r.stats.committed, r.dyn_instrs,
+            "{} commit count under mtvp8",
+            wl.name
+        );
     }
 }
 

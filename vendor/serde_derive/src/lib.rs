@@ -1,0 +1,279 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` implementations
+//! for the in-tree `serde` shim.
+//!
+//! Supports exactly the shapes this workspace uses: structs with named
+//! fields, tuple structs, unit structs, and enums whose variants all carry
+//! no data. Generics and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Named(String, Vec<String>),
+    /// Tuple struct with `n` fields.
+    Tuple(String, usize),
+    /// Unit struct.
+    Unit(String),
+    /// Enum whose variants are all unit variants.
+    Enum(String, Vec<String>),
+}
+
+fn ident_of(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Split a token stream on commas that sit outside any `<...>` nesting.
+/// (Parenthesized/bracketed groups are single token trees already.)
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes and a visibility qualifier from a token slice.
+fn skip_attrs_and_vis(toks: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed attribute group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &toks[i..],
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let toks = skip_attrs_and_vis(&toks);
+    let kw = ident_of(&toks[0]).expect("struct/enum keyword");
+    let name = ident_of(&toks[1]).expect("type name");
+    if let Some(TokenTree::Punct(p)) = toks.get(2) {
+        if p.as_char() == '<' {
+            panic!("derive shim does not support generic types");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_commas(g.stream())
+                    .iter()
+                    .filter_map(|chunk| {
+                        let chunk = skip_attrs_and_vis(chunk);
+                        chunk.first().and_then(ident_of)
+                    })
+                    .collect();
+                Shape::Named(name, fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_commas(g.stream())
+                    .iter()
+                    .filter(|c| !skip_attrs_and_vis(c).is_empty())
+                    .count();
+                Shape::Tuple(name, arity)
+            }
+            _ => Shape::Unit(name),
+        },
+        "enum" => {
+            let body = toks
+                .iter()
+                .find_map(|t| match t {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+                    _ => None,
+                })
+                .expect("enum body");
+            let variants = split_top_commas(body)
+                .iter()
+                .filter_map(|chunk| {
+                    let chunk = skip_attrs_and_vis(chunk);
+                    if chunk.is_empty() {
+                        return None;
+                    }
+                    if chunk.len() > 1 {
+                        panic!("derive shim only supports unit enum variants");
+                    }
+                    ident_of(&chunk[0])
+                })
+                .collect();
+            Shape::Enum(name, variants)
+        }
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize` (value-tree based shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse(input) {
+        Shape::Named(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple(name, n) => {
+            let entries: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree based shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse(input) {
+        Shape::Named(name, fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get(v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(name, 1) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Tuple(name, n) => {
+            let entries: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = ::serde::seq_get(v, {n})?;\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit(name) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match ::serde::str_get(v)? {{\n\
+                             {},\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
