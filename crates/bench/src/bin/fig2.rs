@@ -2,7 +2,7 @@
 //! for STVP and MTVP×{2,4,8} at 1-, 8- and 16-cycle spawn latencies
 //! (oracle predictor, ILP-pred).
 
-use mtvp_bench::{dump_json, scale_from_args};
+use mtvp_bench::{dump_json, oracle_mtvp_config, scale_from_args};
 use mtvp_core::sweep::Sweep;
 use mtvp_core::{Mode, SimConfig, Suite};
 
@@ -14,10 +14,7 @@ fn main() {
     ];
     for lat in [1u64, 8, 16] {
         for n in [2usize, 4, 8] {
-            let mut c = SimConfig::oracle(Mode::Mtvp);
-            c.contexts = n;
-            c.spawn_latency = lat;
-            configs.push((format!("mtvp{n}@{lat}"), c));
+            configs.push((format!("mtvp{n}@{lat}"), oracle_mtvp_config(n, lat)));
         }
     }
     let sweep = Sweep::run(&configs, scale);

@@ -3,15 +3,12 @@
 //! over the confidence threshold — the headroom for multiple-value
 //! prediction (§5.6). Measured on the mtvp8 Wang–Franklin configuration.
 
-use mtvp_bench::{dump_json, scale_from_args};
+use mtvp_bench::{dump_json, mtvp_config, scale_from_args};
 use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
-    let mut c = SimConfig::new(Mode::Mtvp);
-    c.contexts = 8;
-    let configs = vec![("mtvp8".to_string(), c)];
+    let configs = vec![("mtvp8".to_string(), mtvp_config(8))];
     let sweep = Sweep::run(&configs, scale);
 
     println!("\n=== Figure 5: wrong primary prediction, correct value over threshold ===\n");

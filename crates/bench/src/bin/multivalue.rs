@@ -6,19 +6,17 @@
 //! spawned values recovers large speedups (paper: swim ≈ +70%,
 //! parser ≈ +40%).
 
-use mtvp_bench::{dump_json, scale_from_args};
+use mtvp_bench::{dump_json, mtvp_config, scale_from_args};
 use mtvp_core::sweep::Sweep;
 use mtvp_core::{Mode, SimConfig};
 
 fn main() {
     let scale = scale_from_args();
-    let mut single = SimConfig::new(Mode::Mtvp);
-    single.contexts = 8;
     let mut multi = SimConfig::new(Mode::MultiValue);
     multi.contexts = 8;
     let configs = vec![
         ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("single-value".to_string(), single),
+        ("single-value".to_string(), mtvp_config(8)),
         ("multi-value".to_string(), multi),
     ];
     let sweep = Sweep::run_filtered(&configs, scale, |w| matches!(w.name, "swim" | "parser"));

@@ -1,7 +1,7 @@
 //! Calibration probe: quick look at the core result shapes on a handful
 //! of benchmarks (not one of the paper's figures; a development tool).
 
-use mtvp_bench::{print_speedup_table, scale_from_args};
+use mtvp_bench::{mtvp_config, print_speedup_table, scale_from_args};
 use mtvp_core::sweep::Sweep;
 use mtvp_core::{Mode, SimConfig};
 
@@ -10,9 +10,7 @@ fn main() {
     let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
     configs.push(("stvp".to_string(), SimConfig::new(Mode::Stvp)));
     for n in [2usize, 4, 8] {
-        let mut c = SimConfig::new(Mode::Mtvp);
-        c.contexts = n;
-        configs.push((format!("mtvp{n}"), c));
+        configs.push((format!("mtvp{n}"), mtvp_config(n)));
     }
     let mut ww = SimConfig::new(Mode::WideWindow);
     ww.contexts = 1;

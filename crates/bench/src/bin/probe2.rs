@@ -1,10 +1,12 @@
 //! Deeper calibration probe on a single benchmark (development tool).
 
+use mtvp_bench::{bench_from_args, mtvp_config, scale_from_args};
 use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, Scale, SelectorKind, SimConfig};
+use mtvp_core::{Mode, SelectorKind, SimConfig};
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let bench = bench_from_args("mcf");
+    let scale = scale_from_args();
     let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
     for (label, selector) in [
         ("ilp", SelectorKind::IlpPred),
@@ -13,13 +15,12 @@ fn main() {
         let mut c = SimConfig::new(Mode::Stvp);
         c.selector = selector;
         configs.push((format!("stvp-{label}"), c));
-        let mut c = SimConfig::new(Mode::Mtvp);
-        c.contexts = 8;
+        let mut c = mtvp_config(8);
         c.selector = selector;
         configs.push((format!("mtvp8-{label}"), c));
     }
     configs.push(("wide".to_string(), SimConfig::new(Mode::WideWindow)));
-    let sweep = Sweep::run_filtered(&configs, Scale::Small, |w| w.name == bench);
+    let sweep = Sweep::run_filtered(&configs, scale, |w| w.name == bench);
     let base = sweep.cell(&bench, "base").unwrap();
     println!(
         "{bench}: base ipc={:.4} cycles={} committed={} memacc={} l2={} l3={} strh={} squash={} mshr_rej={}",

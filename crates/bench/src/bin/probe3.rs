@@ -1,12 +1,12 @@
 //! Development probe: oracle spawn-latency behaviour on one benchmark.
 
+use mtvp_bench::{bench_from_args, oracle_mtvp_config, scale_from_args};
 use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, Scale, SelectorKind, SimConfig};
+use mtvp_core::{Mode, SelectorKind, SimConfig};
 
 fn main() {
-    let bench = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "applu".to_string());
+    let bench = bench_from_args("applu");
+    let scale = scale_from_args();
     let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
     for lat in [1u64, 8, 16] {
         for (sel, sname) in [
@@ -14,15 +14,13 @@ fn main() {
             (SelectorKind::L3MissOracle, "l3"),
         ] {
             for n in [2usize, 8] {
-                let mut c = SimConfig::oracle(Mode::Mtvp);
-                c.contexts = n;
-                c.spawn_latency = lat;
+                let mut c = oracle_mtvp_config(n, lat);
                 c.selector = sel;
                 configs.push((format!("m{n}-{sname}@{lat}"), c));
             }
         }
     }
-    let sweep = Sweep::run_filtered(&configs, Scale::Small, |w| w.name == bench);
+    let sweep = Sweep::run_filtered(&configs, scale, |w| w.name == bench);
     for (label, _) in &configs {
         if label == "base" {
             continue;

@@ -11,7 +11,7 @@
 //! EXPERIMENTS.md use `full`).
 
 use mtvp_core::sweep::Sweep;
-use mtvp_core::{Scale, Suite};
+use mtvp_core::{Mode, Scale, SimConfig, Suite};
 
 /// Parse `--scale` from argv (default Small).
 pub fn scale_from_args() -> Scale {
@@ -25,6 +25,42 @@ pub fn scale_from_args() -> Scale {
         },
         None => Scale::Small,
     }
+}
+
+/// Parse the first positional (non-flag) argument as a benchmark name,
+/// falling back to `default`. Flag values (e.g. the argument after
+/// `--scale`) are skipped.
+pub fn bench_from_args(default: &str) -> String {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--scale" {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            return args[i].clone();
+        }
+    }
+    default.to_string()
+}
+
+/// An MTVP configuration with `contexts` hardware contexts under the
+/// paper's default parameterization (Wang–Franklin predictor, ILP-pred
+/// selector).
+pub fn mtvp_config(contexts: usize) -> SimConfig {
+    let mut c = SimConfig::new(Mode::Mtvp);
+    c.contexts = contexts;
+    c
+}
+
+/// An oracle-predictor MTVP configuration with the given context count
+/// and thread-spawn latency (the Figure 2 parameterization).
+pub fn oracle_mtvp_config(contexts: usize, spawn_latency: u64) -> SimConfig {
+    let mut c = SimConfig::oracle(Mode::Mtvp);
+    c.contexts = contexts;
+    c.spawn_latency = spawn_latency;
+    c
 }
 
 /// Print a per-benchmark percent-speedup table in the paper's layout:

@@ -7,8 +7,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mtvp_core::{run_program, suite, Mode, PredictorKind, Scale, SelectorKind, SimConfig};
+use mtvp_core::{
+    chrome_trace, pipeview, run_program, run_program_traced, suite, Mode, PredictorKind, Scale,
+    SelectorKind, SimConfig, TraceOptions,
+};
 use std::fmt::Write as _;
+
+/// Tracing options parsed from `--trace[=N]`, `--trace-out` and
+/// `--trace-window` (see [`Command::parse`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Ring capacity: the newest `ring` events are retained.
+    pub ring: usize,
+    /// Where to write the Chrome trace-event JSON (`None`: don't write).
+    pub out: Option<String>,
+    /// Cycle window `[start, end)` restricting ring retention.
+    pub window: Option<(u64, u64)>,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            ring: 1 << 20,
+            out: None,
+            window: None,
+        }
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +50,22 @@ pub enum Command {
         scale: Scale,
         /// Emit JSON instead of text.
         json: bool,
+        /// Lifecycle tracing, when requested with `--trace`.
+        trace: Option<TraceSpec>,
+    },
+    /// `trace <bench> [options]` — simulate with tracing and render a
+    /// textual pipeline view (gem5 O3-pipeview style).
+    Trace {
+        /// Benchmark name.
+        bench: String,
+        /// Machine configuration.
+        config: SimConfig,
+        /// Build scale.
+        scale: Scale,
+        /// Ring/window/output options.
+        spec: TraceSpec,
+        /// Maximum uop rows in the pipeview rendering.
+        rows: usize,
     },
     /// `compare <bench> [--scale s]` — run every mode on one workload.
     Compare {
@@ -114,21 +155,109 @@ fn parse_selector(s: &str) -> Result<SelectorKind, ParseArgsError> {
     })
 }
 
+/// Positional value lookup for `--flag value` pairs.
+fn get_flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, ParseArgsError> {
+    match rest.iter().position(|a| *a == name) {
+        Some(i) => match rest.get(i + 1) {
+            Some(v) => Ok(Some(*v)),
+            None => Err(ParseArgsError(format!("{name} requires a value"))),
+        },
+        None => Ok(None),
+    }
+}
+
+/// Machine-configuration flags shared by `run` and `trace`.
+fn parse_sim_config(rest: &[&str]) -> Result<(SimConfig, Scale), ParseArgsError> {
+    let mode = parse_mode(get_flag(rest, "--mode")?.unwrap_or("mtvp"))?;
+    let mut config = SimConfig::new(mode);
+    if let Some(v) = get_flag(rest, "--contexts")? {
+        config.contexts = v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --contexts `{v}`")))?;
+    }
+    if let Some(v) = get_flag(rest, "--predictor")? {
+        config.predictor = parse_predictor(v)?;
+    }
+    if let Some(v) = get_flag(rest, "--selector")? {
+        config.selector = parse_selector(v)?;
+    }
+    if let Some(v) = get_flag(rest, "--spawn-latency")? {
+        config.spawn_latency = v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --spawn-latency `{v}`")))?;
+    }
+    if let Some(v) = get_flag(rest, "--store-buffer")? {
+        config.store_buffer = v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --store-buffer `{v}`")))?;
+    }
+    if rest.contains(&"--no-prefetch") {
+        config.prefetcher = false;
+    }
+    if rest.contains(&"--cold-start") {
+        config.warm_start = false;
+    }
+    let scale = parse_scale(get_flag(rest, "--scale")?.unwrap_or("small"))?;
+    Ok((config, scale))
+}
+
+/// A `START:END` cycle window.
+fn parse_trace_window(v: &str) -> Result<(u64, u64), ParseArgsError> {
+    let Some((s, e)) = v.split_once(':') else {
+        return Err(ParseArgsError(format!(
+            "bad --trace-window `{v}` (expected START:END)"
+        )));
+    };
+    let start: u64 = s
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad --trace-window start `{s}`")))?;
+    let end: u64 = e
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad --trace-window end `{e}`")))?;
+    if end <= start {
+        return Err(ParseArgsError(format!(
+            "empty --trace-window `{v}` (end must exceed start)"
+        )));
+    }
+    Ok((start, end))
+}
+
+/// The `--trace[=N]`, `--trace-out FILE` and `--trace-window[=]S:E` flags.
+/// `--trace-out`/`--trace-window` imply `--trace`. Returns `None` when no
+/// tracing flag is present.
+fn parse_trace_spec(rest: &[&str]) -> Result<Option<TraceSpec>, ParseArgsError> {
+    let mut spec = TraceSpec::default();
+    let mut enabled = false;
+    for a in rest {
+        if *a == "--trace" {
+            enabled = true;
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            enabled = true;
+            spec.ring = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad --trace ring size `{v}`")))?;
+        } else if let Some(v) = a.strip_prefix("--trace-window=") {
+            enabled = true;
+            spec.window = Some(parse_trace_window(v)?);
+        }
+    }
+    if let Some(v) = get_flag(rest, "--trace-window")? {
+        enabled = true;
+        spec.window = Some(parse_trace_window(v)?);
+    }
+    if let Some(v) = get_flag(rest, "--trace-out")? {
+        enabled = true;
+        spec.out = Some(v.to_string());
+    }
+    Ok(enabled.then_some(spec))
+}
+
 impl Command {
     /// Parse an argv tail (without the program name).
     pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         let mut it = args.iter().map(String::as_str);
         let cmd = it.next().unwrap_or("help");
         let rest: Vec<&str> = it.collect();
-        let get_flag = |name: &str| -> Result<Option<&str>, ParseArgsError> {
-            match rest.iter().position(|a| *a == name) {
-                Some(i) => match rest.get(i + 1) {
-                    Some(v) => Ok(Some(*v)),
-                    None => Err(ParseArgsError(format!("{name} requires a value"))),
-                },
-                None => Ok(None),
-            }
-        };
         match cmd {
             "list" => Ok(Command::List),
             "help" | "--help" | "-h" => Ok(Command::Help),
@@ -138,41 +267,35 @@ impl Command {
                     .filter(|a| !a.starts_with("--"))
                     .ok_or_else(|| ParseArgsError("run requires a benchmark name".into()))?
                     .to_string();
-                let mode = parse_mode(get_flag("--mode")?.unwrap_or("mtvp"))?;
-                let mut config = SimConfig::new(mode);
-                if let Some(v) = get_flag("--contexts")? {
-                    config.contexts = v
-                        .parse()
-                        .map_err(|_| ParseArgsError(format!("bad --contexts `{v}`")))?;
-                }
-                if let Some(v) = get_flag("--predictor")? {
-                    config.predictor = parse_predictor(v)?;
-                }
-                if let Some(v) = get_flag("--selector")? {
-                    config.selector = parse_selector(v)?;
-                }
-                if let Some(v) = get_flag("--spawn-latency")? {
-                    config.spawn_latency = v
-                        .parse()
-                        .map_err(|_| ParseArgsError(format!("bad --spawn-latency `{v}`")))?;
-                }
-                if let Some(v) = get_flag("--store-buffer")? {
-                    config.store_buffer = v
-                        .parse()
-                        .map_err(|_| ParseArgsError(format!("bad --store-buffer `{v}`")))?;
-                }
-                if rest.contains(&"--no-prefetch") {
-                    config.prefetcher = false;
-                }
-                if rest.contains(&"--cold-start") {
-                    config.warm_start = false;
-                }
-                let scale = parse_scale(get_flag("--scale")?.unwrap_or("small"))?;
+                let (config, scale) = parse_sim_config(&rest)?;
                 Ok(Command::Run {
                     bench,
                     config,
                     scale,
                     json: rest.contains(&"--json"),
+                    trace: parse_trace_spec(&rest)?,
+                })
+            }
+            "trace" => {
+                let bench = rest
+                    .first()
+                    .filter(|a| !a.starts_with("--"))
+                    .ok_or_else(|| ParseArgsError("trace requires a benchmark name".into()))?
+                    .to_string();
+                let (config, scale) = parse_sim_config(&rest)?;
+                let spec = parse_trace_spec(&rest)?.unwrap_or_default();
+                let rows = match get_flag(&rest, "--rows")? {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --rows `{v}`")))?,
+                    None => 48,
+                };
+                Ok(Command::Trace {
+                    bench,
+                    config,
+                    scale,
+                    spec,
+                    rows,
                 })
             }
             "compare" => {
@@ -181,7 +304,7 @@ impl Command {
                     .filter(|a| !a.starts_with("--"))
                     .ok_or_else(|| ParseArgsError("compare requires a benchmark name".into()))?
                     .to_string();
-                let scale = parse_scale(get_flag("--scale")?.unwrap_or("small"))?;
+                let scale = parse_scale(get_flag(&rest, "--scale")?.unwrap_or("small"))?;
                 Ok(Command::Compare { bench, scale })
             }
             "disasm" => {
@@ -190,7 +313,7 @@ impl Command {
                     .filter(|a| !a.starts_with("--"))
                     .ok_or_else(|| ParseArgsError("disasm requires a benchmark name".into()))?
                     .to_string();
-                let limit = match get_flag("--limit")? {
+                let limit = match get_flag(&rest, "--limit")? {
                     Some(v) => v
                         .parse()
                         .map_err(|_| ParseArgsError(format!("bad --limit `{v}`")))?,
@@ -233,21 +356,41 @@ impl Command {
                 config,
                 scale,
                 json,
+                trace,
             } => {
                 let wl = find(&bench)?;
                 let program = wl.build(scale);
-                let r = run_program(&config, &program);
+                let (r, tracer) = match &trace {
+                    Some(spec) => {
+                        let opts = TraceOptions {
+                            ring: spec.ring,
+                            window: spec.window,
+                        };
+                        let (r, t) = run_program_traced(&config, &program, &opts);
+                        (r, Some(t))
+                    }
+                    None => (run_program(&config, &program), None),
+                };
                 if json {
-                    let _ = writeln!(
-                        out,
-                        "{}",
-                        serde_json::json!({
-                            "bench": bench,
-                            "config": config,
-                            "ipc": r.ipc(),
-                            "stats": r.stats,
-                        })
-                    );
+                    let doc = serde_json::json!({
+                        "bench": bench,
+                        "config": config,
+                        "ipc": r.ipc(),
+                        "stats": r.stats,
+                    });
+                    let doc = match (&tracer, doc) {
+                        (Some(t), serde_json::Value::Map(mut entries)) => {
+                            let trace_doc = serde_json::json!({
+                                "events_retained": t.len() as u64,
+                                "events_dropped": t.dropped(),
+                                "registry": t.registry(),
+                            });
+                            entries.push(("trace".to_string(), trace_doc));
+                            serde_json::Value::Map(entries)
+                        }
+                        (_, doc) => doc,
+                    };
+                    let _ = writeln!(out, "{doc}");
                 } else {
                     let _ = writeln!(out, "bench      : {bench} ({})", wl.description);
                     let _ = writeln!(out, "mode       : {:?}", config.mode);
@@ -263,6 +406,66 @@ impl Command {
                         r.stats.vp.mtvp_correct,
                         r.stats.vp.mtvp_wrong
                     );
+                    if let Some(t) = &tracer {
+                        let _ = writeln!(
+                            out,
+                            "trace      : {} events retained, {} dropped",
+                            t.len(),
+                            t.dropped()
+                        );
+                    }
+                }
+                if let (Some(spec), Some(t)) = (&trace, &tracer) {
+                    if let Some(path) = &spec.out {
+                        let text = chrome_trace(t.events());
+                        std::fs::write(path, text).map_err(|e| {
+                            ParseArgsError(format!("cannot write trace to {path}: {e}"))
+                        })?;
+                        // Keep stdout machine-readable under --json.
+                        if !json {
+                            let _ = writeln!(out, "trace JSON : {path} (open in about:tracing)");
+                        }
+                    }
+                }
+            }
+            Command::Trace {
+                bench,
+                config,
+                scale,
+                spec,
+                rows,
+            } => {
+                let wl = find(&bench)?;
+                let program = wl.build(scale);
+                let opts = TraceOptions {
+                    ring: spec.ring,
+                    window: spec.window,
+                };
+                let (r, t) = run_program_traced(&config, &program, &opts);
+                let _ = writeln!(
+                    out,
+                    "bench {bench} mode {:?}: {} cycles, {} committed, IPC {:.4}",
+                    config.mode,
+                    r.stats.cycles,
+                    r.stats.committed,
+                    r.ipc()
+                );
+                let _ = writeln!(
+                    out,
+                    "{} events retained ({} dropped); spawns {} ok {} wrong {}",
+                    t.len(),
+                    t.dropped(),
+                    r.stats.vp.mtvp_spawns,
+                    r.stats.vp.mtvp_correct,
+                    r.stats.vp.mtvp_wrong
+                );
+                out.push_str(&pipeview(t.events(), rows));
+                if let Some(path) = &spec.out {
+                    let text = chrome_trace(t.events());
+                    std::fs::write(path, text).map_err(|e| {
+                        ParseArgsError(format!("cannot write trace to {path}: {e}"))
+                    })?;
+                    let _ = writeln!(out, "trace JSON : {path} (open in about:tracing)");
                 }
             }
             Command::Compare { bench, scale } => {
@@ -339,12 +542,23 @@ USAGE:
   mtvp-sim run <bench> [--mode M] [--contexts N] [--predictor P] [--selector S]
                        [--spawn-latency N] [--store-buffer N] [--scale tiny|small|full]
                        [--no-prefetch] [--cold-start] [--json]
+                       [--trace[=RING]] [--trace-out FILE] [--trace-window START:END]
+  mtvp-sim trace <bench> [run options] [--rows N] [--trace-out FILE]
   mtvp-sim compare <bench> [--scale tiny|small|full]
   mtvp-sim disasm <bench> [--limit N]
 
 MODES:      baseline stvp mtvp mtvp-nostall spawn-only wide-window multi-value
 PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
 SELECTORS:  always ilp-pred l3-miss-oracle
+
+TRACING:
+  --trace[=RING]       record uop lifecycle + MTVP thread events in a ring of
+                       RING entries (default 1048576); counters/histograms
+                       aggregate over the whole run regardless of ring size
+  --trace-out FILE     write Chrome trace-event JSON (chrome://tracing,
+                       about:tracing, or https://ui.perfetto.dev)
+  --trace-window S:E   keep only events from cycles [S, E) in the ring
+  trace subcommand     same flags, prints a gem5-style textual pipeview
 ";
 
 #[cfg(test)]
@@ -399,6 +613,7 @@ mod tests {
                 config,
                 scale,
                 json,
+                trace,
             } => {
                 assert_eq!(bench, "mcf");
                 assert_eq!(config.contexts, 4);
@@ -409,9 +624,59 @@ mod tests {
                 assert!(!config.warm_start);
                 assert_eq!(scale, Scale::Tiny);
                 assert!(json);
+                assert_eq!(trace, None);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let cmd = parse(&[
+            "run",
+            "mcf",
+            "--trace=4096",
+            "--trace-window",
+            "100:200",
+            "--trace-out",
+            "x.json",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run { trace, .. } => {
+                let spec = trace.expect("--trace parsed");
+                assert_eq!(spec.ring, 4096);
+                assert_eq!(spec.window, Some((100, 200)));
+                assert_eq!(spec.out.as_deref(), Some("x.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // `=` form of the window, bare --trace, and implied enabling.
+        match parse(&["run", "mcf", "--trace", "--trace-window=5:9"]).unwrap() {
+            Command::Run { trace, .. } => {
+                let spec = trace.expect("--trace parsed");
+                assert_eq!(spec.ring, 1 << 20);
+                assert_eq!(spec.window, Some((5, 9)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["run", "mcf", "--trace-out", "y.json"]).unwrap() {
+            Command::Run { trace, .. } => {
+                assert_eq!(trace.expect("implied").out.as_deref(), Some("y.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // trace subcommand shares the run flags.
+        match parse(&["trace", "mcf", "--mode", "mtvp", "--rows", "16"]).unwrap() {
+            Command::Trace { bench, rows, .. } => {
+                assert_eq!(bench, "mcf");
+                assert_eq!(rows, 16);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["run", "mcf", "--trace=abc"]).is_err());
+        assert!(parse(&["run", "mcf", "--trace-window", "9:5"]).is_err());
+        assert!(parse(&["run", "mcf", "--trace-window", "nope"]).is_err());
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod run;
 pub mod sweep;
 
 pub use config::{Mode, SimConfig};
-pub use run::{reference_trace, run_program, run_with_trace, RunResult};
+pub use run::{
+    reference_trace, run_program, run_program_traced, run_with_trace, RunResult, TraceOptions,
+};
 
+pub use mtvp_obs::{chrome_trace, pipeview, Event, Registry, RingTracer};
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};
 pub use mtvp_workloads::{suite, Scale, Suite, Workload};

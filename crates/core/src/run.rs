@@ -4,6 +4,7 @@
 use crate::config::SimConfig;
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::Program;
+use mtvp_obs::RingTracer;
 use mtvp_pipeline::{Machine, PipeStats};
 use std::sync::Arc;
 
@@ -54,6 +55,43 @@ pub fn run_with_trace(
     let mut machine = Machine::with_mem_config(pcfg, cfg.to_mem_config(), program, Some(trace));
     let stats = machine.run();
     RunResult { stats, dyn_instrs }
+}
+
+/// Options for a traced run (see [`run_program_traced`]).
+#[derive(Clone, Debug)]
+pub struct TraceOptions {
+    /// Ring capacity: the newest `ring` events are retained.
+    pub ring: usize,
+    /// Optional `[start, end)` cycle window for ring retention.
+    pub window: Option<(u64, u64)>,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            ring: 1 << 20,
+            window: None,
+        }
+    }
+}
+
+/// Simulate `program` under `cfg` with uop-lifecycle tracing enabled,
+/// returning the result and the tracer (ring of events + counter and
+/// histogram registry).
+pub fn run_program_traced(
+    cfg: &SimConfig,
+    program: &Program,
+    opts: &TraceOptions,
+) -> (RunResult, RingTracer) {
+    let (dyn_instrs, trace) = reference_trace(program);
+    let mut tracer = RingTracer::new(opts.ring);
+    if let Some((start, end)) = opts.window {
+        tracer = tracer.with_window(start, end);
+    }
+    let pcfg = cfg.to_pipeline_config();
+    let mut machine = Machine::with_tracer(pcfg, cfg.to_mem_config(), program, Some(trace), tracer);
+    let stats = machine.run();
+    (RunResult { stats, dyn_instrs }, machine.into_tracer())
 }
 
 #[cfg(test)]

@@ -97,6 +97,70 @@ pub enum Op {
     Halt,
 }
 
+impl Op {
+    /// Assembly mnemonic (the names [`Inst`]'s `Display` prints), as a
+    /// static string for observability labels.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Divu => "divu",
+            Remu => "remu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Li => "li",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            J => "j",
+            Jal => "jal",
+            Jr => "jr",
+            Jalr => "jalr",
+            Ld => "ld",
+            St => "st",
+            Fld => "fld",
+            Fst => "fst",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fmul => "fmul",
+            Fdiv => "fdiv",
+            Fmin => "fmin",
+            Fmax => "fmax",
+            Fsqrt => "fsqrt",
+            Fneg => "fneg",
+            Fabs => "fabs",
+            Fmov => "fmov",
+            Fmadd => "fmadd",
+            Fclt => "fclt",
+            Fcle => "fcle",
+            Fceq => "fceq",
+            Icvtf => "icvtf",
+            Fcvti => "fcvti",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+}
+
 /// Functional-unit / issue-queue class of an instruction.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum ExecUnit {

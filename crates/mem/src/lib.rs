@@ -38,4 +38,4 @@ pub use cache::{CacheGeometry, CacheStats, TagCache};
 pub use main_memory::MainMemory;
 pub use mshr::Mshr;
 pub use prefetch::{PrefetchConfig, Prefetcher, StreamBuffer};
-pub use system::{Access, AccessKind, HitLevel, MemConfig, MemStats, MemSystem};
+pub use system::{Access, AccessKind, HitLevel, MemConfig, MemEvent, MemStats, MemSystem};

@@ -96,6 +96,12 @@ impl Mshr {
         self.inflight.is_empty()
     }
 
+    /// The tracked `(line, ready)` entries, sorted by line address.
+    /// Exposed for invariant checking in tests.
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.inflight
+    }
+
     /// Earliest cycle strictly after `now` at which an in-flight fill
     /// completes, if any is still outstanding. Pure observation: does not
     /// prune expired entries.

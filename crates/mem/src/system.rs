@@ -94,6 +94,33 @@ pub enum HitLevel {
     Memory,
 }
 
+impl HitLevel {
+    /// Stable display name (observability labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            HitLevel::L1 => "L1",
+            HitLevel::Stream => "Stream",
+            HitLevel::Mshr => "Mshr",
+            HitLevel::L2 => "L2",
+            HitLevel::L3 => "L3",
+            HitLevel::Memory => "Memory",
+        }
+    }
+}
+
+/// An observable hierarchy occurrence, recorded only when observation has
+/// been switched on with [`MemSystem::obs_enable`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A pending fill arrived and its line was installed.
+    Fill {
+        /// Cycle the install happened (the drain cycle, not the request).
+        at: u64,
+        /// Cache-line byte address.
+        line: u64,
+    },
+}
+
 /// Kind of data access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AccessKind {
@@ -160,6 +187,9 @@ pub struct MemSystem {
     prefetcher: Prefetcher,
     pending: BinaryHeap<PendingFill>,
     stats: MemStats,
+    /// Observation log: `None` (the default) records nothing and costs one
+    /// branch per fill install; `Some` accumulates events until drained.
+    obs: Option<Vec<MemEvent>>,
 }
 
 impl MemSystem {
@@ -175,6 +205,24 @@ impl MemSystem {
             pending: BinaryHeap::new(),
             cfg,
             stats: MemStats::default(),
+            obs: None,
+        }
+    }
+
+    /// Switch on event observation. Until this is called, the hierarchy
+    /// records nothing beyond its aggregate statistics.
+    pub fn obs_enable(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Vec::new());
+        }
+    }
+
+    /// Take the events observed since the last drain (empty when
+    /// observation is off).
+    pub fn obs_drain(&mut self) -> Vec<MemEvent> {
+        match self.obs.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
         }
     }
 
@@ -226,6 +274,9 @@ impl MemSystem {
             }
             if mask & FILL_L1I != 0 {
                 self.l1i.fill(line, false);
+            }
+            if let Some(obs) = self.obs.as_mut() {
+                obs.push(MemEvent::Fill { at: ready, line });
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Property-based tests of the cache and memory hierarchy invariants.
 
-use mtvp_mem::{AccessKind, CacheGeometry, MainMemory, MemConfig, MemSystem, TagCache};
+use mtvp_mem::{AccessKind, CacheGeometry, MainMemory, MemConfig, MemSystem, Mshr, TagCache};
 use proptest::prelude::*;
 
 proptest! {
@@ -43,6 +43,38 @@ proptest! {
             now += dt;
             let a = m.access_data(now, 4, addr & !7, AccessKind::Read);
             prop_assert!(a.ready_at > now);
+        }
+    }
+
+    #[test]
+    fn mshr_sorted_vec_invariants(
+        ops in prop::collection::vec((0u64..100, 0u64..64, 0u64..500, any::<bool>()), 1..200)
+    ) {
+        // The MSHR keeps its in-flight fills in a Vec sorted by line
+        // address with no duplicates, and `next_ready` must report the
+        // earliest still-outstanding completion. Exercise it with a
+        // random interleaving of allocates and lookups over a small line
+        // pool (so merges, replacements and expirations all occur).
+        let mut m = Mshr::new(8);
+        let mut now = 0u64;
+        for &(dt, line, extra, is_alloc) in &ops {
+            now += dt;
+            let line = line << 6;
+            if is_alloc {
+                m.allocate(now, line, now + 1 + extra);
+            } else if let Some(ready) = m.lookup(now, line) {
+                prop_assert!(ready > now, "merged fill must still be in flight");
+            }
+            let entries = m.entries();
+            for w in entries.windows(2) {
+                prop_assert!(
+                    w[0].0 < w[1].0,
+                    "entries must be strictly sorted by line (no duplicates): {:?}",
+                    entries
+                );
+            }
+            let expected = entries.iter().map(|&(_, r)| r).filter(|&r| r > now).min();
+            prop_assert_eq!(m.next_ready(now), expected);
         }
     }
 

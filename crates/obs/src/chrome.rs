@@ -1,0 +1,431 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! The output follows the Trace Event Format consumed by Chrome's
+//! `about:tracing` and by Perfetto: a `{"traceEvents": [...]}` document
+//! where each hardware context is a separate thread track (`tid`), every
+//! uop's rename→retire lifetime is a complete ("X") span, and thread
+//! lifecycle moments (spawn, reconcile, kill, promote, predictions,
+//! redispatches, fills) are instant ("i") markers.
+
+use crate::event::Event;
+use serde::Value;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn u(v: u64) -> Value {
+    Value::U64(v)
+}
+
+fn span(name: &str, tid: usize, ts: u64, dur: u64, args: Vec<(&str, Value)>) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("X")),
+        ("pid", u(0)),
+        ("tid", u(tid as u64)),
+        ("ts", u(ts)),
+        ("dur", u(dur.max(1))),
+        ("args", obj(args)),
+    ])
+}
+
+fn instant(name: &str, tid: usize, ts: u64, args: Vec<(&str, Value)>) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("i")),
+        ("s", s("t")),
+        ("pid", u(0)),
+        ("tid", u(tid as u64)),
+        ("ts", u(ts)),
+        ("args", obj(args)),
+    ])
+}
+
+/// State of one in-flight uop while we scan the stream.
+struct Open {
+    seq: u64,
+    pc: u64,
+    op: &'static str,
+    rename_at: u64,
+    fetched_at: u64,
+    issue_at: Option<u64>,
+    writeback_at: Option<u64>,
+}
+
+/// Render an event stream (as produced by
+/// [`RingTracer::events`](crate::RingTracer::events)) to a Chrome
+/// trace-event JSON string. Cycles are reported as microseconds, so one
+/// simulated cycle displays as 1 µs in the viewer.
+pub fn chrome_trace<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a (u64, Event)>,
+{
+    let mut out: Vec<Value> = Vec::new();
+    let mut tracks: Vec<usize> = Vec::new();
+    // Open uops per context; windows are in program order per context so a
+    // Vec keyed by (ctx, seq) scan is fine at pipeview scales.
+    let mut open: Vec<(usize, Open)> = Vec::new();
+    let mut body: Vec<Value> = Vec::new();
+
+    let note_track = |tracks: &mut Vec<usize>, ctx: usize| {
+        if !tracks.contains(&ctx) {
+            tracks.push(ctx);
+        }
+    };
+
+    let close = |open: &mut Vec<(usize, Open)>,
+                 body: &mut Vec<Value>,
+                 ctx: usize,
+                 seq: u64,
+                 end: u64,
+                 outcome: &str| {
+        if let Some(i) = open.iter().position(|(c, o)| *c == ctx && o.seq == seq) {
+            let (_, o) = open.remove(i);
+            let mut args = vec![
+                ("pc", u(o.pc)),
+                ("seq", u(o.seq)),
+                ("fetched_at", u(o.fetched_at)),
+                ("outcome", s(outcome)),
+            ];
+            if let Some(t) = o.issue_at {
+                args.push(("issue_at", u(t)));
+            }
+            if let Some(t) = o.writeback_at {
+                args.push(("writeback_at", u(t)));
+            }
+            body.push(span(
+                o.op,
+                ctx,
+                o.rename_at,
+                end.saturating_sub(o.rename_at),
+                args,
+            ));
+        }
+    };
+
+    for &(cycle, ev) in events {
+        match ev {
+            Event::Rename {
+                ctx,
+                seq,
+                pc,
+                op,
+                fetched_at,
+            } => {
+                note_track(&mut tracks, ctx);
+                open.push((
+                    ctx,
+                    Open {
+                        seq,
+                        pc,
+                        op,
+                        rename_at: cycle,
+                        fetched_at,
+                        issue_at: None,
+                        writeback_at: None,
+                    },
+                ));
+            }
+            Event::Issue { ctx, seq } => {
+                if let Some((_, o)) = open.iter_mut().find(|(c, o)| *c == ctx && o.seq == seq) {
+                    o.issue_at = Some(cycle);
+                }
+            }
+            Event::Writeback { ctx, seq } => {
+                if let Some((_, o)) = open.iter_mut().find(|(c, o)| *c == ctx && o.seq == seq) {
+                    o.writeback_at = Some(cycle);
+                }
+            }
+            Event::Commit { ctx, seq, spec, .. } => {
+                note_track(&mut tracks, ctx);
+                let outcome = if spec { "spec_commit" } else { "commit" };
+                close(&mut open, &mut body, ctx, seq, cycle, outcome);
+            }
+            Event::Squash {
+                ctx, seq, cause, ..
+            } => {
+                close(&mut open, &mut body, ctx, seq, cycle, cause.name());
+            }
+            Event::Spawn {
+                parent,
+                child,
+                pc,
+                seq,
+                value,
+            } => {
+                note_track(&mut tracks, parent);
+                note_track(&mut tracks, child);
+                let mut args = vec![("child", u(child as u64)), ("pc", u(pc)), ("seq", u(seq))];
+                if let Some(v) = value {
+                    args.push(("value", u(v)));
+                }
+                body.push(instant("spawn", parent, cycle, args));
+            }
+            Event::Reconcile {
+                parent,
+                child,
+                seq,
+                correct,
+                run_len,
+            } => {
+                let name = if correct {
+                    "reconcile_ok"
+                } else {
+                    "reconcile_abort"
+                };
+                body.push(instant(
+                    name,
+                    parent,
+                    cycle,
+                    vec![
+                        ("child", u(child as u64)),
+                        ("seq", u(seq)),
+                        ("run_len", u(run_len)),
+                    ],
+                ));
+            }
+            Event::Promote {
+                parent,
+                child,
+                run_len,
+            } => {
+                body.push(instant(
+                    "promote",
+                    child,
+                    cycle,
+                    vec![("parent", u(parent as u64)), ("run_len", u(run_len))],
+                ));
+            }
+            Event::Kill {
+                ctx,
+                cause,
+                run_len,
+            } => {
+                note_track(&mut tracks, ctx);
+                body.push(instant(
+                    "kill",
+                    ctx,
+                    cycle,
+                    vec![("cause", s(cause.name())), ("run_len", u(run_len))],
+                ));
+            }
+            Event::Predict {
+                ctx,
+                pc,
+                kind,
+                value,
+            } => {
+                let mut args = vec![("pc", u(pc)), ("kind", s(kind.name()))];
+                if let Some(v) = value {
+                    args.push(("value", u(v)));
+                }
+                body.push(instant("predict", ctx, cycle, args));
+            }
+            Event::Redispatch { ctx, seq, cause } => {
+                body.push(instant(
+                    "redispatch",
+                    ctx,
+                    cycle,
+                    vec![("seq", u(seq)), ("cause", s(cause.name()))],
+                ));
+            }
+            Event::SpecStoreCommit { ctx, seq, addr } => {
+                body.push(instant(
+                    "spec_store",
+                    ctx,
+                    cycle,
+                    vec![("seq", u(seq)), ("addr", u(addr))],
+                ));
+            }
+            Event::MemAccess {
+                ctx,
+                pc,
+                level,
+                latency,
+            } => {
+                // L1 hits are the overwhelming common case and add little
+                // to a timeline; keep only the misses.
+                if level != "L1" {
+                    body.push(instant(
+                        "miss",
+                        ctx,
+                        cycle,
+                        vec![("pc", u(pc)), ("level", s(level)), ("latency", u(latency))],
+                    ));
+                }
+            }
+            Event::BranchResolve {
+                ctx,
+                seq,
+                pc,
+                mispredict,
+            } => {
+                if mispredict {
+                    body.push(instant(
+                        "mispredict",
+                        ctx,
+                        cycle,
+                        vec![("seq", u(seq)), ("pc", u(pc))],
+                    ));
+                }
+            }
+            Event::MemFill { .. } | Event::Fetch { .. } | Event::Occupancy { .. } => {}
+        }
+    }
+
+    // Uops still open when the stream ends (run truncated / ring window):
+    // close them at their last known cycle so they still render.
+    let leftovers: Vec<(usize, u64, u64)> = open
+        .iter()
+        .map(|(c, o)| {
+            (
+                *c,
+                o.seq,
+                o.writeback_at.or(o.issue_at).unwrap_or(o.rename_at) + 1,
+            )
+        })
+        .collect();
+    for (ctx, seq, end) in leftovers {
+        close(&mut open, &mut body, ctx, seq, end, "in_flight");
+    }
+
+    tracks.sort_unstable();
+    for ctx in &tracks {
+        let label = if *ctx == 0 {
+            format!("ctx {ctx} (root)")
+        } else {
+            format!("ctx {ctx}")
+        };
+        out.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", u(0)),
+            ("tid", u(*ctx as u64)),
+            ("args", obj(vec![("name", Value::Str(label))])),
+        ]));
+    }
+    out.extend(body);
+
+    Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(out)),
+        ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_valid_json_with_tracks_and_spans() {
+        let events = vec![
+            (
+                5u64,
+                Event::Rename {
+                    ctx: 0,
+                    seq: 1,
+                    pc: 100,
+                    op: "ld",
+                    fetched_at: 2,
+                },
+            ),
+            (7, Event::Issue { ctx: 0, seq: 1 }),
+            (9, Event::Writeback { ctx: 0, seq: 1 }),
+            (
+                10,
+                Event::Spawn {
+                    parent: 0,
+                    child: 1,
+                    pc: 100,
+                    seq: 1,
+                    value: Some(42),
+                },
+            ),
+            (
+                12,
+                Event::Commit {
+                    ctx: 0,
+                    seq: 1,
+                    pc: 100,
+                    spec: false,
+                },
+            ),
+            (
+                13,
+                Event::Kill {
+                    ctx: 1,
+                    cause: crate::KillCause::WrongValue,
+                    run_len: 3,
+                },
+            ),
+        ];
+        let text = chrome_trace(&events);
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        let items = match &v["traceEvents"] {
+            Value::Seq(items) => items.clone(),
+            other => panic!("traceEvents not an array: {other}"),
+        };
+        // Two thread_name metadata records (ctx 0 and 1), one span, two
+        // instants (spawn + kill).
+        let ph = |e: &Value| e["ph"].as_str().map(str::to_string);
+        let metas = items
+            .iter()
+            .filter(|e| ph(e).as_deref() == Some("M"))
+            .count();
+        let spans = items
+            .iter()
+            .filter(|e| ph(e).as_deref() == Some("X"))
+            .count();
+        let instants = items
+            .iter()
+            .filter(|e| ph(e).as_deref() == Some("i"))
+            .count();
+        assert_eq!(metas, 2);
+        assert_eq!(spans, 1);
+        assert_eq!(instants, 2);
+        let span = items
+            .iter()
+            .find(|e| ph(e).as_deref() == Some("X"))
+            .unwrap();
+        assert_eq!(span["name"].as_str(), Some("ld"));
+        assert_eq!(span["ts"].as_u64(), Some(5));
+        assert_eq!(span["dur"].as_u64(), Some(7));
+        assert_eq!(span["args"]["issue_at"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn truncated_stream_closes_open_uops() {
+        let events = vec![(
+            3u64,
+            Event::Rename {
+                ctx: 2,
+                seq: 8,
+                pc: 40,
+                op: "add",
+                fetched_at: 1,
+            },
+        )];
+        let text = chrome_trace(&events);
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        let items = match &v["traceEvents"] {
+            Value::Seq(items) => items.clone(),
+            _ => panic!("no traceEvents"),
+        };
+        let span = items
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X"))
+            .expect("open uop rendered");
+        assert_eq!(span["args"]["outcome"].as_str(), Some("in_flight"));
+    }
+}

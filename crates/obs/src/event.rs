@@ -1,0 +1,455 @@
+//! The event taxonomy: everything the pipeline can tell an observer.
+//!
+//! Events are cheap POD values; the hot path constructs them only inside
+//! `if T::ENABLED` blocks, so with the [`crate::NullTracer`] none of this
+//! code survives monomorphization.
+
+use serde::{Serialize, Value};
+
+/// Why a uop was squashed from a context's window.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SquashCause {
+    /// A branch earlier in the window resolved against its prediction.
+    BranchMispredict,
+    /// The whole context was killed (wrong-value child, parent squash, ...).
+    ThreadKill,
+    /// A spawned child survived reconciliation, so the parent's own
+    /// post-load instructions are redundant.
+    SpawnResolved,
+}
+
+/// Why a uop was sent back for re-execution without being squashed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReissueCause {
+    /// Selective reissue after a wrong value prediction.
+    ValueMispredict,
+    /// A store executed late and a younger load had already read memory.
+    MemOrder,
+}
+
+/// Why a speculative thread (context subtree) was killed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum KillCause {
+    /// The parent load committed with a value different from the spawn's.
+    WrongValue,
+    /// The spawning load itself was squashed from the parent.
+    ParentSquashed,
+    /// A memory-order violation invalidated the child's starting state.
+    MemOrder,
+    /// The child's flash-copied rename map became stale (parent redispatch).
+    StaleRename,
+}
+
+/// Which value-prediction mechanism produced a prediction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VpKind {
+    /// Single-threaded value prediction (prediction written to the preg).
+    Stvp,
+    /// Multithreaded value prediction (a thread was spawned).
+    Mtvp,
+    /// Spawn-only comparator mode (thread spawned, no value predicted).
+    SpawnOnly,
+}
+
+/// One observable pipeline or thread-lifecycle occurrence.
+///
+/// `ctx` is the hardware context id, `seq` the per-context program-order
+/// sequence number assigned at rename — together they identify a uop for
+/// the lifetime of one window occupancy.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Event {
+    /// An instruction was fetched for a context.
+    Fetch {
+        /// Fetching context.
+        ctx: usize,
+        /// Program counter of the fetched instruction.
+        pc: u64,
+    },
+    /// A fetched instruction was renamed into the window.
+    Rename {
+        /// Owning context.
+        ctx: usize,
+        /// Per-context sequence number assigned at rename.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+        /// Mnemonic of the instruction's opcode.
+        op: &'static str,
+        /// Cycle the instruction was fetched (front-end entry).
+        fetched_at: u64,
+    },
+    /// A uop was issued to a functional unit.
+    Issue {
+        /// Owning context.
+        ctx: usize,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// A uop wrote back its result.
+    Writeback {
+        /// Owning context.
+        ctx: usize,
+        /// Sequence number.
+        seq: u64,
+    },
+    /// A uop retired from the head of its context's window.
+    Commit {
+        /// Owning context.
+        ctx: usize,
+        /// Sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+        /// True if this commit was speculative (into the store buffer of a
+        /// spawned thread) rather than architectural.
+        spec: bool,
+    },
+    /// A uop was squashed from the window.
+    Squash {
+        /// Owning context.
+        ctx: usize,
+        /// Sequence number.
+        seq: u64,
+        /// Program counter.
+        pc: u64,
+        /// Why it was squashed.
+        cause: SquashCause,
+    },
+    /// A uop was returned to the dispatched state for re-execution.
+    Redispatch {
+        /// Owning context.
+        ctx: usize,
+        /// Sequence number.
+        seq: u64,
+        /// Why it was redispatched.
+        cause: ReissueCause,
+    },
+    /// The value predictor produced (and the machine followed) a prediction.
+    Predict {
+        /// Context of the predicted load.
+        ctx: usize,
+        /// Program counter of the load.
+        pc: u64,
+        /// Mechanism that consumed the prediction.
+        kind: VpKind,
+        /// Predicted value (absent for spawn-only threads).
+        value: Option<u64>,
+    },
+    /// A speculative thread was spawned on a free hardware context.
+    Spawn {
+        /// Parent context (owner of the predicted load).
+        parent: usize,
+        /// Child context the speculative thread occupies.
+        child: usize,
+        /// Program counter of the spawning load.
+        pc: u64,
+        /// Sequence number of the spawning load in the parent.
+        seq: u64,
+        /// Value the child runs ahead with (absent for spawn-only).
+        value: Option<u64>,
+    },
+    /// A speculative thread committed a store into its store buffer.
+    SpecStoreCommit {
+        /// Speculative context.
+        ctx: usize,
+        /// Sequence number of the store.
+        seq: u64,
+        /// Store address.
+        addr: u64,
+    },
+    /// The spawning load committed and a child was checked against the
+    /// actual loaded value.
+    Reconcile {
+        /// Parent context.
+        parent: usize,
+        /// Child context that was checked.
+        child: usize,
+        /// Sequence number of the spawning load in the parent.
+        seq: u64,
+        /// True if the child's predicted value matched and it survives.
+        correct: bool,
+        /// Instructions the child had speculatively committed by then.
+        run_len: u64,
+    },
+    /// A surviving child replaced its drained parent as the named thread.
+    Promote {
+        /// Parent context being retired.
+        parent: usize,
+        /// Child context taking over.
+        child: usize,
+        /// Speculative commits transferred to the child's credit.
+        run_len: u64,
+    },
+    /// A speculative context (and transitively its children) was killed.
+    Kill {
+        /// Killed context.
+        ctx: usize,
+        /// Why it was killed.
+        cause: KillCause,
+        /// Speculative commits discarded with it.
+        run_len: u64,
+    },
+    /// A demand memory access left the load/store unit.
+    MemAccess {
+        /// Accessing context.
+        ctx: usize,
+        /// Program counter of the access.
+        pc: u64,
+        /// Hierarchy level that serviced it ("L1", "L2", "Memory", ...).
+        level: &'static str,
+        /// Latency in cycles until the value is ready.
+        latency: u64,
+    },
+    /// An in-flight miss completed and its line was installed.
+    MemFill {
+        /// Cache-line address that filled.
+        line: u64,
+    },
+    /// A branch resolved in the execute stage.
+    BranchResolve {
+        /// Owning context.
+        ctx: usize,
+        /// Sequence number.
+        seq: u64,
+        /// Program counter of the branch.
+        pc: u64,
+        /// True if the front end had followed a wrong path.
+        mispredict: bool,
+    },
+    /// Per-cycle occupancy sample of the shared machine queues.
+    Occupancy {
+        /// Total reorder-buffer entries across live contexts.
+        rob: u64,
+        /// Integer issue-queue entries.
+        iq: u64,
+        /// Floating-point issue-queue entries.
+        fq: u64,
+        /// Memory issue-queue entries.
+        mq: u64,
+    },
+}
+
+impl SquashCause {
+    /// Stable lower-case name for export.
+    pub fn name(self) -> &'static str {
+        match self {
+            SquashCause::BranchMispredict => "branch_mispredict",
+            SquashCause::ThreadKill => "thread_kill",
+            SquashCause::SpawnResolved => "spawn_resolved",
+        }
+    }
+}
+
+impl ReissueCause {
+    /// Stable lower-case name for export.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReissueCause::ValueMispredict => "value_mispredict",
+            ReissueCause::MemOrder => "mem_order",
+        }
+    }
+}
+
+impl KillCause {
+    /// Stable lower-case name for export.
+    pub fn name(self) -> &'static str {
+        match self {
+            KillCause::WrongValue => "wrong_value",
+            KillCause::ParentSquashed => "parent_squashed",
+            KillCause::MemOrder => "mem_order",
+            KillCause::StaleRename => "stale_rename",
+        }
+    }
+}
+
+impl VpKind {
+    /// Stable lower-case name for export.
+    pub fn name(self) -> &'static str {
+        match self {
+            VpKind::Stvp => "stvp",
+            VpKind::Mtvp => "mtvp",
+            VpKind::SpawnOnly => "spawn_only",
+        }
+    }
+}
+
+impl Event {
+    /// Stable lower-case kind tag (used as counter names and the JSON
+    /// `type` discriminant).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Fetch { .. } => "fetch",
+            Event::Rename { .. } => "rename",
+            Event::Issue { .. } => "issue",
+            Event::Writeback { .. } => "writeback",
+            Event::Commit { .. } => "commit",
+            Event::Squash { .. } => "squash",
+            Event::Redispatch { .. } => "redispatch",
+            Event::Predict { .. } => "predict",
+            Event::Spawn { .. } => "spawn",
+            Event::SpecStoreCommit { .. } => "spec_store_commit",
+            Event::Reconcile { .. } => "reconcile",
+            Event::Promote { .. } => "promote",
+            Event::Kill { .. } => "kill",
+            Event::MemAccess { .. } => "mem_access",
+            Event::MemFill { .. } => "mem_fill",
+            Event::BranchResolve { .. } => "branch_resolve",
+            Event::Occupancy { .. } => "occupancy",
+        }
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> Value {
+    match v {
+        Some(v) => Value::U64(v),
+        None => Value::Null,
+    }
+}
+
+// The vendored serde-derive shim cannot handle data-carrying enum
+// variants, so the serialization is written out by hand: a flat map with a
+// "type" discriminant, the shape the exporters and external consumers read.
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> =
+            vec![("type".into(), Value::Str(self.kind_name().into()))];
+        let mut push = |k: &str, v: Value| m.push((k.into(), v));
+        match *self {
+            Event::Fetch { ctx, pc } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("pc", Value::U64(pc));
+            }
+            Event::Rename {
+                ctx,
+                seq,
+                pc,
+                op,
+                fetched_at,
+            } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+                push("pc", Value::U64(pc));
+                push("op", Value::Str(op.into()));
+                push("fetched_at", Value::U64(fetched_at));
+            }
+            Event::Issue { ctx, seq } | Event::Writeback { ctx, seq } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+            }
+            Event::Commit { ctx, seq, pc, spec } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+                push("pc", Value::U64(pc));
+                push("spec", Value::Bool(spec));
+            }
+            Event::Squash {
+                ctx,
+                seq,
+                pc,
+                cause,
+            } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+                push("pc", Value::U64(pc));
+                push("cause", Value::Str(cause.name().into()));
+            }
+            Event::Redispatch { ctx, seq, cause } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+                push("cause", Value::Str(cause.name().into()));
+            }
+            Event::Predict {
+                ctx,
+                pc,
+                kind,
+                value,
+            } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("pc", Value::U64(pc));
+                push("kind", Value::Str(kind.name().into()));
+                push("value", opt_u64(value));
+            }
+            Event::Spawn {
+                parent,
+                child,
+                pc,
+                seq,
+                value,
+            } => {
+                push("parent", Value::U64(parent as u64));
+                push("child", Value::U64(child as u64));
+                push("pc", Value::U64(pc));
+                push("seq", Value::U64(seq));
+                push("value", opt_u64(value));
+            }
+            Event::SpecStoreCommit { ctx, seq, addr } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+                push("addr", Value::U64(addr));
+            }
+            Event::Reconcile {
+                parent,
+                child,
+                seq,
+                correct,
+                run_len,
+            } => {
+                push("parent", Value::U64(parent as u64));
+                push("child", Value::U64(child as u64));
+                push("seq", Value::U64(seq));
+                push("correct", Value::Bool(correct));
+                push("run_len", Value::U64(run_len));
+            }
+            Event::Promote {
+                parent,
+                child,
+                run_len,
+            } => {
+                push("parent", Value::U64(parent as u64));
+                push("child", Value::U64(child as u64));
+                push("run_len", Value::U64(run_len));
+            }
+            Event::Kill {
+                ctx,
+                cause,
+                run_len,
+            } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("cause", Value::Str(cause.name().into()));
+                push("run_len", Value::U64(run_len));
+            }
+            Event::MemAccess {
+                ctx,
+                pc,
+                level,
+                latency,
+            } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("pc", Value::U64(pc));
+                push("level", Value::Str(level.into()));
+                push("latency", Value::U64(latency));
+            }
+            Event::MemFill { line } => {
+                push("line", Value::U64(line));
+            }
+            Event::BranchResolve {
+                ctx,
+                seq,
+                pc,
+                mispredict,
+            } => {
+                push("ctx", Value::U64(ctx as u64));
+                push("seq", Value::U64(seq));
+                push("pc", Value::U64(pc));
+                push("mispredict", Value::Bool(mispredict));
+            }
+            Event::Occupancy { rob, iq, fq, mq } => {
+                push("rob", Value::U64(rob));
+                push("iq", Value::U64(iq));
+                push("fq", Value::U64(fq));
+                push("mq", Value::U64(mq));
+            }
+        }
+        Value::Map(m)
+    }
+}

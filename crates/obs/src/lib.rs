@@ -1,0 +1,34 @@
+//! Zero-cost cycle-level observability for the MTVP simulator.
+//!
+//! The crate provides three things:
+//!
+//! 1. **[`Tracer`]** — a statically dispatched sink for per-cycle
+//!    [`Event`]s. The default [`NullTracer`] has `ENABLED == false` and an
+//!    empty, `#[inline(always)]` `record`, so every emit site in the
+//!    pipeline compiles down to nothing: the machine with tracing disabled
+//!    is bit-identical (statistics and throughput) to one built before this
+//!    crate existed. [`RingTracer`] keeps the most recent events in a
+//!    bounded ring and aggregates counters/histograms as events stream by.
+//! 2. **[`Registry`]** — named counters and log2-bucketed [`Histogram`]s
+//!    (queue occupancy, load-miss latency, spawn run-length) with JSON
+//!    serialization, replacing ad-hoc growth of `PipeStats`.
+//! 3. **Exporters** — [`chrome_trace`] renders the event stream as Chrome
+//!    trace-event JSON (open in `about:tracing` / Perfetto; one track per
+//!    hardware context so speculative threads get their own rows), and
+//!    [`pipeview`] renders a textual cycles × uops diagram in the spirit
+//!    of gem5's O3 pipeview.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod pipeview;
+mod registry;
+mod tracer;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, KillCause, ReissueCause, SquashCause, VpKind};
+pub use pipeview::pipeview;
+pub use registry::{Histogram, Registry};
+pub use tracer::{NullTracer, RingTracer, Tracer};

@@ -1,0 +1,288 @@
+//! Textual pipeline viewer: a cycles × uops diagram in the spirit of
+//! gem5's O3 pipeview.
+//!
+//! Each retained uop becomes one row whose columns are cycles. Stage
+//! letters mark transitions, fillers show what the uop was doing between
+//! them:
+//!
+//! ```text
+//! f..r--i=w--C   fetch, wait, rename, wait in window, issue, execute,
+//!                writeback, wait for retirement, commit
+//! ```
+//!
+//! - `f` fetched, `r` renamed, `i` issued, `w` wrote back
+//! - `C` architectural commit, `c` speculative commit (store buffer),
+//!   `x` squashed, `>` still in flight when the stream ended
+//! - `.` waiting in the fetch buffer or window, `=` executing, `-` in
+//!   transit between adjacent stage letters
+
+use crate::event::Event;
+use std::fmt::Write as _;
+
+/// Per-uop milestones collected from the stream.
+struct Row {
+    ctx: usize,
+    seq: u64,
+    pc: u64,
+    op: &'static str,
+    fetched_at: u64,
+    rename_at: u64,
+    issue_at: Option<u64>,
+    writeback_at: Option<u64>,
+    end_at: Option<u64>,
+    end_ch: char,
+}
+
+impl Row {
+    fn glyph_at(&self, cycle: u64) -> char {
+        if cycle == self.fetched_at && cycle < self.rename_at {
+            return 'f';
+        }
+        if cycle == self.rename_at {
+            return 'r';
+        }
+        if let Some(end) = self.end_at {
+            if cycle == end {
+                return self.end_ch;
+            }
+            if cycle > end {
+                return ' ';
+            }
+        }
+        if let Some(wb) = self.writeback_at {
+            if cycle == wb {
+                return 'w';
+            }
+            if cycle > wb {
+                return '.';
+            }
+        }
+        if let Some(iss) = self.issue_at {
+            if cycle == iss {
+                return 'i';
+            }
+            if cycle > iss {
+                return '=';
+            }
+        }
+        if cycle > self.rename_at {
+            return '.';
+        }
+        if cycle > self.fetched_at {
+            return '-';
+        }
+        ' '
+    }
+}
+
+/// Render an event stream (as produced by
+/// [`RingTracer::events`](crate::RingTracer::events)) as a textual
+/// cycles × uops diagram. At most `max_rows` uops are shown (oldest
+/// first); wider runs are clipped to the cycle span the surviving rows
+/// cover.
+pub fn pipeview<'a, I>(events: I, max_rows: usize) -> String
+where
+    I: IntoIterator<Item = &'a (u64, Event)>,
+{
+    let mut rows: Vec<Row> = Vec::new();
+    let find = |rows: &mut Vec<Row>, ctx: usize, seq: u64| -> Option<usize> {
+        rows.iter()
+            .position(|r| r.ctx == ctx && r.seq == seq && r.end_at.is_none())
+    };
+    for &(cycle, ev) in events {
+        match ev {
+            Event::Rename {
+                ctx,
+                seq,
+                pc,
+                op,
+                fetched_at,
+            } => rows.push(Row {
+                ctx,
+                seq,
+                pc,
+                op,
+                fetched_at,
+                rename_at: cycle,
+                issue_at: None,
+                writeback_at: None,
+                end_at: None,
+                end_ch: '>',
+            }),
+            Event::Issue { ctx, seq } => {
+                if let Some(i) = find(&mut rows, ctx, seq) {
+                    rows[i].issue_at = Some(cycle);
+                }
+            }
+            Event::Writeback { ctx, seq } => {
+                if let Some(i) = find(&mut rows, ctx, seq) {
+                    rows[i].writeback_at = Some(cycle);
+                }
+            }
+            Event::Commit { ctx, seq, spec, .. } => {
+                if let Some(i) = find(&mut rows, ctx, seq) {
+                    rows[i].end_at = Some(cycle);
+                    rows[i].end_ch = if spec { 'c' } else { 'C' };
+                }
+            }
+            Event::Squash { ctx, seq, .. } => {
+                if let Some(i) = find(&mut rows, ctx, seq) {
+                    rows[i].end_at = Some(cycle);
+                    rows[i].end_ch = 'x';
+                }
+            }
+            _ => {}
+        }
+    }
+    if rows.len() > max_rows {
+        rows.drain(..rows.len() - max_rows);
+    }
+    if rows.is_empty() {
+        return String::from("(no uop lifecycle events in window)\n");
+    }
+
+    let first = rows.iter().map(|r| r.fetched_at).min().unwrap_or(0);
+    let last = rows
+        .iter()
+        .map(|r| {
+            r.end_at
+                .or(r.writeback_at)
+                .or(r.issue_at)
+                .unwrap_or(r.rename_at)
+        })
+        .max()
+        .unwrap_or(first);
+    let span = last - first + 1;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pipeview: {} uops, cycles {first}..{last} \
+         (f fetch, r rename, i issue, w writeback, C commit, c spec-commit, x squash)",
+        rows.len()
+    );
+    // Cycle ruler: a tick every 10 columns labelled with the cycle offset.
+    let mut ruler = String::new();
+    let mut col = 0;
+    while col < span {
+        let label = format!("{}", first + col);
+        if col % 10 == 0 && ruler.len() <= col as usize {
+            ruler.push('|');
+            ruler.push_str(&label);
+        } else {
+            ruler.push(' ');
+        }
+        col += 1;
+    }
+    ruler.truncate(span as usize);
+    let _ = writeln!(out, "{:>32} {ruler}", "cycle");
+
+    for r in &rows {
+        let mut line = String::with_capacity(span as usize);
+        for cycle in first..=last {
+            line.push(r.glyph_at(cycle));
+        }
+        let label = format!("c{}#{} {:#06x} {}", r.ctx, r.seq, r.pc, r.op);
+        let _ = writeln!(out, "{label:>32} {line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SquashCause;
+
+    fn lifecycle(ctx: usize, seq: u64) -> Vec<(u64, Event)> {
+        vec![
+            (
+                2,
+                Event::Rename {
+                    ctx,
+                    seq,
+                    pc: 0x40 + seq * 4,
+                    op: "add",
+                    fetched_at: 0,
+                },
+            ),
+            (4, Event::Issue { ctx, seq }),
+            (6, Event::Writeback { ctx, seq }),
+            (
+                8,
+                Event::Commit {
+                    ctx,
+                    seq,
+                    pc: 0x40 + seq * 4,
+                    spec: false,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn renders_full_lifecycle_glyphs() {
+        let events = lifecycle(0, 1);
+        let text = pipeview(&events, 100);
+        let row = text.lines().last().unwrap();
+        // cycles 0..8 -> f-r.i=w.C
+        assert!(row.ends_with("f-r.i=w.C"), "row was: {row:?}");
+        assert!(row.contains("c0#1"));
+        assert!(row.contains("add"));
+    }
+
+    #[test]
+    fn squash_and_in_flight_markers() {
+        let mut events = vec![(
+            1u64,
+            Event::Rename {
+                ctx: 0,
+                seq: 1,
+                pc: 0x40,
+                op: "ld",
+                fetched_at: 0,
+            },
+        )];
+        events.push((
+            3,
+            Event::Squash {
+                ctx: 0,
+                seq: 1,
+                pc: 0x40,
+                cause: SquashCause::BranchMispredict,
+            },
+        ));
+        events.push((
+            3,
+            Event::Rename {
+                ctx: 1,
+                seq: 1,
+                pc: 0x44,
+                op: "add",
+                fetched_at: 2,
+            },
+        ));
+        let text = pipeview(&events, 100);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].ends_with("fr.x"), "squashed row: {:?}", lines[2]);
+        // The second uop never ended: open marker absent, row just runs on.
+        assert!(lines[3].contains('r'), "open row: {:?}", lines[3]);
+    }
+
+    #[test]
+    fn clips_to_max_rows_keeping_newest() {
+        let mut events = Vec::new();
+        for seq in 0..10u64 {
+            events.extend(lifecycle(0, seq));
+        }
+        let text = pipeview(&events, 3);
+        assert!(text.contains("3 uops"));
+        assert!(text.contains("c0#9"));
+        assert!(!text.contains("c0#0 "));
+    }
+
+    #[test]
+    fn empty_stream_has_placeholder() {
+        let text = pipeview(&[], 10);
+        assert!(text.contains("no uop lifecycle events"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Named counters and log2-bucketed histograms.
+//!
+//! The registry is the structured replacement for growing `PipeStats` by
+//! hand: observers bump counters and observe histogram samples by name,
+//! and the whole collection serializes to JSON for offline analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k` holds
+/// values whose highest set bit is `k - 1`, so 65 buckets cover all of
+/// `u64`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples (saturating at `u64::MAX`).
+    pub sum: u64,
+    /// Smallest sample observed (0 when empty).
+    pub min: u64,
+    /// Largest sample observed (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts; see [`Histogram::bucket_of`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample: 0 for 0, else `64 - leading_zeros(v)`
+    /// (i.e. one plus the position of the highest set bit).
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A collection of named counters and histograms.
+///
+/// Names are stored in insertion order in plain `Vec`s: the registries in
+/// this simulator hold a few dozen entries, so linear lookup beats a map
+/// and serialization stays deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registry {
+    /// Named monotonic counters.
+    pub counters: Vec<(String, u64)>,
+    /// Named histograms.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, by: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += by,
+            None => self.counters.push((name.to_string(), by)),
+        }
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Record a sample in the histogram `name`, creating it if absent.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.observe(v),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(v);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_mean() {
+        let mut h = Histogram::new();
+        h.observe(10);
+        h.observe(0);
+        h.observe(1000);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1010);
+        assert!((h.mean() - 1010.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[4], 1); // 10 -> bucket 4
+        assert_eq!(h.buckets[10], 1); // 1000 -> bucket 10
+    }
+
+    #[test]
+    fn registry_counters_and_histograms() {
+        let mut r = Registry::new();
+        r.bump("events.fetch");
+        r.add("events.fetch", 2);
+        r.observe("queue.rob", 17);
+        r.observe("queue.rob", 3);
+        assert_eq!(r.counter("events.fetch"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        let h = r.histogram("queue.rob").expect("histogram exists");
+        assert_eq!(h.count, 2);
+        assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let mut r = Registry::new();
+        r.add("a", 7);
+        r.bump("b");
+        r.observe("lat", 0);
+        r.observe("lat", 999);
+        r.observe("lat", u64::MAX);
+        let v = r.to_value();
+        let back = Registry::from_value(&v).expect("round trip");
+        assert_eq!(back, r);
+        // And the JSON text itself parses back to the same value tree.
+        let text = r.to_json();
+        let reparsed = serde_json::from_str(&text).expect("json parses");
+        assert_eq!(Registry::from_value(&reparsed).expect("decodes"), r);
+    }
+}

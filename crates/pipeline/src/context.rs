@@ -30,7 +30,8 @@ pub struct FetchedInst {
     pub inst: Inst,
     /// Its PC.
     pub pc: u64,
-    /// Cycle at which it reaches rename (fetch cycle + front-end latency).
+    /// Cycle at which it reaches rename (fetch cycle + front-end latency;
+    /// the fetch cycle itself is recovered by subtracting that latency).
     pub ready_at: u64,
     /// Committed-path index the fetcher believes this instruction is at.
     pub trace_idx: u64,

@@ -7,8 +7,9 @@ use crate::uop::{CtxId, UopId, UopState};
 use mtvp_isa::interp::Bus;
 use mtvp_isa::Op;
 use mtvp_mem::AccessKind;
+use mtvp_obs::{Event, KillCause, SquashCause, Tracer};
 
-impl Machine<'_> {
+impl<T: Tracer> Machine<'_, T> {
     /// Commit up to `commit_width` instructions across contexts.
     pub(crate) fn commit_stage(&mut self) {
         let n = self.ctxs.len();
@@ -75,6 +76,10 @@ impl Machine<'_> {
                     seq,
                     pc,
                 });
+                if T::ENABLED {
+                    let ev = Event::SpecStoreCommit { ctx, seq, addr };
+                    self.tracer.record(self.now, ev);
+                }
             } else {
                 self.memory.write_u64(addr, value);
                 self.mem_sys
@@ -132,6 +137,15 @@ impl Machine<'_> {
             self.rf.decref(d.class, d.old_preg);
         }
         self.note_commit_progress();
+        if T::ENABLED {
+            let ev = Event::Commit {
+                ctx,
+                seq,
+                pc,
+                spec: speculative,
+            };
+            self.tracer.record(self.now, ev);
+        }
         if speculative {
             // Validate optimistically against the committed-path trace;
             // only fatal if this thread is eventually promoted.
@@ -217,10 +231,21 @@ impl Machine<'_> {
                 was_value_spawn = true;
             }
             let correct = value.is_none_or(|v| v == actual);
-            if correct && survivor.is_none() {
+            let keep = correct && survivor.is_none();
+            if T::ENABLED {
+                let ev = Event::Reconcile {
+                    parent: ctx,
+                    child: *child,
+                    seq,
+                    correct: keep,
+                    run_len: self.ctxs[*child].committed_spec,
+                };
+                self.tracer.record(self.now, ev);
+            }
+            if keep {
                 survivor = Some(*child);
             } else {
-                self.kill_subtree(*child);
+                self.kill_subtree(*child, KillCause::WrongValue);
             }
         }
 
@@ -242,7 +267,7 @@ impl Machine<'_> {
                 // kept fetching; a single-fetch-path parent has none) and
                 // let it drain. Resume state is kept in case the child is
                 // later killed by a memory-order violation.
-                self.squash_younger(ctx, seq);
+                self.squash_younger(ctx, seq, SquashCause::SpawnResolved);
                 let (resume_ghist, resume_ras) = {
                     let u = self.uops.get(load);
                     let b = u
@@ -343,6 +368,7 @@ impl Machine<'_> {
         c.committed_spec += parent_spec_commits;
         c.spec_commit_errors.extend(parent_spec_errors);
         c.spec_committed_loads.extend(parent_spec_loads);
+        let promoted_run = c.committed_spec;
 
         if grand.is_none() {
             // Fully architectural now: credit the speculative commits,
@@ -373,23 +399,31 @@ impl Machine<'_> {
                 self.done = true;
             }
         }
+        if T::ENABLED {
+            let ev = Event::Promote {
+                parent,
+                child,
+                run_len: promoted_run,
+            };
+            self.tracer.record(self.now, ev);
+        }
         self.note_commit_progress();
     }
 
     /// Squash every uop of `ctx` younger than `seq`, killing any threads
     /// they spawned and rolling the rename map back.
-    pub(crate) fn squash_younger(&mut self, ctx: CtxId, seq: u64) {
+    pub(crate) fn squash_younger(&mut self, ctx: CtxId, seq: u64, cause: SquashCause) {
         while let Some(&tail) = self.ctxs[ctx].rob.back() {
             if self.uops.get(tail).seq <= seq {
                 break;
             }
             self.ctxs[ctx].rob.pop_back();
-            self.squash_uop(ctx, tail);
+            self.squash_uop(ctx, tail, cause);
         }
     }
 
     /// Squash one uop already removed from its ROB.
-    fn squash_uop(&mut self, ctx: CtxId, id: UopId) {
+    fn squash_uop(&mut self, ctx: CtxId, id: UopId, cause: SquashCause) {
         let uop = self.uops.remove(id);
         debug_assert_eq!(uop.ctx, ctx);
         if uop.inst.is_store() {
@@ -401,7 +435,7 @@ impl Machine<'_> {
             );
         }
         for (child, _) in &uop.vp.children {
-            self.kill_subtree(*child);
+            self.kill_subtree(*child, KillCause::ParentSquashed);
         }
         if uop.in_queue {
             self.ctxs[ctx].queued_count = self.ctxs[ctx].queued_count.saturating_sub(1);
@@ -420,10 +454,19 @@ impl Machine<'_> {
             self.rf.decref(d.class, d.preg);
         }
         self.stats.squashed += 1;
+        if T::ENABLED {
+            let ev = Event::Squash {
+                ctx,
+                seq: uop.seq,
+                pc: uop.pc,
+                cause,
+            };
+            self.tracer.record(self.now, ev);
+        }
     }
 
     /// Kill a speculative thread and every thread it spawned.
-    pub(crate) fn kill_subtree(&mut self, ctx: CtxId) {
+    pub(crate) fn kill_subtree(&mut self, ctx: CtxId, cause: KillCause) {
         debug_assert!(
             self.ctxs[ctx].speculative,
             "killing a non-speculative context"
@@ -431,11 +474,11 @@ impl Machine<'_> {
         // Squash the whole window (recursively killing grandchildren).
         while let Some(&tail) = self.ctxs[ctx].rob.back() {
             self.ctxs[ctx].rob.pop_back();
-            self.squash_uop(ctx, tail);
+            self.squash_uop(ctx, tail, SquashCause::ThreadKill);
         }
         // A dying context's surviving child is not attached to any uop.
         if let Some(pending) = self.ctxs[ctx].pending_child.take() {
-            self.kill_subtree(pending);
+            self.kill_subtree(pending, cause);
         }
         debug_assert_eq!(
             self.ctxs[ctx].live_children, 0,
@@ -498,6 +541,14 @@ impl Machine<'_> {
             }
         }
         self.stats.discarded_spec_commits += self.ctxs[ctx].committed_spec;
+        if T::ENABLED {
+            let ev = Event::Kill {
+                ctx,
+                cause,
+                run_len: self.ctxs[ctx].committed_spec,
+            };
+            self.tracer.record(self.now, ev);
+        }
         let (int_map, fp_map) = (self.ctxs[ctx].int_map, self.ctxs[ctx].fp_map);
         for preg in int_map {
             self.rf.decref(crate::regfile::RegClass::Int, preg);

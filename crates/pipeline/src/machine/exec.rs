@@ -7,9 +7,10 @@ use crate::uop::{UopId, UopState};
 use mtvp_isa::interp::{branch_taken, effective_addr, eval_fp, eval_fp_cmp, eval_int, fp_to_int};
 use mtvp_isa::{ExecUnit, Op};
 use mtvp_mem::AccessKind;
+use mtvp_obs::{Event, KillCause, ReissueCause, SquashCause, Tracer};
 use std::cmp::Reverse;
 
-impl Machine<'_> {
+impl<T: Tracer> Machine<'_, T> {
     /// Select and begin execution of ready instructions, oldest first, up
     /// to the per-class issue widths (6 int / 2 fp / 4 mem).
     pub(crate) fn issue_stage(&mut self) {
@@ -65,7 +66,7 @@ impl Machine<'_> {
             (u.ctx, u.seq, u.inst, u.pc)
         };
 
-        let src_val = |m: &Machine, i: usize| {
+        let src_val = |m: &Machine<'_, T>, i: usize| {
             let u = m.uops.get(id);
             u.srcs[i].map(|s| m.rf.read(s.class, s.preg)).unwrap_or(0)
         };
@@ -87,7 +88,18 @@ impl Machine<'_> {
                     .mem_sys
                     .access_data_demand(self.now, pc, addr, AccessKind::Read)
                 {
-                    Some(access) => access.ready_at.max(self.now + 1),
+                    Some(access) => {
+                        if T::ENABLED {
+                            let ev = Event::MemAccess {
+                                ctx,
+                                pc,
+                                level: access.level.name(),
+                                latency: access.ready_at.saturating_sub(self.now),
+                            };
+                            self.tracer.record(self.now, ev);
+                        }
+                        access.ready_at.max(self.now + 1)
+                    }
                     None => return false, // all MSHRs busy: retry next cycle
                 }
             };
@@ -117,6 +129,9 @@ impl Machine<'_> {
         self.stats.issued += 1;
         self.issued_total += 1;
         self.events.push(Reverse((done_at, id, generation, token)));
+        if T::ENABLED {
+            self.tracer.record(self.now, Event::Issue { ctx, seq });
+        }
         true
     }
 
@@ -213,7 +228,7 @@ impl Machine<'_> {
             .collect();
         for d in candidates {
             if self.ctxs[d].state != crate::context::CtxState::Free && self.ctxs[d].speculative {
-                self.kill_subtree(d);
+                self.kill_subtree(d, KillCause::StaleRename);
             }
         }
     }
@@ -236,7 +251,7 @@ impl Machine<'_> {
             .collect();
         for d in candidates {
             if self.ctxs[d].state != crate::context::CtxState::Free && self.ctxs[d].speculative {
-                self.kill_subtree(d);
+                self.kill_subtree(d, KillCause::MemOrder);
             }
         }
     }
@@ -274,6 +289,13 @@ impl Machine<'_> {
             }
         }
         self.uops.get_mut(id).state = UopState::Completed;
+        if T::ENABLED {
+            let (ctx, seq) = {
+                let u = self.uops.get(id);
+                (u.ctx, u.seq)
+            };
+            self.tracer.record(self.now, Event::Writeback { ctx, seq });
+        }
 
         if inst.is_control() {
             self.resolve_control(id);
@@ -333,7 +355,7 @@ impl Machine<'_> {
             let u = self.uops.get(id);
             (u.ctx, u.seq, u.pc, u.inst, u.trace_idx)
         };
-        let src = |m: &Machine, i: usize| {
+        let src = |m: &Machine<'_, T>, i: usize| {
             let u = m.uops.get(id);
             u.srcs[i].map(|s| m.rf.read(s.class, s.preg)).unwrap_or(0)
         };
@@ -367,6 +389,15 @@ impl Machine<'_> {
         } else {
             pred_target
         };
+        if T::ENABLED {
+            let ev = Event::BranchResolve {
+                ctx,
+                seq,
+                pc,
+                mispredict: followed != target,
+            };
+            self.tracer.record(self.now, ev);
+        }
         if followed == target {
             return;
         }
@@ -376,7 +407,7 @@ impl Machine<'_> {
             self.stats.branches.indirect_mispredicts += 1;
         }
 
-        self.squash_younger(ctx, seq);
+        self.squash_younger(ctx, seq, SquashCause::BranchMispredict);
         let (ghist, ras) = {
             let u = self.uops.get(id);
             let b = u.branch.as_ref().expect("branch info");
@@ -581,6 +612,15 @@ impl Machine<'_> {
         // those subtrees, like any other misspeculation recovery.
         self.kill_descendants_after(ctx, seq);
         self.stats.vp.reissued_uops += 1;
+        if T::ENABLED {
+            let cause = if self.reissue_origin.is_some() {
+                ReissueCause::ValueMispredict
+            } else {
+                ReissueCause::MemOrder
+            };
+            let ev = Event::Redispatch { ctx, seq, cause };
+            self.tracer.record(self.now, ev);
+        }
         if !was_queued {
             // The issue stage releases queue slots lazily: an already-issued
             // uop may still have a stale entry in the queue vector. Setting

@@ -4,8 +4,9 @@ use super::{Machine, FETCH_BUFFER_CAP, IADDR_BASE};
 use crate::context::FetchedInst;
 use crate::uop::CtxId;
 use mtvp_isa::Op;
+use mtvp_obs::{Event, Tracer};
 
-impl Machine<'_> {
+impl<T: Tracer> Machine<'_, T> {
     /// Fetch up to `fetch_width` instructions from up to `fetch_threads`
     /// contexts, chosen by ICOUNT (fewest instructions in the front end).
     pub(crate) fn fetch_stage(&mut self) {
@@ -118,6 +119,9 @@ impl Machine<'_> {
             c.pc = pred_next;
             c.fetch_buffer.push_back(entry);
             self.stats.fetched += 1;
+            if T::ENABLED {
+                self.tracer.record(self.now, Event::Fetch { ctx, pc });
+            }
 
             if stall_after {
                 // The thread waits for a resolution-time redirect (indirect

@@ -22,7 +22,8 @@ use crate::uop::{CtxId, UopId, UopSlab};
 use mtvp_branch::{Btb, DirectionPredictor};
 use mtvp_isa::trace::Trace;
 use mtvp_isa::{ExecUnit, Program};
-use mtvp_mem::{MainMemory, MemStats, MemSystem};
+use mtvp_mem::{MainMemory, MemEvent, MemStats, MemSystem};
+use mtvp_obs::{Event, NullTracer, Tracer};
 use mtvp_vp::{
     DfcmPredictor, IlpPred, LastValuePredictor, OraclePredictor, Prediction, PredictorCounters,
     SelectDecision, StridePredictor, ValuePredictor, WangFranklinConfig, WangFranklinPredictor,
@@ -158,7 +159,12 @@ pub(crate) enum AnySelector {
 }
 
 /// The simulated machine, borrowing the program it runs.
-pub struct Machine<'p> {
+///
+/// The machine is generic over its [`Tracer`]. The default, [`NullTracer`],
+/// compiles every emit site away (each is guarded by the associated
+/// constant `T::ENABLED`), so untraced simulation is bit-identical in both
+/// statistics and throughput to a build without observability at all.
+pub struct Machine<'p, T: Tracer = NullTracer> {
     pub(crate) cfg: PipelineConfig,
     pub(crate) program: &'p Program,
     /// Timing side of the memory hierarchy.
@@ -197,6 +203,8 @@ pub struct Machine<'p> {
     pub(crate) scratch_ready: Vec<(u64, UopId)>,
     /// Reusable fetch-stage scratch: ICOUNT-sorted fetch candidates.
     pub(crate) scratch_ctxs: Vec<CtxId>,
+    /// Event sink; [`NullTracer`] by default (zero cost).
+    pub(crate) tracer: T,
 }
 
 /// Snapshot of every observable-progress indicator of the machine, taken
@@ -255,6 +263,19 @@ impl<'p> Machine<'p> {
         program: &'p Program,
         trace: Option<Arc<Trace>>,
     ) -> Self {
+        Self::with_tracer(cfg, mem_cfg, program, trace, NullTracer)
+    }
+}
+
+impl<'p, T: Tracer> Machine<'p, T> {
+    /// Build a machine that emits lifecycle events into `tracer`.
+    pub fn with_tracer(
+        cfg: PipelineConfig,
+        mem_cfg: mtvp_mem::MemConfig,
+        program: &'p Program,
+        trace: Option<Arc<Trace>>,
+        tracer: T,
+    ) -> Self {
         assert!(cfg.hw_contexts >= 1, "need at least one hardware context");
         let mut memory = MainMemory::new();
         program.init_memory(&mut memory);
@@ -262,6 +283,9 @@ impl<'p> Machine<'p> {
         // hierarchy (LRU keeps its tail resident), as it would be after
         // the fast-forward phase of a SimPoint-sampled simulation.
         let mut mem_sys = MemSystem::new(mem_cfg);
+        if T::ENABLED {
+            mem_sys.obs_enable();
+        }
         if cfg.warm_start {
             for seg in &program.data {
                 let mut a = seg.base & !(mem_cfg.line_bytes - 1);
@@ -325,7 +349,14 @@ impl<'p> Machine<'p> {
             scratch_ctxs: Vec::new(),
             cfg,
             program,
+            tracer,
         }
+    }
+
+    /// Consume the machine, yielding the tracer (to read its ring and
+    /// registry after a run).
+    pub fn into_tracer(self) -> T {
+        self.tracer
     }
 
     /// Run the machine to completion (halt, instruction limit, or cycle
@@ -485,6 +516,22 @@ impl<'p> Machine<'p> {
         self.issue_stage();
         self.rename_stage();
         self.fetch_stage();
+        if T::ENABLED {
+            // Queue-occupancy sample (folded into histograms by the
+            // tracer, not stored per cycle) and memory fills installed
+            // during this cycle's accesses.
+            let ev = Event::Occupancy {
+                rob: self.rob_occupancy() as u64,
+                iq: self.iq.len() as u64,
+                fq: self.fq.len() as u64,
+                mq: self.mq.len() as u64,
+            };
+            self.tracer.record(self.now, ev);
+            for fill in self.mem_sys.obs_drain() {
+                let MemEvent::Fill { at, line } = fill;
+                self.tracer.record(at, Event::MemFill { line });
+            }
+        }
         self.now += 1;
         let active = self
             .ctxs

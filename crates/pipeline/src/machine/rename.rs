@@ -6,9 +6,10 @@ use crate::context::{CtxState, FetchedInst};
 use crate::regfile::RegClass;
 use crate::uop::{BranchInfo, CtxId, DstOperand, SrcOperand, Uop, UopId, UopState, VpInfo};
 use mtvp_isa::{Def, Op};
+use mtvp_obs::{Event, Tracer, VpKind};
 use mtvp_vp::VpClass;
 
-impl Machine<'_> {
+impl<T: Tracer> Machine<'_, T> {
     /// Rename up to `rename_width` instructions, rotating fairness among
     /// contexts across cycles.
     pub(crate) fn rename_stage(&mut self) {
@@ -162,6 +163,16 @@ impl Machine<'_> {
             self.queue_for(unit).push((id, generation));
             self.ctxs[ctx].queued_count += 1;
         }
+        if T::ENABLED {
+            let ev = Event::Rename {
+                ctx,
+                seq,
+                pc: fi.pc,
+                op: inst.op.mnemonic(),
+                fetched_at: fi.ready_at - self.cfg.front_end_latency,
+            };
+            self.tracer.record(self.now, ev);
+        }
 
         if inst.is_load() {
             self.maybe_value_predict(ctx, id, &fi);
@@ -206,6 +217,15 @@ impl Machine<'_> {
                     if self.spawn_child(ctx, load, None, fi) {
                         self.stats.vp.spawn_only_spawns += 1;
                         class = VpClass::Mtvp;
+                        if T::ENABLED {
+                            let ev = Event::Predict {
+                                ctx,
+                                pc,
+                                kind: VpKind::SpawnOnly,
+                                value: None,
+                            };
+                            self.tracer.record(self.now, ev);
+                        }
                     }
                 } else {
                     self.stats.vp.spawn_no_context += 1;
@@ -222,6 +242,15 @@ impl Machine<'_> {
                         self.stats.vp.mtvp_spawns += 1;
                         self.predictor.spec_update(pc, v);
                         class = VpClass::Mtvp;
+                        if T::ENABLED {
+                            let ev = Event::Predict {
+                                ctx,
+                                pc,
+                                kind: VpKind::Mtvp,
+                                value: Some(v),
+                            };
+                            self.tracer.record(self.now, ev);
+                        }
                         // Multiple-value prediction (§5.6): follow alternate
                         // above-threshold values in further contexts.
                         let extra = self.cfg.vp.max_values_per_load.saturating_sub(1);
@@ -251,6 +280,15 @@ impl Machine<'_> {
                     self.predictor.spec_update(pc, v);
                     self.stats.vp.stvp_used += 1;
                     class = VpClass::Stvp;
+                    if T::ENABLED {
+                        let ev = Event::Predict {
+                            ctx,
+                            pc,
+                            kind: VpKind::Stvp,
+                            value: Some(v),
+                        };
+                        self.tracer.record(self.now, ev);
+                    }
                 }
                 // Keep the over-threshold alternates for the Fig. 5
                 // measurement regardless of what was followed.
@@ -393,6 +431,16 @@ impl Machine<'_> {
             }
         }
         self.ctxs[parent].live_children += 1;
+        if T::ENABLED {
+            let ev = Event::Spawn {
+                parent,
+                child,
+                pc: load_pc,
+                seq: load_seq,
+                value,
+            };
+            self.tracer.record(self.now, ev);
+        }
         true
     }
 }

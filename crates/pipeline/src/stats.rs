@@ -133,4 +133,30 @@ mod tests {
         assert_eq!(empty.ipc(), 0.0);
         assert_eq!(fast.speedup_over(&empty), 0.0);
     }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let mut s = PipeStats {
+            cycles: 123_456,
+            idle_cycles: 42,
+            committed: 99_999,
+            discarded_spec_commits: 3,
+            fetched: 150_000,
+            issued: 140_000,
+            squashed: 1_234,
+            halted: true,
+            peak_contexts: 5,
+            ..Default::default()
+        };
+        s.vp.mtvp_spawns = 17;
+        s.vp.mtvp_correct = 11;
+        s.vp.mtvp_wrong = 6;
+        s.vp.store_buffer_stalls = u64::MAX; // extremes must survive too
+        s.branches.cond_committed = 88;
+        s.branches.mispredicts = 7;
+        s.prefetch = (1, 2, 3, 4);
+        let text = serde_json::to_string(&s).expect("serializes");
+        let back: PipeStats = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, s);
+    }
 }

@@ -23,6 +23,15 @@ pub enum VpClass {
 }
 
 impl VpClass {
+    /// Stable display name (observability labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            VpClass::NoVp => "no_vp",
+            VpClass::Stvp => "stvp",
+            VpClass::Mtvp => "mtvp",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             VpClass::NoVp => 0,

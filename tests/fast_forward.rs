@@ -4,7 +4,7 @@
 //! speculation outcomes. The jump only replaces a stretch of provably
 //! inert cycles with arithmetic.
 
-use mtvp_core::{run_program, Mode, SelectorKind, SimConfig};
+use mtvp_core::{run_program, run_program_traced, Mode, SelectorKind, SimConfig, TraceOptions};
 use mtvp_pipeline::PipeStats;
 use mtvp_workloads::{suite, Scale};
 
@@ -68,4 +68,22 @@ fn fp_workload_is_bit_identical() {
     let (slow, fast) = run_both("mesa", SimConfig::new(Mode::Stvp));
     assert_eq!(slow, fast);
     assert!(fast.halted);
+}
+
+#[test]
+fn tracing_is_observation_only() {
+    // Attaching the ring tracer must not perturb the simulation: a traced
+    // run produces bit-identical `PipeStats` to an untraced one, on both
+    // the baseline and a spawning MTVP configuration.
+    let wl = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+    let program = wl.build(Scale::Tiny);
+    let mut mtvp = SimConfig::new(Mode::Mtvp);
+    mtvp.contexts = 4;
+    mtvp.selector = SelectorKind::Always;
+    for cfg in [SimConfig::new(Mode::Baseline), mtvp] {
+        let plain = run_program(&cfg, &program).stats;
+        let (traced, tracer) = run_program_traced(&cfg, &program, &TraceOptions::default());
+        assert_eq!(plain, traced.stats);
+        assert!(!tracer.is_empty(), "traced run should record events");
+    }
 }

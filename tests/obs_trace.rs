@@ -1,0 +1,118 @@
+//! Differential test of the observability subsystem: the event stream a
+//! traced MTVP run emits must agree with the `PipeStats` the run reports.
+//! Every spawn the stats count appears as a `Spawn` event, and every
+//! spawned child is eventually resolved — reconciled against the actual
+//! load value or killed — except for the handful that can still be in
+//! flight when the program halts.
+
+use mtvp_core::{
+    chrome_trace, pipeview, run_program_traced, suite, Event, Mode, Scale, SelectorKind, SimConfig,
+    TraceOptions,
+};
+use mtvp_core::{run::RunResult, RingTracer};
+use std::collections::HashSet;
+
+fn traced_mtvp_run(opts: &TraceOptions) -> (RunResult, RingTracer) {
+    let wl = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+    let program = wl.build(Scale::Tiny);
+    let mut cfg = SimConfig::new(Mode::Mtvp);
+    cfg.contexts = 4;
+    cfg.selector = SelectorKind::Always;
+    run_program_traced(&cfg, &program, opts)
+}
+
+#[test]
+fn event_stream_matches_spawn_stats() {
+    let (result, tracer) = traced_mtvp_run(&TraceOptions::default());
+    let stats = &result.stats;
+    assert!(stats.halted);
+    assert!(stats.vp.mtvp_spawns > 0, "run must actually spawn threads");
+    assert_eq!(
+        tracer.dropped(),
+        0,
+        "default ring must hold a Tiny run in full"
+    );
+
+    let contexts = 4usize;
+    let mut spawns = 0u64;
+    let mut reconciles_correct = 0u64;
+    let mut reconciles_wrong = 0u64;
+    let mut kills_while_pending = 0u64;
+    // Child contexts spawned but not yet reconciled or killed.
+    let mut pending: HashSet<usize> = HashSet::new();
+
+    for &(_, ev) in tracer.events() {
+        match ev {
+            Event::Spawn { parent, child, .. } => {
+                spawns += 1;
+                assert_ne!(parent, child);
+                assert!(
+                    pending.insert(child),
+                    "context {child} spawned again before being resolved"
+                );
+            }
+            Event::Reconcile { child, correct, .. } => {
+                assert!(
+                    pending.remove(&child),
+                    "context {child} reconciled without a matching spawn"
+                );
+                if correct {
+                    reconciles_correct += 1;
+                } else {
+                    reconciles_wrong += 1;
+                }
+            }
+            // A kill can hit a still-pending child (parent squashed, or
+            // wrong value at reconcile time) or an already-reconciled
+            // one; only the former closes a spawn.
+            Event::Kill { ctx, .. } if pending.remove(&ctx) => {
+                kills_while_pending += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Every spawn the stats report is visible in the stream.
+    let expected_spawns =
+        stats.vp.mtvp_spawns + stats.vp.multi_value_spawns + stats.vp.spawn_only_spawns;
+    assert_eq!(spawns, expected_spawns);
+
+    // Every spawn is resolved by a reconcile or a kill, except children
+    // still in flight at halt (at most one per non-primary context).
+    assert!(pending.len() < contexts, "too many unresolved spawns");
+    assert_eq!(
+        reconciles_correct + reconciles_wrong + kills_while_pending + pending.len() as u64,
+        spawns
+    );
+
+    // Value-correct reconciles are exactly the stats' correct spawns.
+    assert_eq!(reconciles_correct, stats.vp.mtvp_correct);
+
+    // The registry's event counters agree with the stream accounting.
+    assert_eq!(tracer.registry().counter("events.spawn"), spawns);
+}
+
+#[test]
+fn exporters_render_the_stream() {
+    // Window the ring to the first few thousand cycles: plenty of uop
+    // lifecycles for both exporters, and it exercises `--trace-window`.
+    let opts = TraceOptions {
+        window: Some((0, 4096)),
+        ..TraceOptions::default()
+    };
+    let (_, tracer) = traced_mtvp_run(&opts);
+
+    // Chrome trace output must be well-formed JSON with an event array.
+    let chrome = chrome_trace(tracer.events());
+    let doc: serde_json::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let events = &doc["traceEvents"];
+    assert!(
+        matches!(events, serde_json::Value::Seq(v) if !v.is_empty()),
+        "traceEvents must be a non-empty array"
+    );
+
+    // The pipeview renders at least a header, a ruler and some lanes.
+    let view = pipeview(tracer.events(), 32);
+    assert!(view.starts_with("pipeview:"), "pipeview emits its header");
+    assert!(view.lines().count() > 2);
+}
