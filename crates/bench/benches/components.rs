@@ -2,7 +2,7 @@
 //! throughput bound how fast the cycle loop can run.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mtvp_core::{Mode, SimConfig};
+use mtvp_engine::{Mode, SimConfig};
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_workloads::{suite, Scale};
 
@@ -70,7 +70,7 @@ fn bench_full_machine(c: &mut Criterion) {
     let program = wl.build(Scale::Tiny);
     let cfg = SimConfig::new(Mode::Baseline);
     c.bench_function("machine_crafty_tiny_baseline", |b| {
-        b.iter(|| mtvp_core::run_program(&cfg, &program).stats.cycles)
+        b.iter(|| mtvp_engine::run_program(&cfg, &program).stats.cycles)
     });
 }
 

@@ -4,8 +4,8 @@
 //! the `fig1`..`fig6`, `table1`, `storebuf` and `multivalue` binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, Scale, SimConfig};
+use mtvp_engine::Sweep;
+use mtvp_engine::{Mode, Scale, SimConfig};
 
 /// A small, fixed benchmark subset keeps criterion iterations affordable.
 fn keep(name: &str) -> bool {

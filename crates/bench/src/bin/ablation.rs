@@ -1,40 +1,15 @@
 //! Ablations of this reproduction's design choices (DESIGN.md §6), plus
 //! the paper's §4 claim that MTVP's effect is "greater and more
 //! consistent" without the stride prefetcher.
+//!
+//! Thin wrapper over the `ablation` built-in scenario
+//! (`mtvp-sim exp run ablation`).
 
-use mtvp_bench::scale_from_args;
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig, Suite};
+use mtvp_bench::run_builtin;
+use mtvp_engine::Suite;
 
 fn main() {
-    let scale = scale_from_args();
-
-    let mut configs = Vec::new();
-    // Paired baselines and mtvp8 machines under each ablation.
-    for (tag, prefetch, mshrs, warm) in [
-        ("default", true, 16usize, true),
-        ("no-prefetch", false, 16, true),
-        ("mshr4", true, 4, true),
-        ("mshr64", true, 64, true),
-        ("cold-start", true, 16, false),
-    ] {
-        let mut base = SimConfig::new(Mode::Baseline);
-        base.prefetcher = prefetch;
-        base.mshrs = mshrs;
-        base.warm_start = warm;
-        configs.push((format!("base/{tag}"), base));
-        let mut mtvp = SimConfig::new(Mode::Mtvp);
-        mtvp.prefetcher = prefetch;
-        mtvp.mshrs = mshrs;
-        mtvp.warm_start = warm;
-        configs.push((format!("mtvp/{tag}"), mtvp));
-    }
-
-    // A representative subset keeps the ablation affordable.
-    let names = [
-        "mcf", "vpr r", "gcc 1", "crafty", "mgrid", "applu", "art 1", "mesa",
-    ];
-    let sweep = Sweep::run_filtered(&configs, scale, |w| names.contains(&w.name));
+    let (_, sweep) = run_builtin("ablation");
 
     println!("\n=== Ablations: mtvp8 speedup vs its own matched baseline ===\n");
     println!(

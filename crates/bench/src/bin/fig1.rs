@@ -2,23 +2,13 @@
 //! value predictor — percent change in useful IPC for STVP and MTVP with
 //! 2/4/8 threads (ILP-pred load selection) over a no-VP baseline, under
 //! the idealized §5.1 assumptions (1-cycle spawn, unbounded store buffer).
+//!
+//! Thin wrapper over the `fig1` built-in scenario (`mtvp-sim exp run fig1`).
 
-use mtvp_bench::{dump_json, print_speedup_table, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig};
+use mtvp_bench::{dump_json, print_speedup_table, run_builtin};
 
 fn main() {
-    let scale = scale_from_args();
-    let mut configs = vec![
-        ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("stvp".to_string(), SimConfig::oracle(Mode::Stvp)),
-    ];
-    for n in [2usize, 4, 8] {
-        let mut c = SimConfig::oracle(Mode::Mtvp);
-        c.contexts = n;
-        configs.push((format!("mtvp{n}"), c));
-    }
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("fig1");
     print_speedup_table(
         "Figure 1: Change in Useful IPC with Oracle Value Prediction (ILP-pred)",
         &sweep,

@@ -1,23 +1,14 @@
 //! Figure 2: sensitivity to thread-spawn latency — suite-average speedups
 //! for STVP and MTVP×{2,4,8} at 1-, 8- and 16-cycle spawn latencies
 //! (oracle predictor, ILP-pred).
+//!
+//! Thin wrapper over the `fig2` built-in scenario (`mtvp-sim exp run fig2`).
 
-use mtvp_bench::{dump_json, oracle_mtvp_config, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig, Suite};
+use mtvp_bench::{dump_json, run_builtin};
+use mtvp_engine::Suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let mut configs = vec![
-        ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("stvp".to_string(), SimConfig::oracle(Mode::Stvp)),
-    ];
-    for lat in [1u64, 8, 16] {
-        for n in [2usize, 4, 8] {
-            configs.push((format!("mtvp{n}@{lat}"), oracle_mtvp_config(n, lat)));
-        }
-    }
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("fig2");
 
     println!("\n=== Figure 2: Speedups vs thread-spawn latency (oracle, ILP-pred) ===");
     println!("(geomean percent change in useful IPC vs baseline)\n");

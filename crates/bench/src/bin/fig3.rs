@@ -1,22 +1,12 @@
 //! Figure 3: change in useful IPC with the realistic Wang–Franklin value
 //! predictor (8-cycle spawn latency, 128-entry store buffer, ILP-pred).
+//!
+//! Thin wrapper over the `fig3` built-in scenario (`mtvp-sim exp run fig3`).
 
-use mtvp_bench::{dump_json, print_speedup_table, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig};
+use mtvp_bench::{dump_json, print_speedup_table, run_builtin};
 
 fn main() {
-    let scale = scale_from_args();
-    let mut configs = vec![
-        ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("stvp".to_string(), SimConfig::new(Mode::Stvp)),
-    ];
-    for n in [2usize, 4, 8] {
-        let mut c = SimConfig::new(Mode::Mtvp);
-        c.contexts = n;
-        configs.push((format!("mtvp{n}"), c));
-    }
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("fig3");
     print_speedup_table(
         "Figure 3: Change in Useful IPC with a realistic Wang-Franklin predictor",
         &sweep,

@@ -1,24 +1,13 @@
 //! Figure 4: fetch policy after a spawn — single fetch path (the default)
 //! vs letting the parent keep fetching ("no stall", §5.5), with the
 //! realistic Wang–Franklin predictor, 8 threads.
+//!
+//! Thin wrapper over the `fig4` built-in scenario (`mtvp-sim exp run fig4`).
 
-use mtvp_bench::{dump_json, print_speedup_table, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig};
+use mtvp_bench::{dump_json, print_speedup_table, run_builtin};
 
 fn main() {
-    let scale = scale_from_args();
-    let mut mtvp = SimConfig::new(Mode::Mtvp);
-    mtvp.contexts = 8;
-    let mut nostall = SimConfig::new(Mode::MtvpNoStall);
-    nostall.contexts = 8;
-    let configs = vec![
-        ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("stvp".to_string(), SimConfig::new(Mode::Stvp)),
-        ("mtvp sfp".to_string(), mtvp),
-        ("no stall".to_string(), nostall),
-    ];
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("fig4");
     print_speedup_table(
         "Figure 4: fetch continuing in the parent after a spawn (vs single fetch path)",
         &sweep,

@@ -2,14 +2,13 @@
 //! was wrong but whose correct value *was* present in the predictor and
 //! over the confidence threshold — the headroom for multiple-value
 //! prediction (§5.6). Measured on the mtvp8 Wang–Franklin configuration.
+//!
+//! Thin wrapper over the `fig5` built-in scenario (`mtvp-sim exp run fig5`).
 
-use mtvp_bench::{dump_json, mtvp_config, scale_from_args};
-use mtvp_core::sweep::Sweep;
+use mtvp_bench::{dump_json, run_builtin};
 
 fn main() {
-    let scale = scale_from_args();
-    let configs = vec![("mtvp8".to_string(), mtvp_config(8))];
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("fig5");
 
     println!("\n=== Figure 5: wrong primary prediction, correct value over threshold ===\n");
     println!(

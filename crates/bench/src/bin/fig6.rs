@@ -2,24 +2,14 @@
 //! idealized wide-window machine (8K ROB, unlimited registers), the best
 //! MTVP configuration, and "spawn only" (thread spawning without value
 //! prediction). Suite averages, as in the paper.
+//!
+//! Thin wrapper over the `fig6` built-in scenario (`mtvp-sim exp run fig6`).
 
-use mtvp_bench::{dump_json, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig, Suite};
+use mtvp_bench::{dump_json, run_builtin};
+use mtvp_engine::Suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let mut mtvp = SimConfig::new(Mode::Mtvp);
-    mtvp.contexts = 8;
-    let mut spawn_only = SimConfig::new(Mode::SpawnOnly);
-    spawn_only.contexts = 8;
-    let configs = vec![
-        ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("wide window".to_string(), SimConfig::new(Mode::WideWindow)),
-        ("best mtvp".to_string(), mtvp),
-        ("spawn only".to_string(), spawn_only),
-    ];
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("fig6");
 
     println!("\n=== Figure 6: wide-window machine vs MTVP vs spawn-only ===");
     println!("(geomean percent change in useful IPC vs baseline; 8-cycle spawns)\n");

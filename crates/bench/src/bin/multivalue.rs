@@ -5,21 +5,14 @@
 //! more liberal predictor plus the L3-miss-oracle selector and multiple
 //! spawned values recovers large speedups (paper: swim ≈ +70%,
 //! parser ≈ +40%).
+//!
+//! Thin wrapper over the `multivalue` built-in scenario
+//! (`mtvp-sim exp run multivalue`).
 
-use mtvp_bench::{dump_json, mtvp_config, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig};
+use mtvp_bench::{dump_json, run_builtin};
 
 fn main() {
-    let scale = scale_from_args();
-    let mut multi = SimConfig::new(Mode::MultiValue);
-    multi.contexts = 8;
-    let configs = vec![
-        ("base".to_string(), SimConfig::new(Mode::Baseline)),
-        ("single-value".to_string(), mtvp_config(8)),
-        ("multi-value".to_string(), multi),
-    ];
-    let sweep = Sweep::run_filtered(&configs, scale, |w| matches!(w.name, "swim" | "parser"));
+    let (_, sweep) = run_builtin("multivalue");
 
     println!("\n=== Multiple-value MTVP (mtvp8) on the Section 5.6 benchmarks ===\n");
     println!(

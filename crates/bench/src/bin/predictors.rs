@@ -3,25 +3,14 @@
 //! driving mtvp8. The paper found DFCM "in general a more aggressive
 //! predictor — making more correct predictions and more incorrect
 //! predictions", and slightly worse overall.
+//!
+//! Thin wrapper over the `predictors` built-in scenario
+//! (`mtvp-sim exp run predictors`).
 
-use mtvp_bench::{print_speedup_table, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, PredictorKind, SimConfig, Suite};
+use mtvp_bench::{print_speedup_table, run_builtin};
 
 fn main() {
-    let scale = scale_from_args();
-    let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
-    for (label, kind) in [
-        ("wang-franklin", PredictorKind::WangFranklin),
-        ("dfcm", PredictorKind::Dfcm),
-        ("stride", PredictorKind::Stride),
-        ("last-value", PredictorKind::LastValue),
-    ] {
-        let mut c = SimConfig::new(Mode::Mtvp);
-        c.predictor = kind;
-        configs.push((label.to_string(), c));
-    }
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("predictors");
     print_speedup_table(
         "Predictor comparison (mtvp8): Wang-Franklin vs DFCM vs classic baselines",
         &sweep,
@@ -38,5 +27,4 @@ fn main() {
         }
         println!("  {label:<14} followed={followed:<8} wrong={wrong}");
     }
-    let _ = Suite::Int;
 }

@@ -2,8 +2,8 @@
 //! of benchmarks (not one of the paper's figures; a development tool).
 
 use mtvp_bench::{mtvp_config, print_speedup_table, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig};
+use mtvp_engine::Sweep;
+use mtvp_engine::{Mode, SimConfig};
 
 fn main() {
     let scale = scale_from_args();

@@ -1,8 +1,8 @@
 //! Development probe: oracle spawn-latency behaviour on one benchmark.
 
 use mtvp_bench::{bench_from_args, oracle_mtvp_config, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SelectorKind, SimConfig};
+use mtvp_engine::Sweep;
+use mtvp_engine::{Mode, SelectorKind, SimConfig};
 
 fn main() {
     let bench = bench_from_args("applu");

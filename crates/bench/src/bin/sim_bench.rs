@@ -11,8 +11,8 @@
 //! Usage: `sim_bench [--scale tiny|small|full] [--out PATH]`
 
 use mtvp_bench::scale_from_args;
-use mtvp_core::run::{reference_trace, run_with_trace};
-use mtvp_core::{Mode, Scale, SimConfig};
+use mtvp_engine::{reference_trace, run_with_trace};
+use mtvp_engine::{Mode, Scale, SimConfig};
 use mtvp_workloads::suite;
 use std::time::Instant;
 
@@ -41,10 +41,10 @@ fn measure(
     program: &mtvp_isa::Program,
     n: u64,
     trace: &std::sync::Arc<mtvp_isa::trace::Trace>,
-) -> (mtvp_core::PipeStats, Measure) {
+) -> (mtvp_engine::PipeStats, Measure) {
     // Best of three runs: the simulator is deterministic, so the fastest
     // wall-clock is the least noise-polluted estimate.
-    let mut best: Option<(mtvp_core::PipeStats, f64)> = None;
+    let mut best: Option<(mtvp_engine::PipeStats, f64)> = None;
     for _ in 0..3 {
         let t0 = Instant::now();
         let r = run_with_trace(cfg, program, n, trace.clone());

@@ -2,21 +2,15 @@
 //! reports performance tails off at 64 entries and below while 128 gets
 //! nearly the performance of the largest buffer; this binary produces the
 //! actual curve.
+//!
+//! Thin wrapper over the `storebuf` built-in scenario
+//! (`mtvp-sim exp run storebuf`).
 
-use mtvp_bench::{dump_json, scale_from_args};
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, SimConfig, Suite};
+use mtvp_bench::{dump_json, run_builtin};
+use mtvp_engine::Suite;
 
 fn main() {
-    let scale = scale_from_args();
-    let mut configs = vec![("base".to_string(), SimConfig::new(Mode::Baseline))];
-    for size in [4usize, 8, 16, 32, 64, 128, 256, 512] {
-        let mut c = SimConfig::new(Mode::Mtvp);
-        c.contexts = 8;
-        c.store_buffer = size;
-        configs.push((format!("sb{size}"), c));
-    }
-    let sweep = Sweep::run(&configs, scale);
+    let (_, sweep) = run_builtin("storebuf");
 
     println!("\n=== Store buffer size sweep (mtvp8, Wang-Franklin) ===");
     println!("(geomean percent change in useful IPC vs baseline)\n");

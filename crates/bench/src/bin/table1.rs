@@ -1,7 +1,7 @@
 //! Table 1: simulator architectural parameters. Prints the configured
 //! machine and asserts every value matches the paper.
 
-use mtvp_core::{Mode, SimConfig};
+use mtvp_engine::{Mode, SimConfig};
 
 fn main() {
     let p = SimConfig::new(Mode::Baseline).to_pipeline_config();

@@ -4,26 +4,35 @@
 //! *Multithreaded Value Prediction* (Tuck & Tullsen, HPCA-11 2005).
 //!
 //! Each figure has a binary (`fig1` … `fig6`, `table1`, `storebuf`,
-//! `multivalue`) that runs the corresponding sweep and prints the same
-//! rows/series the paper reports, plus a scaled-down criterion bench so
-//! `cargo bench` exercises every experiment. Binaries accept an optional
+//! `multivalue`) that prints the same rows/series the paper reports.
+//! The figure binaries are thin wrappers over the named built-in
+//! scenarios in `mtvp-engine` — the same experiments `mtvp-sim exp run`
+//! drives — so their cells come from (and land in) the shared results
+//! cache and re-runs are incremental. Binaries accept an optional
 //! `--scale tiny|small|full` argument (default `small`; the numbers in
-//! EXPERIMENTS.md use `full`).
+//! EXPERIMENTS.md use `full`) plus the engine's `--jobs N` and
+//! `--no-cache` flags.
 
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, Scale, SimConfig, Suite};
+use mtvp_engine::{builtin, Engine, EngineOptions, Mode, Scenario, SimConfig, Sweep};
+use mtvp_workloads::Scale;
 
 /// Parse `--scale` from argv (default Small).
 pub fn scale_from_args() -> Scale {
+    scale_opt_from_args().unwrap_or(Scale::Small)
+}
+
+/// Parse `--scale` from argv, `None` when absent (so a scenario's own
+/// default scale can apply).
+pub fn scale_opt_from_args() -> Option<Scale> {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--scale") {
         Some(i) => match args.get(i + 1).map(String::as_str) {
-            Some("tiny") => Scale::Tiny,
-            Some("small") => Scale::Small,
-            Some("full") => Scale::Full,
+            Some("tiny") => Some(Scale::Tiny),
+            Some("small") => Some(Scale::Small),
+            Some("full") => Some(Scale::Full),
             other => panic!("unknown --scale {other:?} (expected tiny|small|full)"),
         },
-        None => Scale::Small,
+        None => None,
     }
 }
 
@@ -34,7 +43,7 @@ pub fn bench_from_args(default: &str) -> String {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--scale" {
+        if args[i] == "--scale" || args[i] == "--jobs" {
             i += 2;
         } else if args[i].starts_with("--") {
             i += 1;
@@ -43,6 +52,39 @@ pub fn bench_from_args(default: &str) -> String {
         }
     }
     default.to_string()
+}
+
+/// The engine every figure binary runs on: disk cache (honouring
+/// `$MTVP_CACHE_DIR`) unless `--no-cache` is given, `--jobs N` respected,
+/// live progress on stderr.
+pub fn engine_from_args() -> Engine {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = args.iter().position(|a| a == "--jobs").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| panic!("--jobs needs a positive integer"))
+    });
+    let mut opts = EngineOptions {
+        jobs,
+        progress: true,
+        ..EngineOptions::default()
+    };
+    if args.iter().any(|a| a == "--no-cache") {
+        opts.cache = mtvp_engine::CacheMode::Off;
+    }
+    Engine::new(opts)
+}
+
+/// Run a named built-in scenario under the argv-configured engine and
+/// scale, printing the cache summary. The workhorse of the figure
+/// binaries.
+pub fn run_builtin(name: &str) -> (Scenario, Sweep) {
+    let scenario = builtin(name).unwrap_or_else(|| panic!("no built-in scenario `{name}`"));
+    let report = engine_from_args()
+        .run_scenario(&scenario, scale_opt_from_args())
+        .unwrap_or_else(|e| panic!("scenario {name}: {e}"));
+    println!("[{name}] {}", report.summary());
+    (scenario, report.sweep)
 }
 
 /// An MTVP configuration with `contexts` hardware contexts under the
@@ -66,45 +108,23 @@ pub fn oracle_mtvp_config(contexts: usize, spawn_latency: u64) -> SimConfig {
 /// Print a per-benchmark percent-speedup table in the paper's layout:
 /// integer benchmarks, then FP, each followed by its geometric mean.
 pub fn print_speedup_table(title: &str, sweep: &Sweep, configs: &[&str], baseline: &str) {
-    println!("\n=== {title} ===");
-    println!("(percent change in useful IPC vs `{baseline}`)\n");
-    let width = 10usize;
-    print!("{:<12}", "benchmark");
-    for c in configs {
-        print!("{c:>width$}");
-    }
-    println!();
-    for &int_suite in &[true, false] {
-        println!("--- SPEC {} ---", if int_suite { "INT" } else { "FP" });
-        for (bench, is_int) in sweep.benches() {
-            if is_int != int_suite {
-                continue;
-            }
-            print!("{bench:<12}");
-            for c in configs {
-                match sweep.speedup(&bench, c, baseline) {
-                    Some(s) => print!("{s:>width$.1}"),
-                    None => print!("{:>width$}", "-"),
-                }
-            }
-            println!();
-        }
-        let suite = if int_suite { Suite::Int } else { Suite::Fp };
-        print!("{:<12}", "geomean");
-        for c in configs {
-            print!(
-                "{:>width$.1}",
-                sweep.geomean_speedup(Some(suite), c, baseline)
-            );
-        }
-        println!();
-    }
+    print!(
+        "{}",
+        mtvp_engine::render_speedup_table(title, sweep, configs, baseline)
+    );
 }
 
 /// Write the sweep's raw JSON next to the binary output for bookkeeping.
 pub fn dump_json(name: &str, sweep: &Sweep) {
     let path = format!("target/{name}.json");
-    if std::fs::write(&path, sweep.to_json()).is_ok() {
+    let json = match sweep.to_json() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("[warn] cannot serialize {name} sweep: {e}");
+            return;
+        }
+    };
+    if std::fs::write(&path, json).is_ok() {
         println!("\n[raw data written to {path}]");
     }
 }

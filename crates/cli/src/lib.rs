@@ -7,11 +7,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mtvp_core::{
-    chrome_trace, pipeview, run_program, run_program_traced, suite, Mode, PredictorKind, Scale,
-    SelectorKind, SimConfig, TraceOptions,
+use mtvp_engine::{
+    builtin, builtin_scenarios, chrome_trace, pipeview, render_speedup_table, run_program,
+    run_program_traced, suite, CacheMode, Engine, EngineOptions, Mode, PredictorKind, RunReport,
+    Scale, Scenario, SelectorKind, SimConfig, TraceOptions,
 };
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Tracing options parsed from `--trace[=N]`, `--trace-out` and
 /// `--trace-window` (see [`Command::parse`]).
@@ -81,8 +83,58 @@ pub enum Command {
         /// Maximum instructions to print.
         limit: usize,
     },
+    /// `exp <subcommand>` — the cached, resumable experiment engine.
+    Exp(ExpCmd),
     /// `help`.
     Help,
+}
+
+/// `exp` subcommands (see [`Command::Exp`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExpCmd {
+    /// `exp list` — the built-in scenarios.
+    List,
+    /// `exp run <scenario>` — run a scenario through the engine.
+    Run {
+        /// Built-in scenario name, or a path to a scenario JSON file.
+        scenario: String,
+        /// `--scale` override (default: the scenario's own scale).
+        scale: Option<Scale>,
+        /// `--benches a,b,c` benchmark-subset override.
+        benches: Option<Vec<String>>,
+        /// `--jobs N` worker cap.
+        jobs: Option<usize>,
+        /// `--shard i/n` — run only this shard of the cells.
+        shard: Option<(usize, usize)>,
+        /// `--no-cache` — ignore and don't write `results/cache/`.
+        no_cache: bool,
+        /// `--cache-dir DIR` override.
+        cache_dir: Option<String>,
+        /// `--json` — print a machine-readable report to stdout.
+        json: bool,
+        /// `--json-out FILE` — also write the report JSON to a file.
+        json_out: Option<String>,
+    },
+    /// `exp status [scenario]` — cached/total cells without running.
+    Status {
+        /// Scenario to inspect (`None`: all built-ins).
+        scenario: Option<String>,
+        /// `--scale` override.
+        scale: Option<Scale>,
+        /// `--cache-dir DIR` override.
+        cache_dir: Option<String>,
+    },
+    /// `exp diff <a> <b>` — compare two scenarios' results cell by cell.
+    Diff {
+        /// First scenario.
+        a: String,
+        /// Second scenario.
+        b: String,
+        /// `--scale` override applied to both.
+        scale: Option<Scale>,
+        /// `--cache-dir DIR` override.
+        cache_dir: Option<String>,
+    },
 }
 
 /// Errors produced while parsing arguments.
@@ -97,62 +149,23 @@ impl std::fmt::Display for ParseArgsError {
 
 impl std::error::Error for ParseArgsError {}
 
+// The configuration vocabulary lives in `mtvp-core` (shared with scenario
+// files); these wrappers only adapt the error type.
+
 fn parse_scale(s: &str) -> Result<Scale, ParseArgsError> {
-    match s {
-        "tiny" => Ok(Scale::Tiny),
-        "small" => Ok(Scale::Small),
-        "full" => Ok(Scale::Full),
-        other => Err(ParseArgsError(format!(
-            "unknown scale `{other}` (tiny|small|full)"
-        ))),
-    }
+    mtvp_engine::parse_scale(s).map_err(|e| ParseArgsError(e.0))
 }
 
 fn parse_mode(s: &str) -> Result<Mode, ParseArgsError> {
-    Ok(match s {
-        "baseline" => Mode::Baseline,
-        "stvp" => Mode::Stvp,
-        "mtvp" => Mode::Mtvp,
-        "mtvp-nostall" => Mode::MtvpNoStall,
-        "spawn-only" => Mode::SpawnOnly,
-        "wide-window" => Mode::WideWindow,
-        "multi-value" => Mode::MultiValue,
-        other => {
-            return Err(ParseArgsError(format!(
-                "unknown mode `{other}` (baseline|stvp|mtvp|mtvp-nostall|spawn-only|wide-window|multi-value)"
-            )))
-        }
-    })
+    mtvp_engine::parse_mode(s).map_err(|e| ParseArgsError(e.0))
 }
 
 fn parse_predictor(s: &str) -> Result<PredictorKind, ParseArgsError> {
-    Ok(match s {
-        "none" => PredictorKind::None,
-        "oracle" => PredictorKind::Oracle,
-        "wang-franklin" | "wf" => PredictorKind::WangFranklin,
-        "wf-liberal" => PredictorKind::WangFranklinLiberal,
-        "dfcm" => PredictorKind::Dfcm,
-        "stride" => PredictorKind::Stride,
-        "last-value" => PredictorKind::LastValue,
-        other => {
-            return Err(ParseArgsError(format!(
-                "unknown predictor `{other}` (none|oracle|wf|wf-liberal|dfcm|stride|last-value)"
-            )))
-        }
-    })
+    mtvp_engine::parse_predictor(s).map_err(|e| ParseArgsError(e.0))
 }
 
 fn parse_selector(s: &str) -> Result<SelectorKind, ParseArgsError> {
-    Ok(match s {
-        "always" => SelectorKind::Always,
-        "ilp-pred" | "ilp" => SelectorKind::IlpPred,
-        "l3-miss-oracle" | "l3" => SelectorKind::L3MissOracle,
-        other => {
-            return Err(ParseArgsError(format!(
-                "unknown selector `{other}` (always|ilp-pred|l3-miss-oracle)"
-            )))
-        }
-    })
+    mtvp_engine::parse_selector(s).map_err(|e| ParseArgsError(e.0))
 }
 
 /// Positional value lookup for `--flag value` pairs.
@@ -197,6 +210,7 @@ fn parse_sim_config(rest: &[&str]) -> Result<(SimConfig, Scale), ParseArgsError>
     if rest.contains(&"--cold-start") {
         config.warm_start = false;
     }
+    config.validate().map_err(|e| ParseArgsError(e.0))?;
     let scale = parse_scale(get_flag(rest, "--scale")?.unwrap_or("small"))?;
     Ok((config, scale))
 }
@@ -250,6 +264,359 @@ fn parse_trace_spec(rest: &[&str]) -> Result<Option<TraceSpec>, ParseArgsError> 
         spec.out = Some(v.to_string());
     }
     Ok(enabled.then_some(spec))
+}
+
+/// An `i/n` shard specification.
+fn parse_shard(v: &str) -> Result<(usize, usize), ParseArgsError> {
+    let Some((i, n)) = v.split_once('/') else {
+        return Err(ParseArgsError(format!(
+            "bad --shard `{v}` (expected i/n, e.g. 0/4)"
+        )));
+    };
+    let i: usize = i
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad --shard index `{i}`")))?;
+    let n: usize = n
+        .parse()
+        .map_err(|_| ParseArgsError(format!("bad --shard count `{n}`")))?;
+    if n == 0 || i >= n {
+        return Err(ParseArgsError(format!(
+            "bad --shard `{v}` (need 0 <= i < n)"
+        )));
+    }
+    Ok((i, n))
+}
+
+/// Flags shared by the `exp` subcommands.
+fn parse_exp_common(rest: &[&str]) -> Result<(Option<Scale>, Option<String>), ParseArgsError> {
+    let scale = match get_flag(rest, "--scale")? {
+        Some(v) => Some(parse_scale(v)?),
+        None => None,
+    };
+    let cache_dir = get_flag(rest, "--cache-dir")?.map(str::to_string);
+    Ok((scale, cache_dir))
+}
+
+fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
+    let sub = rest.first().copied().unwrap_or("list");
+    let tail = &rest[1.min(rest.len())..];
+    let positional = |n: usize| -> Option<String> {
+        tail.iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with("--")
+                    && (*i == 0 || {
+                        let prev = tail[i - 1];
+                        !matches!(
+                            prev,
+                            "--scale"
+                                | "--benches"
+                                | "--jobs"
+                                | "--shard"
+                                | "--cache-dir"
+                                | "--json-out"
+                        )
+                    })
+            })
+            .map(|(_, a)| a.to_string())
+            .nth(n)
+    };
+    match sub {
+        "list" => Ok(Command::Exp(ExpCmd::List)),
+        "run" => {
+            let scenario = positional(0)
+                .ok_or_else(|| ParseArgsError("exp run requires a scenario name".into()))?;
+            let (scale, cache_dir) = parse_exp_common(tail)?;
+            let benches = get_flag(tail, "--benches")?
+                .map(|v| v.split(',').map(|b| b.trim().to_string()).collect());
+            let jobs = match get_flag(tail, "--jobs")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| ParseArgsError(format!("bad --jobs `{v}`")))?,
+                ),
+                None => None,
+            };
+            let shard = match get_flag(tail, "--shard")? {
+                Some(v) => Some(parse_shard(v)?),
+                None => None,
+            };
+            Ok(Command::Exp(ExpCmd::Run {
+                scenario,
+                scale,
+                benches,
+                jobs,
+                shard,
+                no_cache: tail.contains(&"--no-cache"),
+                cache_dir,
+                json: tail.contains(&"--json"),
+                json_out: get_flag(tail, "--json-out")?.map(str::to_string),
+            }))
+        }
+        "status" => {
+            let (scale, cache_dir) = parse_exp_common(tail)?;
+            Ok(Command::Exp(ExpCmd::Status {
+                scenario: positional(0),
+                scale,
+                cache_dir,
+            }))
+        }
+        "diff" => {
+            let a = positional(0)
+                .ok_or_else(|| ParseArgsError("exp diff requires two scenarios".into()))?;
+            let b = positional(1)
+                .ok_or_else(|| ParseArgsError("exp diff requires two scenarios".into()))?;
+            let (scale, cache_dir) = parse_exp_common(tail)?;
+            Ok(Command::Exp(ExpCmd::Diff {
+                a,
+                b,
+                scale,
+                cache_dir,
+            }))
+        }
+        other => Err(ParseArgsError(format!(
+            "unknown exp subcommand `{other}` (list|run|status|diff)"
+        ))),
+    }
+}
+
+/// Resolve a scenario argument: a built-in name, else a JSON file path.
+fn resolve_scenario(name: &str) -> Result<Scenario, ParseArgsError> {
+    if let Some(s) = builtin(name) {
+        return Ok(s);
+    }
+    if std::path::Path::new(name).is_file() {
+        let text = std::fs::read_to_string(name)
+            .map_err(|e| ParseArgsError(format!("cannot read scenario {name}: {e}")))?;
+        return Scenario::from_json(&text).map_err(|e| ParseArgsError(format!("{name}: {e}")));
+    }
+    Err(ParseArgsError(format!(
+        "unknown scenario `{name}` (not a built-in, not a file; see `exp list`)"
+    )))
+}
+
+fn engine_with(
+    no_cache: bool,
+    cache_dir: Option<&str>,
+    jobs: Option<usize>,
+    shard: Option<(usize, usize)>,
+    progress: bool,
+) -> Engine {
+    let cache = if no_cache {
+        CacheMode::Off
+    } else {
+        CacheMode::Disk(
+            cache_dir
+                .map(PathBuf::from)
+                .unwrap_or_else(mtvp_engine::Cache::default_dir),
+        )
+    };
+    Engine::new(EngineOptions {
+        cache,
+        jobs,
+        shard,
+        progress,
+    })
+}
+
+/// The labels reported against the baseline: the scenario's `series`, or
+/// every non-baseline label.
+fn series_labels(scenario: &Scenario, labels: &[String], baseline: &str) -> Vec<String> {
+    if scenario.series.is_empty() {
+        labels
+            .iter()
+            .filter(|l| l.as_str() != baseline)
+            .cloned()
+            .collect()
+    } else {
+        scenario.series.clone()
+    }
+}
+
+fn report_json(scenario: &Scenario, report: &RunReport) -> serde_json::Value {
+    serde_json::json!({
+        "scenario": scenario.name.as_str(),
+        "scale": format!("{:?}", report.scale).to_lowercase(),
+        "total_cells": report.total_cells as u64,
+        "cache_hits": report.cache_hits as u64,
+        "simulated": report.simulated as u64,
+        "skipped_by_shard": report.skipped_by_shard as u64,
+        "traces_built": report.traces_built as u64,
+        "traces_cached": report.traces_cached as u64,
+        "elapsed_s": report.elapsed.as_secs_f64(),
+        "sweep": report.sweep,
+    })
+}
+
+fn execute_exp(cmd: ExpCmd) -> Result<String, ParseArgsError> {
+    let mut out = String::new();
+    match cmd {
+        ExpCmd::List => {
+            let _ = writeln!(out, "{:<12} {:<6} title", "name", "cells");
+            for s in builtin_scenarios() {
+                let n_configs = s.configs().map(|c| c.len()).unwrap_or(0);
+                let n_benches = if s.benches.is_empty() {
+                    suite().len()
+                } else {
+                    s.benches.len()
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<6} {}",
+                    s.name,
+                    n_configs * n_benches,
+                    s.title
+                );
+            }
+            let _ = writeln!(
+                out,
+                "\nrun one with `mtvp-sim exp run <name>` (or a path to a scenario JSON file)"
+            );
+        }
+        ExpCmd::Run {
+            scenario,
+            scale,
+            benches,
+            jobs,
+            shard,
+            no_cache,
+            cache_dir,
+            json,
+            json_out,
+        } => {
+            let mut scenario = resolve_scenario(&scenario)?;
+            if let Some(b) = benches {
+                scenario.benches = b;
+            }
+            let engine = engine_with(no_cache, cache_dir.as_deref(), jobs, shard, !json);
+            let report = engine
+                .run_scenario(&scenario, scale)
+                .map_err(|e| ParseArgsError(e.0))?;
+            if let Some(path) = &json_out {
+                let doc = report_json(&scenario, &report);
+                std::fs::write(path, format!("{doc}"))
+                    .map_err(|e| ParseArgsError(format!("cannot write {path}: {e}")))?;
+            }
+            if json {
+                let _ = writeln!(out, "{}", report_json(&scenario, &report));
+            } else {
+                let _ = writeln!(out, "{}: {}", scenario.name, scenario.title);
+                let _ = writeln!(out, "{}", report.summary());
+                if let Some(baseline) = &scenario.baseline {
+                    let labels: Vec<String> = report
+                        .sweep
+                        .cells
+                        .iter()
+                        .map(|c| c.config.clone())
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
+                    let series = series_labels(&scenario, &labels, baseline);
+                    let refs: Vec<&str> = series.iter().map(String::as_str).collect();
+                    out.push_str(&render_speedup_table(
+                        &scenario.title,
+                        &report.sweep,
+                        &refs,
+                        baseline,
+                    ));
+                }
+                if let Some(path) = &json_out {
+                    let _ = writeln!(out, "\n[report JSON written to {path}]");
+                }
+            }
+        }
+        ExpCmd::Status {
+            scenario,
+            scale,
+            cache_dir,
+        } => {
+            let engine = engine_with(false, cache_dir.as_deref(), None, None, false);
+            let scenarios = match scenario {
+                Some(name) => vec![resolve_scenario(&name)?],
+                None => builtin_scenarios(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:<7} {:>7} {:>7}",
+                "name", "scale", "cached", "total"
+            );
+            for s in scenarios {
+                let st = engine.status(&s, scale).map_err(|e| ParseArgsError(e.0))?;
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<7} {:>7} {:>7}",
+                    st.name,
+                    format!("{:?}", st.scale).to_lowercase(),
+                    st.cached,
+                    st.total_cells
+                );
+            }
+        }
+        ExpCmd::Diff {
+            a,
+            b,
+            scale,
+            cache_dir,
+        } => {
+            let sa = resolve_scenario(&a)?;
+            let sb = resolve_scenario(&b)?;
+            let engine = engine_with(false, cache_dir.as_deref(), None, None, true);
+            let ra = engine
+                .run_scenario(&sa, scale)
+                .map_err(|e| ParseArgsError(e.0))?;
+            let rb = engine
+                .run_scenario(&sb, scale)
+                .map_err(|e| ParseArgsError(e.0))?;
+            let _ = writeln!(
+                out,
+                "diff {} vs {} at {:?}: {} vs {} cells",
+                sa.name,
+                sb.name,
+                ra.scale,
+                ra.sweep.cells.len(),
+                rb.sweep.cells.len()
+            );
+            let mut common = 0usize;
+            let mut differing = 0usize;
+            for ca in &ra.sweep.cells {
+                let Some(cb) = rb.sweep.cell(&ca.bench, &ca.config) else {
+                    continue;
+                };
+                common += 1;
+                if ca.stats != cb.stats {
+                    differing += 1;
+                    let _ = writeln!(
+                        out,
+                        "  {} / {:<12} ipc {:.4} -> {:.4} ({:+.1}%)",
+                        ca.bench,
+                        ca.config,
+                        ca.stats.ipc(),
+                        cb.stats.ipc(),
+                        cb.stats.speedup_over(&ca.stats)
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{common} shared (bench, config) cells; {differing} differ, {} identical",
+                common - differing
+            );
+            let only_a = ra.sweep.cells.len() - common;
+            let only_b: usize = rb
+                .sweep
+                .cells
+                .iter()
+                .filter(|c| ra.sweep.cell(&c.bench, &c.config).is_none())
+                .count();
+            if only_a + only_b > 0 {
+                let _ = writeln!(
+                    out,
+                    "{only_a} cells only in {}, {only_b} only in {}",
+                    sa.name, sb.name
+                );
+            }
+        }
+    }
+    Ok(out)
 }
 
 impl Command {
@@ -321,6 +688,7 @@ impl Command {
                 };
                 Ok(Command::Disasm { bench, limit })
             }
+            "exp" => parse_exp(&rest),
             other => Err(ParseArgsError(format!(
                 "unknown command `{other}`; try `help`"
             ))),
@@ -334,6 +702,7 @@ impl Command {
     pub fn execute(self) -> Result<String, ParseArgsError> {
         let mut out = String::new();
         match self {
+            Command::Exp(cmd) => return execute_exp(cmd),
             Command::Help => out.push_str(HELP),
             Command::List => {
                 let _ = writeln!(out, "{:<10} {:<6} description", "name", "suite");
@@ -342,7 +711,7 @@ impl Command {
                         out,
                         "{:<10} {:<6} {}",
                         w.name,
-                        if w.suite == mtvp_core::Suite::Int {
+                        if w.suite == mtvp_engine::Suite::Int {
                             "int"
                         } else {
                             "fp"
@@ -526,7 +895,7 @@ impl Command {
     }
 }
 
-fn find(name: &str) -> Result<mtvp_core::Workload, ParseArgsError> {
+fn find(name: &str) -> Result<mtvp_engine::Workload, ParseArgsError> {
     suite()
         .into_iter()
         .find(|w| w.name == name)
@@ -546,10 +915,24 @@ USAGE:
   mtvp-sim trace <bench> [run options] [--rows N] [--trace-out FILE]
   mtvp-sim compare <bench> [--scale tiny|small|full]
   mtvp-sim disasm <bench> [--limit N]
+  mtvp-sim exp list
+  mtvp-sim exp run <scenario> [--scale S] [--benches a,b,c] [--jobs N]
+                              [--shard i/n] [--no-cache] [--cache-dir DIR]
+                              [--json] [--json-out FILE]
+  mtvp-sim exp status [scenario] [--scale S] [--cache-dir DIR]
+  mtvp-sim exp diff <a> <b> [--scale S] [--cache-dir DIR]
 
 MODES:      baseline stvp mtvp mtvp-nostall spawn-only wide-window multi-value
 PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
 SELECTORS:  always ilp-pred l3-miss-oracle
+
+EXPERIMENTS:
+  `exp run` drives a declarative scenario (the paper's figures are built
+  in; `exp list` names them, or pass a path to a scenario JSON file).
+  Completed cells and reference traces persist under results/cache/ (or
+  $MTVP_CACHE_DIR, or --cache-dir), so re-runs are incremental and an
+  interrupted sweep resumes from its completed cells. --shard i/n splits
+  a sweep deterministically across machines sharing a cache directory.
 
 TRACING:
   --trace[=RING]       record uop lifecycle + MTVP thread events in a ring of
@@ -686,6 +1069,127 @@ mod tests {
         assert!(parse(&["run", "mcf", "--contexts"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["run", "mcf", "--scale", "gigantic"]).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_configs_before_running() {
+        // validate() is wired into parsing: a baseline machine cannot have
+        // eight contexts, and store_buffer 0 is meaningless.
+        let err = parse(&["run", "mcf", "--mode", "baseline", "--contexts", "8"]).unwrap_err();
+        assert!(err.0.contains("single-context"), "{err}");
+        assert!(parse(&["run", "mcf", "--store-buffer", "0"]).is_err());
+        assert!(parse(&["run", "mcf", "--mode", "stvp", "--predictor", "none"]).is_err());
+    }
+
+    #[test]
+    fn parses_exp_commands() {
+        assert_eq!(parse(&["exp", "list"]).unwrap(), Command::Exp(ExpCmd::List));
+        assert_eq!(parse(&["exp"]).unwrap(), Command::Exp(ExpCmd::List));
+        match parse(&[
+            "exp",
+            "run",
+            "smoke",
+            "--scale",
+            "tiny",
+            "--benches",
+            "mcf,mesa",
+            "--jobs",
+            "2",
+            "--shard",
+            "1/4",
+            "--no-cache",
+            "--json",
+            "--json-out",
+            "r.json",
+        ])
+        .unwrap()
+        {
+            Command::Exp(ExpCmd::Run {
+                scenario,
+                scale,
+                benches,
+                jobs,
+                shard,
+                no_cache,
+                cache_dir,
+                json,
+                json_out,
+            }) => {
+                assert_eq!(scenario, "smoke");
+                assert_eq!(scale, Some(Scale::Tiny));
+                assert_eq!(benches, Some(vec!["mcf".to_string(), "mesa".to_string()]));
+                assert_eq!(jobs, Some(2));
+                assert_eq!(shard, Some((1, 4)));
+                assert!(no_cache);
+                assert_eq!(cache_dir, None);
+                assert!(json);
+                assert_eq!(json_out.as_deref(), Some("r.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["exp", "status", "fig3", "--cache-dir", "/tmp/c"]).unwrap() {
+            Command::Exp(ExpCmd::Status {
+                scenario,
+                cache_dir,
+                ..
+            }) => {
+                assert_eq!(scenario.as_deref(), Some("fig3"));
+                assert_eq!(cache_dir.as_deref(), Some("/tmp/c"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["exp", "diff", "fig3", "fig4"]).unwrap() {
+            Command::Exp(ExpCmd::Diff { a, b, .. }) => {
+                assert_eq!((a.as_str(), b.as_str()), ("fig3", "fig4"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Positional scan must skip flag values.
+        match parse(&["exp", "run", "--scale", "tiny", "smoke"]).unwrap() {
+            Command::Exp(ExpCmd::Run { scenario, .. }) => assert_eq!(scenario, "smoke"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["exp", "run"]).is_err());
+        assert!(parse(&["exp", "run", "smoke", "--shard", "4/4"]).is_err());
+        assert!(parse(&["exp", "run", "smoke", "--shard", "x"]).is_err());
+        assert!(parse(&["exp", "diff", "fig3"]).is_err());
+        assert!(parse(&["exp", "frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn exp_list_and_unknown_scenario_execute() {
+        let out = Command::Exp(ExpCmd::List).execute().unwrap();
+        assert!(out.contains("fig1"), "{out}");
+        assert!(out.contains("smoke"), "{out}");
+        let err = Command::Exp(ExpCmd::Status {
+            scenario: Some("nope".into()),
+            scale: None,
+            cache_dir: None,
+        })
+        .execute()
+        .unwrap_err();
+        assert!(err.0.contains("unknown scenario"), "{err}");
+    }
+
+    #[test]
+    fn exp_run_smoke_uncached_executes() {
+        let cmd = Command::Exp(ExpCmd::Run {
+            scenario: "smoke".into(),
+            scale: Some(Scale::Tiny),
+            benches: Some(vec!["mcf".into()]),
+            jobs: Some(2),
+            shard: None,
+            no_cache: true,
+            cache_dir: None,
+            json: true,
+            json_out: None,
+        });
+        let out = cmd.execute().unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["scenario"].as_str(), Some("smoke"));
+        assert_eq!(v["simulated"].as_u64(), Some(2));
+        assert_eq!(v["cache_hits"].as_u64(), Some(0));
+        assert!(v["sweep"]["cells"][0]["stats"]["cycles"].as_u64().unwrap() > 0);
     }
 
     #[test]

@@ -1,8 +1,88 @@
 //! Experiment-level configuration: the machine modes of the paper's
-//! evaluation, lowered onto `mtvp-pipeline`'s mechanism-level switches.
+//! evaluation, lowered onto `mtvp-pipeline`'s mechanism-level switches,
+//! plus the shared CLI/scenario vocabulary for naming them and a
+//! validator that rejects nonsensical combinations before they burn
+//! simulation time.
 
 use mtvp_pipeline::{FetchPolicy, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
+use mtvp_workloads::Scale;
 use serde::{Deserialize, Serialize};
+
+/// An invalid configuration, or an unknown word in the configuration
+/// vocabulary (mode/predictor/selector/scale names).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parse a mode name (`baseline`, `stvp`, `mtvp`, …) as used by the CLI
+/// and scenario files.
+pub fn parse_mode(s: &str) -> Result<Mode, ConfigError> {
+    Ok(match s {
+        "baseline" => Mode::Baseline,
+        "stvp" => Mode::Stvp,
+        "mtvp" => Mode::Mtvp,
+        "mtvp-nostall" => Mode::MtvpNoStall,
+        "spawn-only" => Mode::SpawnOnly,
+        "wide-window" => Mode::WideWindow,
+        "multi-value" => Mode::MultiValue,
+        other => {
+            return Err(ConfigError(format!(
+                "unknown mode `{other}` (baseline|stvp|mtvp|mtvp-nostall|spawn-only|wide-window|multi-value)"
+            )))
+        }
+    })
+}
+
+/// Parse a predictor name (`none`, `oracle`, `wf`, …).
+pub fn parse_predictor(s: &str) -> Result<PredictorKind, ConfigError> {
+    Ok(match s {
+        "none" => PredictorKind::None,
+        "oracle" => PredictorKind::Oracle,
+        "wang-franklin" | "wf" => PredictorKind::WangFranklin,
+        "wf-liberal" => PredictorKind::WangFranklinLiberal,
+        "dfcm" => PredictorKind::Dfcm,
+        "stride" => PredictorKind::Stride,
+        "last-value" => PredictorKind::LastValue,
+        other => {
+            return Err(ConfigError(format!(
+                "unknown predictor `{other}` (none|oracle|wf|wf-liberal|dfcm|stride|last-value)"
+            )))
+        }
+    })
+}
+
+/// Parse a selector name (`always`, `ilp-pred`, `l3-miss-oracle`).
+pub fn parse_selector(s: &str) -> Result<SelectorKind, ConfigError> {
+    Ok(match s {
+        "always" => SelectorKind::Always,
+        "ilp-pred" | "ilp" => SelectorKind::IlpPred,
+        "l3-miss-oracle" | "l3" => SelectorKind::L3MissOracle,
+        other => {
+            return Err(ConfigError(format!(
+                "unknown selector `{other}` (always|ilp-pred|l3-miss-oracle)"
+            )))
+        }
+    })
+}
+
+/// Parse a workload scale name (`tiny`, `small`, `full`).
+pub fn parse_scale(s: &str) -> Result<Scale, ConfigError> {
+    match s {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(ConfigError(format!(
+            "unknown scale `{other}` (tiny|small|full)"
+        ))),
+    }
+}
 
 /// The machine variants evaluated in the paper.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,6 +185,73 @@ impl SimConfig {
         }
     }
 
+    /// Reject configurations that cannot describe a meaningful experiment
+    /// (they would either crash the simulator or silently measure the
+    /// wrong machine). Called by the CLI before running and by scenario
+    /// expansion before a sweep is scheduled.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.contexts == 0 {
+            return Err(ConfigError("contexts must be at least 1".into()));
+        }
+        if self.contexts > 64 {
+            return Err(ConfigError(format!(
+                "contexts {} exceeds the 64-context SMT limit",
+                self.contexts
+            )));
+        }
+        if self.store_buffer == 0 {
+            return Err(ConfigError(
+                "store_buffer must be at least 1 entry (speculative threads buffer every store)"
+                    .into(),
+            ));
+        }
+        if self.max_values_per_load == 0 {
+            return Err(ConfigError("max_values_per_load must be at least 1".into()));
+        }
+        if self.mshrs == 0 {
+            return Err(ConfigError(
+                "mshrs must be at least 1 (no outstanding misses means no memory)".into(),
+            ));
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError("max_cycles must be nonzero".into()));
+        }
+        match self.mode {
+            Mode::Baseline | Mode::Stvp | Mode::WideWindow if self.contexts != 1 => {
+                return Err(ConfigError(format!(
+                    "{:?} is a single-context machine; got contexts {}",
+                    self.mode, self.contexts
+                )));
+            }
+            Mode::MultiValue if self.max_values_per_load == 1 => {
+                return Err(ConfigError(
+                    "MultiValue with max_values_per_load 1 is just Mtvp; use mode mtvp".into(),
+                ));
+            }
+            _ => {}
+        }
+        if self.mode != Mode::MultiValue && self.max_values_per_load > 1 {
+            return Err(ConfigError(format!(
+                "max_values_per_load {} requires mode multi-value",
+                self.max_values_per_load
+            )));
+        }
+        if matches!(
+            self.mode,
+            Mode::Stvp | Mode::Mtvp | Mode::MtvpNoStall | Mode::MultiValue
+        ) && self.predictor == PredictorKind::None
+        {
+            return Err(ConfigError(format!(
+                "{:?} is a value-prediction mode and needs a predictor (try wf or oracle)",
+                self.mode
+            )));
+        }
+        Ok(())
+    }
+
     /// The memory-hierarchy configuration this experiment uses.
     pub fn to_mem_config(&self) -> mtvp_mem::MemConfig {
         let mut m = mtvp_mem::MemConfig::hpca2005();
@@ -187,6 +334,59 @@ mod tests {
 
         let p = SimConfig::new(Mode::SpawnOnly).to_pipeline_config();
         assert!(p.vp.spawn_only);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        for mode in [
+            Mode::Baseline,
+            Mode::Stvp,
+            Mode::Mtvp,
+            Mode::MtvpNoStall,
+            Mode::SpawnOnly,
+            Mode::WideWindow,
+            Mode::MultiValue,
+        ] {
+            SimConfig::new(mode).validate().unwrap();
+            SimConfig::oracle(mode).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let reject = |f: &dyn Fn(&mut SimConfig)| {
+            let mut c = SimConfig::new(Mode::Mtvp);
+            f(&mut c);
+            assert!(c.validate().is_err(), "{c:?} should be invalid");
+        };
+        reject(&|c| c.contexts = 0);
+        reject(&|c| c.contexts = 65);
+        reject(&|c| c.store_buffer = 0);
+        reject(&|c| c.max_values_per_load = 0);
+        reject(&|c| c.max_values_per_load = 4);
+        reject(&|c| c.mshrs = 0);
+        reject(&|c| c.max_cycles = 0);
+        reject(&|c| c.predictor = PredictorKind::None);
+        // Single-context machines with several contexts.
+        let mut c = SimConfig::new(Mode::Baseline);
+        c.contexts = 8;
+        assert!(c.validate().is_err());
+        // MultiValue degenerating to Mtvp.
+        let mut c = SimConfig::new(Mode::MultiValue);
+        c.max_values_per_load = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn vocabulary_parses_and_rejects() {
+        assert_eq!(parse_mode("mtvp-nostall").unwrap(), Mode::MtvpNoStall);
+        assert!(parse_mode("bogus").is_err());
+        assert_eq!(parse_predictor("wf").unwrap(), PredictorKind::WangFranklin);
+        assert!(parse_predictor("psychic").is_err());
+        assert_eq!(parse_selector("l3").unwrap(), SelectorKind::L3MissOracle);
+        assert!(parse_selector("never").is_err());
+        assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
+        assert!(parse_scale("gigantic").is_err());
     }
 
     #[test]

@@ -1,40 +1,37 @@
 //! # mtvp-core
 //!
-//! Top-level API of the *Multithreaded Value Prediction* reproduction
-//! (Tuck & Tullsen, HPCA-11 2005): experiment-level machine modes, a
-//! one-call runner that pairs the cycle simulator with its reference
-//! interpreter, and a parallel sweep driver used by the figure harness.
+//! Experiment-level configuration of the *Multithreaded Value Prediction*
+//! reproduction (Tuck & Tullsen, HPCA-11 2005): the machine modes of the
+//! paper's evaluation, their lowering onto the mechanism-level pipeline
+//! and memory configurations, the shared naming vocabulary, and a
+//! validator.
+//!
+//! Execution lives one layer up in `mtvp-engine` ([`run_program`] and
+//! friends, the cached sweep driver, the scenario format); this crate is
+//! the dependency-light description of *what* to simulate.
+//!
+//! [`run_program`]: https://docs.rs/mtvp-engine
 //!
 //! # Example
 //!
 //! ```
-//! use mtvp_core::{Mode, SimConfig, run_program};
-//! use mtvp_workloads::{suite, Scale};
+//! use mtvp_core::{Mode, SimConfig};
 //!
-//! let mcf = suite().into_iter().find(|w| w.name == "mcf").unwrap();
-//! let program = mcf.build(Scale::Tiny);
-//!
-//! let baseline = run_program(&SimConfig::new(Mode::Baseline), &program);
 //! let mut cfg = SimConfig::new(Mode::Mtvp);
 //! cfg.contexts = 4;
-//! let mtvp = run_program(&cfg, &program);
-//! // Both executions are architecturally validated against the
-//! // interpreter; compare useful IPC for the paper's "percent speedup".
-//! let _speedup = mtvp.stats.speedup_over(&baseline.stats);
+//! cfg.validate().unwrap();
+//! let pipeline = cfg.to_pipeline_config();
+//! assert_eq!(pipeline.hw_contexts, 4);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
-pub mod run;
-pub mod sweep;
 
-pub use config::{Mode, SimConfig};
-pub use run::{
-    reference_trace, run_program, run_program_traced, run_with_trace, RunResult, TraceOptions,
+pub use config::{
+    parse_mode, parse_predictor, parse_scale, parse_selector, ConfigError, Mode, SimConfig,
 };
 
-pub use mtvp_obs::{chrome_trace, pipeview, Event, Registry, RingTracer};
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};
 pub use mtvp_workloads::{suite, Scale, Suite, Workload};

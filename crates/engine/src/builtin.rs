@@ -1,0 +1,294 @@
+//! The paper's figures as named built-in scenarios.
+//!
+//! Labels match the historical `mtvp-bench` binaries exactly, so JSON
+//! artifacts and cached cells stay comparable across the refactor.
+
+use crate::scenario::{ConfigGrid, Scenario};
+use mtvp_core::Mode;
+use mtvp_pipeline::PredictorKind;
+use mtvp_workloads::Scale;
+
+/// All built-in scenarios, in presentation order.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    vec![
+        fig1(),
+        fig2(),
+        fig3(),
+        fig4(),
+        fig5(),
+        fig6(),
+        storebuf(),
+        multivalue(),
+        predictors(),
+        ablation(),
+        smoke(),
+    ]
+}
+
+/// Look up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+fn with_series(mut s: Scenario, baseline: &str, series: &[&str]) -> Scenario {
+    s.baseline = Some(baseline.to_string());
+    s.series = series.iter().map(|x| x.to_string()).collect();
+    s
+}
+
+fn fig1() -> Scenario {
+    let mut s = Scenario::new(
+        "fig1",
+        "Figure 1: oracle value-prediction potential",
+        "Percent change in useful IPC for STVP and MTVP x {2,4,8} threads with an \
+         oracle predictor under the idealized Section 5.1 assumptions (1-cycle \
+         spawn, unbounded store buffer), ILP-pred load selection.",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("stvp", Mode::Stvp).oracle(),
+        ConfigGrid::new("mtvp{contexts}", Mode::Mtvp)
+            .oracle()
+            .contexts(&[2, 4, 8]),
+    ];
+    with_series(s, "base", &["stvp", "mtvp2", "mtvp4", "mtvp8"])
+}
+
+fn fig2() -> Scenario {
+    let mut s = Scenario::new(
+        "fig2",
+        "Figure 2: thread-spawn latency sensitivity",
+        "Suite-average speedups for STVP and MTVP x {2,4,8} at 1-, 8- and \
+         16-cycle spawn latencies (oracle predictor, ILP-pred).",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("stvp", Mode::Stvp).oracle(),
+        ConfigGrid::new("mtvp{contexts}@{spawn}", Mode::Mtvp)
+            .oracle()
+            .contexts(&[2, 4, 8])
+            .spawn_latency(&[1, 8, 16]),
+    ];
+    s.baseline = Some("base".to_string());
+    s
+}
+
+fn fig3() -> Scenario {
+    let mut s = Scenario::new(
+        "fig3",
+        "Figure 3: realistic Wang-Franklin predictor",
+        "Change in useful IPC with the realistic Wang-Franklin value predictor \
+         (8-cycle spawn latency, 128-entry store buffer, ILP-pred).",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("stvp", Mode::Stvp),
+        ConfigGrid::new("mtvp{contexts}", Mode::Mtvp).contexts(&[2, 4, 8]),
+    ];
+    with_series(s, "base", &["stvp", "mtvp2", "mtvp4", "mtvp8"])
+}
+
+fn fig4() -> Scenario {
+    let mut s = Scenario::new(
+        "fig4",
+        "Figure 4: fetch policy after a spawn",
+        "Single fetch path (the default) vs letting the parent keep fetching \
+         (no stall, Section 5.5), Wang-Franklin predictor, 8 threads.",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("stvp", Mode::Stvp),
+        ConfigGrid::new("mtvp sfp", Mode::Mtvp),
+        ConfigGrid::new("no stall", Mode::MtvpNoStall),
+    ];
+    with_series(s, "base", &["stvp", "mtvp sfp", "no stall"])
+}
+
+fn fig5() -> Scenario {
+    let mut s = Scenario::new(
+        "fig5",
+        "Figure 5: multiple-value headroom",
+        "Fraction of followed predictions whose primary value was wrong but \
+         whose correct value was present and over threshold, on the mtvp8 \
+         Wang-Franklin configuration (Section 5.6).",
+    );
+    s.grids = vec![ConfigGrid::new("mtvp8", Mode::Mtvp)];
+    s
+}
+
+fn fig6() -> Scenario {
+    let mut s = Scenario::new(
+        "fig6",
+        "Figure 6: checkpoint-architecture comparison",
+        "The idealized wide-window machine (8K ROB), the best MTVP \
+         configuration, and spawn-only threading (Section 5.7).",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("wide window", Mode::WideWindow),
+        ConfigGrid::new("best mtvp", Mode::Mtvp),
+        ConfigGrid::new("spawn only", Mode::SpawnOnly),
+    ];
+    with_series(s, "base", &["wide window", "best mtvp", "spawn only"])
+}
+
+fn storebuf() -> Scenario {
+    let mut s = Scenario::new(
+        "storebuf",
+        "Store-buffer size sweep (Section 5.3)",
+        "Speculative store buffer sensitivity on mtvp8: the paper reports \
+         performance tails off at 64 entries and below while 128 is near the \
+         largest buffer.",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("sb{sb}", Mode::Mtvp).store_buffer(&[4, 8, 16, 32, 64, 128, 256, 512]),
+    ];
+    s.baseline = Some("base".to_string());
+    s
+}
+
+fn multivalue() -> Scenario {
+    let mut s = Scenario::new(
+        "multivalue",
+        "Multiple-value MTVP (Section 5.6)",
+        "Single- vs multiple-value MTVP on the Section 5.6 candidate \
+         benchmarks (swim, parser): liberal confidence, L3-miss-oracle \
+         selector, several values followed per load.",
+    );
+    s.benches = vec!["swim".to_string(), "parser".to_string()];
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("single-value", Mode::Mtvp),
+        ConfigGrid::new("multi-value", Mode::MultiValue),
+    ];
+    with_series(s, "base", &["single-value", "multi-value"])
+}
+
+fn predictors() -> Scenario {
+    let mut s = Scenario::new(
+        "predictors",
+        "Predictor comparison (Section 5.4)",
+        "Wang-Franklin hybrid vs order-3 DFCM vs classic stride/last-value, \
+         each driving mtvp8.",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("wang-franklin", Mode::Mtvp).predictor(PredictorKind::WangFranklin),
+        ConfigGrid::new("dfcm", Mode::Mtvp).predictor(PredictorKind::Dfcm),
+        ConfigGrid::new("stride", Mode::Mtvp).predictor(PredictorKind::Stride),
+        ConfigGrid::new("last-value", Mode::Mtvp).predictor(PredictorKind::LastValue),
+    ];
+    with_series(
+        s,
+        "base",
+        &["wang-franklin", "dfcm", "stride", "last-value"],
+    )
+}
+
+fn ablation() -> Scenario {
+    let mut s = Scenario::new(
+        "ablation",
+        "Reproduction ablations (DESIGN.md Section 6)",
+        "Paired baseline/mtvp8 machines under prefetcher, MSHR and warm-start \
+         ablations on a representative benchmark subset.",
+    );
+    s.benches = [
+        "mcf", "vpr r", "gcc 1", "crafty", "mgrid", "applu", "art 1", "mesa",
+    ]
+    .iter()
+    .map(|b| b.to_string())
+    .collect();
+    let mut grids = Vec::new();
+    for (tag, prefetch, mshrs, warm) in [
+        ("default", true, 16usize, true),
+        ("no-prefetch", false, 16, true),
+        ("mshr4", true, 4, true),
+        ("mshr64", true, 64, true),
+        ("cold-start", true, 16, false),
+    ] {
+        for (prefix, mode) in [("base", Mode::Baseline), ("mtvp", Mode::Mtvp)] {
+            let mut g = ConfigGrid::new(format!("{prefix}/{tag}"), mode)
+                .prefetcher(prefetch)
+                .mshrs(&[mshrs]);
+            g.warm_start = Some(warm);
+            grids.push(g);
+        }
+    }
+    s.grids = grids;
+    s
+}
+
+/// The tiny CI scenario: two benchmarks, a baseline and one oracle MTVP
+/// machine. Fast enough to run twice in the `exp-smoke` job.
+fn smoke() -> Scenario {
+    let mut s = Scenario::new(
+        "smoke",
+        "CI smoke: two benches, base vs oracle mtvp4",
+        "A minimal cache-exercising scenario for CI and local sanity checks.",
+    );
+    s.scale = Some(Scale::Tiny);
+    s.benches = vec!["mcf".to_string(), "mesa".to_string()];
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("mtvp4", Mode::Mtvp).oracle().contexts(&[4]),
+    ];
+    with_series(s, "base", &["mtvp4"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_expands_cleanly() {
+        let all = builtin_scenarios();
+        assert_eq!(all.len(), 11);
+        for s in &all {
+            let configs = s.configs().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!configs.is_empty(), "{} expands to nothing", s.name);
+        }
+        assert!(builtin("fig3").is_some());
+        assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn labels_match_the_legacy_binaries() {
+        let labels = |name: &str| -> Vec<String> {
+            builtin(name)
+                .unwrap()
+                .configs()
+                .unwrap()
+                .into_iter()
+                .map(|(l, _)| l)
+                .collect()
+        };
+        assert_eq!(labels("fig1"), ["base", "stvp", "mtvp2", "mtvp4", "mtvp8"]);
+        assert!(labels("fig2").contains(&"mtvp4@16".to_string()));
+        assert_eq!(labels("fig4"), ["base", "stvp", "mtvp sfp", "no stall"]);
+        assert_eq!(
+            labels("fig6"),
+            ["base", "wide window", "best mtvp", "spawn only"]
+        );
+        assert!(labels("storebuf").contains(&"sb512".to_string()));
+        assert!(labels("ablation").contains(&"mtvp/no-prefetch".to_string()));
+        assert_eq!(labels("predictors").len(), 5);
+    }
+
+    #[test]
+    fn fig_configs_match_legacy_parameterizations() {
+        let fig1 = builtin("fig1").unwrap().configs().unwrap();
+        let stvp = &fig1.iter().find(|(l, _)| l == "stvp").unwrap().1;
+        assert_eq!(stvp.predictor, PredictorKind::Oracle);
+        assert_eq!(stvp.spawn_latency, 1);
+        let fig3 = builtin("fig3").unwrap().configs().unwrap();
+        let mtvp4 = &fig3.iter().find(|(l, _)| l == "mtvp4").unwrap().1;
+        assert_eq!(mtvp4.predictor, PredictorKind::WangFranklin);
+        assert_eq!(mtvp4.contexts, 4);
+        assert_eq!(mtvp4.spawn_latency, 8);
+        let abl = builtin("ablation").unwrap().configs().unwrap();
+        let cold = &abl.iter().find(|(l, _)| l == "mtvp/cold-start").unwrap().1;
+        assert!(!cold.warm_start);
+        assert_eq!(cold.mshrs, 16);
+    }
+}

@@ -1,0 +1,261 @@
+//! Persistent, content-addressed result cache under `results/cache/`.
+//!
+//! Two kinds of entries, both keyed by [`crate::key::JobKey`]:
+//!
+//! - **cells** (`<key>.json`): the full [`PipeStats`] of one simulation,
+//!   stored together with the canonical descriptor, benchmark name and
+//!   configuration that produced it. On load the descriptor and config
+//!   are re-verified, so a hash collision degrades to a miss.
+//! - **reference traces** (`<key>.trace`): the committed-path trace of a
+//!   (benchmark × scale) functional pre-execution, in a compact line
+//!   format (JSON would be an order of magnitude larger).
+//!
+//! Writes go through a temp file + rename, so an interrupted sweep never
+//! leaves a truncated entry behind — resuming simply re-simulates the
+//! missing cells.
+
+use crate::key::{JobKey, SIM_VERSION};
+use mtvp_core::SimConfig;
+use mtvp_isa::trace::{Trace, TraceEntry};
+use mtvp_pipeline::PipeStats;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Format marker for cell entries.
+const CELL_MARKER: &str = "mtvp-cell-v1";
+/// Format marker (first line) for trace entries.
+const TRACE_MARKER: &str = "mtvp-trace-v1";
+
+/// One persisted simulation result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellEntry {
+    /// File-format marker ([`CELL_MARKER`]).
+    pub format: String,
+    /// Simulator version tag ([`SIM_VERSION`]) at write time.
+    pub version: String,
+    /// Canonical descriptor the key was derived from.
+    pub descriptor: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Whether the benchmark is in the integer suite.
+    pub suite_int: bool,
+    /// Build scale tag (`tiny`/`small`/`full`).
+    pub scale: String,
+    /// The exact configuration simulated.
+    pub config: SimConfig,
+    /// Dynamic instructions on the committed path.
+    pub dyn_instrs: u64,
+    /// The simulation statistics.
+    pub stats: PipeStats,
+}
+
+/// Handle to a cache directory.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Open (and lazily create) a cache at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Cache {
+        Cache { dir: dir.into() }
+    }
+
+    /// The default cache directory: `$MTVP_CACHE_DIR` if set, else
+    /// `results/cache` relative to the working directory.
+    pub fn default_dir() -> PathBuf {
+        match std::env::var_os("MTVP_CACHE_DIR") {
+            Some(d) if !d.is_empty() => PathBuf::from(d),
+            _ => PathBuf::from("results").join("cache"),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    fn trace_path(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!("{key}.trace"))
+    }
+
+    /// Whether a cell entry exists for `key` (no verification).
+    pub fn has_cell(&self, key: &JobKey) -> bool {
+        self.cell_path(key).is_file()
+    }
+
+    /// Load and verify the cell for `key`. Returns `None` on a miss, a
+    /// corrupt entry, or a descriptor mismatch (hash collision or stale
+    /// format) — all of which simply mean "simulate it again".
+    pub fn load_cell(&self, key: &JobKey, descriptor: &str) -> Option<CellEntry> {
+        let text = std::fs::read_to_string(self.cell_path(key)).ok()?;
+        let entry: CellEntry = serde_json::from_str(&text).ok()?;
+        (entry.format == CELL_MARKER
+            && entry.version == SIM_VERSION
+            && entry.descriptor == descriptor)
+            .then_some(entry)
+    }
+
+    /// Persist a cell entry atomically (temp file + rename).
+    pub fn store_cell(&self, key: &JobKey, entry: &CellEntry) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        self.write_atomic(&self.cell_path(key), text.as_bytes())
+    }
+
+    /// Load the reference trace for `key`, verifying the stored
+    /// descriptor. Returns `(dyn_instrs, trace)` or `None`.
+    pub fn load_trace(&self, key: &JobKey, descriptor: &str) -> Option<(u64, Arc<Trace>)> {
+        let file = std::fs::File::open(self.trace_path(key)).ok()?;
+        let mut lines = BufReader::new(file).lines();
+        let marker = lines.next()?.ok()?;
+        if marker != TRACE_MARKER {
+            return None;
+        }
+        let stored_desc = lines.next()?.ok()?;
+        if stored_desc != descriptor {
+            return None;
+        }
+        let header = lines.next()?.ok()?;
+        let mut parts = header.split(' ');
+        let dyn_instrs: u64 = parts.next()?.parse().ok()?;
+        let len: usize = parts.next()?.parse().ok()?;
+        let mut trace = Trace::new();
+        for line in lines {
+            let line = line.ok()?;
+            let mut it = line.split(' ');
+            let (kind, pc) = (it.next()?, it.next()?.parse().ok()?);
+            let load_value = match kind {
+                "l" => it.next()?.parse().ok()?,
+                "i" => 0,
+                _ => return None,
+            };
+            trace.push(TraceEntry {
+                pc,
+                is_load: kind == "l",
+                load_value,
+            });
+        }
+        (trace.len() == len).then(|| (dyn_instrs, Arc::new(trace)))
+    }
+
+    /// Persist a reference trace atomically.
+    pub fn store_trace(
+        &self,
+        key: &JobKey,
+        descriptor: &str,
+        dyn_instrs: u64,
+        trace: &Trace,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.trace_path(key);
+        let tmp = tmp_sibling(&path);
+        {
+            let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(w, "{TRACE_MARKER}")?;
+            writeln!(w, "{descriptor}")?;
+            writeln!(w, "{dyn_instrs} {}", trace.len())?;
+            for e in trace.iter() {
+                if e.is_load {
+                    writeln!(w, "l {} {}", e.pc, e.load_value)?;
+                } else {
+                    writeln!(w, "i {}", e.pc)?;
+                }
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = tmp_sibling(path);
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// A temp-file name next to `path`, unique per process.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp-{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{cell_descriptor, key_of, trace_descriptor};
+    use mtvp_core::Mode;
+    use mtvp_workloads::Scale;
+
+    fn scratch() -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mtvp-cache-unit-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn cell_round_trip_and_collision_guard() {
+        let dir = scratch();
+        let cache = Cache::new(&dir);
+        let cfg = SimConfig::new(Mode::Baseline);
+        let desc = cell_descriptor("mcf", &cfg, Scale::Tiny);
+        let key = key_of(&desc);
+        assert!(cache.load_cell(&key, &desc).is_none());
+        let entry = CellEntry {
+            format: CELL_MARKER.to_string(),
+            version: SIM_VERSION.to_string(),
+            descriptor: desc.clone(),
+            bench: "mcf".to_string(),
+            suite_int: true,
+            scale: "tiny".to_string(),
+            config: cfg.clone(),
+            dyn_instrs: 1234,
+            stats: PipeStats::default(),
+        };
+        cache.store_cell(&key, &entry).unwrap();
+        let back = cache.load_cell(&key, &desc).expect("hit");
+        assert_eq!(back, entry);
+        // A different descriptor for the same file is rejected.
+        let other = cell_descriptor("mesa", &cfg, Scale::Tiny);
+        assert!(cache.load_cell(&key, &other).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let dir = scratch();
+        let cache = Cache::new(&dir);
+        let desc = trace_descriptor("mcf", Scale::Tiny);
+        let key = key_of(&desc);
+        let mut trace = Trace::new();
+        trace.push(TraceEntry {
+            pc: 5,
+            is_load: true,
+            load_value: u64::MAX,
+        });
+        trace.push(TraceEntry {
+            pc: 6,
+            is_load: false,
+            load_value: 0,
+        });
+        cache.store_trace(&key, &desc, 2, &trace).unwrap();
+        let (n, back) = cache.load_trace(&key, &desc).expect("hit");
+        assert_eq!(n, 2);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.oracle_load_value(0, 5), Some(u64::MAX));
+        assert_eq!(back.oracle_load_value(1, 6), None);
+        // Descriptor mismatch is a miss.
+        assert!(cache
+            .load_trace(&key, &trace_descriptor("mcf", Scale::Full))
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,538 @@
+//! The experiment engine: a declarative sweep becomes a set of
+//! content-addressed jobs, scheduled longest-first across cores, with
+//! completed cells persisted under `results/cache/` so any sweep is
+//! incremental and resumable.
+//!
+//! Two job phases per run:
+//!
+//! 1. **Reference traces.** Every benchmark that has at least one
+//!    un-cached cell needs its program built and functionally
+//!    pre-executed (or its trace loaded from the cache).
+//! 2. **Cells.** Each missing (benchmark × configuration) simulation runs
+//!    under the work-stealing scheduler; each worker persists its cell
+//!    the moment it completes, so an interrupted sweep resumes from the
+//!    finished cells.
+//!
+//! The assembled [`Sweep`] is ordered benchmark-major in suite order with
+//! configurations in input order — deterministic and independent of
+//! completion order, which is what makes the "cached run is bit-identical
+//! to a cold run" guarantee testable.
+
+use crate::cache::{Cache, CellEntry};
+use crate::key::{cell_descriptor, key_of, scale_tag, trace_descriptor, JobKey, SIM_VERSION};
+use crate::run::{reference_trace, run_with_trace};
+use crate::scenario::{Scenario, ScenarioError};
+use crate::scheduler::Scheduler;
+use crate::sweep::{Cell, Sweep};
+use mtvp_core::SimConfig;
+use mtvp_obs::Registry;
+use mtvp_workloads::{suite, Scale, Workload};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Where completed jobs are persisted.
+#[derive(Clone, Debug)]
+pub enum CacheMode {
+    /// Persist under the given directory (the default: [`Cache::default_dir`]).
+    Disk(PathBuf),
+    /// In-memory only; every run starts cold (`--no-cache`).
+    Off,
+}
+
+/// Engine knobs, mirroring the `exp run` CLI flags.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Result persistence.
+    pub cache: CacheMode,
+    /// Worker-thread cap (`--jobs N`; `None`: all cores).
+    pub jobs: Option<usize>,
+    /// Run only cells whose key hashes to shard `i` of `n` (`--shard i/n`).
+    pub shard: Option<(usize, usize)>,
+    /// Print live progress to stderr.
+    pub progress: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            cache: CacheMode::Disk(Cache::default_dir()),
+            jobs: None,
+            shard: None,
+            progress: false,
+        }
+    }
+}
+
+/// The outcome of one engine run: the sweep plus its execution accounting.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scale everything ran at.
+    pub scale: Scale,
+    /// The assembled measurements (cached and fresh cells alike).
+    pub sweep: Sweep,
+    /// Cells requested (after benchmark filtering, before sharding).
+    pub total_cells: usize,
+    /// Cells served from the cache.
+    pub cache_hits: usize,
+    /// Cells simulated this run.
+    pub simulated: usize,
+    /// Cells skipped because they belong to another shard.
+    pub skipped_by_shard: usize,
+    /// Reference traces functionally executed this run.
+    pub traces_built: usize,
+    /// Reference traces served from the cache.
+    pub traces_cached: usize,
+    /// Engine counters/histograms (`exp.cells.*`, `exp.traces.*`).
+    pub registry: Registry,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// One-line human summary (`exp run` prints this).
+    pub fn summary(&self) -> String {
+        format!(
+            "cells: {} = {} cached + {} simulated ({} shard-skipped); traces: {} cached + {} built; {:.2}s",
+            self.total_cells,
+            self.cache_hits,
+            self.simulated,
+            self.skipped_by_shard,
+            self.traces_cached,
+            self.traces_built,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// Cache state of one scenario, computed without running anything.
+#[derive(Clone, Debug)]
+pub struct StatusReport {
+    /// Scenario name.
+    pub name: String,
+    /// Scale inspected.
+    pub scale: Scale,
+    /// Total cells the scenario expands to.
+    pub total_cells: usize,
+    /// Cells already present in the cache.
+    pub cached: usize,
+}
+
+/// The experiment driver. See the module docs for the execution model.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    opts: EngineOptions,
+}
+
+struct CellJob {
+    bench_idx: usize,
+    label: String,
+    config: SimConfig,
+    descriptor: String,
+    key: JobKey,
+}
+
+struct TraceJob {
+    bench_idx: usize,
+}
+
+impl Engine {
+    /// An engine with explicit options.
+    pub fn new(opts: EngineOptions) -> Engine {
+        Engine { opts }
+    }
+
+    /// An engine with caching disabled (used by `Sweep::run` and tests).
+    pub fn ephemeral() -> Engine {
+        Engine::new(EngineOptions {
+            cache: CacheMode::Off,
+            progress: false,
+            jobs: None,
+            shard: None,
+        })
+    }
+
+    fn cache(&self) -> Option<Cache> {
+        match &self.opts.cache {
+            CacheMode::Disk(dir) => Some(Cache::new(dir.clone())),
+            CacheMode::Off => None,
+        }
+    }
+
+    /// Run a scenario: expand, validate, then [`Engine::run_cells`].
+    ///
+    /// # Errors
+    /// Returns the scenario's expansion/validation error, if any.
+    pub fn run_scenario(
+        &self,
+        scenario: &Scenario,
+        scale: Option<Scale>,
+    ) -> Result<RunReport, ScenarioError> {
+        let configs = scenario.configs()?;
+        let scale = scenario.scale_or(scale);
+        Ok(self.run_cells(&configs, scale, |w| scenario.keeps(w)))
+    }
+
+    /// Cache status of a scenario at `scale` without simulating.
+    ///
+    /// # Errors
+    /// Returns the scenario's expansion/validation error, if any.
+    pub fn status(
+        &self,
+        scenario: &Scenario,
+        scale: Option<Scale>,
+    ) -> Result<StatusReport, ScenarioError> {
+        let configs = scenario.configs()?;
+        let scale = scenario.scale_or(scale);
+        let cache = self.cache();
+        let mut total = 0;
+        let mut cached = 0;
+        for wl in suite().iter().filter(|w| scenario.keeps(w)) {
+            for (_, cfg) in &configs {
+                total += 1;
+                if let Some(c) = &cache {
+                    if c.has_cell(&key_of(&cell_descriptor(wl.name, cfg, scale))) {
+                        cached += 1;
+                    }
+                }
+            }
+        }
+        Ok(StatusReport {
+            name: scenario.name.clone(),
+            scale,
+            total_cells: total,
+            cached,
+        })
+    }
+
+    /// Run every configuration over every kept benchmark at `scale`.
+    /// This is the engine's core entry point; see the module docs.
+    pub fn run_cells(
+        &self,
+        configs: &[(String, SimConfig)],
+        scale: Scale,
+        keep: impl Fn(&Workload) -> bool,
+    ) -> RunReport {
+        let t0 = std::time::Instant::now();
+        let cache = self.cache();
+        let registry = Registry::new();
+        let workloads: Vec<Workload> = suite().into_iter().filter(|w| keep(w)).collect();
+        let scheduler = Scheduler::with_jobs_cap(self.opts.jobs);
+
+        // Enumerate cells, apply the shard filter, and probe the cache.
+        let mut jobs: Vec<CellJob> = Vec::new();
+        let mut hits: HashMap<(usize, String), CellEntry> = HashMap::new();
+        let mut total_cells = 0usize;
+        let mut skipped_by_shard = 0usize;
+        for (bi, wl) in workloads.iter().enumerate() {
+            for (label, cfg) in configs {
+                let descriptor = cell_descriptor(wl.name, cfg, scale);
+                let key = key_of(&descriptor);
+                total_cells += 1;
+                if let Some((i, n)) = self.opts.shard {
+                    if key.shard_of(n) != i {
+                        skipped_by_shard += 1;
+                        continue;
+                    }
+                }
+                if let Some(entry) = cache.as_ref().and_then(|c| c.load_cell(&key, &descriptor)) {
+                    hits.insert((bi, label.clone()), entry);
+                } else {
+                    jobs.push(CellJob {
+                        bench_idx: bi,
+                        label: label.clone(),
+                        config: cfg.clone(),
+                        descriptor,
+                        key,
+                    });
+                }
+            }
+        }
+        let cache_hits = hits.len();
+
+        // Phase 1: programs + reference traces for benchmarks with misses.
+        let mut need_trace: Vec<TraceJob> = Vec::new();
+        for (bi, _) in workloads.iter().enumerate() {
+            if jobs.iter().any(|j| j.bench_idx == bi) {
+                need_trace.push(TraceJob { bench_idx: bi });
+            }
+        }
+        let traces_cached = std::sync::atomic::AtomicUsize::new(0);
+        if self.opts.progress && !need_trace.is_empty() {
+            eprintln!("[exp] preparing {} reference trace(s)", need_trace.len());
+        }
+        let prepared: Vec<(usize, mtvp_isa::Program, u64, Arc<mtvp_isa::trace::Trace>)> = scheduler
+            .run(
+                &need_trace,
+                |j| workload_cost(&workloads[j.bench_idx], scale, 1),
+                |j| {
+                    let wl = &workloads[j.bench_idx];
+                    let program = wl.build(scale);
+                    let descriptor = trace_descriptor(wl.name, scale);
+                    let key = key_of(&descriptor);
+                    let (dyn_instrs, trace) =
+                        match cache.as_ref().and_then(|c| c.load_trace(&key, &descriptor)) {
+                            Some((n, t)) => {
+                                traces_cached.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                (n, t)
+                            }
+                            None => {
+                                let (n, t) = reference_trace(&program);
+                                if let Some(c) = &cache {
+                                    let _ = c.store_trace(&key, &descriptor, n, &t);
+                                }
+                                (n, t)
+                            }
+                        };
+                    (j.bench_idx, program, dyn_instrs, trace)
+                },
+                |_, _| {},
+            );
+        let traces_cached = traces_cached.into_inner();
+        let traces_built = prepared.len() - traces_cached;
+        let by_bench: HashMap<usize, (mtvp_isa::Program, u64, Arc<mtvp_isa::trace::Trace>)> =
+            prepared
+                .into_iter()
+                .map(|(bi, p, n, t)| (bi, (p, n, t)))
+                .collect();
+
+        // Phase 2: simulate the missing cells, longest jobs first, and
+        // persist each one as soon as it completes (resume safety).
+        let simulated = jobs.len();
+        let sim_cycles = Mutex::new(Vec::with_capacity(jobs.len()));
+        let n_jobs = jobs.len();
+        let progress = self.opts.progress;
+        let fresh: Vec<(usize, String, CellEntry)> = scheduler.run(
+            &jobs,
+            |j| workload_cost(&workloads[j.bench_idx], scale, j.config.contexts as u64),
+            |j| {
+                let wl = &workloads[j.bench_idx];
+                let (program, dyn_instrs, trace) =
+                    by_bench.get(&j.bench_idx).expect("trace prepared");
+                let r = run_with_trace(&j.config, program, *dyn_instrs, trace.clone());
+                let entry = CellEntry {
+                    format: "mtvp-cell-v1".to_string(),
+                    version: SIM_VERSION.to_string(),
+                    descriptor: j.descriptor.clone(),
+                    bench: wl.name.to_string(),
+                    suite_int: wl.suite == mtvp_workloads::Suite::Int,
+                    scale: scale_tag(scale).to_string(),
+                    config: j.config.clone(),
+                    dyn_instrs: r.dyn_instrs,
+                    stats: r.stats,
+                };
+                if let Some(c) = &cache {
+                    let _ = c.store_cell(&j.key, &entry);
+                }
+                sim_cycles
+                    .lock()
+                    .expect("cycles lock")
+                    .push(entry.stats.cycles);
+                (j.bench_idx, j.label.clone(), entry)
+            },
+            |done, i| {
+                if progress {
+                    eprint!(
+                        "\r[exp] {done}/{n_jobs} cells simulated (last: {}/{})",
+                        workloads[jobs[i].bench_idx].name, jobs[i].label
+                    );
+                    if done == n_jobs {
+                        eprintln!();
+                    }
+                }
+            },
+        );
+
+        // Assemble bench-major × config order, independent of completion
+        // order, from cached + fresh cells.
+        let mut fresh_map: HashMap<(usize, String), CellEntry> = fresh
+            .into_iter()
+            .map(|(bi, label, e)| ((bi, label), e))
+            .collect();
+        let mut cells = Vec::with_capacity(total_cells);
+        for (bi, _) in workloads.iter().enumerate() {
+            for (label, _) in configs {
+                let slot = (bi, label.clone());
+                let entry = hits.remove(&slot).or_else(|| fresh_map.remove(&slot));
+                if let Some(e) = entry {
+                    cells.push(Cell {
+                        bench: e.bench,
+                        suite_int: e.suite_int,
+                        config: label.clone(),
+                        stats: e.stats,
+                    });
+                }
+            }
+        }
+
+        let mut registry = registry;
+        registry.add("exp.cells.total", total_cells as u64);
+        registry.add("exp.cells.cached", cache_hits as u64);
+        registry.add("exp.cells.simulated", simulated as u64);
+        registry.add("exp.cells.shard_skipped", skipped_by_shard as u64);
+        registry.add("exp.traces.built", traces_built as u64);
+        registry.add("exp.traces.cached", traces_cached as u64);
+        for cycles in sim_cycles.into_inner().expect("cycles lock") {
+            registry.observe("exp.cell.sim_cycles", cycles);
+        }
+
+        RunReport {
+            scale,
+            sweep: Sweep { cells },
+            total_cells,
+            cache_hits,
+            simulated,
+            skipped_by_shard,
+            traces_built,
+            traces_cached,
+            registry,
+            elapsed: t0.elapsed(),
+        }
+    }
+}
+
+/// Relative wall-clock cost of simulating one benchmark: iteration count
+/// scaled by the build scale and the context count (more contexts means
+/// more speculative work per committed instruction). Only the ordering
+/// matters — the scheduler uses it for longest-job-first placement.
+fn workload_cost(wl: &Workload, scale: Scale, contexts: u64) -> u64 {
+    let iters = wl.params.iters.max(1) * scale.iter_factor();
+    let work = 1 + u64::from(
+        wl.params.alu_work + wl.params.fp_work + wl.params.stream_words + wl.params.noise_loads,
+    );
+    iters * work * (1 + contexts)
+}
+
+/// Render the per-benchmark percent-speedup table in the paper's layout:
+/// integer benchmarks then FP, each followed by its geometric mean.
+/// (Shared by the `mtvp-bench` wrappers and `exp run`.)
+pub fn render_speedup_table(
+    title: &str,
+    sweep: &Sweep,
+    configs: &[&str],
+    baseline: &str,
+) -> String {
+    use mtvp_workloads::Suite;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n=== {title} ===");
+    let _ = writeln!(out, "(percent change in useful IPC vs `{baseline}`)\n");
+    let width = 10usize;
+    let _ = write!(out, "{:<12}", "benchmark");
+    for c in configs {
+        let _ = write!(out, "{c:>width$}");
+    }
+    let _ = writeln!(out);
+    for &int_suite in &[true, false] {
+        let _ = writeln!(out, "--- SPEC {} ---", if int_suite { "INT" } else { "FP" });
+        for (bench, is_int) in sweep.benches() {
+            if is_int != int_suite {
+                continue;
+            }
+            let _ = write!(out, "{bench:<12}");
+            for c in configs {
+                match sweep.speedup(&bench, c, baseline) {
+                    Some(s) => {
+                        let _ = write!(out, "{s:>width$.1}");
+                    }
+                    None => {
+                        let _ = write!(out, "{:>width$}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let suite = if int_suite { Suite::Int } else { Suite::Fp };
+        let _ = write!(out, "{:<12}", "geomean");
+        for c in configs {
+            let _ = write!(
+                out,
+                "{:>width$.1}",
+                sweep.geomean_speedup(Some(suite), c, baseline)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_core::Mode;
+
+    fn scratch() -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mtvp-engine-unit-{}-{n}", std::process::id()))
+    }
+
+    fn tiny_configs() -> Vec<(String, SimConfig)> {
+        let mut mtvp = SimConfig::oracle(Mode::Mtvp);
+        mtvp.contexts = 2;
+        vec![
+            ("base".to_string(), SimConfig::new(Mode::Baseline)),
+            ("mtvp2".to_string(), mtvp),
+        ]
+    }
+
+    #[test]
+    fn cached_rerun_simulates_nothing_and_matches() {
+        let dir = scratch();
+        let engine = Engine::new(EngineOptions {
+            cache: CacheMode::Disk(dir.clone()),
+            ..EngineOptions::default()
+        });
+        let keep = |w: &Workload| matches!(w.name, "mcf" | "mesa");
+        let cold = engine.run_cells(&tiny_configs(), Scale::Tiny, keep);
+        assert_eq!(cold.simulated, 4);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.traces_built, 2);
+        let warm = engine.run_cells(&tiny_configs(), Scale::Tiny, keep);
+        assert_eq!(warm.simulated, 0);
+        assert_eq!(warm.cache_hits, 4);
+        assert_eq!(warm.sweep, cold.sweep);
+        assert_eq!(warm.registry.counter("exp.cells.cached"), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shards_partition_a_sweep() {
+        let dir = scratch();
+        let keep = |w: &Workload| matches!(w.name, "mcf" | "mesa");
+        let full = Engine::ephemeral().run_cells(&tiny_configs(), Scale::Tiny, keep);
+        let mut merged: Vec<Cell> = Vec::new();
+        let mut skipped = 0;
+        for i in 0..3 {
+            let eng = Engine::new(EngineOptions {
+                cache: CacheMode::Disk(dir.clone()),
+                shard: Some((i, 3)),
+                ..EngineOptions::default()
+            });
+            let part = eng.run_cells(&tiny_configs(), Scale::Tiny, keep);
+            skipped += part.skipped_by_shard;
+            merged.extend(part.sweep.cells);
+        }
+        // Every cell lands in exactly one shard…
+        assert_eq!(merged.len(), full.sweep.cells.len());
+        assert_eq!(skipped, 2 * full.sweep.cells.len());
+        // …and with identical stats to the unsharded run.
+        for cell in &full.sweep.cells {
+            let m = merged
+                .iter()
+                .find(|c| c.bench == cell.bench && c.config == cell.config)
+                .expect("cell present in exactly one shard");
+            assert_eq!(m, cell);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn speedup_table_renders() {
+        let sweep = Sweep::run_filtered(&tiny_configs(), Scale::Tiny, |w| w.name == "mcf");
+        let t = render_speedup_table("t", &sweep, &["mtvp2"], "base");
+        assert!(t.contains("mcf"));
+        assert!(t.contains("geomean"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Content-addressed job keys.
+//!
+//! Every experiment cell — one (benchmark × configuration × scale)
+//! simulation — is identified by a stable hash over its complete inputs
+//! plus a simulator version tag. The key is the cache filename, the shard
+//! assignment, and the resume identity: two jobs with the same key are the
+//! same simulation and may share a cached result.
+
+use mtvp_core::SimConfig;
+use mtvp_workloads::Scale;
+
+/// Simulator version tag baked into every cache key.
+///
+/// Bump this whenever a change alters simulated statistics (pipeline
+/// semantics, memory timing, predictor behaviour, workload generation) so
+/// stale cache entries can never be served for the new simulator.
+pub const SIM_VERSION: &str = "mtvp-sim-v1";
+
+/// A stable 128-bit content hash identifying one job, as 32 hex digits.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(String);
+
+impl JobKey {
+    /// The hex digest (the cache filename stem).
+    pub fn hex(&self) -> &str {
+        &self.0
+    }
+
+    /// Stable shard assignment in `0..shards` (content-addressed, so it
+    /// is identical across runs and machines).
+    pub fn shard_of(&self, shards: usize) -> usize {
+        debug_assert!(shards > 0);
+        let hi = u64::from_str_radix(&self.0[..16], 16).unwrap_or(0);
+        (hi % shards as u64) as usize
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash a canonical descriptor string into a [`JobKey`] (two independent
+/// FNV-1a passes for a 128-bit digest).
+pub fn key_of(descriptor: &str) -> JobKey {
+    let h1 = fnv1a64(0xcbf2_9ce4_8422_2325, descriptor.as_bytes());
+    let h2 = fnv1a64(0x8422_2325_cbf2_9ce4 ^ h1, descriptor.as_bytes());
+    JobKey(format!("{h1:016x}{h2:016x}"))
+}
+
+/// Stable lowercase tag for a scale (part of descriptors).
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Canonical descriptor of one simulation cell. Hashed into the job key
+/// and stored verbatim in the cache entry, so a (vanishingly unlikely)
+/// hash collision degrades to a cache miss instead of a wrong result.
+///
+/// The configuration is serialized through serde, which emits fields in
+/// declaration order — the descriptor is deterministic for a given
+/// `SimConfig` value.
+pub fn cell_descriptor(bench: &str, cfg: &SimConfig, scale: Scale) -> String {
+    format!(
+        "{SIM_VERSION}|cell|{bench}|{}|{}",
+        scale_tag(scale),
+        serde_json::to_value(cfg)
+    )
+}
+
+/// Canonical descriptor of one reference trace (benchmark × scale).
+pub fn trace_descriptor(bench: &str, scale: Scale) -> String {
+    format!("{SIM_VERSION}|trace|{bench}|{}", scale_tag(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_core::Mode;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let cfg = SimConfig::new(Mode::Mtvp);
+        let a = key_of(&cell_descriptor("mcf", &cfg, Scale::Tiny));
+        let b = key_of(&cell_descriptor("mcf", &cfg, Scale::Tiny));
+        assert_eq!(a, b);
+        assert_eq!(a.hex().len(), 32);
+        let c = key_of(&cell_descriptor("mesa", &cfg, Scale::Tiny));
+        assert_ne!(a, c);
+        let d = key_of(&cell_descriptor("mcf", &cfg, Scale::Small));
+        assert_ne!(a, d);
+        let e = key_of(&trace_descriptor("mcf", Scale::Tiny));
+        assert_ne!(a, e);
+    }
+
+    #[test]
+    fn shards_cover_all_indices() {
+        let mut seen = [false; 4];
+        for bench in [
+            "mcf", "mesa", "swim", "vpr r", "gcc 1", "mgrid", "applu", "twolf",
+        ] {
+            let k = key_of(&trace_descriptor(bench, Scale::Tiny));
+            seen[k.shard_of(4)] = true;
+        }
+        assert!(seen.iter().filter(|s| **s).count() >= 2, "{seen:?}");
+    }
+}

@@ -1,7 +1,7 @@
 //! One-call simulation: reference run + traced oracle + cycle simulation,
 //! with architectural validation built in.
 
-use crate::config::SimConfig;
+use mtvp_core::SimConfig;
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::Program;
 use mtvp_obs::RingTracer;
@@ -97,7 +97,7 @@ pub fn run_program_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::Mode;
+    use mtvp_core::Mode;
     use mtvp_workloads::{suite, Scale};
 
     #[test]

@@ -1,0 +1,500 @@
+//! Declarative experiment scenarios.
+//!
+//! A scenario names a figure-shaped experiment: which benchmarks, which
+//! scale, and a set of *configuration grids* — each a machine mode plus
+//! per-axis value lists (contexts × spawn latency × store buffer × MSHRs)
+//! that expand into labelled [`SimConfig`]s. The paper's figures ship as
+//! built-in scenarios (see [`crate::builtin`]); users can also load their
+//! own from JSON files via `mtvp-sim exp run ./my-scenario.json`.
+//!
+//! Scenario files are deliberately tolerant: every field except a grid's
+//! `mode` has a default, and enum-valued fields accept the CLI vocabulary
+//! (`"mtvp-nostall"`, `"wf"`, `"l3"`, `"tiny"`) as well as the canonical
+//! variant names.
+
+use mtvp_core::{
+    parse_mode, parse_predictor, parse_scale, parse_selector, Mode, SimConfig, Workload,
+};
+use mtvp_pipeline::{PredictorKind, SelectorKind};
+use mtvp_workloads::Scale;
+use serde::{Deserialize, Serialize, Value};
+
+/// A malformed or inconsistent scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One grid of configurations sharing a machine mode.
+///
+/// Every empty axis means "the mode's default value"; a non-empty axis
+/// multiplies the grid. The `label` is a template rendered once per grid
+/// point with `{contexts}`, `{spawn}`, `{sb}` and `{mshrs}` placeholders.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ConfigGrid {
+    /// Label template for the expanded configurations.
+    pub label: String,
+    /// Machine mode of every configuration in the grid.
+    pub mode: Mode,
+    /// Start from [`SimConfig::oracle`] instead of [`SimConfig::new`].
+    pub oracle: bool,
+    /// Hardware-context axis (empty: mode default).
+    pub contexts: Vec<usize>,
+    /// Spawn-latency axis in cycles (empty: mode default).
+    pub spawn_latency: Vec<u64>,
+    /// Store-buffer-entries axis (empty: mode default).
+    pub store_buffer: Vec<usize>,
+    /// MSHR-capacity axis (empty: mode default).
+    pub mshrs: Vec<usize>,
+    /// Override the value predictor.
+    pub predictor: Option<PredictorKind>,
+    /// Override the load selector.
+    pub selector: Option<SelectorKind>,
+    /// Override the stride prefetcher switch.
+    pub prefetcher: Option<bool>,
+    /// Override cache warm-start.
+    pub warm_start: Option<bool>,
+    /// Override values followed per load (MultiValue mode).
+    pub max_values_per_load: Option<usize>,
+}
+
+impl ConfigGrid {
+    /// A single-point grid for `mode` labelled `label`.
+    pub fn new(label: impl Into<String>, mode: Mode) -> ConfigGrid {
+        ConfigGrid {
+            label: label.into(),
+            mode,
+            oracle: false,
+            contexts: Vec::new(),
+            spawn_latency: Vec::new(),
+            store_buffer: Vec::new(),
+            mshrs: Vec::new(),
+            predictor: None,
+            selector: None,
+            prefetcher: None,
+            warm_start: None,
+            max_values_per_load: None,
+        }
+    }
+
+    /// Builder: idealized (oracle predictor, 1-cycle spawn) base config.
+    pub fn oracle(mut self) -> ConfigGrid {
+        self.oracle = true;
+        self
+    }
+
+    /// Builder: the contexts axis.
+    pub fn contexts(mut self, v: &[usize]) -> ConfigGrid {
+        self.contexts = v.to_vec();
+        self
+    }
+
+    /// Builder: the spawn-latency axis.
+    pub fn spawn_latency(mut self, v: &[u64]) -> ConfigGrid {
+        self.spawn_latency = v.to_vec();
+        self
+    }
+
+    /// Builder: the store-buffer axis.
+    pub fn store_buffer(mut self, v: &[usize]) -> ConfigGrid {
+        self.store_buffer = v.to_vec();
+        self
+    }
+
+    /// Builder: the MSHR axis.
+    pub fn mshrs(mut self, v: &[usize]) -> ConfigGrid {
+        self.mshrs = v.to_vec();
+        self
+    }
+
+    /// Builder: predictor override.
+    pub fn predictor(mut self, p: PredictorKind) -> ConfigGrid {
+        self.predictor = Some(p);
+        self
+    }
+
+    /// Builder: selector override.
+    pub fn selector(mut self, s: SelectorKind) -> ConfigGrid {
+        self.selector = Some(s);
+        self
+    }
+
+    /// Builder: prefetcher override.
+    pub fn prefetcher(mut self, on: bool) -> ConfigGrid {
+        self.prefetcher = Some(on);
+        self
+    }
+
+    /// Builder: values-per-load override.
+    pub fn max_values_per_load(mut self, n: usize) -> ConfigGrid {
+        self.max_values_per_load = Some(n);
+        self
+    }
+
+    /// Expand the grid into labelled, validated configurations, nested
+    /// contexts → spawn → store buffer → MSHRs (outermost varies slowest).
+    pub fn expand(&self) -> Result<Vec<(String, SimConfig)>, ScenarioError> {
+        let mut base = if self.oracle {
+            SimConfig::oracle(self.mode)
+        } else {
+            SimConfig::new(self.mode)
+        };
+        if let Some(p) = self.predictor {
+            base.predictor = p;
+        }
+        if let Some(s) = self.selector {
+            base.selector = s;
+        }
+        if let Some(on) = self.prefetcher {
+            base.prefetcher = on;
+        }
+        if let Some(on) = self.warm_start {
+            base.warm_start = on;
+        }
+        if let Some(n) = self.max_values_per_load {
+            base.max_values_per_load = n;
+        }
+        let axis = |list: &[u64], default: u64| -> Vec<u64> {
+            if list.is_empty() {
+                vec![default]
+            } else {
+                list.to_vec()
+            }
+        };
+        let contexts = axis(
+            &self.contexts.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            base.contexts as u64,
+        );
+        let spawns = axis(&self.spawn_latency, base.spawn_latency);
+        let sbs = axis(
+            &self
+                .store_buffer
+                .iter()
+                .map(|&x| x as u64)
+                .collect::<Vec<_>>(),
+            base.store_buffer as u64,
+        );
+        let mshrs = axis(
+            &self.mshrs.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            base.mshrs as u64,
+        );
+        let mut out = Vec::new();
+        for &c in &contexts {
+            for &sp in &spawns {
+                for &sb in &sbs {
+                    for &ms in &mshrs {
+                        let mut cfg = base.clone();
+                        cfg.contexts = c as usize;
+                        cfg.spawn_latency = sp;
+                        cfg.store_buffer = sb as usize;
+                        cfg.mshrs = ms as usize;
+                        let label = self
+                            .label
+                            .replace("{contexts}", &c.to_string())
+                            .replace("{spawn}", &sp.to_string())
+                            .replace("{sb}", &sb.to_string())
+                            .replace("{mshrs}", &ms.to_string());
+                        cfg.validate().map_err(|e| {
+                            ScenarioError(format!("config `{label}` is invalid: {e}"))
+                        })?;
+                        out.push((label, cfg));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A named, self-describing experiment.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Scenario {
+    /// Machine-friendly name (`fig2`, `storebuf`, …).
+    pub name: String,
+    /// Human title shown by `exp list`.
+    pub title: String,
+    /// One-paragraph description.
+    pub description: String,
+    /// Default scale (CLI `--scale` overrides; `None` means Small).
+    pub scale: Option<Scale>,
+    /// Benchmarks to run (empty: the full suite).
+    pub benches: Vec<String>,
+    /// Label of the baseline configuration for speedup reporting.
+    pub baseline: Option<String>,
+    /// Labels reported against the baseline (empty: all non-baseline).
+    pub series: Vec<String>,
+    /// The configuration grids.
+    pub grids: Vec<ConfigGrid>,
+}
+
+impl Scenario {
+    /// A scenario skeleton.
+    pub fn new(name: &str, title: &str, description: &str) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            title: title.to_string(),
+            description: description.to_string(),
+            scale: None,
+            benches: Vec::new(),
+            baseline: None,
+            series: Vec::new(),
+            grids: Vec::new(),
+        }
+    }
+
+    /// The scale to run at, given an optional CLI override.
+    pub fn scale_or(&self, cli: Option<Scale>) -> Scale {
+        cli.or(self.scale).unwrap_or(Scale::Small)
+    }
+
+    /// Expand all grids into labelled configurations, rejecting duplicate
+    /// labels and a dangling `baseline`/`series` reference.
+    pub fn configs(&self) -> Result<Vec<(String, SimConfig)>, ScenarioError> {
+        if self.grids.is_empty() {
+            return Err(ScenarioError(format!(
+                "scenario `{}` has no configuration grids",
+                self.name
+            )));
+        }
+        let mut out = Vec::new();
+        for grid in &self.grids {
+            out.extend(grid.expand()?);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (label, _) in &out {
+            if !seen.insert(label.as_str()) {
+                return Err(ScenarioError(format!(
+                    "scenario `{}` expands to duplicate config label `{label}`",
+                    self.name
+                )));
+            }
+        }
+        for named in self.baseline.iter().chain(&self.series) {
+            if !seen.contains(named.as_str()) {
+                return Err(ScenarioError(format!(
+                    "scenario `{}` references unknown config label `{named}`",
+                    self.name
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The benchmark filter: every benchmark when `benches` is empty.
+    pub fn keeps(&self, w: &Workload) -> bool {
+        self.benches.is_empty() || self.benches.iter().any(|b| b == w.name)
+    }
+
+    /// Parse a scenario from JSON text.
+    ///
+    /// # Errors
+    /// Returns a [`ScenarioError`] describing the first malformed field.
+    pub fn from_json(text: &str) -> Result<Scenario, ScenarioError> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| ScenarioError(format!("bad JSON: {e}")))?;
+        Scenario::from_value(&v).map_err(|e| ScenarioError(e.0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant deserialization: missing fields default, enum fields accept the
+// CLI vocabulary as well as the canonical variant names. (The derive shim
+// requires every field to be present, which would make scenario files
+// needlessly verbose.)
+
+fn tolerant<T, F>(v: &Value, key: &str, parse: F, default: T) -> Result<T, serde::Error>
+where
+    F: FnOnce(&Value) -> Result<T, serde::Error>,
+{
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(x) => parse(x).map_err(|e| serde::Error(format!("field `{key}`: {e}"))),
+    }
+}
+
+fn mode_value(v: &Value) -> Result<Mode, serde::Error> {
+    if let Ok(m) = Mode::from_value(v) {
+        return Ok(m);
+    }
+    let s = serde::str_get(v)?;
+    parse_mode(s).map_err(|e| serde::Error(e.0))
+}
+
+fn predictor_value(v: &Value) -> Result<PredictorKind, serde::Error> {
+    if let Ok(p) = PredictorKind::from_value(v) {
+        return Ok(p);
+    }
+    let s = serde::str_get(v)?;
+    parse_predictor(s).map_err(|e| serde::Error(e.0))
+}
+
+fn selector_value(v: &Value) -> Result<SelectorKind, serde::Error> {
+    if let Ok(s) = SelectorKind::from_value(v) {
+        return Ok(s);
+    }
+    let s = serde::str_get(v)?;
+    parse_selector(s).map_err(|e| serde::Error(e.0))
+}
+
+fn scale_value(v: &Value) -> Result<Scale, serde::Error> {
+    if let Ok(s) = Scale::from_value(v) {
+        return Ok(s);
+    }
+    let s = serde::str_get(v)?;
+    parse_scale(s).map_err(|e| serde::Error(e.0))
+}
+
+impl Deserialize for ConfigGrid {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let label = tolerant(v, "label", String::from_value, String::new())?;
+        let mode = match v.get("mode") {
+            Some(m) => mode_value(m).map_err(|e| serde::Error(format!("field `mode`: {e}")))?,
+            None => return Err(serde::Error("config grid requires a `mode`".into())),
+        };
+        let mut grid = ConfigGrid::new(label, mode);
+        if grid.label.is_empty() {
+            grid.label = format!("{mode:?}").to_lowercase();
+        }
+        grid.oracle = tolerant(v, "oracle", bool::from_value, false)?;
+        grid.contexts = tolerant(v, "contexts", Vec::from_value, Vec::new())?;
+        grid.spawn_latency = tolerant(v, "spawn_latency", Vec::from_value, Vec::new())?;
+        grid.store_buffer = tolerant(v, "store_buffer", Vec::from_value, Vec::new())?;
+        grid.mshrs = tolerant(v, "mshrs", Vec::from_value, Vec::new())?;
+        grid.predictor = tolerant(v, "predictor", |x| predictor_value(x).map(Some), None)?;
+        grid.selector = tolerant(v, "selector", |x| selector_value(x).map(Some), None)?;
+        grid.prefetcher = tolerant(v, "prefetcher", |x| bool::from_value(x).map(Some), None)?;
+        grid.warm_start = tolerant(v, "warm_start", |x| bool::from_value(x).map(Some), None)?;
+        grid.max_values_per_load = tolerant(
+            v,
+            "max_values_per_load",
+            |x| usize::from_value(x).map(Some),
+            None,
+        )?;
+        Ok(grid)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let name = tolerant(v, "name", String::from_value, String::new())?;
+        if name.is_empty() {
+            return Err(serde::Error("scenario requires a `name`".into()));
+        }
+        let mut s = Scenario::new(&name, "", "");
+        s.title = tolerant(v, "title", String::from_value, name.clone())?;
+        s.description = tolerant(v, "description", String::from_value, String::new())?;
+        s.scale = tolerant(v, "scale", |x| scale_value(x).map(Some), None)?;
+        s.benches = tolerant(v, "benches", Vec::from_value, Vec::new())?;
+        s.baseline = tolerant(v, "baseline", |x| String::from_value(x).map(Some), None)?;
+        s.series = tolerant(v, "series", Vec::from_value, Vec::new())?;
+        s.grids = tolerant(v, "grids", Vec::from_value, Vec::new())?;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_nested_axes_with_labels() {
+        let grid = ConfigGrid::new("mtvp{contexts}.s{spawn}", Mode::Mtvp)
+            .oracle()
+            .contexts(&[2, 4])
+            .spawn_latency(&[1, 8]);
+        let configs = grid.expand().unwrap();
+        assert_eq!(
+            configs.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
+            vec!["mtvp2.s1", "mtvp2.s8", "mtvp4.s1", "mtvp4.s8"]
+        );
+        assert_eq!(configs[0].1.contexts, 2);
+        assert_eq!(configs[3].1.spawn_latency, 8);
+        assert_eq!(configs[0].1.predictor, mtvp_pipeline::PredictorKind::Oracle);
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let mut s = Scenario::new("dup", "dup", "");
+        s.grids = vec![
+            ConfigGrid::new("same", Mode::Baseline),
+            ConfigGrid::new("same", Mode::Mtvp),
+        ];
+        assert!(s.configs().is_err());
+    }
+
+    #[test]
+    fn invalid_grid_points_are_rejected() {
+        let grid = ConfigGrid::new("bad{contexts}", Mode::Baseline).contexts(&[8]);
+        assert!(grid.expand().is_err());
+    }
+
+    #[test]
+    fn dangling_baseline_is_rejected() {
+        let mut s = Scenario::new("x", "x", "");
+        s.grids = vec![ConfigGrid::new("base", Mode::Baseline)];
+        s.baseline = Some("nope".to_string());
+        assert!(s.configs().is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let mut s = Scenario::new("fig-x", "Figure X", "speedup vs contexts");
+        s.scale = Some(Scale::Tiny);
+        s.benches = vec!["mcf".into(), "swim".into()];
+        s.baseline = Some("base".into());
+        s.grids = vec![
+            ConfigGrid::new("base", Mode::Baseline),
+            ConfigGrid::new("mtvp{contexts}", Mode::Mtvp)
+                .oracle()
+                .contexts(&[2, 4, 8]),
+        ];
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sparse_json_uses_cli_vocabulary_and_defaults() {
+        let text = r#"{
+            "name": "mini",
+            "scale": "tiny",
+            "benches": ["mcf"],
+            "grids": [
+                {"label": "base", "mode": "baseline"},
+                {"label": "nostall", "mode": "mtvp-nostall",
+                 "predictor": "wf-liberal", "selector": "l3"}
+            ]
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        assert_eq!(s.title, "mini");
+        assert_eq!(s.scale, Some(Scale::Tiny));
+        let configs = s.configs().unwrap();
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[1].1.mode, Mode::MtvpNoStall);
+        assert_eq!(
+            configs[1].1.predictor,
+            mtvp_pipeline::PredictorKind::WangFranklinLiberal
+        );
+        assert_eq!(
+            configs[1].1.selector,
+            mtvp_pipeline::SelectorKind::L3MissOracle
+        );
+        // Unlabelled grids fall back to the mode name.
+        let s = Scenario::from_json(r#"{"name": "x", "grids": [{"mode": "mtvp"}]}"#).unwrap();
+        assert_eq!(s.configs().unwrap()[0].0, "mtvp");
+    }
+
+    #[test]
+    fn bad_scenarios_report_errors() {
+        assert!(Scenario::from_json("not json").is_err());
+        assert!(Scenario::from_json(r#"{"grids": []}"#).is_err());
+        let e = Scenario::from_json(r#"{"name": "x", "grids": [{"mode": "warp9"}]}"#).unwrap_err();
+        assert!(e.0.contains("unknown mode"), "{e}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Work-stealing job scheduler with longest-job-first ordering.
+//!
+//! The generalization of the old `parallel_map`: jobs carry a cost
+//! estimate, are sorted heaviest-first, and are dealt round-robin into
+//! per-worker deques. Each worker pops its own heaviest remaining job
+//! from the front; an idle worker steals the *lightest* job from the back
+//! of the fullest victim deque (the classic split: owners drain big work,
+//! thieves take small tail work, so the critical path — the biggest
+//! benchmark under the widest MTVP configuration — starts first and
+//! nobody waits on a long tail).
+//!
+//! Results are reassembled in input order via an index channel, so
+//! callers see a deterministic output regardless of completion order.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A work-stealing scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    /// Maximum worker threads.
+    pub workers: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::with_jobs_cap(None)
+    }
+}
+
+impl Scheduler {
+    /// A scheduler using all available cores, optionally capped at
+    /// `jobs` threads (the CLI's `--jobs N`).
+    pub fn with_jobs_cap(jobs: Option<usize>) -> Scheduler {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Scheduler {
+            workers: jobs.unwrap_or(cores).clamp(1, cores.max(1)),
+        }
+    }
+
+    /// Run `f` over every item, heaviest first (by `cost`), returning the
+    /// results in input order. `on_done` is invoked on the calling thread
+    /// as each result arrives, with `(completed_count, index)` — the
+    /// progress hook.
+    pub fn run<T, R, C, F, D>(&self, items: &[T], cost: C, f: F, mut on_done: D) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        C: Fn(&T) -> u64,
+        F: Fn(&T) -> R + Sync,
+        D: FnMut(usize, usize),
+    {
+        // Longest job first; ties broken by input index for determinism.
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(cost(&items[i])), i));
+
+        let workers = self.workers.min(items.len()).max(1);
+        if workers <= 1 {
+            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            for (done, &i) in order.iter().enumerate() {
+                out[i] = Some(f(&items[i]));
+                on_done(done + 1, i);
+            }
+            return out.into_iter().map(|r| r.expect("every job ran")).collect();
+        }
+
+        // Deal the sorted jobs round-robin into per-worker deques.
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (pos, &i) in order.iter().enumerate() {
+            queues[pos % workers].push_back(i);
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> = queues.into_iter().map(Mutex::new).collect();
+
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                let f = &f;
+                s.spawn(move || loop {
+                    let job = claim(queues, w);
+                    let Some(i) = job else { break };
+                    let r = f(&items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            let mut done = 0usize;
+            for (i, r) in rx {
+                out[i] = Some(r);
+                done += 1;
+                on_done(done, i);
+            }
+            out.into_iter().map(|r| r.expect("every job ran")).collect()
+        })
+    }
+}
+
+/// Claim the next job for worker `w`: own front first, then steal from
+/// the back of the fullest other queue. Returns `None` when all queues
+/// are empty.
+fn claim(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    // Pick the victim with the most remaining work (peek without holding
+    // more than one lock at a time; a stale read just means a retry).
+    loop {
+        let mut victim: Option<(usize, usize)> = None;
+        for (q, queue) in queues.iter().enumerate() {
+            if q == w {
+                continue;
+            }
+            let len = queue.lock().expect("queue lock").len();
+            if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                victim = Some((q, len));
+            }
+        }
+        let (q, _) = victim?;
+        if let Some(i) = queues[q].lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+        // The victim drained between peek and steal; rescan.
+    }
+}
+
+/// Order-preserving parallel map with uniform job costs — the old
+/// `mtvp_core::sweep::parallel_map`, now a thin wrapper.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    Scheduler::default().run(items, |_| 1, f, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_longest_first() {
+        let sched = Scheduler { workers: 1 };
+        let items = vec![1u64, 100, 10];
+        let log = Mutex::new(Vec::new());
+        let out = sched.run(
+            &items,
+            |&c| c,
+            |&c| {
+                log.lock().unwrap().push(c);
+                c
+            },
+            |_, _| {},
+        );
+        assert_eq!(out, items);
+        assert_eq!(*log.lock().unwrap(), vec![100, 10, 1]);
+    }
+
+    #[test]
+    fn stealing_completes_everything_under_skew() {
+        // One huge job pins a worker; the rest must be stolen and finished.
+        let sched = Scheduler { workers: 4 };
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i == 0 { 1_000_000 } else { i })
+            .collect();
+        let ran = AtomicUsize::new(0);
+        let out = sched.run(
+            &items,
+            |&c| c,
+            |&c| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if c == 1_000_000 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                c + 1
+            },
+            |_, _| {},
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        assert_eq!(out, items.iter().map(|c| c + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn on_done_reports_monotonic_progress() {
+        let sched = Scheduler { workers: 3 };
+        let items: Vec<u64> = (0..20).collect();
+        let mut seen = Vec::new();
+        sched.run(&items, |_| 1, |&c| c, |done, _| seen.push(done));
+        assert_eq!(seen, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_cap_is_respected() {
+        let s = Scheduler::with_jobs_cap(Some(2));
+        assert_eq!(s.workers.min(2), s.workers);
+        let s1 = Scheduler::with_jobs_cap(Some(0));
+        assert_eq!(s1.workers, 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Sweep results: the (benchmark × configuration) measurement grid behind
+//! every figure, plus the paper's aggregation arithmetic.
+//!
+//! The execution machinery that used to live here (`parallel_map`, the
+//! two-phase trace/simulate driver) is now the engine proper — see
+//! [`crate::engine::Engine`]. `Sweep::run`/`run_filtered` remain as
+//! uncached conveniences for tests and probe binaries.
+
+use crate::engine::Engine;
+use mtvp_core::SimConfig;
+use mtvp_pipeline::PipeStats;
+use mtvp_workloads::{Scale, Suite, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One (benchmark × configuration) measurement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Suite of the benchmark.
+    pub suite_int: bool,
+    /// Configuration label.
+    pub config: String,
+    /// Full statistics.
+    pub stats: PipeStats,
+}
+
+/// Results of a sweep.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// All measurements.
+    pub cells: Vec<Cell>,
+}
+
+impl Sweep {
+    /// Run every configuration over every benchmark of the suite at
+    /// `scale`, in parallel across available cores (uncached; see
+    /// [`Engine`] for the cached, resumable driver).
+    pub fn run(configs: &[(String, SimConfig)], scale: Scale) -> Sweep {
+        Self::run_filtered(configs, scale, |_| true)
+    }
+
+    /// Run with a benchmark filter (uncached).
+    pub fn run_filtered(
+        configs: &[(String, SimConfig)],
+        scale: Scale,
+        keep: impl Fn(&Workload) -> bool,
+    ) -> Sweep {
+        Engine::ephemeral().run_cells(configs, scale, keep).sweep
+    }
+
+    /// The measurement for (`bench`, `config`).
+    pub fn cell(&self, bench: &str, config: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.bench == bench && c.config == config)
+    }
+
+    /// Percent useful-IPC speedup of `config` over `baseline` on `bench`
+    /// (the paper's y-axis).
+    pub fn speedup(&self, bench: &str, config: &str, baseline: &str) -> Option<f64> {
+        let c = self.cell(bench, config)?;
+        let b = self.cell(bench, baseline)?;
+        Some(c.stats.speedup_over(&b.stats))
+    }
+
+    /// Geometric-mean percent speedup of `config` over `baseline` across
+    /// the benchmarks of `which` suite (or all when `None`) — the paper's
+    /// "average" bars.
+    pub fn geomean_speedup(&self, which: Option<Suite>, config: &str, baseline: &str) -> f64 {
+        // One pass to index the baseline cells by bench name, so the loop
+        // below is O(cells) instead of a linear `cell()` scan per bench.
+        let baseline_by_bench: HashMap<&str, &Cell> = self
+            .cells
+            .iter()
+            .filter(|c| c.config == baseline)
+            .map(|c| (c.bench.as_str(), c))
+            .collect();
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for cell in self.cells.iter().filter(|c| c.config == config) {
+            if let Some(suite) = which {
+                if (suite == Suite::Int) != cell.suite_int {
+                    continue;
+                }
+            }
+            let Some(b) = baseline_by_bench.get(cell.bench.as_str()) else {
+                continue;
+            };
+            let (ci, bi) = (cell.stats.ipc(), b.stats.ipc());
+            if ci > 0.0 && bi > 0.0 {
+                log_sum += (ci / bi).ln();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            ((log_sum / n as f64).exp() - 1.0) * 100.0
+        }
+    }
+
+    /// Benchmarks present, in first-seen order (suite order when the
+    /// sweep was produced by the engine: integer first).
+    pub fn benches(&self) -> Vec<(String, bool)> {
+        let mut seen: HashSet<&str> = HashSet::with_capacity(self.cells.len());
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if seen.insert(c.bench.as_str()) {
+                out.push((c.bench.clone(), c.suite_int));
+            }
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON (for EXPERIMENTS.md bookkeeping and the
+    /// `exp run --json-out` artifact).
+    ///
+    /// # Errors
+    /// Returns a serialization error instead of panicking (in practice
+    /// `PipeStats` always serializes; callers decide how to report).
+    pub fn to_json(&self) -> Result<String, serde::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_core::Mode;
+
+    #[test]
+    fn small_sweep_runs_and_aggregates() {
+        let configs = vec![
+            ("base".to_string(), SimConfig::new(Mode::Baseline)),
+            ("mtvp4".to_string(), {
+                let mut c = SimConfig::oracle(Mode::Mtvp);
+                c.contexts = 4;
+                c
+            }),
+        ];
+        let sweep =
+            Sweep::run_filtered(&configs, Scale::Tiny, |w| matches!(w.name, "mcf" | "mesa"));
+        assert_eq!(sweep.cells.len(), 4);
+        assert!(sweep.cell("mcf", "base").is_some());
+        let s = sweep.speedup("mcf", "mtvp4", "base").unwrap();
+        assert!(s.is_finite());
+        let g = sweep.geomean_speedup(None, "mtvp4", "base");
+        assert!(g.is_finite());
+        let benches = sweep.benches();
+        assert_eq!(benches.len(), 2);
+        // JSON roundtrip.
+        let json = sweep.to_json().unwrap();
+        let back: Sweep = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
+    }
+
+    #[test]
+    fn benches_dedups_in_first_seen_order() {
+        let stats = PipeStats::default();
+        let mk = |bench: &str, suite_int, config: &str| Cell {
+            bench: bench.to_string(),
+            suite_int,
+            config: config.to_string(),
+            stats: stats.clone(),
+        };
+        let sweep = Sweep {
+            cells: vec![
+                mk("mcf", true, "a"),
+                mk("swim", false, "a"),
+                mk("mcf", true, "b"),
+                mk("twolf", true, "b"),
+                mk("swim", false, "b"),
+            ],
+        };
+        assert_eq!(
+            sweep.benches(),
+            vec![
+                ("mcf".to_string(), true),
+                ("swim".to_string(), false),
+                ("twolf".to_string(), true)
+            ]
+        );
+    }
+}

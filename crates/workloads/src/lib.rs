@@ -45,7 +45,7 @@ pub use registry::{suite, Suite, Workload};
 pub use walk::{ClassPattern, WalkParams};
 
 /// How big to build a kernel.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Scale {
     /// A few thousand dynamic instructions — unit tests.
     Tiny,

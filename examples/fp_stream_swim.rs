@@ -8,7 +8,7 @@
 //! cargo run --release --example fp_stream_swim
 //! ```
 
-use mtvp_core::{run_program, suite, Mode, Scale, SimConfig};
+use mtvp_engine::{run_program, suite, Mode, Scale, SimConfig};
 
 fn main() {
     let swim = suite()

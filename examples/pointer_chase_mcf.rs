@@ -6,7 +6,7 @@
 //! cargo run --release --example pointer_chase_mcf
 //! ```
 
-use mtvp_core::{run_program, suite, Mode, Scale, SimConfig};
+use mtvp_engine::{run_program, suite, Mode, Scale, SimConfig};
 
 fn main() {
     let mcf = suite()

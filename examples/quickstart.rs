@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mtvp_core::{run_program, Mode, SimConfig};
+use mtvp_engine::{run_program, Mode, SimConfig};
 use mtvp_isa::{ProgramBuilder, Reg};
 
 fn main() {

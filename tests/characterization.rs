@@ -2,8 +2,8 @@
 //! behaviour regime its registry description claims. These guard the
 //! workload calibration that every figure depends on.
 
-use mtvp_core::{run_program, Mode, Scale, SimConfig};
-use mtvp_core::{PipeStats, Suite};
+use mtvp_engine::{run_program, Mode, Scale, SimConfig};
+use mtvp_engine::{PipeStats, Suite};
 use mtvp_workloads::suite;
 use std::collections::HashMap;
 

@@ -5,7 +5,7 @@
 //! committed-path sequence (checked instruction-by-instruction inside the
 //! machine) is a simulator bug.
 
-use mtvp_core::{Mode, PredictorKind, SelectorKind, SimConfig};
+use mtvp_engine::{Mode, PredictorKind, SelectorKind, SimConfig};
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::Program;
 use mtvp_pipeline::Machine;

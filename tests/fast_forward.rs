@@ -4,7 +4,7 @@
 //! speculation outcomes. The jump only replaces a stretch of provably
 //! inert cycles with arithmetic.
 
-use mtvp_core::{run_program, run_program_traced, Mode, SelectorKind, SimConfig, TraceOptions};
+use mtvp_engine::{run_program, run_program_traced, Mode, SelectorKind, SimConfig, TraceOptions};
 use mtvp_pipeline::PipeStats;
 use mtvp_workloads::{suite, Scale};
 

@@ -1,8 +1,8 @@
 //! Tiny-scale smoke runs of every figure's configuration matrix, plus the
 //! headline shape assertions the paper's conclusions rest on.
 
-use mtvp_core::sweep::Sweep;
-use mtvp_core::{Mode, Scale, SimConfig, Suite};
+use mtvp_engine::Sweep;
+use mtvp_engine::{Mode, Scale, SimConfig, Suite};
 
 fn tiny(names: &'static [&'static str], configs: &[(String, SimConfig)]) -> Sweep {
     Sweep::run_filtered(configs, Scale::Small, |w| names.contains(&w.name))

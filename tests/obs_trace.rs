@@ -5,11 +5,11 @@
 //! load value or killed — except for the handful that can still be in
 //! flight when the program halts.
 
-use mtvp_core::{
+use mtvp_engine::{
     chrome_trace, pipeview, run_program_traced, suite, Event, Mode, Scale, SelectorKind, SimConfig,
     TraceOptions,
 };
-use mtvp_core::{run::RunResult, RingTracer};
+use mtvp_engine::{RingTracer, RunResult};
 use std::collections::HashSet;
 
 fn traced_mtvp_run(opts: &TraceOptions) -> (RunResult, RingTracer) {

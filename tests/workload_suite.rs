@@ -1,7 +1,7 @@
 //! Every SPEC-like kernel runs to completion — architecturally validated —
 //! on the baseline machine and on an aggressive MTVP machine.
 
-use mtvp_core::{run_program, Mode, Scale, SimConfig};
+use mtvp_engine::{run_program, Mode, Scale, SimConfig};
 use mtvp_workloads::suite;
 
 #[test]
