@@ -1,0 +1,171 @@
+//! Dense fixed-width bitsets — the lattice elements of every dataflow
+//! analysis in this crate. Sized at construction; all binary operations
+//! require equal widths.
+
+/// A fixed-width set of small integers, packed 64 per word.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over a domain of `bits` elements.
+    pub fn new(bits: usize) -> BitSet {
+        BitSet {
+            bits,
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// The full set over a domain of `bits` elements.
+    pub fn full(bits: usize) -> BitSet {
+        let mut s = BitSet::new(bits);
+        for i in 0..bits {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Domain width in bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Insert element `i`; returns true if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let newly = self.words[w] & b == 0;
+        self.words[w] |= b;
+        newly
+    }
+
+    /// Remove element `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether element `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self &= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.bits, other.bits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of elements set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Remove every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterate set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(65);
+        b.insert(2);
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert!(!u.union_with(&b)); // already merged: unchanged
+        assert_eq!(u.count(), 3);
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![65]);
+        assert!(i.is_subset_of(&a) && i.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+        let f = BitSet::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(u.is_subset_of(&f));
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

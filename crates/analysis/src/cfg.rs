@@ -1,0 +1,356 @@
+//! Control-flow graph construction over a linear [`Program`]: basic
+//! blocks, predecessor/successor edges, reachability, dominators,
+//! back-edge detection and natural loops.
+//!
+//! PCs are instruction indices (the ISA's program counter is an index,
+//! not a byte address). Indirect jumps (`Jr`/`Jalr`) have no static
+//! target; the builder conservatively gives such blocks an edge to every
+//! block, which keeps every may-analysis sound at the cost of precision
+//! (no shipped kernel uses them — the lint reports their presence).
+
+use crate::bitset::BitSet;
+use mtvp_isa::Program;
+
+/// A maximal straight-line run of instructions `[start, end)`.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// First instruction (inclusive).
+    pub start: u32,
+    /// One past the last instruction (exclusive).
+    pub end: u32,
+    /// Successor block ids.
+    pub succs: Vec<u32>,
+    /// Predecessor block ids.
+    pub preds: Vec<u32>,
+}
+
+impl BasicBlock {
+    /// PCs of this block, in order.
+    pub fn pcs(&self) -> std::ops::Range<u32> {
+        self.start..self.end
+    }
+}
+
+/// One natural loop, identified by a back edge `latch -> header`.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Loop header block (dominates every block in the body).
+    pub header: u32,
+    /// Source of the back edge.
+    pub latch: u32,
+    /// Body block ids (sorted; includes header and latch).
+    pub body: Vec<u32>,
+    /// Edges `(from, to)` leaving the loop.
+    pub exit_edges: Vec<(u32, u32)>,
+}
+
+impl NaturalLoop {
+    /// Whether block `b` is in the loop body.
+    pub fn contains(&self, b: u32) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// The control-flow graph of one program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks in program order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Block id of each pc.
+    pub block_of: Vec<u32>,
+    /// Whether each block is reachable from the entry.
+    pub reachable: Vec<bool>,
+    /// Dominator sets over reachable blocks (`dom[b]` contains `b`);
+    /// unreachable blocks keep the full set (vacuously dominated).
+    pub dom: Vec<BitSet>,
+    /// Back edges `(latch, header)` among reachable blocks.
+    pub back_edges: Vec<(u32, u32)>,
+    /// Natural loops, one per back edge.
+    pub loops: Vec<NaturalLoop>,
+    /// Whether any instruction is an indirect jump (`Jr`/`Jalr`).
+    pub has_indirect: bool,
+    /// PCs whose static branch/jump target lies outside the text segment.
+    pub bad_targets: Vec<u32>,
+}
+
+impl Cfg {
+    /// Build the CFG of `program`. Programs are non-empty in practice
+    /// (the builder always emits at least a halt); an empty program
+    /// yields an empty graph.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.code.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                reachable: Vec::new(),
+                dom: Vec::new(),
+                back_edges: Vec::new(),
+                loops: Vec::new(),
+                has_indirect: false,
+                bad_targets: Vec::new(),
+            };
+        }
+
+        // Leaders: entry, every static target, and the instruction after
+        // every control transfer or halt.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        let mut has_indirect = false;
+        let mut bad_targets = Vec::new();
+        for (pc, inst) in program.code.iter().enumerate() {
+            let s = inst.successors(pc as u64, n);
+            if s.indirect {
+                has_indirect = true;
+            }
+            if let Some(t) = s.target {
+                if t >= 0 && (t as usize) < n {
+                    leader[t as usize] = true;
+                } else {
+                    bad_targets.push(pc as u32);
+                }
+            }
+            if (inst.is_control() || inst.is_halt()) && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0u32; n];
+        for pc in 0..n {
+            if leader[pc] {
+                blocks.push(BasicBlock {
+                    start: pc as u32,
+                    end: pc as u32 + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            } else {
+                blocks.last_mut().expect("pc 0 is a leader").end = pc as u32 + 1;
+            }
+            block_of[pc] = blocks.len() as u32 - 1;
+        }
+
+        // Edges from each block's terminator.
+        let nb = blocks.len();
+        for b in 0..nb {
+            let last = blocks[b].end - 1;
+            let s = program.code[last as usize].successors(u64::from(last), n);
+            let mut succs = Vec::new();
+            if s.indirect {
+                // Conservative: an indirect jump may reach any block.
+                succs.extend(0..nb as u32);
+            } else {
+                if let Some(t) = s.target {
+                    if t >= 0 && (t as usize) < n {
+                        succs.push(block_of[t as usize]);
+                    }
+                }
+                if let Some(f) = s.fall_through {
+                    let fb = block_of[f as usize];
+                    if !succs.contains(&fb) {
+                        succs.push(fb);
+                    }
+                }
+            }
+            blocks[b].succs = succs.clone();
+            for t in succs {
+                blocks[t as usize].preds.push(b as u32);
+            }
+        }
+
+        // Reachability from the entry block.
+        let mut reachable = vec![false; nb];
+        let mut stack = vec![0u32];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &t in &blocks[b as usize].succs {
+                if !reachable[t as usize] {
+                    reachable[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+
+        // Iterative dominators over reachable blocks.
+        let mut dom: Vec<BitSet> = (0..nb).map(|_| BitSet::full(nb)).collect();
+        let mut entry_dom = BitSet::new(nb);
+        entry_dom.insert(0);
+        dom[0] = entry_dom;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..nb {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut next = BitSet::full(nb);
+                let mut any_pred = false;
+                for &p in &blocks[b].preds {
+                    if reachable[p as usize] {
+                        next.intersect_with(&dom[p as usize]);
+                        any_pred = true;
+                    }
+                }
+                if !any_pred {
+                    // Reachable with no reachable preds only happens for
+                    // the entry, handled above; keep the full set.
+                    continue;
+                }
+                next.insert(b);
+                if next != dom[b] {
+                    dom[b] = next;
+                    changed = true;
+                }
+            }
+        }
+
+        // Back edges and natural loops.
+        let mut back_edges = Vec::new();
+        for b in 0..nb {
+            if !reachable[b] {
+                continue;
+            }
+            for &t in &blocks[b].succs {
+                if dom[b].contains(t as usize) {
+                    back_edges.push((b as u32, t));
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for &(latch, header) in &back_edges {
+            let mut body = BitSet::new(nb);
+            body.insert(header as usize);
+            let mut work = Vec::new();
+            if body.insert(latch as usize) {
+                work.push(latch);
+            }
+            while let Some(b) = work.pop() {
+                for &p in &blocks[b as usize].preds {
+                    if reachable[p as usize] && body.insert(p as usize) {
+                        work.push(p);
+                    }
+                }
+            }
+            let body_vec: Vec<u32> = body.iter().map(|b| b as u32).collect();
+            let mut exit_edges = Vec::new();
+            for &b in &body_vec {
+                for &t in &blocks[b as usize].succs {
+                    if !body.contains(t as usize) {
+                        exit_edges.push((b, t));
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                header,
+                latch,
+                body: body_vec,
+                exit_edges,
+            });
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+            dom,
+            back_edges,
+            loops,
+            has_indirect,
+            bad_targets,
+        }
+    }
+
+    /// Whether block `a` dominates block `b` (both must be reachable for
+    /// the answer to be meaningful).
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        self.dom[b as usize].contains(a as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    /// if (r1 == r2) { r3 += 1 } else { r3 += 2 }; halt
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new();
+        let (then_l, join) = (b.label(), b.label());
+        b.beq(Reg(1), Reg(2), then_l);
+        b.addi(Reg(3), Reg(3), 2);
+        b.j(join);
+        b.bind(then_l);
+        b.addi(Reg(3), Reg(3), 1);
+        b.bind(join);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn diamond_blocks_and_dominators() {
+        let p = diamond();
+        let cfg = Cfg::build(&p);
+        // entry / else / then / join.
+        assert_eq!(cfg.blocks.len(), 4);
+        assert!(cfg.reachable.iter().all(|r| *r));
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        let join = cfg.block_of[p.code.len() - 1] as usize;
+        assert_eq!(cfg.blocks[join].preds.len(), 2);
+        // Entry dominates everything; neither branch arm dominates the join.
+        for b in 0..4 {
+            assert!(cfg.dominates(0, b as u32));
+        }
+        assert!(!cfg.dominates(1, join as u32));
+        assert!(!cfg.dominates(2, join as u32));
+        assert!(cfg.back_edges.is_empty() && cfg.loops.is_empty());
+    }
+
+    #[test]
+    fn loop_detection() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 0);
+        b.li(Reg(2), 10);
+        let top = b.here_label();
+        b.addi(Reg(1), Reg(1), 1);
+        b.blt(Reg(1), Reg(2), top);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.back_edges.len(), 1);
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.latch, l.header); // single-block loop
+        assert!(l.contains(l.header));
+        assert_eq!(l.exit_edges.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_code_is_detected() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.j(end);
+        b.addi(Reg(1), Reg(1), 1); // skipped forever
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let dead = cfg.block_of[1] as usize;
+        assert!(!cfg.reachable[dead]);
+        assert_eq!(cfg.reachable.iter().filter(|r| **r).count(), 2);
+    }
+
+    #[test]
+    fn indirect_jump_is_conservative() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 2);
+        b.jr(Reg(1));
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.has_indirect);
+        let jb = cfg.block_of[1] as usize;
+        assert_eq!(cfg.blocks[jb].succs.len(), cfg.blocks.len());
+        assert!(cfg.reachable.iter().all(|r| *r));
+    }
+}

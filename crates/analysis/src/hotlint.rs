@@ -1,0 +1,249 @@
+//! Source-level hot-path lint for the pipeline crate.
+//!
+//! The simulator's inner loop must stay allocation-free and hash-free:
+//! per-cycle work that touches the heap or a `HashMap` is exactly the
+//! kind of regression that erased an earlier 3x speedup. This lint is a
+//! deliberately simple, dependency-free line scanner:
+//!
+//! * Hash-based collections (`HashMap`, `HashSet`, `BTreeMap`,
+//!   `BTreeSet`, `IndexMap`) are denied **anywhere** in
+//!   `crates/pipeline/src` — the crate currently has none and should
+//!   stay that way.
+//! * Allocation patterns (`Vec::new(`, `vec![`, `format!(`, …) are
+//!   denied only **inside the per-cycle hot functions** listed in
+//!   [`HOT_FUNCTIONS`]; squash paths, constructors and debug helpers
+//!   allocate legitimately.
+//!
+//! A line containing `hotlint: allow` is exempt (use sparingly, with a
+//! justification comment).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collection types denied anywhere in the pipeline crate.
+pub const DENIED_COLLECTIONS: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet", "IndexMap"];
+
+/// Allocation tokens denied inside hot functions.
+pub const DENIED_ALLOC: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "String::new(",
+    "String::from(",
+    "format!(",
+    ".to_string(",
+    ".to_vec(",
+    "Box::new(",
+    ".collect(",
+];
+
+/// Per-cycle functions whose bodies must not allocate: the five pipeline
+/// stages, their per-context helpers, and the value-prediction hook.
+pub const HOT_FUNCTIONS: &[&str] = &[
+    "cycle",
+    "fetch_stage",
+    "fetch_thread",
+    "rename_stage",
+    "rename_one",
+    "issue_stage",
+    "issue_one",
+    "store_forwards",
+    "writeback_stage",
+    "complete_one",
+    "compute_result",
+    "commit_stage",
+    "commit_one",
+    "maybe_value_predict",
+];
+
+/// One source-lint finding.
+#[derive(Clone, Debug)]
+pub struct SourceDiag {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The denied token that matched.
+    pub pattern: String,
+    /// Explanation, including the enclosing hot function when relevant.
+    pub message: String,
+}
+
+/// Scan one file's text. `file` is used only for reporting.
+pub fn scan_source(file: &Path, text: &str) -> Vec<SourceDiag> {
+    let mut diags = Vec::new();
+    // Track which hot function (if any) encloses each line by brace depth.
+    let mut hot: Option<(String, i64)> = None; // (name, depth at entry)
+    let mut depth: i64 = 0;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.contains("hotlint: allow") {
+            depth += brace_delta(raw);
+            close_hot(&mut hot, depth);
+            continue;
+        }
+        // Strip line comments so commented-out code never fires.
+        let line = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+
+        for &tok in DENIED_COLLECTIONS {
+            if line.contains(tok) {
+                diags.push(SourceDiag {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    pattern: tok.to_string(),
+                    message: format!(
+                        "{tok} is banned in the pipeline crate (hash/tree \
+                         lookups in or near the cycle loop)"
+                    ),
+                });
+            }
+        }
+
+        // Enter a hot function?
+        if hot.is_none() {
+            if let Some(name) = hot_fn_on_line(line) {
+                hot = Some((name.to_string(), depth));
+            }
+        }
+        if let Some((name, _)) = &hot {
+            for &tok in DENIED_ALLOC {
+                if line.contains(tok) {
+                    diags.push(SourceDiag {
+                        file: file.to_path_buf(),
+                        line: lineno,
+                        pattern: tok.to_string(),
+                        message: format!(
+                            "allocation `{tok}` inside per-cycle hot \
+                             function `{name}`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        depth += brace_delta(line);
+        close_hot(&mut hot, depth);
+    }
+    diags
+}
+
+fn close_hot(hot: &mut Option<(String, i64)>, depth: i64) {
+    if let Some((_, entry)) = hot {
+        if depth <= *entry {
+            *hot = None;
+        }
+    }
+}
+
+fn hot_fn_on_line(line: &str) -> Option<&'static str> {
+    HOT_FUNCTIONS.iter().copied().find(|name| {
+        line.find("fn ")
+            .map(|p| line[p + 3..].trim_start().starts_with(&format!("{name}(")))
+            .unwrap_or(false)
+    })
+}
+
+fn brace_delta(line: &str) -> i64 {
+    // Good enough for rustfmt-formatted code: braces in string literals
+    // are rare in this codebase and none occur in the pipeline crate's
+    // hot modules.
+    line.chars().fold(0i64, |d, c| match c {
+        '{' => d + 1,
+        '}' => d - 1,
+        _ => d,
+    })
+}
+
+/// Scan every `.rs` file under `<repo_root>/crates/pipeline/src`.
+/// Returns the number of files scanned and all findings.
+pub fn scan_pipeline(repo_root: &Path) -> io::Result<(usize, Vec<SourceDiag>)> {
+    let root = repo_root.join("crates/pipeline/src");
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for f in &files {
+        let text = fs::read_to_string(f)?;
+        diags.extend(scan_source(f, &text));
+    }
+    Ok((files.len(), diags))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_is_denied_anywhere() {
+        let src = "use std::collections::HashMap;\nfn helper() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
+        let d = scan_source(Path::new("x.rs"), src);
+        assert!(d.len() >= 2);
+        assert!(d.iter().all(|d| d.pattern == "HashMap"));
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn allocation_in_hot_function_is_denied() {
+        let src = "\
+impl M {
+    fn cycle(&mut self) {
+        let v = Vec::new();
+        if x {
+            let s = format!(\"{}\", 1);
+        }
+    }
+    fn cold(&mut self) {
+        let v = Vec::new();
+    }
+}
+";
+        let d = scan_source(Path::new("m.rs"), src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.pattern == "Vec::new(" && d.line == 3));
+        assert!(d.iter().any(|d| d.pattern == "format!(" && d.line == 5));
+    }
+
+    #[test]
+    fn allow_escape_and_comments_are_skipped() {
+        let src = "\
+fn commit_stage(&mut self) {
+    let v = Vec::new(); // hotlint: allow — one-time warmup buffer
+    // let dead = vec![commented out];
+    let w = 1;
+}
+";
+        let d = scan_source(Path::new("c.rs"), src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn nested_fn_tracking_closes_at_brace() {
+        // Allocation after the hot function's closing brace is fine.
+        let src = "\
+fn issue_stage(&mut self) {
+    let x = 1;
+}
+fn other(&mut self) {
+    let v = vec![1, 2];
+}
+";
+        let d = scan_source(Path::new("i.rs"), src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

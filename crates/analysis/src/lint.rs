@@ -1,0 +1,445 @@
+//! The lint driver: runs every analysis over a program and folds the
+//! results into a [`LintReport`] of severity-tagged diagnostics.
+//!
+//! Severity policy (enforced by the CLI exit code and the CI gate):
+//!
+//! * **Error** — the program is malformed or depends on unspecified
+//!   state: `uninit-read`, `bad-branch-target`, `no-reachable-halt`.
+//! * **Warning** — legal but suspicious: `unreachable-code`,
+//!   `dead-store`, `redundant-jump`, `fall-off-text`, `infinite-loop`,
+//!   `loop-invariant-exit`, `addr-below-data`, `unaligned-access`.
+//! * **Info** — noteworthy structure: `indirect-jump` (forces fully
+//!   conservative CFG edges).
+
+use crate::cfg::Cfg;
+use crate::liveness::{self, Liveness};
+use crate::loc::use_locs;
+use crate::ranges::{self, AddrRanges};
+use crate::reaching::{self, Reaching};
+use mtvp_isa::Program;
+use serde_json::{json, Value};
+
+/// Diagnostic severity, ordered least to most severe.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Structural observation, never gates anything.
+    Info,
+    /// Suspicious but legal.
+    Warning,
+    /// Program defect; fails `mtvp-sim lint` and the CI gate.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON and text output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Diag {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable kebab-case rule name (e.g. `uninit-read`).
+    pub rule: &'static str,
+    /// Offending instruction, when the diagnostic has a single site.
+    pub pc: Option<u32>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Everything the linter learned about one program.
+pub struct LintReport {
+    /// Program name (from the builder).
+    pub name: String,
+    /// Instruction count.
+    pub insts: usize,
+    /// Basic-block count.
+    pub blocks: usize,
+    /// Blocks reachable from the entry.
+    pub reachable_blocks: usize,
+    /// Natural-loop count.
+    pub loops: usize,
+    /// Back-edge count.
+    pub back_edges: usize,
+    /// Load/store count in reachable code.
+    pub mem_ops: usize,
+    /// Memory operations with a statically bounded address interval.
+    pub bounded_mem: usize,
+    /// Total solver transfer evaluations (liveness + reaching).
+    pub solver_iterations: usize,
+    /// All diagnostics, sorted by severity (most severe first) then pc.
+    pub diags: Vec<Diag>,
+}
+
+impl LintReport {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// JSON form: summary counters plus the full diagnostic list.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "name": self.name,
+            "insts": self.insts,
+            "blocks": self.blocks,
+            "reachable_blocks": self.reachable_blocks,
+            "loops": self.loops,
+            "back_edges": self.back_edges,
+            "mem_ops": self.mem_ops,
+            "bounded_mem": self.bounded_mem,
+            "solver_iterations": self.solver_iterations,
+            "errors": self.errors(),
+            "warnings": self.warnings(),
+            "diags": self.diags.iter().map(|d| json!({
+                "severity": d.severity.name(),
+                "rule": d.rule,
+                "pc": d.pc,
+                "message": d.message,
+            })).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Export summary counters into an observability registry under the
+    /// `lint.` namespace (absolute values, not increments).
+    pub fn registry(&self) -> mtvp_obs::Registry {
+        let mut r = mtvp_obs::Registry::new();
+        r.set("lint.errors", self.errors() as u64);
+        r.set("lint.warnings", self.warnings() as u64);
+        r.set(
+            "lint.infos",
+            self.diags
+                .iter()
+                .filter(|d| d.severity == Severity::Info)
+                .count() as u64,
+        );
+        r.set("lint.blocks", self.blocks as u64);
+        r.set("lint.loops", self.loops as u64);
+        r.set("lint.back_edges", self.back_edges as u64);
+        r.set("lint.mem_ops", self.mem_ops as u64);
+        r.set("lint.mem_bounded", self.bounded_mem as u64);
+        for d in &self.diags {
+            r.bump(&format!("lint.rule.{}", d.rule));
+        }
+        r
+    }
+}
+
+/// Run every analysis over `program` and collect diagnostics.
+pub fn lint_program(program: &Program) -> LintReport {
+    let cfg = Cfg::build(program);
+    let live = liveness::compute(program, &cfg);
+    let reach = reaching::compute(program, &cfg);
+    let ranges = ranges::analyze(program, &cfg);
+    lint_with(program, &cfg, &live, &reach, &ranges)
+}
+
+fn lint_with(
+    program: &Program,
+    cfg: &Cfg,
+    live: &Liveness,
+    reach: &Reaching,
+    ranges: &AddrRanges,
+) -> LintReport {
+    let mut diags = Vec::new();
+    let n = program.code.len();
+
+    // -- errors ----------------------------------------------------------
+    for u in reaching::uninit_uses(program, cfg, reach) {
+        diags.push(Diag {
+            severity: Severity::Error,
+            rule: "uninit-read",
+            pc: Some(u.pc),
+            message: format!(
+                "pc {}: reads {} which may be uninitialized on some path",
+                u.pc, u.loc
+            ),
+        });
+    }
+    for &pc in &cfg.bad_targets {
+        diags.push(Diag {
+            severity: Severity::Error,
+            rule: "bad-branch-target",
+            pc: Some(pc),
+            message: format!(
+                "pc {}: branch/jump target {} is outside the text segment (0..{})",
+                pc, program.code[pc as usize].imm, n
+            ),
+        });
+    }
+    let any_reachable_halt = cfg
+        .blocks
+        .iter()
+        .enumerate()
+        .filter(|(b, _)| cfg.reachable[*b])
+        .flat_map(|(_, blk)| blk.pcs())
+        .any(|pc| program.code[pc as usize].is_halt());
+    if !any_reachable_halt && !cfg.has_indirect && n > 0 {
+        diags.push(Diag {
+            severity: Severity::Error,
+            rule: "no-reachable-halt",
+            pc: None,
+            message: "no halt instruction is reachable from the entry".to_string(),
+        });
+    }
+
+    // -- warnings --------------------------------------------------------
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        if cfg.reachable[b] {
+            continue;
+        }
+        // All-nop padding blocks are not worth reporting.
+        let all_nop = blk
+            .pcs()
+            .all(|pc| matches!(program.code[pc as usize].op, mtvp_isa::Op::Nop));
+        if !all_nop {
+            diags.push(Diag {
+                severity: Severity::Warning,
+                rule: "unreachable-code",
+                pc: Some(blk.start),
+                message: format!("pcs {}..{} can never execute", blk.start, blk.end),
+            });
+        }
+    }
+    for pc in liveness::dead_defs(program, cfg, live) {
+        diags.push(Diag {
+            severity: Severity::Warning,
+            rule: "dead-store",
+            pc: Some(pc),
+            message: format!(
+                "pc {}: value written to {} is overwritten before any read",
+                pc,
+                crate::loc::def_loc(&program.code[pc as usize])
+                    .map(|l| l.to_string())
+                    .unwrap_or_default()
+            ),
+        });
+    }
+    for (pc, inst) in program.code.iter().enumerate() {
+        if matches!(inst.op, mtvp_isa::Op::J) && inst.imm == pc as i64 + 1 {
+            diags.push(Diag {
+                severity: Severity::Warning,
+                rule: "redundant-jump",
+                pc: Some(pc as u32),
+                message: format!("pc {pc}: jump to the next instruction"),
+            });
+        }
+    }
+    if n > 0 {
+        let last_block = cfg.blocks.len() - 1;
+        let last = &program.code[n - 1];
+        if cfg.reachable[last_block]
+            && !last.is_halt()
+            && !matches!(
+                last.op,
+                mtvp_isa::Op::J | mtvp_isa::Op::Jal | mtvp_isa::Op::Jr | mtvp_isa::Op::Jalr
+            )
+        {
+            diags.push(Diag {
+                severity: Severity::Warning,
+                rule: "fall-off-text",
+                pc: Some(n as u32 - 1),
+                message: format!(
+                    "pc {}: execution can fall off the end of the text segment",
+                    n - 1
+                ),
+            });
+        }
+    }
+    for l in &cfg.loops {
+        if l.exit_edges.is_empty() {
+            diags.push(Diag {
+                severity: Severity::Warning,
+                rule: "infinite-loop",
+                pc: Some(cfg.blocks[l.header as usize].start),
+                message: format!(
+                    "loop headed at pc {} has no exit edge",
+                    cfg.blocks[l.header as usize].start
+                ),
+            });
+            continue;
+        }
+        // Termination heuristic: some register tested by an exit branch
+        // must be redefined inside the loop, otherwise the exit decision
+        // never changes. (Memory-dependent exits read a register loaded
+        // in the loop, so the loaded register counts as redefined.)
+        let mut defined_in_loop = [false; crate::loc::NUM_LOCS];
+        for &b in &l.body {
+            for pc in cfg.blocks[b as usize].pcs() {
+                if let Some(d) = crate::loc::def_loc(&program.code[pc as usize]) {
+                    defined_in_loop[d.index()] = true;
+                }
+            }
+        }
+        let some_exit_varies = l.exit_edges.iter().any(|&(from, _)| {
+            let term = cfg.blocks[from as usize].end - 1;
+            use_locs(&program.code[term as usize]).any(|u| defined_in_loop[u.index()])
+        });
+        if !some_exit_varies {
+            diags.push(Diag {
+                severity: Severity::Warning,
+                rule: "loop-invariant-exit",
+                pc: Some(cfg.blocks[l.header as usize].start),
+                message: format!(
+                    "loop headed at pc {}: no exit condition register is \
+                     modified inside the loop",
+                    cfg.blocks[l.header as usize].start
+                ),
+            });
+        }
+    }
+    for a in ranges.below_data_base() {
+        diags.push(Diag {
+            severity: Severity::Warning,
+            rule: "addr-below-data",
+            pc: Some(a.pc),
+            message: format!(
+                "pc {}: {} address is provably below the data segment base",
+                a.pc,
+                if a.store { "store" } else { "load" }
+            ),
+        });
+    }
+    for a in ranges.unaligned() {
+        diags.push(Diag {
+            severity: Severity::Warning,
+            rule: "unaligned-access",
+            pc: Some(a.pc),
+            message: format!("pc {}: access to a provably unaligned address", a.pc),
+        });
+    }
+
+    // -- info ------------------------------------------------------------
+    if cfg.has_indirect {
+        diags.push(Diag {
+            severity: Severity::Info,
+            rule: "indirect-jump",
+            pc: None,
+            message: "program contains indirect jumps; CFG edges are fully \
+                      conservative"
+                .to_string(),
+        });
+    }
+
+    diags.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.pc.cmp(&b.pc)));
+    LintReport {
+        name: program.name.clone(),
+        insts: n,
+        blocks: cfg.blocks.len(),
+        reachable_blocks: cfg.reachable.iter().filter(|r| **r).count(),
+        loops: cfg.loops.len(),
+        back_edges: cfg.back_edges.len(),
+        mem_ops: ranges.accesses.len(),
+        bounded_mem: ranges.bounded(),
+        solver_iterations: live.iterations + reach.iterations,
+        diags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn clean_loop_kernel_lints_clean() {
+        let mut b = ProgramBuilder::new();
+        b.name("clean");
+        let (i, n, acc) = (Reg(1), Reg(2), Reg(3));
+        b.li(i, 0);
+        b.li(n, 10);
+        b.li(acc, 0);
+        let top = b.here_label();
+        b.add(acc, acc, i);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let r = lint_program(&b.build());
+        assert_eq!(r.errors(), 0, "{:?}", r.diags);
+        assert_eq!(r.warnings(), 0, "{:?}", r.diags);
+        assert_eq!(r.loops, 1);
+        assert_eq!(r.name, "clean");
+    }
+
+    #[test]
+    fn uninit_read_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg(2), Reg(1), 1); // r1 never written
+        b.halt();
+        let r = lint_program(&b.build());
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diags[0].rule, "uninit-read");
+        assert_eq!(r.to_value()["diags"][0]["severity"], json!("error"));
+    }
+
+    #[test]
+    fn infinite_loop_and_missing_halt_are_flagged() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here_label();
+        b.j(top); // spin forever; halt below is unreachable
+        b.halt();
+        let r = lint_program(&b.build());
+        assert!(r.diags.iter().any(|d| d.rule == "infinite-loop"));
+        assert!(r.diags.iter().any(|d| d.rule == "no-reachable-halt"));
+    }
+
+    #[test]
+    fn redundant_jump_and_dead_store_are_warnings() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 1); // dead store: overwritten below
+        b.li(Reg(1), 2);
+        let next = b.label();
+        b.j(next);
+        b.bind(next);
+        b.addi(Reg(2), Reg(1), 0);
+        b.halt();
+        let r = lint_program(&b.build());
+        assert_eq!(r.errors(), 0);
+        let rules: Vec<_> = r.diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"redundant-jump"));
+        assert!(rules.contains(&"dead-store"));
+    }
+
+    #[test]
+    fn loop_invariant_exit_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 0);
+        b.li(Reg(2), 5);
+        b.li(Reg(3), 0);
+        let top = b.here_label();
+        b.addi(Reg(3), Reg(3), 1); // loop modifies only r3
+        b.blt(Reg(1), Reg(2), top); // exit tests r1, r2: never changes
+        b.halt();
+        let r = lint_program(&b.build());
+        assert!(r.diags.iter().any(|d| d.rule == "loop-invariant-exit"));
+    }
+
+    #[test]
+    fn registry_export_has_lint_counters() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 1);
+        b.halt();
+        let r = lint_program(&b.build());
+        let reg = r.registry();
+        assert_eq!(reg.counter("lint.errors"), 0);
+        assert_eq!(reg.counter("lint.blocks"), r.blocks as u64);
+    }
+}

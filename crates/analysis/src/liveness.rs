@@ -1,0 +1,133 @@
+//! Register liveness over the 64-location register domain.
+//!
+//! Backward may-analysis: a register is live at a point if some path from
+//! that point reads it before writing it. The boundary set is FULL — every
+//! architectural register is considered live at thread end, because the
+//! harness (and tests such as the kernel self-checks) observe final
+//! register state after halt. This deliberately suppresses "dead store"
+//! reports for result registers written just before halting.
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Direction, GenKill, Meet};
+use crate::loc::{def_loc, use_locs, NUM_LOCS};
+use mtvp_isa::Program;
+
+/// Liveness fixpoint: one set of live locations per block boundary.
+pub struct Liveness {
+    /// Locations live on entry to each block.
+    pub live_in: Vec<BitSet>,
+    /// Locations live on exit from each block.
+    pub live_out: Vec<BitSet>,
+    /// Solver transfer evaluations until the fixpoint.
+    pub iterations: usize,
+}
+
+/// Compute register liveness for `program` over its `cfg`.
+pub fn compute(program: &Program, cfg: &Cfg) -> Liveness {
+    let nb = cfg.blocks.len();
+    let mut gen: Vec<BitSet> = (0..nb).map(|_| BitSet::new(NUM_LOCS)).collect();
+    let mut kill: Vec<BitSet> = (0..nb).map(|_| BitSet::new(NUM_LOCS)).collect();
+
+    for (b, (g, k)) in gen.iter_mut().zip(kill.iter_mut()).enumerate() {
+        // Upward-exposed uses: reads not preceded by a def in this block.
+        for pc in cfg.blocks[b].pcs() {
+            let inst = &program.code[pc as usize];
+            for u in use_locs(inst) {
+                if !k.contains(u.index()) {
+                    g.insert(u.index());
+                }
+            }
+            if let Some(d) = def_loc(inst) {
+                k.insert(d.index());
+            }
+        }
+    }
+
+    let sol = solve(
+        cfg,
+        &GenKill {
+            direction: Direction::Backward,
+            meet: Meet::Union,
+            bits: NUM_LOCS,
+            gen,
+            kill,
+            boundary: BitSet::full(NUM_LOCS),
+        },
+    );
+    Liveness {
+        live_in: sol.out,
+        live_out: sol.meet,
+        iterations: sol.iterations,
+    }
+}
+
+/// Dead pure stores: instructions whose defined register is overwritten
+/// before any read on every path. Loads, stores, and control instructions
+/// are never reported (they have side effects beyond the register write).
+pub fn dead_defs(program: &Program, cfg: &Cfg, live: &Liveness) -> Vec<u32> {
+    let mut dead = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        let mut live_now = live.live_out[b].clone();
+        for pc in block.pcs().rev() {
+            let inst = &program.code[pc as usize];
+            if let Some(d) = def_loc(inst) {
+                let was_live = live_now.contains(d.index());
+                live_now.remove(d.index());
+                if !was_live && !inst.is_load() && !inst.is_store() && !inst.is_control() {
+                    dead.push(pc);
+                }
+            }
+            for u in use_locs(inst) {
+                live_now.insert(u.index());
+            }
+        }
+    }
+    dead.sort_unstable();
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn loop_carried_register_is_live_at_header() {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg(1), Reg(2));
+        b.li(i, 0);
+        b.li(n, 8);
+        let top = b.here_label();
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let live = compute(&p, &cfg);
+        let header = cfg.block_of[2] as usize;
+        assert!(live.live_in[header].contains(Loc::Int(1).index()));
+        assert!(live.live_in[header].contains(Loc::Int(2).index()));
+        // Boundary is full: everything is live out of the exit block.
+        let exit = cfg.block_of[p.code.len() - 1] as usize;
+        assert_eq!(live.live_out[exit].count(), NUM_LOCS);
+    }
+
+    #[test]
+    fn overwritten_store_is_dead_but_final_write_is_not() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 1); // dead: overwritten before any read
+        b.li(Reg(1), 2);
+        b.addi(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let live = compute(&p, &cfg);
+        let dead = dead_defs(&p, &cfg, &live);
+        assert_eq!(dead, vec![0]);
+    }
+}

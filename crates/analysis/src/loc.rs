@@ -1,0 +1,114 @@
+//! Register locations: the 64-element domain (32 integer + 32 fp
+//! architectural registers) shared by liveness, reaching definitions and
+//! the uninitialized-use check.
+//!
+//! `r0` is hardwired to zero: [`mtvp_isa::Inst::def`] never reports it as
+//! a destination and [`mtvp_isa::Inst::uses`] elides it as a source, so
+//! its location index simply never appears in def/use sets.
+
+use mtvp_isa::{Def, Inst};
+
+/// Size of the location domain: 32 integer + 32 floating-point registers.
+pub const NUM_LOCS: usize = 64;
+
+/// One architectural register, as a dataflow location.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Loc {
+    /// Integer register `r<n>`.
+    Int(u8),
+    /// Floating-point register `f<n>`.
+    Fp(u8),
+}
+
+impl Loc {
+    /// Dense index in `0..NUM_LOCS`: integer registers first, then fp.
+    pub fn index(self) -> usize {
+        match self {
+            Loc::Int(r) => r as usize,
+            Loc::Fp(f) => 32 + f as usize,
+        }
+    }
+
+    /// Inverse of [`Loc::index`].
+    pub fn from_index(i: usize) -> Loc {
+        debug_assert!(i < NUM_LOCS);
+        if i < 32 {
+            Loc::Int(i as u8)
+        } else {
+            Loc::Fp((i - 32) as u8)
+        }
+    }
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Loc::Int(r) => write!(f, "r{r}"),
+            Loc::Fp(r) => write!(f, "f{r}"),
+        }
+    }
+}
+
+/// The location an instruction defines, if any.
+pub fn def_loc(inst: &Inst) -> Option<Loc> {
+    match inst.def() {
+        Def::None => None,
+        Def::Int(r) => Some(Loc::Int(r.0)),
+        Def::Fp(f) => Some(Loc::Fp(f.0)),
+    }
+}
+
+/// The locations an instruction reads (source registers; `Fmadd` includes
+/// its destination, which it reads as an accumulator).
+pub fn use_locs(inst: &Inst) -> impl Iterator<Item = Loc> {
+    let u = inst.uses();
+    u.int
+        .into_iter()
+        .flatten()
+        .map(|r| Loc::Int(r.0))
+        .chain(u.fp.into_iter().flatten().map(|f| Loc::Fp(f.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::Op;
+
+    fn inst(op: Op, rd: u8, rs1: u8, rs2: u8) -> Inst {
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..NUM_LOCS {
+            assert_eq!(Loc::from_index(i).index(), i);
+        }
+        assert_eq!(Loc::Int(5).to_string(), "r5");
+        assert_eq!(Loc::Fp(3).to_string(), "f3");
+        assert_eq!(Loc::Fp(0).index(), 32);
+    }
+
+    #[test]
+    fn defs_and_uses_map_to_locs() {
+        let add = inst(Op::Add, 3, 1, 2);
+        assert_eq!(def_loc(&add), Some(Loc::Int(3)));
+        assert_eq!(
+            use_locs(&add).collect::<Vec<_>>(),
+            vec![Loc::Int(1), Loc::Int(2)]
+        );
+        // r0 never appears as a location.
+        let zd = inst(Op::Add, 0, 0, 2);
+        assert_eq!(def_loc(&zd), None);
+        assert_eq!(use_locs(&zd).collect::<Vec<_>>(), vec![Loc::Int(2)]);
+        // Fmadd reads its fp destination.
+        let fma = inst(Op::Fmadd, 4, 1, 2);
+        assert_eq!(def_loc(&fma), Some(Loc::Fp(4)));
+        assert!(use_locs(&fma).any(|l| l == Loc::Fp(4)));
+    }
+}

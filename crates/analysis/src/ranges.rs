@@ -1,0 +1,286 @@
+//! Best-effort static address-range analysis for loads and stores.
+//!
+//! An abstract interpretation over the 32 integer registers with an
+//! interval domain. The transfer functions cover the arithmetic the
+//! workload builders actually use to form addresses (`li`, `addi`, `add`,
+//! `sub`, shifts, `andi` masking); everything else conservatively goes to
+//! `Top`. Intervals are widened to `Top` once a register keeps changing
+//! at a join, so the fixpoint terminates quickly regardless of loop
+//! structure.
+//!
+//! The program builder's `reserve()` allocates arena space without
+//! creating a data segment, so the analysis cannot know the true top of
+//! data memory. It therefore only reports accesses **provably below**
+//! [`DATA_BASE`] (where no data ever lives) and provably unaligned
+//! accesses — both as warnings — and counts how many memory operations
+//! have a bounded address interval at all.
+
+use crate::cfg::Cfg;
+use mtvp_isa::{Op, Program, DATA_BASE};
+
+/// Abstract value of one integer register.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AbsVal {
+    /// Unreached (bottom).
+    Bot,
+    /// All concrete values in `[lo, hi]` (i128 to make arithmetic safe).
+    Range(i128, i128),
+    /// Unknown (top).
+    Top,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Bot, x) | (x, AbsVal::Bot) => x,
+            (AbsVal::Top, _) | (_, AbsVal::Top) => AbsVal::Top,
+            (AbsVal::Range(a, b), AbsVal::Range(c, d)) => AbsVal::Range(a.min(c), b.max(d)),
+        }
+    }
+
+    fn add(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Range(a, b), AbsVal::Range(c, d)) => AbsVal::Range(a + c, b + d),
+            _ => AbsVal::Top,
+        }
+    }
+
+    fn sub(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Range(a, b), AbsVal::Range(c, d)) => AbsVal::Range(a - d, b - c),
+            _ => AbsVal::Top,
+        }
+    }
+
+    fn const_(v: i128) -> AbsVal {
+        AbsVal::Range(v, v)
+    }
+}
+
+/// One load or store with the statically inferred address interval.
+#[derive(Clone, Debug)]
+pub struct MemAccess {
+    /// The memory instruction.
+    pub pc: u32,
+    /// Whether it writes memory.
+    pub store: bool,
+    /// Inferred address interval, if bounded.
+    pub range: Option<(i128, i128)>,
+}
+
+/// Per-program summary of the address analysis.
+pub struct AddrRanges {
+    /// One entry per reachable load/store, in pc order.
+    pub accesses: Vec<MemAccess>,
+}
+
+impl AddrRanges {
+    /// Memory operations with a bounded (non-Top) address interval.
+    pub fn bounded(&self) -> usize {
+        self.accesses.iter().filter(|a| a.range.is_some()).count()
+    }
+
+    /// Accesses provably entirely below the data segment base.
+    pub fn below_data_base(&self) -> impl Iterator<Item = &MemAccess> {
+        self.accesses
+            .iter()
+            .filter(|a| matches!(a.range, Some((lo, hi)) if lo >= 0 && hi < DATA_BASE as i128))
+    }
+
+    /// Accesses with a provably unaligned singleton address.
+    pub fn unaligned(&self) -> impl Iterator<Item = &MemAccess> {
+        self.accesses
+            .iter()
+            .filter(|a| matches!(a.range, Some((lo, hi)) if lo == hi && lo % 8 != 0))
+    }
+}
+
+const NUM_INT: usize = 32;
+/// Block visits before changing registers are widened to Top at joins.
+const WIDEN_AFTER: u32 = 2;
+
+fn transfer(inst: &mtvp_isa::Inst, regs: &mut [AbsVal; NUM_INT]) {
+    let rs1 = regs[inst.rs1 as usize];
+    let rs2 = regs[inst.rs2 as usize];
+    let imm = inst.imm as i128;
+    let v = match inst.op {
+        Op::Li => AbsVal::const_(imm),
+        Op::Addi => rs1.add(AbsVal::const_(imm)),
+        Op::Add => rs1.add(rs2),
+        Op::Sub => rs1.sub(rs2),
+        Op::Andi if inst.imm >= 0 => {
+            // Masking with a non-negative imm bounds the result to
+            // [0, imm] regardless of the input (sound even for Top).
+            AbsVal::Range(0, imm)
+        }
+        Op::Slli => match rs1 {
+            AbsVal::Range(lo, hi) if lo >= 0 && (0..64).contains(&inst.imm) => {
+                AbsVal::Range(lo << inst.imm, hi << inst.imm)
+            }
+            _ => AbsVal::Top,
+        },
+        Op::Srli | Op::Srai => match rs1 {
+            AbsVal::Range(lo, hi) if lo >= 0 && (0..64).contains(&inst.imm) => {
+                AbsVal::Range(lo >> inst.imm, hi >> inst.imm)
+            }
+            _ => AbsVal::Top,
+        },
+        Op::Slt | Op::Sltu | Op::Slti | Op::Fclt | Op::Fcle | Op::Fceq => AbsVal::Range(0, 1),
+        _ => AbsVal::Top,
+    };
+    // Only update when the op actually defines an integer register.
+    if let mtvp_isa::Def::Int(r) = inst.def() {
+        regs[r.0 as usize] = v;
+    }
+}
+
+/// Run the interval analysis and classify every reachable memory access.
+pub fn analyze(program: &Program, cfg: &Cfg) -> AddrRanges {
+    let nb = cfg.blocks.len();
+    // Entry state: the interpreter zeroes all registers at thread start.
+    let zeroed = [AbsVal::const_(0); NUM_INT];
+    let mut state_in: Vec<Option<[AbsVal; NUM_INT]>> = vec![None; nb];
+    let mut visits = vec![0u32; nb];
+    state_in[0] = Some(zeroed);
+
+    let mut on_queue = vec![false; nb];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    on_queue[0] = true;
+
+    while let Some(b) = queue.pop_front() {
+        on_queue[b] = false;
+        let mut regs = state_in[b].expect("queued blocks have a state");
+        visits[b] += 1;
+        for pc in cfg.blocks[b].pcs() {
+            transfer(&program.code[pc as usize], &mut regs);
+        }
+        for &s in &cfg.blocks[b].succs {
+            let s = s as usize;
+            let next = match state_in[s] {
+                None => regs,
+                Some(prev) => {
+                    let mut joined = prev;
+                    for (j, r) in joined.iter_mut().zip(regs.iter()) {
+                        let merged = j.join(*r);
+                        // Widen: once this block keeps being revisited,
+                        // any register still changing at the join goes
+                        // straight to Top so the fixpoint terminates.
+                        *j = if merged != *j && visits[s] > WIDEN_AFTER {
+                            AbsVal::Top
+                        } else {
+                            merged
+                        };
+                    }
+                    joined
+                }
+            };
+            if state_in[s] != Some(next) {
+                state_in[s] = Some(next);
+                if !on_queue[s] {
+                    on_queue[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+
+    // Classify memory accesses with the final block-entry states.
+    let mut accesses = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let Some(mut regs) = state_in[b] else {
+            continue; // unreachable
+        };
+        for pc in block.pcs() {
+            let inst = &program.code[pc as usize];
+            if inst.is_load() || inst.is_store() {
+                let addr = regs[inst.rs1 as usize].add(AbsVal::const_(inst.imm as i128));
+                accesses.push(MemAccess {
+                    pc,
+                    store: inst.is_store(),
+                    range: match addr {
+                        AbsVal::Range(lo, hi) => Some((lo, hi)),
+                        _ => None,
+                    },
+                });
+            }
+            transfer(inst, &mut regs);
+        }
+    }
+    AddrRanges { accesses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn arena_masked_access_is_bounded() {
+        let mut b = ProgramBuilder::new();
+        let base = b.alloc_zeroed(64);
+        b.li(Reg(1), base as i64);
+        b.li(Reg(2), 123456789);
+        b.andi(Reg(3), Reg(2), 0x1f8); // mask to [0, 0x1f8]
+        b.add(Reg(4), Reg(1), Reg(3));
+        b.ld(Reg(5), Reg(4), 0);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let ar = analyze(&p, &cfg);
+        assert_eq!(ar.accesses.len(), 1);
+        let (lo, hi) = ar.accesses[0].range.expect("bounded");
+        assert_eq!(lo, base as i128);
+        assert_eq!(hi, base as i128 + 0x1f8);
+        assert_eq!(ar.below_data_base().count(), 0);
+        assert_eq!(ar.unaligned().count(), 0);
+    }
+
+    #[test]
+    fn below_data_base_store_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 64);
+        b.st(Reg(0), Reg(1), 0); // address 64, far below DATA_BASE
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let ar = analyze(&p, &cfg);
+        assert_eq!(ar.below_data_base().count(), 1);
+        assert!(ar.below_data_base().next().unwrap().store);
+    }
+
+    #[test]
+    fn unaligned_singleton_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let base = b.alloc_zeroed(16);
+        b.li(Reg(1), base as i64 + 4);
+        b.ld(Reg(2), Reg(1), 0);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let ar = analyze(&p, &cfg);
+        assert_eq!(ar.unaligned().count(), 1);
+    }
+
+    #[test]
+    fn loop_induction_address_widens_to_top() {
+        let mut b = ProgramBuilder::new();
+        let base = b.alloc_zeroed(1024);
+        b.li(Reg(1), base as i64);
+        b.li(Reg(2), 0);
+        b.li(Reg(3), 100);
+        let top = b.here_label();
+        b.ld(Reg(4), Reg(1), 0);
+        b.addi(Reg(1), Reg(1), 8);
+        b.addi(Reg(2), Reg(2), 1);
+        b.blt(Reg(2), Reg(3), top);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let ar = analyze(&p, &cfg);
+        // The unmasked induction address widens to Top: unbounded, but
+        // crucially never reported as below the data base.
+        assert_eq!(ar.accesses.len(), 1);
+        assert_eq!(ar.below_data_base().count(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Reaching definitions with explicit "uninitialized" pseudo-definitions,
+//! used to prove (or refute) that every register read is preceded by a
+//! write on every path.
+//!
+//! The bit domain is `NUM_LOCS` entry bits (bit `l` = "location `l` is
+//! still uninitialized") followed by one bit per real definition site in
+//! pc order. The boundary injects all 64 entry bits at the program entry;
+//! a read at `pc` of location `l` is an uninitialized use iff bit `l`
+//! still reaches `pc`.
+//!
+//! Note the interpreter zeroes all registers at thread start, so an
+//! "uninitialized read" cannot crash — but it makes the program depend on
+//! that implicit zero, which every shipped kernel is expected to avoid
+//! (and the lint enforces).
+
+use crate::bitset::BitSet;
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Direction, GenKill, Meet};
+use crate::loc::{def_loc, use_locs, Loc, NUM_LOCS};
+use mtvp_isa::Program;
+
+/// Reaching-definitions fixpoint plus the def-site table.
+pub struct Reaching {
+    /// Definition sites (pcs that define a register), in pc order.
+    /// Bit `NUM_LOCS + i` of the domain corresponds to `sites[i]`.
+    pub sites: Vec<u32>,
+    /// Defs reaching the entry of each block.
+    pub reach_in: Vec<BitSet>,
+    /// Defs reaching the exit of each block.
+    pub reach_out: Vec<BitSet>,
+    /// For each location, the set of all its def bits (entry bit + sites).
+    pub defs_of: Vec<BitSet>,
+    /// Solver transfer evaluations until the fixpoint.
+    pub iterations: usize,
+}
+
+/// One read of a register the analysis could not prove initialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UninitUse {
+    /// The reading instruction.
+    pub pc: u32,
+    /// The register read.
+    pub loc: Loc,
+}
+
+/// Compute reaching definitions for `program` over its `cfg`.
+pub fn compute(program: &Program, cfg: &Cfg) -> Reaching {
+    let nb = cfg.blocks.len();
+    let sites: Vec<u32> = (0..program.code.len() as u32)
+        .filter(|&pc| def_loc(&program.code[pc as usize]).is_some())
+        .collect();
+    let bits = NUM_LOCS + sites.len();
+
+    // Map each def site pc to its bit, and collect per-location def sets.
+    let mut bit_of_site = vec![usize::MAX; program.code.len()];
+    let mut defs_of: Vec<BitSet> = (0..NUM_LOCS).map(|_| BitSet::new(bits)).collect();
+    for (l, d) in defs_of.iter_mut().enumerate() {
+        d.insert(l); // the "uninitialized" pseudo-def
+    }
+    for (i, &pc) in sites.iter().enumerate() {
+        bit_of_site[pc as usize] = NUM_LOCS + i;
+        let loc = def_loc(&program.code[pc as usize]).expect("site defines");
+        defs_of[loc.index()].insert(NUM_LOCS + i);
+    }
+
+    let mut gen: Vec<BitSet> = (0..nb).map(|_| BitSet::new(bits)).collect();
+    let mut kill: Vec<BitSet> = (0..nb).map(|_| BitSet::new(bits)).collect();
+    for (b, (g, k)) in gen.iter_mut().zip(kill.iter_mut()).enumerate() {
+        for pc in cfg.blocks[b].pcs() {
+            if let Some(loc) = def_loc(&program.code[pc as usize]) {
+                // A later def in the block kills earlier gens of the same loc.
+                g.subtract(&defs_of[loc.index()]);
+                k.union_with(&defs_of[loc.index()]);
+                g.insert(bit_of_site[pc as usize]);
+            }
+        }
+    }
+
+    let mut boundary = BitSet::new(bits);
+    for l in 0..NUM_LOCS {
+        boundary.insert(l);
+    }
+    let sol = solve(
+        cfg,
+        &GenKill {
+            direction: Direction::Forward,
+            meet: Meet::Union,
+            bits,
+            gen,
+            kill,
+            boundary,
+        },
+    );
+    Reaching {
+        sites,
+        reach_in: sol.meet,
+        reach_out: sol.out,
+        defs_of,
+        iterations: sol.iterations,
+    }
+}
+
+/// All reads in reachable code where the "uninitialized" pseudo-def of
+/// the read location still reaches the reading instruction.
+pub fn uninit_uses(program: &Program, cfg: &Cfg, reach: &Reaching) -> Vec<UninitUse> {
+    let mut found = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        // Walk the block forward, tracking which locations have been
+        // defined locally; a local def clears the entry bit.
+        let mut uninit: Vec<bool> = (0..NUM_LOCS)
+            .map(|l| reach.reach_in[b].contains(l))
+            .collect();
+        for pc in block.pcs() {
+            let inst = &program.code[pc as usize];
+            for u in use_locs(inst) {
+                if uninit[u.index()] {
+                    found.push(UninitUse { pc, loc: u });
+                }
+            }
+            if let Some(d) = def_loc(inst) {
+                uninit[d.index()] = false;
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::{FReg, ProgramBuilder, Reg};
+
+    #[test]
+    fn detects_one_path_uninitialized_read() {
+        // r2 is set only on the taken path; the join reads it regardless.
+        let mut b = ProgramBuilder::new();
+        let (skip, join) = (b.label(), b.label());
+        b.beq(Reg(1), Reg(0), skip);
+        b.li(Reg(2), 7);
+        b.j(join);
+        b.bind(skip);
+        b.bind(join);
+        b.addi(Reg(3), Reg(2), 0); // may read uninitialized r2
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let reach = compute(&p, &cfg);
+        let uses = uninit_uses(&p, &cfg, &reach);
+        assert_eq!(uses.len(), 2, "r1 at the branch and r2 at the join");
+        assert!(uses.iter().any(|u| u.loc == Loc::Int(2)));
+        assert!(uses.iter().any(|u| u.loc == Loc::Int(1)));
+    }
+
+    #[test]
+    fn fully_initialized_program_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 3);
+        b.li(Reg(2), 4);
+        b.add(Reg(3), Reg(1), Reg(2));
+        b.icvtf(FReg(1), Reg(3));
+        b.fadd(FReg(2), FReg(1), FReg(1));
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let reach = compute(&p, &cfg);
+        assert!(uninit_uses(&p, &cfg, &reach).is_empty());
+        // All four defs are sites plus the icvtf/fadd ones.
+        assert_eq!(reach.sites.len(), 5);
+    }
+
+    #[test]
+    fn loop_carried_def_reaches_header() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 0);
+        b.li(Reg(2), 4);
+        let top = b.here_label();
+        b.addi(Reg(1), Reg(1), 1);
+        b.blt(Reg(1), Reg(2), top);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let reach = compute(&p, &cfg);
+        assert!(uninit_uses(&p, &cfg, &reach).is_empty());
+        let header = cfg.block_of[2] as usize;
+        // Both the preamble li and the loop addi of r1 reach the header.
+        let r1_defs: Vec<usize> = reach.defs_of[1]
+            .iter()
+            .filter(|&bit| bit >= NUM_LOCS && reach.reach_in[header].contains(bit))
+            .collect();
+        assert_eq!(r1_defs.len(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests of the dataflow solver over the random-program
+//! generator: convergence in bounded work, soundness of the uninitialized
+//! -read analysis, and liveness over-approximation of observed reads.
+
+use mtvp_analysis::{lint_program, validate_against_interp, Cfg};
+use mtvp_workloads::synth::{random_program, SynthParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn solver_converges_in_bounded_work(seed: u64, iters in 1u64..50, ops in 5usize..50) {
+        let p = random_program(seed, SynthParams {
+            iterations: iters,
+            body_ops: ops,
+            arena_words_log2: 8,
+        });
+        let report = lint_program(&p);
+        // A worklist pass over a reducible CFG converges in O(blocks^2)
+        // transfer evaluations per analysis; allow generous slack but
+        // fail on divergence-shaped blowups.
+        let cfg = Cfg::build(&p);
+        let bound = 8 * (cfg.blocks.len() + 1) * (cfg.blocks.len() + 1) + 64;
+        prop_assert!(
+            report.solver_iterations <= bound,
+            "synth-{}: {} transfer evaluations for {} blocks",
+            seed, report.solver_iterations, cfg.blocks.len()
+        );
+    }
+
+    #[test]
+    fn generated_programs_are_statically_clean(seed: u64, ops in 5usize..45) {
+        let p = random_program(seed, SynthParams {
+            iterations: 20,
+            body_ops: ops,
+            arena_words_log2: 9,
+        });
+        let report = lint_program(&p);
+        prop_assert!(report.errors() == 0, "synth-{}: {:?}", seed, report.diags);
+    }
+
+    #[test]
+    fn static_analyses_cover_dynamic_behaviour(seed: u64, iters in 1u64..30) {
+        // The core soundness property: run the interpreter and check that
+        // every dynamic read-before-write was statically flagged and every
+        // observed upward-exposed read is in the static live-in set.
+        let p = random_program(seed, SynthParams {
+            iterations: iters,
+            body_ops: 25,
+            arena_words_log2: 9,
+        });
+        let report = validate_against_interp(&p, 1_000_000);
+        prop_assert!(report.is_ok(), "synth-{}: {}", seed, report.unwrap_err());
+        prop_assert!(report.unwrap().halted, "synth-{} did not halt", seed);
+    }
+}

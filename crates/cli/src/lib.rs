@@ -8,9 +8,9 @@
 #![warn(missing_docs)]
 
 use mtvp_engine::{
-    builtin, builtin_scenarios, chrome_trace, pipeview, render_speedup_table, run_program,
-    run_program_traced, suite, CacheMode, Engine, EngineOptions, Mode, PredictorKind, RunReport,
-    Scale, Scenario, SelectorKind, SimConfig, TraceOptions,
+    builtin, builtin_scenarios, chrome_trace, lint_program_cached, pipeview, render_speedup_table,
+    run_program, run_program_traced, suite, Cache, CacheMode, Engine, EngineOptions, Mode,
+    PredictorKind, RunReport, Scale, Scenario, SelectorKind, SimConfig, TraceOptions,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -82,6 +82,29 @@ pub enum Command {
         bench: String,
         /// Maximum instructions to print.
         limit: usize,
+    },
+    /// `lint [--all | <bench>...]` — static dataflow/lint analysis over
+    /// kernel programs, or (`--source`) the hot-path source lint.
+    Lint {
+        /// Benchmark names to lint (registry names, `matmul`,
+        /// `histogram`, `string-search`, or `synth-<seed>`).
+        benches: Vec<String>,
+        /// `--all` — lint every registry workload plus the standalone
+        /// kernels and a few synth seeds.
+        all: bool,
+        /// Build scale for registry workloads.
+        scale: Scale,
+        /// Emit JSON instead of text.
+        json: bool,
+        /// `--source` — run the hot-path source lint over
+        /// `crates/pipeline/src` instead of analyzing programs.
+        source: bool,
+        /// `--no-cache` — ignore and don't write the lint cache.
+        no_cache: bool,
+        /// `--cache-dir DIR` override.
+        cache_dir: Option<String>,
+        /// `--root DIR` — repository root for `--source` (default `.`).
+        root: Option<String>,
     },
     /// `exp <subcommand>` — the cached, resumable experiment engine.
     Exp(ExpCmd),
@@ -619,6 +642,187 @@ fn execute_exp(cmd: ExpCmd) -> Result<String, ParseArgsError> {
     Ok(out)
 }
 
+/// Resolve a lint target: a registry workload (built at `scale`), one of
+/// the standalone kernels, or a `synth-<seed>` random program.
+fn lint_build(name: &str, scale: Scale) -> Result<mtvp_isa::Program, ParseArgsError> {
+    if let Some(w) = suite().into_iter().find(|w| w.name == name) {
+        return Ok(w.build(scale));
+    }
+    match name {
+        "matmul" => Ok(mtvp_workloads::kernels::matmul(6)),
+        "histogram" => {
+            let bytes: Vec<u8> = (0..256u32)
+                .map(|i| (i.wrapping_mul(31) % 251) as u8)
+                .collect();
+            Ok(mtvp_workloads::kernels::histogram(&bytes))
+        }
+        "string-search" => Ok(mtvp_workloads::kernels::string_search(
+            b"the quick brown fox jumps over the lazy dog; the fox won",
+            b"fox",
+        )),
+        _ => name
+            .strip_prefix("synth-")
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(|seed| {
+                mtvp_workloads::synth::random_program(
+                    seed,
+                    mtvp_workloads::synth::SynthParams::default(),
+                )
+            })
+            .ok_or_else(|| {
+                ParseArgsError(format!(
+                    "unknown lint target `{name}`; use a registry benchmark (see \
+                     `mtvp-sim list`), matmul, histogram, string-search, or synth-<seed>"
+                ))
+            }),
+    }
+}
+
+/// The `lint --all` target set: every registry workload plus the
+/// standalone kernels and a handful of synth-generator seeds.
+fn lint_all_targets() -> Vec<String> {
+    let mut names: Vec<String> = suite().into_iter().map(|w| w.name.to_string()).collect();
+    names.extend(["matmul", "histogram", "string-search"].map(str::to_string));
+    names.extend((1..=4).map(|s| format!("synth-{s}")));
+    names
+}
+
+/// `lint --source`: the hot-path source lint over `crates/pipeline/src`.
+fn execute_source_lint(root: Option<&str>, json: bool) -> Result<String, ParseArgsError> {
+    let root = std::path::Path::new(root.unwrap_or("."));
+    let (files, diags) = mtvp_analysis::scan_pipeline(root)
+        .map_err(|e| ParseArgsError(format!("source lint failed under {}: {e}", root.display())))?;
+    if files == 0 {
+        return Err(ParseArgsError(format!(
+            "source lint found no .rs files under {}/crates/pipeline/src \
+             (pass --root REPO_DIR when running outside the repository root)",
+            root.display()
+        )));
+    }
+    if diags.is_empty() {
+        let out = if json {
+            format!(
+                "{}\n",
+                serde_json::json!({ "files": files as u64, "findings": Vec::<u64>::new() })
+            )
+        } else {
+            format!("hot-path source lint: {files} pipeline files clean\n")
+        };
+        return Ok(out);
+    }
+    let mut msg = format!("hot-path source lint: {} finding(s):\n", diags.len());
+    for d in &diags {
+        let _ = writeln!(
+            msg,
+            "  {}:{}: `{}` — {}",
+            d.file.display(),
+            d.line,
+            d.pattern,
+            d.message
+        );
+    }
+    msg.push_str("(annotate a deliberate use with `// hotlint: allow` to accept it)");
+    Err(ParseArgsError(msg))
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the Command::Lint flag set one-for-one
+fn execute_lint(
+    benches: Vec<String>,
+    all: bool,
+    scale: Scale,
+    json: bool,
+    source: bool,
+    no_cache: bool,
+    cache_dir: Option<String>,
+    root: Option<String>,
+) -> Result<String, ParseArgsError> {
+    if source {
+        return execute_source_lint(root.as_deref(), json);
+    }
+    let names = if all { lint_all_targets() } else { benches };
+    let cache = (!no_cache).then(|| {
+        Cache::new(
+            cache_dir
+                .map(PathBuf::from)
+                .unwrap_or_else(Cache::default_dir),
+        )
+    });
+    let mut outcomes = Vec::with_capacity(names.len());
+    for name in &names {
+        let program = lint_build(name, scale)?;
+        outcomes.push(lint_program_cached(cache.as_ref(), name, scale, &program));
+    }
+    let total_errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let total_warnings: usize = outcomes.iter().map(|o| o.warnings).sum();
+    let mut out = String::new();
+    if json {
+        let programs: Vec<serde_json::Value> = outcomes
+            .iter()
+            .map(|o| {
+                serde_json::json!({
+                    "bench": o.bench.as_str(),
+                    "errors": o.errors as u64,
+                    "warnings": o.warnings as u64,
+                    "from_cache": o.from_cache,
+                    "report": o.report.clone(),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "scale": format!("{scale:?}").to_lowercase(),
+            "programs": programs,
+            "total_errors": total_errors as u64,
+            "total_warnings": total_warnings as u64,
+        });
+        let _ = writeln!(out, "{doc}");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>8} {:>7} {:>6} {:>6}",
+            "bench", "errors", "warnings", "blocks", "loops", "insts"
+        );
+        for o in &outcomes {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>8} {:>7} {:>6} {:>6}{}",
+                o.bench,
+                o.errors,
+                o.warnings,
+                o.report["blocks"].as_u64().unwrap_or(0),
+                o.report["loops"].as_u64().unwrap_or(0),
+                o.report["insts"].as_u64().unwrap_or(0),
+                if o.from_cache { "  (cached)" } else { "" }
+            );
+        }
+        for o in &outcomes {
+            if let Some(diags) = o.report["diags"].as_array() {
+                for d in diags {
+                    let sev = d["severity"].as_str().unwrap_or("?");
+                    if sev == "info" {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "  {sev}[{}] {}: {}",
+                        d["rule"].as_str().unwrap_or("?"),
+                        o.bench,
+                        d["message"].as_str().unwrap_or("")
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "total: {total_errors} error(s), {total_warnings} warning(s) across {} program(s)",
+            outcomes.len()
+        );
+    }
+    if total_errors > 0 {
+        return Err(ParseArgsError(out));
+    }
+    Ok(out)
+}
+
 impl Command {
     /// Parse an argv tail (without the program name).
     pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
@@ -688,6 +892,38 @@ impl Command {
                 };
                 Ok(Command::Disasm { bench, limit })
             }
+            "lint" => {
+                let all = rest.contains(&"--all");
+                let source = rest.contains(&"--source");
+                let scale = parse_scale(get_flag(&rest, "--scale")?.unwrap_or("tiny"))?;
+                let cache_dir = get_flag(&rest, "--cache-dir")?.map(str::to_string);
+                let root = get_flag(&rest, "--root")?.map(str::to_string);
+                let benches: Vec<String> = rest
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, a)| {
+                        !a.starts_with("--")
+                            && (*i == 0
+                                || !matches!(rest[i - 1], "--scale" | "--cache-dir" | "--root"))
+                    })
+                    .map(|(_, a)| a.to_string())
+                    .collect();
+                if !all && !source && benches.is_empty() {
+                    return Err(ParseArgsError(
+                        "lint requires benchmark names, --all, or --source".into(),
+                    ));
+                }
+                Ok(Command::Lint {
+                    benches,
+                    all,
+                    scale,
+                    json: rest.contains(&"--json"),
+                    source,
+                    no_cache: rest.contains(&"--no-cache"),
+                    cache_dir,
+                    root,
+                })
+            }
             "exp" => parse_exp(&rest),
             other => Err(ParseArgsError(format!(
                 "unknown command `{other}`; try `help`"
@@ -703,6 +939,16 @@ impl Command {
         let mut out = String::new();
         match self {
             Command::Exp(cmd) => return execute_exp(cmd),
+            Command::Lint {
+                benches,
+                all,
+                scale,
+                json,
+                source,
+                no_cache,
+                cache_dir,
+                root,
+            } => return execute_lint(benches, all, scale, json, source, no_cache, cache_dir, root),
             Command::Help => out.push_str(HELP),
             Command::List => {
                 let _ = writeln!(out, "{:<10} {:<6} description", "name", "suite");
@@ -915,6 +1161,9 @@ USAGE:
   mtvp-sim trace <bench> [run options] [--rows N] [--trace-out FILE]
   mtvp-sim compare <bench> [--scale tiny|small|full]
   mtvp-sim disasm <bench> [--limit N]
+  mtvp-sim lint [--all | <bench>...] [--scale tiny|small|full] [--json]
+                [--no-cache] [--cache-dir DIR]
+  mtvp-sim lint --source [--root REPO_DIR] [--json]
   mtvp-sim exp list
   mtvp-sim exp run <scenario> [--scale S] [--benches a,b,c] [--jobs N]
                               [--shard i/n] [--no-cache] [--cache-dir DIR]
@@ -933,6 +1182,17 @@ EXPERIMENTS:
   $MTVP_CACHE_DIR, or --cache-dir), so re-runs are incremental and an
   interrupted sweep resumes from its completed cells. --shard i/n splits
   a sweep deterministically across machines sharing a cache directory.
+
+LINT:
+  `lint` runs the static dataflow analysis (CFG, liveness, reaching
+  definitions, address ranges) over kernel programs and reports
+  uninitialized reads, bad branch targets, dead stores, unreachable code
+  and loop-termination smells. Targets are registry benchmarks plus
+  matmul, histogram, string-search and synth-<seed>; --all lints the
+  whole shipped set (the CI gate requires zero errors). Results are
+  cached like experiment cells. `lint --source` instead lints the
+  pipeline's hot-path source for denied collections/allocations; exit
+  status is 2 when any error (or source finding) is present.
 
 TRACING:
   --trace[=RING]       record uop lifecycle + MTVP thread events in a ring of
@@ -1190,6 +1450,90 @@ mod tests {
         assert_eq!(v["simulated"].as_u64(), Some(2));
         assert_eq!(v["cache_hits"].as_u64(), Some(0));
         assert!(v["sweep"]["cells"][0]["stats"]["cycles"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn parses_lint_commands() {
+        match parse(&["lint", "mcf", "gzip", "--scale", "tiny", "--json"]).unwrap() {
+            Command::Lint {
+                benches,
+                all,
+                scale,
+                json,
+                source,
+                no_cache,
+                ..
+            } => {
+                assert_eq!(benches, vec!["mcf".to_string(), "gzip".to_string()]);
+                assert!(!all);
+                assert_eq!(scale, Scale::Tiny);
+                assert!(json);
+                assert!(!source);
+                assert!(!no_cache);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["lint", "--all", "--no-cache"]).unwrap() {
+            Command::Lint {
+                benches,
+                all,
+                no_cache,
+                ..
+            } => {
+                assert!(benches.is_empty());
+                assert!(all);
+                assert!(no_cache);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["lint", "--source", "--root", "/somewhere"]).unwrap() {
+            Command::Lint { source, root, .. } => {
+                assert!(source);
+                assert_eq!(root.as_deref(), Some("/somewhere"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Flag values must not be mistaken for bench names.
+        match parse(&["lint", "--scale", "tiny", "mcf"]).unwrap() {
+            Command::Lint { benches, .. } => assert_eq!(benches, vec!["mcf".to_string()]),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["lint"]).is_err());
+        assert!(parse(&["lint", "--scale", "gigantic", "mcf"]).is_err());
+    }
+
+    #[test]
+    fn lint_executes_and_emits_valid_json() {
+        let cmd = parse(&["lint", "mcf", "matmul", "synth-3", "--json", "--no-cache"]).unwrap();
+        let out = cmd.execute().expect("shipped kernels lint clean");
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["total_errors"].as_u64(), Some(0));
+        let programs = v["programs"].as_array().unwrap();
+        assert_eq!(programs.len(), 3);
+        assert_eq!(programs[0]["bench"].as_str(), Some("mcf"));
+        assert!(programs[0]["report"]["blocks"].as_u64().unwrap() > 0);
+        // Unknown targets fail with a lint-specific message.
+        let err = parse(&["lint", "nope", "--no-cache"])
+            .unwrap()
+            .execute()
+            .unwrap_err();
+        assert!(err.0.contains("unknown lint target"), "{err}");
+    }
+
+    #[test]
+    fn lint_source_runs_against_this_repository() {
+        // The crate lives at crates/cli, so the repo root is two up.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let out = parse(&["lint", "--source", "--root", root])
+            .unwrap()
+            .execute()
+            .expect("pipeline hot paths lint clean");
+        assert!(out.contains("clean"), "{out}");
+        // A bogus root has no pipeline sources to scan.
+        assert!(parse(&["lint", "--source", "--root", "/nonexistent-mtvp"])
+            .unwrap()
+            .execute()
+            .is_err());
     }
 
     #[test]

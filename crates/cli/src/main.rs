@@ -5,11 +5,20 @@ use mtvp_cli::Command;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match Command::parse(&args).and_then(Command::execute) {
-        Ok(out) => print!("{out}"),
+    let cmd = match Command::parse(&args) {
+        Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", mtvp_cli::HELP);
+            std::process::exit(2);
+        }
+    };
+    match cmd.execute() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            // Execution failures (unknown bench, lint errors) carry their
+            // own message; the usage text would only bury it.
+            eprintln!("error: {e}");
             std::process::exit(2);
         }
     }

@@ -27,6 +27,8 @@ use std::sync::Arc;
 const CELL_MARKER: &str = "mtvp-cell-v1";
 /// Format marker (first line) for trace entries.
 const TRACE_MARKER: &str = "mtvp-trace-v1";
+/// Format marker for lint entries.
+const LINT_MARKER: &str = "mtvp-lint-v1";
 
 /// One persisted simulation result.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -49,6 +51,49 @@ pub struct CellEntry {
     pub dyn_instrs: u64,
     /// The simulation statistics.
     pub stats: PipeStats,
+}
+
+/// One persisted static-lint result, stored alongside experiment cells
+/// so `mtvp-sim lint` sweeps are as resumable as simulation sweeps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LintEntry {
+    /// File-format marker ([`LINT_MARKER`]).
+    pub format: String,
+    /// Simulator version tag ([`SIM_VERSION`]) at write time.
+    pub version: String,
+    /// Canonical descriptor the key was derived from.
+    pub descriptor: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Build scale tag (`tiny`/`small`/`full`).
+    pub scale: String,
+    /// Error-severity diagnostic count.
+    pub errors: usize,
+    /// Warning-severity diagnostic count.
+    pub warnings: usize,
+    /// The full [`mtvp_analysis::LintReport`] as JSON.
+    pub report: serde_json::Value,
+}
+
+impl LintEntry {
+    /// Build a well-formed entry for `descriptor` from a lint report.
+    pub fn new(
+        descriptor: &str,
+        bench: &str,
+        scale: &str,
+        report: &mtvp_analysis::LintReport,
+    ) -> LintEntry {
+        LintEntry {
+            format: LINT_MARKER.to_string(),
+            version: SIM_VERSION.to_string(),
+            descriptor: descriptor.to_string(),
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            errors: report.errors(),
+            warnings: report.warnings(),
+            report: report.to_value(),
+        }
+    }
 }
 
 /// Handle to a cache directory.
@@ -85,6 +130,10 @@ impl Cache {
         self.dir.join(format!("{key}.trace"))
     }
 
+    fn lint_path(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!("{key}.lint.json"))
+    }
+
     /// Whether a cell entry exists for `key` (no verification).
     pub fn has_cell(&self, key: &JobKey) -> bool {
         self.cell_path(key).is_file()
@@ -107,6 +156,24 @@ impl Cache {
         let text = serde_json::to_string_pretty(entry)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
         self.write_atomic(&self.cell_path(key), text.as_bytes())
+    }
+
+    /// Load and verify the lint entry for `key`. `None` means "lint it
+    /// again" (miss, corrupt entry, or stale descriptor).
+    pub fn load_lint(&self, key: &JobKey, descriptor: &str) -> Option<LintEntry> {
+        let text = std::fs::read_to_string(self.lint_path(key)).ok()?;
+        let entry: LintEntry = serde_json::from_str(&text).ok()?;
+        (entry.format == LINT_MARKER
+            && entry.version == SIM_VERSION
+            && entry.descriptor == descriptor)
+            .then_some(entry)
+    }
+
+    /// Persist a lint entry atomically (temp file + rename).
+    pub fn store_lint(&self, key: &JobKey, entry: &LintEntry) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        self.write_atomic(&self.lint_path(key), text.as_bytes())
     }
 
     /// Load the reference trace for `key`, verifying the stored
@@ -226,6 +293,28 @@ mod tests {
         // A different descriptor for the same file is rejected.
         let other = cell_descriptor("mesa", &cfg, Scale::Tiny);
         assert!(cache.load_cell(&key, &other).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_round_trip_and_descriptor_guard() {
+        let dir = scratch();
+        let cache = Cache::new(&dir);
+        let desc = crate::key::lint_descriptor("mcf", Scale::Tiny);
+        let key = key_of(&desc);
+        assert!(cache.load_lint(&key, &desc).is_none());
+        let mut b = mtvp_isa::ProgramBuilder::new();
+        b.li(mtvp_isa::Reg(1), 1);
+        b.halt();
+        let report = mtvp_analysis::lint_program(&b.build());
+        let entry = LintEntry::new(&desc, "mcf", "tiny", &report);
+        cache.store_lint(&key, &entry).unwrap();
+        let back = cache.load_lint(&key, &desc).expect("hit");
+        assert_eq!(back, entry);
+        assert_eq!(back.errors, 0);
+        // A different descriptor for the same file is rejected.
+        let other = crate::key::lint_descriptor("mesa", Scale::Tiny);
+        assert!(cache.load_lint(&key, &other).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

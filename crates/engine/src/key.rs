@@ -14,7 +14,7 @@ use mtvp_workloads::Scale;
 /// Bump this whenever a change alters simulated statistics (pipeline
 /// semantics, memory timing, predictor behaviour, workload generation) so
 /// stale cache entries can never be served for the new simulator.
-pub const SIM_VERSION: &str = "mtvp-sim-v1";
+pub const SIM_VERSION: &str = "mtvp-sim-v2";
 
 /// A stable 128-bit content hash identifying one job, as 32 hex digits.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +87,18 @@ pub fn trace_descriptor(bench: &str, scale: Scale) -> String {
     format!("{SIM_VERSION}|trace|{bench}|{}", scale_tag(scale))
 }
 
+/// Canonical descriptor of one static-lint result (benchmark × scale).
+/// Includes both the simulator version (workload generation feeds the
+/// linted program) and the analysis version (rule changes invalidate
+/// cached reports).
+pub fn lint_descriptor(bench: &str, scale: Scale) -> String {
+    format!(
+        "{SIM_VERSION}|lint|{}|{bench}|{}",
+        mtvp_analysis::ANALYSIS_VERSION,
+        scale_tag(scale)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +117,9 @@ mod tests {
         assert_ne!(a, d);
         let e = key_of(&trace_descriptor("mcf", Scale::Tiny));
         assert_ne!(a, e);
+        let f = key_of(&lint_descriptor("mcf", Scale::Tiny));
+        assert_ne!(e, f);
+        assert!(lint_descriptor("mcf", Scale::Tiny).contains(mtvp_analysis::ANALYSIS_VERSION));
     }
 
     #[test]

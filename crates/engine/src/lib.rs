@@ -47,15 +47,17 @@ pub mod builtin;
 pub mod cache;
 pub mod engine;
 pub mod key;
+pub mod lint;
 pub mod run;
 pub mod scenario;
 pub mod scheduler;
 pub mod sweep;
 
 pub use builtin::{builtin, builtin_scenarios};
-pub use cache::{Cache, CellEntry};
+pub use cache::{Cache, CellEntry, LintEntry};
 pub use engine::{render_speedup_table, CacheMode, Engine, EngineOptions, RunReport, StatusReport};
-pub use key::{cell_descriptor, key_of, trace_descriptor, JobKey, SIM_VERSION};
+pub use key::{cell_descriptor, key_of, lint_descriptor, trace_descriptor, JobKey, SIM_VERSION};
+pub use lint::{lint_program_cached, LintOutcome};
 pub use run::{
     reference_trace, run_program, run_program_traced, run_with_trace, RunResult, TraceOptions,
 };

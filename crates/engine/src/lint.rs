@@ -1,0 +1,95 @@
+//! Cached static-lint runs: the engine-side wrapper that gives
+//! `mtvp-sim lint` the same content-addressed resumability as experiment
+//! sweeps. A lint result is keyed by (simulator version × analysis
+//! version × benchmark × scale) — workload generation feeds the linted
+//! program, so either version bump invalidates the entry.
+
+use crate::cache::{Cache, LintEntry};
+use crate::key::{key_of, lint_descriptor, scale_tag};
+use mtvp_analysis::lint_program;
+use mtvp_isa::Program;
+use mtvp_workloads::Scale;
+
+/// Result of one (possibly cached) lint run.
+#[derive(Clone, Debug)]
+pub struct LintOutcome {
+    /// Benchmark name the program was built from.
+    pub bench: String,
+    /// Error-severity diagnostic count.
+    pub errors: usize,
+    /// Warning-severity diagnostic count.
+    pub warnings: usize,
+    /// Full report as JSON (see [`mtvp_analysis::LintReport::to_value`]).
+    pub report: serde_json::Value,
+    /// Whether the result came from the cache.
+    pub from_cache: bool,
+}
+
+/// Lint `program` (already built for `bench` at `scale`), consulting and
+/// populating `cache` when one is provided.
+pub fn lint_program_cached(
+    cache: Option<&Cache>,
+    bench: &str,
+    scale: Scale,
+    program: &Program,
+) -> LintOutcome {
+    let desc = lint_descriptor(bench, scale);
+    let key = key_of(&desc);
+    if let Some(c) = cache {
+        if let Some(hit) = c.load_lint(&key, &desc) {
+            return LintOutcome {
+                bench: bench.to_string(),
+                errors: hit.errors,
+                warnings: hit.warnings,
+                report: hit.report,
+                from_cache: true,
+            };
+        }
+    }
+    let report = lint_program(program);
+    let entry = LintEntry::new(&desc, bench, scale_tag(scale), &report);
+    if let Some(c) = cache {
+        // Failure to persist is not failure to lint.
+        let _ = c.store_lint(&key, &entry);
+    }
+    LintOutcome {
+        bench: bench.to_string(),
+        errors: entry.errors,
+        warnings: entry.warnings,
+        report: entry.report,
+        from_cache: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    fn scratch() -> std::path::PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mtvp-lint-unit-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn second_run_is_served_from_cache() {
+        let dir = scratch();
+        let cache = Cache::new(&dir);
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 7);
+        b.halt();
+        let p = b.build();
+        let first = lint_program_cached(Some(&cache), "unit-bench", Scale::Tiny, &p);
+        assert!(!first.from_cache);
+        assert_eq!(first.errors, 0);
+        let second = lint_program_cached(Some(&cache), "unit-bench", Scale::Tiny, &p);
+        assert!(second.from_cache);
+        assert_eq!(second.errors, first.errors);
+        assert_eq!(second.report, first.report);
+        // Without a cache, every run is fresh.
+        let none = lint_program_cached(None, "unit-bench", Scale::Tiny, &p);
+        assert!(!none.from_cache);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

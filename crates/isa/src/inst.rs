@@ -192,6 +192,23 @@ pub struct Uses {
     pub fp: [Option<FReg>; 3],
 }
 
+/// Static control-flow successors of one instruction, as reported by
+/// [`Inst::successors`]. The `target` is the raw encoded absolute
+/// instruction index and is *not* validated against the text segment —
+/// consumers (the `mtvp-analysis` CFG builder) diagnose out-of-range
+/// targets instead of silently dropping them.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Successors {
+    /// Fall-through successor (`pc + 1`), when execution can continue
+    /// past this instruction and `pc + 1` is inside the text segment.
+    pub fall_through: Option<u64>,
+    /// Static branch/jump target (absolute instruction index).
+    pub target: Option<i64>,
+    /// Whether control transfers through a register (`Jr`/`Jalr`), i.e.
+    /// the successor set is not statically known.
+    pub indirect: bool,
+}
+
 /// One machine instruction.
 ///
 /// Field meaning is opcode-dependent (see [`Op`]); the [`Inst::def`] and
@@ -343,6 +360,42 @@ impl Inst {
     pub fn is_halt(&self) -> bool {
         self.op == Op::Halt
     }
+
+    /// Static control-flow successors of this instruction at `pc` in a
+    /// text segment of `code_len` instructions. `Halt` has none; falling
+    /// off the end of the text (no `fall_through`, no `target`) ends the
+    /// thread.
+    pub fn successors(&self, pc: u64, code_len: usize) -> Successors {
+        use Op::*;
+        let next = (pc + 1 < code_len as u64).then_some(pc + 1);
+        match self.op {
+            Halt => Successors {
+                fall_through: None,
+                target: None,
+                indirect: false,
+            },
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => Successors {
+                fall_through: next,
+                target: Some(self.imm),
+                indirect: false,
+            },
+            J | Jal => Successors {
+                fall_through: None,
+                target: Some(self.imm),
+                indirect: false,
+            },
+            Jr | Jalr => Successors {
+                fall_through: None,
+                target: None,
+                indirect: true,
+            },
+            _ => Successors {
+                fall_through: next,
+                target: None,
+                indirect: false,
+            },
+        }
+    }
 }
 
 impl fmt::Display for Inst {
@@ -446,6 +499,32 @@ mod tests {
         assert_eq!(inst(Op::Ld, 1, 2, 0, 16).to_string(), "ld r1, 16(r2)");
         assert_eq!(inst(Op::Beq, 0, 1, 2, 7).to_string(), "Beq r1, r2, @7");
         assert_eq!(Inst::NOP.to_string(), "nop");
+    }
+
+    #[test]
+    fn static_successors() {
+        // Plain instruction: fall-through only, clipped at end of text.
+        let s = inst(Op::Add, 1, 2, 3, 0).successors(4, 10);
+        assert_eq!(s.fall_through, Some(5));
+        assert_eq!(s.target, None);
+        assert!(!s.indirect);
+        let s = inst(Op::Add, 1, 2, 3, 0).successors(9, 10);
+        assert_eq!(s.fall_through, None);
+        // Conditional branch: both edges; target is reported raw even
+        // when it lies outside the text segment.
+        let s = inst(Op::Beq, 0, 1, 2, 7).successors(3, 10);
+        assert_eq!((s.fall_through, s.target), (Some(4), Some(7)));
+        let s = inst(Op::Beq, 0, 1, 2, 99).successors(3, 10);
+        assert_eq!(s.target, Some(99));
+        // Unconditional jump: target only.
+        let s = inst(Op::J, 0, 0, 0, 2).successors(5, 10);
+        assert_eq!((s.fall_through, s.target), (None, Some(2)));
+        // Indirect jump: statically unknown.
+        let s = inst(Op::Jr, 0, 1, 0, 0).successors(5, 10);
+        assert!(s.indirect && s.fall_through.is_none() && s.target.is_none());
+        // Halt: no successors.
+        let s = inst(Op::Halt, 0, 0, 0, 0).successors(5, 10);
+        assert!(!s.indirect && s.fall_through.is_none() && s.target.is_none());
     }
 
     #[test]

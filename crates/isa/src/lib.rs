@@ -47,7 +47,7 @@ mod reg;
 pub mod trace;
 
 pub use builder::{Label, ProgramBuilder};
-pub use inst::{Def, ExecUnit, Inst, Op, Uses};
+pub use inst::{Def, ExecUnit, Inst, Op, Successors, Uses};
 pub use program::{DataSegment, Program};
 pub use reg::{FReg, Reg};
 

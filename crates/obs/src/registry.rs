@@ -110,6 +110,16 @@ impl Registry {
         self.add(name, 1);
     }
 
+    /// Set the counter `name` to an absolute value, creating it if
+    /// absent. Useful for exporting already-aggregated totals (e.g. lint
+    /// summaries) where `add` semantics would double-count.
+    pub fn set(&mut self, name: &str, v: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, c)) => *c = v,
+            None => self.counters.push((name.to_string(), v)),
+        }
+    }
+
     /// Current value of the counter `name` (0 if never bumped).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -186,6 +196,10 @@ mod tests {
         r.observe("queue.rob", 3);
         assert_eq!(r.counter("events.fetch"), 3);
         assert_eq!(r.counter("missing"), 0);
+        r.set("events.fetch", 11);
+        r.set("gauge.new", 5);
+        assert_eq!(r.counter("events.fetch"), 11);
+        assert_eq!(r.counter("gauge.new"), 5);
         let h = r.histogram("queue.rob").expect("histogram exists");
         assert_eq!(h.count, 2);
         assert!(r.histogram("missing").is_none());

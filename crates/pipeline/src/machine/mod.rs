@@ -396,6 +396,12 @@ impl<'p, T: Tracer> Machine<'p, T> {
             }
         }
         self.finalize_stats();
+        // A finished machine must account for every physical register:
+        // each is either free or referenced by a surviving rename map.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_regfile() {
+            panic!("post-run register-file check failed: {e}");
+        }
         self.stats.clone()
     }
 
@@ -532,6 +538,10 @@ impl<'p, T: Tracer> Machine<'p, T> {
                 self.tracer.record(at, Event::MemFill { line });
             }
         }
+        #[cfg(debug_assertions)]
+        if self.now.is_multiple_of(64) {
+            self.assert_invariants();
+        }
         self.now += 1;
         let active = self
             .ctxs
@@ -539,6 +549,34 @@ impl<'p, T: Tracer> Machine<'p, T> {
             .filter(|c| c.state != CtxState::Free)
             .count();
         self.stats.peak_contexts = self.stats.peak_contexts.max(active);
+    }
+
+    /// Cycle-level invariant sweep, compiled only under debug assertions
+    /// (sampled every 64 cycles from [`Machine::cycle`]). Catches
+    /// bookkeeping corruption near the cycle it happens instead of at the
+    /// end-of-run differential check.
+    #[cfg(debug_assertions)]
+    fn assert_invariants(&self) {
+        for (i, c) in self.ctxs.iter().enumerate() {
+            if c.state == CtxState::Free {
+                continue;
+            }
+            let mut prev: Option<u64> = None;
+            for &uid in c.rob.iter() {
+                let seq = self.uops.get(uid).seq;
+                if let Some(p) = prev {
+                    assert!(
+                        seq > p,
+                        "cycle {}: ctx{i} ROB out of order (seq {seq} after {p})",
+                        self.now
+                    );
+                }
+                prev = Some(seq);
+            }
+        }
+        if let Err(e) = self.rf.check_consistency() {
+            panic!("cycle {}: physical register file corrupt: {e}", self.now);
+        }
     }
 
     fn finalize_stats(&mut self) {

@@ -32,7 +32,7 @@ pub fn matmul(n: u64) -> Program {
     b.li(rj, 0);
     let lj = b.here_label();
     b.li(rk, 0);
-    b.fsub(facc, facc, facc); // facc = 0
+    b.icvtf(facc, Reg(0)); // facc = 0.0 without reading facc
     let lk = b.here_label();
     // fa = A[i*n+k]
     b.mul(t1, ri, rn);
@@ -120,8 +120,6 @@ pub fn string_search(haystack: &[u8], needle: &[u8]) -> Program {
     b.li(rj, 0);
     let inner = b.label();
     let mismatch = b.label();
-    let matched = b.label();
-    let next = b.label();
     b.bind(inner);
     // t1 = haystack[i + j]
     b.add(t1, ri, rj);
@@ -135,12 +133,8 @@ pub fn string_search(haystack: &[u8], needle: &[u8]) -> Program {
     b.bne(t1, t2, mismatch);
     b.addi(rj, rj, 1);
     b.blt(rj, nl, inner);
-    b.j(matched);
-    b.bind(matched);
     b.addi(cnt, cnt, 1);
     b.bind(mismatch);
-    b.j(next);
-    b.bind(next);
     b.addi(ri, ri, 1);
     b.blt(ri, hl, outer);
     b.halt();

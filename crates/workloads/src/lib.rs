@@ -42,7 +42,7 @@ pub mod synth;
 mod walk;
 
 pub use registry::{suite, Suite, Workload};
-pub use walk::{ClassPattern, WalkParams};
+pub use walk::{build_walk, BranchStyle, ClassPattern, WalkParams};
 
 /// How big to build a kernel.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]

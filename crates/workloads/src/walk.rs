@@ -222,14 +222,21 @@ pub fn build_walk(name: &str, p: &WalkParams, scale: Scale) -> Program {
     b.li(rmult2, MULT2 as i64);
     b.li(ri, 0);
     b.li(rn, iters as i64);
-    b.li(rc, 0);
+    if p.addr_dep {
+        // Seed the class feedback register; without the address
+        // dependence the record load fully defines rc before any use.
+        b.li(rc, 0);
+    }
     b.li(racc, 0x1234);
+    if p.stream_words > 0 || p.fp_work > 0 {
+        // Zero the FP accumulators read by fmadd/fadd below.
+        b.icvtf(facc0, Reg(0));
+        b.icvtf(facc1, Reg(0));
+    }
 
     if p.warm_records {
         // Sequential warmup touch of the record arena (stride prefetcher
         // hides most of it), then the noise arena.
-        let end = b.here(); // placeholder to keep label creation near use
-        let _ = end;
         b.li(rt, rec_base as i64);
         b.li(rt2, (rec_base + records * 64) as i64);
         let warm = b.here_label();

@@ -1,0 +1,85 @@
+//! The linter-driven fixes in the walk template are strictly conditional:
+//! a parameter set whose behaviour was already correct (no address
+//! dependence, no FP work) emits a byte-identical program to the pre-fix
+//! generator — and identical programs trivially produce identical
+//! `PipeStats`. Affected parameter sets gain exactly the missing
+//! initializations and nothing else.
+
+use mtvp_isa::Op;
+use mtvp_workloads::{build_walk, BranchStyle, ClassPattern, Scale, WalkParams};
+
+/// The class-feedback register `rc` and the FP accumulators inside
+/// `build_walk` (fixed assignments in the template).
+const RC: u8 = 4;
+const FACC0: u8 = 1;
+const FACC1: u8 = 2;
+
+fn base_params() -> WalkParams {
+    WalkParams {
+        records_log2: 6,
+        iters: 8,
+        pattern: ClassPattern::Constant(3),
+        addr_dep: false,
+        alu_work: 2,
+        fp_work: 0,
+        stream_words: 0,
+        noise_loads: 0,
+        stores: 1,
+        branchy: BranchStyle::None,
+        scale_footprint: false,
+        stream_arena_log2: 8,
+        warm_records: false,
+    }
+}
+
+#[test]
+fn unaffected_kernels_gain_no_initialization_code() {
+    // Pure-integer, no-address-dependence kernels never read `rc` or the
+    // FP accumulators before defining them, so the fix must emit nothing:
+    // no `li rc, 0` seed and no `icvtf` accumulator zeroing anywhere.
+    let p = build_walk("plain", &base_params(), Scale::Tiny);
+    assert!(
+        !p.code.iter().any(|i| i.op == Op::Li && i.rd == RC),
+        "unaffected program seeds rc"
+    );
+    assert!(
+        !p.code.iter().any(|i| i.op == Op::Icvtf),
+        "unaffected program zeroes FP accumulators"
+    );
+}
+
+#[test]
+fn addr_dep_kernels_seed_the_class_register_once() {
+    let mut params = base_params();
+    params.addr_dep = true;
+    let p = build_walk("chase", &params, Scale::Tiny);
+    let seeds: Vec<usize> = p
+        .code
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.op == Op::Li && i.rd == RC)
+        .map(|(pc, _)| pc)
+        .collect();
+    assert_eq!(seeds.len(), 1, "expected exactly one rc seed: {seeds:?}");
+    // The seed precedes the first load that feeds rc back into the index.
+    let first_ld = p.code.iter().position(|i| i.op == Op::Ld).unwrap();
+    assert!(seeds[0] < first_ld, "rc seeded after the first record load");
+}
+
+#[test]
+fn fp_kernels_zero_both_accumulators_from_r0() {
+    for (fp_work, stream_words) in [(4u32, 0u32), (0, 4), (6, 8)] {
+        let mut params = base_params();
+        params.fp_work = fp_work;
+        params.stream_words = stream_words;
+        let p = build_walk("fp", &params, Scale::Tiny);
+        for facc in [FACC0, FACC1] {
+            assert!(
+                p.code
+                    .iter()
+                    .any(|i| i.op == Op::Icvtf && i.rd == facc && i.rs1 == 0),
+                "fp_work={fp_work} stream_words={stream_words}: f{facc} not zeroed from r0"
+            );
+        }
+    }
+}

@@ -146,6 +146,14 @@ impl Value {
         }
     }
 
+    /// Array contents, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Exact integer value as `i128`, if this is an integral number.
     fn as_i128(&self) -> Option<i128> {
         match *self {
