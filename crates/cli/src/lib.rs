@@ -108,6 +108,21 @@ pub enum Command {
     },
     /// `exp <subcommand>` — the cached, resumable experiment engine.
     Exp(ExpCmd),
+    /// `serve [options]` — run the multithreaded experiment HTTP service.
+    Serve {
+        /// `--addr HOST:PORT` listen address (default `127.0.0.1:8707`).
+        addr: String,
+        /// `--workers N` worker-thread override.
+        workers: Option<usize>,
+        /// `--queue-depth N` bounded-queue override.
+        queue_depth: Option<usize>,
+        /// `--no-cache` — simulate every request, persist nothing.
+        no_cache: bool,
+        /// `--cache-dir DIR` override (default `results/cache/`).
+        cache_dir: Option<String>,
+        /// `--request-timeout-ms N` default per-request deadline.
+        request_timeout_ms: Option<u64>,
+    },
     /// `help`.
     Help,
 }
@@ -642,6 +657,67 @@ fn execute_exp(cmd: ExpCmd) -> Result<String, ParseArgsError> {
     Ok(out)
 }
 
+/// `serve`: bind, install SIGINT/SIGTERM handlers, and block in the
+/// accept loop until a signal (or queue shutdown) triggers the graceful
+/// drain. The startup banner goes to stderr immediately; the returned
+/// string is the post-drain summary.
+fn execute_serve(
+    addr: String,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    no_cache: bool,
+    cache_dir: Option<String>,
+    request_timeout_ms: Option<u64>,
+) -> Result<String, ParseArgsError> {
+    let mut opts = mtvp_serve::ServeOptions {
+        addr,
+        ..mtvp_serve::ServeOptions::default()
+    };
+    if let Some(n) = workers {
+        opts.workers = n;
+    }
+    if let Some(n) = queue_depth {
+        opts.queue_depth = n;
+    }
+    if let Some(ms) = request_timeout_ms {
+        opts.request_timeout_ms = ms;
+    }
+    opts.cache = if no_cache {
+        CacheMode::Off
+    } else {
+        CacheMode::Disk(
+            cache_dir
+                .map(PathBuf::from)
+                .unwrap_or_else(Cache::default_dir),
+        )
+    };
+    let server = mtvp_serve::Server::bind(opts.clone())
+        .map_err(|e| ParseArgsError(format!("cannot serve on {}: {e}", opts.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| ParseArgsError(format!("no local address: {e}")))?;
+    mtvp_serve::signal::install();
+    eprintln!(
+        "mtvp-serve listening on http://{addr} ({} workers, queue depth {}, cache {})",
+        opts.workers,
+        opts.queue_depth,
+        match &opts.cache {
+            CacheMode::Off => "off".to_string(),
+            CacheMode::Disk(dir) => dir.display().to_string(),
+        }
+    );
+    eprintln!("endpoints: /health /scenarios /run /sweep /jobs/<id> /cache/stats /metrics");
+    eprintln!("stop with SIGINT or SIGTERM for a graceful drain");
+    let report = server
+        .run()
+        .map_err(|e| ParseArgsError(format!("serve failed: {e}")))?;
+    Ok(format!(
+        "drained: {} request(s) served, {} rejected under backpressure, \
+         {} job(s), {} coalesce hit(s)\n",
+        report.requests, report.rejected, report.jobs, report.coalesce_hits
+    ))
+}
+
 /// Resolve a lint target: a registry workload (built at `scale`), one of
 /// the standalone kernels, or a `synth-<seed>` random program.
 fn lint_build(name: &str, scale: Scale) -> Result<mtvp_isa::Program, ParseArgsError> {
@@ -925,6 +1001,43 @@ impl Command {
                 })
             }
             "exp" => parse_exp(&rest),
+            "serve" => {
+                let addr = get_flag(&rest, "--addr")?
+                    .unwrap_or("127.0.0.1:8707")
+                    .to_string();
+                let workers = match get_flag(&rest, "--workers")? {
+                    Some(v) => Some(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .ok_or_else(|| ParseArgsError(format!("bad --workers `{v}`")))?,
+                    ),
+                    None => None,
+                };
+                let queue_depth = match get_flag(&rest, "--queue-depth")? {
+                    Some(v) => Some(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .ok_or_else(|| ParseArgsError(format!("bad --queue-depth `{v}`")))?,
+                    ),
+                    None => None,
+                };
+                let request_timeout_ms = match get_flag(&rest, "--request-timeout-ms")? {
+                    Some(v) => Some(v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        ParseArgsError(format!("bad --request-timeout-ms `{v}`"))
+                    })?),
+                    None => None,
+                };
+                Ok(Command::Serve {
+                    addr,
+                    workers,
+                    queue_depth,
+                    no_cache: rest.contains(&"--no-cache"),
+                    cache_dir: get_flag(&rest, "--cache-dir")?.map(str::to_string),
+                    request_timeout_ms,
+                })
+            }
             other => Err(ParseArgsError(format!(
                 "unknown command `{other}`; try `help`"
             ))),
@@ -939,6 +1052,23 @@ impl Command {
         let mut out = String::new();
         match self {
             Command::Exp(cmd) => return execute_exp(cmd),
+            Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                no_cache,
+                cache_dir,
+                request_timeout_ms,
+            } => {
+                return execute_serve(
+                    addr,
+                    workers,
+                    queue_depth,
+                    no_cache,
+                    cache_dir,
+                    request_timeout_ms,
+                )
+            }
             Command::Lint {
                 benches,
                 all,
@@ -1170,6 +1300,8 @@ USAGE:
                               [--json] [--json-out FILE]
   mtvp-sim exp status [scenario] [--scale S] [--cache-dir DIR]
   mtvp-sim exp diff <a> <b> [--scale S] [--cache-dir DIR]
+  mtvp-sim serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                 [--no-cache] [--cache-dir DIR] [--request-timeout-ms N]
 
 MODES:      baseline stvp mtvp mtvp-nostall spawn-only wide-window multi-value
 PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
@@ -1182,6 +1314,16 @@ EXPERIMENTS:
   $MTVP_CACHE_DIR, or --cache-dir), so re-runs are incremental and an
   interrupted sweep resumes from its completed cells. --shard i/n splits
   a sweep deterministically across machines sharing a cache directory.
+
+SERVING:
+  `serve` exposes the experiment engine as a multithreaded HTTP/1.1 JSON
+  service (default 127.0.0.1:8707): GET /health, /scenarios, /metrics,
+  /cache/stats; POST /run (one bench x config x scale cell) and /sweep
+  (a scenario by name or inline JSON); async polling via `\"wait\": false`
+  plus GET /jobs/<id> and /jobs/<id>/result?wait_ms=N. A bounded queue
+  answers 503 + Retry-After under overload, identical concurrent jobs
+  coalesce into one engine execution, and results share the exp cache.
+  SIGINT/SIGTERM drain gracefully. `mtvp-loadgen` drives load against it.
 
 LINT:
   `lint` runs the static dataflow analysis (CFG, liveness, reaching
@@ -1450,6 +1592,80 @@ mod tests {
         assert_eq!(v["simulated"].as_u64(), Some(2));
         assert_eq!(v["cache_hits"].as_u64(), Some(0));
         assert!(v["sweep"]["cells"][0]["stats"]["cycles"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn parses_serve_commands() {
+        match parse(&["serve"]).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                no_cache,
+                cache_dir,
+                request_timeout_ms,
+            } => {
+                assert_eq!(addr, "127.0.0.1:8707");
+                assert_eq!(workers, None);
+                assert_eq!(queue_depth, None);
+                assert!(!no_cache);
+                assert_eq!(cache_dir, None);
+                assert_eq!(request_timeout_ms, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "4",
+            "--queue-depth",
+            "16",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/c",
+            "--request-timeout-ms",
+            "5000",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                no_cache,
+                cache_dir,
+                request_timeout_ms,
+            } => {
+                assert_eq!(addr, "0.0.0.0:9000");
+                assert_eq!(workers, Some(4));
+                assert_eq!(queue_depth, Some(16));
+                assert!(no_cache);
+                assert_eq!(cache_dir.as_deref(), Some("/tmp/c"));
+                assert_eq!(request_timeout_ms, Some(5000));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--queue-depth", "none"]).is_err());
+        assert!(parse(&["serve", "--request-timeout-ms", "0"]).is_err());
+        assert!(parse(&["serve", "--addr"]).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unbindable_addresses() {
+        let err = Command::Serve {
+            addr: "definitely-not-an-address".into(),
+            workers: Some(1),
+            queue_depth: Some(1),
+            no_cache: true,
+            cache_dir: None,
+            request_timeout_ms: None,
+        }
+        .execute()
+        .unwrap_err();
+        assert!(err.0.contains("cannot serve"), "{err}");
     }
 
     #[test]

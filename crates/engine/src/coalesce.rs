@@ -1,0 +1,267 @@
+//! In-flight request coalescing.
+//!
+//! When several callers ask for the same content-addressed job at the
+//! same time (the serving layer's `POST /run` under concurrent identical
+//! traffic), only one of them should pay for the simulation: the first
+//! caller becomes the *leader* and computes, everyone else *joins* the
+//! leader's flight and blocks until the shared result is published. The
+//! disk cache already deduplicates across time; the [`Coalescer`]
+//! deduplicates across concurrency, keyed by the same
+//! [`crate::key::JobKey`] content hash.
+//!
+//! Joiners can carry a deadline: a joiner that times out reports
+//! [`Coalesced::TimedOut`] (the serving layer turns that into a graceful
+//! 504) while the leader keeps running — the result still lands in the
+//! cache for the next request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Shared state of one in-flight computation.
+struct Flight<T> {
+    slot: Mutex<Option<Result<T, String>>>,
+    done: Condvar,
+}
+
+/// How a [`Coalescer::run`] call obtained its result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Coalesced<T> {
+    /// This caller was the leader: it executed the computation.
+    Led(Result<T, String>),
+    /// This caller joined a concurrent identical flight and shared the
+    /// leader's result without computing anything.
+    Joined(Result<T, String>),
+    /// This caller joined a flight but its deadline expired before the
+    /// leader finished. The leader keeps running.
+    TimedOut,
+}
+
+impl<T> Coalesced<T> {
+    /// Whether the result was shared from another caller's execution.
+    pub fn was_coalesced(&self) -> bool {
+        matches!(self, Coalesced::Joined(_) | Coalesced::TimedOut)
+    }
+}
+
+/// Keyed single-flight executor: concurrent [`Coalescer::run`] calls with
+/// equal keys share one execution of the compute closure.
+pub struct Coalescer<T> {
+    flights: Mutex<HashMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for Coalescer<T> {
+    fn default() -> Self {
+        Coalescer::new()
+    }
+}
+
+/// Publishes a failure and unregisters the flight if the leader unwinds
+/// mid-compute, so joiners never deadlock on a panicked leader.
+struct LeaderGuard<'a, T: Clone> {
+    coalescer: &'a Coalescer<T>,
+    key: &'a str,
+    flight: &'a Arc<Flight<T>>,
+    finished: bool,
+}
+
+impl<T: Clone> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.coalescer
+                .publish(self.key, self.flight, Err("job panicked".to_string()));
+        }
+    }
+}
+
+impl<T: Clone> Coalescer<T> {
+    /// An empty coalescer.
+    pub fn new() -> Coalescer<T> {
+        Coalescer {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of flights currently in progress.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flights lock").len()
+    }
+
+    /// Publish `result` on `flight`, wake every joiner, and retire the
+    /// flight so later calls with the same key start fresh.
+    fn publish(&self, key: &str, flight: &Arc<Flight<T>>, result: Result<T, String>) {
+        *flight.slot.lock().expect("flight slot") = Some(result);
+        flight.done.notify_all();
+        self.flights.lock().expect("flights lock").remove(key);
+    }
+
+    /// Run `compute` for `key`, or join an identical in-flight call.
+    ///
+    /// The first caller for a key leads: it executes `compute`, publishes
+    /// the result, and retires the flight. Any caller arriving while the
+    /// flight is live joins it and blocks (up to `deadline`, if given)
+    /// for the shared result.
+    pub fn run(
+        &self,
+        key: &str,
+        deadline: Option<Instant>,
+        compute: impl FnOnce() -> Result<T, String>,
+    ) -> Coalesced<T> {
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().expect("flights lock");
+            match flights.get(key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    flights.insert(key.to_string(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let mut guard = LeaderGuard {
+                coalescer: self,
+                key,
+                flight: &flight,
+                finished: false,
+            };
+            let result = compute();
+            guard.finished = true;
+            self.publish(key, &flight, result.clone());
+            return Coalesced::Led(result);
+        }
+        // Joiner: wait for the leader to publish.
+        let mut slot = flight.slot.lock().expect("flight slot");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Coalesced::Joined(result.clone());
+            }
+            match deadline {
+                None => slot = flight.done.wait(slot).expect("flight slot"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Coalesced::TimedOut;
+                    }
+                    let (s, timeout) = flight
+                        .done
+                        .wait_timeout(slot, d - now)
+                        .expect("flight slot");
+                    slot = s;
+                    if timeout.timed_out() && slot.is_none() {
+                        return Coalesced::TimedOut;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn lone_caller_leads_and_retires_the_flight() {
+        let c: Coalescer<u64> = Coalescer::new();
+        let r = c.run("k", None, || Ok(7));
+        assert_eq!(r, Coalesced::Led(Ok(7)));
+        assert!(!r.was_coalesced());
+        assert_eq!(c.in_flight(), 0);
+        // A later identical call computes again (no stale flight).
+        assert_eq!(c.run("k", None, || Ok(8)), Coalesced::Led(Ok(8)));
+    }
+
+    #[test]
+    fn concurrent_identical_calls_share_one_execution() {
+        let c: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (c, executions, barrier) = (
+                Arc::clone(&c),
+                Arc::clone(&executions),
+                Arc::clone(&barrier),
+            );
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                c.run("job", None, || {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open long enough for the laggards
+                    // of the barrier release to join it.
+                    std::thread::sleep(Duration::from_millis(100));
+                    Ok(42u64)
+                })
+            }));
+        }
+        let results: Vec<Coalesced<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let led = results
+            .iter()
+            .filter(|r| matches!(r, Coalesced::Led(_)))
+            .count();
+        let joined = results
+            .iter()
+            .filter(|r| matches!(r, Coalesced::Joined(_)))
+            .count();
+        // Every flight that ran produced 42, and at least one caller
+        // joined instead of executing (4 threads released together with a
+        // 100ms execution window cannot all lead distinct flights).
+        for r in &results {
+            match r {
+                Coalesced::Led(v) | Coalesced::Joined(v) => assert_eq!(v, &Ok(42)),
+                Coalesced::TimedOut => panic!("no deadline was set"),
+            }
+        }
+        assert_eq!(led + joined, 4);
+        assert!(joined >= 1, "led={led} joined={joined}");
+        assert_eq!(executions.load(Ordering::SeqCst), led);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let c: Coalescer<u64> = Coalescer::new();
+        assert_eq!(c.run("a", None, || Ok(1)), Coalesced::Led(Ok(1)));
+        assert_eq!(c.run("b", None, || Ok(2)), Coalesced::Led(Ok(2)));
+    }
+
+    #[test]
+    fn joiner_deadline_expires_gracefully() {
+        let c: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let (c, barrier) = (Arc::clone(&c), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                c.run("slow", None, || {
+                    barrier.wait(); // joiner is about to arrive
+                    std::thread::sleep(Duration::from_millis(300));
+                    Ok(1u64)
+                })
+            })
+        };
+        barrier.wait();
+        // Give the leader a moment to be firmly inside compute().
+        std::thread::sleep(Duration::from_millis(20));
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let joined = c.run("slow", Some(deadline), || Ok(2));
+        assert_eq!(joined, Coalesced::TimedOut);
+        assert!(joined.was_coalesced());
+        // The leader is unaffected by the joiner's timeout.
+        assert_eq!(leader.join().unwrap(), Coalesced::Led(Ok(1)));
+    }
+
+    #[test]
+    fn errors_are_shared_and_flights_retired() {
+        let c: Coalescer<u64> = Coalescer::new();
+        let r = c.run("bad", None, || Err("boom".to_string()));
+        assert_eq!(r, Coalesced::Led(Err("boom".to_string())));
+        assert_eq!(c.in_flight(), 0);
+    }
+}

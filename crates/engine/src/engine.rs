@@ -206,6 +206,60 @@ impl Engine {
         })
     }
 
+    /// Run one (benchmark × configuration × scale) cell: probe the cache,
+    /// else build the program, obtain its reference trace (cached when
+    /// possible), simulate, and persist. Returns the cell and whether it
+    /// was served from the cache.
+    ///
+    /// This is the single-job entry point behind the serving layer's
+    /// `POST /run`; pair it with [`crate::coalesce::Coalescer`] (keyed by
+    /// [`key_of`]`(`[`cell_descriptor`]`)`) to share one execution across
+    /// concurrent identical requests.
+    ///
+    /// # Errors
+    /// Returns a message for an invalid configuration or unknown
+    /// benchmark; simulation itself does not fail.
+    pub fn run_cell(
+        &self,
+        bench: &str,
+        cfg: &SimConfig,
+        scale: Scale,
+    ) -> Result<(CellEntry, bool), String> {
+        cfg.validate().map_err(|e| e.0)?;
+        let wl = suite()
+            .into_iter()
+            .find(|w| w.name == bench)
+            .ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+        let descriptor = cell_descriptor(wl.name, cfg, scale);
+        let key = key_of(&descriptor);
+        let cache = self.cache();
+        if let Some(entry) = cache.as_ref().and_then(|c| c.load_cell(&key, &descriptor)) {
+            return Ok((entry, true));
+        }
+        let program = wl.build(scale);
+        let trace_desc = trace_descriptor(wl.name, scale);
+        let trace_key = key_of(&trace_desc);
+        let (dyn_instrs, trace) = match cache
+            .as_ref()
+            .and_then(|c| c.load_trace(&trace_key, &trace_desc))
+        {
+            Some((n, t)) => (n, t),
+            None => {
+                let (n, t) = reference_trace(&program);
+                if let Some(c) = &cache {
+                    let _ = c.store_trace(&trace_key, &trace_desc, n, &t);
+                }
+                (n, t)
+            }
+        };
+        let r = run_with_trace(cfg, &program, dyn_instrs, trace);
+        let entry = cell_entry(&wl, cfg, scale, &descriptor, r.dyn_instrs, r.stats);
+        if let Some(c) = &cache {
+            let _ = c.store_cell(&key, &entry);
+        }
+        Ok((entry, false))
+    }
+
     /// Run every configuration over every kept benchmark at `scale`.
     /// This is the engine's core entry point; see the module docs.
     pub fn run_cells(
@@ -311,17 +365,7 @@ impl Engine {
                 let (program, dyn_instrs, trace) =
                     by_bench.get(&j.bench_idx).expect("trace prepared");
                 let r = run_with_trace(&j.config, program, *dyn_instrs, trace.clone());
-                let entry = CellEntry {
-                    format: "mtvp-cell-v1".to_string(),
-                    version: SIM_VERSION.to_string(),
-                    descriptor: j.descriptor.clone(),
-                    bench: wl.name.to_string(),
-                    suite_int: wl.suite == mtvp_workloads::Suite::Int,
-                    scale: scale_tag(scale).to_string(),
-                    config: j.config.clone(),
-                    dyn_instrs: r.dyn_instrs,
-                    stats: r.stats,
-                };
+                let entry = cell_entry(wl, &j.config, scale, &j.descriptor, r.dyn_instrs, r.stats);
                 if let Some(c) = &cache {
                     let _ = c.store_cell(&j.key, &entry);
                 }
@@ -389,6 +433,28 @@ impl Engine {
             registry,
             elapsed: t0.elapsed(),
         }
+    }
+}
+
+/// Assemble the persistable entry for one completed simulation.
+fn cell_entry(
+    wl: &Workload,
+    cfg: &SimConfig,
+    scale: Scale,
+    descriptor: &str,
+    dyn_instrs: u64,
+    stats: mtvp_pipeline::PipeStats,
+) -> CellEntry {
+    CellEntry {
+        format: "mtvp-cell-v1".to_string(),
+        version: SIM_VERSION.to_string(),
+        descriptor: descriptor.to_string(),
+        bench: wl.name.to_string(),
+        suite_int: wl.suite == mtvp_workloads::Suite::Int,
+        scale: scale_tag(scale).to_string(),
+        config: cfg.clone(),
+        dyn_instrs,
+        stats,
     }
 }
 
@@ -525,6 +591,33 @@ mod tests {
                 .expect("cell present in exactly one shard");
             assert_eq!(m, cell);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_cell_caches_and_matches_the_sweep_path() {
+        let dir = scratch();
+        let engine = Engine::new(EngineOptions {
+            cache: CacheMode::Disk(dir.clone()),
+            ..EngineOptions::default()
+        });
+        let cfg = SimConfig::new(Mode::Baseline);
+        let (cold, hit) = engine.run_cell("mcf", &cfg, Scale::Tiny).unwrap();
+        assert!(!hit);
+        let (warm, hit) = engine.run_cell("mcf", &cfg, Scale::Tiny).unwrap();
+        assert!(hit);
+        assert_eq!(warm, cold);
+        // The single-job path produces the same cell as the sweep path.
+        let sweep = engine.run_cells(&[("base".to_string(), cfg.clone())], Scale::Tiny, |w| {
+            w.name == "mcf"
+        });
+        assert_eq!(sweep.cache_hits, 1, "run_cell populated the sweep cache");
+        assert_eq!(sweep.sweep.cells[0].stats, cold.stats);
+        // Errors are reported, not panicked.
+        assert!(engine.run_cell("nope", &cfg, Scale::Tiny).is_err());
+        let mut bad = SimConfig::new(Mode::Baseline);
+        bad.contexts = 8;
+        assert!(engine.run_cell("mcf", &bad, Scale::Tiny).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -45,6 +45,7 @@
 
 pub mod builtin;
 pub mod cache;
+pub mod coalesce;
 pub mod engine;
 pub mod key;
 pub mod lint;
@@ -55,6 +56,7 @@ pub mod sweep;
 
 pub use builtin::{builtin, builtin_scenarios};
 pub use cache::{Cache, CellEntry, LintEntry};
+pub use coalesce::{Coalesced, Coalescer};
 pub use engine::{render_speedup_table, CacheMode, Engine, EngineOptions, RunReport, StatusReport};
 pub use key::{cell_descriptor, key_of, lint_descriptor, trace_descriptor, JobKey, SIM_VERSION};
 pub use lint::{lint_program_cached, LintOutcome};

@@ -76,6 +76,46 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Inclusive `[lo, hi]` value range of bucket `i`: bucket 0 holds
+    /// exactly 0, bucket `k >= 1` holds `[2^(k-1), 2^k - 1]` (bucket 64
+    /// tops out at `u64::MAX`).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket index {i} out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == BUCKETS - 1 {
+            (1u64 << (i - 1), u64::MAX)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Upper-bound estimate of the `p`-th percentile (`p` in `[0, 100]`).
+    ///
+    /// Walks the buckets to the one containing the rank-`ceil(p/100 * n)`
+    /// sample and returns that bucket's upper bound, clamped to the
+    /// observed `[min, max]`. Because buckets are log2-spaced the estimate
+    /// can overshoot the true sample by at most 2x — a known, bounded
+    /// error that makes `/metrics` p50/p99 trustworthy as ceilings.
+    /// Returns 0 when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the percentile sample, 1-based (p = 0 maps to rank 1).
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                return hi.min(self.max).max(lo.max(self.min));
+            }
+        }
+        self.max
+    }
 }
 
 /// A collection of named counters and histograms.
@@ -169,6 +209,61 @@ mod tests {
         assert_eq!(Histogram::bucket_of(1023), 10);
         assert_eq!(Histogram::bucket_of(1024), 11);
         assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_pinned() {
+        // The buckets are log2 of the raw value: bucket 0 is {0}, bucket
+        // k >= 1 covers [2^(k-1), 2^k - 1]. Pin the boundaries so the
+        // `/metrics` percentile arithmetic can never silently drift.
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        assert_eq!(Histogram::bucket_bounds(10), (512, 1023));
+        assert_eq!(Histogram::bucket_bounds(11), (1024, 2047));
+        assert_eq!(Histogram::bucket_bounds(63), (1 << 62, (1 << 63) - 1));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every bucket boundary agrees with bucket_of on both edges.
+        for i in 0..65 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_of(lo), i, "lo edge of bucket {i}");
+            assert_eq!(Histogram::bucket_of(hi), i, "hi edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_a_clamped_bucket_upper_bound() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+        for v in [1u64, 2, 3, 4] {
+            h.observe(v);
+        }
+        // Ranks: p25 -> rank 1 (bucket 1, hi 1), p50 -> rank 2 (bucket 2,
+        // hi 3), p75 -> rank 3 (bucket 2, hi 3), p100 -> rank 4 (bucket 3,
+        // hi 7 clamped to max 4).
+        assert_eq!(h.percentile(25.0), 1);
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.percentile(75.0), 3);
+        assert_eq!(h.percentile(100.0), 4);
+        // p0 is the smallest-rank bucket's bound, and out-of-range
+        // arguments clamp instead of panicking.
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(-3.0), 1);
+        assert_eq!(h.percentile(250.0), 4);
+
+        // A skewed distribution: 99 fast samples and one slow outlier.
+        let mut lat = Histogram::new();
+        for _ in 0..99 {
+            lat.observe(100);
+        }
+        lat.observe(1_000_000);
+        assert_eq!(lat.percentile(50.0), 127, "p50 stays in the fast bucket");
+        assert_eq!(lat.percentile(99.0), 127, "p99 rank 99 is still fast");
+        assert_eq!(lat.percentile(100.0), 1_000_000, "p100 clamps to max");
+        // The estimate never undershoots the true percentile sample and
+        // never exceeds 2x (log2 buckets).
+        assert!(lat.percentile(50.0) >= 100 && lat.percentile(50.0) < 200);
     }
 
     #[test]

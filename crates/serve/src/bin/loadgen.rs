@@ -1,0 +1,91 @@
+//! `mtvp-loadgen`: closed-loop load generator for `mtvp-sim serve`.
+//!
+//! ```text
+//! mtvp-loadgen --addr 127.0.0.1:8707 --clients 32 --requests 4 \
+//!              --bench mcf --mode baseline --scale tiny
+//! ```
+//!
+//! Prints a JSON report (statuses, resets, latency percentiles) to
+//! stdout. Exits 0 on a clean run, 1 on bad usage, 2 if any transport
+//! reset was observed or a disallowed status came back.
+
+use mtvp_serve::loadgen::{run, LoadgenOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mtvp-loadgen [--addr HOST:PORT] [--clients N] [--requests N]\n\
+         \x20                   [--path /run] [--body JSON | --bench B --mode M --scale S]\n\
+         \x20                   [--timeout-ms N] [--allow-statuses 200,503]\n\
+         \n\
+         Drives N closed-loop clients against an mtvp-sim serve instance and\n\
+         prints a JSON report. Without --body/--bench the request is a GET."
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut opts = LoadgenOptions::default();
+    let mut bench: Option<String> = None;
+    let mut mode = "baseline".to_string();
+    let mut scale = "tiny".to_string();
+    let mut allow: Option<Vec<u16>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = take("--addr"),
+            "--clients" => opts.clients = take("--clients").parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                opts.requests_per_client = take("--requests").parse().unwrap_or_else(|_| usage());
+            }
+            "--path" => opts.path = take("--path"),
+            "--body" => opts.body = Some(take("--body")),
+            "--bench" => bench = Some(take("--bench")),
+            "--mode" => mode = take("--mode"),
+            "--scale" => scale = take("--scale"),
+            "--timeout-ms" => {
+                opts.timeout_ms = take("--timeout-ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--allow-statuses" => {
+                allow = Some(
+                    take("--allow-statuses")
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                );
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if opts.body.is_none() {
+        if let Some(b) = bench {
+            opts.body = Some(format!(
+                r#"{{"bench": "{b}", "scale": "{scale}", "config": {{"mode": "{mode}"}}}}"#
+            ));
+        }
+    }
+    let report = run(&opts);
+    println!("{}", report.to_value());
+    let mut bad = report.resets > 0;
+    if let Some(allowed) = allow {
+        for (status, n) in &report.statuses {
+            if *n > 0 && !allowed.contains(status) {
+                eprintln!("disallowed status {status} seen {n} time(s)");
+                bad = true;
+            }
+        }
+    }
+    if report.resets > 0 {
+        eprintln!("{} transport reset(s) observed", report.resets);
+    }
+    std::process::exit(if bad { 2 } else { 0 });
+}

@@ -1,0 +1,468 @@
+//! Hand-written incremental HTTP/1.1 message handling.
+//!
+//! The [`Parser`] is a byte-at-a-time-safe state machine: bytes arrive in
+//! whatever chunks the kernel hands us, and parsing a request fed in N
+//! arbitrary pieces yields exactly the same [`Request`] as parsing it in
+//! one shot (property-tested in `tests/http_parser.rs`). Header and body
+//! sizes are bounded up front — an oversized or malformed request maps to
+//! a 4xx status, never a panic or unbounded allocation.
+//!
+//! Only the subset of HTTP/1.1 this service needs is implemented:
+//! `Content-Length` bodies (no chunked transfer coding), one request per
+//! connection (`Connection: close` on every response), CRLF line endings.
+
+/// Maximum bytes of request line + headers (431 beyond this).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum bytes of request body (413 beyond this).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A fully parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), as received.
+    pub method: String,
+    /// Request target, including any query string (`/jobs/3?wait_ms=50`).
+    pub target: String,
+    /// Protocol version (`HTTP/1.0` or `HTTP/1.1`).
+    pub version: String,
+    /// Header fields in arrival order, names as received, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name`, compared case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target split into path and query string (`?` excluded).
+    pub fn path_and_query(&self) -> (&str, Option<&str>) {
+        match self.target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (self.target.as_str(), None),
+        }
+    }
+
+    /// Value of query parameter `key`, if present (`k=v&k2=v2` syntax).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.path_and_query();
+        query?
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps to the 4xx
+/// status the server answers with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Request line + headers exceed [`MAX_HEADER_BYTES`] → 431.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeds [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Anything else syntactically wrong → 400.
+    Malformed(String),
+}
+
+impl ParseError {
+    /// The HTTP status code this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadersTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::Malformed(_) => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::HeadersTooLarge => {
+                write!(f, "request headers exceed {MAX_HEADER_BYTES} bytes")
+            }
+            ParseError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parser state between [`Parser::feed`] calls.
+enum State {
+    /// Accumulating the request line + headers (terminator not yet seen).
+    Headers,
+    /// Headers parsed; waiting for `need` body bytes.
+    Body {
+        method: String,
+        target: String,
+        version: String,
+        headers: Vec<(String, String)>,
+        need: usize,
+    },
+    /// A previous feed returned an error; the connection is poisoned.
+    Failed,
+}
+
+/// Incremental request parser. Feed it bytes as they arrive; it returns a
+/// complete [`Request`] as soon as one is available.
+pub struct Parser {
+    buf: Vec<u8>,
+    state: State,
+}
+
+impl Default for Parser {
+    fn default() -> Self {
+        Parser::new()
+    }
+}
+
+impl Parser {
+    /// A fresh parser awaiting a request line.
+    pub fn new() -> Parser {
+        Parser {
+            buf: Vec::new(),
+            state: State::Headers,
+        }
+    }
+
+    /// Append `bytes` and try to complete a request.
+    ///
+    /// Returns `Ok(Some(request))` once the full request (headers + body)
+    /// has arrived, `Ok(None)` while more bytes are needed.
+    ///
+    /// # Errors
+    /// Returns the [`ParseError`] describing the first violation; after an
+    /// error the parser stays failed (the server closes the connection).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        if matches!(self.state, State::Failed) {
+            return Err(ParseError::Malformed("parser already failed".into()));
+        }
+        self.buf.extend_from_slice(bytes);
+        match self.advance() {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.state = State::Failed;
+                Err(e)
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, ParseError> {
+        if matches!(self.state, State::Headers) {
+            let Some(end) = find_terminator(&self.buf) else {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    return Err(ParseError::HeadersTooLarge);
+                }
+                return Ok(None);
+            };
+            if end > MAX_HEADER_BYTES {
+                return Err(ParseError::HeadersTooLarge);
+            }
+            let head: Vec<u8> = self.buf.drain(..end + 4).collect();
+            let (method, target, version, headers) = parse_head(&head[..end])?;
+            let need = content_length(&headers)?;
+            if need > MAX_BODY_BYTES {
+                return Err(ParseError::BodyTooLarge);
+            }
+            self.state = State::Body {
+                method,
+                target,
+                version,
+                headers,
+                need,
+            };
+        }
+        if let State::Body { need, .. } = &self.state {
+            if self.buf.len() < *need {
+                return Ok(None);
+            }
+            let State::Body {
+                method,
+                target,
+                version,
+                headers,
+                need,
+            } = std::mem::replace(&mut self.state, State::Headers)
+            else {
+                unreachable!("matched Body above");
+            };
+            let body: Vec<u8> = self.buf.drain(..need).collect();
+            return Ok(Some(Request {
+                method,
+                target,
+                version,
+                headers,
+                body,
+            }));
+        }
+        Ok(None)
+    }
+}
+
+/// Offset of the `\r\n\r\n` header terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse the request line and header block (no trailing terminator).
+#[allow(clippy::type_complexity)] // one-shot destructuring of the head
+fn parse_head(head: &[u8]) -> Result<(String, String, String, Vec<(String, String)>), ParseError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| ParseError::Malformed("head is not valid UTF-8".into()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(ParseError::Malformed(format!("bad method `{method}`")));
+    }
+    if !(target.starts_with('/') || target == "*") {
+        return Err(ParseError::Malformed(format!("bad target `{target}`")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header line `{line}`")));
+        };
+        if name.is_empty()
+            || name
+                .bytes()
+                .any(|b| b.is_ascii_whitespace() || b.is_ascii_control())
+        {
+            return Err(ParseError::Malformed(format!("bad header name `{name}`")));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok((
+        method.to_string(),
+        target.to_string(),
+        version.to_string(),
+        headers,
+    ))
+}
+
+/// The declared body length: 0 without a `Content-Length` header.
+fn content_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
+    let mut found: Option<usize> = None;
+    for (name, value) in headers {
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::Malformed(
+                "chunked transfer coding is not supported".into(),
+            ));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad Content-Length `{value}`")))?;
+            if let Some(prev) = found {
+                if prev != n {
+                    return Err(ParseError::Malformed(
+                        "conflicting Content-Length headers".into(),
+                    ));
+                }
+            }
+            found = Some(n);
+        }
+    }
+    Ok(found.unwrap_or(0))
+}
+
+/// A response under construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra header fields (Content-Type/Length and Connection are
+    /// emitted automatically).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".to_string(), "application/json".to_string())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error response with a uniform `{"error": ...}` shape.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            serde_json::json!({ "error": message }).to_string() + "\n",
+        )
+    }
+
+    /// Add a header field.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize status line, headers and body to `w`. Every response
+    /// carries `Connection: close` — the server handles one request per
+    /// connection (see the module docs).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_text(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_shot(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        Parser::new().feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = one_shot(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/health");
+        assert_eq!(req.version, "HTTP/1.1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = one_shot(
+            b"POST /run?wait_ms=50 HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap()
+        .expect("complete");
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert_eq!(req.path_and_query().0, "/run");
+        assert_eq!(req.query_param("wait_ms"), Some("50"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn incremental_feeding_completes_exactly_once() {
+        let bytes = b"POST /run HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+        let mut p = Parser::new();
+        for (i, b) in bytes.iter().enumerate() {
+            let got = p.feed(std::slice::from_ref(b)).unwrap();
+            if i + 1 < bytes.len() {
+                assert!(got.is_none(), "complete too early at byte {i}");
+            } else {
+                assert_eq!(got.expect("complete at last byte").body, b"abc");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_headers_and_bodies() {
+        let mut p = Parser::new();
+        let big = vec![b'A'; MAX_HEADER_BYTES + 2];
+        assert_eq!(p.feed(&big), Err(ParseError::HeadersTooLarge));
+        // Poisoned after an error.
+        assert!(p.feed(b"").is_err());
+
+        let req = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(one_shot(req.as_bytes()), Err(ParseError::BodyTooLarge));
+        assert_eq!(ParseError::HeadersTooLarge.status(), 431);
+        assert_eq!(ParseError::BodyTooLarge.status(), 413);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"G@T /x HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+        ] {
+            let got = one_shot(bad);
+            assert!(
+                matches!(got, Err(ParseError::Malformed(_))),
+                "{bad:?} -> {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The job table: every accepted `/run` and `/sweep` request becomes a
+//! job with a process-wide monotonic id, observable through
+//! `GET /jobs/<id>` and `GET /jobs/<id>/result` (including long-polling
+//! with a deadline). Synchronous requests pass through the same table so
+//! job ids stay strictly monotonic across the whole request stream —
+//! which is what the load test asserts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Lifecycle of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting in the bounded queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the result JSON is available.
+    Done,
+    /// Finished with an error.
+    Failed,
+}
+
+impl JobState {
+    /// Lowercase wire name (`"queued"`, `"running"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// Point-in-time copy of one job's externally visible state.
+#[derive(Clone, Debug)]
+pub struct JobSnapshot {
+    /// Monotonic job id.
+    pub id: u64,
+    /// Job kind (`"run"` or `"sweep"`).
+    pub kind: String,
+    /// Human-readable description (bench/config or scenario name).
+    pub detail: String,
+    /// Current state.
+    pub state: JobState,
+    /// Result JSON, present once `Done`.
+    pub result: Option<String>,
+    /// Error message, present once `Failed`.
+    pub error: Option<String>,
+}
+
+struct JobRecord {
+    kind: String,
+    detail: String,
+    state: JobState,
+    result: Option<String>,
+    error: Option<String>,
+}
+
+/// Registry of all jobs the server has accepted, with monotonic ids.
+pub struct JobTable {
+    next: AtomicU64,
+    inner: Mutex<HashMap<u64, JobRecord>>,
+    changed: Condvar,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        JobTable::new()
+    }
+}
+
+impl JobTable {
+    /// An empty table; ids start at 1.
+    pub fn new() -> JobTable {
+        JobTable {
+            next: AtomicU64::new(1),
+            inner: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Register a new job in `Queued` state and return its id. Ids are
+    /// allocated from a single atomic counter, so they are strictly
+    /// monotonic in allocation order.
+    pub fn create(&self, kind: &str, detail: &str) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::SeqCst);
+        self.inner.lock().expect("job table").insert(
+            id,
+            JobRecord {
+                kind: kind.to_string(),
+                detail: detail.to_string(),
+                state: JobState::Queued,
+                result: None,
+                error: None,
+            },
+        );
+        id
+    }
+
+    /// Mark `id` as running.
+    pub fn start(&self, id: u64) {
+        if let Some(r) = self.inner.lock().expect("job table").get_mut(&id) {
+            r.state = JobState::Running;
+        }
+        self.changed.notify_all();
+    }
+
+    /// Publish the terminal outcome of `id` and wake any pollers.
+    pub fn finish(&self, id: u64, outcome: Result<String, String>) {
+        if let Some(r) = self.inner.lock().expect("job table").get_mut(&id) {
+            match outcome {
+                Ok(json) => {
+                    r.state = JobState::Done;
+                    r.result = Some(json);
+                }
+                Err(e) => {
+                    r.state = JobState::Failed;
+                    r.error = Some(e);
+                }
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    /// Drop `id` from the table (a rejected async enqueue).
+    pub fn remove(&self, id: u64) {
+        self.inner.lock().expect("job table").remove(&id);
+    }
+
+    /// Snapshot `id`, if known.
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        self.inner
+            .lock()
+            .expect("job table")
+            .get(&id)
+            .map(|r| JobSnapshot {
+                id,
+                kind: r.kind.clone(),
+                detail: r.detail.clone(),
+                state: r.state,
+                result: r.result.clone(),
+                error: r.error.clone(),
+            })
+    }
+
+    /// Block until `id` reaches a terminal state or `deadline` passes.
+    /// Returns the final snapshot, `Ok(None)` for an unknown id, or
+    /// `Err(snapshot_at_deadline)` on timeout.
+    #[allow(clippy::result_large_err)] // the Err snapshot is the payload, not an error path
+    pub fn wait_terminal(
+        &self,
+        id: u64,
+        deadline: Instant,
+    ) -> Result<Option<JobSnapshot>, JobSnapshot> {
+        let mut inner = self.inner.lock().expect("job table");
+        loop {
+            let Some(r) = inner.get(&id) else {
+                return Ok(None);
+            };
+            if r.state.is_terminal() {
+                let snap = self.snapshot_locked(id, r);
+                return Ok(Some(snap));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let snap = self.snapshot_locked(id, r);
+                return Err(snap);
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .expect("job table");
+            inner = guard;
+        }
+    }
+
+    fn snapshot_locked(&self, id: u64, r: &JobRecord) -> JobSnapshot {
+        JobSnapshot {
+            id,
+            kind: r.kind.clone(),
+            detail: r.detail.clone(),
+            state: r.state,
+            result: r.result.clone(),
+            error: r.error.clone(),
+        }
+    }
+
+    /// Number of jobs ever created (next id minus one).
+    pub fn created(&self) -> u64 {
+        self.next.load(Ordering::SeqCst) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ids_are_monotonic_and_lifecycle_is_observable() {
+        let t = JobTable::new();
+        let a = t.create("run", "mcf/base");
+        let b = t.create("sweep", "smoke");
+        assert!(b > a);
+        assert_eq!(t.created(), 2);
+        assert_eq!(t.snapshot(a).unwrap().state, JobState::Queued);
+        t.start(a);
+        assert_eq!(t.snapshot(a).unwrap().state, JobState::Running);
+        t.finish(a, Ok("{}".to_string()));
+        let s = t.snapshot(a).unwrap();
+        assert_eq!(s.state, JobState::Done);
+        assert_eq!(s.result.as_deref(), Some("{}"));
+        t.finish(b, Err("boom".to_string()));
+        assert_eq!(t.snapshot(b).unwrap().state, JobState::Failed);
+        assert!(t.snapshot(999).is_none());
+    }
+
+    #[test]
+    fn wait_terminal_times_out_and_completes() {
+        let t = std::sync::Arc::new(JobTable::new());
+        let id = t.create("run", "slow");
+        // Unknown id resolves immediately.
+        assert!(matches!(
+            t.wait_terminal(999, Instant::now() + Duration::from_millis(10)),
+            Ok(None)
+        ));
+        // Timeout returns the in-flight snapshot.
+        let timed_out = t.wait_terminal(id, Instant::now() + Duration::from_millis(20));
+        assert_eq!(timed_out.unwrap_err().state, JobState::Queued);
+        // A finisher on another thread wakes the poller.
+        let finisher = {
+            let t = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                t.finish(id, Ok("\"r\"".to_string()));
+            })
+        };
+        let done = t
+            .wait_terminal(id, Instant::now() + Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(done.state, JobState::Done);
+        finisher.join().unwrap();
+    }
+}

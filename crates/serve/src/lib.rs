@@ -1,0 +1,41 @@
+//! # mtvp-serve
+//!
+//! A from-scratch multithreaded HTTP/1.1 JSON service exposing the
+//! `mtvp-engine` experiment engine over the network — `std::net` and the
+//! vendored serde shim only, no external dependencies.
+//!
+//! Endpoints:
+//!
+//! | Method & path            | Purpose                                        |
+//! |--------------------------|------------------------------------------------|
+//! | `GET /health`            | Liveness + simulator version                   |
+//! | `GET /scenarios`         | Built-in scenarios with cell counts            |
+//! | `POST /run`              | One (bench × config × scale) cell              |
+//! | `POST /sweep`            | A scenario (built-in name or inline JSON)      |
+//! | `GET /jobs/<id>`         | Job status (`"wait": false` requests)          |
+//! | `GET /jobs/<id>/result`  | Job result; `?wait_ms=N` long-polls            |
+//! | `GET /cache/stats`       | On-disk result-cache inventory                 |
+//! | `GET /metrics`           | Counters, queue depths, latency percentiles    |
+//!
+//! The moving parts: an incremental bounded [`http`] parser, a fixed
+//! worker pool behind a bounded queue with 503 backpressure
+//! ([`server`]), single-flight coalescing of identical concurrent jobs
+//! (via `mtvp_engine::Coalescer`, keyed by the cache's content hash), a
+//! monotonic [`jobs`] table for async polling, SIGTERM-triggered
+//! graceful drain ([`signal`]), and a closed-loop [`loadgen`] used by
+//! the load-hardening tests and CI.
+
+#![deny(unsafe_code)] // `signal` carries the one audited exception
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod jobs;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+
+pub use http::{Parser, Request, Response, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+pub use jobs::{JobSnapshot, JobState, JobTable};
+pub use loadgen::{http_request, LoadgenOptions, LoadgenReport};
+pub use server::{DrainReport, ServeOptions, Server, ServerHandle};

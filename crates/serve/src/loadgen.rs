@@ -1,0 +1,265 @@
+//! Closed-loop load generator and the tiny blocking HTTP client it is
+//! built on.
+//!
+//! [`http_request`] is the one client primitive: open a connection, send
+//! one request, read to EOF (the server always answers
+//! `Connection: close`), return status + body. The generator
+//! ([`run`]) drives N client threads, each issuing sequential requests,
+//! and aggregates statuses, transport errors (resets), latencies, and
+//! per-client job-id sequences — everything the load test and the CI
+//! smoke job assert on.
+
+use mtvp_obs::Histogram;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Send one HTTP request and collect the full response.
+///
+/// Returns `(status, body)`. The body is whatever follows the header
+/// terminator, read to EOF.
+///
+/// # Errors
+/// Returns a description of the transport or framing failure (connect
+/// error, reset, timeout, unparsable status line).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout_ms: u64,
+) -> Result<(u16, String), String> {
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if let Some(b) = body {
+        req.push_str("Content-Type: application/json\r\n");
+        req.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    req.push_str("\r\n");
+    if let Some(b) = body {
+        req.push_str(b);
+    }
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Split a raw response into status code and body.
+fn parse_response(raw: &[u8]) -> Result<(u16, String), String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "response has no header terminator".to_string())?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Sequential requests per client.
+    pub requests_per_client: usize,
+    /// Request path (default `/run`).
+    pub path: String,
+    /// JSON body; `None` sends a GET instead of a POST.
+    pub body: Option<String>,
+    /// Per-request client timeout (ms).
+    pub timeout_ms: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            addr: "127.0.0.1:8707".to_string(),
+            clients: 8,
+            requests_per_client: 4,
+            path: "/run".to_string(),
+            body: None,
+            timeout_ms: 120_000,
+        }
+    }
+}
+
+/// Aggregated outcome of one load-generation run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub sent: u64,
+    /// Response count per status code, ascending by code.
+    pub statuses: Vec<(u16, u64)>,
+    /// Transport failures: connect errors, resets, timeouts, bad framing.
+    pub resets: u64,
+    /// `"job"` ids extracted from JSON responses, per client, in each
+    /// client's completion order (the load test asserts these are
+    /// strictly increasing per client).
+    pub client_job_ids: Vec<Vec<u64>>,
+    /// End-to-end request latency in microseconds.
+    pub latency_us: Histogram,
+}
+
+impl LoadgenReport {
+    /// Responses observed with `status`.
+    pub fn status_count(&self, status: u16) -> u64 {
+        self.statuses
+            .iter()
+            .find(|(s, _)| *s == status)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// The report as JSON (what `mtvp-loadgen` prints).
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("sent".to_string(), Value::U64(self.sent)),
+            (
+                "statuses".to_string(),
+                Value::Map(
+                    self.statuses
+                        .iter()
+                        .map(|(s, n)| (s.to_string(), Value::U64(*n)))
+                        .collect(),
+                ),
+            ),
+            ("resets".to_string(), Value::U64(self.resets)),
+            (
+                "jobs_seen".to_string(),
+                Value::U64(self.client_job_ids.iter().map(|v| v.len() as u64).sum()),
+            ),
+            (
+                "latency_us".to_string(),
+                Value::Map(vec![
+                    ("count".to_string(), Value::U64(self.latency_us.count)),
+                    ("mean".to_string(), Value::F64(self.latency_us.mean())),
+                    (
+                        "p50".to_string(),
+                        Value::U64(self.latency_us.percentile(50.0)),
+                    ),
+                    (
+                        "p99".to_string(),
+                        Value::U64(self.latency_us.percentile(99.0)),
+                    ),
+                    ("max".to_string(), Value::U64(self.latency_us.max)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Drive `clients` closed-loop clients against the server and aggregate
+/// the outcome. Each client issues its requests sequentially, so its
+/// observed job ids must be strictly increasing if the server allocates
+/// ids monotonically.
+pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
+    let handles: Vec<_> = (0..opts.clients.max(1))
+        .map(|_| {
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut statuses: Vec<(u16, u64)> = Vec::new();
+                let mut resets = 0u64;
+                let mut jobs = Vec::new();
+                let mut latencies = Vec::with_capacity(opts.requests_per_client);
+                let method = if opts.body.is_some() { "POST" } else { "GET" };
+                for _ in 0..opts.requests_per_client {
+                    let t0 = Instant::now();
+                    match http_request(
+                        &opts.addr,
+                        method,
+                        &opts.path,
+                        opts.body.as_deref(),
+                        opts.timeout_ms,
+                    ) {
+                        Ok((status, body)) => {
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                            match statuses.iter_mut().find(|(s, _)| *s == status) {
+                                Some((_, n)) => *n += 1,
+                                None => statuses.push((status, 1)),
+                            }
+                            if let Ok(v) = serde_json::from_str::<Value>(&body) {
+                                if let Some(id) = v.get("job").and_then(Value::as_u64) {
+                                    jobs.push(id);
+                                }
+                            }
+                        }
+                        Err(_) => resets += 1,
+                    }
+                }
+                (statuses, resets, jobs, latencies)
+            })
+        })
+        .collect();
+    let mut report = LoadgenReport {
+        sent: (opts.clients.max(1) * opts.requests_per_client) as u64,
+        ..LoadgenReport::default()
+    };
+    for h in handles {
+        let (statuses, resets, jobs, latencies) = h.join().expect("client thread");
+        for (s, n) in statuses {
+            match report.statuses.iter_mut().find(|(c, _)| *c == s) {
+                Some((_, total)) => *total += n,
+                None => report.statuses.push((s, n)),
+            }
+        }
+        report.resets += resets;
+        report.client_job_ids.push(jobs);
+        for us in latencies {
+            report.latency_us.observe(us);
+        }
+    }
+    report.statuses.sort_unstable_by_key(|(s, _)| *s);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses_and_rejects_garbage() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        assert!(parse_response(b"totally not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn report_aggregates_statuses() {
+        let report = LoadgenReport {
+            sent: 10,
+            statuses: vec![(200, 7), (503, 3)],
+            resets: 0,
+            client_job_ids: vec![vec![1, 3], vec![2, 4]],
+            latency_us: Histogram::new(),
+        };
+        assert_eq!(report.status_count(200), 7);
+        assert_eq!(report.status_count(503), 3);
+        assert_eq!(report.status_count(404), 0);
+        let v = report.to_value();
+        assert_eq!(v.get("sent").and_then(Value::as_u64), Some(10));
+        assert_eq!(v.get("jobs_seen").and_then(Value::as_u64), Some(4));
+    }
+}

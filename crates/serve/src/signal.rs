@@ -1,0 +1,56 @@
+//! Minimal SIGTERM/SIGINT latch for graceful drain.
+//!
+//! The workspace vendors no `libc`/`signal-hook`, so the handler is
+//! installed through the C `signal(2)` entry point that `std` already
+//! links against. The handler only stores into a static `AtomicBool`
+//! (async-signal-safe); the accept loop polls [`triggered`] between
+//! non-blocking accepts and starts the drain when it flips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal (or a [`trigger`] call) has been observed.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Latch shutdown programmatically (tests and the server handle use this
+/// path on non-unix targets).
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        super::trigger();
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is async-signal-safe to install, and the
+        // handler only performs an atomic store.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handlers (idempotent; no-op off unix).
+pub fn install() {
+    imp::install();
+}

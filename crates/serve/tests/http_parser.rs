@@ -1,0 +1,169 @@
+//! Property tests for the incremental HTTP parser.
+//!
+//! The load-bearing invariant: parsing is *split-invariant*. A request
+//! fed to the parser in arbitrary TCP-read-sized pieces yields exactly
+//! the same `Request` as parsing the same bytes in one shot — the server
+//! can never behave differently because the kernel fragmented a read.
+//! And no input, valid or garbage, oversized or truncated, may ever
+//! panic: the worst allowed outcome is a 4xx `ParseError`.
+
+use mtvp_serve::http::{ParseError, Parser, Request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+use proptest::prelude::*;
+
+/// Feed `bytes` in one shot.
+fn one_shot(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+    Parser::new().feed(bytes)
+}
+
+/// Feed `bytes` split at the given piece sizes (the tail goes last).
+/// Returns the first completion or error; `Ok(None)` if never complete.
+fn fed_in_pieces(bytes: &[u8], sizes: &[usize]) -> Result<Option<Request>, ParseError> {
+    let mut parser = Parser::new();
+    let mut rest = bytes;
+    for &n in sizes {
+        let n = n.min(rest.len());
+        let (piece, tail) = rest.split_at(n);
+        rest = tail;
+        match parser.feed(piece) {
+            Ok(Some(req)) => return Ok(Some(req)),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    parser.feed(rest)
+}
+
+/// Render a well-formed request from generated parts.
+fn render(method: &str, path: &str, headers: &[(String, String)], body: Option<&[u8]>) -> Vec<u8> {
+    let mut out = format!("{method} {path} HTTP/1.1\r\n");
+    for (name, value) in headers {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if let Some(b) = body {
+        out.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    if let Some(b) = body {
+        bytes.extend_from_slice(b);
+    }
+    bytes
+}
+
+const METHODS: &[&str] = &["GET", "POST", "PUT", "DELETE", "PATCH", "HEAD"];
+const PATH_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_./";
+const VALUE_CHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 -_.:/;=+";
+
+fn charset_string(indices: &[usize], charset: &[u8]) -> String {
+    indices
+        .iter()
+        .map(|&i| charset[i % charset.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Arbitrary header/body splits across "TCP reads" parse identically
+    // to a one-shot feed: same method, target, headers, body, and the
+    // completion happens (no piece boundary can wedge the parser).
+    #[test]
+    fn split_invariance(
+        method_idx in 0usize..6,
+        path_idx in prop::collection::vec(0usize..40, 1..24),
+        query in any::<bool>(),
+        header_pairs in prop::collection::vec(
+            (prop::collection::vec(0usize..40, 1..10),
+             prop::collection::vec(0usize..70, 0..24)),
+            0..6),
+        body_bytes in prop::collection::vec(any::<u8>(), 0..300),
+        with_body in any::<bool>(),
+        sizes in prop::collection::vec(1usize..40, 0..64)
+    ) {
+        let method = METHODS[method_idx];
+        let mut path = format!("/{}", charset_string(&path_idx, PATH_CHARS));
+        if query {
+            path.push_str("?k=v&x=1");
+        }
+        let headers: Vec<(String, String)> = header_pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, v))| {
+                // Unique suffix: duplicate Content-Length-free names only.
+                (
+                    format!("X-{}{i}", charset_string(n, PATH_CHARS).replace(['.', '/'], "a")),
+                    charset_string(v, VALUE_CHARS),
+                )
+            })
+            .collect();
+        let body = with_body.then_some(body_bytes.as_slice());
+        let bytes = render(method, &path, &headers, body);
+
+        let whole = one_shot(&bytes);
+        let pieces = fed_in_pieces(&bytes, &sizes);
+        prop_assert_eq!(&whole, &pieces);
+
+        let req = whole.unwrap().expect("a rendered request parses completely");
+        prop_assert_eq!(req.method.as_str(), method);
+        prop_assert_eq!(req.target.as_str(), path.as_str());
+        prop_assert_eq!(req.body.as_slice(), body.unwrap_or(&[]));
+        for (name, value) in &headers {
+            // Values are trimmed on parse; trailing generated spaces fold.
+            prop_assert_eq!(req.header(name), Some(value.trim()));
+        }
+    }
+
+    // Arbitrary bytes, fed in arbitrary pieces, never panic: they either
+    // stay incomplete, (vanishingly rarely) complete, or fail with a 4xx
+    // — and once failed the parser stays failed.
+    #[test]
+    fn garbage_never_panics_and_maps_to_4xx(
+        junk in prop::collection::vec(any::<u8>(), 0..2048),
+        sizes in prop::collection::vec(1usize..64, 0..48)
+    ) {
+        let mut parser = Parser::new();
+        let mut rest = junk.as_slice();
+        let mut failed = false;
+        for &n in &sizes {
+            let n = n.min(rest.len());
+            let (piece, tail) = rest.split_at(n);
+            rest = tail;
+            match parser.feed(piece) {
+                Ok(_) => prop_assert!(!failed, "parser recovered after an error"),
+                Err(e) => {
+                    let s = e.status();
+                    prop_assert!(
+                        s == 400 || s == 413 || s == 431,
+                        "non-4xx parse status {s}"
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    // Size caps always hold, wherever the boundary falls: oversized
+    // headers are 431 and oversized declared bodies are 413, regardless
+    // of how the bytes are chunked.
+    #[test]
+    fn oversize_is_always_rejected(
+        header_pad in 0usize..4096,
+        body_excess in 1usize..4096,
+        sizes in prop::collection::vec(1usize..512, 1..32)
+    ) {
+        // Headers strictly beyond the cap (never a terminator in sight).
+        let big = vec![b'A'; MAX_HEADER_BYTES + 1 + header_pad];
+        prop_assert_eq!(fed_in_pieces(&big, &sizes), Err(ParseError::HeadersTooLarge));
+
+        // A valid head declaring an oversized body.
+        let req = format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + body_excess
+        );
+        prop_assert_eq!(
+            fed_in_pieces(req.as_bytes(), &sizes),
+            Err(ParseError::BodyTooLarge)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Differential test: the serving layer is a transparent wrapper around
+//! the experiment engine.
+//!
+//! For every cell of the built-in `smoke` scenario, a `POST /run` over a
+//! real socket must return `PipeStats` JSON *byte-identical* to what the
+//! engine serializes when called directly — cold (server simulates) and
+//! warm (server answers from its disk cache). The vendored serde `Value`
+//! keeps insertion order and prints deterministically, so string
+//! comparison of the serialized subtree is exact, not approximate.
+
+use mtvp_engine::{builtin, suite, CacheMode, Engine, EngineOptions};
+use mtvp_serve::loadgen::http_request;
+use mtvp_serve::{ServeOptions, Server};
+use serde::{Serialize, Value};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mtvp-serve-diff-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn run_responses_match_the_engine_byte_for_byte() {
+    let dir = scratch("cache");
+    std::fs::remove_dir_all(&dir).ok();
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 32,
+        cache: CacheMode::Disk(dir.clone()),
+        request_timeout_ms: 120_000,
+        read_timeout_ms: 10_000,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    // The reference engine computes every cell independently, cache off,
+    // so the comparison cannot be satisfied by a shared cache file.
+    let reference = Engine::new(EngineOptions {
+        cache: CacheMode::Off,
+        jobs: Some(1),
+        shard: None,
+        progress: false,
+    });
+
+    let scenario = builtin("smoke").expect("smoke scenario");
+    let scale = scenario.scale_or(None);
+    let configs = scenario.configs().expect("smoke expands");
+    let benches: Vec<&str> = suite()
+        .iter()
+        .filter(|w| scenario.keeps(w))
+        .map(|w| w.name)
+        .collect();
+    assert!(!benches.is_empty() && !configs.is_empty());
+
+    let mut cells = 0;
+    for bench in &benches {
+        for (label, cfg) in &configs {
+            cells += 1;
+            let (direct, _) = reference
+                .run_cell(bench, cfg, scale)
+                .unwrap_or_else(|e| panic!("direct {bench}/{label}: {e}"));
+            let expected_stats = direct.stats.to_value().to_string();
+
+            let body = Value::Map(vec![
+                ("bench".to_string(), Value::Str(bench.to_string())),
+                (
+                    "scale".to_string(),
+                    Value::Str(mtvp_engine::key::scale_tag(scale).to_string()),
+                ),
+                ("config".to_string(), cfg.to_value()),
+            ])
+            .to_string();
+
+            for (pass, want_cached) in [("cold", false), ("warm", true)] {
+                let (status, text) = http_request(&addr, "POST", "/run", Some(&body), 120_000)
+                    .unwrap_or_else(|e| panic!("{pass} {bench}/{label}: {e}"));
+                assert_eq!(status, 200, "{pass} {bench}/{label}: {text}");
+                let v: Value = serde_json::from_str(&text).expect("response json");
+                assert_eq!(
+                    v.get("cached").and_then(Value::as_bool),
+                    Some(want_cached),
+                    "{pass} {bench}/{label}"
+                );
+                assert_eq!(
+                    v.get("bench").and_then(Value::as_str),
+                    Some(*bench),
+                    "{pass} {bench}/{label}"
+                );
+                assert_eq!(
+                    v.get("dyn_instrs").and_then(Value::as_u64),
+                    Some(direct.dyn_instrs),
+                    "{pass} {bench}/{label}"
+                );
+                let got_stats = v
+                    .get("stats")
+                    .unwrap_or_else(|| panic!("{pass} {bench}/{label}: no stats"))
+                    .to_string();
+                assert_eq!(
+                    got_stats, expected_stats,
+                    "{pass} {bench}/{label}: stats differ from the direct engine run"
+                );
+                // The round-tripped config is the one that was simulated.
+                assert_eq!(
+                    v.get("config").map(|c| c.to_string()),
+                    Some(cfg.to_value().to_string()),
+                    "{pass} {bench}/{label}"
+                );
+            }
+        }
+    }
+    assert!(cells >= 4, "smoke scenario covers at least a 2x2 grid");
+
+    // The server's cache now holds every smoke cell.
+    let (status, text) = http_request(&addr, "GET", "/cache/stats", None, 10_000).expect("stats");
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&text).expect("json");
+    assert_eq!(v.get("enabled").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        v.get("cells").and_then(Value::as_u64),
+        Some(cells as u64),
+        "{text}"
+    );
+
+    handle.shutdown();
+    let report = join.join().expect("join");
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.requests, (cells * 2 + 1) as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}

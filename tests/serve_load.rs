@@ -1,0 +1,122 @@
+//! Load hardening: a deliberately undersized server (2 workers, 4-deep
+//! queue) vs 32 closed-loop clients sending identical `/run` jobs with
+//! the cache off.
+//!
+//! What must hold under overload:
+//!
+//! - every response is 200 or 503 — backpressure, never an error class
+//!   the client can't retry on;
+//! - zero transport resets — rejected connections are drained before the
+//!   503 so no RST reaches the client;
+//! - job ids are strictly monotonic per client — one atomic id source
+//!   behind every accepted request;
+//! - the coalesce-hit counter is positive — with every client asking for
+//!   the same cell and the cache off, overlapping executions must share.
+
+use mtvp_engine::CacheMode;
+use mtvp_serve::loadgen::{self, LoadgenOptions};
+use mtvp_serve::{ServeOptions, Server};
+use serde::Value;
+
+/// Counter value from the `/metrics` registry subtree (serialized as a
+/// sequence of `[name, value]` pairs).
+fn registry_counter(metrics: &Value, name: &str) -> u64 {
+    let Some(Value::Seq(counters)) = metrics.get("registry").and_then(|r| r.get("counters")) else {
+        panic!("no registry.counters in {metrics}");
+    };
+    counters
+        .iter()
+        .filter_map(|pair| match pair {
+            Value::Seq(kv) if kv.len() == 2 => Some((kv[0].as_str()?, kv[1].as_u64()?)),
+            _ => None,
+        })
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+        .unwrap_or(0)
+}
+
+#[test]
+fn overloaded_server_degrades_gracefully() {
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 4,
+        cache: CacheMode::Off,
+        request_timeout_ms: 120_000,
+        read_timeout_ms: 10_000,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    // Identical jobs: with the cache off, deduplication can only come
+    // from in-flight coalescing. MTVP x4 is the slowest smoke-sized cell,
+    // maximizing the overlap window between the two workers.
+    let body = r#"{"bench": "mcf", "scale": "tiny",
+                   "config": {"mode": "mtvp", "contexts": 4, "oracle": true}}"#;
+    let report = loadgen::run(&LoadgenOptions {
+        addr: addr.clone(),
+        clients: 32,
+        requests_per_client: 3,
+        path: "/run".to_string(),
+        body: Some(body.to_string()),
+        timeout_ms: 120_000,
+    });
+
+    assert_eq!(report.sent, 96);
+    assert_eq!(report.resets, 0, "transport resets under overload");
+    for (status, n) in &report.statuses {
+        assert!(
+            *status == 200 || *status == 503,
+            "unexpected status {status} ({n} responses)"
+        );
+    }
+    assert!(
+        report.status_count(200) >= 2,
+        "some requests must get through: {:?}",
+        report.statuses
+    );
+    let total: u64 = report.statuses.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, report.sent, "every request got an HTTP response");
+
+    // Ids are allocated from one monotonic counter, so each client's
+    // sequential successes observe strictly increasing ids.
+    for (client, ids) in report.client_job_ids.iter().enumerate() {
+        for pair in ids.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "client {client} saw non-monotonic job ids {:?}",
+                ids
+            );
+        }
+    }
+
+    let (status, text) =
+        loadgen::http_request(&addr, "GET", "/metrics", None, 10_000).expect("metrics");
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&text).expect("metrics json");
+    assert!(
+        registry_counter(&metrics, "serve.coalesce.hits") > 0,
+        "identical concurrent jobs never coalesced: {text}"
+    );
+    assert_eq!(
+        registry_counter(&metrics, "serve.responses.200"),
+        report.status_count(200)
+    );
+    let highwater = metrics
+        .get("queue")
+        .and_then(|q| q.get("highwater"))
+        .and_then(Value::as_u64)
+        .expect("queue highwater");
+    assert!((1..=4).contains(&highwater), "highwater {highwater}");
+
+    handle.shutdown();
+    let drain = join.join().expect("join");
+    assert_eq!(
+        drain.rejected,
+        report.status_count(503),
+        "every 503 came from queue backpressure"
+    );
+    assert!(drain.coalesce_hits > 0);
+}
