@@ -8,11 +8,25 @@
 //! between the two runs (asserted here; see `tests/fast_forward.rs`), so
 //! any difference is pure simulator speed.
 //!
-//! Usage: `sim_bench [--scale tiny|small|full] [--out PATH]`
+//! With `--sampling`, it instead benchmarks two-tier sampled simulation
+//! against the full-detailed run — wall time, committed MIPS, speedup,
+//! IPC and per-statistic relative error, cold vs checkpoint-warm — and
+//! writes `BENCH_sampling.json`. It also measures the functional
+//! interpreter's throughput and asserts it clears 4x the detailed
+//! simulator's (the fast-forward tier must be fast for sampling to pay;
+//! pointer-chasing workloads are load-latency-bound in the interpreter
+//! too, so their margin is the thinnest).
+//!
+//! Usage: `sim_bench [--sampling] [--scale tiny|small|full] [--out PATH]
+//!                   [--sample W:I:U]`
 
 use mtvp_bench::scale_from_args;
-use mtvp_engine::{reference_trace, run_with_trace};
+use mtvp_engine::{
+    ipc_error, reference_trace, relative_errors, run_sampled, run_with_trace, Cache, CkptStore,
+    SampledRun, SamplingParams,
+};
 use mtvp_engine::{Mode, Scale, SimConfig};
+use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_workloads::suite;
 use std::time::Instant;
 
@@ -68,11 +82,199 @@ fn measure(
     (stats, m)
 }
 
+/// Wall-clock of one functional-interpreter run (the fast-forward tier),
+/// best of three.
+fn interp_mips(program: &mtvp_isa::Program, n: u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut bus = SimpleBus::new();
+        let mut interp = Interp::new(program);
+        let t0 = Instant::now();
+        let res = interp.run(&mut bus, 200_000_000);
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        assert!(res.halted && res.dyn_instrs == n, "interpreter diverged");
+        best = best.min(wall);
+    }
+    n as f64 / best / 1e6
+}
+
+struct SampledMeasure {
+    run: SampledRun,
+    wall_s: f64,
+    mips: f64,
+}
+
+/// One sampled run against `store`, timed. `mips` counts the *represented*
+/// instructions (the whole program) against the wall clock — the number
+/// comparable with a full run's committed MIPS at equal coverage.
+fn measure_sampled(
+    cfg: &SimConfig,
+    program: &mtvp_isa::Program,
+    n: u64,
+    trace: &std::sync::Arc<mtvp_isa::trace::Trace>,
+    store: Option<CkptStore<'_>>,
+) -> SampledMeasure {
+    let t0 = Instant::now();
+    let run = run_sampled(cfg, program, n, trace, store);
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let mips = n as f64 / wall_s / 1e6;
+    SampledMeasure { run, wall_s, mips }
+}
+
+fn sampling_main(scale: Scale, scale_name: &str, out_path: &str, sp: SamplingParams) {
+    let ckpt_dir = std::env::temp_dir().join(format!("mtvp-sim-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let cache = Cache::new(&ckpt_dir);
+
+    let mut cfg = SimConfig::new(Mode::Mtvp);
+    cfg.contexts = 4;
+    let mut sampled_cfg = cfg.clone();
+    sampled_cfg.sampling = Some(sp);
+    sampled_cfg.validate().expect("sampling schedule is valid");
+
+    let mut cells: Vec<serde_json::Value> = Vec::new();
+    println!(
+        "{:<10} {:>10} {:>8} | {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>8} {:>9}",
+        "bench",
+        "instrs",
+        "interp",
+        "full s",
+        "MIPS",
+        "cold s",
+        "warm s",
+        "MIPS",
+        "speedup",
+        "ipc err"
+    );
+    for bench in BENCHES {
+        let wl = suite()
+            .into_iter()
+            .find(|w| w.name == *bench)
+            .unwrap_or_else(|| panic!("workload {bench} not in suite"));
+        let program = wl.build(scale);
+        let (n, trace) = reference_trace(&program);
+
+        let ff_mips = interp_mips(&program, n);
+        let (full_stats, full) = measure(&cfg, &program, n, &trace);
+        // The whole point of the two-tier split: the functional tier must
+        // be far faster than the detailed tier (SimpleBus/MainMemory are
+        // arena-backed flat arrays, not hash maps). Pointer chases (mcf,
+        // vpr) hold the interpreter to ~6-7x the detailed tier, so the
+        // bound leaves headroom for machine-load noise.
+        assert!(
+            ff_mips > 4.0 * full.mips,
+            "{bench}: interpreter ({ff_mips:.1} MIPS) must outrun the detailed \
+             simulator ({:.2} MIPS) by >4x for fast-forward to pay",
+            full.mips
+        );
+
+        let store = CkptStore {
+            cache: &cache,
+            bench: wl.name,
+            scale,
+        };
+        // Cold: builds and persists every checkpoint.
+        let cold = measure_sampled(&sampled_cfg, &program, n, &trace, Some(store));
+        assert!(cold.run.ckpt_hits == 0, "{bench}: cold run hit checkpoints");
+        // Warm: best of three, every fast-forward served from checkpoints.
+        let mut warm = measure_sampled(&sampled_cfg, &program, n, &trace, Some(store));
+        for _ in 0..2 {
+            let again = measure_sampled(&sampled_cfg, &program, n, &trace, Some(store));
+            assert_eq!(
+                again.run.stats, warm.run.stats,
+                "{bench}: sampled simulation must be deterministic"
+            );
+            if again.wall_s < warm.wall_s {
+                warm = again;
+            }
+        }
+        assert_eq!(
+            cold.run.stats, warm.run.stats,
+            "{bench}: cold and checkpoint-warm estimates must be bit-identical"
+        );
+        assert_eq!(
+            warm.run.ckpt_misses, 0,
+            "{bench}: warm run rebuilt checkpoints"
+        );
+
+        let est_ipc = warm.run.stats.ipc();
+        let ipc_err = ipc_error(&full_stats, &warm.run.stats);
+        let errs = relative_errors(&full_stats, &warm.run.stats);
+        let speedup_cold = full.wall_s / cold.wall_s;
+        let speedup_warm = full.wall_s / warm.wall_s;
+        println!(
+            "{:<10} {:>10} {:>7.1}M | {:>9.3} {:>8.2} | {:>9.3} {:>9.3} {:>8.2} | {:>7.2}x {:>8.4}",
+            bench,
+            n,
+            ff_mips,
+            full.wall_s,
+            full.mips,
+            cold.wall_s,
+            warm.wall_s,
+            warm.mips,
+            speedup_warm,
+            ipc_err
+        );
+        let errs_obj: Vec<(String, serde_json::Value)> = errs
+            .iter()
+            .map(|(k, e)| (k.clone(), serde_json::json!(*e)))
+            .collect();
+        cells.push(serde_json::json!({
+            "bench": *bench,
+            "total_instrs": n,
+            "windows": warm.run.meta.windows,
+            "measured_instrs": warm.run.meta.measured_instrs,
+            "detailed_fraction": warm.run.detailed_fraction(n),
+            "interp_mips": ff_mips,
+            "full": serde_json::json!({
+                "wall_s": full.wall_s,
+                "committed_mips": full.mips,
+                "ipc": full_stats.ipc(),
+            }),
+            "sampled_cold": serde_json::json!({
+                "wall_s": cold.wall_s,
+                "committed_mips": cold.mips,
+                "ckpt_hits": cold.run.ckpt_hits,
+                "ckpt_misses": cold.run.ckpt_misses,
+            }),
+            "sampled_warm": serde_json::json!({
+                "wall_s": warm.wall_s,
+                "committed_mips": warm.mips,
+                "ckpt_hits": warm.run.ckpt_hits,
+                "ckpt_misses": warm.run.ckpt_misses,
+            }),
+            "est_ipc": est_ipc,
+            "ipc_rel_err": ipc_err,
+            "speedup_cold": speedup_cold,
+            "speedup_warm": speedup_warm,
+            "stat_rel_errs": serde_json::Value::Map(errs_obj),
+        }));
+    }
+    let doc = serde_json::json!({
+        "scale": scale_name,
+        "config": "mtvp4",
+        "sample": format!("{}:{}:{}", sp.window, sp.interval, sp.warmup),
+        "note": "two-tier sampled simulation vs full detailed run; estimates are \
+                 bit-identical cold vs checkpoint-warm (asserted); speedup is \
+                 full wall / sampled wall at equal instruction coverage",
+        "cells": cells
+    });
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&doc).expect("serializes"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
 fn main() {
     let scale = scale_from_args();
     let args: Vec<String> = std::env::args().collect();
+    let sampling = args.iter().any(|a| a == "--sampling");
     let out_path = match args.iter().position(|a| a == "--out") {
         Some(i) => args.get(i + 1).expect("--out needs a path").clone(),
+        None if sampling => "BENCH_sampling.json".to_string(),
         None => "BENCH_throughput.json".to_string(),
     };
     let scale_name = match scale {
@@ -80,6 +282,23 @@ fn main() {
         Scale::Small => "small",
         Scale::Full => "full",
     };
+    if sampling {
+        let sp = match args.iter().position(|a| a == "--sample") {
+            Some(i) => SamplingParams::parse(args.get(i + 1).expect("--sample needs W:I:U"))
+                .expect("valid --sample"),
+            // The shipped BENCH_sampling.json schedule: a 4k-instruction
+            // detailed warm-up ahead of each 2k window keeps IPC error
+            // under 1% on the well-sampled benches while the detailed
+            // tier executes only 5% of the program.
+            None => SamplingParams {
+                window: 2_000,
+                interval: 120_000,
+                warmup: 4_000,
+            },
+        };
+        sampling_main(scale, scale_name, &out_path, sp);
+        return;
+    }
 
     let configs = configs();
     let mut cells: Vec<serde_json::Value> = Vec::new();

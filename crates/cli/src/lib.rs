@@ -8,9 +8,10 @@
 #![warn(missing_docs)]
 
 use mtvp_engine::{
-    builtin, builtin_scenarios, chrome_trace, lint_program_cached, pipeview, render_speedup_table,
-    run_program, run_program_traced, suite, Cache, CacheMode, Engine, EngineOptions, Mode,
-    PredictorKind, RunReport, Scale, Scenario, SelectorKind, SimConfig, TraceOptions,
+    builtin, builtin_scenarios, chrome_trace, lint_program_cached, pipeview, reference_trace,
+    render_speedup_table, run_program, run_program_traced, run_sampled, suite, Cache, CacheMode,
+    CkptStore, Engine, EngineOptions, Mode, PredictorKind, RunReport, SamplingParams, Scale,
+    Scenario, SelectorKind, SimConfig, TraceOptions,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -54,6 +55,10 @@ pub enum Command {
         json: bool,
         /// Lifecycle tracing, when requested with `--trace`.
         trace: Option<TraceSpec>,
+        /// `--no-cache` — don't read or write sampling checkpoints.
+        no_cache: bool,
+        /// `--cache-dir DIR` checkpoint-store override (sampled runs).
+        cache_dir: Option<String>,
     },
     /// `trace <bench> [options]` — simulate with tracing and render a
     /// textual pipeline view (gem5 O3-pipeview style).
@@ -152,6 +157,9 @@ pub enum ExpCmd {
         json: bool,
         /// `--json-out FILE` — also write the report JSON to a file.
         json_out: Option<String>,
+        /// `--sample W:I:U` — run every configuration sampled (two-tier
+        /// fast-forward + detailed windows), overriding the scenario.
+        sample: Option<SamplingParams>,
     },
     /// `exp status [scenario]` — cached/total cells without running.
     Status {
@@ -247,6 +255,9 @@ fn parse_sim_config(rest: &[&str]) -> Result<(SimConfig, Scale), ParseArgsError>
     }
     if rest.contains(&"--cold-start") {
         config.warm_start = false;
+    }
+    if let Some(v) = get_flag(rest, "--sample")? {
+        config.sampling = Some(SamplingParams::parse(v).map_err(|e| ParseArgsError(e.0))?);
     }
     config.validate().map_err(|e| ParseArgsError(e.0))?;
     let scale = parse_scale(get_flag(rest, "--scale")?.unwrap_or("small"))?;
@@ -353,6 +364,7 @@ fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
                                 | "--shard"
                                 | "--cache-dir"
                                 | "--json-out"
+                                | "--sample"
                         )
                     })
             })
@@ -378,6 +390,10 @@ fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
                 Some(v) => Some(parse_shard(v)?),
                 None => None,
             };
+            let sample = match get_flag(tail, "--sample")? {
+                Some(v) => Some(SamplingParams::parse(v).map_err(|e| ParseArgsError(e.0))?),
+                None => None,
+            };
             Ok(Command::Exp(ExpCmd::Run {
                 scenario,
                 scale,
@@ -388,6 +404,7 @@ fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
                 cache_dir,
                 json: tail.contains(&"--json"),
                 json_out: get_flag(tail, "--json-out")?.map(str::to_string),
+                sample,
             }))
         }
         "status" => {
@@ -520,10 +537,16 @@ fn execute_exp(cmd: ExpCmd) -> Result<String, ParseArgsError> {
             cache_dir,
             json,
             json_out,
+            sample,
         } => {
             let mut scenario = resolve_scenario(&scenario)?;
             if let Some(b) = benches {
                 scenario.benches = b;
+            }
+            if let Some(sp) = sample {
+                for grid in &mut scenario.grids {
+                    grid.sampling = Some(sp);
+                }
             }
             let engine = engine_with(no_cache, cache_dir.as_deref(), jobs, shard, !json);
             let report = engine
@@ -915,12 +938,22 @@ impl Command {
                     .ok_or_else(|| ParseArgsError("run requires a benchmark name".into()))?
                     .to_string();
                 let (config, scale) = parse_sim_config(&rest)?;
+                let trace = parse_trace_spec(&rest)?;
+                if config.sampling.is_some() && trace.is_some() {
+                    return Err(ParseArgsError(
+                        "--sample is incompatible with --trace (sampled windows run \
+                         without the uop-lifecycle tracer)"
+                            .into(),
+                    ));
+                }
                 Ok(Command::Run {
                     bench,
                     config,
                     scale,
                     json: rest.contains(&"--json"),
-                    trace: parse_trace_spec(&rest)?,
+                    trace,
+                    no_cache: rest.contains(&"--no-cache"),
+                    cache_dir: get_flag(&rest, "--cache-dir")?.map(str::to_string),
                 })
             }
             "trace" => {
@@ -930,6 +963,13 @@ impl Command {
                     .ok_or_else(|| ParseArgsError("trace requires a benchmark name".into()))?
                     .to_string();
                 let (config, scale) = parse_sim_config(&rest)?;
+                if config.sampling.is_some() {
+                    return Err(ParseArgsError(
+                        "--sample is incompatible with the trace command (sampled \
+                         windows run without the uop-lifecycle tracer)"
+                            .into(),
+                    ));
+                }
                 let spec = parse_trace_spec(&rest)?.unwrap_or_default();
                 let rows = match get_flag(&rest, "--rows")? {
                     Some(v) => v
@@ -1102,9 +1142,75 @@ impl Command {
                 scale,
                 json,
                 trace,
+                no_cache,
+                cache_dir,
             } => {
                 let wl = find(&bench)?;
                 let program = wl.build(scale);
+                if config.sampling.is_some() {
+                    let (n, ref_trace) = reference_trace(&program);
+                    let cache = (!no_cache).then(|| {
+                        Cache::new(
+                            cache_dir
+                                .as_ref()
+                                .map(PathBuf::from)
+                                .unwrap_or_else(Cache::default_dir),
+                        )
+                    });
+                    let store = cache.as_ref().map(|c| CkptStore {
+                        cache: c,
+                        bench: wl.name,
+                        scale,
+                    });
+                    let s = run_sampled(&config, &program, n, &ref_trace, store);
+                    if json {
+                        let doc = serde_json::json!({
+                            "bench": bench,
+                            "config": config,
+                            "ipc": s.stats.ipc(),
+                            "stats": s.stats,
+                        });
+                        let sampling_doc = serde_json::json!({
+                            "windows": s.meta.windows,
+                            "total_instrs": n,
+                            "measured_instrs": s.meta.measured_instrs,
+                            "measured_cycles": s.meta.measured_cycles,
+                            "detailed_fraction": s.detailed_fraction(n),
+                            "ckpt_hits": s.ckpt_hits,
+                            "ckpt_misses": s.ckpt_misses,
+                        });
+                        let doc = match doc {
+                            serde_json::Value::Map(mut entries) => {
+                                entries.push(("sampling".to_string(), sampling_doc));
+                                serde_json::Value::Map(entries)
+                            }
+                            doc => doc,
+                        };
+                        let _ = writeln!(out, "{doc}");
+                    } else {
+                        let _ = writeln!(out, "bench      : {bench} ({})", wl.description);
+                        let _ = writeln!(out, "mode       : {:?} (sampled)", config.mode);
+                        let _ = writeln!(out, "est cycles : {}", s.stats.cycles);
+                        let _ = writeln!(out, "committed  : {}", s.stats.committed);
+                        let _ = writeln!(out, "useful IPC : {:.4} (estimated)", s.stats.ipc());
+                        let _ = writeln!(
+                            out,
+                            "sampling   : {} windows, {}/{} instrs detailed ({:.1}%)",
+                            s.meta.windows,
+                            s.meta.measured_instrs,
+                            n,
+                            100.0 * s.detailed_fraction(n)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "checkpoints: {} hits, {} misses{}",
+                            s.ckpt_hits,
+                            s.ckpt_misses,
+                            if cache.is_none() { " (cache off)" } else { "" }
+                        );
+                    }
+                    return Ok(out);
+                }
                 let (r, tracer) = match &trace {
                     Some(spec) => {
                         let opts = TraceOptions {
@@ -1287,6 +1393,7 @@ USAGE:
   mtvp-sim run <bench> [--mode M] [--contexts N] [--predictor P] [--selector S]
                        [--spawn-latency N] [--store-buffer N] [--scale tiny|small|full]
                        [--no-prefetch] [--cold-start] [--json]
+                       [--sample W:I:U] [--no-cache] [--cache-dir DIR]
                        [--trace[=RING]] [--trace-out FILE] [--trace-window START:END]
   mtvp-sim trace <bench> [run options] [--rows N] [--trace-out FILE]
   mtvp-sim compare <bench> [--scale tiny|small|full]
@@ -1297,7 +1404,7 @@ USAGE:
   mtvp-sim exp list
   mtvp-sim exp run <scenario> [--scale S] [--benches a,b,c] [--jobs N]
                               [--shard i/n] [--no-cache] [--cache-dir DIR]
-                              [--json] [--json-out FILE]
+                              [--json] [--json-out FILE] [--sample W:I:U]
   mtvp-sim exp status [scenario] [--scale S] [--cache-dir DIR]
   mtvp-sim exp diff <a> <b> [--scale S] [--cache-dir DIR]
   mtvp-sim serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
@@ -1335,6 +1442,21 @@ LINT:
   cached like experiment cells. `lint --source` instead lints the
   pipeline's hot-path source for denied collections/allocations; exit
   status is 2 when any error (or source finding) is present.
+
+SAMPLING:
+  --sample W:I:U       two-tier sampled simulation: functionally fast-forward
+                       between detailed windows of W instructions taken every I
+                       instructions, each preceded by U warm-up instructions
+                       (detailed but uncounted). Reported statistics are
+                       extrapolated estimates; the window at instruction 0 is
+                       measured exactly. Checkpoints of architectural state at
+                       each window's warm-up point persist in the cache and are
+                       shared by every configuration with the same schedule
+                       (`run --no-cache` disables the checkpoint store).
+                       Example: --sample 2000:20000:1000 runs ~15% detailed.
+                       `exp run --sample` applies the schedule to every
+                       configuration in the scenario, and scenario files may
+                       set \"sampling\" per grid. Incompatible with --trace.
 
 TRACING:
   --trace[=RING]       record uop lifecycle + MTVP thread events in a ring of
@@ -1399,6 +1521,7 @@ mod tests {
                 scale,
                 json,
                 trace,
+                ..
             } => {
                 assert_eq!(bench, "mcf");
                 assert_eq!(config.contexts, 4);
@@ -1516,8 +1639,10 @@ mod tests {
                 cache_dir,
                 json,
                 json_out,
+                sample,
             }) => {
                 assert_eq!(scenario, "smoke");
+                assert_eq!(sample, None);
                 assert_eq!(scale, Some(Scale::Tiny));
                 assert_eq!(benches, Some(vec!["mcf".to_string(), "mesa".to_string()]));
                 assert_eq!(jobs, Some(2));
@@ -1585,6 +1710,7 @@ mod tests {
             cache_dir: None,
             json: true,
             json_out: None,
+            sample: None,
         });
         let out = cmd.execute().unwrap();
         let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
@@ -1790,5 +1916,82 @@ mod tests {
         let out = cmd.execute().unwrap();
         let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
         assert!(v["ipc"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parses_sample_flag() {
+        match parse(&["run", "mcf", "--sample", "2000:20000:1000"]).unwrap() {
+            Command::Run { config, .. } => {
+                assert_eq!(
+                    config.sampling,
+                    Some(SamplingParams {
+                        window: 2_000,
+                        interval: 20_000,
+                        warmup: 1_000,
+                    })
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&["exp", "run", "fig2", "--sample", "500:5000:100"]).unwrap() {
+            Command::Exp(ExpCmd::Run {
+                scenario, sample, ..
+            }) => {
+                assert_eq!(scenario, "fig2");
+                assert_eq!(
+                    sample,
+                    Some(SamplingParams {
+                        window: 500,
+                        interval: 5_000,
+                        warmup: 100,
+                    })
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Malformed schedules, validate()-rejected schedules, and the
+        // tracer conflict are all caught at parse time.
+        assert!(parse(&["run", "mcf", "--sample", "2000:20000"]).is_err());
+        assert!(parse(&["run", "mcf", "--sample", "0:20000:0"]).is_err());
+        assert!(parse(&["run", "mcf", "--sample", "1000:5000:100", "--trace"]).is_err());
+        assert!(parse(&["trace", "mcf", "--sample", "1000:5000:100"]).is_err());
+    }
+
+    #[test]
+    fn run_sampled_executes_and_reports() {
+        let dir = std::env::temp_dir().join(format!("mtvp-cli-sample-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sampled = |json: bool| Command::Run {
+            bench: "gzip g".into(),
+            config: {
+                let mut c = SimConfig::new(Mode::Baseline);
+                c.sampling = Some(SamplingParams {
+                    window: 500,
+                    interval: 2_000,
+                    warmup: 200,
+                });
+                c
+            },
+            scale: Scale::Tiny,
+            json,
+            trace: None,
+            no_cache: false,
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+        };
+        let out = sampled(true).execute().unwrap();
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert!(v["ipc"].as_f64().unwrap() > 0.0);
+        let s = &v["sampling"];
+        assert!(s["windows"].as_u64().unwrap() > 1, "{out}");
+        let total = s["total_instrs"].as_u64().unwrap();
+        let measured = s["measured_instrs"].as_u64().unwrap();
+        assert!(0 < measured && measured < total, "{out}");
+        assert!(s["ckpt_misses"].as_u64().unwrap() > 0, "{out}");
+        assert_eq!(s["ckpt_hits"].as_u64(), Some(0), "{out}");
+        // Second run reuses every checkpoint; the text report mentions it.
+        let out2 = sampled(false).execute().unwrap();
+        assert!(out2.contains("(estimated)"), "{out2}");
+        assert!(out2.contains("0 misses"), "{out2}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

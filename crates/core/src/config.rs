@@ -107,6 +107,50 @@ pub enum Mode {
     MultiValue,
 }
 
+/// Two-tier sampled-simulation schedule: functionally interpret between
+/// sample windows, simulate in detail only inside them.
+///
+/// Window `k` measures architectural instructions
+/// `[k·interval, k·interval + window)`; detailed execution starts
+/// `warmup` instructions earlier (clamped at program start) to prime
+/// caches, branch predictors and value predictors without counting
+/// statistics. Parsed from the CLI as `window:interval:warmup`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingParams {
+    /// Measured (detailed, counted) instructions per window.
+    pub window: u64,
+    /// Instructions from one window start to the next.
+    pub interval: u64,
+    /// Detailed-but-uncounted instructions run before each window.
+    pub warmup: u64,
+}
+
+impl SamplingParams {
+    /// Parse the CLI form `window:interval:warmup` (e.g. `2000:50000:1000`).
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] for malformed or non-numeric input; range
+    /// rules (zero window, warmup ≥ interval, …) are left to
+    /// [`SimConfig::validate`].
+    pub fn parse(s: &str) -> Result<Self, ConfigError> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [w, i, u] = parts.as_slice() else {
+            return Err(ConfigError(format!(
+                "--sample expects window:interval:warmup, got `{s}`"
+            )));
+        };
+        let num = |name: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| ConfigError(format!("--sample {name} `{v}` is not a number")))
+        };
+        Ok(SamplingParams {
+            window: num("window", w)?,
+            interval: num("interval", i)?,
+            warmup: num("warmup", u)?,
+        })
+    }
+}
+
 /// A complete experiment configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -139,6 +183,10 @@ pub struct SimConfig {
     /// bit-identical either way; this only changes simulator wall-clock
     /// speed. See `PipelineConfig::fast_forward`.
     pub fast_forward: bool,
+    /// Two-tier sampled simulation (`None`: full detailed execution).
+    /// When set, reported statistics are extrapolated estimates — see
+    /// DESIGN.md §13 for the error methodology.
+    pub sampling: Option<SamplingParams>,
 }
 
 impl SimConfig {
@@ -171,6 +219,7 @@ impl SimConfig {
             mshrs: 16,
             warm_start: true,
             fast_forward: true,
+            sampling: None,
         }
     }
 
@@ -248,6 +297,45 @@ impl SimConfig {
                 "{:?} is a value-prediction mode and needs a predictor (try wf or oracle)",
                 self.mode
             )));
+        }
+        if let Some(s) = self.sampling {
+            if s.window == 0 {
+                return Err(ConfigError(
+                    "sampling window must be nonzero (a zero-length window measures nothing)"
+                        .into(),
+                ));
+            }
+            if s.interval == 0 {
+                return Err(ConfigError("sampling interval must be nonzero".into()));
+            }
+            if s.window > s.interval {
+                return Err(ConfigError(format!(
+                    "sampling window {} exceeds interval {} (windows would overlap)",
+                    s.window, s.interval
+                )));
+            }
+            if s.warmup >= s.interval {
+                return Err(ConfigError(format!(
+                    "sampling warmup {} must be shorter than interval {} (warm-up would reach \
+                     back into the previous window)",
+                    s.warmup, s.interval
+                )));
+            }
+            if self.predictor == PredictorKind::Oracle {
+                return Err(ConfigError(
+                    "sampling cannot be combined with the oracle predictor: the oracle replays \
+                     the committed-path trace and needs no warm-up, so sampled estimates of it \
+                     measure nothing real (run it full-detailed)"
+                        .into(),
+                ));
+            }
+            if self.inst_limit > 0 {
+                return Err(ConfigError(
+                    "sampling and inst_limit conflict: the sampling schedule already bounds \
+                     detailed execution (drop one of them)"
+                        .into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -375,6 +463,79 @@ mod tests {
         let mut c = SimConfig::new(Mode::MultiValue);
         c.max_values_per_load = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_params_parse() {
+        assert_eq!(
+            SamplingParams::parse("2000:50000:1000").unwrap(),
+            SamplingParams {
+                window: 2000,
+                interval: 50_000,
+                warmup: 1000,
+            }
+        );
+        assert!(SamplingParams::parse("2000:50000").is_err());
+        assert!(SamplingParams::parse("2000:50000:1000:9").is_err());
+        assert!(SamplingParams::parse("a:b:c").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_sampling_nonsense() {
+        let sampled = |f: &dyn Fn(&mut SimConfig)| {
+            let mut c = SimConfig::new(Mode::Mtvp);
+            c.sampling = Some(SamplingParams {
+                window: 2000,
+                interval: 50_000,
+                warmup: 1000,
+            });
+            f(&mut c);
+            c
+        };
+        assert!(sampled(&|_| {}).validate().is_ok());
+        let reject = |f: &dyn Fn(&mut SimConfig)| {
+            let c = sampled(f);
+            assert!(c.validate().is_err(), "{c:?} should be invalid");
+        };
+        // Zero-length window and degenerate schedules.
+        reject(&|c| c.sampling.as_mut().unwrap().window = 0);
+        reject(&|c| c.sampling.as_mut().unwrap().interval = 0);
+        reject(&|c| c.sampling.as_mut().unwrap().window = 60_000);
+        // Warm-up at least as long as the interval.
+        reject(&|c| c.sampling.as_mut().unwrap().warmup = 50_000);
+        reject(&|c| c.sampling.as_mut().unwrap().warmup = 99_999);
+        // Oracle-trace modes cannot be sampled.
+        reject(&|c| c.predictor = PredictorKind::Oracle);
+        // Conflicting termination bounds.
+        reject(&|c| c.inst_limit = 1_000_000);
+        // Back-to-back windows (window == interval, zero warm-up) are the
+        // degenerate-but-legal full-coverage schedule.
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.sampling = Some(SamplingParams {
+            window: 1000,
+            interval: 1000,
+            warmup: 0,
+        });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sampled_config_serializes() {
+        let mut cfg = SimConfig::new(Mode::Mtvp);
+        cfg.sampling = Some(SamplingParams {
+            window: 7,
+            interval: 11,
+            warmup: 3,
+        });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+        // The sampled and unsampled forms must serialize differently (they
+        // are different experiments and must get different cache keys).
+        assert_ne!(
+            json,
+            serde_json::to_string(&SimConfig::new(Mode::Mtvp)).unwrap()
+        );
     }
 
     #[test]

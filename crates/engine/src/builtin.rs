@@ -4,7 +4,7 @@
 //! artifacts and cached cells stay comparable across the refactor.
 
 use crate::scenario::{ConfigGrid, Scenario};
-use mtvp_core::Mode;
+use mtvp_core::{Mode, SamplingParams};
 use mtvp_pipeline::PredictorKind;
 use mtvp_workloads::Scale;
 
@@ -21,6 +21,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         multivalue(),
         predictors(),
         ablation(),
+        sampled(),
         smoke(),
     ]
 }
@@ -219,6 +220,34 @@ fn ablation() -> Scenario {
     s
 }
 
+/// The fig3 machines under the default two-tier sampling schedule:
+/// estimates, not exact runs — `fig3` cells are the differential
+/// reference for the measured error (DESIGN.md §13).
+fn sampled() -> Scenario {
+    let sp = SamplingParams {
+        window: 2_000,
+        interval: 20_000,
+        warmup: 1_000,
+    };
+    let mut s = Scenario::new(
+        "sampled",
+        "Two-tier sampled simulation (DESIGN.md Section 13)",
+        "The realistic Wang-Franklin machines of fig3 under the default \
+         2000:20000:1000 sampling schedule: functional fast-forward between \
+         checkpointed detailed windows. Statistics are extrapolated \
+         estimates; run `fig3` on the same benchmarks for the full-detailed \
+         reference the error bound is measured against.",
+    );
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline).sampling(sp),
+        ConfigGrid::new("stvp", Mode::Stvp).sampling(sp),
+        ConfigGrid::new("mtvp{contexts}", Mode::Mtvp)
+            .contexts(&[2, 4, 8])
+            .sampling(sp),
+    ];
+    with_series(s, "base", &["stvp", "mtvp2", "mtvp4", "mtvp8"])
+}
+
 /// The tiny CI scenario: two benchmarks, a baseline and one oracle MTVP
 /// machine. Fast enough to run twice in the `exp-smoke` job.
 fn smoke() -> Scenario {
@@ -243,13 +272,17 @@ mod tests {
     #[test]
     fn every_builtin_expands_cleanly() {
         let all = builtin_scenarios();
-        assert_eq!(all.len(), 11);
+        assert_eq!(all.len(), 12);
         for s in &all {
             let configs = s.configs().unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(!configs.is_empty(), "{} expands to nothing", s.name);
         }
         assert!(builtin("fig3").is_some());
         assert!(builtin("nope").is_none());
+        // The sampled scenario sets the schedule on every grid point and
+        // still validates (validate() runs inside configs()).
+        let sampled = builtin("sampled").unwrap().configs().unwrap();
+        assert!(sampled.iter().all(|(_, c)| c.sampling.is_some()));
     }
 
     #[test]

@@ -29,6 +29,8 @@ const CELL_MARKER: &str = "mtvp-cell-v1";
 const TRACE_MARKER: &str = "mtvp-trace-v1";
 /// Format marker for lint entries.
 const LINT_MARKER: &str = "mtvp-lint-v1";
+/// Format marker (first line) for functional checkpoints.
+const CKPT_MARKER: &str = "mtvp-ckpt-v1";
 
 /// One persisted simulation result.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -49,8 +51,36 @@ pub struct CellEntry {
     pub config: SimConfig,
     /// Dynamic instructions on the committed path.
     pub dyn_instrs: u64,
-    /// The simulation statistics.
+    /// The simulation statistics. For a sampled cell these are
+    /// extrapolated estimates (see `sampled`), not exact measurements.
     pub stats: PipeStats,
+    /// Sampled-run accounting; `None` for full-detailed cells.
+    pub sampled: Option<crate::sampling::SampledMeta>,
+}
+
+/// The reference interpreter's complete architectural state at one
+/// dynamic-instruction index: PC, register files, and the memory pages
+/// that differ from the program's initial data image (restorers replay
+/// `Program::init_memory`, then `MainMemory::install_page` each delta
+/// page — fast-forwarding by file read instead of by interpretation).
+/// Storing the delta rather than the resident set keeps checkpoints of
+/// constant-data-heavy workloads to a few pages; a full-image `pages`
+/// list restores identically, just slower. Stored in a compact line
+/// format (hex pages; JSON would more than triple the footprint).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// PC at the checkpoint.
+    pub pc: u64,
+    /// Dynamic instructions executed (the checkpoint's identity index).
+    pub index: u64,
+    /// Integer register file.
+    pub int_regs: [u64; 32],
+    /// FP register file as raw bits, so the round trip is bit-exact for
+    /// every value including NaNs.
+    pub fp_bits: [u64; 32],
+    /// Pages differing from the initial data image
+    /// `(base address, 4 KiB image)`, sorted by base.
+    pub pages: Vec<(u64, Vec<u8>)>,
 }
 
 /// One persisted static-lint result, stored alongside experiment cells
@@ -240,6 +270,102 @@ impl Cache {
         std::fs::rename(&tmp, &path)
     }
 
+    fn ckpt_path(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt"))
+    }
+
+    /// Load the functional checkpoint for `key`, verifying the stored
+    /// descriptor. `None` means "fast-forward by interpretation instead"
+    /// (miss, corrupt entry, or stale descriptor).
+    pub fn load_ckpt(&self, key: &JobKey, descriptor: &str) -> Option<Checkpoint> {
+        let file = std::fs::File::open(self.ckpt_path(key)).ok()?;
+        let mut lines = BufReader::new(file).lines();
+        if lines.next()?.ok()? != CKPT_MARKER {
+            return None;
+        }
+        if lines.next()?.ok()? != descriptor {
+            return None;
+        }
+        let header = lines.next()?.ok()?;
+        let mut parts = header.split(' ');
+        let pc: u64 = parts.next()?.parse().ok()?;
+        let index: u64 = parts.next()?.parse().ok()?;
+        let n_pages: usize = parts.next()?.parse().ok()?;
+        let regs32 = |line: String, tag: &str| -> Option<[u64; 32]> {
+            let mut it = line.split(' ');
+            if it.next()? != tag {
+                return None;
+            }
+            let mut regs = [0u64; 32];
+            for r in regs.iter_mut() {
+                *r = it.next()?.parse().ok()?;
+            }
+            it.next().is_none().then_some(regs)
+        };
+        let int_regs = regs32(lines.next()?.ok()?, "i")?;
+        let fp_bits = regs32(lines.next()?.ok()?, "f")?;
+        let mut pages = Vec::with_capacity(n_pages);
+        for line in lines {
+            let line = line.ok()?;
+            let mut it = line.split(' ');
+            if it.next()? != "p" {
+                return None;
+            }
+            let base: u64 = it.next()?.parse().ok()?;
+            let hex = it.next()?;
+            if it.next().is_some() || hex.len() % 2 != 0 {
+                return None;
+            }
+            let bytes: Option<Vec<u8>> = (0..hex.len() / 2)
+                .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).ok())
+                .collect();
+            pages.push((base, bytes?));
+        }
+        (pages.len() == n_pages).then_some(Checkpoint {
+            pc,
+            index,
+            int_regs,
+            fp_bits,
+            pages,
+        })
+    }
+
+    /// Persist a functional checkpoint atomically.
+    pub fn store_ckpt(
+        &self,
+        key: &JobKey,
+        descriptor: &str,
+        ckpt: &Checkpoint,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.ckpt_path(key);
+        let tmp = tmp_sibling(&path);
+        {
+            let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(w, "{CKPT_MARKER}")?;
+            writeln!(w, "{descriptor}")?;
+            writeln!(w, "{} {} {}", ckpt.pc, ckpt.index, ckpt.pages.len())?;
+            for (tag, regs) in [("i", &ckpt.int_regs), ("f", &ckpt.fp_bits)] {
+                write!(w, "{tag}")?;
+                for r in regs.iter() {
+                    write!(w, " {r}")?;
+                }
+                writeln!(w)?;
+            }
+            let mut hex = String::new();
+            for (base, bytes) in &ckpt.pages {
+                hex.clear();
+                for b in bytes.iter() {
+                    use std::fmt::Write as _;
+                    let _ = write!(hex, "{b:02x}");
+                }
+                writeln!(w, "p {base} {hex}")?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let tmp = tmp_sibling(path);
@@ -286,6 +412,7 @@ mod tests {
             config: cfg.clone(),
             dyn_instrs: 1234,
             stats: PipeStats::default(),
+            sampled: None,
         };
         cache.store_cell(&key, &entry).unwrap();
         let back = cache.load_cell(&key, &desc).expect("hit");
@@ -315,6 +442,36 @@ mod tests {
         // A different descriptor for the same file is rejected.
         let other = crate::key::lint_descriptor("mesa", Scale::Tiny);
         assert!(cache.load_lint(&key, &other).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ckpt_round_trip_is_bit_exact() {
+        let dir = scratch();
+        let cache = Cache::new(&dir);
+        let desc = crate::key::ckpt_descriptor("mcf", Scale::Tiny, 50_000);
+        let key = key_of(&desc);
+        assert!(cache.load_ckpt(&key, &desc).is_none());
+        let mut int_regs = [0u64; 32];
+        int_regs[5] = u64::MAX;
+        let mut fp_bits = [0u64; 32];
+        fp_bits[7] = f64::NAN.to_bits();
+        let mut page = vec![0u8; 4096];
+        page[0] = 0xab;
+        page[4095] = 0xcd;
+        let ckpt = Checkpoint {
+            pc: 42,
+            index: 50_000,
+            int_regs,
+            fp_bits,
+            pages: vec![(0, page.clone()), (1 << 20, vec![0xee; 4096])],
+        };
+        cache.store_ckpt(&key, &desc, &ckpt).unwrap();
+        let back = cache.load_ckpt(&key, &desc).expect("hit");
+        assert_eq!(back, ckpt);
+        // A different descriptor (other index) for the same file misses.
+        let other = crate::key::ckpt_descriptor("mcf", Scale::Tiny, 60_000);
+        assert!(cache.load_ckpt(&key, &other).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,6 +21,7 @@
 use crate::cache::{Cache, CellEntry};
 use crate::key::{cell_descriptor, key_of, scale_tag, trace_descriptor, JobKey, SIM_VERSION};
 use crate::run::{reference_trace, run_with_trace};
+use crate::sampling::{run_sampled, CkptStore, SampledMeta};
 use crate::scenario::{Scenario, ScenarioError};
 use crate::scheduler::Scheduler;
 use crate::sweep::{Cell, Sweep};
@@ -252,8 +253,23 @@ impl Engine {
                 (n, t)
             }
         };
-        let r = run_with_trace(cfg, &program, dyn_instrs, trace);
-        let entry = cell_entry(&wl, cfg, scale, &descriptor, r.dyn_instrs, r.stats);
+        let (stats, sampled) = if cfg.sampling.is_some() {
+            let s = run_sampled(
+                cfg,
+                &program,
+                dyn_instrs,
+                &trace,
+                cache.as_ref().map(|c| CkptStore {
+                    cache: c,
+                    bench: wl.name,
+                    scale,
+                }),
+            );
+            (s.stats, Some(s.meta))
+        } else {
+            (run_with_trace(cfg, &program, dyn_instrs, trace).stats, None)
+        };
+        let entry = cell_entry(&wl, cfg, scale, &descriptor, dyn_instrs, stats, sampled);
         if let Some(c) = &cache {
             let _ = c.store_cell(&key, &entry);
         }
@@ -357,6 +373,8 @@ impl Engine {
         let sim_cycles = Mutex::new(Vec::with_capacity(jobs.len()));
         let n_jobs = jobs.len();
         let progress = self.opts.progress;
+        let ckpt_hits = std::sync::atomic::AtomicU64::new(0);
+        let ckpt_misses = std::sync::atomic::AtomicU64::new(0);
         let fresh: Vec<(usize, String, CellEntry)> = scheduler.run(
             &jobs,
             |j| workload_cost(&workloads[j.bench_idx], scale, j.config.contexts as u64),
@@ -364,8 +382,34 @@ impl Engine {
                 let wl = &workloads[j.bench_idx];
                 let (program, dyn_instrs, trace) =
                     by_bench.get(&j.bench_idx).expect("trace prepared");
-                let r = run_with_trace(&j.config, program, *dyn_instrs, trace.clone());
-                let entry = cell_entry(wl, &j.config, scale, &j.descriptor, r.dyn_instrs, r.stats);
+                let (stats, sampled) = if j.config.sampling.is_some() {
+                    let s = run_sampled(
+                        &j.config,
+                        program,
+                        *dyn_instrs,
+                        trace,
+                        cache.as_ref().map(|c| CkptStore {
+                            cache: c,
+                            bench: wl.name,
+                            scale,
+                        }),
+                    );
+                    ckpt_hits.fetch_add(s.ckpt_hits, std::sync::atomic::Ordering::Relaxed);
+                    ckpt_misses.fetch_add(s.ckpt_misses, std::sync::atomic::Ordering::Relaxed);
+                    (s.stats, Some(s.meta))
+                } else {
+                    let r = run_with_trace(&j.config, program, *dyn_instrs, trace.clone());
+                    (r.stats, None)
+                };
+                let entry = cell_entry(
+                    wl,
+                    &j.config,
+                    scale,
+                    &j.descriptor,
+                    *dyn_instrs,
+                    stats,
+                    sampled,
+                );
                 if let Some(c) = &cache {
                     let _ = c.store_cell(&j.key, &entry);
                 }
@@ -417,6 +461,8 @@ impl Engine {
         registry.add("exp.cells.shard_skipped", skipped_by_shard as u64);
         registry.add("exp.traces.built", traces_built as u64);
         registry.add("exp.traces.cached", traces_cached as u64);
+        registry.add("exp.ckpt.hits", ckpt_hits.into_inner());
+        registry.add("exp.ckpt.misses", ckpt_misses.into_inner());
         for cycles in sim_cycles.into_inner().expect("cycles lock") {
             registry.observe("exp.cell.sim_cycles", cycles);
         }
@@ -444,6 +490,7 @@ fn cell_entry(
     descriptor: &str,
     dyn_instrs: u64,
     stats: mtvp_pipeline::PipeStats,
+    sampled: Option<SampledMeta>,
 ) -> CellEntry {
     CellEntry {
         format: "mtvp-cell-v1".to_string(),
@@ -455,6 +502,7 @@ fn cell_entry(
         config: cfg.clone(),
         dyn_instrs,
         stats,
+        sampled,
     }
 }
 
@@ -618,6 +666,46 @@ mod tests {
         let mut bad = SimConfig::new(Mode::Baseline);
         bad.contexts = 8;
         assert!(engine.run_cell("mcf", &bad, Scale::Tiny).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sampled_sweep_shares_checkpoints_across_configs() {
+        use mtvp_core::SamplingParams;
+        let dir = scratch();
+        let engine = Engine::new(EngineOptions {
+            cache: CacheMode::Disk(dir.clone()),
+            ..EngineOptions::default()
+        });
+        let sp = SamplingParams {
+            window: 1_000,
+            interval: 8_000,
+            warmup: 500,
+        };
+        let mut a = SimConfig::new(Mode::Mtvp);
+        a.sampling = Some(sp);
+        let mut b = SimConfig::new(Mode::Baseline);
+        b.sampling = Some(sp);
+        let keep = |w: &Workload| w.name == "mcf";
+
+        // Cold: every checkpoint is built and persisted.
+        let cold = engine.run_cells(&[("a".to_string(), a.clone())], Scale::Small, keep);
+        assert_eq!(cold.simulated, 1);
+        assert!(cold.registry.counter("exp.ckpt.misses") > 0);
+        assert_eq!(cold.registry.counter("exp.ckpt.hits"), 0);
+
+        // A different configuration with the same schedule reuses them all.
+        let shared = engine.run_cells(&[("b".to_string(), b)], Scale::Small, keep);
+        assert_eq!(shared.simulated, 1);
+        assert_eq!(shared.registry.counter("exp.ckpt.misses"), 0);
+        assert!(shared.registry.counter("exp.ckpt.hits") > 0);
+
+        // Re-running the first configuration is a pure cell-cache hit —
+        // its stored (extrapolated) stats round-trip bit-identically.
+        let again = engine.run_cells(&[("a".to_string(), a)], Scale::Small, keep);
+        assert_eq!(again.simulated, 0);
+        assert_eq!(again.cache_hits, 1);
+        assert_eq!(again.sweep, cold.sweep);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,7 +14,7 @@ use mtvp_workloads::Scale;
 /// Bump this whenever a change alters simulated statistics (pipeline
 /// semantics, memory timing, predictor behaviour, workload generation) so
 /// stale cache entries can never be served for the new simulator.
-pub const SIM_VERSION: &str = "mtvp-sim-v2";
+pub const SIM_VERSION: &str = "mtvp-sim-v3";
 
 /// A stable 128-bit content hash identifying one job, as 32 hex digits.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +87,19 @@ pub fn trace_descriptor(bench: &str, scale: Scale) -> String {
     format!("{SIM_VERSION}|trace|{bench}|{}", scale_tag(scale))
 }
 
+/// Canonical descriptor of one functional checkpoint: the reference
+/// interpreter's architectural state at dynamic-instruction `index`.
+///
+/// Deliberately *excludes* the simulation configuration: architectural
+/// state at an instruction index is a pure function of the program, so
+/// every configuration in a sweep that fast-forwards to the same index —
+/// any set sharing a sampling schedule — reuses one checkpoint. The
+/// micro-architectural warm state is not stored; each configuration
+/// rebuilds it deterministically with its own warm-up run.
+pub fn ckpt_descriptor(bench: &str, scale: Scale, index: u64) -> String {
+    format!("{SIM_VERSION}|ckpt|{bench}|{}|{index}", scale_tag(scale))
+}
+
 /// Canonical descriptor of one static-lint result (benchmark × scale).
 /// Includes both the simulator version (workload generation feeds the
 /// linted program) and the analysis version (rule changes invalidate
@@ -119,6 +132,9 @@ mod tests {
         assert_ne!(a, e);
         let f = key_of(&lint_descriptor("mcf", Scale::Tiny));
         assert_ne!(e, f);
+        let g = key_of(&ckpt_descriptor("mcf", Scale::Tiny, 50_000));
+        assert_ne!(g, key_of(&ckpt_descriptor("mcf", Scale::Tiny, 100_000)));
+        assert_ne!(g, key_of(&ckpt_descriptor("mcf", Scale::Small, 50_000)));
         assert!(lint_descriptor("mcf", Scale::Tiny).contains(mtvp_analysis::ANALYSIS_VERSION));
     }
 

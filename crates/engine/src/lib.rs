@@ -50,19 +50,24 @@ pub mod engine;
 pub mod key;
 pub mod lint;
 pub mod run;
+pub mod sampling;
 pub mod scenario;
 pub mod scheduler;
 pub mod sweep;
 
 pub use builtin::{builtin, builtin_scenarios};
-pub use cache::{Cache, CellEntry, LintEntry};
+pub use cache::{Cache, CellEntry, Checkpoint, LintEntry};
 pub use coalesce::{Coalesced, Coalescer};
 pub use engine::{render_speedup_table, CacheMode, Engine, EngineOptions, RunReport, StatusReport};
-pub use key::{cell_descriptor, key_of, lint_descriptor, trace_descriptor, JobKey, SIM_VERSION};
+pub use key::{
+    cell_descriptor, ckpt_descriptor, key_of, lint_descriptor, trace_descriptor, JobKey,
+    SIM_VERSION,
+};
 pub use lint::{lint_program_cached, LintOutcome};
 pub use run::{
     reference_trace, run_program, run_program_traced, run_with_trace, RunResult, TraceOptions,
 };
+pub use sampling::{ipc_error, relative_errors, run_sampled, CkptStore, SampledMeta, SampledRun};
 pub use scenario::{ConfigGrid, Scenario, ScenarioError};
 pub use scheduler::{parallel_map, Scheduler};
 pub use sweep::{Cell, Sweep};
@@ -70,7 +75,8 @@ pub use sweep::{Cell, Sweep};
 // The experiment-level vocabulary, re-exported so dependents need only
 // this crate (mirrors the old `mtvp_core` surface).
 pub use mtvp_core::{
-    parse_mode, parse_predictor, parse_scale, parse_selector, ConfigError, Mode, SimConfig,
+    parse_mode, parse_predictor, parse_scale, parse_selector, ConfigError, Mode, SamplingParams,
+    SimConfig,
 };
 pub use mtvp_obs::{chrome_trace, pipeview, Event, Registry, RingTracer};
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};

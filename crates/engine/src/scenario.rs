@@ -13,7 +13,8 @@
 //! variant names.
 
 use mtvp_core::{
-    parse_mode, parse_predictor, parse_scale, parse_selector, Mode, SimConfig, Workload,
+    parse_mode, parse_predictor, parse_scale, parse_selector, Mode, SamplingParams, SimConfig,
+    Workload,
 };
 use mtvp_pipeline::{PredictorKind, SelectorKind};
 use mtvp_workloads::Scale;
@@ -62,6 +63,9 @@ pub struct ConfigGrid {
     pub warm_start: Option<bool>,
     /// Override values followed per load (MultiValue mode).
     pub max_values_per_load: Option<usize>,
+    /// Two-tier sampled simulation schedule (`None`: full detailed).
+    /// Scenario files accept the CLI form `"window:interval:warmup"`.
+    pub sampling: Option<SamplingParams>,
 }
 
 impl ConfigGrid {
@@ -80,6 +84,7 @@ impl ConfigGrid {
             prefetcher: None,
             warm_start: None,
             max_values_per_load: None,
+            sampling: None,
         }
     }
 
@@ -137,6 +142,12 @@ impl ConfigGrid {
         self
     }
 
+    /// Builder: sampled-simulation schedule.
+    pub fn sampling(mut self, s: SamplingParams) -> ConfigGrid {
+        self.sampling = Some(s);
+        self
+    }
+
     /// Expand the grid into labelled, validated configurations, nested
     /// contexts → spawn → store buffer → MSHRs (outermost varies slowest).
     pub fn expand(&self) -> Result<Vec<(String, SimConfig)>, ScenarioError> {
@@ -159,6 +170,9 @@ impl ConfigGrid {
         }
         if let Some(n) = self.max_values_per_load {
             base.max_values_per_load = n;
+        }
+        if let Some(s) = self.sampling {
+            base.sampling = Some(s);
         }
         let axis = |list: &[u64], default: u64| -> Vec<u64> {
             if list.is_empty() {
@@ -342,6 +356,14 @@ fn selector_value(v: &Value) -> Result<SelectorKind, serde::Error> {
     parse_selector(s).map_err(|e| serde::Error(e.0))
 }
 
+fn sampling_value(v: &Value) -> Result<SamplingParams, serde::Error> {
+    if let Ok(s) = SamplingParams::from_value(v) {
+        return Ok(s);
+    }
+    let s = serde::str_get(v)?;
+    SamplingParams::parse(s).map_err(|e| serde::Error(e.0))
+}
+
 fn scale_value(v: &Value) -> Result<Scale, serde::Error> {
     if let Ok(s) = Scale::from_value(v) {
         return Ok(s);
@@ -376,6 +398,7 @@ impl Deserialize for ConfigGrid {
             |x| usize::from_value(x).map(Some),
             None,
         )?;
+        grid.sampling = tolerant(v, "sampling", |x| sampling_value(x).map(Some), None)?;
         Ok(grid)
     }
 }
@@ -468,7 +491,8 @@ mod tests {
             "grids": [
                 {"label": "base", "mode": "baseline"},
                 {"label": "nostall", "mode": "mtvp-nostall",
-                 "predictor": "wf-liberal", "selector": "l3"}
+                 "predictor": "wf-liberal", "selector": "l3",
+                 "sampling": "2000:50000:1000"}
             ]
         }"#;
         let s = Scenario::from_json(text).unwrap();
@@ -477,6 +501,15 @@ mod tests {
         let configs = s.configs().unwrap();
         assert_eq!(configs.len(), 2);
         assert_eq!(configs[1].1.mode, Mode::MtvpNoStall);
+        assert_eq!(configs[0].1.sampling, None);
+        assert_eq!(
+            configs[1].1.sampling,
+            Some(SamplingParams {
+                window: 2000,
+                interval: 50_000,
+                warmup: 1000,
+            })
+        );
         assert_eq!(
             configs[1].1.predictor,
             mtvp_pipeline::PredictorKind::WangFranklinLiberal

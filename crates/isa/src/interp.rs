@@ -10,10 +10,13 @@
 use crate::inst::Op;
 use crate::program::Program;
 use crate::trace::{Trace, TraceEntry};
-use std::collections::HashMap;
+use std::cell::Cell;
 
 /// Byte size of a [`SimpleBus`] page.
 const PAGE_SIZE: u64 = 4096;
+/// Pages per directory group: each group table spans 64 MiB of address
+/// space and costs 64 KiB of `u32` slots when touched.
+const GROUP_PAGES: u64 = 1 << 14;
 
 /// Data-memory interface used by the interpreter (and implemented by the
 /// cycle simulator's main memory in `mtvp-mem`).
@@ -28,9 +31,25 @@ pub trait Bus {
 }
 
 /// A simple sparse paged memory, sufficient for functional execution.
+///
+/// Pages live in a flat arena indexed through a two-level directory
+/// (group → page slot) with a one-entry cache of the last page touched —
+/// the same layout as `mtvp-mem`'s `MainMemory`, for the same reason:
+/// functional fast-forward does one memory access per load/store, and a
+/// compare + direct slice index beats a hash-map probe on every one of
+/// them. Reads of absent pages never allocate.
 #[derive(Clone, Debug, Default)]
 pub struct SimpleBus {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// All resident pages, in allocation order.
+    arena: Vec<Box<[u8]>>,
+    /// Page number of each arena slot (parallel to `arena`).
+    page_addrs: Vec<u64>,
+    /// Group directory: `dir[page >> 14][page & 0x3fff]` is the arena
+    /// slot + 1 of that page, or 0 when the page is absent.
+    dir: Vec<Option<Box<[u32]>>>,
+    /// `(page_number, arena_slot + 1)` of the last page touched; slot 0
+    /// means the cache is empty. A `Cell` lets read paths keep `&self`.
+    last_page: Cell<(u64, u32)>,
 }
 
 impl SimpleBus {
@@ -39,16 +58,52 @@ impl SimpleBus {
         Self::default()
     }
 
+    /// Arena slot of `page`, if resident.
+    #[inline]
+    fn slot_of(&self, page: u64) -> Option<usize> {
+        let (cached_page, cached_slot) = self.last_page.get();
+        if cached_slot != 0 && cached_page == page {
+            return Some(cached_slot as usize - 1);
+        }
+        let group = (page / GROUP_PAGES) as usize;
+        let slot = *self
+            .dir
+            .get(group)?
+            .as_ref()?
+            .get((page % GROUP_PAGES) as usize)?;
+        if slot == 0 {
+            return None;
+        }
+        self.last_page.set((page, slot));
+        Some(slot as usize - 1)
+    }
+
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        self.pages
-            .entry(page)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        let idx = match self.slot_of(page) {
+            Some(idx) => idx,
+            None => {
+                let group = (page / GROUP_PAGES) as usize;
+                if group >= self.dir.len() {
+                    self.dir.resize_with(group + 1, || None);
+                }
+                let table = self.dir[group]
+                    .get_or_insert_with(|| vec![0u32; GROUP_PAGES as usize].into_boxed_slice());
+                self.arena
+                    .push(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                self.page_addrs.push(page);
+                let slot = self.arena.len() as u32; // slot + 1 encoding
+                table[(page % GROUP_PAGES) as usize] = slot;
+                self.last_page.set((page, slot));
+                slot as usize - 1
+            }
+        };
+        &mut self.arena[idx]
     }
 
     /// Read a single byte.
-    pub fn read_u8(&mut self, addr: u64) -> u8 {
+    pub fn read_u8(&self, addr: u64) -> u8 {
         let (page, off) = (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize);
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.slot_of(page).map_or(0, |idx| self.arena[idx][off])
     }
 
     /// Write a single byte.
@@ -59,7 +114,56 @@ impl SimpleBus {
 
     /// Number of pages that have ever been written.
     pub fn touched_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
+    }
+
+    /// Iterate over the resident pages as `(byte base address, contents)`,
+    /// in allocation order (sort by address for a canonical image).
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.page_addrs
+            .iter()
+            .zip(self.arena.iter())
+            .map(|(&page, bytes)| (page * PAGE_SIZE, &bytes[..]))
+    }
+
+    /// Install a full page image at `base` (must be page-aligned, and
+    /// `bytes` must be exactly one page).
+    pub fn install_page(&mut self, base: u64, bytes: &[u8]) {
+        assert_eq!(base % PAGE_SIZE, 0, "page base must be aligned");
+        assert_eq!(
+            bytes.len() as u64,
+            PAGE_SIZE,
+            "page must be {PAGE_SIZE} bytes"
+        );
+        self.page_mut(base / PAGE_SIZE).copy_from_slice(bytes);
+    }
+
+    /// FNV-1a checksum over all resident page contents (page-order
+    /// independent: each page hashed with its address). Matches
+    /// `MainMemory::checksum` in `mtvp-mem`, so the interpreter's and the
+    /// pipeline's final memory images are directly comparable.
+    pub fn checksum(&self) -> u64 {
+        let mut pages: Vec<(u64, &[u8])> = self
+            .page_addrs
+            .iter()
+            .copied()
+            .zip(self.arena.iter().map(|p| &p[..]))
+            .collect();
+        pages.sort_by_key(|&(addr, _)| addr);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for (addr, page) in pages {
+            for b in addr.to_le_bytes() {
+                mix(b);
+            }
+            for &b in page.iter() {
+                mix(b);
+            }
+        }
+        h
     }
 }
 
@@ -67,8 +171,11 @@ impl Bus for SimpleBus {
     fn read_u64(&mut self, addr: u64) -> u64 {
         if addr % PAGE_SIZE <= PAGE_SIZE - 8 {
             let (page, off) = (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize);
-            match self.pages.get(&page) {
-                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+            match self.slot_of(page) {
+                Some(idx) => {
+                    let p = &self.arena[idx];
+                    u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes"))
+                }
                 None => 0,
             }
         } else {
@@ -287,6 +394,21 @@ impl<'p> Interp<'p> {
         self.counts.dyn_instrs
     }
 
+    /// Reposition the interpreter at `pc` with `dyn_instrs` instructions
+    /// already accounted for, clearing the halt flag.
+    ///
+    /// This is the import half of the sampled-simulation state-transfer
+    /// contract: the caller is responsible for making the register files
+    /// (public fields) and the memory image behind the [`Bus`] consistent
+    /// with that execution point. The load/store/branch counters are *not*
+    /// rewound — after a resume they describe only the functionally
+    /// executed portion of the run.
+    pub fn resume_at(&mut self, pc: u64, dyn_instrs: u64) {
+        self.pc = pc;
+        self.counts.dyn_instrs = dyn_instrs;
+        self.halted = false;
+    }
+
     #[inline]
     fn set_int(&mut self, rd: u8, val: u64) {
         if rd != 0 {
@@ -461,6 +583,58 @@ mod tests {
         bus.write_u64(addr, 0x0102_0304_0506_0708);
         assert_eq!(bus.read_u64(addr), 0x0102_0304_0506_0708);
         assert!(bus.touched_pages() >= 2);
+    }
+
+    #[test]
+    fn bus_pages_export_install_checksum() {
+        let mut bus = SimpleBus::new();
+        bus.write_u64(0x1000, 7);
+        // A page in a distant directory group.
+        let far = GROUP_PAGES * PAGE_SIZE * 2 + 16;
+        bus.write_u64(far, 9);
+        assert_eq!(bus.read_u64(0xdead_0000), 0); // absent: no allocation
+        assert_eq!(bus.touched_pages(), 2);
+        let mut pages: Vec<(u64, Vec<u8>)> = bus.pages().map(|(a, b)| (a, b.to_vec())).collect();
+        pages.sort_by_key(|&(a, _)| a);
+        assert_eq!(pages.len(), 2);
+        // Installing the exported image reproduces contents and checksum
+        // even when installed in the opposite order.
+        let mut copy = SimpleBus::new();
+        for (a, b) in pages.iter().rev() {
+            copy.install_page(*a, b);
+        }
+        assert_eq!(copy.read_u64(0x1000), 7);
+        assert_eq!(copy.read_u64(far), 9);
+        assert_eq!(copy.checksum(), bus.checksum());
+        copy.write_u64(far, 10);
+        assert_ne!(copy.checksum(), bus.checksum());
+    }
+
+    #[test]
+    fn interp_resume_at_repositions() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 5)
+            .li(Reg(2), 6)
+            .add(Reg(3), Reg(1), Reg(2))
+            .halt();
+        let p = b.build();
+        let mut bus = SimpleBus::new();
+        p.init_memory(&mut bus);
+        let mut it = Interp::new(&p);
+        while !it.halted() {
+            it.step(&mut bus, None);
+        }
+        assert_eq!(it.dyn_instrs(), 4);
+        // Rewind to just before the add, as a sampled run would after a
+        // detailed window, and re-execute the tail.
+        it.resume_at(2, 2);
+        assert!(!it.halted());
+        it.int_regs[3] = 0;
+        while !it.halted() {
+            it.step(&mut bus, None);
+        }
+        assert_eq!(it.int_regs[3], 11);
+        assert_eq!(it.dyn_instrs(), 4);
     }
 
     #[test]

@@ -128,6 +128,40 @@ impl MainMemory {
         self.arena.len()
     }
 
+    /// Iterate over the resident pages as `(byte base address, contents)`,
+    /// in allocation order (sort by address for a canonical image). Used
+    /// to export the architectural image for sampled-simulation
+    /// checkpoints.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.page_addrs
+            .iter()
+            .zip(self.arena.iter())
+            .map(|(&page, bytes)| (page * PAGE_SIZE, &bytes[..]))
+    }
+
+    /// The resident page at byte address `base` (must be page-aligned),
+    /// or `None` if absent. Does not count as an access. Checkpoint
+    /// writers use this to diff a memory image against the program's
+    /// initial data image and persist only the pages that changed.
+    pub fn page(&self, base: u64) -> Option<&[u8]> {
+        assert_eq!(base % PAGE_SIZE, 0, "page base must be aligned");
+        self.slot_of(base / PAGE_SIZE)
+            .map(|idx| &self.arena[idx][..])
+    }
+
+    /// Install a full page image at `base` (must be page-aligned, and
+    /// `bytes` must be exactly one page). The import half of the
+    /// checkpoint/state-transfer contract; does not count as an access.
+    pub fn install_page(&mut self, base: u64, bytes: &[u8]) {
+        assert_eq!(base % PAGE_SIZE, 0, "page base must be aligned");
+        assert_eq!(
+            bytes.len() as u64,
+            PAGE_SIZE,
+            "page must be {PAGE_SIZE} bytes"
+        );
+        self.page_mut(base / PAGE_SIZE).copy_from_slice(bytes);
+    }
+
     /// FNV-1a checksum over all resident page contents (page-order
     /// independent: each page hashed with its address). Used by
     /// differential tests to compare final memory images.
@@ -214,6 +248,31 @@ mod tests {
         c.write_u64(0x1008, 2);
         c.write_u64(0x1000, 1);
         assert_eq!(b.checksum(), c.checksum());
+    }
+
+    #[test]
+    fn pages_export_and_install_round_trip() {
+        let mut m = MainMemory::new();
+        m.write_u64(0x2000, 11);
+        m.write_u64(GROUP_PAGES * PAGE_SIZE + 8, 22);
+        let mut copy = MainMemory::new();
+        for (base, bytes) in m.pages() {
+            copy.install_page(base, bytes);
+        }
+        assert_eq!(copy.peek_u64(0x2000), 11);
+        assert_eq!(copy.peek_u64(GROUP_PAGES * PAGE_SIZE + 8), 22);
+        assert_eq!(copy.checksum(), m.checksum());
+        assert_eq!(copy.access_counts(), (0, 0)); // installs are not accesses
+    }
+
+    #[test]
+    fn page_lookup() {
+        let mut m = MainMemory::new();
+        m.write_u64(0x3008, 7);
+        let page = m.page(0x3000).expect("resident");
+        assert_eq!(page.len() as u64, PAGE_SIZE);
+        assert_eq!(u64::from_le_bytes(page[8..16].try_into().unwrap()), 7);
+        assert!(m.page(0x5000).is_none());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum SquashCause {
     /// A spawned child survived reconciliation, so the parent's own
     /// post-load instructions are redundant.
     SpawnResolved,
+    /// A sampled-simulation drain discarded all in-flight work at the end
+    /// of a detailed window (see `Machine::drain_to_arch`).
+    Drain,
 }
 
 /// Why a uop was sent back for re-execution without being squashed.
@@ -38,6 +41,9 @@ pub enum KillCause {
     MemOrder,
     /// The child's flash-copied rename map became stale (parent redispatch).
     StaleRename,
+    /// A sampled-simulation drain ended the detailed window while the
+    /// subtree was still speculative.
+    Drained,
 }
 
 /// Which value-prediction mechanism produced a prediction.
@@ -236,6 +242,7 @@ impl SquashCause {
             SquashCause::BranchMispredict => "branch_mispredict",
             SquashCause::ThreadKill => "thread_kill",
             SquashCause::SpawnResolved => "spawn_resolved",
+            SquashCause::Drain => "drain",
         }
     }
 }
@@ -258,6 +265,7 @@ impl KillCause {
             KillCause::ParentSquashed => "parent_squashed",
             KillCause::MemOrder => "mem_order",
             KillCause::StaleRename => "stale_rename",
+            KillCause::Drained => "drained",
         }
     }
 }

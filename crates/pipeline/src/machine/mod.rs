@@ -23,7 +23,7 @@ use mtvp_branch::{Btb, DirectionPredictor};
 use mtvp_isa::trace::Trace;
 use mtvp_isa::{ExecUnit, Program};
 use mtvp_mem::{MainMemory, MemEvent, MemStats, MemSystem};
-use mtvp_obs::{Event, NullTracer, Tracer};
+use mtvp_obs::{Event, KillCause, NullTracer, SquashCause, Tracer};
 use mtvp_vp::{
     DfcmPredictor, IlpPred, LastValuePredictor, OraclePredictor, Prediction, PredictorCounters,
     SelectDecision, StridePredictor, ValuePredictor, WangFranklinConfig, WangFranklinPredictor,
@@ -265,6 +265,21 @@ impl<'p> Machine<'p> {
     ) -> Self {
         Self::with_tracer(cfg, mem_cfg, program, trace, NullTracer)
     }
+
+    /// Build a machine whose architectural memory will be supplied through
+    /// [`Machine::replace_memory`] (the sampled driver's state handoff).
+    /// Skips writing the initial data image — the handed-over image
+    /// already contains it, and constant-data-heavy workloads carry tens
+    /// of MiB — but still warm-starts the caches when configured, exactly
+    /// as [`Machine::with_mem_config`] would.
+    pub fn for_state_handoff(
+        cfg: PipelineConfig,
+        mem_cfg: mtvp_mem::MemConfig,
+        program: &'p Program,
+        trace: Option<Arc<Trace>>,
+    ) -> Self {
+        Self::build(cfg, mem_cfg, program, trace, NullTracer, false)
+    }
 }
 
 impl<'p, T: Tracer> Machine<'p, T> {
@@ -276,9 +291,22 @@ impl<'p, T: Tracer> Machine<'p, T> {
         trace: Option<Arc<Trace>>,
         tracer: T,
     ) -> Self {
+        Self::build(cfg, mem_cfg, program, trace, tracer, true)
+    }
+
+    fn build(
+        cfg: PipelineConfig,
+        mem_cfg: mtvp_mem::MemConfig,
+        program: &'p Program,
+        trace: Option<Arc<Trace>>,
+        tracer: T,
+        init_memory: bool,
+    ) -> Self {
         assert!(cfg.hw_contexts >= 1, "need at least one hardware context");
         let mut memory = MainMemory::new();
-        program.init_memory(&mut memory);
+        if init_memory {
+            program.init_memory(&mut memory);
+        }
         // Warm start: the initialized data image passes through the cache
         // hierarchy (LRU keeps its tail resident), as it would be after
         // the fast-forward phase of a SimPoint-sampled simulation.
@@ -287,12 +315,39 @@ impl<'p, T: Tracer> Machine<'p, T> {
             mem_sys.obs_enable();
         }
         if cfg.warm_start {
+            // Only the tail of the walk can survive in an LRU cache: once
+            // a set absorbs a full complement of distinct fills, whatever
+            // it held before is gone. Skipping all but the last
+            // 2×capacity lines of the walk is therefore bit-exact (the 2×
+            // margin guarantees every set sees at least `assoc` fills even
+            // when segment boundaries skew the set rotation) and keeps
+            // construction O(cache) instead of O(image) — constant-data
+            // images run to tens of MiB.
+            let line = mem_cfg.line_bytes;
+            let seg_lines = |seg: &mtvp_isa::DataSegment| {
+                let start = seg.base & !(line - 1);
+                let end = seg.base + seg.bytes.len() as u64;
+                end.saturating_sub(start).div_ceil(line)
+            };
+            let total: u64 = program.data.iter().map(&seg_lines).sum();
+            let keep = 2 * [mem_cfg.l1d, mem_cfg.l2, mem_cfg.l3]
+                .iter()
+                .map(|g| g.size_bytes / g.line_bytes)
+                .max()
+                .expect("three levels");
+            let mut skip = total.saturating_sub(keep);
             for seg in &program.data {
-                let mut a = seg.base & !(mem_cfg.line_bytes - 1);
+                let n = seg_lines(seg);
+                if skip >= n {
+                    skip -= n;
+                    continue;
+                }
+                let mut a = (seg.base & !(line - 1)) + skip * line;
+                skip = 0;
                 let end = seg.base + seg.bytes.len() as u64;
                 while a < end {
                     mem_sys.warm_line(a);
-                    a += mem_cfg.line_bytes;
+                    a += line;
                 }
             }
         }
@@ -367,8 +422,23 @@ impl<'p, T: Tracer> Machine<'p, T> {
     /// if trace validation detects a committed-path divergence — both are
     /// simulator bugs, not program behaviours.
     pub fn run(&mut self) -> PipeStats {
+        self.advance_to(u64::MAX);
+        self.finalize_stats();
+        // A finished machine must account for every physical register:
+        // each is either free or referenced by a surviving rename map.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_regfile() {
+            panic!("post-run register-file check failed: {e}");
+        }
+        self.stats.clone()
+    }
+
+    /// The cycle loop shared by [`Machine::run`] and
+    /// [`Machine::run_until_committed`]: step until `done`, the cycle or
+    /// instruction limits, or `target` architectural commits.
+    fn advance_to(&mut self, target: u64) {
         let mut before = self.progress_mark();
-        while !self.done {
+        while !self.done && self.stats.committed < target {
             self.cycle();
             let after = self.progress_mark();
             if after == before {
@@ -395,14 +465,204 @@ impl<'p, T: Tracer> Machine<'p, T> {
                 break;
             }
         }
+    }
+
+    /// Run until at least `target` instructions have committed
+    /// architecturally (the count may overshoot by up to a commit group
+    /// plus a promoted thread's bulk credit), the program halts, or a
+    /// configured limit fires. Returns the committed count reached.
+    ///
+    /// With state injected by [`Machine::load_arch_state`] the count is
+    /// absolute (it starts at the injected instruction index), keeping
+    /// commit-time trace validation and every trace-indexed structure
+    /// consistent across a sampled run's windows.
+    pub fn run_until_committed(&mut self, target: u64) -> u64 {
+        self.advance_to(target);
+        self.stats.committed
+    }
+
+    /// Statistics as of the current cycle, with the memory-hierarchy and
+    /// predictor counters folded in. Sampled simulation snapshots this at
+    /// warm-up end and window end; the field-wise difference is the
+    /// window's measurement.
+    pub fn stats_now(&mut self) -> PipeStats {
         self.finalize_stats();
-        // A finished machine must account for every physical register:
-        // each is either free or referenced by a surviving rename map.
-        #[cfg(debug_assertions)]
-        if let Err(e) = self.check_regfile() {
-            panic!("post-run register-file check failed: {e}");
-        }
         self.stats.clone()
+    }
+
+    /// Inject architectural state captured by the functional interpreter:
+    /// the next PC, the absolute committed-instruction index, and both
+    /// register files. Must be called on a freshly built machine (cycle 0).
+    ///
+    /// The committed counter and the root context's trace cursor both
+    /// start at `committed`, so commit-time trace validation keeps running
+    /// in absolute committed-path indices — every detailed window of a
+    /// sampled run is verified instruction-for-instruction against the
+    /// reference trace, which makes a botched state transfer a loud
+    /// simulator panic instead of a silent accuracy loss.
+    pub fn load_arch_state(
+        &mut self,
+        pc: u64,
+        committed: u64,
+        int_regs: &[u64; 32],
+        fp_regs: &[f64; 32],
+    ) {
+        assert_eq!(self.now, 0, "inject state before running");
+        assert_eq!(self.stats.committed, 0, "inject state only once");
+        let (int_map, fp_map) = {
+            let c = &self.ctxs[self.root_ctx];
+            (c.int_map, c.fp_map)
+        };
+        for i in 0..32 {
+            self.rf.write(RegClass::Int, int_map[i], int_regs[i]);
+            self.rf.write(RegClass::Fp, fp_map[i], fp_regs[i].to_bits());
+        }
+        let c = &mut self.ctxs[self.root_ctx];
+        c.pc = pc;
+        c.trace_cursor = committed;
+        self.stats.committed = committed;
+    }
+
+    /// Replace the architectural memory image. Must be called before the
+    /// first cycle. The sampled driver hands the interpreter's image over
+    /// wholesale — `MainMemory` implements [`mtvp_isa::interp::Bus`], so
+    /// no page is copied at a window boundary.
+    pub fn replace_memory(&mut self, memory: MainMemory) {
+        assert_eq!(self.now, 0, "replace memory before running");
+        self.memory = memory;
+    }
+
+    /// Consume the machine, yielding the architectural memory image — the
+    /// return half of the zero-copy handoff with the functional
+    /// interpreter. Call [`Machine::drain_to_arch`] first if the machine
+    /// may still hold in-flight work.
+    pub fn into_memory(self) -> MainMemory {
+        self.memory
+    }
+
+    /// The architectural memory image, for the functional tier to step on
+    /// between the windows of a sampled run — zero-copy in both
+    /// directions. Caches track only tags, never data, so mutating memory
+    /// while the pipeline is drained cannot corrupt values.
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.memory
+    }
+
+    /// Fast-forward a drained machine's architectural state: overwrite
+    /// the root context's committed registers, PC, and committed count
+    /// with the functional tier's state further along the same committed
+    /// path. Micro-architectural state survives the jump ("stale state"
+    /// warm-up) — caches, branch history, and predictor *confidence* are
+    /// keyed by static instruction, so earlier windows' training remains
+    /// largely valid across the skipped region. (A machine restarted
+    /// cold each window spawns no speculative threads until its
+    /// predictors re-train, which inflates sampled Mtvp cycle estimates
+    /// by tens of percent.) The value predictor's *bases* are the
+    /// exception: last-value and stride state goes stale as values march
+    /// on, and a confidently-wrong predictor triggers wrong-spawn squash
+    /// storms. So the jump functionally warms the trainer — it replays
+    /// every skipped committed load's `(pc, value)` from the trace,
+    /// exactly as commit would have. The replay is a pure function of
+    /// the trace range, so cold and checkpoint-warm sampled runs warm
+    /// identically. Call [`Machine::drain_to_arch`] first.
+    pub fn jump_arch_state(
+        &mut self,
+        pc: u64,
+        committed: u64,
+        int_regs: &[u64; 32],
+        fp_regs: &[f64; 32],
+    ) {
+        assert!(
+            committed >= self.stats.committed,
+            "jump must move forward along the committed path"
+        );
+        debug_assert!(
+            self.ctxs[self.root_ctx].rob.is_empty(),
+            "drain_to_arch before jumping"
+        );
+        if let Some(t) = &self.trace {
+            for idx in self.stats.committed..committed {
+                if let Some(e) = t.get(idx as usize) {
+                    if e.is_load {
+                        self.predictor.train(u64::from(e.pc), e.load_value);
+                    }
+                }
+            }
+        }
+        let (int_map, fp_map) = {
+            let c = &self.ctxs[self.root_ctx];
+            (c.int_map, c.fp_map)
+        };
+        for i in 0..32 {
+            self.rf.write(RegClass::Int, int_map[i], int_regs[i]);
+            self.rf.write(RegClass::Fp, fp_map[i], fp_regs[i].to_bits());
+        }
+        let c = &mut self.ctxs[self.root_ctx];
+        c.pc = pc;
+        c.trace_cursor = committed;
+        self.stats.committed = committed;
+        self.note_commit_progress();
+    }
+
+    /// Discard every in-flight and speculative instruction, leaving only
+    /// architectural state: the committed register files (readable through
+    /// [`Machine::arch_int_regs`]), the committed memory image, and the
+    /// next PC. The root context is reset to fetch from the next committed
+    /// instruction, so the machine can keep running — or hand its state
+    /// back to the functional interpreter at the end of a sampled window.
+    ///
+    /// Speculative stores only ever live in store buffers (never in
+    /// memory), so after the drain the memory image is exactly the
+    /// committed program state. Requires a committed-path trace (sampled
+    /// runs always have one). No-op once the program has halted.
+    pub fn drain_to_arch(&mut self) {
+        if self.done {
+            return;
+        }
+        let root = self.root_ctx;
+        // A dying root waiting on a promotion takes control back: killing
+        // the pending child resumes the root at its saved resume point.
+        if let Some(child) = self.ctxs[root].pending_child {
+            self.kill_subtree(child, KillCause::Drained);
+        }
+        debug_assert_eq!(self.ctxs[root].state, CtxState::Active);
+        // Sequence numbers start at 1, so this squashes the root's entire
+        // window, recursively killing every speculative thread (each is
+        // reachable through an in-flight load's children list or a
+        // `pending_child` link).
+        self.squash_younger(root, 0, SquashCause::Drain);
+        #[cfg(debug_assertions)]
+        for (i, c) in self.ctxs.iter().enumerate() {
+            if i == root {
+                assert!(c.rob.is_empty() && c.lsq.is_empty() && c.store_buffer.is_empty());
+                assert_eq!(c.queued_count, 0, "queued uops survived the drain");
+            } else {
+                assert_eq!(c.state, CtxState::Free, "ctx{i} survived the drain");
+            }
+        }
+        // Everything scheduled belongs to squashed uops now.
+        self.events.clear();
+        self.iq.clear();
+        self.fq.clear();
+        self.mq.clear();
+        self.reissue_origin = None;
+        // Reset the front end onto the committed path. Branch history and
+        // the RAS stay as they are: both are micro-architectural and
+        // self-correct.
+        let e = self
+            .trace
+            .as_ref()
+            .expect("drain_to_arch requires a committed-path trace")
+            .get(self.stats.committed as usize)
+            .expect("trace covers the committed path");
+        let next_pc = u64::from(e.pc);
+        let c = &mut self.ctxs[root];
+        c.pc = next_pc;
+        c.trace_cursor = self.stats.committed;
+        c.fetch_buffer.clear();
+        c.fetch_stopped = false;
+        c.wait_redirect = false;
+        self.note_commit_progress();
     }
 
     /// Jump from a detected idle cycle to the next cycle at which any

@@ -1,0 +1,262 @@
+//! Lockstep differential validation of the cycle-level machine against the
+//! reference interpreter over the full benchmark registry — the
+//! correctness foundation the sampled-simulation state-transfer API rests
+//! on.
+//!
+//! Three layers, each strictly stronger than the last:
+//!
+//! 1. **Full-run lockstep** on every registry program: the machine runs
+//!    under commit-time trace validation (every committed instruction's PC
+//!    and every committed load's value are asserted against the
+//!    interpreter's committed-path trace, instruction for instruction),
+//!    then the final registers, committed count, and the complete memory
+//!    image are compared.
+//! 2. **Chunked drain**: `run_until_committed` + `drain_to_arch` at
+//!    arbitrary points mid-program, comparing the drained architectural
+//!    state against an interpreter stepped to the same instruction index —
+//!    then the *same* machine keeps running to the next sync point.
+//! 3. **Mid-program injection**: an interpreter checkpoint is transplanted
+//!    into a fresh machine (`load_arch_state` + `replace_memory`), which
+//!    must finish with exactly the full run's architectural state.
+
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_isa::Program;
+use mtvp_mem::MainMemory;
+use mtvp_pipeline::{Machine, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
+use mtvp_workloads::{suite, Scale};
+use std::sync::Arc;
+
+fn assert_arch_match(
+    m: &Machine,
+    int_regs: &[u64; 32],
+    fp_regs: &[f64; 32],
+    mem_checksum: u64,
+    what: &str,
+) {
+    let regs = m.arch_int_regs();
+    for (r, &reg) in regs.iter().enumerate().take(32).skip(1) {
+        assert_eq!(reg, int_regs[r], "r{r} mismatch {what}");
+    }
+    let fregs = m.arch_fp_regs();
+    for (f, freg) in fregs.iter().enumerate().take(32) {
+        assert_eq!(freg.to_bits(), fp_regs[f].to_bits(), "f{f} mismatch {what}");
+    }
+    assert_eq!(
+        m.memory().checksum(),
+        mem_checksum,
+        "memory image mismatch {what}"
+    );
+}
+
+/// Layer 1: full run under trace validation + final-state comparison.
+fn full_lockstep(program: &Program, mut cfg: PipelineConfig) {
+    let mut bus = SimpleBus::new();
+    let mut interp = Interp::new(program);
+    let (ires, trace) = interp.run_traced(&mut bus, 50_000_000);
+    assert!(ires.halted, "reference run of {} must halt", program.name);
+
+    cfg.max_cycles = 200_000_000;
+    let mut m = Machine::new(cfg, program, Some(Arc::new(trace)));
+    let stats = m.run();
+    assert!(stats.halted, "machine run of {} must halt", program.name);
+    assert_eq!(
+        stats.committed, ires.dyn_instrs,
+        "committed count mismatch on {}",
+        program.name
+    );
+    assert_arch_match(
+        &m,
+        &ires.int_regs,
+        &ires.fp_regs,
+        bus.checksum(),
+        &format!("at halt of {}", program.name),
+    );
+    m.check_regfile().expect("register file consistent");
+}
+
+/// Layer 2: drain to architectural state at several points mid-run and
+/// compare against an interpreter stepped to the same instruction index;
+/// the machine continues from each drain.
+fn chunked_lockstep(program: &Program, mut cfg: PipelineConfig, chunks: u64) {
+    let mut bus = SimpleBus::new();
+    let (ires, trace) = Interp::new(program).run_traced(&mut bus, 50_000_000);
+    assert!(ires.halted);
+
+    let mut sbus = SimpleBus::new();
+    program.init_memory(&mut sbus);
+    let mut si = Interp::new(program);
+
+    cfg.max_cycles = 200_000_000;
+    let mut m = Machine::new(cfg, program, Some(Arc::new(trace)));
+    let chunk = ires.dyn_instrs / chunks + 1;
+    let mut target = chunk;
+    loop {
+        let reached = m.run_until_committed(target);
+        assert!(
+            reached >= target || m.stats().halted,
+            "machine stalled at {reached} of {} ({})",
+            ires.dyn_instrs,
+            program.name
+        );
+        m.drain_to_arch();
+        while si.dyn_instrs() < reached {
+            si.step(&mut sbus, None);
+        }
+        assert_eq!(si.dyn_instrs(), reached, "overshoot past a sync point");
+        assert_arch_match(
+            &m,
+            &si.int_regs,
+            &si.fp_regs,
+            sbus.checksum(),
+            &format!("at drain point {reached} of {}", program.name),
+        );
+        if m.stats().halted {
+            break;
+        }
+        target = reached + chunk;
+    }
+    assert_eq!(m.stats().committed, ires.dyn_instrs);
+    m.check_regfile().expect("register file consistent");
+}
+
+/// Layer 3: run the interpreter to `split` instructions, transplant its
+/// state into a fresh machine, and run that to completion.
+fn injected_lockstep(program: &Program, mut cfg: PipelineConfig, split: u64) {
+    let mut bus = SimpleBus::new();
+    let (ires, trace) = Interp::new(program).run_traced(&mut bus, 50_000_000);
+    assert!(ires.halted && split < ires.dyn_instrs);
+
+    // The functional leg runs directly against the machine's memory type:
+    // the image is handed over wholesale, no page is copied.
+    let mut mem = MainMemory::new();
+    program.init_memory(&mut mem);
+    let mut interp = Interp::new(program);
+    while interp.dyn_instrs() < split {
+        interp.step(&mut mem, None);
+    }
+
+    cfg.max_cycles = 200_000_000;
+    let mut m = Machine::new(cfg, program, Some(Arc::new(trace)));
+    m.load_arch_state(
+        interp.pc,
+        interp.dyn_instrs(),
+        &interp.int_regs,
+        &interp.fp_regs,
+    );
+    m.replace_memory(mem);
+    let stats = m.run();
+    assert!(stats.halted, "injected run of {} must halt", program.name);
+    assert_eq!(
+        stats.committed, ires.dyn_instrs,
+        "absolute committed count after injection ({})",
+        program.name
+    );
+    assert_arch_match(
+        &m,
+        &ires.int_regs,
+        &ires.fp_regs,
+        bus.checksum(),
+        &format!("after injection at {split} of {}", program.name),
+    );
+}
+
+fn baseline() -> PipelineConfig {
+    PipelineConfig::hpca2005()
+}
+
+fn mtvp4_wf() -> PipelineConfig {
+    let mut cfg = PipelineConfig::hpca2005();
+    cfg.hw_contexts = 4;
+    cfg.vp = VpConfig::mtvp(PredictorKind::WangFranklin);
+    cfg.vp.selector = SelectorKind::Always;
+    cfg
+}
+
+fn mtvp4_oracle() -> PipelineConfig {
+    let mut cfg = PipelineConfig::hpca2005();
+    cfg.hw_contexts = 4;
+    cfg.vp = VpConfig::mtvp(PredictorKind::Oracle);
+    cfg.vp.selector = SelectorKind::Always;
+    cfg.vp.spawn_latency = 1;
+    cfg
+}
+
+/// A registry cross-section: cold dependent walkers, hot kernels, FP
+/// streamers, and the biased two-valued loads (one per regime).
+const CROSS_SECTION: [&str; 5] = ["mcf", "gzip g", "mesa", "swim", "equake"];
+
+fn build(name: &str) -> Program {
+    suite()
+        .iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("{name} not in registry"))
+        .build(Scale::Tiny)
+}
+
+#[test]
+fn registry_full_lockstep_baseline() {
+    for wl in suite() {
+        full_lockstep(&wl.build(Scale::Tiny), baseline());
+    }
+}
+
+#[test]
+fn registry_full_lockstep_mtvp() {
+    for wl in suite() {
+        full_lockstep(&wl.build(Scale::Tiny), mtvp4_wf());
+    }
+}
+
+#[test]
+fn chunked_drain_matches_interpreter() {
+    for name in CROSS_SECTION {
+        let p = build(name);
+        chunked_lockstep(&p, baseline(), 7);
+        chunked_lockstep(&p, mtvp4_wf(), 7);
+    }
+}
+
+#[test]
+fn chunked_drain_under_heavy_speculation() {
+    // The oracle predictor with spawn latency 1 spawns on every selected
+    // load, so drains routinely kill live speculative subtrees.
+    for name in ["mcf", "equake"] {
+        chunked_lockstep(&build(name), mtvp4_oracle(), 11);
+    }
+}
+
+#[test]
+fn injected_state_finishes_identically() {
+    for name in CROSS_SECTION {
+        let p = build(name);
+        let n = {
+            let mut bus = SimpleBus::new();
+            Interp::new(&p).run(&mut bus, 50_000_000).dyn_instrs
+        };
+        for split in [n / 3, 2 * n / 3] {
+            injected_lockstep(&p, baseline(), split);
+            injected_lockstep(&p, mtvp4_wf(), split);
+        }
+    }
+}
+
+#[test]
+fn drain_is_idempotent_and_safe_after_halt() {
+    let p = build("gzip g");
+    let mut bus = SimpleBus::new();
+    let (ires, trace) = Interp::new(&p).run_traced(&mut bus, 50_000_000);
+    let mut m = Machine::new(baseline(), &p, Some(Arc::new(trace)));
+    let mid = ires.dyn_instrs / 2;
+    m.run_until_committed(mid);
+    m.drain_to_arch();
+    let regs = m.arch_int_regs();
+    m.drain_to_arch(); // immediately draining again changes nothing
+    assert_eq!(m.arch_int_regs(), regs);
+    let stats = m.run();
+    assert!(stats.halted);
+    m.drain_to_arch(); // after halt: a no-op
+    assert_eq!(m.stats().committed, ires.dyn_instrs);
+    // The drained machine still hands its memory image back.
+    let mem = m.into_memory();
+    assert_eq!(mem.checksum(), bus.checksum());
+}

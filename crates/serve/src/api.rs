@@ -14,7 +14,7 @@
 
 use mtvp_engine::{
     builtin, parse_mode, parse_predictor, parse_scale, parse_selector, CellEntry, Mode,
-    PredictorKind, RunReport, Scale, Scenario, SelectorKind, SimConfig,
+    PredictorKind, RunReport, SamplingParams, Scale, Scenario, SelectorKind, SimConfig,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -39,6 +39,7 @@ const CONFIG_KEYS: &[&str] = &[
     "mshrs",
     "warm_start",
     "fast_forward",
+    "sampling",
 ];
 
 /// A validated `POST /run` body.
@@ -199,6 +200,17 @@ pub fn config_from_value(v: Option<&Value>) -> Result<SimConfig, String> {
     }
     if let Some(b) = bool_field(v, "fast_forward")? {
         cfg.fast_forward = b;
+    }
+    if let Some(sv) = v.get("sampling").filter(|x| !matches!(x, Value::Null)) {
+        cfg.sampling = Some(match SamplingParams::from_value(sv) {
+            Ok(p) => p,
+            Err(_) => {
+                let s = sv
+                    .as_str()
+                    .ok_or_else(|| format!("bad sampling schedule {sv}"))?;
+                SamplingParams::parse(s).map_err(|e| e.0)?
+            }
+        });
     }
     cfg.validate().map_err(|e| e.0)?;
     Ok(cfg)
@@ -401,6 +413,22 @@ mod tests {
         cfg.spawn_latency = 8;
         let back = config_from_value(Some(&cfg.to_value())).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn sampling_schedule_round_trips_and_parses_cli_form() {
+        let mut cfg = SimConfig::new(Mode::Mtvp);
+        cfg.sampling = Some(SamplingParams {
+            window: 2_000,
+            interval: 120_000,
+            warmup: 4_000,
+        });
+        let back = config_from_value(Some(&cfg.to_value())).unwrap();
+        assert_eq!(back, cfg);
+        // The CLI string form is accepted too, like predictor/selector.
+        let body =
+            serde_json::from_str(r#"{"mode": "mtvp", "sampling": "2000:120000:4000"}"#).unwrap();
+        assert_eq!(config_from_value(Some(&body)).unwrap(), cfg);
     }
 
     #[test]
