@@ -127,9 +127,64 @@ pub enum Command {
         cache_dir: Option<String>,
         /// `--request-timeout-ms N` default per-request deadline.
         request_timeout_ms: Option<u64>,
+        /// `--peers a,b,c` — fetch warm cells from these peer workers
+        /// before simulating (cluster cache peering; empty: disabled).
+        peers: Vec<String>,
     },
+    /// `cluster <subcommand>` — the distributed sweep fabric.
+    Cluster(ClusterCmd),
     /// `help`.
     Help,
+}
+
+/// `cluster` subcommands (see [`Command::Cluster`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterCmd {
+    /// `cluster coord <scenario> --workers a,b,c` — fan a scenario out
+    /// to running `mtvp-sim serve` workers and merge the sweep.
+    Coord {
+        /// Built-in scenario name, or a path to a scenario JSON file.
+        scenario: String,
+        /// `--workers a,b,c` worker addresses (required).
+        workers: Vec<String>,
+        /// `--scale` override.
+        scale: Option<Scale>,
+        /// `--benches a,b,c` benchmark-subset override.
+        benches: Option<Vec<String>>,
+        /// `--timeout-ms N` per-cell deadline.
+        timeout_ms: Option<u64>,
+        /// `--retries N` attempts per cell before declaring a worker dead.
+        retries: Option<u32>,
+        /// `--backoff-ms N` base retry backoff.
+        backoff_ms: Option<u64>,
+        /// `--no-steal` — disable work stealing between worker queues.
+        no_steal: bool,
+        /// `--manifest FILE` — write a live progress manifest
+        /// (`exp status --manifest` reads it).
+        manifest: Option<String>,
+        /// `--json` — print the machine-readable report to stdout.
+        json: bool,
+        /// `--json-out FILE` — also write the report JSON to a file.
+        json_out: Option<String>,
+    },
+    /// `cluster bench` — boot 1..N local workers, measure cell
+    /// throughput at each fleet size, and probe SLOs open-loop.
+    Bench {
+        /// Built-in scenario name or scenario JSON path (default `smoke`).
+        scenario: String,
+        /// `--fleets 1,2,4` fleet sizes to measure.
+        fleets: Vec<usize>,
+        /// `--scale` override.
+        scale: Option<Scale>,
+        /// `--benches a,b,c` benchmark-subset override.
+        benches: Option<Vec<String>>,
+        /// `--rate RPS` open-loop probe target rate (0 skips the probe).
+        rate: f64,
+        /// `--duration-ms N` open-loop probe duration.
+        duration_ms: u64,
+        /// `--json-out FILE` report path (default `BENCH_cluster.json`).
+        json_out: String,
+    },
 }
 
 /// `exp` subcommands (see [`Command::Exp`]).
@@ -161,7 +216,8 @@ pub enum ExpCmd {
         /// fast-forward + detailed windows), overriding the scenario.
         sample: Option<SamplingParams>,
     },
-    /// `exp status [scenario]` — cached/total cells without running.
+    /// `exp status [scenario]` — cached/total cells without running, or
+    /// (`--manifest`) a cluster coordinator's live per-shard progress.
     Status {
         /// Scenario to inspect (`None`: all built-ins).
         scenario: Option<String>,
@@ -169,6 +225,9 @@ pub enum ExpCmd {
         scale: Option<Scale>,
         /// `--cache-dir DIR` override.
         cache_dir: Option<String>,
+        /// `--manifest FILE` — report a running (or finished) cluster
+        /// coordinator's progress from its manifest instead.
+        manifest: Option<String>,
     },
     /// `exp diff <a> <b>` — compare two scenarios' results cell by cell.
     Diff {
@@ -365,6 +424,7 @@ fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
                                 | "--cache-dir"
                                 | "--json-out"
                                 | "--sample"
+                                | "--manifest"
                         )
                     })
             })
@@ -413,6 +473,7 @@ fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
                 scenario: positional(0),
                 scale,
                 cache_dir,
+                manifest: get_flag(tail, "--manifest")?.map(str::to_string),
             }))
         }
         "diff" => {
@@ -430,6 +491,130 @@ fn parse_exp(rest: &[&str]) -> Result<Command, ParseArgsError> {
         }
         other => Err(ParseArgsError(format!(
             "unknown exp subcommand `{other}` (list|run|status|diff)"
+        ))),
+    }
+}
+
+/// A comma-separated list flag value.
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_cluster(rest: &[&str]) -> Result<Command, ParseArgsError> {
+    let sub = rest.first().copied().unwrap_or("");
+    let tail = &rest[1.min(rest.len())..];
+    let positional = |n: usize| -> Option<String> {
+        tail.iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with("--")
+                    && (*i == 0 || {
+                        let prev = tail[i - 1];
+                        !matches!(
+                            prev,
+                            "--workers"
+                                | "--scale"
+                                | "--benches"
+                                | "--timeout-ms"
+                                | "--retries"
+                                | "--backoff-ms"
+                                | "--manifest"
+                                | "--json-out"
+                                | "--fleets"
+                                | "--rate"
+                                | "--duration-ms"
+                        )
+                    })
+            })
+            .map(|(_, a)| a.to_string())
+            .nth(n)
+    };
+    let scale = match get_flag(tail, "--scale")? {
+        Some(v) => Some(parse_scale(v)?),
+        None => None,
+    };
+    let benches = get_flag(tail, "--benches")?.map(split_list);
+    let parse_u64 = |name: &str| -> Result<Option<u64>, ParseArgsError> {
+        match get_flag(tail, name)? {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| ParseArgsError(format!("bad {name} `{v}`"))),
+            None => Ok(None),
+        }
+    };
+    match sub {
+        "coord" => {
+            let scenario = positional(0)
+                .ok_or_else(|| ParseArgsError("cluster coord requires a scenario name".into()))?;
+            let workers = get_flag(tail, "--workers")?
+                .map(split_list)
+                .filter(|w| !w.is_empty())
+                .ok_or_else(|| ParseArgsError("cluster coord requires --workers a,b,c".into()))?;
+            let retries = match get_flag(tail, "--retries")? {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| ParseArgsError(format!("bad --retries `{v}`")))?,
+                ),
+                None => None,
+            };
+            Ok(Command::Cluster(ClusterCmd::Coord {
+                scenario,
+                workers,
+                scale,
+                benches,
+                timeout_ms: parse_u64("--timeout-ms")?,
+                retries,
+                backoff_ms: parse_u64("--backoff-ms")?,
+                no_steal: tail.contains(&"--no-steal"),
+                manifest: get_flag(tail, "--manifest")?.map(str::to_string),
+                json: tail.contains(&"--json"),
+                json_out: get_flag(tail, "--json-out")?.map(str::to_string),
+            }))
+        }
+        "bench" => {
+            let fleets = match get_flag(tail, "--fleets")? {
+                Some(v) => {
+                    let fleets: Vec<usize> = split_list(v)
+                        .iter()
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .ok()
+                                .filter(|n| *n > 0)
+                                .ok_or_else(|| ParseArgsError(format!("bad --fleets `{v}`")))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if fleets.is_empty() {
+                        return Err(ParseArgsError(format!("bad --fleets `{v}`")));
+                    }
+                    fleets
+                }
+                None => vec![1, 2, 4],
+            };
+            let rate = match get_flag(tail, "--rate")? {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| ParseArgsError(format!("bad --rate `{v}`")))?,
+                None => 50.0,
+            };
+            Ok(Command::Cluster(ClusterCmd::Bench {
+                scenario: positional(0).unwrap_or_else(|| "smoke".to_string()),
+                fleets,
+                scale,
+                benches,
+                rate,
+                duration_ms: parse_u64("--duration-ms")?.unwrap_or(2_000),
+                json_out: get_flag(tail, "--json-out")?
+                    .unwrap_or("BENCH_cluster.json")
+                    .to_string(),
+            }))
+        }
+        other => Err(ParseArgsError(format!(
+            "unknown cluster subcommand `{other}` (coord|bench)"
         ))),
     }
 }
@@ -589,7 +774,11 @@ fn execute_exp(cmd: ExpCmd) -> Result<String, ParseArgsError> {
             scenario,
             scale,
             cache_dir,
+            manifest,
         } => {
+            if let Some(path) = manifest {
+                return manifest_status(&path);
+            }
             let engine = engine_with(false, cache_dir.as_deref(), None, None, false);
             let scenarios = match scenario {
                 Some(name) => vec![resolve_scenario(&name)?],
@@ -691,9 +880,11 @@ fn execute_serve(
     no_cache: bool,
     cache_dir: Option<String>,
     request_timeout_ms: Option<u64>,
+    peers: Vec<String>,
 ) -> Result<String, ParseArgsError> {
     let mut opts = mtvp_serve::ServeOptions {
         addr,
+        peers,
         ..mtvp_serve::ServeOptions::default()
     };
     if let Some(n) = workers {
@@ -729,7 +920,13 @@ fn execute_serve(
             CacheMode::Disk(dir) => dir.display().to_string(),
         }
     );
-    eprintln!("endpoints: /health /scenarios /run /sweep /jobs/<id> /cache/stats /metrics");
+    eprintln!(
+        "endpoints: /health /scenarios /run /sweep /jobs/<id> /cache/stats \
+         /cache/cell/<hash> /metrics"
+    );
+    if !opts.peers.is_empty() {
+        eprintln!("cache peering with: {}", opts.peers.join(", "));
+    }
     eprintln!("stop with SIGINT or SIGTERM for a graceful drain");
     let report = server
         .run()
@@ -739,6 +936,172 @@ fn execute_serve(
          {} job(s), {} coalesce hit(s)\n",
         report.requests, report.rejected, report.jobs, report.coalesce_hits
     ))
+}
+
+/// `exp status --manifest`: render a cluster coordinator's progress
+/// manifest as a per-shard table.
+fn manifest_status(path: &str) -> Result<String, ParseArgsError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseArgsError(format!("cannot read manifest {path}: {e}")))?;
+    let v: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| ParseArgsError(format!("{path} is not valid JSON: {e}")))?;
+    if v["format"].as_str() != Some(mtvp_cluster::MANIFEST_FORMAT) {
+        return Err(ParseArgsError(format!(
+            "{path} is not a cluster manifest (format `{}`, expected `{}`)",
+            v["format"].as_str().unwrap_or("?"),
+            mtvp_cluster::MANIFEST_FORMAT
+        )));
+    }
+    let get = |k: &str| v[k].as_u64().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cluster sweep {} at {}: {}/{} cells done",
+        v["scenario"].as_str().unwrap_or("?"),
+        v["scale"].as_str().unwrap_or("?"),
+        get("done"),
+        get("total_cells"),
+    );
+    let _ = writeln!(
+        out,
+        "fabric: {} retr{}, {} re-shard(s) moving {} cell(s), {} steal(s)",
+        get("retries"),
+        if get("retries") == 1 { "y" } else { "ies" },
+        get("reshards"),
+        get("cells_resharded"),
+        get("steals"),
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:<6} {:>8} {:>6} {:>6} {:>8}",
+        "worker", "state", "assigned", "done", "queued", "retries"
+    );
+    for w in v["workers"].as_array().map(Vec::as_slice).unwrap_or(&[]) {
+        let wget = |k: &str| w[k].as_u64().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<22} {:<6} {:>8} {:>6} {:>6} {:>8}",
+            w["addr"].as_str().unwrap_or("?"),
+            if w["alive"].as_bool().unwrap_or(false) {
+                "alive"
+            } else {
+                "dead"
+            },
+            wget("assigned"),
+            wget("done"),
+            wget("queued"),
+            wget("retries"),
+        );
+    }
+    Ok(out)
+}
+
+fn execute_cluster(cmd: ClusterCmd) -> Result<String, ParseArgsError> {
+    let mut out = String::new();
+    match cmd {
+        ClusterCmd::Coord {
+            scenario,
+            workers,
+            scale,
+            benches,
+            timeout_ms,
+            retries,
+            backoff_ms,
+            no_steal,
+            manifest,
+            json,
+            json_out,
+        } => {
+            let mut scenario = resolve_scenario(&scenario)?;
+            if let Some(b) = benches {
+                scenario.benches = b;
+            }
+            let mut opts = mtvp_cluster::CoordOptions {
+                workers,
+                scale,
+                steal: !no_steal,
+                manifest: manifest.map(PathBuf::from),
+                ..mtvp_cluster::CoordOptions::default()
+            };
+            if let Some(ms) = timeout_ms {
+                opts.timeout_ms = ms;
+            }
+            if let Some(n) = retries {
+                opts.retries = n;
+            }
+            if let Some(ms) = backoff_ms {
+                opts.backoff_ms = ms;
+            }
+            let report = mtvp_cluster::run_cluster(&scenario, &opts).map_err(ParseArgsError)?;
+            let doc = mtvp_cluster::cluster_report_json(&report);
+            if let Some(path) = &json_out {
+                std::fs::write(path, format!("{doc}"))
+                    .map_err(|e| ParseArgsError(format!("cannot write {path}: {e}")))?;
+            }
+            if json {
+                let _ = writeln!(out, "{doc}");
+            } else {
+                let _ = writeln!(out, "{}: {}", scenario.name, scenario.title);
+                let _ = writeln!(
+                    out,
+                    "{} cells over {} worker(s) in {:.2}s ({} from worker caches)",
+                    report.total_cells,
+                    report.workers.len(),
+                    report.elapsed.as_secs_f64(),
+                    report.worker_cached,
+                );
+                for w in &report.workers {
+                    let _ = writeln!(
+                        out,
+                        "  {:<22} {:<6} {} assigned, {} done, {} retries",
+                        w.addr,
+                        if w.alive { "alive" } else { "dead" },
+                        w.assigned,
+                        w.done,
+                        w.retries
+                    );
+                }
+                if report.reshards > 0 || report.steals > 0 {
+                    let _ = writeln!(
+                        out,
+                        "fabric: {} re-shard(s) moved {} cell(s), {} steal(s), {} retries",
+                        report.reshards, report.cells_resharded, report.steals, report.retries
+                    );
+                }
+                if let Some(path) = &json_out {
+                    let _ = writeln!(out, "[report JSON written to {path}]");
+                }
+            }
+        }
+        ClusterCmd::Bench {
+            scenario,
+            fleets,
+            scale,
+            benches,
+            rate,
+            duration_ms,
+            json_out,
+        } => {
+            let mut scenario = resolve_scenario(&scenario)?;
+            if let Some(b) = benches {
+                scenario.benches = b;
+            }
+            let opts = mtvp_cluster::ScalingOptions {
+                scenario,
+                scale,
+                fleet_sizes: fleets,
+                slo_rate: rate,
+                slo_duration_ms: duration_ms,
+                ..mtvp_cluster::ScalingOptions::default()
+            };
+            let doc = mtvp_cluster::scaling_bench(&opts).map_err(ParseArgsError)?;
+            std::fs::write(&json_out, format!("{doc}"))
+                .map_err(|e| ParseArgsError(format!("cannot write {json_out}: {e}")))?;
+            let _ = writeln!(out, "{doc}");
+            let _ = writeln!(out, "[bench JSON written to {json_out}]");
+        }
+    }
+    Ok(out)
 }
 
 /// Resolve a lint target: a registry workload (built at `scale`), one of
@@ -1041,6 +1404,7 @@ impl Command {
                 })
             }
             "exp" => parse_exp(&rest),
+            "cluster" => parse_cluster(&rest),
             "serve" => {
                 let addr = get_flag(&rest, "--addr")?
                     .unwrap_or("127.0.0.1:8707")
@@ -1076,6 +1440,9 @@ impl Command {
                     no_cache: rest.contains(&"--no-cache"),
                     cache_dir: get_flag(&rest, "--cache-dir")?.map(str::to_string),
                     request_timeout_ms,
+                    peers: get_flag(&rest, "--peers")?
+                        .map(split_list)
+                        .unwrap_or_default(),
                 })
             }
             other => Err(ParseArgsError(format!(
@@ -1092,6 +1459,7 @@ impl Command {
         let mut out = String::new();
         match self {
             Command::Exp(cmd) => return execute_exp(cmd),
+            Command::Cluster(cmd) => return execute_cluster(cmd),
             Command::Serve {
                 addr,
                 workers,
@@ -1099,6 +1467,7 @@ impl Command {
                 no_cache,
                 cache_dir,
                 request_timeout_ms,
+                peers,
             } => {
                 return execute_serve(
                     addr,
@@ -1107,6 +1476,7 @@ impl Command {
                     no_cache,
                     cache_dir,
                     request_timeout_ms,
+                    peers,
                 )
             }
             Command::Lint {
@@ -1405,10 +1775,16 @@ USAGE:
   mtvp-sim exp run <scenario> [--scale S] [--benches a,b,c] [--jobs N]
                               [--shard i/n] [--no-cache] [--cache-dir DIR]
                               [--json] [--json-out FILE] [--sample W:I:U]
-  mtvp-sim exp status [scenario] [--scale S] [--cache-dir DIR]
+  mtvp-sim exp status [scenario] [--scale S] [--cache-dir DIR] [--manifest FILE]
   mtvp-sim exp diff <a> <b> [--scale S] [--cache-dir DIR]
   mtvp-sim serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
                  [--no-cache] [--cache-dir DIR] [--request-timeout-ms N]
+                 [--peers HOST:PORT,...]
+  mtvp-sim cluster coord <scenario> --workers a,b,c [--scale S] [--benches ...]
+                         [--timeout-ms N] [--retries N] [--backoff-ms N]
+                         [--no-steal] [--manifest FILE] [--json] [--json-out FILE]
+  mtvp-sim cluster bench [scenario] [--fleets 1,2,4] [--scale S] [--benches ...]
+                         [--rate RPS] [--duration-ms N] [--json-out FILE]
 
 MODES:      baseline stvp mtvp mtvp-nostall spawn-only wide-window multi-value
 PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
@@ -1430,7 +1806,20 @@ SERVING:
   plus GET /jobs/<id> and /jobs/<id>/result?wait_ms=N. A bounded queue
   answers 503 + Retry-After under overload, identical concurrent jobs
   coalesce into one engine execution, and results share the exp cache.
-  SIGINT/SIGTERM drain gracefully. `mtvp-loadgen` drives load against it.
+  SIGINT/SIGTERM drain gracefully. `mtvp-loadgen` drives load against it
+  (closed loop, or open loop with --rate for SLO reporting).
+
+CLUSTER:
+  `cluster coord` fans a scenario out to running `serve` workers: cells
+  are placed by rendezvous hashing on their cache content hash, failed
+  requests retry with backoff, a dead worker's remaining cells re-shard
+  onto the survivors, and the merged sweep JSON is byte-identical to a
+  single-node `exp run` of the same scenario. --manifest writes live
+  progress that `exp status --manifest` renders. Workers started with
+  `serve --peers` fetch warm cells from each other before simulating, so
+  results migrate instead of being recomputed. `cluster bench` boots
+  local fleets of 1..N workers, measures cell throughput at each size,
+  probes SLOs open-loop, and writes BENCH_cluster.json.
 
 LINT:
   `lint` runs the static dataflow analysis (CFG, liveness, reaching
@@ -1692,6 +2081,7 @@ mod tests {
             scenario: Some("nope".into()),
             scale: None,
             cache_dir: None,
+            manifest: None,
         })
         .execute()
         .unwrap_err();
@@ -1730,6 +2120,7 @@ mod tests {
                 no_cache,
                 cache_dir,
                 request_timeout_ms,
+                peers,
             } => {
                 assert_eq!(addr, "127.0.0.1:8707");
                 assert_eq!(workers, None);
@@ -1737,6 +2128,7 @@ mod tests {
                 assert!(!no_cache);
                 assert_eq!(cache_dir, None);
                 assert_eq!(request_timeout_ms, None);
+                assert!(peers.is_empty());
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1753,6 +2145,8 @@ mod tests {
             "/tmp/c",
             "--request-timeout-ms",
             "5000",
+            "--peers",
+            "10.0.0.1:8707, 10.0.0.2:8707",
         ])
         .unwrap()
         {
@@ -1763,6 +2157,7 @@ mod tests {
                 no_cache,
                 cache_dir,
                 request_timeout_ms,
+                peers,
             } => {
                 assert_eq!(addr, "0.0.0.0:9000");
                 assert_eq!(workers, Some(4));
@@ -1770,6 +2165,7 @@ mod tests {
                 assert!(no_cache);
                 assert_eq!(cache_dir.as_deref(), Some("/tmp/c"));
                 assert_eq!(request_timeout_ms, Some(5000));
+                assert_eq!(peers, vec!["10.0.0.1:8707", "10.0.0.2:8707"]);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1788,10 +2184,164 @@ mod tests {
             no_cache: true,
             cache_dir: None,
             request_timeout_ms: None,
+            peers: Vec::new(),
         }
         .execute()
         .unwrap_err();
         assert!(err.0.contains("cannot serve"), "{err}");
+    }
+
+    #[test]
+    fn parses_cluster_commands() {
+        match parse(&[
+            "cluster",
+            "coord",
+            "smoke",
+            "--workers",
+            "a:1,b:2",
+            "--scale",
+            "tiny",
+            "--retries",
+            "5",
+            "--timeout-ms",
+            "9000",
+            "--backoff-ms",
+            "10",
+            "--no-steal",
+            "--manifest",
+            "m.json",
+            "--json",
+            "--json-out",
+            "c.json",
+        ])
+        .unwrap()
+        {
+            Command::Cluster(ClusterCmd::Coord {
+                scenario,
+                workers,
+                scale,
+                benches,
+                timeout_ms,
+                retries,
+                backoff_ms,
+                no_steal,
+                manifest,
+                json,
+                json_out,
+            }) => {
+                assert_eq!(scenario, "smoke");
+                assert_eq!(workers, vec!["a:1".to_string(), "b:2".to_string()]);
+                assert_eq!(scale, Some(Scale::Tiny));
+                assert_eq!(benches, None);
+                assert_eq!(timeout_ms, Some(9000));
+                assert_eq!(retries, Some(5));
+                assert_eq!(backoff_ms, Some(10));
+                assert!(no_steal);
+                assert_eq!(manifest.as_deref(), Some("m.json"));
+                assert!(json);
+                assert_eq!(json_out.as_deref(), Some("c.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Defaults, and a positional scenario after flag values.
+        match parse(&[
+            "cluster", "bench", "--fleets", "1,3", "--rate", "25.5", "smoke",
+        ])
+        .unwrap()
+        {
+            Command::Cluster(ClusterCmd::Bench {
+                scenario,
+                fleets,
+                rate,
+                duration_ms,
+                json_out,
+                ..
+            }) => {
+                assert_eq!(scenario, "smoke");
+                assert_eq!(fleets, vec![1, 3]);
+                assert!((rate - 25.5).abs() < 1e-9);
+                assert_eq!(duration_ms, 2000);
+                assert_eq!(json_out, "BENCH_cluster.json");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["cluster", "coord", "smoke"]).is_err());
+        assert!(parse(&["cluster", "coord", "--workers", "a:1"]).is_err());
+        assert!(parse(&["cluster", "bench", "--fleets", "0"]).is_err());
+        assert!(parse(&["cluster", "frobnicate"]).is_err());
+        match parse(&["exp", "status", "--manifest", "m.json"]).unwrap() {
+            Command::Exp(ExpCmd::Status {
+                scenario, manifest, ..
+            }) => {
+                // The --manifest value must not be read as a positional.
+                assert_eq!(scenario, None);
+                assert_eq!(manifest.as_deref(), Some("m.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_coord_runs_a_fleet_and_matches_exp_run() {
+        let dir = std::env::temp_dir().join(format!("mtvp-cli-cluster-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fleet: Vec<mtvp_cluster::WorkerProc> = (0..2)
+            .map(|i| mtvp_cluster::spawn_worker(&dir.join(format!("w{i}")), 1, Vec::new()).unwrap())
+            .collect();
+        let manifest = dir.join("manifest.json").to_string_lossy().into_owned();
+        let out = Command::Cluster(ClusterCmd::Coord {
+            scenario: "smoke".into(),
+            workers: fleet.iter().map(|w| w.addr.clone()).collect(),
+            scale: None,
+            benches: None,
+            timeout_ms: None,
+            retries: None,
+            backoff_ms: None,
+            no_steal: false,
+            manifest: Some(manifest.clone()),
+            json: true,
+            json_out: None,
+        })
+        .execute()
+        .unwrap();
+        for w in fleet {
+            w.stop();
+        }
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["total_cells"].as_u64(), Some(4));
+
+        // The differential gate: the coordinator's "sweep" subtree is
+        // byte-identical to a single-node `exp run --json` of the same
+        // scenario.
+        let single = Command::Exp(ExpCmd::Run {
+            scenario: "smoke".into(),
+            scale: None,
+            benches: None,
+            jobs: Some(2),
+            shard: None,
+            no_cache: true,
+            cache_dir: None,
+            json: true,
+            json_out: None,
+            sample: None,
+        })
+        .execute()
+        .unwrap();
+        let sv: serde_json::Value = serde_json::from_str(single.trim()).unwrap();
+        assert_eq!(format!("{}", v["sweep"]), format!("{}", sv["sweep"]));
+
+        let status = Command::Exp(ExpCmd::Status {
+            scenario: None,
+            scale: None,
+            cache_dir: None,
+            manifest: Some(manifest),
+        })
+        .execute()
+        .unwrap();
+        assert!(status.contains("4/4 cells done"), "{status}");
+        assert!(status.contains("alive"), "{status}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,628 @@
+//! The sweep coordinator: scenario in, merged sweep out, N workers in
+//! between.
+//!
+//! The coordinator owns no simulator — it expands a [`Scenario`] into
+//! content-addressed cells exactly like [`mtvp_engine::Engine`] would,
+//! then drives a fleet of `mtvp-serve` workers over `POST /run`:
+//!
+//! - **Placement** is rendezvous hashing on the engine cache hash
+//!   ([`mtvp_engine::owner_of`]), so a cell lands on the same worker
+//!   run after run and warm disk caches keep paying off.
+//! - **Fault handling**: each request is retried with linear backoff;
+//!   a worker that exhausts its retries is declared dead and its
+//!   remaining cells are re-sharded over the survivors (again by
+//!   rendezvous, so only the dead worker's cells move).
+//! - **Work stealing** (on by default) lets an idle client thread pull
+//!   from the back of the longest live queue, which keeps the fleet busy
+//!   when placement is skewed.
+//! - **Merging** is by task construction order — bench-major suite order
+//!   × config input order — never by completion order, so the merged
+//!   [`Sweep`] serializes byte-identically to a single-node
+//!   `mtvp-sim exp run` regardless of races, retries or deaths.
+//!
+//! Progress is observable two ways: a JSON *manifest* file rewritten
+//! atomically after every state change (consumed by
+//! `mtvp-sim exp status --manifest`), and fabric counters
+//! (`cluster.retries`, `cluster.reshards`, `cluster.steals`, …) merged
+//! into the report's [`Registry`].
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mtvp_engine::key::scale_tag;
+use mtvp_engine::{
+    cell_descriptor, key_of, owner_of, partition, suite, Cell, JobKey, PipeStats, Registry, Scale,
+    Scenario, SimConfig, Suite, Sweep, Workload,
+};
+use mtvp_serve::loadgen::http_request;
+use serde::{Deserialize, Serialize, Value};
+
+/// Format tag of the progress manifest written by the coordinator.
+pub const MANIFEST_FORMAT: &str = "mtvp-cluster-manifest-v1";
+
+/// Hook invoked after every completed cell with the completed count so
+/// far. Tests use it to kill a worker at a deterministic point mid-sweep.
+pub type CellHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Coordinator configuration.
+#[derive(Clone)]
+pub struct CoordOptions {
+    /// Worker addresses (`host:port`), each an `mtvp-sim serve` instance.
+    pub workers: Vec<String>,
+    /// CLI scale override (`None`: the scenario's own default).
+    pub scale: Option<Scale>,
+    /// Per-cell deadline, sent to the worker and used as the client
+    /// socket timeout.
+    pub timeout_ms: u64,
+    /// Attempts per cell on one worker before declaring it dead.
+    pub retries: u32,
+    /// Base backoff between attempts (attempt `k` waits `k * backoff`).
+    pub backoff_ms: u64,
+    /// Allow idle client threads to steal queued cells from live peers.
+    pub steal: bool,
+    /// Progress manifest path, rewritten atomically on every change.
+    pub manifest: Option<PathBuf>,
+    /// Test hook: called after each completed cell.
+    pub on_cell: Option<CellHook>,
+}
+
+impl Default for CoordOptions {
+    fn default() -> CoordOptions {
+        CoordOptions {
+            workers: Vec::new(),
+            scale: None,
+            timeout_ms: 120_000,
+            retries: 3,
+            backoff_ms: 100,
+            steal: true,
+            manifest: None,
+            on_cell: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for CoordOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoordOptions")
+            .field("workers", &self.workers)
+            .field("scale", &self.scale)
+            .field("timeout_ms", &self.timeout_ms)
+            .field("retries", &self.retries)
+            .field("backoff_ms", &self.backoff_ms)
+            .field("steal", &self.steal)
+            .field("manifest", &self.manifest)
+            .field("on_cell", &self.on_cell.is_some())
+            .finish()
+    }
+}
+
+/// Per-worker accounting in a [`CoordReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker address.
+    pub addr: String,
+    /// Still alive at the end of the run.
+    pub alive: bool,
+    /// Cells ever assigned (initial placement + re-shards).
+    pub assigned: u64,
+    /// Cells this worker completed.
+    pub done: u64,
+    /// Failed attempts against this worker.
+    pub retries: u64,
+}
+
+/// Result of a coordinated sweep.
+#[derive(Clone, Debug)]
+pub struct CoordReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scale the sweep ran at.
+    pub scale: Scale,
+    /// The merged sweep, byte-identical to a single-node run.
+    pub sweep: Sweep,
+    /// Cells in the sweep.
+    pub total_cells: usize,
+    /// Cells the workers answered from cache (local or peer).
+    pub worker_cached: usize,
+    /// Failed attempts across the fleet.
+    pub retries: u64,
+    /// Worker-death events that triggered a re-shard.
+    pub reshards: u64,
+    /// Cells moved to a survivor by re-sharding.
+    pub cells_resharded: u64,
+    /// Cells stolen by an idle client thread.
+    pub steals: u64,
+    /// Per-worker accounting, in input order.
+    pub workers: Vec<WorkerReport>,
+    /// Fabric counters (`cluster.*`).
+    pub registry: Registry,
+    /// Wall-clock time of the whole sweep.
+    pub elapsed: Duration,
+}
+
+impl CoordReport {
+    /// Addresses of workers that died during the run.
+    pub fn dead_workers(&self) -> Vec<String> {
+        self.workers
+            .iter()
+            .filter(|w| !w.alive)
+            .map(|w| w.addr.clone())
+            .collect()
+    }
+}
+
+/// One expanded cell: everything needed to ask any worker for it.
+struct CellTask {
+    bench: String,
+    suite_int: bool,
+    label: String,
+    config: SimConfig,
+    key: JobKey,
+}
+
+/// Mutable fleet state shared by the client threads.
+struct CoordState {
+    workers: Vec<WorkerSlot>,
+    results: Vec<Option<(PipeStats, bool)>>,
+    remaining: usize,
+    retries: u64,
+    reshards: u64,
+    cells_resharded: u64,
+    steals: u64,
+    error: Option<String>,
+}
+
+struct WorkerSlot {
+    addr: String,
+    alive: bool,
+    queue: VecDeque<usize>,
+    assigned: u64,
+    done: u64,
+    retries: u64,
+}
+
+/// Run `scenario` across the fleet described by `opts`.
+///
+/// # Errors
+/// Returns a message when the scenario is malformed (or a worker rejects
+/// a cell with 422, which means the same thing), when no workers were
+/// given, or when every worker died before the sweep completed.
+pub fn run_cluster(scenario: &Scenario, opts: &CoordOptions) -> Result<CoordReport, String> {
+    if opts.workers.is_empty() {
+        return Err("cluster: no workers given".to_string());
+    }
+    let t0 = Instant::now();
+    let scale = scenario.scale_or(opts.scale);
+    let configs = scenario.configs().map_err(|e| e.0)?;
+    let workloads: Vec<Workload> = suite().into_iter().filter(|w| scenario.keeps(w)).collect();
+    if workloads.is_empty() {
+        return Err(format!(
+            "cluster: scenario `{}` matches no benchmarks",
+            scenario.name
+        ));
+    }
+    // Bench-major suite order × config input order: the merge order, and
+    // exactly the cell order Engine::run_scenario produces.
+    let mut tasks = Vec::with_capacity(workloads.len() * configs.len());
+    for wl in &workloads {
+        for (label, cfg) in &configs {
+            tasks.push(CellTask {
+                bench: wl.name.to_string(),
+                suite_int: wl.suite == Suite::Int,
+                label: label.clone(),
+                config: cfg.clone(),
+                key: key_of(&cell_descriptor(wl.name, cfg, scale)),
+            });
+        }
+    }
+    let tasks = Arc::new(tasks);
+
+    let keys: Vec<JobKey> = tasks.iter().map(|t| t.key.clone()).collect();
+    let buckets = partition(&keys, &opts.workers);
+    let workers = opts
+        .workers
+        .iter()
+        .zip(&buckets)
+        .map(|(addr, bucket)| WorkerSlot {
+            addr: addr.clone(),
+            alive: true,
+            queue: bucket.iter().copied().collect(),
+            assigned: bucket.len() as u64,
+            done: 0,
+            retries: 0,
+        })
+        .collect();
+    let state = Arc::new(Mutex::new(CoordState {
+        workers,
+        results: (0..tasks.len()).map(|_| None).collect(),
+        remaining: tasks.len(),
+        retries: 0,
+        reshards: 0,
+        cells_resharded: 0,
+        steals: 0,
+        error: None,
+    }));
+
+    write_manifest(opts, scenario, scale, &state.lock().expect("coord state"));
+
+    let handles: Vec<_> = (0..opts.workers.len())
+        .map(|me| {
+            let state = Arc::clone(&state);
+            let tasks = Arc::clone(&tasks);
+            let opts = opts.clone();
+            let scenario = scenario.clone();
+            std::thread::spawn(move || client_loop(me, &tasks, &state, &opts, &scenario, scale))
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let st = Arc::try_unwrap(state)
+        .map_err(|_| "cluster: client thread leaked state".to_string())?
+        .into_inner()
+        .map_err(|_| "cluster: state poisoned".to_string())?;
+    if let Some(e) = st.error {
+        return Err(e);
+    }
+    if st.remaining > 0 {
+        return Err(format!(
+            "cluster: {} of {} cells never completed (all workers dead)",
+            st.remaining,
+            tasks.len()
+        ));
+    }
+
+    let mut cells = Vec::with_capacity(tasks.len());
+    let mut worker_cached = 0usize;
+    for (task, slot) in tasks.iter().zip(&st.results) {
+        let (stats, cached) = slot
+            .clone()
+            .expect("remaining == 0 means every slot filled");
+        if cached {
+            worker_cached += 1;
+        }
+        cells.push(Cell {
+            bench: task.bench.clone(),
+            suite_int: task.suite_int,
+            config: task.label.clone(),
+            stats,
+        });
+    }
+
+    let mut registry = Registry::new();
+    registry.add("cluster.cells.total", tasks.len() as u64);
+    registry.add("cluster.cells.worker_cached", worker_cached as u64);
+    registry.add("cluster.retries", st.retries);
+    registry.add("cluster.reshards", st.reshards);
+    registry.add("cluster.cells.resharded", st.cells_resharded);
+    registry.add("cluster.steals", st.steals);
+    registry.add(
+        "cluster.workers.dead",
+        st.workers.iter().filter(|w| !w.alive).count() as u64,
+    );
+
+    Ok(CoordReport {
+        scenario: scenario.name.clone(),
+        scale,
+        sweep: Sweep { cells },
+        total_cells: tasks.len(),
+        worker_cached,
+        retries: st.retries,
+        reshards: st.reshards,
+        cells_resharded: st.cells_resharded,
+        steals: st.steals,
+        workers: st
+            .workers
+            .into_iter()
+            .map(|w| WorkerReport {
+                addr: w.addr,
+                alive: w.alive,
+                assigned: w.assigned,
+                done: w.done,
+                retries: w.retries,
+            })
+            .collect(),
+        registry,
+        elapsed: t0.elapsed(),
+    })
+}
+
+/// One client thread: drain my worker's queue (stealing when idle) until
+/// the sweep completes, my worker dies, or the run aborts.
+fn client_loop(
+    me: usize,
+    tasks: &[CellTask],
+    state: &Arc<Mutex<CoordState>>,
+    opts: &CoordOptions,
+    scenario: &Scenario,
+    scale: Scale,
+) {
+    loop {
+        let picked = {
+            let mut st = state.lock().expect("coord state");
+            if st.error.is_some() || st.remaining == 0 || !st.workers[me].alive {
+                return;
+            }
+            match st.workers[me].queue.pop_front() {
+                Some(i) => Some(i),
+                None if opts.steal => {
+                    let victim = st
+                        .workers
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, w)| *j != me && w.alive && !w.queue.is_empty())
+                        .max_by_key(|(_, w)| w.queue.len())
+                        .map(|(j, _)| j);
+                    victim.map(|j| {
+                        let i = st.workers[j].queue.pop_back().expect("non-empty victim");
+                        st.steals += 1;
+                        i
+                    })
+                }
+                None => None,
+            }
+        };
+        let Some(ti) = picked else {
+            // Queues are empty but cells are still in flight elsewhere —
+            // a death could re-shard work back to us, so stay around.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        if !run_one(me, ti, tasks, state, opts, scenario, scale) {
+            return;
+        }
+    }
+}
+
+/// Execute one cell against my worker, retrying with backoff. Returns
+/// `false` when this client thread should exit (worker dead or aborted).
+fn run_one(
+    me: usize,
+    ti: usize,
+    tasks: &[CellTask],
+    state: &Arc<Mutex<CoordState>>,
+    opts: &CoordOptions,
+    scenario: &Scenario,
+    scale: Scale,
+) -> bool {
+    let task = &tasks[ti];
+    let addr = {
+        let st = state.lock().expect("coord state");
+        st.workers[me].addr.clone()
+    };
+    let body = run_body(task, scale, opts.timeout_ms);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let outcome = http_request(&addr, "POST", "/run", Some(&body), opts.timeout_ms);
+        match outcome {
+            // A 200 whose body we cannot read is a transport-class
+            // failure (truncated response): fall through and retry.
+            Ok((200, text)) => {
+                if let Ok((stats, cached)) = parse_run_response(&text) {
+                    let completed = {
+                        let mut st = state.lock().expect("coord state");
+                        st.results[ti] = Some((stats, cached));
+                        st.remaining -= 1;
+                        st.workers[me].done += 1;
+                        write_manifest(opts, scenario, scale, &st);
+                        st.results.len() - st.remaining
+                    };
+                    if let Some(hook) = &opts.on_cell {
+                        hook(completed);
+                    }
+                    return true;
+                }
+            }
+            Ok((422, text)) => {
+                let mut st = state.lock().expect("coord state");
+                st.error = Some(format!(
+                    "cluster: worker {addr} rejected {}/{}: {}",
+                    task.bench,
+                    task.label,
+                    error_message(&text)
+                ));
+                return false;
+            }
+            Ok(_) | Err(_) => {}
+        }
+        {
+            let mut st = state.lock().expect("coord state");
+            st.retries += 1;
+            st.workers[me].retries += 1;
+        }
+        if attempt > opts.retries {
+            declare_dead(me, ti, tasks, state, opts, scenario, scale);
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(opts.backoff_ms * u64::from(attempt)));
+    }
+}
+
+/// Mark worker `me` dead and re-shard its unfinished cells (queue +
+/// the in-flight `failed`) over the survivors by rendezvous hashing.
+fn declare_dead(
+    me: usize,
+    failed: usize,
+    tasks: &[CellTask],
+    state: &Arc<Mutex<CoordState>>,
+    opts: &CoordOptions,
+    scenario: &Scenario,
+    scale: Scale,
+) {
+    let mut st = state.lock().expect("coord state");
+    st.workers[me].alive = false;
+    let mut orphans: Vec<usize> = st.workers[me].queue.drain(..).collect();
+    orphans.push(failed);
+    let survivors: Vec<usize> = st
+        .workers
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.alive)
+        .map(|(j, _)| j)
+        .collect();
+    if survivors.is_empty() {
+        st.error = Some(format!(
+            "cluster: worker {} died and no workers remain ({} cells unfinished)",
+            st.workers[me].addr, st.remaining
+        ));
+        return;
+    }
+    let names: Vec<String> = survivors
+        .iter()
+        .map(|&j| st.workers[j].addr.clone())
+        .collect();
+    for ti in orphans {
+        let w = survivors[owner_of(&tasks[ti].key, &names)];
+        st.workers[w].queue.push_back(ti);
+        st.workers[w].assigned += 1;
+        st.cells_resharded += 1;
+    }
+    st.reshards += 1;
+    write_manifest(opts, scenario, scale, &st);
+}
+
+/// The `POST /run` body for one cell: full config, explicit scale, and
+/// the coordinator's per-cell deadline.
+fn run_body(task: &CellTask, scale: Scale, timeout_ms: u64) -> String {
+    Value::Map(vec![
+        ("bench".to_string(), Value::Str(task.bench.clone())),
+        (
+            "scale".to_string(),
+            Value::Str(scale_tag(scale).to_string()),
+        ),
+        ("config".to_string(), task.config.to_value()),
+        ("timeout_ms".to_string(), Value::U64(timeout_ms)),
+    ])
+    .to_string()
+}
+
+/// Pull `(stats, cached)` out of a `/run` success payload.
+fn parse_run_response(text: &str) -> Result<(PipeStats, bool), String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("bad /run response: {e}"))?;
+    let stats = v
+        .get("stats")
+        .ok_or_else(|| "no `stats` in /run response".to_string())
+        .and_then(|s| PipeStats::from_value(s).map_err(|e| format!("bad `stats`: {e}")))?;
+    let cached = v.get("cached").and_then(Value::as_bool).unwrap_or(false);
+    Ok((stats, cached))
+}
+
+/// Best-effort extraction of an error body's `error` field.
+fn error_message(text: &str) -> String {
+    serde_json::from_str::<Value>(text)
+        .ok()
+        .and_then(|v| v.get("error").and_then(Value::as_str).map(String::from))
+        .unwrap_or_else(|| text.to_string())
+}
+
+/// The manifest document for the current fleet state.
+fn manifest_value(scenario: &Scenario, scale: Scale, st: &CoordState) -> Value {
+    let total = st.results.len();
+    let workers: Vec<Value> = st
+        .workers
+        .iter()
+        .map(|w| {
+            Value::Map(vec![
+                ("addr".to_string(), Value::Str(w.addr.clone())),
+                ("alive".to_string(), Value::Bool(w.alive)),
+                ("queued".to_string(), Value::U64(w.queue.len() as u64)),
+                ("assigned".to_string(), Value::U64(w.assigned)),
+                ("done".to_string(), Value::U64(w.done)),
+                ("retries".to_string(), Value::U64(w.retries)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        (
+            "format".to_string(),
+            Value::Str(MANIFEST_FORMAT.to_string()),
+        ),
+        ("scenario".to_string(), Value::Str(scenario.name.clone())),
+        (
+            "scale".to_string(),
+            Value::Str(scale_tag(scale).to_string()),
+        ),
+        ("total_cells".to_string(), Value::U64(total as u64)),
+        (
+            "done".to_string(),
+            Value::U64((total - st.remaining) as u64),
+        ),
+        ("retries".to_string(), Value::U64(st.retries)),
+        ("reshards".to_string(), Value::U64(st.reshards)),
+        (
+            "cells_resharded".to_string(),
+            Value::U64(st.cells_resharded),
+        ),
+        ("steals".to_string(), Value::U64(st.steals)),
+        ("workers".to_string(), Value::Seq(workers)),
+    ])
+}
+
+/// Atomically rewrite the manifest (write-to-temp, rename) so a
+/// concurrent `exp status --manifest` never reads a torn file.
+fn write_manifest(opts: &CoordOptions, scenario: &Scenario, scale: Scale, st: &CoordState) {
+    let Some(path) = &opts.manifest else {
+        return;
+    };
+    let doc = serde_json::to_string_pretty(&manifest_value(scenario, scale, st))
+        .expect("manifest serializes");
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, doc).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// The coordinator's report document. The `"sweep"` subtree serializes
+/// byte-identically to the one `mtvp-sim exp run --json` emits for the
+/// same scenario — that equality is the cluster's differential gate.
+pub fn cluster_report_json(report: &CoordReport) -> Value {
+    let workers: Vec<Value> = report
+        .workers
+        .iter()
+        .map(|w| {
+            Value::Map(vec![
+                ("addr".to_string(), Value::Str(w.addr.clone())),
+                ("alive".to_string(), Value::Bool(w.alive)),
+                ("assigned".to_string(), Value::U64(w.assigned)),
+                ("done".to_string(), Value::U64(w.done)),
+                ("retries".to_string(), Value::U64(w.retries)),
+            ])
+        })
+        .collect();
+    Value::Map(vec![
+        ("scenario".to_string(), Value::Str(report.scenario.clone())),
+        (
+            "scale".to_string(),
+            Value::Str(scale_tag(report.scale).to_string()),
+        ),
+        (
+            "total_cells".to_string(),
+            Value::U64(report.total_cells as u64),
+        ),
+        (
+            "worker_cache_hits".to_string(),
+            Value::U64(report.worker_cached as u64),
+        ),
+        ("retries".to_string(), Value::U64(report.retries)),
+        ("reshards".to_string(), Value::U64(report.reshards)),
+        (
+            "cells_resharded".to_string(),
+            Value::U64(report.cells_resharded),
+        ),
+        ("steals".to_string(), Value::U64(report.steals)),
+        (
+            "dead_workers".to_string(),
+            Value::Seq(report.dead_workers().into_iter().map(Value::Str).collect()),
+        ),
+        ("workers".to_string(), Value::Seq(workers)),
+        (
+            "elapsed_s".to_string(),
+            Value::F64(report.elapsed.as_secs_f64()),
+        ),
+        ("sweep".to_string(), serde_json::to_value(&report.sweep)),
+    ])
+}

@@ -1,0 +1,240 @@
+//! Scaling and SLO harness: boot an in-process worker fleet, measure
+//! cell throughput at 1..N workers, and probe a worker with the
+//! open-loop load generator.
+//!
+//! This is the machinery behind `mtvp-sim cluster bench` and the
+//! `BENCH_cluster.json` artifact: each fleet size gets fresh cold
+//! caches, the coordinator sweeps the same scenario, and the point
+//! records cells/second plus the speedup over the single-worker run.
+//! A final open-loop section reports achieved throughput, latency
+//! percentiles and error budget at a stated target rate against a
+//! warmed worker.
+
+use std::path::{Path, PathBuf};
+
+use mtvp_engine::key::scale_tag;
+use mtvp_engine::{CacheMode, Scale, Scenario};
+use mtvp_serve::loadgen::{run_open_loop, OpenLoopOptions};
+use mtvp_serve::server::{ServeOptions, Server, ServerHandle};
+use serde::{Serialize, Value};
+
+use crate::coord::{run_cluster, CoordOptions};
+
+/// One booted in-process worker: address, stop handle, server thread.
+pub struct WorkerProc {
+    /// `127.0.0.1:port` of the worker.
+    pub addr: String,
+    /// Graceful-drain handle.
+    pub handle: ServerHandle,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl WorkerProc {
+    /// Request shutdown and wait for the server thread to drain.
+    pub fn stop(self) {
+        self.handle.shutdown();
+        let _ = self.join.join();
+    }
+}
+
+/// Boot one in-process `mtvp-serve` worker on an ephemeral port with a
+/// disk cache at `cache_dir`.
+///
+/// `server_workers` sizes its thread pool; `peers` enables cache
+/// peering against already-running workers.
+///
+/// # Errors
+/// Propagates the listener bind error as a message.
+pub fn spawn_worker(
+    cache_dir: &Path,
+    server_workers: usize,
+    peers: Vec<String>,
+) -> Result<WorkerProc, String> {
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: server_workers.max(1),
+        queue_depth: 64,
+        cache: CacheMode::Disk(cache_dir.to_path_buf()),
+        request_timeout_ms: 120_000,
+        read_timeout_ms: 10_000,
+        peers,
+    })
+    .map_err(|e| format!("bind worker: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("worker addr: {e}"))?
+        .to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    Ok(WorkerProc { addr, handle, join })
+}
+
+/// Scaling-bench configuration.
+#[derive(Clone, Debug)]
+pub struct ScalingOptions {
+    /// The scenario every fleet size sweeps (cold caches each time).
+    pub scenario: Scenario,
+    /// Scale override (`None`: the scenario's default).
+    pub scale: Option<Scale>,
+    /// Fleet sizes to measure, e.g. `[1, 2, 4]`.
+    pub fleet_sizes: Vec<usize>,
+    /// Worker threads per server (1 isolates fleet-level scaling).
+    pub server_workers: usize,
+    /// Open-loop probe target rate (requests/s); 0 skips the probe.
+    pub slo_rate: f64,
+    /// Open-loop probe duration.
+    pub slo_duration_ms: u64,
+    /// Scratch directory for the fleets' cache trees.
+    pub scratch: PathBuf,
+}
+
+impl Default for ScalingOptions {
+    fn default() -> ScalingOptions {
+        ScalingOptions {
+            scenario: Scenario::new("bench", "bench", ""),
+            scale: None,
+            fleet_sizes: vec![1, 2, 4],
+            server_workers: 1,
+            slo_rate: 50.0,
+            slo_duration_ms: 2_000,
+            scratch: std::env::temp_dir()
+                .join(format!("mtvp-cluster-bench-{}", std::process::id())),
+        }
+    }
+}
+
+/// Run the scaling bench: for each fleet size boot that many cold
+/// workers, sweep the scenario through the coordinator, and record
+/// throughput; then (rate > 0) probe one warmed worker open-loop.
+///
+/// # Errors
+/// Returns a message when a worker fails to boot or a sweep fails.
+pub fn scaling_bench(opts: &ScalingOptions) -> Result<Value, String> {
+    let scale = opts.scenario.scale_or(opts.scale);
+    let mut points: Vec<Value> = Vec::new();
+    let mut base_cps: Option<f64> = None;
+    let mut total_cells = 0usize;
+    for &n in &opts.fleet_sizes {
+        let n = n.max(1);
+        let mut fleet = Vec::with_capacity(n);
+        for i in 0..n {
+            let dir = opts.scratch.join(format!("n{n}-w{i}"));
+            std::fs::create_dir_all(&dir).map_err(|e| format!("scratch {}: {e}", dir.display()))?;
+            fleet.push(spawn_worker(&dir, opts.server_workers, Vec::new())?);
+        }
+        let coord = CoordOptions {
+            workers: fleet.iter().map(|w| w.addr.clone()).collect(),
+            scale: opts.scale,
+            ..CoordOptions::default()
+        };
+        let report = run_cluster(&opts.scenario, &coord);
+        for w in fleet {
+            w.stop();
+        }
+        let report = report?;
+        total_cells = report.total_cells;
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        let cps = report.total_cells as f64 / secs;
+        let speedup = cps / *base_cps.get_or_insert(cps);
+        points.push(Value::Map(vec![
+            ("workers".to_string(), Value::U64(n as u64)),
+            ("elapsed_s".to_string(), Value::F64(secs)),
+            ("cells_per_s".to_string(), Value::F64(cps)),
+            ("speedup".to_string(), Value::F64(speedup)),
+            (
+                "worker_cached".to_string(),
+                Value::U64(report.worker_cached as u64),
+            ),
+            ("steals".to_string(), Value::U64(report.steals)),
+        ]));
+    }
+
+    let open_loop = if opts.slo_rate > 0.0 {
+        slo_probe(opts, scale)?
+    } else {
+        Value::Null
+    };
+
+    let _ = std::fs::remove_dir_all(&opts.scratch);
+    Ok(Value::Map(vec![
+        (
+            "scenario".to_string(),
+            Value::Str(opts.scenario.name.clone()),
+        ),
+        (
+            "scale".to_string(),
+            Value::Str(scale_tag(scale).to_string()),
+        ),
+        ("cells".to_string(), Value::U64(total_cells as u64)),
+        (
+            "server_workers".to_string(),
+            Value::U64(opts.server_workers as u64),
+        ),
+        // Scaling is only visible when the host has the cores to run
+        // the fleet; record them so the artifact is interpretable.
+        (
+            "host_cpus".to_string(),
+            Value::U64(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ),
+        ("fleet".to_string(), Value::Seq(points)),
+        ("open_loop".to_string(), open_loop),
+    ]))
+}
+
+/// Open-loop SLO probe: warm one cell on a fresh worker, then offer
+/// `slo_rate` requests/s against `/run` for the warm cell.
+fn slo_probe(opts: &ScalingOptions, scale: Scale) -> Result<Value, String> {
+    let dir = opts.scratch.join("slo");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("scratch {}: {e}", dir.display()))?;
+    // The probe serves from cache, so give the worker a few threads.
+    let worker = spawn_worker(&dir, 4, Vec::new())?;
+    let (bench, body) = probe_body(&opts.scenario, scale)?;
+    match mtvp_serve::loadgen::http_request(&worker.addr, "POST", "/run", Some(&body), 120_000) {
+        Ok((200, _)) => {}
+        Ok((status, text)) => {
+            worker.stop();
+            return Err(format!("slo warmup for {bench}: status {status}: {text}"));
+        }
+        Err(e) => {
+            worker.stop();
+            return Err(format!("slo warmup for {bench}: {e}"));
+        }
+    }
+    let report = run_open_loop(&OpenLoopOptions {
+        addr: worker.addr.clone(),
+        rate: opts.slo_rate,
+        duration_ms: opts.slo_duration_ms,
+        path: "/run".to_string(),
+        body: Some(body),
+        timeout_ms: 10_000,
+    });
+    worker.stop();
+    Ok(report.to_value())
+}
+
+/// A `/run` body for the scenario's first (bench, config) cell.
+fn probe_body(scenario: &Scenario, scale: Scale) -> Result<(String, String), String> {
+    let configs = scenario.configs().map_err(|e| e.0)?;
+    let (label, cfg) = configs.first().ok_or("scenario has no configs")?;
+    let bench = mtvp_engine::suite()
+        .into_iter()
+        .find(|w| scenario.keeps(w))
+        .map(|w| w.name.to_string())
+        .ok_or("scenario matches no benchmarks")?;
+    let body = Value::Map(vec![
+        ("bench".to_string(), Value::Str(bench.clone())),
+        (
+            "scale".to_string(),
+            Value::Str(scale_tag(scale).to_string()),
+        ),
+        ("config".to_string(), cfg.to_value()),
+    ])
+    .to_string();
+    Ok((format!("{bench}/{label}"), body))
+}

@@ -1,0 +1,42 @@
+//! # mtvp-cluster
+//!
+//! The distributed sweep fabric of the *Multithreaded Value Prediction*
+//! reproduction: scale the single-node `mtvp-serve` service out to N
+//! worker processes while keeping the engine's core guarantee — a sweep's
+//! result JSON is bit-identical however it was computed.
+//!
+//! Two building blocks compose into the fabric:
+//!
+//! - **Coordinator** ([`coord::run_cluster`]): expands a scenario into
+//!   content-addressed cells, partitions them over workers by rendezvous
+//!   hashing on the engine cache hash ([`mtvp_engine::partition`]), fans
+//!   them out over `POST /run`, retries with backoff, re-shards a dead
+//!   worker's remaining cells over the survivors, optionally steals work
+//!   from loaded peers, and merges everything into one [`Sweep`] in the
+//!   engine's canonical bench-major order.
+//! - **Cache peering** (in `mtvp-serve`): workers started with `--peers`
+//!   ask each other for warm cells (`GET /cache/cell/<hash>`) before
+//!   simulating, so results migrate instead of being recomputed.
+//!
+//! [`harness::scaling_bench`] boots 1..N in-process workers and measures
+//! cell throughput at each fleet size, plus an open-loop SLO probe — the
+//! artifact behind `BENCH_cluster.json`.
+//!
+//! Determinism is the design anchor: cells are pure functions of their
+//! content hash, the merge order is independent of completion order, and
+//! the differential gate (cluster output == single-node `exp run` output,
+//! cold, warm, and with a worker killed mid-sweep) is what makes a
+//! cluster-produced sweep citable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod harness;
+
+pub use coord::{
+    cluster_report_json, run_cluster, CoordOptions, CoordReport, WorkerReport, MANIFEST_FORMAT,
+};
+pub use harness::{scaling_bench, spawn_worker, ScalingOptions, WorkerProc};
+
+pub use mtvp_engine::{Scale, Scenario, Sweep};

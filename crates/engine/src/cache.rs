@@ -181,6 +181,13 @@ impl Cache {
             .then_some(entry)
     }
 
+    /// Raw stored JSON text of the cell for `key`, if present. The
+    /// cluster peering endpoint serves this verbatim; the fetching peer
+    /// re-parses and re-verifies before trusting it.
+    pub fn read_cell_text(&self, key: &JobKey) -> Option<String> {
+        std::fs::read_to_string(self.cell_path(key)).ok()
+    }
+
     /// Persist a cell entry atomically (temp file + rename).
     pub fn store_cell(&self, key: &JobKey, entry: &CellEntry) -> std::io::Result<()> {
         let text = serde_json::to_string_pretty(entry)

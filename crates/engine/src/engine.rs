@@ -120,10 +120,27 @@ pub struct StatusReport {
     pub cached: usize,
 }
 
+/// A hook that asks cluster peers for an already-computed cell before the
+/// engine simulates it: called with the cell's [`JobKey`] and canonical
+/// descriptor, it returns a peer's entry or `None`. The engine verifies
+/// the returned entry (format, simulator version, descriptor) before
+/// trusting it, so a buggy or stale peer degrades to a cache miss.
+pub type PeerFetch = Arc<dyn Fn(&JobKey, &str) -> Option<CellEntry> + Send + Sync>;
+
 /// The experiment driver. See the module docs for the execution model.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct Engine {
     opts: EngineOptions,
+    peer_fetch: Option<PeerFetch>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("opts", &self.opts)
+            .field("peer_fetch", &self.peer_fetch.is_some())
+            .finish()
+    }
 }
 
 struct CellJob {
@@ -141,7 +158,20 @@ struct TraceJob {
 impl Engine {
     /// An engine with explicit options.
     pub fn new(opts: EngineOptions) -> Engine {
-        Engine { opts }
+        Engine {
+            opts,
+            peer_fetch: None,
+        }
+    }
+
+    /// Install a peer-fetch hook: before simulating a cell that missed the
+    /// local cache, [`Engine::run_cell`] asks the hook for the entry (a
+    /// cluster worker wires this to `GET /cache/cell/<hash>` on its
+    /// peers). A verified peer entry is persisted locally and counts as a
+    /// cache hit.
+    pub fn with_peer_fetch(mut self, fetch: PeerFetch) -> Engine {
+        self.peer_fetch = Some(fetch);
+        self
     }
 
     /// An engine with caching disabled (used by `Sweep::run` and tests).
@@ -236,6 +266,19 @@ impl Engine {
         let cache = self.cache();
         if let Some(entry) = cache.as_ref().and_then(|c| c.load_cell(&key, &descriptor)) {
             return Ok((entry, true));
+        }
+        if let Some(fetch) = &self.peer_fetch {
+            if let Some(entry) = fetch(&key, &descriptor) {
+                if entry.format == "mtvp-cell-v1"
+                    && entry.version == SIM_VERSION
+                    && entry.descriptor == descriptor
+                {
+                    if let Some(c) = &cache {
+                        let _ = c.store_cell(&key, &entry);
+                    }
+                    return Ok((entry, true));
+                }
+            }
         }
         let program = wl.build(scale);
         let trace_desc = trace_descriptor(wl.name, scale);
@@ -707,6 +750,55 @@ mod tests {
         assert_eq!(again.cache_hits, 1);
         assert_eq!(again.sweep, cold.sweep);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn peer_fetch_fills_a_cold_cache_and_rejects_mismatches() {
+        let dir_a = scratch();
+        let dir_b = scratch();
+        let warm = Engine::new(EngineOptions {
+            cache: CacheMode::Disk(dir_a.clone()),
+            ..EngineOptions::default()
+        });
+        let cfg = SimConfig::new(Mode::Baseline);
+        let (expect, _) = warm.run_cell("mcf", &cfg, Scale::Tiny).unwrap();
+
+        // A cold engine whose peer hook reads the warm cache: the cell
+        // arrives without simulation and is persisted locally.
+        let peer = Cache::new(dir_a.clone());
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let hits_in = hits.clone();
+        let cold = Engine::new(EngineOptions {
+            cache: CacheMode::Disk(dir_b.clone()),
+            ..EngineOptions::default()
+        })
+        .with_peer_fetch(Arc::new(move |key, descriptor| {
+            hits_in.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            peer.load_cell(key, descriptor)
+        }));
+        let (got, hit) = cold.run_cell("mcf", &cfg, Scale::Tiny).unwrap();
+        assert!(hit, "peer entry counts as a cache hit");
+        assert_eq!(got, expect);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // Second run: served by the now-warm local cache, no peer call.
+        let (_, hit) = cold.run_cell("mcf", &cfg, Scale::Tiny).unwrap();
+        assert!(hit);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+        // A lying peer (wrong descriptor inside the entry) is ignored:
+        // the engine verifies and falls through to simulation.
+        let poisoned = Cache::new(dir_a.clone());
+        let lying = Engine::ephemeral().with_peer_fetch(Arc::new(move |key, descriptor| {
+            poisoned.load_cell(key, descriptor).map(|mut e| {
+                e.descriptor = "tampered".to_string();
+                e
+            })
+        }));
+        let (recomputed, hit) = lying.run_cell("mcf", &cfg, Scale::Tiny).unwrap();
+        assert!(!hit, "tampered peer entry must be recomputed");
+        assert_eq!(recomputed, expect);
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

@@ -26,6 +26,17 @@ impl JobKey {
         &self.0
     }
 
+    /// Reconstruct a key from its 32-hex-digit digest (e.g. out of a
+    /// cluster peering URL). `None` unless `hex` is exactly 32 lowercase
+    /// hex digits, so URL input can never escape the cache directory.
+    pub fn from_hex(hex: &str) -> Option<JobKey> {
+        (hex.len() == 32
+            && hex
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)))
+        .then(|| JobKey(hex.to_string()))
+    }
+
     /// Stable shard assignment in `0..shards` (content-addressed, so it
     /// is identical across runs and machines).
     pub fn shard_of(&self, shards: usize) -> usize {
@@ -41,7 +52,7 @@ impl std::fmt::Display for JobKey {
     }
 }
 
-fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = seed;
     for &b in bytes {
         h ^= u64::from(b);

@@ -49,6 +49,7 @@ pub mod coalesce;
 pub mod engine;
 pub mod key;
 pub mod lint;
+pub mod partition;
 pub mod run;
 pub mod sampling;
 pub mod scenario;
@@ -58,12 +59,15 @@ pub mod sweep;
 pub use builtin::{builtin, builtin_scenarios};
 pub use cache::{Cache, CellEntry, Checkpoint, LintEntry};
 pub use coalesce::{Coalesced, Coalescer};
-pub use engine::{render_speedup_table, CacheMode, Engine, EngineOptions, RunReport, StatusReport};
+pub use engine::{
+    render_speedup_table, CacheMode, Engine, EngineOptions, PeerFetch, RunReport, StatusReport,
+};
 pub use key::{
     cell_descriptor, ckpt_descriptor, key_of, lint_descriptor, trace_descriptor, JobKey,
     SIM_VERSION,
 };
 pub use lint::{lint_program_cached, LintOutcome};
+pub use partition::{owner_of, partition};
 pub use run::{
     reference_trace, run_program, run_program_traced, run_with_trace, RunResult, TraceOptions,
 };

@@ -1,0 +1,124 @@
+//! Consistent-hash partitioning of content-addressed cells over workers.
+//!
+//! The cluster coordinator assigns every cell [`JobKey`] to one worker by
+//! **rendezvous (highest-random-weight) hashing**: each (worker, key) pair
+//! is scored with an independent FNV-1a pass, and the highest score owns
+//! the key. Unlike `JobKey::shard_of` (plain modulo, used for the static
+//! `--shard i/n` split), rendezvous hashing has the *minimal movement*
+//! property a dynamic fabric needs:
+//!
+//! - Adding a worker moves only the keys the new worker now wins — on
+//!   average `cells / (n + 1)` — and every moved key moves **to** the new
+//!   worker, never between survivors.
+//! - Removing a worker reassigns only that worker's keys, redistributing
+//!   them over the survivors; nothing else moves. This is exactly the
+//!   re-shard the coordinator performs when it declares a worker dead.
+//!
+//! Scores depend only on the worker identity string and the key's hex
+//! digest, so every node computes the same assignment with no shared
+//! state — the coordinator and any observer agree on ownership.
+
+use crate::key::{fnv1a64, JobKey};
+
+/// Rendezvous score of `worker` for `key`. Chains two FNV-1a passes so
+/// the worker identity perturbs the whole key digest.
+fn score(worker: &str, key: &JobKey) -> u64 {
+    let h = fnv1a64(0x9e37_79b9_7f4a_7c15, worker.as_bytes());
+    fnv1a64(h ^ 0xcbf2_9ce4_8422_2325, key.hex().as_bytes())
+}
+
+/// Index (into `workers`) of the worker that owns `key`, by rendezvous
+/// hashing. Ties (score collisions) break toward the lower index, so the
+/// choice is deterministic for any worker list.
+///
+/// # Panics
+/// Panics if `workers` is empty — an empty fabric owns nothing.
+pub fn owner_of(key: &JobKey, workers: &[String]) -> usize {
+    assert!(!workers.is_empty(), "owner_of: no workers");
+    let mut best = 0usize;
+    let mut best_score = score(&workers[0], key);
+    for (i, w) in workers.iter().enumerate().skip(1) {
+        let s = score(w, key);
+        if s > best_score {
+            best = i;
+            best_score = s;
+        }
+    }
+    best
+}
+
+/// Partition `keys` over `workers`: returns one vector of key indices per
+/// worker (complete and disjoint — every key index appears in exactly one
+/// bucket, in input order).
+///
+/// # Panics
+/// Panics if `workers` is empty.
+pub fn partition(keys: &[JobKey], workers: &[String]) -> Vec<Vec<usize>> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+    for (i, key) in keys.iter().enumerate() {
+        buckets[owner_of(key, workers)].push(i);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::key_of;
+
+    fn keys(n: usize) -> Vec<JobKey> {
+        (0..n).map(|i| key_of(&format!("cell-{i}"))).collect()
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let ks = keys(100);
+        let ws = names(4);
+        let buckets = partition(&ks, &ws);
+        let mut seen = vec![false; ks.len()];
+        for b in &buckets {
+            for &i in b {
+                assert!(!seen[i], "key {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "every key assigned");
+    }
+
+    #[test]
+    fn growing_the_fabric_only_moves_keys_to_the_new_worker() {
+        let ks = keys(200);
+        let ws = names(3);
+        let mut grown = ws.clone();
+        grown.push("127.0.0.1:9100".to_string());
+        let mut moved = 0usize;
+        for k in &ks {
+            let before = owner_of(k, &ws);
+            let after = owner_of(k, &grown);
+            if before != after {
+                moved += 1;
+                assert_eq!(after, 3, "moved key must land on the new worker");
+            }
+        }
+        // ~1/4 of keys should move; allow a generous band.
+        assert!(moved > 0 && moved < ks.len() / 2, "moved {moved}");
+    }
+
+    #[test]
+    fn removal_reassigns_only_the_dead_workers_keys() {
+        let ks = keys(200);
+        let ws = names(4);
+        let survivors: Vec<String> = ws.iter().take(3).cloned().collect();
+        for k in &ks {
+            let before = owner_of(k, &ws);
+            let after = owner_of(k, &survivors);
+            if before != 3 {
+                assert_eq!(before, after, "surviving assignment must not move");
+            }
+        }
+    }
+}

@@ -91,6 +91,27 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram into this one, as if every sample of
+    /// `other` had been observed here (bucket counts, sum, count, and
+    /// extremes all combine; sums saturate like [`Histogram::observe`]).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Upper-bound estimate of the `p`-th percentile (`p` in `[0, 100]`).
     ///
     /// Walks the buckets to the one containing the rank-`ceil(p/100 * n)`
@@ -187,6 +208,23 @@ impl Registry {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
+    }
+
+    /// Fold another registry into this one: counters add, histograms
+    /// merge sample-for-sample, and names absent here are created (in
+    /// `other`'s order, after the existing entries). The cluster
+    /// coordinator uses this to aggregate per-worker fabric counters
+    /// into one report.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            self.add(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
     }
 
     /// Serialize to a JSON string.
@@ -298,6 +336,32 @@ mod tests {
         let h = r.histogram("queue.rob").expect("histogram exists");
         assert_eq!(h.count, 2);
         assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn merge_is_observation_order_independent() {
+        // Merging two registries equals observing everything in one.
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        let mut whole = Registry::new();
+        for (i, v) in [3u64, 0, 17, 1024, 999, 5].iter().enumerate() {
+            let r = if i % 2 == 0 { &mut a } else { &mut b };
+            r.observe("lat", *v);
+            whole.observe("lat", *v);
+            r.add("n", *v);
+            whole.add("n", *v);
+        }
+        b.bump("only.b");
+        whole.bump("only.b");
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter("n"), whole.counter("n"));
+        assert_eq!(merged.counter("only.b"), 1);
+        assert_eq!(merged.histogram("lat"), whole.histogram("lat"));
+        // Merging an empty registry is the identity.
+        let before = merged.clone();
+        merged.merge(&Registry::new());
+        assert_eq!(merged, before);
     }
 
     #[test]

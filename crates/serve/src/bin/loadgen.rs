@@ -1,24 +1,34 @@
-//! `mtvp-loadgen`: closed-loop load generator for `mtvp-sim serve`.
+//! `mtvp-loadgen`: closed- and open-loop load generator for
+//! `mtvp-sim serve`.
 //!
 //! ```text
+//! # closed loop: N clients, each issuing sequential requests
 //! mtvp-loadgen --addr 127.0.0.1:8707 --clients 32 --requests 4 \
 //!              --bench mcf --mode baseline --scale tiny
+//! # open loop: offer a fixed rate and report SLO compliance
+//! mtvp-loadgen --addr 127.0.0.1:8707 --rate 200 --duration-ms 5000 \
+//!              --path /health
 //! ```
 //!
-//! Prints a JSON report (statuses, resets, latency percentiles) to
-//! stdout. Exits 0 on a clean run, 1 on bad usage, 2 if any transport
-//! reset was observed or a disallowed status came back.
+//! Prints a JSON report (statuses, resets, latency percentiles; in open
+//! loop also achieved throughput and error budget) to stdout. Exits 0 on
+//! a clean run, 1 on bad usage, 2 if any transport reset was observed or
+//! a disallowed status came back.
 
-use mtvp_serve::loadgen::{run, LoadgenOptions};
+use mtvp_serve::loadgen::{run, run_open_loop, LoadgenOptions, OpenLoopOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: mtvp-loadgen [--addr HOST:PORT] [--clients N] [--requests N]\n\
+         \x20                   [--rate RPS --duration-ms N]\n\
          \x20                   [--path /run] [--body JSON | --bench B --mode M --scale S]\n\
          \x20                   [--timeout-ms N] [--allow-statuses 200,503]\n\
          \n\
-         Drives N closed-loop clients against an mtvp-sim serve instance and\n\
-         prints a JSON report. Without --body/--bench the request is a GET."
+         Drives load against an mtvp-sim serve instance and prints a JSON\n\
+         report. Default is closed-loop (N clients, sequential requests);\n\
+         --rate switches to open-loop at a fixed offered rate with SLO\n\
+         reporting (achieved rps, p50/p99, error budget). Without\n\
+         --body/--bench the request is a GET."
     );
     std::process::exit(1);
 }
@@ -29,6 +39,8 @@ fn main() {
     let mut mode = "baseline".to_string();
     let mut scale = "tiny".to_string();
     let mut allow: Option<Vec<u16>> = None;
+    let mut rate: Option<f64> = None;
+    let mut duration_ms = 5_000u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> String {
@@ -50,6 +62,10 @@ fn main() {
             "--scale" => scale = take("--scale"),
             "--timeout-ms" => {
                 opts.timeout_ms = take("--timeout-ms").parse().unwrap_or_else(|_| usage());
+            }
+            "--rate" => rate = Some(take("--rate").parse().unwrap_or_else(|_| usage())),
+            "--duration-ms" => {
+                duration_ms = take("--duration-ms").parse().unwrap_or_else(|_| usage());
             }
             "--allow-statuses" => {
                 allow = Some(
@@ -73,19 +89,35 @@ fn main() {
             ));
         }
     }
-    let report = run(&opts);
-    println!("{}", report.to_value());
-    let mut bad = report.resets > 0;
+    let (doc, statuses, resets) = match rate {
+        Some(rate) => {
+            let report = run_open_loop(&OpenLoopOptions {
+                addr: opts.addr,
+                rate,
+                duration_ms,
+                path: opts.path,
+                body: opts.body,
+                timeout_ms: opts.timeout_ms,
+            });
+            (report.to_value(), report.statuses, report.resets)
+        }
+        None => {
+            let report = run(&opts);
+            (report.to_value(), report.statuses.clone(), report.resets)
+        }
+    };
+    println!("{doc}");
+    let mut bad = resets > 0;
     if let Some(allowed) = allow {
-        for (status, n) in &report.statuses {
+        for (status, n) in &statuses {
             if *n > 0 && !allowed.contains(status) {
                 eprintln!("disallowed status {status} seen {n} time(s)");
                 bad = true;
             }
         }
     }
-    if report.resets > 0 {
-        eprintln!("{} transport reset(s) observed", report.resets);
+    if resets > 0 {
+        eprintln!("{resets} transport reset(s) observed");
     }
     std::process::exit(if bad { 2 } else { 0 });
 }

@@ -15,6 +15,7 @@
 //! | `GET /jobs/<id>`         | Job status (`"wait": false` requests)          |
 //! | `GET /jobs/<id>/result`  | Job result; `?wait_ms=N` long-polls            |
 //! | `GET /cache/stats`       | On-disk result-cache inventory                 |
+//! | `GET /cache/cell/<hash>` | Raw cached cell for cluster cache peering      |
 //! | `GET /metrics`           | Counters, queue depths, latency percentiles    |
 //!
 //! The moving parts: an incremental bounded [`http`] parser, a fixed
@@ -22,8 +23,12 @@
 //! ([`server`]), single-flight coalescing of identical concurrent jobs
 //! (via `mtvp_engine::Coalescer`, keyed by the cache's content hash), a
 //! monotonic [`jobs`] table for async polling, SIGTERM-triggered
-//! graceful drain ([`signal`]), and a closed-loop [`loadgen`] used by
-//! the load-hardening tests and CI.
+//! graceful drain ([`signal`]), and a closed-/open-loop [`loadgen`]
+//! (the open loop reports SLO compliance: achieved rate, latency
+//! percentiles, error budget) used by the load-hardening tests and CI.
+//! Workers started with `--peers` fetch warm cells from each other
+//! (`GET /cache/cell/<hash>`) before simulating — the cache-peering
+//! half of the `mtvp-cluster` fabric.
 
 #![deny(unsafe_code)] // `signal` carries the one audited exception
 #![warn(missing_docs)]
@@ -37,5 +42,7 @@ pub mod signal;
 
 pub use http::{Parser, Request, Response, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 pub use jobs::{JobSnapshot, JobState, JobTable};
-pub use loadgen::{http_request, LoadgenOptions, LoadgenReport};
+pub use loadgen::{
+    http_request, run_open_loop, LoadgenOptions, LoadgenReport, OpenLoopOptions, SloReport,
+};
 pub use server::{DrainReport, ServeOptions, Server, ServerHandle};

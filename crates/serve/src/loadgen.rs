@@ -1,18 +1,22 @@
-//! Closed-loop load generator and the tiny blocking HTTP client it is
-//! built on.
+//! Load generators (closed- and open-loop) and the tiny blocking HTTP
+//! client they are built on.
 //!
 //! [`http_request`] is the one client primitive: open a connection, send
 //! one request, read to EOF (the server always answers
-//! `Connection: close`), return status + body. The generator
+//! `Connection: close`), return status + body. The closed-loop generator
 //! ([`run`]) drives N client threads, each issuing sequential requests,
 //! and aggregates statuses, transport errors (resets), latencies, and
 //! per-client job-id sequences — everything the load test and the CI
-//! smoke job assert on.
+//! smoke job assert on. The open-loop generator ([`run_open_loop`])
+//! instead *offers* requests at a fixed target rate regardless of how
+//! fast responses come back — the arrival model real traffic follows —
+//! and reports against an SLO: achieved throughput, p50/p99 latency, and
+//! the error budget consumed by 503s, 5xxs, and transport failures.
 
 use mtvp_obs::Histogram;
 use serde::Value;
 use std::io::{Read, Write};
-use std::net::{Shutdown, TcpStream};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Send one HTTP request and collect the full response.
@@ -31,7 +35,16 @@ pub fn http_request(
     timeout_ms: u64,
 ) -> Result<(u16, String), String> {
     let timeout = Duration::from_millis(timeout_ms.max(1));
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // The timeout covers connect as well as read/write: a worker that
+    // accepts but never responds (or a blackholed address) must not stall
+    // a client beyond its deadline.
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no addresses"))?;
+    let mut stream =
+        TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(timeout))
         .map_err(|e| format!("set timeout: {e}"))?;
@@ -232,6 +245,185 @@ pub fn run(opts: &LoadgenOptions) -> LoadgenReport {
     report
 }
 
+/// Open-loop load configuration: offer requests at `rate` per second for
+/// `duration_ms`, independent of response times.
+#[derive(Clone, Debug)]
+pub struct OpenLoopOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Target offered request rate (requests per second).
+    pub rate: f64,
+    /// How long to keep offering load (ms).
+    pub duration_ms: u64,
+    /// Request path (default `/run`).
+    pub path: String,
+    /// JSON body; `None` sends a GET instead of a POST.
+    pub body: Option<String>,
+    /// Per-request client timeout (ms), covering connect and read.
+    pub timeout_ms: u64,
+}
+
+impl Default for OpenLoopOptions {
+    fn default() -> Self {
+        OpenLoopOptions {
+            addr: "127.0.0.1:8707".to_string(),
+            rate: 10.0,
+            duration_ms: 1_000,
+            path: "/run".to_string(),
+            body: None,
+            timeout_ms: 5_000,
+        }
+    }
+}
+
+/// SLO-oriented outcome of one open-loop run.
+#[derive(Clone, Debug, Default)]
+pub struct SloReport {
+    /// The offered rate the run targeted (requests per second).
+    pub target_rate: f64,
+    /// Requests offered (scheduled and sent).
+    pub offered: u64,
+    /// Requests that completed with any HTTP status.
+    pub completed: u64,
+    /// Completed requests per second of wall-clock time.
+    pub achieved_rps: f64,
+    /// Response count per status code, ascending by code.
+    pub statuses: Vec<(u16, u64)>,
+    /// Transport failures: connect errors/timeouts, resets, bad framing.
+    pub resets: u64,
+    /// Requests that burned error budget: transport failures plus 5xx
+    /// responses (503 overload, 504 deadline) — everything a caller
+    /// experiences as "the service failed me".
+    pub errors: u64,
+    /// Fraction of offered requests that burned error budget, in
+    /// `[0, 1]`.
+    pub error_budget_used: f64,
+    /// End-to-end request latency in microseconds (completed requests).
+    pub latency_us: Histogram,
+}
+
+impl SloReport {
+    /// Responses observed with `status`.
+    pub fn status_count(&self, status: u16) -> u64 {
+        self.statuses
+            .iter()
+            .find(|(s, _)| *s == status)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// The report as JSON (what `mtvp-loadgen --rate` prints).
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("mode".to_string(), Value::Str("open-loop".to_string())),
+            ("target_rate".to_string(), Value::F64(self.target_rate)),
+            ("offered".to_string(), Value::U64(self.offered)),
+            ("completed".to_string(), Value::U64(self.completed)),
+            ("achieved_rps".to_string(), Value::F64(self.achieved_rps)),
+            (
+                "statuses".to_string(),
+                Value::Map(
+                    self.statuses
+                        .iter()
+                        .map(|(s, n)| (s.to_string(), Value::U64(*n)))
+                        .collect(),
+                ),
+            ),
+            ("resets".to_string(), Value::U64(self.resets)),
+            ("errors".to_string(), Value::U64(self.errors)),
+            (
+                "error_budget_used".to_string(),
+                Value::F64(self.error_budget_used),
+            ),
+            (
+                "latency_us".to_string(),
+                Value::Map(vec![
+                    ("count".to_string(), Value::U64(self.latency_us.count)),
+                    ("mean".to_string(), Value::F64(self.latency_us.mean())),
+                    (
+                        "p50".to_string(),
+                        Value::U64(self.latency_us.percentile(50.0)),
+                    ),
+                    (
+                        "p99".to_string(),
+                        Value::U64(self.latency_us.percentile(99.0)),
+                    ),
+                    ("max".to_string(), Value::U64(self.latency_us.max)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Offer requests at `opts.rate` per second for `opts.duration_ms`,
+/// one thread per in-flight request, and aggregate an [`SloReport`].
+///
+/// Unlike the closed loop, a slow server does not slow the arrival
+/// process down — queues build, 503s and timeouts appear, and the error
+/// budget records them. That makes the report an honest answer to "can
+/// this fabric sustain rate R within SLO?".
+pub fn run_open_loop(opts: &OpenLoopOptions) -> SloReport {
+    let rate = opts.rate.max(0.001);
+    let duration = Duration::from_millis(opts.duration_ms.max(1));
+    let offered = (rate * duration.as_secs_f64()).ceil().max(1.0) as u64;
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let (tx, rx) = std::sync::mpsc::channel::<(Result<(u16, String), String>, u64)>();
+    let t0 = Instant::now();
+    let mut senders = Vec::with_capacity(offered as usize);
+    for i in 0..offered {
+        let due = t0 + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let tx = tx.clone();
+        let o = opts.clone();
+        senders.push(std::thread::spawn(move || {
+            let method = if o.body.is_some() { "POST" } else { "GET" };
+            let s0 = Instant::now();
+            let outcome = http_request(&o.addr, method, &o.path, o.body.as_deref(), o.timeout_ms);
+            let _ = tx.send((outcome, s0.elapsed().as_micros() as u64));
+        }));
+    }
+    drop(tx);
+    let mut report = SloReport {
+        target_rate: rate,
+        offered,
+        ..SloReport::default()
+    };
+    for (outcome, us) in rx {
+        match outcome {
+            Ok((status, _)) => {
+                report.completed += 1;
+                report.latency_us.observe(us);
+                match report.statuses.iter_mut().find(|(s, _)| *s == status) {
+                    Some((_, n)) => *n += 1,
+                    None => report.statuses.push((status, 1)),
+                }
+                if status >= 500 {
+                    report.errors += 1;
+                }
+            }
+            Err(_) => {
+                report.resets += 1;
+                report.errors += 1;
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    for h in senders {
+        let _ = h.join();
+    }
+    report.statuses.sort_unstable_by_key(|(s, _)| *s);
+    report.achieved_rps = if elapsed > 0.0 {
+        report.completed as f64 / elapsed
+    } else {
+        0.0
+    };
+    report.error_budget_used = report.errors as f64 / report.offered.max(1) as f64;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +436,57 @@ mod tests {
         assert_eq!(body, "ok");
         assert!(parse_response(b"totally not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connect_honors_the_request_timeout() {
+        // A blackholed (non-routable) address must fail within the
+        // per-request deadline instead of hanging in connect().
+        let t0 = Instant::now();
+        let r = http_request("10.255.255.1:9", "GET", "/health", None, 200);
+        assert!(r.is_err());
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "connect did not respect the timeout: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn open_loop_reports_slo_against_a_live_server() {
+        let server = crate::server::Server::bind(crate::server::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache: mtvp_engine::CacheMode::Off,
+            request_timeout_ms: 30_000,
+            read_timeout_ms: 2_000,
+            peers: Vec::new(),
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let report = run_open_loop(&OpenLoopOptions {
+            addr,
+            rate: 50.0,
+            duration_ms: 400,
+            path: "/health".to_string(),
+            body: None,
+            timeout_ms: 5_000,
+        });
+        assert_eq!(report.offered, 20);
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.status_count(200), 20);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.error_budget_used, 0.0);
+        assert!(report.achieved_rps > 0.0);
+        assert!(report.latency_us.percentile(99.0) >= report.latency_us.percentile(50.0));
+        let v = report.to_value();
+        assert_eq!(v.get("offered").and_then(Value::as_u64), Some(20));
+        assert!(v.get("latency_us").and_then(|l| l.get("p99")).is_some());
+        handle.shutdown();
+        join.join().expect("join").expect("run");
     }
 
     #[test]

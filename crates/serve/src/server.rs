@@ -30,8 +30,9 @@ use crate::http::{Parser, Request, Response};
 use crate::jobs::{JobState, JobTable};
 use crate::signal;
 use mtvp_engine::{
-    builtin_scenarios, cell_descriptor, key::scale_tag, key_of, suite, CacheMode, CellEntry,
-    Coalesced, Coalescer, Engine, EngineOptions, Registry, Scale, Scenario, SimConfig, SIM_VERSION,
+    builtin_scenarios, cell_descriptor, key::scale_tag, key_of, suite, Cache, CacheMode, CellEntry,
+    Coalesced, Coalescer, Engine, EngineOptions, JobKey, Registry, Scale, Scenario, SimConfig,
+    SIM_VERSION,
 };
 use serde::{Serialize, Value};
 use std::collections::VecDeque;
@@ -56,6 +57,9 @@ pub struct ServeOptions {
     pub request_timeout_ms: u64,
     /// Socket read timeout while parsing a request (ms).
     pub read_timeout_ms: u64,
+    /// Cluster peers (`host:port`) to ask for warm cells before
+    /// simulating (`--peers a,b,c`; empty disables peering).
+    pub peers: Vec<String>,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +73,7 @@ impl Default for ServeOptions {
             cache: CacheMode::Disk(mtvp_engine::Cache::default_dir()),
             request_timeout_ms: 120_000,
             read_timeout_ms: 10_000,
+            peers: Vec::new(),
         }
     }
 }
@@ -116,11 +121,15 @@ struct Shared {
     cells: Coalescer<(CellEntry, bool)>,
     sweeps: Coalescer<String>,
     jobs: JobTable,
-    metrics: Mutex<Registry>,
+    // Behind an `Arc` so the engine's peer-fetch closure (created before
+    // `Shared` exists) can count peer hits/misses.
+    metrics: Arc<Mutex<Registry>>,
     queue: Mutex<VecDeque<Work>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
     queue_highwater: AtomicU64,
+    /// Work items currently being processed by worker threads.
+    active: AtomicU64,
     started: Instant,
 }
 
@@ -208,26 +217,31 @@ impl Server {
     pub fn bind(opts: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
+        let metrics = Arc::new(Mutex::new(Registry::new()));
         // One engine worker per simulation: parallelism comes from the
         // server's worker pool, not from fanning each sweep across every
         // core (which would oversubscribe under concurrent requests).
-        let engine = Engine::new(EngineOptions {
+        let mut engine = Engine::new(EngineOptions {
             cache: opts.cache.clone(),
             jobs: Some(1),
             shard: None,
             progress: false,
         });
+        if !opts.peers.is_empty() {
+            engine = engine.with_peer_fetch(peer_fetch(opts.peers.clone(), Arc::clone(&metrics)));
+        }
         let shared = Arc::new(Shared {
             opts,
             engine,
             cells: Coalescer::new(),
             sweeps: Coalescer::new(),
             jobs: JobTable::new(),
-            metrics: Mutex::new(Registry::new()),
+            metrics,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             queue_highwater: AtomicU64::new(0),
+            active: AtomicU64::new(0),
             started: Instant::now(),
         });
         Ok(Server { listener, shared })
@@ -305,6 +319,31 @@ impl Server {
     }
 }
 
+/// Build the engine hook that asks each cluster peer for a warm cell
+/// (`GET /cache/cell/<hash>`) before simulating. The first peer to
+/// answer 200 with parseable JSON wins; the engine then verifies the
+/// entry's descriptor, so a stale or lying peer costs one round trip,
+/// never a wrong result.
+fn peer_fetch(peers: Vec<String>, metrics: Arc<Mutex<Registry>>) -> mtvp_engine::PeerFetch {
+    Arc::new(move |key: &JobKey, _descriptor: &str| {
+        let path = format!("/cache/cell/{}", key.hex());
+        for peer in &peers {
+            match crate::loadgen::http_request(peer, "GET", &path, None, 5_000) {
+                Ok((200, body)) => {
+                    if let Ok(entry) = serde_json::from_str::<CellEntry>(&body) {
+                        metrics.lock().expect("metrics").bump("serve.peer.hits");
+                        return Some(entry);
+                    }
+                    metrics.lock().expect("metrics").bump("serve.peer.errors");
+                }
+                Ok(_) => metrics.lock().expect("metrics").bump("serve.peer.misses"),
+                Err(_) => metrics.lock().expect("metrics").bump("serve.peer.errors"),
+            }
+        }
+        None
+    })
+}
+
 /// Backpressure path: drain the request off the socket (bounded by the
 /// parser's size caps and a short timeout), then answer 503 with a
 /// `Retry-After` hint. Runs on a detached thread so a slow writer can
@@ -336,6 +375,7 @@ fn reject_busy(shared: &Arc<Shared>, mut stream: TcpStream) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(work) = shared.dequeue() {
+        shared.active.fetch_add(1, Ordering::SeqCst);
         match work {
             Work::Conn { stream, accepted } => handle_conn(shared, stream, accepted),
             Work::RunJob {
@@ -382,6 +422,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 shared.bump("serve.jobs.completed");
             }
         }
+        shared.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -452,10 +493,15 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
         ("POST", "/run") => post_run(shared, req),
         ("POST", "/sweep") => post_sweep(shared, req),
         ("GET", p) if p.starts_with("/jobs/") => jobs_get(shared, req, &p["/jobs/".len()..]),
+        ("GET", p) if p.starts_with("/cache/cell/") => {
+            cache_cell(shared, &p["/cache/cell/".len()..])
+        }
         (_, "/health" | "/scenarios" | "/metrics" | "/cache/stats" | "/run" | "/sweep") => {
             Response::error(405, "method not allowed")
         }
-        (_, p) if p.starts_with("/jobs/") => Response::error(405, "method not allowed"),
+        (_, p) if p.starts_with("/jobs/") || p.starts_with("/cache/cell/") => {
+            Response::error(405, "method not allowed")
+        }
         _ => Response::error(404, "not found"),
     }
 }
@@ -478,8 +524,35 @@ fn health(shared: &Arc<Shared>) -> Response {
                 "uptime_ms".to_string(),
                 Value::U64(shared.started.elapsed().as_millis() as u64),
             ),
+            (
+                "inflight".to_string(),
+                Value::U64(
+                    shared.active.load(Ordering::SeqCst)
+                        + shared.queue.lock().expect("queue").len() as u64,
+                ),
+            ),
         ]),
     )
+}
+
+/// `GET /cache/cell/<hash>`: the cache-peering endpoint. Serves the raw
+/// stored cell JSON for a 32-hex-digit content hash, 404 on a miss (or
+/// when this worker runs cache-off). Peers re-verify the entry's
+/// descriptor on their side, so this endpoint never needs to.
+fn cache_cell(shared: &Arc<Shared>, hash: &str) -> Response {
+    let Some(key) = JobKey::from_hex(hash) else {
+        return Response::error(400, "cell hash must be 32 lowercase hex digits");
+    };
+    let CacheMode::Disk(dir) = &shared.opts.cache else {
+        return Response::error(404, "cache disabled on this worker");
+    };
+    match Cache::new(dir.clone()).read_cell_text(&key) {
+        Some(text) => {
+            shared.bump("serve.peer.served");
+            Response::json(200, text)
+        }
+        None => Response::error(404, "no such cell"),
+    }
 }
 
 fn scenarios() -> Response {
@@ -915,6 +988,7 @@ mod tests {
             cache: CacheMode::Off,
             request_timeout_ms: 60_000,
             read_timeout_ms: 2_000,
+            peers: Vec::new(),
         })
         .expect("bind");
         let addr = server.local_addr().expect("addr");
@@ -933,6 +1007,9 @@ mod tests {
         let v: Value = serde_json::from_str(&body).expect("json");
         assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(v.get("version").and_then(Value::as_str), Some(SIM_VERSION));
+        assert!(v.get("uptime_ms").and_then(Value::as_u64).is_some());
+        // The health request itself is being processed, so it counts.
+        assert_eq!(v.get("inflight").and_then(Value::as_u64), Some(1));
         handle.shutdown();
         let report = join.join().expect("join");
         assert_eq!(report.requests, 1);
@@ -1000,6 +1077,77 @@ mod tests {
         );
         handle.shutdown();
         join.join().expect("join");
+    }
+
+    #[test]
+    fn peering_migrates_warm_cells_instead_of_recomputing() {
+        fn scratch(tag: &str) -> std::path::PathBuf {
+            std::env::temp_dir().join(format!("mtvp-serve-peer-{tag}-{}", std::process::id()))
+        }
+        fn bind_with(cache: std::path::PathBuf, peers: Vec<String>) -> Server {
+            Server::bind(ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                queue_depth: 8,
+                cache: CacheMode::Disk(cache),
+                request_timeout_ms: 60_000,
+                read_timeout_ms: 2_000,
+                peers,
+            })
+            .expect("bind")
+        }
+        let dir_a = scratch("a");
+        let dir_b = scratch("b");
+        let a = bind_with(dir_a.clone(), Vec::new());
+        let addr_a = a.local_addr().expect("addr").to_string();
+        let (ha, ja) = (a.handle(), std::thread::spawn(move || a.run()));
+        let b = bind_with(dir_b.clone(), vec![addr_a.clone()]);
+        let addr_b = b.local_addr().expect("addr").to_string();
+        let (hb, jb) = (b.handle(), std::thread::spawn(move || b.run()));
+
+        // Warm worker A with one cell.
+        let body = r#"{"bench": "mcf", "scale": "tiny", "config": {"mode": "baseline"}}"#;
+        let (status, warm) =
+            crate::loadgen::http_request(&addr_a, "POST", "/run", Some(body), 60_000).expect("run");
+        assert_eq!(status, 200);
+        let warm: Value = serde_json::from_str(&warm).expect("json");
+
+        // The peering endpoint serves the raw cell; garbage hashes 400/404.
+        let warm_cfg = mtvp_engine::SimConfig::new(mtvp_engine::parse_mode("baseline").unwrap());
+        let key = key_of(&cell_descriptor("mcf", &warm_cfg, Scale::Tiny));
+        let path = format!("/cache/cell/{}", key.hex());
+        let (status, text) =
+            crate::loadgen::http_request(&addr_a, "GET", &path, None, 5_000).expect("cell");
+        assert_eq!(status, 200, "{text}");
+        let entry: CellEntry = serde_json::from_str(&text).expect("cell json");
+        assert_eq!(entry.bench, "mcf");
+        let (status, _) =
+            crate::loadgen::http_request(&addr_a, "GET", "/cache/cell/zz", None, 5_000)
+                .expect("bad hash");
+        assert_eq!(status, 400);
+        let missing = format!("/cache/cell/{}", "0".repeat(32));
+        let (status, _) =
+            crate::loadgen::http_request(&addr_a, "GET", &missing, None, 5_000).expect("miss");
+        assert_eq!(status, 404);
+
+        // Worker B (cold cache) serves the same cell as a cache hit by
+        // fetching it from its peer, with identical stats.
+        let (status, text) =
+            crate::loadgen::http_request(&addr_b, "POST", "/run", Some(body), 60_000).expect("run");
+        assert_eq!(status, 200, "{text}");
+        let v: Value = serde_json::from_str(&text).expect("json");
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("stats"), warm.get("stats"));
+        let (_, m) =
+            crate::loadgen::http_request(&addr_b, "GET", "/metrics", None, 5_000).expect("metrics");
+        assert!(m.contains("serve.peer.hits"), "{m}");
+
+        hb.shutdown();
+        ha.shutdown();
+        jb.join().expect("join").expect("run b");
+        ja.join().expect("join").expect("run a");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

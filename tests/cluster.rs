@@ -1,0 +1,188 @@
+//! Differential tests for the cluster fabric: however the fleet behaves
+//! — cold caches, warm caches, cache peering, or a worker dying mid-sweep
+//! — the coordinator's merged sweep must serialize byte-identically to a
+//! single-node `Engine::run_scenario` of the same scenario.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use mtvp_cluster::{run_cluster, spawn_worker, CoordOptions, WorkerProc, MANIFEST_FORMAT};
+use mtvp_engine::{
+    builtin, cell_descriptor, key_of, partition, suite, CacheMode, Engine, EngineOptions, JobKey,
+    Scenario,
+};
+use serde::Value;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtvp-cluster-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn smoke() -> Scenario {
+    builtin("smoke").expect("smoke is a builtin scenario")
+}
+
+/// The ground truth: the smoke sweep computed in-process, uncached.
+fn single_node_sweep_json() -> String {
+    let engine = Engine::new(EngineOptions {
+        cache: CacheMode::Off,
+        jobs: Some(2),
+        shard: None,
+        progress: false,
+    });
+    let report = engine
+        .run_scenario(&smoke(), None)
+        .expect("single-node sweep");
+    serde_json::to_string(&report.sweep).expect("sweep serializes")
+}
+
+/// The coordinator's cell keys in task order, for predicting placement.
+fn smoke_keys() -> Vec<JobKey> {
+    let scenario = smoke();
+    let scale = scenario.scale_or(None);
+    let configs = scenario.configs().expect("smoke expands");
+    let mut keys = Vec::new();
+    for wl in suite().into_iter().filter(|w| scenario.keeps(w)) {
+        for (_, cfg) in &configs {
+            keys.push(key_of(&cell_descriptor(wl.name, cfg, scale)));
+        }
+    }
+    keys
+}
+
+#[test]
+fn cluster_sweep_is_byte_identical_cold_and_warm() {
+    let root = scratch("coldwarm");
+    let fleet: Vec<WorkerProc> = (0..3)
+        .map(|i| spawn_worker(&root.join(format!("w{i}")), 1, Vec::new()).expect("boot worker"))
+        .collect();
+    let manifest = root.join("manifest.json");
+    let opts = CoordOptions {
+        workers: fleet.iter().map(|w| w.addr.clone()).collect(),
+        steal: false, // keep placement deterministic so the warm run is all hits
+        manifest: Some(manifest.clone()),
+        ..CoordOptions::default()
+    };
+    let cold = run_cluster(&smoke(), &opts).expect("cold sweep");
+    let warm = run_cluster(&smoke(), &opts).expect("warm sweep");
+    for w in fleet {
+        w.stop();
+    }
+
+    let single = single_node_sweep_json();
+    assert_eq!(cold.total_cells, 4);
+    assert_eq!(cold.worker_cached, 0);
+    assert_eq!(serde_json::to_string(&cold.sweep).unwrap(), single);
+    assert_eq!(serde_json::to_string(&warm.sweep).unwrap(), single);
+    // Same fleet, same rendezvous placement: the warm run never simulates.
+    assert_eq!(warm.worker_cached, 4);
+    assert_eq!(cold.workers.iter().map(|w| w.done).sum::<u64>(), 4);
+    assert_eq!(cold.retries, 0);
+    assert_eq!(cold.reshards, 0);
+
+    let text = std::fs::read_to_string(&manifest).expect("manifest written");
+    let v: Value = serde_json::from_str(&text).expect("manifest parses");
+    assert_eq!(
+        v.get("format").and_then(Value::as_str),
+        Some(MANIFEST_FORMAT)
+    );
+    assert_eq!(v.get("scenario").and_then(Value::as_str), Some("smoke"));
+    assert_eq!(v.get("done").and_then(Value::as_u64), Some(4));
+    assert_eq!(v.get("total_cells").and_then(Value::as_u64), Some(4));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn warm_cells_migrate_to_a_new_fleet_via_peering() {
+    let root = scratch("peer");
+    let old = spawn_worker(&root.join("old"), 1, Vec::new()).expect("boot old worker");
+    let seeded = run_cluster(
+        &smoke(),
+        &CoordOptions {
+            workers: vec![old.addr.clone()],
+            steal: false,
+            ..CoordOptions::default()
+        },
+    )
+    .expect("seed sweep");
+
+    // A brand-new worker with a cold disk peers with the old one: every
+    // cell migrates over HTTP instead of being recomputed.
+    let fresh = spawn_worker(&root.join("new"), 1, vec![old.addr.clone()]).expect("boot new");
+    let migrated = run_cluster(
+        &smoke(),
+        &CoordOptions {
+            workers: vec![fresh.addr.clone()],
+            steal: false,
+            ..CoordOptions::default()
+        },
+    )
+    .expect("migrated sweep");
+    fresh.stop();
+    old.stop();
+
+    assert_eq!(migrated.total_cells, seeded.total_cells);
+    assert_eq!(migrated.worker_cached, migrated.total_cells);
+    assert_eq!(
+        serde_json::to_string(&migrated.sweep).unwrap(),
+        serde_json::to_string(&seeded.sweep).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_worker_killed_mid_sweep_is_resharded_and_the_sweep_is_unchanged() {
+    let root = scratch("kill");
+    let fleet: Vec<WorkerProc> = (0..3)
+        .map(|i| spawn_worker(&root.join(format!("w{i}")), 1, Vec::new()).expect("boot worker"))
+        .collect();
+    let addrs: Vec<String> = fleet.iter().map(|w| w.addr.clone()).collect();
+
+    // Kill the worker that owns the most cells (≥ 2 of 4 by pigeonhole),
+    // so at least one of its cells is still unfinished at kill time and
+    // must be re-sharded to a survivor.
+    let keys = smoke_keys();
+    let buckets = partition(&keys, &addrs);
+    let victim_idx = (0..addrs.len())
+        .max_by_key(|&i| buckets[i].len())
+        .expect("non-empty fleet");
+    let victim_addr = addrs[victim_idx].clone();
+    assert!(buckets[victim_idx].len() >= 2);
+
+    let mut fleet: Vec<Option<WorkerProc>> = fleet.into_iter().map(Some).collect();
+    let victim = Arc::new(Mutex::new(fleet[victim_idx].take()));
+    let hook_victim = Arc::clone(&victim);
+    let opts = CoordOptions {
+        workers: addrs,
+        steal: false, // survivors must not drain the victim's queue early
+        retries: 1,
+        backoff_ms: 50,
+        on_cell: Some(Arc::new(move |completed: usize| {
+            if completed == 1 {
+                if let Some(w) = hook_victim.lock().expect("victim slot").take() {
+                    w.stop();
+                }
+            }
+        })),
+        ..CoordOptions::default()
+    };
+    let report = run_cluster(&smoke(), &opts).expect("sweep survives a worker death");
+    for w in fleet.into_iter().flatten() {
+        w.stop();
+    }
+    if let Some(w) = victim.lock().expect("victim slot").take() {
+        w.stop(); // the hook may not have fired if the run beat it
+    }
+
+    assert_eq!(
+        serde_json::to_string(&report.sweep).unwrap(),
+        single_node_sweep_json()
+    );
+    assert_eq!(report.dead_workers(), vec![victim_addr]);
+    assert!(report.reshards >= 1, "death must trigger a re-shard");
+    assert!(report.cells_resharded >= 1);
+    assert!(report.retries >= 1, "the dead worker was retried first");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -29,6 +29,7 @@ fn run_responses_match_the_engine_byte_for_byte() {
         cache: CacheMode::Disk(dir.clone()),
         request_timeout_ms: 120_000,
         read_timeout_ms: 10_000,
+        peers: Vec::new(),
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();

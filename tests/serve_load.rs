@@ -44,6 +44,7 @@ fn overloaded_server_degrades_gracefully() {
         cache: CacheMode::Off,
         request_timeout_ms: 120_000,
         read_timeout_ms: 10_000,
+        peers: Vec::new(),
     })
     .expect("bind");
     let addr = server.local_addr().expect("addr").to_string();
