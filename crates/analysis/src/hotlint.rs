@@ -37,15 +37,22 @@ pub const DENIED_ALLOC: &[&str] = &[
     ".collect(",
 ];
 
-/// Per-cycle functions whose bodies must not allocate: the five pipeline
-/// stages, their per-context helpers, and the value-prediction hook.
+/// Per-cycle functions whose bodies must not allocate: the pipeline
+/// stages and their per-context helpers, the value-prediction hook, and
+/// the microarchitecture-framework dispatch surface (`Stage::tick` /
+/// `SpawnPolicy::consider` impls plus the staged cycle loop itself).
 pub const HOT_FUNCTIONS: &[&str] = &[
     "cycle",
+    "cycle_hand_wired",
+    "cycle_tail",
+    "tick",
+    "consider",
     "fetch_stage",
     "fetch_thread",
     "rename_stage",
     "rename_one",
     "issue_stage",
+    "in_order_issue_stage",
     "issue_one",
     "store_forwards",
     "writeback_stage",
@@ -140,9 +147,15 @@ fn close_hot(hot: &mut Option<(String, i64)>, depth: i64) {
 }
 
 fn hot_fn_on_line(line: &str) -> Option<&'static str> {
+    // A hot function may be generic (`fn tick<T: Tracer, S: StageSet>(…)`),
+    // so accept `name(` and `name<` after `fn `.
     HOT_FUNCTIONS.iter().copied().find(|name| {
         line.find("fn ")
-            .map(|p| line[p + 3..].trim_start().starts_with(&format!("{name}(")))
+            .map(|p| {
+                let rest = line[p + 3..].trim_start();
+                rest.strip_prefix(name)
+                    .is_some_and(|after| after.starts_with('(') || after.starts_with('<'))
+            })
             .unwrap_or(false)
     })
 }
@@ -230,6 +243,39 @@ fn commit_stage(&mut self) {
 ";
         let d = scan_source(Path::new("c.rs"), src);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn generic_stage_tick_is_tracked() {
+        // Framework stage impls are generic; the matcher must see through
+        // the type-parameter list, and stay quiet on clean delegation.
+        let src = "\
+impl Stage for OooIssue {
+    fn tick<T: Tracer, S: StageSet>(m: &mut StagedCore<'_, T, S>) {
+        let scratch = vec![0u8; 64];
+        m.issue_stage();
+    }
+}
+";
+        let d = scan_source(Path::new("framework.rs"), src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].pattern, "vec![");
+        assert!(d[0].message.contains("`tick`"), "{}", d[0].message);
+
+        let clean = "\
+impl Stage for OooIssue {
+    fn tick<T: Tracer, S: StageSet>(m: &mut StagedCore<'_, T, S>) {
+        m.issue_stage();
+    }
+}
+fn in_order_issue_stage(&mut self) {
+    let x = 1;
+}
+fn ticker(&mut self) {
+    let v = Vec::new(); // not a hot function: `ticker` != `tick`
+}
+";
+        assert!(scan_source(Path::new("f.rs"), clean).is_empty());
     }
 
     #[test]

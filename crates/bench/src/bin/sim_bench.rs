@@ -17,8 +17,17 @@
 //! pointer-chasing workloads are load-latency-bound in the interpreter
 //! too, so their margin is the thinnest).
 //!
+//! With `--check BASELINE.json [--tolerance F]`, it additionally guards
+//! against simulator-speed regressions: the geometric-mean simulated
+//! kilocycles per second (fast-forward on) of this run must be within
+//! `F` (default 0.02) of the baseline file's — the gate that proved the
+//! statically-dispatched stage framework kept the hand-wired loop's
+//! speed. The baseline may be a `BENCH_throughput.json` written by any
+//! earlier binary (the geomean is recomputed from its cells if the file
+//! predates the `geomean_kcycles_per_s` field).
+//!
 //! Usage: `sim_bench [--sampling] [--scale tiny|small|full] [--out PATH]
-//!                   [--sample W:I:U]`
+//!                   [--sample W:I:U] [--check BASELINE.json] [--tolerance F]`
 
 use mtvp_bench::scale_from_args;
 use mtvp_engine::{
@@ -48,6 +57,35 @@ struct Measure {
     wall_s: f64,
     kcycles_per_s: f64,
     mips: f64,
+}
+
+/// Geometric mean — the right average for throughput ratios.
+fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of an empty set");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// The geomean fast-forward-on throughput of a `BENCH_throughput.json`
+/// document: the recorded summary field when present, else recomputed
+/// from the cells (files written before the field existed).
+fn geomean_of_doc(doc: &serde_json::Value) -> f64 {
+    if let Some(g) = doc.get("geomean_kcycles_per_s").and_then(|v| v.as_f64()) {
+        return g;
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .expect("baseline document has no `cells`");
+    let rates: Vec<f64> = cells
+        .iter()
+        .map(|c| {
+            c.get("ff_on")
+                .and_then(|f| f.get("kcycles_per_s"))
+                .and_then(|v| v.as_f64())
+                .expect("baseline cell has no ff_on.kcycles_per_s")
+        })
+        .collect();
+    geomean(&rates)
 }
 
 fn measure(
@@ -300,8 +338,22 @@ fn main() {
         return;
     }
 
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        Some(i) => args
+            .get(i + 1)
+            .expect("--tolerance needs a value")
+            .parse::<f64>()
+            .expect("numeric --tolerance"),
+        None => 0.02,
+    };
+
     let configs = configs();
     let mut cells: Vec<serde_json::Value> = Vec::new();
+    let mut on_rates: Vec<f64> = Vec::new();
     println!(
         "{:<10} {:<8} {:>12} {:>10} | {:>12} {:>8} | {:>12} {:>8} | {:>7}",
         "bench",
@@ -333,6 +385,7 @@ fn main() {
                 "fast-forward changed statistics on {bench}/{label}"
             );
             let speedup = on.kcycles_per_s / off.kcycles_per_s;
+            on_rates.push(on.kcycles_per_s);
             println!(
                 "{:<10} {:<8} {:>12} {:>10} | {:>12.0} {:>8.2} | {:>12.0} {:>8.2} | {:>6.2}x",
                 bench,
@@ -365,9 +418,36 @@ fn main() {
             }));
         }
     }
+    let geomean_on = geomean(&on_rates);
+    let perf_guard = match &check_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+            let base_doc: serde_json::Value = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("baseline {path} is not JSON: {e}"));
+            let baseline = geomean_of_doc(&base_doc);
+            let ratio = geomean_on / baseline;
+            println!(
+                "\nperf guard: geomean {geomean_on:.0} kcyc/s vs baseline {baseline:.0} \
+                 ({:+.2}%, tolerance -{:.1}%)",
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            );
+            serde_json::json!({
+                "baseline_path": path.as_str(),
+                "baseline_geomean_kcycles_per_s": baseline,
+                "ratio": ratio,
+                "tolerance": tolerance,
+            })
+        }
+        None => serde_json::Value::Null,
+    };
+    let guard_ratio = perf_guard.get("ratio").and_then(|v| v.as_f64());
     let doc = serde_json::json!({
         "scale": scale_name,
         "note": "simulator throughput with idle-cycle fast-forward off/on; simulated stats are bit-identical",
+        "geomean_kcycles_per_s": geomean_on,
+        "perf_guard": perf_guard,
         "cells": cells
     });
     std::fs::write(
@@ -376,4 +456,13 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path}");
+    if let Some(r) = guard_ratio {
+        assert!(
+            r >= 1.0 - tolerance,
+            "simulator throughput regressed: geomean kcycles/s is {:.2}% below the baseline \
+             (tolerance {:.1}%)",
+            (1.0 - r) * 100.0,
+            tolerance * 100.0
+        );
+    }
 }

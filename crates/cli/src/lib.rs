@@ -265,6 +265,10 @@ fn parse_mode(s: &str) -> Result<Mode, ParseArgsError> {
     mtvp_engine::parse_mode(s).map_err(|e| ParseArgsError(e.0))
 }
 
+fn parse_core(s: &str) -> Result<mtvp_engine::CoreKind, ParseArgsError> {
+    mtvp_engine::parse_core(s).map_err(|e| ParseArgsError(e.0))
+}
+
 fn parse_predictor(s: &str) -> Result<PredictorKind, ParseArgsError> {
     mtvp_engine::parse_predictor(s).map_err(|e| ParseArgsError(e.0))
 }
@@ -288,6 +292,9 @@ fn get_flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, ParseAr
 fn parse_sim_config(rest: &[&str]) -> Result<(SimConfig, Scale), ParseArgsError> {
     let mode = parse_mode(get_flag(rest, "--mode")?.unwrap_or("mtvp"))?;
     let mut config = SimConfig::new(mode);
+    if let Some(v) = get_flag(rest, "--core")? {
+        config.core = parse_core(v)?;
+    }
     if let Some(v) = get_flag(rest, "--contexts")? {
         config.contexts = v
             .parse()
@@ -1760,7 +1767,7 @@ mtvp-sim — cycle-level SMT simulator with multithreaded value prediction
 
 USAGE:
   mtvp-sim list
-  mtvp-sim run <bench> [--mode M] [--contexts N] [--predictor P] [--selector S]
+  mtvp-sim run <bench> [--mode M] [--core C] [--contexts N] [--predictor P] [--selector S]
                        [--spawn-latency N] [--store-buffer N] [--scale tiny|small|full]
                        [--no-prefetch] [--cold-start] [--json]
                        [--sample W:I:U] [--no-cache] [--cache-dir DIR]
@@ -1787,6 +1794,8 @@ USAGE:
                          [--rate RPS] [--duration-ms N] [--json-out FILE]
 
 MODES:      baseline stvp mtvp mtvp-nostall spawn-only wide-window multi-value
+CORES:      ooo (default SMT out-of-order) | inorder (scalar in-order baseline;
+            requires --mode baseline, e.g. `run mcf --core inorder --mode baseline`)
 PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
 SELECTORS:  always ilp-pred l3-miss-oracle
 
@@ -1993,6 +2002,70 @@ mod tests {
         assert!(err.0.contains("single-context"), "{err}");
         assert!(parse(&["run", "mcf", "--store-buffer", "0"]).is_err());
         assert!(parse(&["run", "mcf", "--mode", "stvp", "--predictor", "none"]).is_err());
+    }
+
+    #[test]
+    fn parses_core_flag_and_rejects_unsupported_knobs() {
+        let cmd = parse(&[
+            "run", "mcf", "--core", "inorder", "--mode", "baseline", "--scale", "tiny",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert_eq!(config.core, mtvp_engine::CoreKind::InOrderScalar);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The vocabulary accepts the long spellings too.
+        let cmd = parse(&["run", "mcf", "--core", "out-of-order"]).unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert_eq!(config.core, mtvp_engine::CoreKind::OutOfOrder);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["run", "mcf", "--core", "vliw"]).is_err());
+        // validate() rejects knobs the in-order core doesn't support, with
+        // an error naming the core.
+        for bad in [
+            vec!["run", "mcf", "--core", "inorder"], // default mode is mtvp
+            vec![
+                "run",
+                "mcf",
+                "--core",
+                "inorder",
+                "--mode",
+                "baseline",
+                "--contexts",
+                "4",
+            ],
+            vec![
+                "run",
+                "mcf",
+                "--core",
+                "inorder",
+                "--mode",
+                "baseline",
+                "--predictor",
+                "wf",
+            ],
+            vec!["run", "mcf", "--core", "inorder", "--mode", "wide-window"],
+        ] {
+            let err = parse(&bad).unwrap_err();
+            assert!(err.0.contains("in-order"), "{bad:?}: {err}");
+        }
+        // Sampling stays legal on the in-order core.
+        assert!(parse(&[
+            "run",
+            "mcf",
+            "--core",
+            "inorder",
+            "--mode",
+            "baseline",
+            "--sample",
+            "2000:20000:1000",
+        ])
+        .is_ok());
     }
 
     #[test]

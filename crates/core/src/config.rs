@@ -72,6 +72,15 @@ pub fn parse_selector(s: &str) -> Result<SelectorKind, ConfigError> {
     })
 }
 
+/// Parse a core-module name (`ooo`, `inorder`).
+pub fn parse_core(s: &str) -> Result<CoreKind, ConfigError> {
+    Ok(match s {
+        "ooo" | "out-of-order" | "smt-ooo" => CoreKind::OutOfOrder,
+        "inorder" | "in-order" | "in-order-scalar" => CoreKind::InOrderScalar,
+        other => return Err(ConfigError(format!("unknown core `{other}` (ooo|inorder)"))),
+    })
+}
+
 /// Parse a workload scale name (`tiny`, `small`, `full`).
 pub fn parse_scale(s: &str) -> Result<Scale, ConfigError> {
     match s {
@@ -105,6 +114,22 @@ pub enum Mode {
     /// Multiple-value MTVP (§5.6): liberal Wang–Franklin confidence, the
     /// cache-level-oracle selector, several values followed per load.
     MultiValue,
+}
+
+/// The core module (stage-set composition) an experiment runs on. Each
+/// variant names a monomorphized `StagedCore` composition in
+/// `mtvp-pipeline`; the engine selects the machine type from this axis
+/// and everything downstream (sampling, serve, cluster) is generic over
+/// it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// The paper's SMT out-of-order core (`SmtOooStages`) — supports
+    /// every [`Mode`].
+    OutOfOrder,
+    /// The single-context in-order scalar baseline (`InOrderStages`) —
+    /// supports [`Mode::Baseline`] only (it has no spawn policy, rename
+    /// windows, or value-prediction hardware).
+    InOrderScalar,
 }
 
 /// Two-tier sampled-simulation schedule: functionally interpret between
@@ -156,6 +181,8 @@ impl SamplingParams {
 pub struct SimConfig {
     /// Machine variant.
     pub mode: Mode,
+    /// Core module the experiment runs on.
+    pub core: CoreKind,
     /// Hardware thread contexts (1, 2, 4, 8).
     pub contexts: usize,
     /// Value predictor (ignored for `Baseline`/`WideWindow`/`SpawnOnly`).
@@ -200,6 +227,7 @@ impl SimConfig {
         };
         SimConfig {
             mode,
+            core: CoreKind::OutOfOrder,
             contexts,
             predictor: match mode {
                 Mode::Baseline | Mode::WideWindow | Mode::SpawnOnly => PredictorKind::None,
@@ -220,6 +248,15 @@ impl SimConfig {
             warm_start: true,
             fast_forward: true,
             sampling: None,
+        }
+    }
+
+    /// The in-order scalar baseline core: [`Mode::Baseline`] semantics on
+    /// [`CoreKind::InOrderScalar`].
+    pub fn in_order() -> Self {
+        SimConfig {
+            core: CoreKind::InOrderScalar,
+            ..Self::new(Mode::Baseline)
         }
     }
 
@@ -267,6 +304,33 @@ impl SimConfig {
         }
         if self.max_cycles == 0 {
             return Err(ConfigError("max_cycles must be nonzero".into()));
+        }
+        // Knobs the selected core module does not support: the in-order
+        // scalar baseline has no spawn policy, no value-prediction
+        // hardware, and a single context, so any MTVP/STVP mode (and any
+        // knob that only exists to serve one) is a configuration error,
+        // not a silently-ignored setting.
+        if self.core == CoreKind::InOrderScalar {
+            if self.mode != Mode::Baseline {
+                return Err(ConfigError(format!(
+                    "the in-order scalar core supports mode baseline only; {:?} needs the \
+                     out-of-order core (its spawn/value-prediction policies do not exist on an \
+                     in-order pipeline) — use --core ooo",
+                    self.mode
+                )));
+            }
+            if self.contexts != 1 {
+                return Err(ConfigError(format!(
+                    "the in-order scalar core is single-context; got contexts {}",
+                    self.contexts
+                )));
+            }
+            if self.predictor != PredictorKind::None {
+                return Err(ConfigError(format!(
+                    "the in-order scalar core has no value predictor; got predictor {:?}",
+                    self.predictor
+                )));
+            }
         }
         match self.mode {
             Mode::Baseline | Mode::Stvp | Mode::WideWindow if self.contexts != 1 => {
@@ -352,9 +416,10 @@ impl SimConfig {
 
     /// Lower to the mechanism-level pipeline configuration.
     pub fn to_pipeline_config(&self) -> PipelineConfig {
-        let mut p = match self.mode {
-            Mode::WideWindow => PipelineConfig::wide_window(),
-            _ => PipelineConfig::hpca2005(),
+        let mut p = match (self.core, self.mode) {
+            (CoreKind::InOrderScalar, _) => PipelineConfig::in_order_scalar(),
+            (CoreKind::OutOfOrder, Mode::WideWindow) => PipelineConfig::wide_window(),
+            (CoreKind::OutOfOrder, _) => PipelineConfig::hpca2005(),
         };
         p.hw_contexts = self.contexts;
         p.store_buffer_entries = self.store_buffer;
@@ -466,6 +531,53 @@ mod tests {
     }
 
     #[test]
+    fn in_order_core_validates_and_lowers() {
+        let c = SimConfig::in_order();
+        c.validate().unwrap();
+        let p = c.to_pipeline_config();
+        assert_eq!(p.hw_contexts, 1);
+        assert_eq!(p.rename_width, 1);
+        assert_eq!(p.commit_width, 1);
+        assert!(!p.vp.allow_stvp && !p.vp.allow_mtvp && !p.vp.spawn_only);
+
+        // Knobs the in-order core does not support are rejected, not
+        // silently ignored.
+        let reject = |f: &dyn Fn(&mut SimConfig)| {
+            let mut c = SimConfig::in_order();
+            f(&mut c);
+            let e = c.validate().expect_err("should be invalid").0;
+            assert!(e.contains("in-order"), "error should name the core: {e}");
+        };
+        reject(&|c| c.mode = Mode::Mtvp);
+        reject(&|c| c.mode = Mode::SpawnOnly);
+        reject(&|c| c.mode = Mode::WideWindow);
+        reject(&|c| c.contexts = 4);
+        reject(&|c| c.predictor = PredictorKind::WangFranklin);
+        // Sampling stays legal: the state-transfer surface is part of the
+        // core trait, so the two-tier driver works on any core.
+        let mut c = SimConfig::in_order();
+        c.sampling = Some(SamplingParams {
+            window: 2000,
+            interval: 50_000,
+            warmup: 1000,
+        });
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn core_kind_serializes_into_cache_keys() {
+        let ooo = SimConfig::new(Mode::Baseline);
+        let inorder = SimConfig::in_order();
+        let j_ooo = serde_json::to_string(&ooo).unwrap();
+        let j_in = serde_json::to_string(&inorder).unwrap();
+        // Different core modules are different experiments and must get
+        // different cache keys.
+        assert_ne!(j_ooo, j_in);
+        let back: SimConfig = serde_json::from_str(&j_in).unwrap();
+        assert_eq!(back, inorder);
+    }
+
+    #[test]
     fn sampling_params_parse() {
         assert_eq!(
             SamplingParams::parse("2000:50000:1000").unwrap(),
@@ -548,6 +660,13 @@ mod tests {
         assert!(parse_selector("never").is_err());
         assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
         assert!(parse_scale("gigantic").is_err());
+        assert_eq!(parse_core("ooo").unwrap(), CoreKind::OutOfOrder);
+        assert_eq!(parse_core("inorder").unwrap(), CoreKind::InOrderScalar);
+        assert_eq!(
+            parse_core("in-order-scalar").unwrap(),
+            CoreKind::InOrderScalar
+        );
+        assert!(parse_core("vliw").is_err());
     }
 
     #[test]

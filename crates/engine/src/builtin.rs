@@ -4,7 +4,7 @@
 //! artifacts and cached cells stay comparable across the refactor.
 
 use crate::scenario::{ConfigGrid, Scenario};
-use mtvp_core::{Mode, SamplingParams};
+use mtvp_core::{CoreKind, Mode, SamplingParams};
 use mtvp_pipeline::PredictorKind;
 use mtvp_workloads::Scale;
 
@@ -22,6 +22,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         predictors(),
         ablation(),
         sampled(),
+        baseline(),
         smoke(),
     ]
 }
@@ -248,6 +249,25 @@ fn sampled() -> Scenario {
     with_series(s, "base", &["stvp", "mtvp2", "mtvp4", "mtvp8"])
 }
 
+/// The second core module of the microarchitecture framework, run
+/// through the same sweep machinery as every other scenario.
+fn baseline() -> Scenario {
+    let mut s = Scenario::new(
+        "baseline",
+        "Core-module comparison: in-order scalar vs out-of-order",
+        "The in-order scalar core next to the SMT out-of-order machine it is \
+         the sanity floor for (both in baseline mode, no value prediction) \
+         plus the realistic mtvp4 machine. Exists to exercise the pluggable \
+         core axis of the framework end to end (DESIGN.md Section 15).",
+    );
+    s.grids = vec![
+        ConfigGrid::new("inorder", Mode::Baseline).core(CoreKind::InOrderScalar),
+        ConfigGrid::new("ooo", Mode::Baseline),
+        ConfigGrid::new("mtvp4", Mode::Mtvp).contexts(&[4]),
+    ];
+    with_series(s, "inorder", &["ooo", "mtvp4"])
+}
+
 /// The tiny CI scenario: two benchmarks, a baseline and one oracle MTVP
 /// machine. Fast enough to run twice in the `exp-smoke` job.
 fn smoke() -> Scenario {
@@ -272,7 +292,7 @@ mod tests {
     #[test]
     fn every_builtin_expands_cleanly() {
         let all = builtin_scenarios();
-        assert_eq!(all.len(), 12);
+        assert_eq!(all.len(), 13);
         for s in &all {
             let configs = s.configs().unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(!configs.is_empty(), "{} expands to nothing", s.name);
@@ -323,5 +343,15 @@ mod tests {
         let cold = &abl.iter().find(|(l, _)| l == "mtvp/cold-start").unwrap().1;
         assert!(!cold.warm_start);
         assert_eq!(cold.mshrs, 16);
+    }
+
+    #[test]
+    fn baseline_scenario_selects_the_in_order_core() {
+        let configs = builtin("baseline").unwrap().configs().unwrap();
+        let inorder = &configs.iter().find(|(l, _)| l == "inorder").unwrap().1;
+        assert_eq!(inorder.core, CoreKind::InOrderScalar);
+        assert_eq!(inorder.to_pipeline_config().rename_width, 1);
+        let ooo = &configs.iter().find(|(l, _)| l == "ooo").unwrap().1;
+        assert_eq!(ooo.core, CoreKind::OutOfOrder);
     }
 }

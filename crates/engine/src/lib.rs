@@ -79,8 +79,8 @@ pub use sweep::{Cell, Sweep};
 // The experiment-level vocabulary, re-exported so dependents need only
 // this crate (mirrors the old `mtvp_core` surface).
 pub use mtvp_core::{
-    parse_mode, parse_predictor, parse_scale, parse_selector, ConfigError, Mode, SamplingParams,
-    SimConfig,
+    parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, ConfigError, CoreKind,
+    Mode, SamplingParams, SimConfig,
 };
 pub use mtvp_obs::{chrome_trace, pipeview, Event, Registry, RingTracer};
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};

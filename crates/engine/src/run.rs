@@ -1,11 +1,11 @@
 //! One-call simulation: reference run + traced oracle + cycle simulation,
 //! with architectural validation built in.
 
-use mtvp_core::SimConfig;
+use mtvp_core::{CoreKind, SimConfig};
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::Program;
-use mtvp_obs::RingTracer;
-use mtvp_pipeline::{Machine, PipeStats};
+use mtvp_obs::{NullTracer, RingTracer};
+use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats};
 use std::sync::Arc;
 
 /// The outcome of simulating one program under one configuration.
@@ -51,8 +51,30 @@ pub fn run_with_trace(
     dyn_instrs: u64,
     trace: Arc<mtvp_isa::trace::Trace>,
 ) -> RunResult {
-    let pcfg = cfg.to_pipeline_config();
-    let mut machine = Machine::with_mem_config(pcfg, cfg.to_mem_config(), program, Some(trace));
+    // The only place the core axis becomes a concrete machine type: every
+    // core module below this match is reached through the `Core` trait.
+    match cfg.core {
+        CoreKind::OutOfOrder => run_with_trace_on::<Machine>(cfg, program, dyn_instrs, trace),
+        CoreKind::InOrderScalar => {
+            run_with_trace_on::<InOrderMachine>(cfg, program, dyn_instrs, trace)
+        }
+    }
+}
+
+fn run_with_trace_on<'p, C: Core<'p>>(
+    cfg: &SimConfig,
+    program: &'p Program,
+    dyn_instrs: u64,
+    trace: Arc<mtvp_isa::trace::Trace>,
+) -> RunResult {
+    let mut machine = C::build_core(
+        cfg.to_pipeline_config(),
+        cfg.to_mem_config(),
+        program,
+        Some(trace),
+        NullTracer,
+        true,
+    );
     let stats = machine.run();
     RunResult { stats, dyn_instrs }
 }
@@ -83,13 +105,30 @@ pub fn run_program_traced(
     program: &Program,
     opts: &TraceOptions,
 ) -> (RunResult, RingTracer) {
+    match cfg.core {
+        CoreKind::OutOfOrder => run_traced_on::<Machine<RingTracer>>(cfg, program, opts),
+        CoreKind::InOrderScalar => run_traced_on::<InOrderMachine<RingTracer>>(cfg, program, opts),
+    }
+}
+
+fn run_traced_on<'p, C: Core<'p, RingTracer>>(
+    cfg: &SimConfig,
+    program: &'p Program,
+    opts: &TraceOptions,
+) -> (RunResult, RingTracer) {
     let (dyn_instrs, trace) = reference_trace(program);
     let mut tracer = RingTracer::new(opts.ring);
     if let Some((start, end)) = opts.window {
         tracer = tracer.with_window(start, end);
     }
-    let pcfg = cfg.to_pipeline_config();
-    let mut machine = Machine::with_tracer(pcfg, cfg.to_mem_config(), program, Some(trace), tracer);
+    let mut machine = C::build_core(
+        cfg.to_pipeline_config(),
+        cfg.to_mem_config(),
+        program,
+        Some(trace),
+        tracer,
+        true,
+    );
     let stats = machine.run();
     (RunResult { stats, dyn_instrs }, machine.into_tracer())
 }

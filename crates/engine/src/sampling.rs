@@ -41,12 +41,13 @@
 
 use crate::cache::{Cache, Checkpoint};
 use crate::key::{ckpt_descriptor, key_of};
-use mtvp_core::SimConfig;
+use mtvp_core::{CoreKind, SimConfig};
 use mtvp_isa::interp::Interp;
 use mtvp_isa::trace::Trace;
 use mtvp_isa::Program;
 use mtvp_mem::MainMemory;
-use mtvp_pipeline::{Machine, PipeStats};
+use mtvp_obs::NullTracer;
+use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats};
 use mtvp_workloads::Scale;
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
@@ -117,6 +118,24 @@ pub fn run_sampled(
     trace: &Arc<Trace>,
     ckpts: Option<CkptStore<'_>>,
 ) -> SampledRun {
+    // The detailed tier is generic over the `Core` trait — the sampling
+    // state-transfer surface (drain/jump/load/replace) is part of it, so
+    // two-tier simulation works for any core module.
+    match cfg.core {
+        CoreKind::OutOfOrder => run_sampled_on::<Machine>(cfg, program, dyn_instrs, trace, ckpts),
+        CoreKind::InOrderScalar => {
+            run_sampled_on::<InOrderMachine>(cfg, program, dyn_instrs, trace, ckpts)
+        }
+    }
+}
+
+fn run_sampled_on<'p, C: Core<'p>>(
+    cfg: &SimConfig,
+    program: &'p Program,
+    dyn_instrs: u64,
+    trace: &Arc<Trace>,
+    ckpts: Option<CkptStore<'_>>,
+) -> SampledRun {
     let sp = cfg.sampling.expect("run_sampled requires cfg.sampling");
     let total = dyn_instrs;
     let mut mem = MainMemory::new();
@@ -153,7 +172,7 @@ pub fn run_sampled(
     // predictors re-train, inflating the cycle estimate by tens of
     // percent. A full-coverage schedule has no gaps and no jumps, so it
     // reproduces the detailed run exactly.
-    let mut machine: Option<(Machine<'_>, PipeStats)> = None;
+    let mut machine: Option<(C, PipeStats)> = None;
     let mut from_reset = true; // becomes false at the first jump
 
     let mut k = 0u64;
@@ -250,11 +269,13 @@ pub fn run_sampled(
             &mut ckpt_counts,
         );
         from_reset = interp.dyn_instrs() == 0;
-        let mut m = Machine::for_state_handoff(
+        let mut m = C::build_core(
             cfg.to_pipeline_config(),
             cfg.to_mem_config(),
             program,
             Some(trace.clone()),
+            NullTracer,
+            false, // state handoff supplies the memory image
         );
         m.load_arch_state(
             interp.pc,

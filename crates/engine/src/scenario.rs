@@ -13,8 +13,8 @@
 //! variant names.
 
 use mtvp_core::{
-    parse_mode, parse_predictor, parse_scale, parse_selector, Mode, SamplingParams, SimConfig,
-    Workload,
+    parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, CoreKind, Mode,
+    SamplingParams, SimConfig, Workload,
 };
 use mtvp_pipeline::{PredictorKind, SelectorKind};
 use mtvp_workloads::Scale;
@@ -43,6 +43,9 @@ pub struct ConfigGrid {
     pub label: String,
     /// Machine mode of every configuration in the grid.
     pub mode: Mode,
+    /// Core module every configuration in the grid runs on (defaults to
+    /// the out-of-order core; scenario files accept `"ooo"`/`"inorder"`).
+    pub core: CoreKind,
     /// Start from [`SimConfig::oracle`] instead of [`SimConfig::new`].
     pub oracle: bool,
     /// Hardware-context axis (empty: mode default).
@@ -74,6 +77,7 @@ impl ConfigGrid {
         ConfigGrid {
             label: label.into(),
             mode,
+            core: CoreKind::OutOfOrder,
             oracle: false,
             contexts: Vec::new(),
             spawn_latency: Vec::new(),
@@ -91,6 +95,13 @@ impl ConfigGrid {
     /// Builder: idealized (oracle predictor, 1-cycle spawn) base config.
     pub fn oracle(mut self) -> ConfigGrid {
         self.oracle = true;
+        self
+    }
+
+    /// Builder: the core module the grid runs on. The in-order core's
+    /// defaults (single context, no predictor) are applied by `expand`.
+    pub fn core(mut self, c: CoreKind) -> ConfigGrid {
+        self.core = c;
         self
     }
 
@@ -156,6 +167,7 @@ impl ConfigGrid {
         } else {
             SimConfig::new(self.mode)
         };
+        base.core = self.core;
         if let Some(p) = self.predictor {
             base.predictor = p;
         }
@@ -364,6 +376,14 @@ fn sampling_value(v: &Value) -> Result<SamplingParams, serde::Error> {
     SamplingParams::parse(s).map_err(|e| serde::Error(e.0))
 }
 
+fn core_value(v: &Value) -> Result<CoreKind, serde::Error> {
+    if let Ok(c) = CoreKind::from_value(v) {
+        return Ok(c);
+    }
+    let s = serde::str_get(v)?;
+    parse_core(s).map_err(|e| serde::Error(e.0))
+}
+
 fn scale_value(v: &Value) -> Result<Scale, serde::Error> {
     if let Ok(s) = Scale::from_value(v) {
         return Ok(s);
@@ -383,6 +403,7 @@ impl Deserialize for ConfigGrid {
         if grid.label.is_empty() {
             grid.label = format!("{mode:?}").to_lowercase();
         }
+        grid.core = tolerant(v, "core", core_value, CoreKind::OutOfOrder)?;
         grid.oracle = tolerant(v, "oracle", bool::from_value, false)?;
         grid.contexts = tolerant(v, "contexts", Vec::from_value, Vec::new())?;
         grid.spawn_latency = tolerant(v, "spawn_latency", Vec::from_value, Vec::new())?;
@@ -521,6 +542,41 @@ mod tests {
         // Unlabelled grids fall back to the mode name.
         let s = Scenario::from_json(r#"{"name": "x", "grids": [{"mode": "mtvp"}]}"#).unwrap();
         assert_eq!(s.configs().unwrap()[0].0, "mtvp");
+    }
+
+    #[test]
+    fn core_axis_round_trips_and_accepts_cli_vocabulary() {
+        let mut s = Scenario::new("baseline-x", "x", "");
+        s.grids = vec![
+            ConfigGrid::new("inorder", Mode::Baseline).core(CoreKind::InOrderScalar),
+            ConfigGrid::new("ooo", Mode::Baseline),
+        ];
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let configs = back.configs().unwrap();
+        assert_eq!(configs[0].1.core, CoreKind::InOrderScalar);
+        assert_eq!(configs[1].1.core, CoreKind::OutOfOrder);
+
+        // Sparse JSON: CLI spelling, and the field defaults to out-of-order.
+        let text = r#"{
+            "name": "mini",
+            "grids": [
+                {"label": "io", "mode": "baseline", "core": "inorder"},
+                {"label": "base", "mode": "baseline"}
+            ]
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        let configs = s.configs().unwrap();
+        assert_eq!(configs[0].1.core, CoreKind::InOrderScalar);
+        assert_eq!(configs[1].1.core, CoreKind::OutOfOrder);
+
+        // Knobs the in-order core rejects are caught at expansion time.
+        let grid = ConfigGrid::new("io{contexts}", Mode::Baseline)
+            .core(CoreKind::InOrderScalar)
+            .contexts(&[4]);
+        let e = grid.expand().unwrap_err();
+        assert!(e.0.contains("in-order"), "{e}");
     }
 
     #[test]

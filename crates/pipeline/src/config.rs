@@ -234,6 +234,33 @@ impl PipelineConfig {
         }
     }
 
+    /// The in-order scalar baseline core
+    /// ([`crate::InOrderMachine`]): one hardware context, scalar
+    /// rename/commit, a short front end and a small window. The issue
+    /// widths are 1 for coherence, though the in-order issue stage
+    /// enforces the stricter rule (only the oldest instruction, one per
+    /// cycle). No value prediction — the in-order core has no spawn
+    /// policy to use it.
+    pub fn in_order_scalar() -> Self {
+        PipelineConfig {
+            fetch_width: 4,
+            fetch_threads: 1,
+            front_end_latency: 5,
+            rename_width: 1,
+            commit_width: 1,
+            rob_entries: 32,
+            iq_entries: 16,
+            fq_entries: 16,
+            mq_entries: 16,
+            int_issue: 1,
+            fp_issue: 1,
+            mem_issue: 1,
+            rename_regs: 64,
+            store_buffer_entries: 32,
+            ..Self::hpca2005()
+        }
+    }
+
     /// A scaled-down configuration for fast unit tests (small predictor
     /// tables, shallow front end).
     pub fn tiny() -> Self {

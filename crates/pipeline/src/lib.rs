@@ -48,12 +48,14 @@
 
 mod config;
 mod context;
+pub mod framework;
 mod machine;
 mod regfile;
 mod stats;
 mod uop;
 
 pub use config::{FetchPolicy, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
-pub use machine::Machine;
+pub use framework::{Core, InOrderStages, SmtOooStages, SpawnPolicy, Stage, StageSet};
+pub use machine::{InOrderMachine, Machine, StagedCore};
 pub use regfile::{PhysRegFile, PregId, RegClass};
 pub use stats::{BranchStats, PipeStats, VpStats};

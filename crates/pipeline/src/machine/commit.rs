@@ -1,15 +1,16 @@
 //! Commit stage: in-order retirement, MTVP resolution (§3.2–§3.3),
 //! thread promotion and kills, squash machinery, predictor training.
 
-use super::Machine;
+use super::StagedCore;
 use crate::context::{Context, CtxState, SbEntry};
+use crate::framework::StageSet;
 use crate::uop::{CtxId, UopId, UopState};
 use mtvp_isa::interp::Bus;
 use mtvp_isa::Op;
 use mtvp_mem::AccessKind;
 use mtvp_obs::{Event, KillCause, SquashCause, Tracer};
 
-impl<T: Tracer> Machine<'_, T> {
+impl<T: Tracer, S: StageSet> StagedCore<'_, T, S> {
     /// Commit up to `commit_width` instructions across contexts.
     pub(crate) fn commit_stage(&mut self) {
         let n = self.ctxs.len();

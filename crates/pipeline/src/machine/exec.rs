@@ -1,7 +1,8 @@
 //! Issue, execution, writeback, branch resolution, STVP verification and
 //! selective reissue.
 
-use super::Machine;
+use super::StagedCore;
+use crate::framework::StageSet;
 use crate::regfile::RegClass;
 use crate::uop::{UopId, UopState};
 use mtvp_isa::interp::{branch_taken, effective_addr, eval_fp, eval_fp_cmp, eval_int, fp_to_int};
@@ -10,7 +11,7 @@ use mtvp_mem::AccessKind;
 use mtvp_obs::{Event, KillCause, ReissueCause, SquashCause, Tracer};
 use std::cmp::Reverse;
 
-impl<T: Tracer> Machine<'_, T> {
+impl<T: Tracer, S: StageSet> StagedCore<'_, T, S> {
     /// Select and begin execution of ready instructions, oldest first, up
     /// to the per-class issue widths (6 int / 2 fp / 4 mem).
     pub(crate) fn issue_stage(&mut self) {
@@ -56,9 +57,39 @@ impl<T: Tracer> Machine<'_, T> {
         }
     }
 
+    /// In-order scalar issue (the [`crate::framework::InOrderIssue`]
+    /// stage): issue at most one instruction per cycle, and only the
+    /// oldest dispatched instruction of the root context. A head stalled
+    /// on sources or an MSHR stalls everything behind it — in-order
+    /// issue, out-of-order completion (latencies still drain through the
+    /// event heap and the shared writeback stage).
+    pub(crate) fn in_order_issue_stage(&mut self) {
+        // Purge dead and already-issued queue entries: the out-of-order
+        // issue scan normally releases those slots lazily; without this
+        // sweep the rename stage would see phantom occupancy and wedge.
+        for unit in [ExecUnit::Int, ExecUnit::Fp, ExecUnit::Mem] {
+            let mut q = std::mem::take(self.queue_for(unit));
+            q.retain(|&(id, generation)| {
+                self.uops.is_live(id, generation) && self.uops.get(id).in_queue
+            });
+            *self.queue_for(unit) = q;
+        }
+        let head = self.ctxs[self.root_ctx]
+            .rob
+            .iter()
+            .copied()
+            .find(|&uid| self.uops.get(uid).state == UopState::Dispatched);
+        if let Some(uid) = head {
+            if self.uops.get(uid).srcs_ready(&self.rf) {
+                // An MSHR-blocked load simply retries next cycle.
+                let _ = self.issue_one(uid);
+            }
+        }
+    }
+
     /// Begin execution of one instruction. Returns false when a load could
     /// not get an MSHR and must retry (it stays queued).
-    fn issue_one(&mut self, id: UopId) -> bool {
+    pub(crate) fn issue_one(&mut self, id: UopId) -> bool {
         debug_assert_eq!(self.uops.get(id).state, UopState::Dispatched);
         let generation = self.uops.generation(id);
         let (ctx, seq, inst, pc) = {
@@ -66,7 +97,7 @@ impl<T: Tracer> Machine<'_, T> {
             (u.ctx, u.seq, u.inst, u.pc)
         };
 
-        let src_val = |m: &Machine<'_, T>, i: usize| {
+        let src_val = |m: &Self, i: usize| {
             let u = m.uops.get(id);
             u.srcs[i].map(|s| m.rf.read(s.class, s.preg)).unwrap_or(0)
         };
@@ -355,7 +386,7 @@ impl<T: Tracer> Machine<'_, T> {
             let u = self.uops.get(id);
             (u.ctx, u.seq, u.pc, u.inst, u.trace_idx)
         };
-        let src = |m: &Machine<'_, T>, i: usize| {
+        let src = |m: &Self, i: usize| {
             let u = m.uops.get(id);
             u.srcs[i].map(|s| m.rf.read(s.class, s.preg)).unwrap_or(0)
         };

@@ -1,12 +1,13 @@
 //! Fetch stage: ICOUNT thread selection, branch prediction, I-cache timing.
 
-use super::{Machine, FETCH_BUFFER_CAP, IADDR_BASE};
+use super::{StagedCore, FETCH_BUFFER_CAP, IADDR_BASE};
 use crate::context::FetchedInst;
+use crate::framework::StageSet;
 use crate::uop::CtxId;
 use mtvp_isa::Op;
 use mtvp_obs::{Event, Tracer};
 
-impl<T: Tracer> Machine<'_, T> {
+impl<T: Tracer, S: StageSet> StagedCore<'_, T, S> {
     /// Fetch up to `fetch_width` instructions from up to `fetch_threads`
     /// contexts, chosen by ICOUNT (fewest instructions in the front end).
     pub(crate) fn fetch_stage(&mut self) {

@@ -16,6 +16,7 @@ mod rename;
 
 use crate::config::{PipelineConfig, PredictorKind, SelectorKind};
 use crate::context::{Context, CtxState};
+use crate::framework::{InOrderStages, SmtOooStages, Stage, StageSet};
 use crate::regfile::{PhysRegFile, RegClass};
 use crate::stats::{BranchStats, PipeStats, VpStats};
 use crate::uop::{CtxId, UopId, UopSlab};
@@ -30,6 +31,7 @@ use mtvp_vp::{
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// Instruction byte addresses live far above data so the I-cache and
@@ -158,13 +160,31 @@ pub(crate) enum AnySelector {
     L3Miss,
 }
 
+/// The paper's SMT out-of-order MTVP machine: [`StagedCore`] composed
+/// with [`SmtOooStages`].
+///
+/// This is a plain type alias, so every pre-framework call site
+/// (`Machine::new`, `Machine::with_tracer`, …) compiles unchanged and
+/// monomorphizes to exactly the machine it always did.
+pub type Machine<'p, T = NullTracer> = StagedCore<'p, T, SmtOooStages>;
+
+/// The in-order scalar baseline core: [`StagedCore`] composed with
+/// [`InOrderStages`]. Single context, strict program-order scalar issue,
+/// no value prediction — same front end, memory hierarchy and retirement
+/// as the SMT core.
+pub type InOrderMachine<'p, T = NullTracer> = StagedCore<'p, T, InOrderStages>;
+
 /// The simulated machine, borrowing the program it runs.
 ///
-/// The machine is generic over its [`Tracer`]. The default, [`NullTracer`],
-/// compiles every emit site away (each is guarded by the associated
-/// constant `T::ENABLED`), so untraced simulation is bit-identical in both
-/// statistics and throughput to a build without observability at all.
-pub struct Machine<'p, T: Tracer = NullTracer> {
+/// The machine is generic over its [`Tracer`] and its [`StageSet`]. The
+/// default tracer, [`NullTracer`], compiles every emit site away (each is
+/// guarded by the associated constant `T::ENABLED`), so untraced
+/// simulation is bit-identical in both statistics and throughput to a
+/// build without observability at all. The stage set statically selects
+/// the stage modules the cycle loop dispatches to (see
+/// [`crate::framework`]); [`Machine`] and [`InOrderMachine`] are the two
+/// shipped compositions.
+pub struct StagedCore<'p, T: Tracer = NullTracer, S: StageSet = SmtOooStages> {
     pub(crate) cfg: PipelineConfig,
     pub(crate) program: &'p Program,
     /// Timing side of the memory hierarchy.
@@ -205,6 +225,8 @@ pub struct Machine<'p, T: Tracer = NullTracer> {
     pub(crate) scratch_ctxs: Vec<CtxId>,
     /// Event sink; [`NullTracer`] by default (zero cost).
     pub(crate) tracer: T,
+    /// Zero-sized marker binding the machine to its stage set.
+    _stages: PhantomData<S>,
 }
 
 /// Snapshot of every observable-progress indicator of the machine, taken
@@ -247,7 +269,7 @@ struct ProgressMark {
     reissue_origin: Option<UopId>,
 }
 
-impl<'p> Machine<'p> {
+impl<'p, S: StageSet> StagedCore<'p, NullTracer, S> {
     /// Build a machine for `program`. A committed-path `trace` is required
     /// for the oracle predictor and enables commit-time path validation in
     /// every mode.
@@ -282,7 +304,7 @@ impl<'p> Machine<'p> {
     }
 }
 
-impl<'p, T: Tracer> Machine<'p, T> {
+impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
     /// Build a machine that emits lifecycle events into `tracer`.
     pub fn with_tracer(
         cfg: PipelineConfig,
@@ -294,7 +316,7 @@ impl<'p, T: Tracer> Machine<'p, T> {
         Self::build(cfg, mem_cfg, program, trace, tracer, true)
     }
 
-    fn build(
+    pub(crate) fn build(
         cfg: PipelineConfig,
         mem_cfg: mtvp_mem::MemConfig,
         program: &'p Program,
@@ -376,7 +398,7 @@ impl<'p, T: Tracer> Machine<'p, T> {
             SelectorKind::L3MissOracle => AnySelector::L3Miss,
         };
 
-        Machine {
+        StagedCore {
             mem_sys,
             memory,
             rf,
@@ -405,6 +427,7 @@ impl<'p, T: Tracer> Machine<'p, T> {
             cfg,
             program,
             tracer,
+            _stages: PhantomData,
         }
     }
 
@@ -433,13 +456,21 @@ impl<'p, T: Tracer> Machine<'p, T> {
         self.stats.clone()
     }
 
-    /// The cycle loop shared by [`Machine::run`] and
-    /// [`Machine::run_until_committed`]: step until `done`, the cycle or
-    /// instruction limits, or `target` architectural commits.
+    /// The cycle loop shared by [`StagedCore::run`] and
+    /// [`StagedCore::run_until_committed`]: step until `done`, the cycle
+    /// or instruction limits, or `target` architectural commits.
     fn advance_to(&mut self, target: u64) {
+        self.advance_to_inner::<true>(target);
+    }
+
+    fn advance_to_inner<const DISPATCH: bool>(&mut self, target: u64) {
         let mut before = self.progress_mark();
         while !self.done && self.stats.committed < target {
-            self.cycle();
+            if DISPATCH {
+                self.cycle();
+            } else {
+                self.cycle_hand_wired();
+            }
             let after = self.progress_mark();
             if after == before {
                 // A fully idle cycle: every context is waiting on an
@@ -775,13 +806,38 @@ impl<'p, T: Tracer> Machine<'p, T> {
         }
     }
 
-    /// Simulate one cycle.
+    /// Simulate one cycle, dispatching each stage through the stage set.
+    ///
+    /// Stages run back-to-front (the framework fixes this ordering) so
+    /// results never skip a stage within a single cycle. Every `tick` is
+    /// a statically-resolved associated-type call — after inlining this
+    /// compiles to the same code as [`StagedCore::cycle_hand_wired`].
     pub fn cycle(&mut self) {
+        S::Writeback::tick(self);
+        S::Commit::tick(self);
+        S::Issue::tick(self);
+        S::Rename::tick(self);
+        S::Fetch::tick(self);
+        self.cycle_tail();
+    }
+
+    /// Simulate one cycle with the stage calls written out by hand — the
+    /// exact pre-framework loop, kept as the differential reference for
+    /// the framework seams. Only reachable through
+    /// [`Machine::run_hand_wired`], because it is hand-wired to the
+    /// default out-of-order stage methods regardless of `S`.
+    pub(crate) fn cycle_hand_wired(&mut self) {
         self.writeback_stage();
         self.commit_stage();
         self.issue_stage();
         self.rename_stage();
         self.fetch_stage();
+        self.cycle_tail();
+    }
+
+    /// The per-cycle epilogue shared by both cycle entry points: trace
+    /// sampling, invariant sweep, clock advance, peak-context tracking.
+    fn cycle_tail(&mut self) {
         if T::ENABLED {
             // Queue-occupancy sample (folded into histograms by the
             // tracer, not stored per cycle) and memory fills installed
@@ -1098,5 +1154,25 @@ impl<'p, T: Tracer> Machine<'p, T> {
             }
             ilp.record(pc, class, progress, cycles);
         }
+    }
+}
+
+impl<'p, T: Tracer> StagedCore<'p, T, SmtOooStages> {
+    /// Run the machine to completion exactly like [`StagedCore::run`],
+    /// but stepping with the hand-wired pre-framework cycle instead of
+    /// the stage-set dispatch. This is the differential reference for
+    /// `tests/framework.rs`: the pre-framework machine was this hand-wired
+    /// sequence, so a framework-composed run must be bit-identical to it.
+    /// Only the default stage set has this entry point — the hand-wired
+    /// cycle *is* the out-of-order stage sequence, so offering it on any
+    /// other stage set would silently compare the wrong machines.
+    pub fn run_hand_wired(&mut self) -> PipeStats {
+        self.advance_to_inner::<false>(u64::MAX);
+        self.finalize_stats();
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_regfile() {
+            panic!("post-run register-file check failed: {e}");
+        }
+        self.stats.clone()
     }
 }

@@ -1,15 +1,16 @@
 //! Rename/dispatch stage: register renaming, queue insertion, and the
 //! value-prediction decision point (§3.1–§3.3) including thread spawning.
 
-use super::Machine;
+use super::StagedCore;
 use crate::context::{CtxState, FetchedInst};
+use crate::framework::{SpawnPolicy, StageSet};
 use crate::regfile::RegClass;
 use crate::uop::{BranchInfo, CtxId, DstOperand, SrcOperand, Uop, UopId, UopState, VpInfo};
 use mtvp_isa::{Def, Op};
 use mtvp_obs::{Event, Tracer, VpKind};
 use mtvp_vp::VpClass;
 
-impl<T: Tracer> Machine<'_, T> {
+impl<T: Tracer, S: StageSet> StagedCore<'_, T, S> {
     /// Rename up to `rename_width` instructions, rotating fairness among
     /// contexts across cycles.
     pub(crate) fn rename_stage(&mut self) {
@@ -175,13 +176,17 @@ impl<T: Tracer> Machine<'_, T> {
         }
 
         if inst.is_load() {
-            self.maybe_value_predict(ctx, id, &fi);
+            // The stage set's spawn policy decides what a renamed load
+            // triggers: value prediction and thread spawning on the SMT
+            // core, nothing at all on cores without it.
+            S::Spawn::consider(self, ctx, id, &fi);
         }
         true
     }
 
     /// The value-prediction decision for a freshly renamed load (§3.1).
-    fn maybe_value_predict(&mut self, ctx: CtxId, load: UopId, fi: &FetchedInst) {
+    /// Invoked through [`crate::framework::ValuePredictSpawn`].
+    pub(crate) fn maybe_value_predict(&mut self, ctx: CtxId, load: UopId, fi: &FetchedInst) {
         let vp = &self.cfg.vp;
         let vp_enabled = vp.allow_stvp || vp.allow_mtvp || vp.spawn_only;
         let (pc, trace_idx, dest_preg_class) = {

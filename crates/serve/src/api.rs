@@ -13,8 +13,9 @@
 //! insertion order and prints deterministically.
 
 use mtvp_engine::{
-    builtin, parse_mode, parse_predictor, parse_scale, parse_selector, CellEntry, Mode,
-    PredictorKind, RunReport, SamplingParams, Scale, Scenario, SelectorKind, SimConfig,
+    builtin, parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, CellEntry,
+    CoreKind, Mode, PredictorKind, RunReport, SamplingParams, Scale, Scenario, SelectorKind,
+    SimConfig,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -26,6 +27,7 @@ const SWEEP_KEYS: &[&str] = &["scenario", "scale", "benches", "wait", "timeout_m
 /// `oracle` base-config switch grids also understand).
 const CONFIG_KEYS: &[&str] = &[
     "mode",
+    "core",
     "oracle",
     "contexts",
     "predictor",
@@ -153,6 +155,15 @@ pub fn config_from_value(v: Option<&Value>) -> Result<SimConfig, String> {
     } else {
         SimConfig::new(mode)
     };
+    if let Some(cv) = v.get("core").filter(|x| !matches!(x, Value::Null)) {
+        cfg.core = match CoreKind::from_value(cv) {
+            Ok(k) => k,
+            Err(_) => {
+                let s = cv.as_str().ok_or_else(|| format!("bad core {cv}"))?;
+                parse_core(s).map_err(|e| e.0)?
+            }
+        };
+    }
     if let Some(n) = usize_field(v, "contexts")? {
         cfg.contexts = n;
     }
@@ -429,6 +440,19 @@ mod tests {
         let body =
             serde_json::from_str(r#"{"mode": "mtvp", "sampling": "2000:120000:4000"}"#).unwrap();
         assert_eq!(config_from_value(Some(&body)).unwrap(), cfg);
+    }
+
+    #[test]
+    fn core_field_parses_cli_form_and_validates() {
+        let body = serde_json::from_str(r#"{"mode": "baseline", "core": "inorder"}"#).unwrap();
+        let cfg = config_from_value(Some(&body)).unwrap();
+        assert_eq!(cfg.core, CoreKind::InOrderScalar);
+        let back = config_from_value(Some(&cfg.to_value())).unwrap();
+        assert_eq!(back, cfg);
+        // The in-order core rejects MTVP knobs at validation time.
+        let body = serde_json::from_str(r#"{"mode": "mtvp", "core": "inorder"}"#).unwrap();
+        let e = config_from_value(Some(&body)).unwrap_err();
+        assert!(e.contains("in-order"), "{e}");
     }
 
     #[test]

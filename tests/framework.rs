@@ -1,0 +1,306 @@
+//! Differential tests for the microarchitecture framework.
+//!
+//! The staged cycle loop (`StagedCore::cycle`, statically dispatched
+//! through the `StageSet` trait family) must be an exact refactor of the
+//! hand-wired stage sequence it replaced: same `PipeStats` bit for bit,
+//! same traced event stream, on every registry program and on arbitrary
+//! valid configurations. `run_hand_wired()` preserves the pre-framework
+//! wiring (direct method calls, no trait dispatch) precisely so this
+//! file can prove the framework changes nothing.
+
+use mtvp_engine::{CoreKind, Mode, PredictorKind, Scale, SelectorKind, SimConfig};
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_isa::Program;
+use mtvp_obs::RingTracer;
+use mtvp_pipeline::{Core, InOrderMachine, Machine};
+use mtvp_workloads::synth::{random_program, SynthParams};
+use mtvp_workloads::{kernels, suite};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every program in the registry: the 32 suite workloads plus the
+/// standalone kernels and the synth-generator seeds `lint --all` covers.
+fn registry_programs(scale: Scale) -> Vec<Program> {
+    let mut programs: Vec<Program> = suite().into_iter().map(|w| w.build(scale)).collect();
+    programs.push(kernels::matmul(8));
+    let bytes: Vec<u8> = (0..400).map(|i| (i * 131 % 256) as u8).collect();
+    programs.push(kernels::histogram(&bytes));
+    programs.push(kernels::string_search(
+        b"the quick brown fox jumps over the lazy dog the end",
+        b"the",
+    ));
+    programs.extend((1..=4).map(|s| random_program(s, SynthParams::default())));
+    programs
+}
+
+fn reference(program: &Program) -> (u64, Arc<mtvp_isa::trace::Trace>) {
+    let mut bus = SimpleBus::new();
+    let mut interp = Interp::new(program);
+    let (res, trace) = interp.run_traced(&mut bus, 20_000_000);
+    assert!(res.halted, "{} reference did not halt", program.name);
+    (res.dyn_instrs, Arc::new(trace))
+}
+
+/// Run `cfg` on `program` through the trait-dispatched cycle loop and
+/// through the hand-wired reference wiring, with tracing enabled, and
+/// assert the two are indistinguishable: identical `PipeStats`,
+/// identical retained event stream, identical aggregated registry.
+fn assert_dispatch_is_invisible(
+    program: &Program,
+    cfg: &SimConfig,
+    dyn_instrs: u64,
+    trace: &Arc<mtvp_isa::trace::Trace>,
+    label: &str,
+) {
+    let mut framework = Machine::<RingTracer>::build_core(
+        cfg.to_pipeline_config(),
+        cfg.to_mem_config(),
+        program,
+        Some(trace.clone()),
+        RingTracer::new(1 << 16),
+        true,
+    );
+    let mut hand_wired = Machine::<RingTracer>::build_core(
+        cfg.to_pipeline_config(),
+        cfg.to_mem_config(),
+        program,
+        Some(trace.clone()),
+        RingTracer::new(1 << 16),
+        true,
+    );
+    let a = framework.run();
+    let b = hand_wired.run_hand_wired();
+    assert!(a.halted, "{}: {label} did not halt", program.name);
+    assert_eq!(
+        a.committed, dyn_instrs,
+        "{}: {label} committed-count mismatch",
+        program.name
+    );
+    assert_eq!(a, b, "{}: {label} PipeStats diverged", program.name);
+    let ta = framework.into_tracer();
+    let tb = hand_wired.into_tracer();
+    assert_eq!(ta.dropped(), tb.dropped(), "{}: {label}", program.name);
+    assert!(
+        ta.events().eq(tb.events()),
+        "{}: {label} traced event streams diverged",
+        program.name
+    );
+    assert_eq!(
+        ta.registry(),
+        tb.registry(),
+        "{}: {label} trace registries diverged",
+        program.name
+    );
+}
+
+/// The framework-composed default machine is bit-identical to the
+/// hand-wired wiring on every registry program, in baseline and MTVP
+/// modes.
+#[test]
+fn staged_cycle_matches_hand_wired_on_all_registry_programs() {
+    let mtvp = {
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.selector = SelectorKind::Always;
+        c.spawn_latency = 1;
+        c
+    };
+    let baseline = SimConfig::new(Mode::Baseline);
+    let programs = registry_programs(Scale::Tiny);
+    assert_eq!(programs.len(), 39, "registry program count changed");
+    for program in &programs {
+        let (dyn_instrs, trace) = reference(program);
+        assert_dispatch_is_invisible(program, &baseline, dyn_instrs, &trace, "baseline");
+        assert_dispatch_is_invisible(program, &mtvp, dyn_instrs, &trace, "mtvp8");
+    }
+}
+
+/// The second core module has no hand-wired twin (`run_hand_wired` is
+/// deliberately only offered on the default stage set), so its contract
+/// is architectural: agree with the reference interpreter, be
+/// deterministic, and never speculate at the thread level.
+#[test]
+fn in_order_core_matches_reference_and_is_deterministic() {
+    let cfg = SimConfig::in_order();
+    cfg.validate().expect("in_order() must validate");
+    let bytes: Vec<u8> = (0..400).map(|i| (i * 131 % 256) as u8).collect();
+    let mut programs = vec![
+        kernels::matmul(8),
+        kernels::histogram(&bytes),
+        kernels::string_search(b"abracadabra abracadabra", b"cad"),
+    ];
+    programs.extend((10..14).map(|s| random_program(s, SynthParams::default())));
+    for wl in suite() {
+        if ["mcf", "gzip g", "mesa", "equake"].contains(&wl.name) {
+            programs.push(wl.build(Scale::Tiny));
+        }
+    }
+    for program in &programs {
+        let (dyn_instrs, trace) = reference(program);
+        let mut first = InOrderMachine::<RingTracer>::build_core(
+            cfg.to_pipeline_config(),
+            cfg.to_mem_config(),
+            program,
+            Some(trace.clone()),
+            RingTracer::new(1 << 16),
+            true,
+        );
+        let mut second = InOrderMachine::<RingTracer>::build_core(
+            cfg.to_pipeline_config(),
+            cfg.to_mem_config(),
+            program,
+            Some(trace.clone()),
+            RingTracer::new(1 << 16),
+            true,
+        );
+        let a = first.run();
+        let b = second.run();
+        assert!(a.halted, "{}: in-order did not halt", program.name);
+        assert_eq!(a.committed, dyn_instrs, "{}", program.name);
+        assert_eq!(a, b, "{}: in-order run is not deterministic", program.name);
+        first
+            .check_regfile()
+            .unwrap_or_else(|e| panic!("{}: {e}", program.name));
+        assert!(
+            first
+                .into_tracer()
+                .events()
+                .eq(second.into_tracer().events()),
+            "{}: in-order traced event streams diverged",
+            program.name
+        );
+        // A scalar in-order pipe never runs ahead of the program order,
+        // so no thread-level speculation statistics may appear.
+        assert_eq!(a.vp.mtvp_spawns, 0, "{}", program.name);
+        assert_eq!(a.vp.stvp_used, 0, "{}", program.name);
+        assert_eq!(a.peak_contexts, 1, "{}", program.name);
+    }
+}
+
+/// The engine-level core axis: the same benchmark through `run_program`
+/// on both cores produces validated runs, with the in-order core slower.
+#[test]
+fn both_cores_run_through_the_engine() {
+    let wl = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+    let program = wl.build(Scale::Tiny);
+    let ooo = mtvp_engine::run_program(&SimConfig::new(Mode::Baseline), &program);
+    let inorder = mtvp_engine::run_program(&SimConfig::in_order(), &program);
+    assert!(ooo.stats.halted && inorder.stats.halted);
+    assert_eq!(ooo.stats.committed, inorder.stats.committed);
+    assert!(
+        inorder.stats.cycles > ooo.stats.cycles,
+        "a scalar in-order core cannot outrun the 8-wide OoO machine \
+         (inorder {} vs ooo {} cycles)",
+        inorder.stats.cycles,
+        ooo.stats.cycles
+    );
+}
+
+/// One valid `SimConfig` from arbitrary raw knobs: pick every axis from
+/// the generated values, then repair the combinations `validate()`
+/// rejects (the same legality rules scenario expansion enforces).
+#[allow(clippy::too_many_arguments)]
+fn config_from_raw(
+    mode_pick: u8,
+    core_pick: u8,
+    contexts_pick: u8,
+    predictor_pick: u8,
+    selector_pick: u8,
+    spawn_latency: u8,
+    store_buffer_pick: u8,
+    mshrs_pick: u8,
+    prefetcher: bool,
+    warm_start: bool,
+) -> SimConfig {
+    let modes = [
+        Mode::Baseline,
+        Mode::Stvp,
+        Mode::Mtvp,
+        Mode::MtvpNoStall,
+        Mode::SpawnOnly,
+        Mode::MultiValue,
+        Mode::WideWindow,
+    ];
+    let mode = modes[mode_pick as usize % modes.len()];
+    let in_order = core_pick.is_multiple_of(4) && mode == Mode::Baseline;
+    let mut cfg = if in_order {
+        SimConfig::in_order()
+    } else {
+        SimConfig::new(mode)
+    };
+    if !in_order {
+        if matches!(mode, Mode::Mtvp | Mode::MtvpNoStall | Mode::SpawnOnly) {
+            cfg.contexts = [2, 4, 8][contexts_pick as usize % 3];
+        }
+        if mode != Mode::Baseline && mode != Mode::WideWindow {
+            let predictors = [
+                PredictorKind::WangFranklin,
+                PredictorKind::WangFranklinLiberal,
+                PredictorKind::Dfcm,
+                PredictorKind::Stride,
+                PredictorKind::LastValue,
+                PredictorKind::Oracle,
+            ];
+            cfg.predictor = predictors[predictor_pick as usize % predictors.len()];
+            let selectors = [
+                SelectorKind::Always,
+                SelectorKind::IlpPred,
+                SelectorKind::L3MissOracle,
+            ];
+            cfg.selector = selectors[selector_pick as usize % selectors.len()];
+            cfg.spawn_latency = 1 + (spawn_latency as u64 % 16);
+        }
+    }
+    cfg.store_buffer = [4, 16, 64, 128][store_buffer_pick as usize % 4];
+    cfg.mshrs = [4, 16, 64][mshrs_pick as usize % 3];
+    cfg.prefetcher = prefetcher;
+    cfg.warm_start = warm_start;
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("generator produced an invalid config: {e}"));
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // For arbitrary valid configurations the trait-dispatched loop and
+    // the hand-wired loop remain bit-identical (stats and trace stream).
+    #[test]
+    fn staged_cycle_matches_hand_wired_on_random_configs(
+        mode_pick in any::<u8>(),
+        core_pick in any::<u8>(),
+        contexts_pick in any::<u8>(),
+        predictor_pick in any::<u8>(),
+        selector_pick in any::<u8>(),
+        spawn_latency in any::<u8>(),
+        store_buffer_pick in any::<u8>(),
+        mshrs_pick in any::<u8>(),
+        prefetcher in any::<bool>(),
+        warm_start in any::<bool>(),
+        seed in 0u64..64
+    ) {
+        let cfg = config_from_raw(
+            mode_pick, core_pick, contexts_pick, predictor_pick, selector_pick,
+            spawn_latency, store_buffer_pick, mshrs_pick, prefetcher, warm_start,
+        );
+        let program = random_program(seed, SynthParams::default());
+        let (dyn_instrs, trace) = reference(&program);
+        match cfg.core {
+            CoreKind::OutOfOrder => {
+                assert_dispatch_is_invisible(&program, &cfg, dyn_instrs, &trace, "random");
+            }
+            CoreKind::InOrderScalar => {
+                let mut a = InOrderMachine::build_core(
+                    cfg.to_pipeline_config(), cfg.to_mem_config(), &program,
+                    Some(trace.clone()), mtvp_obs::NullTracer, true,
+                );
+                let mut b = InOrderMachine::build_core(
+                    cfg.to_pipeline_config(), cfg.to_mem_config(), &program,
+                    Some(trace.clone()), mtvp_obs::NullTracer, true,
+                );
+                let sa = a.run();
+                prop_assert_eq!(sa.committed, dyn_instrs);
+                prop_assert_eq!(sa, b.run());
+            }
+        }
+    }
+}
