@@ -4,9 +4,15 @@
 //!
 //! PCs are instruction indices (the ISA's program counter is an index,
 //! not a byte address). Indirect jumps (`Jr`/`Jalr`) have no static
-//! target; the builder conservatively gives such blocks an edge to every
-//! block, which keeps every may-analysis sound at the cost of precision
-//! (no shipped kernel uses them — the lint reports their presence).
+//! target; the builder first constructs a fully conservative graph (an
+//! indirect block edges to every block), then runs the interval analysis
+//! ([`crate::ranges`]) over it and, where the jump register's interval is
+//! bounded and in-range, rebuilds with edges only to the pcs inside that
+//! interval (each made a block leader). Intervals computed on the
+//! conservative graph over-approximate every execution, so the refined
+//! edges remain sound for every may-analysis. Jumps whose interval stays
+//! unbounded keep the conservative edges and set
+//! [`Cfg::unresolved_indirect`].
 
 use crate::bitset::BitSet;
 use mtvp_isa::Program;
@@ -69,15 +75,52 @@ pub struct Cfg {
     pub loops: Vec<NaturalLoop>,
     /// Whether any instruction is an indirect jump (`Jr`/`Jalr`).
     pub has_indirect: bool,
+    /// Whether any reachable indirect jump kept its fully conservative
+    /// edges (interval unbounded or out of range). `false` means every
+    /// indirect edge set is precise enough for reachability lints.
+    pub unresolved_indirect: bool,
+    /// Indirect jumps refined by the interval analysis: `(pc, (lo, hi))`
+    /// with edges restricted to pcs in `lo..=hi`.
+    pub refined_indirect: Vec<(u32, (i128, i128))>,
     /// PCs whose static branch/jump target lies outside the text segment.
     pub bad_targets: Vec<u32>,
 }
+
+/// Largest bounded interval (in targets) an indirect jump may have and
+/// still be refined; wider ones keep the conservative all-block edges so
+/// a nearly-unbounded range cannot shatter the program into per-pc
+/// blocks.
+const MAX_INDIRECT_FAN: i128 = 64;
 
 impl Cfg {
     /// Build the CFG of `program`. Programs are non-empty in practice
     /// (the builder always emits at least a halt); an empty program
     /// yields an empty graph.
     pub fn build(program: &Program) -> Cfg {
+        let conservative = Self::build_with(program, &[]);
+        if !conservative.has_indirect {
+            return conservative;
+        }
+        // Second pass: bound the jump registers with the interval
+        // analysis run over the conservative graph (sound
+        // over-approximation of every execution), then rebuild with
+        // edges only to in-range targets.
+        let n = program.code.len() as i128;
+        let refined: Vec<(u32, (i128, i128))> =
+            crate::ranges::indirect_targets(program, &conservative)
+                .into_iter()
+                .filter_map(|(pc, range)| {
+                    let (lo, hi) = range?;
+                    (lo >= 0 && hi < n && hi - lo < MAX_INDIRECT_FAN).then_some((pc, (lo, hi)))
+                })
+                .collect();
+        if refined.is_empty() {
+            return conservative;
+        }
+        Self::build_with(program, &refined)
+    }
+
+    fn build_with(program: &Program, refined: &[(u32, (i128, i128))]) -> Cfg {
         let n = program.code.len();
         if n == 0 {
             return Cfg {
@@ -88,9 +131,12 @@ impl Cfg {
                 back_edges: Vec::new(),
                 loops: Vec::new(),
                 has_indirect: false,
+                unresolved_indirect: false,
+                refined_indirect: Vec::new(),
                 bad_targets: Vec::new(),
             };
         }
+        let refined_of = |pc: u32| refined.iter().find(|r| r.0 == pc).map(|r| r.1);
 
         // Leaders: entry, every static target, and the instruction after
         // every control transfer or halt.
@@ -114,6 +160,13 @@ impl Cfg {
                 leader[pc + 1] = true;
             }
         }
+        // Every pc a refined indirect jump may reach becomes a leader, so
+        // its edges land on block heads (never mid-block).
+        for &(_, (lo, hi)) in refined {
+            for t in lo..=hi {
+                leader[t as usize] = true;
+            }
+        }
 
         let mut blocks = Vec::new();
         let mut block_of = vec![0u32; n];
@@ -133,13 +186,28 @@ impl Cfg {
 
         // Edges from each block's terminator.
         let nb = blocks.len();
+        let mut unresolved_blocks = vec![false; nb];
+        let mut refined_indirect = Vec::new();
         for b in 0..nb {
             let last = blocks[b].end - 1;
             let s = program.code[last as usize].successors(u64::from(last), n);
             let mut succs = Vec::new();
             if s.indirect {
-                // Conservative: an indirect jump may reach any block.
-                succs.extend(0..nb as u32);
+                if let Some((lo, hi)) = refined_of(last) {
+                    // The jump register is provably in [lo, hi]: edge
+                    // only to the blocks holding those pcs (all leaders).
+                    for t in lo..=hi {
+                        let tb = block_of[t as usize];
+                        if !succs.contains(&tb) {
+                            succs.push(tb);
+                        }
+                    }
+                    refined_indirect.push((last, (lo, hi)));
+                } else {
+                    // Conservative: the jump may reach any block.
+                    succs.extend(0..nb as u32);
+                    unresolved_blocks[b] = true;
+                }
             } else {
                 if let Some(t) = s.target {
                     if t >= 0 && (t as usize) < n {
@@ -171,6 +239,9 @@ impl Cfg {
                 }
             }
         }
+        // Only reachable conservative jumps poison reachability lints;
+        // dead ones cannot influence what executes.
+        let unresolved_indirect = (0..nb).any(|b| reachable[b] && unresolved_blocks[b]);
 
         // Iterative dominators over reachable blocks.
         let mut dom: Vec<BitSet> = (0..nb).map(|_| BitSet::full(nb)).collect();
@@ -257,6 +328,8 @@ impl Cfg {
             back_edges,
             loops,
             has_indirect,
+            unresolved_indirect,
+            refined_indirect,
             bad_targets,
         }
     }
@@ -341,7 +414,9 @@ mod tests {
     }
 
     #[test]
-    fn indirect_jump_is_conservative() {
+    fn bounded_indirect_jump_is_refined() {
+        // The jump register holds a provable singleton: the jr gets one
+        // precise edge instead of edges to every block.
         let mut b = ProgramBuilder::new();
         b.li(Reg(1), 2);
         b.jr(Reg(1));
@@ -349,8 +424,84 @@ mod tests {
         let p = b.build();
         let cfg = Cfg::build(&p);
         assert!(cfg.has_indirect);
+        assert!(!cfg.unresolved_indirect);
+        assert_eq!(cfg.refined_indirect, vec![(1, (2, 2))]);
         let jb = cfg.block_of[1] as usize;
+        assert_eq!(cfg.blocks[jb].succs, vec![cfg.block_of[2]]);
+    }
+
+    #[test]
+    fn unbounded_indirect_jump_stays_conservative() {
+        // The jump register comes from a load: the interval analysis has
+        // no bound, so the jr keeps its all-block edges.
+        let mut b = ProgramBuilder::new();
+        let base = b.alloc_zeroed(8);
+        b.li(Reg(2), base as i64);
+        b.ld(Reg(1), Reg(2), 0);
+        b.jr(Reg(1));
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.has_indirect);
+        assert!(cfg.unresolved_indirect);
+        assert!(cfg.refined_indirect.is_empty());
+        let jb = cfg.block_of[2] as usize;
         assert_eq!(cfg.blocks[jb].succs.len(), cfg.blocks.len());
         assert!(cfg.reachable.iter().all(|r| *r));
+    }
+
+    #[test]
+    fn jump_table_kernel_resolves_to_its_arms() {
+        // Classic dispatch: mask an index to [0, 3], scale by the arm
+        // size, add the table base and jr. The refined CFG must edge the
+        // dispatch only into the table, keep the code after the table
+        // reachable solely via the arms' jumps, and report no unresolved
+        // indirect control flow.
+        let mut b = ProgramBuilder::new();
+        let arms = b.label();
+        let done = b.label();
+        b.li(Reg(9), 123456789); // opaque-ish selector input
+        b.andi(Reg(2), Reg(9), 3); // index in [0, 3]
+        b.li_label(Reg(1), arms); // table base (static pc)
+        b.slli(Reg(3), Reg(2), 1); // two insts per arm
+        b.add(Reg(4), Reg(1), Reg(3));
+        b.jr(Reg(4));
+        b.bind(arms);
+        for k in 0..3 {
+            b.li(Reg(5), 10 + k);
+            b.j(done);
+        }
+        b.li(Reg(5), 13); // last arm falls through to done
+        b.nop();
+        b.bind(done);
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.has_indirect);
+        assert!(!cfg.unresolved_indirect, "table dispatch fully resolved");
+        assert_eq!(cfg.refined_indirect.len(), 1);
+        let (jr_pc, (lo, hi)) = cfg.refined_indirect[0];
+        assert_eq!(jr_pc, 5);
+        assert_eq!((lo, hi), (6, 6 + 6)); // arm starts 6,8,10,12
+                                          // The dispatch edges stay inside the table (no edge back to the
+                                          // entry block, none past the table's end).
+        let jb = cfg.block_of[jr_pc as usize] as usize;
+        for &s in &cfg.blocks[jb].succs {
+            let start = cfg.blocks[s as usize].start;
+            assert!(
+                (6..=12).contains(&start),
+                "edge to pc {start} escapes the table"
+            );
+        }
+        // Everything is reachable and no bogus loop is reported (the
+        // conservative graph used to fabricate back edges here).
+        assert!(cfg.reachable.iter().all(|r| *r));
+        assert!(cfg.back_edges.is_empty());
+        assert!(cfg.loops.is_empty());
+        // The kernel lints clean: in particular no unreachable-code or
+        // infinite-loop warnings from over-approximated indirect edges.
+        let report = crate::lint::lint_program(&p);
+        assert_eq!(report.errors(), 0, "report: {report:?}");
+        assert_eq!(report.warnings(), 0, "report: {report:?}");
     }
 }

@@ -76,29 +76,47 @@ pub struct SourceDiag {
     pub message: String,
 }
 
+/// Result of a source scan: live findings plus the findings a
+/// `// hotlint: allow` escape silenced. Reporting the suppressed set
+/// lets CI artifacts distinguish genuinely clean code from silenced
+/// code.
+#[derive(Clone, Debug, Default)]
+pub struct ScanOutcome {
+    /// Findings that count against the lint.
+    pub diags: Vec<SourceDiag>,
+    /// Findings on `hotlint: allow` lines (reported, not counted).
+    pub suppressed: Vec<SourceDiag>,
+}
+
 /// Scan one file's text. `file` is used only for reporting.
-pub fn scan_source(file: &Path, text: &str) -> Vec<SourceDiag> {
-    let mut diags = Vec::new();
-    // Track which hot function (if any) encloses each line by brace depth.
-    let mut hot: Option<(String, i64)> = None; // (name, depth at entry)
+pub fn scan_source(file: &Path, text: &str) -> ScanOutcome {
+    let mut out = ScanOutcome::default();
+    // Track which hot function (if any) encloses each line by brace
+    // depth. rustfmt wraps long signatures across lines, so the region
+    // stays open through the parameter list until the body's `{` lifts
+    // the depth (`body_opened`); a trait *declaration* (`);` with no
+    // body) instead closes when the enclosing scope's depth drops.
+    let mut hot: Option<HotRegion> = None;
     let mut depth: i64 = 0;
 
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
-        if raw.contains("hotlint: allow") {
-            depth += brace_delta(raw);
-            close_hot(&mut hot, depth);
-            continue;
-        }
-        // Strip line comments so commented-out code never fires.
+        let allow = raw.contains("hotlint: allow");
+        // Strip line comments so commented-out code never fires (the
+        // allow marker itself normally lives in the stripped comment).
         let line = match raw.find("//") {
             Some(p) => &raw[..p],
             None => raw,
         };
+        let sink = if allow {
+            &mut out.suppressed
+        } else {
+            &mut out.diags
+        };
 
         for &tok in DENIED_COLLECTIONS {
             if line.contains(tok) {
-                diags.push(SourceDiag {
+                sink.push(SourceDiag {
                     file: file.to_path_buf(),
                     line: lineno,
                     pattern: tok.to_string(),
@@ -113,13 +131,22 @@ pub fn scan_source(file: &Path, text: &str) -> Vec<SourceDiag> {
         // Enter a hot function?
         if hot.is_none() {
             if let Some(name) = hot_fn_on_line(line) {
-                hot = Some((name.to_string(), depth));
+                hot = Some(HotRegion {
+                    name: name.to_string(),
+                    entry: depth,
+                    body_opened: false,
+                });
             }
         }
-        if let Some((name, _)) = &hot {
+        if let Some(HotRegion { name, .. }) = &hot {
+            let sink = if allow {
+                &mut out.suppressed
+            } else {
+                &mut out.diags
+            };
             for &tok in DENIED_ALLOC {
                 if line.contains(tok) {
-                    diags.push(SourceDiag {
+                    sink.push(SourceDiag {
                         file: file.to_path_buf(),
                         line: lineno,
                         pattern: tok.to_string(),
@@ -135,12 +162,24 @@ pub fn scan_source(file: &Path, text: &str) -> Vec<SourceDiag> {
         depth += brace_delta(line);
         close_hot(&mut hot, depth);
     }
-    diags
+    out
 }
 
-fn close_hot(hot: &mut Option<(String, i64)>, depth: i64) {
-    if let Some((_, entry)) = hot {
-        if depth <= *entry {
+struct HotRegion {
+    name: String,
+    /// Brace depth on the `fn` line; the body lives strictly above it.
+    entry: i64,
+    /// Whether the body's `{` has been seen yet.
+    body_opened: bool,
+}
+
+fn close_hot(hot: &mut Option<HotRegion>, depth: i64) {
+    if let Some(r) = hot {
+        if depth > r.entry {
+            r.body_opened = true;
+        } else if r.body_opened || depth < r.entry {
+            // Body closed — or the enclosing scope ended before any body
+            // opened (a bodiless trait-method declaration).
             *hot = None;
         }
     }
@@ -172,18 +211,21 @@ fn brace_delta(line: &str) -> i64 {
 }
 
 /// Scan every `.rs` file under `<repo_root>/crates/pipeline/src`.
-/// Returns the number of files scanned and all findings.
-pub fn scan_pipeline(repo_root: &Path) -> io::Result<(usize, Vec<SourceDiag>)> {
+/// Returns the number of files scanned and all findings (live and
+/// suppressed).
+pub fn scan_pipeline(repo_root: &Path) -> io::Result<(usize, ScanOutcome)> {
     let root = repo_root.join("crates/pipeline/src");
     let mut files = Vec::new();
     collect_rs(&root, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
+    let mut out = ScanOutcome::default();
     for f in &files {
         let text = fs::read_to_string(f)?;
-        diags.extend(scan_source(f, &text));
+        let one = scan_source(f, &text);
+        out.diags.extend(one.diags);
+        out.suppressed.extend(one.suppressed);
     }
-    Ok((files.len(), diags))
+    Ok((files.len(), out))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -205,7 +247,7 @@ mod tests {
     #[test]
     fn hashmap_is_denied_anywhere() {
         let src = "use std::collections::HashMap;\nfn helper() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
-        let d = scan_source(Path::new("x.rs"), src);
+        let d = scan_source(Path::new("x.rs"), src).diags;
         assert!(d.len() >= 2);
         assert!(d.iter().all(|d| d.pattern == "HashMap"));
         assert_eq!(d[0].line, 1);
@@ -226,14 +268,14 @@ impl M {
     }
 }
 ";
-        let d = scan_source(Path::new("m.rs"), src);
+        let d = scan_source(Path::new("m.rs"), src).diags;
         assert_eq!(d.len(), 2, "{d:?}");
         assert!(d.iter().any(|d| d.pattern == "Vec::new(" && d.line == 3));
         assert!(d.iter().any(|d| d.pattern == "format!(" && d.line == 5));
     }
 
     #[test]
-    fn allow_escape_and_comments_are_skipped() {
+    fn allow_escape_and_comments_are_skipped_but_counted() {
         let src = "\
 fn commit_stage(&mut self) {
     let v = Vec::new(); // hotlint: allow — one-time warmup buffer
@@ -241,8 +283,12 @@ fn commit_stage(&mut self) {
     let w = 1;
 }
 ";
-        let d = scan_source(Path::new("c.rs"), src);
-        assert!(d.is_empty(), "{d:?}");
+        let out = scan_source(Path::new("c.rs"), src);
+        assert!(out.diags.is_empty(), "{:?}", out.diags);
+        // The silenced finding is still reported on the side channel.
+        assert_eq!(out.suppressed.len(), 1, "{:?}", out.suppressed);
+        assert_eq!(out.suppressed[0].pattern, "Vec::new(");
+        assert_eq!(out.suppressed[0].line, 2);
     }
 
     #[test]
@@ -257,7 +303,7 @@ impl Stage for OooIssue {
     }
 }
 ";
-        let d = scan_source(Path::new("framework.rs"), src);
+        let d = scan_source(Path::new("framework.rs"), src).diags;
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].pattern, "vec![");
         assert!(d[0].message.contains("`tick`"), "{}", d[0].message);
@@ -275,7 +321,79 @@ fn ticker(&mut self) {
     let v = Vec::new(); // not a hot function: `ticker` != `tick`
 }
 ";
-        assert!(scan_source(Path::new("f.rs"), clean).is_empty());
+        let out = scan_source(Path::new("f.rs"), clean);
+        assert!(out.diags.is_empty() && out.suppressed.is_empty());
+    }
+
+    #[test]
+    fn static_hint_spawn_consider_is_covered() {
+        // The hint-gated spawn policy's per-cycle decision point, in the
+        // rustfmt shape it actually has: a wrapped multi-line signature.
+        // A seeded allocation inside `consider` must fire, and the real
+        // shape — a mask probe plus delegation — must stay quiet.
+        let seeded = "\
+impl SpawnPolicy for StaticHintSpawn {
+    fn consider<T: Tracer, S: StageSet>(
+        m: &mut StagedCore<'_, T, S>,
+        ctx: CtxId,
+        load: UopId,
+        fi: &FetchedInst,
+    ) {
+        let lookup = m.hint_mask.to_vec();
+        let set: std::collections::HashSet<u64> = m.hints.iter().collect();
+        if m.hinted(fi.pc) {
+            m.maybe_value_predict(ctx, load, fi);
+        }
+    }
+}
+";
+        let d = scan_source(Path::new("framework.rs"), seeded).diags;
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().any(|d| d.pattern == ".to_vec(" && d.line == 8));
+        assert!(d.iter().any(|d| d.pattern == "HashSet" && d.line == 9));
+        assert!(d.iter().any(|d| d.pattern == ".collect(" && d.line == 9));
+
+        let clean = "\
+impl SpawnPolicy for StaticHintSpawn {
+    fn consider<T: Tracer, S: StageSet>(
+        m: &mut StagedCore<'_, T, S>,
+        ctx: CtxId,
+        load: UopId,
+        fi: &FetchedInst,
+    ) {
+        if m.hinted(fi.pc) {
+            m.maybe_value_predict(ctx, load, fi);
+        }
+    }
+}
+";
+        let out = scan_source(Path::new("framework.rs"), clean);
+        assert!(out.diags.is_empty() && out.suppressed.is_empty());
+    }
+
+    #[test]
+    fn bodiless_trait_declaration_does_not_leak_hot_tracking() {
+        // The `SpawnPolicy` trait declares `consider` with `);` and no
+        // body; the hot region must end with the trait's scope rather
+        // than swallowing whatever function follows.
+        let src = "\
+pub trait SpawnPolicy {
+    fn consider<T: Tracer, S: StageSet>(
+        m: &mut StagedCore<'_, T, S>,
+        ctx: CtxId,
+    );
+}
+fn build_tables() -> Vec<u64> {
+    let v = vec![0u64; 64];
+    v
+}
+";
+        let out = scan_source(Path::new("framework.rs"), src);
+        assert!(
+            out.diags.is_empty() && out.suppressed.is_empty(),
+            "{:?}",
+            out.diags
+        );
     }
 
     #[test]
@@ -289,7 +407,7 @@ fn other(&mut self) {
     let v = vec![1, 2];
 }
 ";
-        let d = scan_source(Path::new("i.rs"), src);
+        let d = scan_source(Path::new("i.rs"), src).diags;
         assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -52,19 +52,25 @@ pub mod cfg;
 pub mod dataflow;
 pub mod diff;
 pub mod hotlint;
+pub mod induction;
 pub mod lint;
 pub mod liveness;
 pub mod loc;
 pub mod ranges;
 pub mod reaching;
+pub mod spawnsite;
 
 pub use bitset::BitSet;
 pub use cfg::{BasicBlock, Cfg, NaturalLoop};
 pub use diff::{validate_against_interp, DiffReport};
-pub use hotlint::{scan_pipeline, scan_source, SourceDiag};
+pub use hotlint::{scan_pipeline, scan_source, ScanOutcome, SourceDiag};
+pub use induction::InductionClass;
 pub use lint::{lint_program, Diag, LintReport, Severity};
 pub use loc::{Loc, NUM_LOCS};
+pub use spawnsite::{
+    analyze_spawn_sites, validate_spawn_hints, HintCheckStats, SiteKind, SpawnHints, SpawnSite,
+};
 
 /// Version tag folded into experiment-cache lint descriptors; bump when
 /// any analysis or lint rule changes meaningfully.
-pub const ANALYSIS_VERSION: &str = "mtvp-analysis-v1";
+pub const ANALYSIS_VERSION: &str = "mtvp-analysis-v2";

@@ -55,6 +55,7 @@ pub struct Diag {
 }
 
 /// Everything the linter learned about one program.
+#[derive(Clone, Debug)]
 pub struct LintReport {
     /// Program name (from the builder).
     pub name: String,
@@ -192,7 +193,7 @@ fn lint_with(
         .filter(|(b, _)| cfg.reachable[*b])
         .flat_map(|(_, blk)| blk.pcs())
         .any(|pc| program.code[pc as usize].is_halt());
-    if !any_reachable_halt && !cfg.has_indirect && n > 0 {
+    if !any_reachable_halt && !cfg.unresolved_indirect && n > 0 {
         diags.push(Diag {
             severity: Severity::Error,
             rule: "no-reachable-halt",
@@ -329,13 +330,22 @@ fn lint_with(
 
     // -- info ------------------------------------------------------------
     if cfg.has_indirect {
+        let message = if cfg.unresolved_indirect {
+            "program contains indirect jumps; CFG edges are fully \
+             conservative"
+                .to_string()
+        } else {
+            format!(
+                "program contains indirect jumps; all {} resolved to \
+                 bounded target ranges by the interval analysis",
+                cfg.refined_indirect.len()
+            )
+        };
         diags.push(Diag {
             severity: Severity::Info,
             rule: "indirect-jump",
             pc: None,
-            message: "program contains indirect jumps; CFG edges are fully \
-                      conservative"
-                .to_string(),
+            message,
         });
     }
 

@@ -134,8 +134,10 @@ fn transfer(inst: &mtvp_isa::Inst, regs: &mut [AbsVal; NUM_INT]) {
     }
 }
 
-/// Run the interval analysis and classify every reachable memory access.
-pub fn analyze(program: &Program, cfg: &Cfg) -> AddrRanges {
+/// Fixpoint of the interval analysis: abstract register state at each
+/// block entry (`None` = unreachable). Shared by the memory-access
+/// classifier below and the CFG's indirect-jump refinement.
+pub(crate) fn block_entry_states(program: &Program, cfg: &Cfg) -> Vec<Option<[AbsVal; NUM_INT]>> {
     let nb = cfg.blocks.len();
     // Entry state: the interpreter zeroes all registers at thread start.
     let zeroed = [AbsVal::const_(0); NUM_INT];
@@ -184,6 +186,40 @@ pub fn analyze(program: &Program, cfg: &Cfg) -> AddrRanges {
             }
         }
     }
+    state_in
+}
+
+/// Inferred value interval of the jump register at every reachable
+/// indirect jump (`jr` / `jalr`), as `(pc, Some((lo, hi)) | None)`.
+/// Computed over `cfg` as given — running it on the fully conservative
+/// CFG yields sound bounds the builder can then use to refine edges.
+pub(crate) fn indirect_targets(program: &Program, cfg: &Cfg) -> Vec<(u32, Option<(i128, i128)>)> {
+    let state_in = block_entry_states(program, cfg);
+    let mut out = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let Some(mut regs) = state_in[b] else {
+            continue; // unreachable
+        };
+        for pc in block.pcs() {
+            let inst = &program.code[pc as usize];
+            if matches!(inst.op, Op::Jr | Op::Jalr) {
+                out.push((
+                    pc,
+                    match regs[inst.rs1 as usize] {
+                        AbsVal::Range(lo, hi) => Some((lo, hi)),
+                        _ => None,
+                    },
+                ));
+            }
+            transfer(inst, &mut regs);
+        }
+    }
+    out
+}
+
+/// Run the interval analysis and classify every reachable memory access.
+pub fn analyze(program: &Program, cfg: &Cfg) -> AddrRanges {
+    let state_in = block_entry_states(program, cfg);
 
     // Classify memory accesses with the final block-entry states.
     let mut accesses = Vec::new();

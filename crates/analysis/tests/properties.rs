@@ -2,7 +2,9 @@
 //! generator: convergence in bounded work, soundness of the uninitialized
 //! -read analysis, and liveness over-approximation of observed reads.
 
-use mtvp_analysis::{lint_program, validate_against_interp, Cfg};
+use mtvp_analysis::{
+    analyze_spawn_sites, lint_program, validate_against_interp, validate_spawn_hints, Cfg,
+};
 use mtvp_workloads::synth::{random_program, SynthParams};
 use proptest::prelude::*;
 
@@ -53,5 +55,39 @@ proptest! {
         let report = validate_against_interp(&p, 1_000_000);
         prop_assert!(report.is_ok(), "synth-{}: {}", seed, report.unwrap_err());
         prop_assert!(report.unwrap().halted, "synth-{} did not halt", seed);
+    }
+
+    #[test]
+    fn induction_classification_is_dynamically_sound(seed: u64, iters in 1u64..30, ops in 5usize..40) {
+        // The spawn-hint soundness property: every `Constant` loop live-in
+        // must hold its value across an activation, and every `Affine`
+        // live-in must advance by exactly its static stride at each header
+        // visit — checked against the tracing interpreter by the
+        // differential validator on random synthetic loops.
+        let p = random_program(seed, SynthParams {
+            iterations: iters,
+            body_ops: ops,
+            arena_words_log2: 9,
+        });
+        let stats = validate_spawn_hints(&p, 1_000_000);
+        prop_assert!(stats.is_ok(), "synth-{}: {}", seed, stats.unwrap_err());
+        prop_assert!(stats.unwrap().halted, "synth-{} did not halt", seed);
+    }
+
+    #[test]
+    fn spawn_hints_round_trip_byte_identically(seed: u64, ops in 5usize..40) {
+        // The artifact is cached and served between processes: the JSON
+        // encoding must be deterministic and lossless.
+        let p = random_program(seed, SynthParams {
+            iterations: 8,
+            body_ops: ops,
+            arena_words_log2: 9,
+        });
+        let hints = analyze_spawn_sites(&p);
+        let text = serde_json::to_string(&serde_json::to_value(&hints)).expect("stringify");
+        let back: mtvp_analysis::SpawnHints = serde_json::from_str(&text).expect("parse");
+        prop_assert_eq!(&back, &hints);
+        let text2 = serde_json::to_string(&serde_json::to_value(&back)).expect("stringify");
+        prop_assert!(text == text2, "synth-{}: re-encoding changed bytes", seed);
     }
 }

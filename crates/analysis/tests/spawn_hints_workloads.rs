@@ -1,0 +1,112 @@
+//! The spawn-hint soundness gate: the static spawn-site analysis must
+//! produce verdicts the differential validator confirms against the
+//! tracing interpreter on every shipped program — the same 39-target set
+//! `mtvp-sim lint --spawn-hints --all` covers in CI (32 registry
+//! workloads, 3 standalone kernels, 4 synth seeds).
+
+use mtvp_analysis::{analyze_spawn_sites, validate_spawn_hints, SiteKind};
+use mtvp_workloads::kernels;
+use mtvp_workloads::synth::{random_program, SynthParams};
+use mtvp_workloads::{suite, Scale};
+
+fn kernel_set() -> Vec<mtvp_isa::Program> {
+    let bytes: Vec<u8> = (0..256u32)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect();
+    vec![
+        kernels::matmul(6),
+        kernels::histogram(&bytes),
+        kernels::string_search(
+            b"the quick brown fox jumps over the lazy dog; the fox won",
+            b"fox",
+        ),
+    ]
+}
+
+#[test]
+fn hints_validate_on_every_registry_workload() {
+    let mut programs: Vec<mtvp_isa::Program> =
+        suite().into_iter().map(|w| w.build(Scale::Tiny)).collect();
+    programs.extend(kernel_set());
+    programs.extend((1..=4).map(|s| random_program(s, SynthParams::default())));
+    assert_eq!(programs.len(), 39, "the CI hint-gate target set changed");
+
+    let mut total_sites = 0usize;
+    let mut total_checks = 0u64;
+    for p in &programs {
+        let hints = analyze_spawn_sites(p);
+        assert_eq!(hints.bench, p.name, "artifact names its program");
+        total_sites += hints.sites.len();
+        let stats = validate_spawn_hints(p, 50_000_000)
+            .unwrap_or_else(|e| panic!("{}: unsound spawn hints: {e}", p.name));
+        assert!(stats.halted, "{} did not halt under validation", p.name);
+        total_checks += stats.checks;
+    }
+    // Loop-structured workloads must actually produce sites and dynamic
+    // checks — an accidentally empty analysis would "validate" trivially.
+    assert!(total_sites > programs.len(), "suspiciously few spawn sites");
+    assert!(total_checks > 1_000, "suspiciously few dynamic checks");
+}
+
+#[test]
+fn some_workload_selects_a_spawn_site() {
+    // The scoring threshold is meaningful only if real workloads clear
+    // it: at least one registry program must select a site and hint at
+    // least one load.
+    let mut selected = 0u32;
+    let mut hinted = 0usize;
+    for wl in suite() {
+        let hints = analyze_spawn_sites(&wl.build(Scale::Tiny));
+        selected += hints.selected_sites;
+        hinted += hints.hinted_loads.len();
+    }
+    assert!(selected > 0, "no registry workload selected any spawn site");
+    assert!(hinted > 0, "no registry workload hinted any load");
+}
+
+#[test]
+fn loop_sites_appear_across_the_suite() {
+    let mut loops = 0usize;
+    for wl in suite() {
+        let hints = analyze_spawn_sites(&wl.build(Scale::Tiny));
+        loops += hints
+            .sites
+            .iter()
+            .filter(|s| s.kind == SiteKind::Loop)
+            .count();
+    }
+    assert!(loops > 0, "no loop sites across the whole suite");
+}
+
+#[test]
+fn call_sites_are_enumerated_and_validated() {
+    // No shipped workload uses jal/jalr, so the call-site path gets its
+    // workout from a purpose-built caller: a loop invoking a leaf
+    // function whose continuation live-ins are statically known.
+    use mtvp_isa::{ProgramBuilder, Reg};
+    let mut b = ProgramBuilder::new();
+    b.name("call-kernel");
+    let (i, n, lr, x) = (Reg(1), Reg(2), Reg(31), Reg(5));
+    let fun = b.label();
+    b.li(i, 0);
+    b.li(n, 6);
+    let top = b.here_label();
+    b.jal(lr, fun);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    b.bind(fun);
+    b.li(x, 42);
+    b.jr(lr);
+    let p = b.build();
+
+    let hints = analyze_spawn_sites(&p);
+    let calls: Vec<_> = hints
+        .sites
+        .iter()
+        .filter(|s| s.kind == SiteKind::Call)
+        .collect();
+    assert!(!calls.is_empty(), "call site not enumerated: {hints:?}");
+    let stats = validate_spawn_hints(&p, 10_000).expect("sound call-site hints");
+    assert!(stats.halted);
+}

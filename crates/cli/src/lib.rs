@@ -104,6 +104,9 @@ pub enum Command {
         /// `--source` — run the hot-path source lint over
         /// `crates/pipeline/src` instead of analyzing programs.
         source: bool,
+        /// `--spawn-hints` — emit the spawn-site analysis artifact
+        /// (differentially validated) instead of the dataflow lint.
+        spawn_hints: bool,
         /// `--no-cache` — ignore and don't write the lint cache.
         no_cache: bool,
         /// `--cache-dir DIR` override.
@@ -277,6 +280,10 @@ fn parse_selector(s: &str) -> Result<SelectorKind, ParseArgsError> {
     mtvp_engine::parse_selector(s).map_err(|e| ParseArgsError(e.0))
 }
 
+fn parse_spawn_policy(s: &str) -> Result<mtvp_engine::SpawnPolicyKind, ParseArgsError> {
+    mtvp_engine::parse_spawn_policy(s).map_err(|e| ParseArgsError(e.0))
+}
+
 /// Positional value lookup for `--flag value` pairs.
 fn get_flag<'a>(rest: &[&'a str], name: &str) -> Result<Option<&'a str>, ParseArgsError> {
     match rest.iter().position(|a| *a == name) {
@@ -305,6 +312,9 @@ fn parse_sim_config(rest: &[&str]) -> Result<(SimConfig, Scale), ParseArgsError>
     }
     if let Some(v) = get_flag(rest, "--selector")? {
         config.selector = parse_selector(v)?;
+    }
+    if let Some(v) = get_flag(rest, "--spawn-policy")? {
+        config.spawn_policy = parse_spawn_policy(v)?;
     }
     if let Some(v) = get_flag(rest, "--spawn-latency")? {
         config.spawn_latency = v
@@ -1156,10 +1166,20 @@ fn lint_all_targets() -> Vec<String> {
     names
 }
 
+/// Per-rule counts of suppressed findings (`// hotlint: allow` escapes),
+/// sorted by rule so the JSON is deterministic.
+fn suppressed_by_rule(suppressed: &[mtvp_analysis::SourceDiag]) -> Vec<(String, u64)> {
+    let mut counts = std::collections::BTreeMap::<String, u64>::new();
+    for d in suppressed {
+        *counts.entry(d.pattern.clone()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
 /// `lint --source`: the hot-path source lint over `crates/pipeline/src`.
 fn execute_source_lint(root: Option<&str>, json: bool) -> Result<String, ParseArgsError> {
     let root = std::path::Path::new(root.unwrap_or("."));
-    let (files, diags) = mtvp_analysis::scan_pipeline(root)
+    let (files, outcome) = mtvp_analysis::scan_pipeline(root)
         .map_err(|e| ParseArgsError(format!("source lint failed under {}: {e}", root.display())))?;
     if files == 0 {
         return Err(ParseArgsError(format!(
@@ -1168,19 +1188,37 @@ fn execute_source_lint(root: Option<&str>, json: bool) -> Result<String, ParseAr
             root.display()
         )));
     }
-    if diags.is_empty() {
+    let suppressed: Vec<serde_json::Value> = suppressed_by_rule(&outcome.suppressed)
+        .into_iter()
+        .map(|(rule, count)| serde_json::json!({ "rule": rule, "count": count }))
+        .collect();
+    if outcome.diags.is_empty() {
         let out = if json {
             format!(
                 "{}\n",
-                serde_json::json!({ "files": files as u64, "findings": Vec::<u64>::new() })
+                serde_json::json!({
+                    "files": files as u64,
+                    "findings": Vec::<u64>::new(),
+                    "suppressed": suppressed,
+                    "suppressed_total": outcome.suppressed.len() as u64,
+                })
             )
-        } else {
+        } else if outcome.suppressed.is_empty() {
             format!("hot-path source lint: {files} pipeline files clean\n")
+        } else {
+            format!(
+                "hot-path source lint: {files} pipeline files clean \
+                 ({} finding(s) suppressed by `hotlint: allow`)\n",
+                outcome.suppressed.len()
+            )
         };
         return Ok(out);
     }
-    let mut msg = format!("hot-path source lint: {} finding(s):\n", diags.len());
-    for d in &diags {
+    let mut msg = format!(
+        "hot-path source lint: {} finding(s):\n",
+        outcome.diags.len()
+    );
+    for d in &outcome.diags {
         let _ = writeln!(
             msg,
             "  {}:{}: `{}` — {}",
@@ -1188,6 +1226,13 @@ fn execute_source_lint(root: Option<&str>, json: bool) -> Result<String, ParseAr
             d.line,
             d.pattern,
             d.message
+        );
+    }
+    if !outcome.suppressed.is_empty() {
+        let _ = writeln!(
+            msg,
+            "({} further finding(s) suppressed by `hotlint: allow`)",
+            outcome.suppressed.len()
         );
     }
     msg.push_str("(annotate a deliberate use with `// hotlint: allow` to accept it)");
@@ -1292,6 +1337,83 @@ fn execute_lint(
     Ok(out)
 }
 
+/// `lint --spawn-hints`: the static spawn-site analysis, differentially
+/// validated against the tracing interpreter and cached like lint runs.
+fn execute_spawn_hints(
+    benches: Vec<String>,
+    all: bool,
+    scale: Scale,
+    json: bool,
+    no_cache: bool,
+    cache_dir: Option<String>,
+) -> Result<String, ParseArgsError> {
+    let names = if all { lint_all_targets() } else { benches };
+    let cache = (!no_cache).then(|| {
+        Cache::new(
+            cache_dir
+                .map(PathBuf::from)
+                .unwrap_or_else(Cache::default_dir),
+        )
+    });
+    let mut outcomes = Vec::with_capacity(names.len());
+    for name in &names {
+        let program = lint_build(name, scale)?;
+        outcomes.push(mtvp_engine::spawn_hints_cached(
+            cache.as_ref(),
+            name,
+            scale,
+            &program,
+        ));
+    }
+    let mut out = String::new();
+    if json {
+        let programs: Vec<serde_json::Value> = outcomes
+            .iter()
+            .map(|o| {
+                serde_json::json!({
+                    "bench": o.bench.as_str(),
+                    "selected_sites": u64::from(o.selected_sites),
+                    "hinted_loads": o.hinted_loads.clone(),
+                    "checks": o.checks,
+                    "validated": o.validated,
+                    "from_cache": o.from_cache,
+                    "hints": o.hints.clone(),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "scale": format!("{scale:?}").to_lowercase(),
+            "programs": programs,
+            "unsound": outcomes.iter().filter(|o| !o.validated).count() as u64,
+        });
+        let _ = writeln!(out, "{doc}");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>8} {:>6} {:>9} {:>10}",
+            "bench", "sites", "selected", "hinted", "checks", "validated"
+        );
+        for o in &outcomes {
+            let sites = o.hints["sites"].as_array().map(Vec::len).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<16} {:>5} {:>8} {:>6} {:>9} {:>10}{}",
+                o.bench,
+                sites,
+                o.selected_sites,
+                o.hinted_loads.len(),
+                o.checks,
+                if o.validated { "yes" } else { "NO" },
+                if o.from_cache { "  (cached)" } else { "" }
+            );
+        }
+    }
+    if outcomes.iter().any(|o| !o.validated) {
+        return Err(ParseArgsError(out));
+    }
+    Ok(out)
+}
+
 impl Command {
     /// Parse an argv tail (without the program name).
     pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
@@ -1381,6 +1503,7 @@ impl Command {
             "lint" => {
                 let all = rest.contains(&"--all");
                 let source = rest.contains(&"--source");
+                let spawn_hints = rest.contains(&"--spawn-hints");
                 let scale = parse_scale(get_flag(&rest, "--scale")?.unwrap_or("tiny"))?;
                 let cache_dir = get_flag(&rest, "--cache-dir")?.map(str::to_string);
                 let root = get_flag(&rest, "--root")?.map(str::to_string);
@@ -1399,12 +1522,18 @@ impl Command {
                         "lint requires benchmark names, --all, or --source".into(),
                     ));
                 }
+                if source && spawn_hints {
+                    return Err(ParseArgsError(
+                        "--source and --spawn-hints are mutually exclusive".into(),
+                    ));
+                }
                 Ok(Command::Lint {
                     benches,
                     all,
                     scale,
                     json: rest.contains(&"--json"),
                     source,
+                    spawn_hints,
                     no_cache: rest.contains(&"--no-cache"),
                     cache_dir,
                     root,
@@ -1492,10 +1621,17 @@ impl Command {
                 scale,
                 json,
                 source,
+                spawn_hints,
                 no_cache,
                 cache_dir,
                 root,
-            } => return execute_lint(benches, all, scale, json, source, no_cache, cache_dir, root),
+            } => {
+                return if spawn_hints {
+                    execute_spawn_hints(benches, all, scale, json, no_cache, cache_dir)
+                } else {
+                    execute_lint(benches, all, scale, json, source, no_cache, cache_dir, root)
+                }
+            }
             Command::Help => out.push_str(HELP),
             Command::List => {
                 let _ = writeln!(out, "{:<10} {:<6} description", "name", "suite");
@@ -1768,7 +1904,8 @@ mtvp-sim — cycle-level SMT simulator with multithreaded value prediction
 USAGE:
   mtvp-sim list
   mtvp-sim run <bench> [--mode M] [--core C] [--contexts N] [--predictor P] [--selector S]
-                       [--spawn-latency N] [--store-buffer N] [--scale tiny|small|full]
+                       [--spawn-policy dynamic|static] [--spawn-latency N]
+                       [--store-buffer N] [--scale tiny|small|full]
                        [--no-prefetch] [--cold-start] [--json]
                        [--sample W:I:U] [--no-cache] [--cache-dir DIR]
                        [--trace[=RING]] [--trace-out FILE] [--trace-window START:END]
@@ -1778,6 +1915,8 @@ USAGE:
   mtvp-sim lint [--all | <bench>...] [--scale tiny|small|full] [--json]
                 [--no-cache] [--cache-dir DIR]
   mtvp-sim lint --source [--root REPO_DIR] [--json]
+  mtvp-sim lint --spawn-hints [--all | <bench>...] [--scale S] [--json]
+                [--no-cache] [--cache-dir DIR]
   mtvp-sim exp list
   mtvp-sim exp run <scenario> [--scale S] [--benches a,b,c] [--jobs N]
                               [--shard i/n] [--no-cache] [--cache-dir DIR]
@@ -1798,6 +1937,9 @@ CORES:      ooo (default SMT out-of-order) | inorder (scalar in-order baseline;
             requires --mode baseline, e.g. `run mcf --core inorder --mode baseline`)
 PREDICTORS: none oracle wf wf-liberal dfcm stride last-value
 SELECTORS:  always ilp-pred l3-miss-oracle
+POLICIES:   dynamic (default: every confident load may spawn) | static
+            (only loads inside statically selected spawn regions spawn;
+            requires an out-of-order value-predicting mode)
 
 EXPERIMENTS:
   `exp run` drives a declarative scenario (the paper's figures are built
@@ -1839,7 +1981,14 @@ LINT:
   whole shipped set (the CI gate requires zero errors). Results are
   cached like experiment cells. `lint --source` instead lints the
   pipeline's hot-path source for denied collections/allocations; exit
-  status is 2 when any error (or source finding) is present.
+  status is 2 when any error (or source finding) is present. With --json
+  the source lint also reports per-rule counts of findings suppressed by
+  `// hotlint: allow`. `lint --spawn-hints` runs the static spawn-site
+  analysis instead: natural loops and call continuations are scored by
+  fork-point live-in predictability (constant / affine induction /
+  accumulator / memory-carried), every predictable verdict is checked
+  against the tracing interpreter, and the cached artifact's selected
+  load PCs are what `run --spawn-policy static` uses as its spawn filter.
 
 SAMPLING:
   --sample W:I:U       two-tier sampled simulation: functionally fast-forward
@@ -2483,6 +2632,60 @@ mod tests {
             .execute()
             .unwrap_err();
         assert!(err.0.contains("unknown lint target"), "{err}");
+    }
+
+    #[test]
+    fn parses_spawn_policy_flag() {
+        match parse(&["run", "mcf", "--spawn-policy", "static", "--scale", "tiny"]).unwrap() {
+            Command::Run { config, .. } => {
+                assert_eq!(config.spawn_policy, mtvp_engine::SpawnPolicyKind::Static);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Default policy is dynamic.
+        match parse(&["run", "mcf", "--scale", "tiny"]).unwrap() {
+            Command::Run { config, .. } => {
+                assert_eq!(config.spawn_policy, mtvp_engine::SpawnPolicyKind::Dynamic);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The static policy is rejected on machines with no spawn path.
+        assert!(parse(&[
+            "run",
+            "mcf",
+            "--mode",
+            "baseline",
+            "--spawn-policy",
+            "static"
+        ])
+        .is_err());
+        assert!(parse(&["run", "mcf", "--spawn-policy", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn spawn_hints_executes_and_emits_valid_json() {
+        match parse(&["lint", "--spawn-hints", "mcf", "--json"]).unwrap() {
+            Command::Lint { spawn_hints, .. } => assert!(spawn_hints),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&["lint", "--spawn-hints", "--source", "mcf"]).is_err());
+        let cmd = parse(&[
+            "lint",
+            "--spawn-hints",
+            "mcf",
+            "matmul",
+            "--json",
+            "--no-cache",
+        ])
+        .unwrap();
+        let out = cmd.execute().expect("hints validate on shipped kernels");
+        let v: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(v["unsound"].as_u64(), Some(0));
+        let programs = v["programs"].as_array().unwrap();
+        assert_eq!(programs.len(), 2);
+        assert_eq!(programs[0]["bench"].as_str(), Some("mcf"));
+        assert_eq!(programs[0]["validated"].as_bool(), Some(true));
+        assert!(programs[0]["hints"]["sites"].as_array().is_some());
     }
 
     #[test]

@@ -81,6 +81,19 @@ pub fn parse_core(s: &str) -> Result<CoreKind, ConfigError> {
     })
 }
 
+/// Parse a spawn-policy name (`dynamic`, `static`).
+pub fn parse_spawn_policy(s: &str) -> Result<SpawnPolicyKind, ConfigError> {
+    Ok(match s {
+        "dynamic" | "dyn" => SpawnPolicyKind::Dynamic,
+        "static" | "hints" | "static-hints" => SpawnPolicyKind::Static,
+        other => {
+            return Err(ConfigError(format!(
+                "unknown spawn policy `{other}` (dynamic|static)"
+            )))
+        }
+    })
+}
+
 /// Parse a workload scale name (`tiny`, `small`, `full`).
 pub fn parse_scale(s: &str) -> Result<Scale, ConfigError> {
     match s {
@@ -130,6 +143,18 @@ pub enum CoreKind {
     /// supports [`Mode::Baseline`] only (it has no spawn policy, rename
     /// windows, or value-prediction hardware).
     InOrderScalar,
+}
+
+/// How spawn candidates are chosen at the load-rename decision point.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpawnPolicyKind {
+    /// The paper's dynamic policy: every renamed load consults the value
+    /// predictor and selector (`ValuePredictSpawn`).
+    Dynamic,
+    /// Hint-guided: only loads the static spawn-site analysis selected
+    /// are considered (`StaticHintSpawn` + a cached `SpawnHints`
+    /// artifact computed per program).
+    Static,
 }
 
 /// Two-tier sampled-simulation schedule: functionally interpret between
@@ -189,6 +214,8 @@ pub struct SimConfig {
     pub predictor: PredictorKind,
     /// Load selector.
     pub selector: SelectorKind,
+    /// Spawn-candidate policy at the load-rename decision point.
+    pub spawn_policy: SpawnPolicyKind,
     /// Thread-spawn (map flash-copy) latency in cycles (§5.2).
     pub spawn_latency: u64,
     /// Per-context speculative store buffer entries (§5.3).
@@ -238,6 +265,7 @@ impl SimConfig {
                 Mode::MultiValue => SelectorKind::L3MissOracle,
                 _ => SelectorKind::IlpPred,
             },
+            spawn_policy: SpawnPolicyKind::Dynamic,
             spawn_latency: 8,
             store_buffer: 128,
             max_values_per_load: if mode == Mode::MultiValue { 4 } else { 1 },
@@ -361,6 +389,22 @@ impl SimConfig {
                 "{:?} is a value-prediction mode and needs a predictor (try wf or oracle)",
                 self.mode
             )));
+        }
+        if self.spawn_policy == SpawnPolicyKind::Static {
+            if self.core != CoreKind::OutOfOrder {
+                return Err(ConfigError(
+                    "--spawn-policy static needs the out-of-order core (the in-order scalar \
+                     baseline has no spawn decision point to hint)"
+                        .into(),
+                ));
+            }
+            if matches!(self.mode, Mode::Baseline | Mode::WideWindow) {
+                return Err(ConfigError(format!(
+                    "--spawn-policy static is meaningless in mode {:?}: that machine never \
+                     value-predicts or spawns, so there is nothing for hints to gate",
+                    self.mode
+                )));
+            }
         }
         if let Some(s) = self.sampling {
             if s.window == 0 {
@@ -667,6 +711,42 @@ mod tests {
             CoreKind::InOrderScalar
         );
         assert!(parse_core("vliw").is_err());
+        assert_eq!(
+            parse_spawn_policy("dynamic").unwrap(),
+            SpawnPolicyKind::Dynamic
+        );
+        assert_eq!(
+            parse_spawn_policy("static").unwrap(),
+            SpawnPolicyKind::Static
+        );
+        assert!(parse_spawn_policy("psychic").is_err());
+    }
+
+    #[test]
+    fn spawn_policy_validates_and_serializes() {
+        // Static hints gate the spawn decision point, so they need a
+        // machine that has one.
+        let mut cfg = SimConfig::new(Mode::Mtvp);
+        cfg.spawn_policy = SpawnPolicyKind::Static;
+        cfg.validate().expect("static + mtvp is fine");
+
+        let mut base = SimConfig::new(Mode::Baseline);
+        base.spawn_policy = SpawnPolicyKind::Static;
+        assert!(base.validate().is_err());
+
+        let mut inorder = SimConfig::in_order();
+        inorder.spawn_policy = SpawnPolicyKind::Static;
+        assert!(inorder.validate().is_err());
+
+        // The policy axis must reach the cache key (different policies
+        // are different experiments).
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_ne!(
+            json,
+            serde_json::to_string(&SimConfig::new(Mode::Mtvp)).unwrap()
+        );
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

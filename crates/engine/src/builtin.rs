@@ -4,7 +4,7 @@
 //! artifacts and cached cells stay comparable across the refactor.
 
 use crate::scenario::{ConfigGrid, Scenario};
-use mtvp_core::{CoreKind, Mode, SamplingParams};
+use mtvp_core::{CoreKind, Mode, SamplingParams, SpawnPolicyKind};
 use mtvp_pipeline::PredictorKind;
 use mtvp_workloads::Scale;
 
@@ -23,6 +23,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         ablation(),
         sampled(),
         baseline(),
+        hinted(),
         smoke(),
     ]
 }
@@ -268,6 +269,36 @@ fn baseline() -> Scenario {
     with_series(s, "inorder", &["ooo", "mtvp4"])
 }
 
+/// Dynamic vs hint-guided spawn policy: the same realistic mtvp4 machine
+/// with the default always-consider policy next to one whose spawns are
+/// gated by the static spawn-site analysis (DESIGN.md Section 16).
+fn hinted() -> Scenario {
+    let mut s = Scenario::new(
+        "hinted",
+        "Spawn policy: dynamic vs static hints (DESIGN.md Section 16)",
+        "The realistic Wang-Franklin mtvp4 machine under the default dynamic \
+         spawn policy and under the static hint-guided policy, where only \
+         loads inside statically selected spawn regions (predictable \
+         fork-point live-ins, sufficient coverage) may spawn. A baseline \
+         anchors the speedup comparison.",
+    );
+    s.scale = Some(Scale::Tiny);
+    s.benches = vec![
+        "mcf".to_string(),
+        "swim".to_string(),
+        "mgrid".to_string(),
+        "art 1".to_string(),
+    ];
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("dynamic", Mode::Mtvp).contexts(&[4]),
+        ConfigGrid::new("static-hints", Mode::Mtvp)
+            .contexts(&[4])
+            .spawn_policy(SpawnPolicyKind::Static),
+    ];
+    with_series(s, "base", &["dynamic", "static-hints"])
+}
+
 /// The tiny CI scenario: two benchmarks, a baseline and one oracle MTVP
 /// machine. Fast enough to run twice in the `exp-smoke` job.
 fn smoke() -> Scenario {
@@ -292,7 +323,7 @@ mod tests {
     #[test]
     fn every_builtin_expands_cleanly() {
         let all = builtin_scenarios();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 14);
         for s in &all {
             let configs = s.configs().unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(!configs.is_empty(), "{} expands to nothing", s.name);
@@ -343,6 +374,20 @@ mod tests {
         let cold = &abl.iter().find(|(l, _)| l == "mtvp/cold-start").unwrap().1;
         assert!(!cold.warm_start);
         assert_eq!(cold.mshrs, 16);
+    }
+
+    #[test]
+    fn hinted_scenario_selects_the_static_policy() {
+        let configs = builtin("hinted").unwrap().configs().unwrap();
+        let stat = &configs.iter().find(|(l, _)| l == "static-hints").unwrap().1;
+        assert_eq!(stat.spawn_policy, SpawnPolicyKind::Static);
+        assert_eq!(stat.contexts, 4);
+        let dynamic = &configs.iter().find(|(l, _)| l == "dynamic").unwrap().1;
+        assert_eq!(dynamic.spawn_policy, SpawnPolicyKind::Dynamic);
+        // Apart from the policy the two machines are identical.
+        let mut twin = stat.clone();
+        twin.spawn_policy = SpawnPolicyKind::Dynamic;
+        assert_eq!(&twin, dynamic);
     }
 
     #[test]

@@ -31,6 +31,8 @@ const TRACE_MARKER: &str = "mtvp-trace-v1";
 const LINT_MARKER: &str = "mtvp-lint-v1";
 /// Format marker (first line) for functional checkpoints.
 const CKPT_MARKER: &str = "mtvp-ckpt-v1";
+/// Format marker for spawn-hint entries.
+const HINTS_MARKER: &str = "mtvp-hints-v1";
 
 /// One persisted simulation result.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -126,6 +128,61 @@ impl LintEntry {
     }
 }
 
+/// One persisted spawn-site analysis result: the [`mtvp_analysis::SpawnHints`]
+/// artifact of one (benchmark × scale), plus the differential-validator
+/// verdict so consumers can refuse unvalidated hints without re-running
+/// the interpreter.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HintsEntry {
+    /// File-format marker ([`HINTS_MARKER`]).
+    pub format: String,
+    /// Simulator version tag ([`SIM_VERSION`]) at write time.
+    pub version: String,
+    /// Canonical descriptor the key was derived from.
+    pub descriptor: String,
+    /// Benchmark name.
+    pub bench: String,
+    /// Build scale tag (`tiny`/`small`/`full`).
+    pub scale: String,
+    /// Sites the analysis selected for spawning.
+    pub selected_sites: u32,
+    /// Load PCs inside selected regions (the spawn filter).
+    pub hinted_loads: Vec<u64>,
+    /// Dynamic checks the differential validator performed (0 when
+    /// validation was skipped).
+    pub checks: u64,
+    /// Whether the differential validator confirmed every predictable
+    /// verdict against the tracing interpreter.
+    pub validated: bool,
+    /// The full [`mtvp_analysis::SpawnHints`] artifact as JSON.
+    pub hints: serde_json::Value,
+}
+
+impl HintsEntry {
+    /// Build a well-formed entry for `descriptor` from a hints artifact.
+    pub fn new(
+        descriptor: &str,
+        bench: &str,
+        scale: &str,
+        hints: &mtvp_analysis::SpawnHints,
+        checks: u64,
+        validated: bool,
+    ) -> HintsEntry {
+        HintsEntry {
+            format: HINTS_MARKER.to_string(),
+            version: SIM_VERSION.to_string(),
+            descriptor: descriptor.to_string(),
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            selected_sites: hints.selected_sites,
+            hinted_loads: hints.hinted_loads.clone(),
+            checks,
+            validated,
+            hints: serde_json::to_value(hints),
+        }
+    }
+}
+
 /// Handle to a cache directory.
 #[derive(Clone, Debug)]
 pub struct Cache {
@@ -162,6 +219,10 @@ impl Cache {
 
     fn lint_path(&self, key: &JobKey) -> PathBuf {
         self.dir.join(format!("{key}.lint.json"))
+    }
+
+    fn hints_path(&self, key: &JobKey) -> PathBuf {
+        self.dir.join(format!("{key}.hints.json"))
     }
 
     /// Whether a cell entry exists for `key` (no verification).
@@ -211,6 +272,24 @@ impl Cache {
         let text = serde_json::to_string_pretty(entry)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
         self.write_atomic(&self.lint_path(key), text.as_bytes())
+    }
+
+    /// Load and verify the spawn-hints entry for `key`. `None` means
+    /// "analyze it again" (miss, corrupt entry, or stale descriptor).
+    pub fn load_hints(&self, key: &JobKey, descriptor: &str) -> Option<HintsEntry> {
+        let text = std::fs::read_to_string(self.hints_path(key)).ok()?;
+        let entry: HintsEntry = serde_json::from_str(&text).ok()?;
+        (entry.format == HINTS_MARKER
+            && entry.version == SIM_VERSION
+            && entry.descriptor == descriptor)
+            .then_some(entry)
+    }
+
+    /// Persist a spawn-hints entry atomically (temp file + rename).
+    pub fn store_hints(&self, key: &JobKey, entry: &HintsEntry) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        self.write_atomic(&self.hints_path(key), text.as_bytes())
     }
 
     /// Load the reference trace for `key`, verifying the stored

@@ -1,0 +1,156 @@
+//! Cached spawn-site analysis: the engine-side wrapper that computes a
+//! [`mtvp_analysis::SpawnHints`] artifact for a (benchmark × scale),
+//! differentially validates it against the tracing interpreter, and
+//! persists the result with the same content-addressed resumability as
+//! experiment cells. The `StaticHintSpawn` pipeline policy consumes the
+//! `hinted_loads` list as its spawn filter.
+
+use crate::cache::{Cache, HintsEntry};
+use crate::key::{hints_descriptor, key_of, scale_tag};
+use mtvp_analysis::{analyze_spawn_sites, validate_spawn_hints, SpawnHints};
+use mtvp_isa::Program;
+use mtvp_workloads::Scale;
+
+/// Dynamic-step budget for the differential validator. Registry programs
+/// at tiny/small scale run well under this; the cap only guards against
+/// a pathological synthetic input.
+const VALIDATE_MAX_STEPS: u64 = 50_000_000;
+
+/// Result of one (possibly cached) spawn-site analysis.
+#[derive(Clone, Debug)]
+pub struct HintsOutcome {
+    /// Benchmark name the program was built from.
+    pub bench: String,
+    /// Sites the analysis selected for spawning.
+    pub selected_sites: u32,
+    /// Load PCs inside selected regions (the spawn filter).
+    pub hinted_loads: Vec<u64>,
+    /// Dynamic checks the differential validator performed.
+    pub checks: u64,
+    /// Whether the validator confirmed every predictable verdict.
+    pub validated: bool,
+    /// Full [`SpawnHints`] artifact as JSON.
+    pub hints: serde_json::Value,
+    /// Whether the result came from the cache.
+    pub from_cache: bool,
+}
+
+/// Analyze spawn sites of `program` (already built for `bench` at
+/// `scale`), differentially validate the verdicts, and consult/populate
+/// `cache` when one is provided.
+///
+/// An unsound artifact (validator rejection) is never persisted: the
+/// function panics instead, because a rejection means the static
+/// analysis itself is broken — there is no recoverable "retry" state.
+pub fn spawn_hints_cached(
+    cache: Option<&Cache>,
+    bench: &str,
+    scale: Scale,
+    program: &Program,
+) -> HintsOutcome {
+    let desc = hints_descriptor(bench, scale);
+    let key = key_of(&desc);
+    if let Some(c) = cache {
+        if let Some(hit) = c.load_hints(&key, &desc) {
+            return HintsOutcome {
+                bench: bench.to_string(),
+                selected_sites: hit.selected_sites,
+                hinted_loads: hit.hinted_loads,
+                checks: hit.checks,
+                validated: hit.validated,
+                hints: hit.hints,
+                from_cache: true,
+            };
+        }
+    }
+    let hints = analyze_spawn_sites(program);
+    let stats = match validate_spawn_hints(program, VALIDATE_MAX_STEPS) {
+        Ok(s) => s,
+        Err(e) => panic!("unsound spawn hints for {bench}: {e}"),
+    };
+    let entry = HintsEntry::new(&desc, bench, scale_tag(scale), &hints, stats.checks, true);
+    if let Some(c) = cache {
+        // Failure to persist is not failure to analyze.
+        let _ = c.store_hints(&key, &entry);
+    }
+    HintsOutcome {
+        bench: bench.to_string(),
+        selected_sites: entry.selected_sites,
+        hinted_loads: entry.hinted_loads,
+        checks: entry.checks,
+        validated: entry.validated,
+        hints: entry.hints,
+        from_cache: false,
+    }
+}
+
+/// The hinted-load PCs for `program`, computed without validation or
+/// caching. This is the hot path the run layer uses to lower
+/// `SpawnPolicyKind::Static` into `VpConfig::hinted_pcs`: pure static
+/// analysis, deterministic, cheap relative to a detailed simulation.
+pub fn hinted_loads_for(program: &Program) -> Vec<u64> {
+    analyze_spawn_sites(program).hinted_loads
+}
+
+/// Re-export convenience: the raw artifact for one program.
+pub fn spawn_hints_for(program: &Program) -> SpawnHints {
+    analyze_spawn_sites(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvp_isa::{ProgramBuilder, Reg};
+
+    fn scratch() -> std::path::PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("mtvp-hints-unit-{}-{n}", std::process::id()))
+    }
+
+    /// A fully predictable streaming loop — affine induction variable,
+    /// affine base pointer, loop-invariant bound — whose single load is
+    /// the canonical selected spawn hint.
+    fn stream_kernel() -> mtvp_isa::Program {
+        let mut b = ProgramBuilder::new();
+        let base = b.alloc_u64(&[7; 64]);
+        let (p, i, n) = (Reg(1), Reg(2), Reg(3));
+        b.li(p, base as i64).li(i, 0).li(n, 64);
+        let top = b.here_label();
+        b.ld(Reg(0), p, 0); // load to r0: pure touch, no def
+        b.addi(p, p, 8);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn second_analysis_is_served_from_cache() {
+        let dir = scratch();
+        let cache = Cache::new(&dir);
+        let p = stream_kernel();
+        let first = spawn_hints_cached(Some(&cache), "unit-bench", Scale::Tiny, &p);
+        assert!(!first.from_cache);
+        assert!(first.validated);
+        assert!(first.checks > 0);
+        assert!(first.selected_sites >= 1);
+        assert!(!first.hinted_loads.is_empty());
+        let second = spawn_hints_cached(Some(&cache), "unit-bench", Scale::Tiny, &p);
+        assert!(second.from_cache);
+        assert_eq!(second.hinted_loads, first.hinted_loads);
+        assert_eq!(second.hints, first.hints);
+        // Without a cache, every run is fresh.
+        let none = spawn_hints_cached(None, "unit-bench", Scale::Tiny, &p);
+        assert!(!none.from_cache);
+        assert_eq!(none.hinted_loads, first.hinted_loads);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hinted_loads_match_the_artifact() {
+        let p = stream_kernel();
+        let hints = spawn_hints_for(&p);
+        assert_eq!(hinted_loads_for(&p), hints.hinted_loads);
+    }
+}

@@ -123,6 +123,18 @@ pub fn lint_descriptor(bench: &str, scale: Scale) -> String {
     )
 }
 
+/// Canonical descriptor of one spawn-site analysis artifact
+/// (benchmark × scale). Versioned by both the simulator (workload
+/// generation feeds the analyzed program) and the analysis (lattice or
+/// scoring changes invalidate cached hints).
+pub fn hints_descriptor(bench: &str, scale: Scale) -> String {
+    format!(
+        "{SIM_VERSION}|spawn-hints|{}|{bench}|{}",
+        mtvp_analysis::ANALYSIS_VERSION,
+        scale_tag(scale)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +159,13 @@ mod tests {
         assert_ne!(g, key_of(&ckpt_descriptor("mcf", Scale::Tiny, 100_000)));
         assert_ne!(g, key_of(&ckpt_descriptor("mcf", Scale::Small, 50_000)));
         assert!(lint_descriptor("mcf", Scale::Tiny).contains(mtvp_analysis::ANALYSIS_VERSION));
+        let h = key_of(&hints_descriptor("mcf", Scale::Tiny));
+        assert_ne!(f, h);
+        assert_ne!(
+            hints_descriptor("mcf", Scale::Tiny),
+            hints_descriptor("mcf", Scale::Small)
+        );
+        assert!(hints_descriptor("mcf", Scale::Tiny).contains(mtvp_analysis::ANALYSIS_VERSION));
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod builtin;
 pub mod cache;
 pub mod coalesce;
 pub mod engine;
+pub mod hints;
 pub mod key;
 pub mod lint;
 pub mod partition;
@@ -57,14 +58,15 @@ pub mod scheduler;
 pub mod sweep;
 
 pub use builtin::{builtin, builtin_scenarios};
-pub use cache::{Cache, CellEntry, Checkpoint, LintEntry};
+pub use cache::{Cache, CellEntry, Checkpoint, HintsEntry, LintEntry};
 pub use coalesce::{Coalesced, Coalescer};
 pub use engine::{
     render_speedup_table, CacheMode, Engine, EngineOptions, PeerFetch, RunReport, StatusReport,
 };
+pub use hints::{hinted_loads_for, spawn_hints_cached, spawn_hints_for, HintsOutcome};
 pub use key::{
-    cell_descriptor, ckpt_descriptor, key_of, lint_descriptor, trace_descriptor, JobKey,
-    SIM_VERSION,
+    cell_descriptor, ckpt_descriptor, hints_descriptor, key_of, lint_descriptor, trace_descriptor,
+    JobKey, SIM_VERSION,
 };
 pub use lint::{lint_program_cached, LintOutcome};
 pub use partition::{owner_of, partition};
@@ -79,8 +81,8 @@ pub use sweep::{Cell, Sweep};
 // The experiment-level vocabulary, re-exported so dependents need only
 // this crate (mirrors the old `mtvp_core` surface).
 pub use mtvp_core::{
-    parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, ConfigError, CoreKind,
-    Mode, SamplingParams, SimConfig,
+    parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, parse_spawn_policy,
+    ConfigError, CoreKind, Mode, SamplingParams, SimConfig, SpawnPolicyKind,
 };
 pub use mtvp_obs::{chrome_trace, pipeview, Event, Registry, RingTracer};
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};

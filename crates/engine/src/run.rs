@@ -1,12 +1,25 @@
 //! One-call simulation: reference run + traced oracle + cycle simulation,
 //! with architectural validation built in.
 
-use mtvp_core::{CoreKind, SimConfig};
+use mtvp_core::{CoreKind, SimConfig, SpawnPolicyKind};
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::Program;
 use mtvp_obs::{NullTracer, RingTracer};
-use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats};
+use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats, PipelineConfig, StaticHintMachine};
 use std::sync::Arc;
+
+/// Lower `cfg` to a pipeline configuration for `program`. Under the
+/// static spawn policy this is where the spawn-site analysis runs: the
+/// selected sites' load PCs become `VpConfig::hinted_pcs`, the filter
+/// `StaticHintSpawn` consults at rename. The analysis is deterministic,
+/// so every build of the same (config, program) pair sees the same hints.
+pub(crate) fn lowered_pipeline_config(cfg: &SimConfig, program: &Program) -> PipelineConfig {
+    let mut p = cfg.to_pipeline_config();
+    if cfg.spawn_policy == SpawnPolicyKind::Static {
+        p.vp.hinted_pcs = crate::hints::hinted_loads_for(program);
+    }
+    p
+}
 
 /// The outcome of simulating one program under one configuration.
 #[derive(Clone, Debug)]
@@ -51,11 +64,18 @@ pub fn run_with_trace(
     dyn_instrs: u64,
     trace: Arc<mtvp_isa::trace::Trace>,
 ) -> RunResult {
-    // The only place the core axis becomes a concrete machine type: every
-    // core module below this match is reached through the `Core` trait.
-    match cfg.core {
-        CoreKind::OutOfOrder => run_with_trace_on::<Machine>(cfg, program, dyn_instrs, trace),
-        CoreKind::InOrderScalar => {
+    // The only place the (core, spawn policy) axes become a concrete
+    // machine type: every core module below this match is reached through
+    // the `Core` trait. The in-order core has no spawn decision point, so
+    // its arm ignores the policy (validate() rejects the combination).
+    match (cfg.core, cfg.spawn_policy) {
+        (CoreKind::OutOfOrder, SpawnPolicyKind::Dynamic) => {
+            run_with_trace_on::<Machine>(cfg, program, dyn_instrs, trace)
+        }
+        (CoreKind::OutOfOrder, SpawnPolicyKind::Static) => {
+            run_with_trace_on::<StaticHintMachine>(cfg, program, dyn_instrs, trace)
+        }
+        (CoreKind::InOrderScalar, _) => {
             run_with_trace_on::<InOrderMachine>(cfg, program, dyn_instrs, trace)
         }
     }
@@ -68,7 +88,7 @@ fn run_with_trace_on<'p, C: Core<'p>>(
     trace: Arc<mtvp_isa::trace::Trace>,
 ) -> RunResult {
     let mut machine = C::build_core(
-        cfg.to_pipeline_config(),
+        lowered_pipeline_config(cfg, program),
         cfg.to_mem_config(),
         program,
         Some(trace),
@@ -105,9 +125,16 @@ pub fn run_program_traced(
     program: &Program,
     opts: &TraceOptions,
 ) -> (RunResult, RingTracer) {
-    match cfg.core {
-        CoreKind::OutOfOrder => run_traced_on::<Machine<RingTracer>>(cfg, program, opts),
-        CoreKind::InOrderScalar => run_traced_on::<InOrderMachine<RingTracer>>(cfg, program, opts),
+    match (cfg.core, cfg.spawn_policy) {
+        (CoreKind::OutOfOrder, SpawnPolicyKind::Dynamic) => {
+            run_traced_on::<Machine<RingTracer>>(cfg, program, opts)
+        }
+        (CoreKind::OutOfOrder, SpawnPolicyKind::Static) => {
+            run_traced_on::<StaticHintMachine<RingTracer>>(cfg, program, opts)
+        }
+        (CoreKind::InOrderScalar, _) => {
+            run_traced_on::<InOrderMachine<RingTracer>>(cfg, program, opts)
+        }
     }
 }
 
@@ -122,7 +149,7 @@ fn run_traced_on<'p, C: Core<'p, RingTracer>>(
         tracer = tracer.with_window(start, end);
     }
     let mut machine = C::build_core(
-        cfg.to_pipeline_config(),
+        lowered_pipeline_config(cfg, program),
         cfg.to_mem_config(),
         program,
         Some(trace),
@@ -147,6 +174,25 @@ mod tests {
         assert!(r.stats.halted);
         assert_eq!(r.stats.committed, r.dyn_instrs);
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn static_spawn_policy_runs_and_validates() {
+        let wl = suite().into_iter().find(|w| w.name == "swim").unwrap();
+        let program = wl.build(Scale::Tiny);
+        let (n, trace) = reference_trace(&program);
+        let mut dynamic = SimConfig::new(Mode::Mtvp);
+        dynamic.contexts = 4;
+        let mut hinted = dynamic.clone();
+        hinted.spawn_policy = SpawnPolicyKind::Static;
+        hinted.validate().unwrap();
+        let a = run_with_trace(&dynamic, &program, n, trace.clone());
+        let b = run_with_trace(&hinted, &program, n, trace);
+        // Same architectural work under either policy; the hint filter
+        // can only gate spawns, never change committed-path semantics.
+        assert_eq!(a.stats.committed, b.stats.committed);
+        assert!(b.stats.halted);
+        assert!(b.stats.vp.mtvp_spawns <= a.stats.vp.mtvp_spawns);
     }
 
     #[test]

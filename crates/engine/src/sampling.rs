@@ -41,13 +41,13 @@
 
 use crate::cache::{Cache, Checkpoint};
 use crate::key::{ckpt_descriptor, key_of};
-use mtvp_core::{CoreKind, SimConfig};
+use mtvp_core::{CoreKind, SimConfig, SpawnPolicyKind};
 use mtvp_isa::interp::Interp;
 use mtvp_isa::trace::Trace;
 use mtvp_isa::Program;
 use mtvp_mem::MainMemory;
 use mtvp_obs::NullTracer;
-use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats};
+use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats, StaticHintMachine};
 use mtvp_workloads::Scale;
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
@@ -121,9 +121,14 @@ pub fn run_sampled(
     // The detailed tier is generic over the `Core` trait — the sampling
     // state-transfer surface (drain/jump/load/replace) is part of it, so
     // two-tier simulation works for any core module.
-    match cfg.core {
-        CoreKind::OutOfOrder => run_sampled_on::<Machine>(cfg, program, dyn_instrs, trace, ckpts),
-        CoreKind::InOrderScalar => {
+    match (cfg.core, cfg.spawn_policy) {
+        (CoreKind::OutOfOrder, SpawnPolicyKind::Dynamic) => {
+            run_sampled_on::<Machine>(cfg, program, dyn_instrs, trace, ckpts)
+        }
+        (CoreKind::OutOfOrder, SpawnPolicyKind::Static) => {
+            run_sampled_on::<StaticHintMachine>(cfg, program, dyn_instrs, trace, ckpts)
+        }
+        (CoreKind::InOrderScalar, _) => {
             run_sampled_on::<InOrderMachine>(cfg, program, dyn_instrs, trace, ckpts)
         }
     }
@@ -270,7 +275,7 @@ fn run_sampled_on<'p, C: Core<'p>>(
         );
         from_reset = interp.dyn_instrs() == 0;
         let mut m = C::build_core(
-            cfg.to_pipeline_config(),
+            crate::run::lowered_pipeline_config(cfg, program),
             cfg.to_mem_config(),
             program,
             Some(trace.clone()),

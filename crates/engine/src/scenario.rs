@@ -13,8 +13,8 @@
 //! variant names.
 
 use mtvp_core::{
-    parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, CoreKind, Mode,
-    SamplingParams, SimConfig, Workload,
+    parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, parse_spawn_policy,
+    CoreKind, Mode, SamplingParams, SimConfig, SpawnPolicyKind, Workload,
 };
 use mtvp_pipeline::{PredictorKind, SelectorKind};
 use mtvp_workloads::Scale;
@@ -60,6 +60,9 @@ pub struct ConfigGrid {
     pub predictor: Option<PredictorKind>,
     /// Override the load selector.
     pub selector: Option<SelectorKind>,
+    /// Override the spawn policy (scenario files accept `"dynamic"` /
+    /// `"static"`; `None`: mode default, i.e. dynamic).
+    pub spawn_policy: Option<SpawnPolicyKind>,
     /// Override the stride prefetcher switch.
     pub prefetcher: Option<bool>,
     /// Override cache warm-start.
@@ -85,6 +88,7 @@ impl ConfigGrid {
             mshrs: Vec::new(),
             predictor: None,
             selector: None,
+            spawn_policy: None,
             prefetcher: None,
             warm_start: None,
             max_values_per_load: None,
@@ -141,6 +145,12 @@ impl ConfigGrid {
         self
     }
 
+    /// Builder: spawn-policy override.
+    pub fn spawn_policy(mut self, p: SpawnPolicyKind) -> ConfigGrid {
+        self.spawn_policy = Some(p);
+        self
+    }
+
     /// Builder: prefetcher override.
     pub fn prefetcher(mut self, on: bool) -> ConfigGrid {
         self.prefetcher = Some(on);
@@ -173,6 +183,9 @@ impl ConfigGrid {
         }
         if let Some(s) = self.selector {
             base.selector = s;
+        }
+        if let Some(p) = self.spawn_policy {
+            base.spawn_policy = p;
         }
         if let Some(on) = self.prefetcher {
             base.prefetcher = on;
@@ -368,6 +381,14 @@ fn selector_value(v: &Value) -> Result<SelectorKind, serde::Error> {
     parse_selector(s).map_err(|e| serde::Error(e.0))
 }
 
+fn spawn_policy_value(v: &Value) -> Result<SpawnPolicyKind, serde::Error> {
+    if let Ok(p) = SpawnPolicyKind::from_value(v) {
+        return Ok(p);
+    }
+    let s = serde::str_get(v)?;
+    parse_spawn_policy(s).map_err(|e| serde::Error(e.0))
+}
+
 fn sampling_value(v: &Value) -> Result<SamplingParams, serde::Error> {
     if let Ok(s) = SamplingParams::from_value(v) {
         return Ok(s);
@@ -411,6 +432,7 @@ impl Deserialize for ConfigGrid {
         grid.mshrs = tolerant(v, "mshrs", Vec::from_value, Vec::new())?;
         grid.predictor = tolerant(v, "predictor", |x| predictor_value(x).map(Some), None)?;
         grid.selector = tolerant(v, "selector", |x| selector_value(x).map(Some), None)?;
+        grid.spawn_policy = tolerant(v, "spawn_policy", |x| spawn_policy_value(x).map(Some), None)?;
         grid.prefetcher = tolerant(v, "prefetcher", |x| bool::from_value(x).map(Some), None)?;
         grid.warm_start = tolerant(v, "warm_start", |x| bool::from_value(x).map(Some), None)?;
         grid.max_values_per_load = tolerant(
@@ -542,6 +564,43 @@ mod tests {
         // Unlabelled grids fall back to the mode name.
         let s = Scenario::from_json(r#"{"name": "x", "grids": [{"mode": "mtvp"}]}"#).unwrap();
         assert_eq!(s.configs().unwrap()[0].0, "mtvp");
+    }
+
+    #[test]
+    fn spawn_policy_axis_round_trips_and_accepts_cli_vocabulary() {
+        let mut s = Scenario::new("hinted-x", "x", "");
+        s.grids = vec![
+            ConfigGrid::new("dynamic", Mode::Mtvp),
+            ConfigGrid::new("static", Mode::Mtvp).spawn_policy(SpawnPolicyKind::Static),
+        ];
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let configs = back.configs().unwrap();
+        assert_eq!(configs[0].1.spawn_policy, SpawnPolicyKind::Dynamic);
+        assert_eq!(configs[1].1.spawn_policy, SpawnPolicyKind::Static);
+
+        // Sparse JSON with the CLI spelling.
+        let text = r#"{
+            "name": "mini",
+            "grids": [
+                {"label": "hints", "mode": "mtvp", "spawn_policy": "static"},
+                {"label": "dyn", "mode": "mtvp"}
+            ]
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        let configs = s.configs().unwrap();
+        assert_eq!(configs[0].1.spawn_policy, SpawnPolicyKind::Static);
+        assert_eq!(configs[1].1.spawn_policy, SpawnPolicyKind::Dynamic);
+
+        // The static policy on the in-order core is rejected at expand.
+        let bad = Scenario::from_json(
+            r#"{"name": "bad", "grids": [
+                {"label": "x", "mode": "baseline", "core": "inorder", "spawn_policy": "static"}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(bad.configs().is_err());
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub struct VpConfig {
     pub ilp_pred: IlpPredConfig,
     /// Table size for the simple (stride/last-value) predictors.
     pub simple_entries: usize,
+    /// Load pcs the static spawn-hint analysis selected; consumed by the
+    /// `StaticHintSpawn` policy as a spawn filter (empty = no hints).
+    pub hinted_pcs: Vec<u64>,
 }
 
 impl VpConfig {
@@ -96,6 +99,7 @@ impl VpConfig {
             dfcm: DfcmConfig::hpca2005(),
             ilp_pred: IlpPredConfig::hpca2005(),
             simple_entries: 4096,
+            hinted_pcs: Vec::new(),
         }
     }
 

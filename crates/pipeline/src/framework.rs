@@ -175,6 +175,28 @@ impl SpawnPolicy for ValuePredictSpawn {
     }
 }
 
+/// Hint-guided spawn policy: the full §3.1 decision tree, but only at
+/// loads the static spawn-site analysis selected (`VpConfig.hinted_pcs`,
+/// lowered to a per-pc mask at build time). Unhinted loads rename like
+/// any other instruction — the predictor is neither queried nor trained
+/// on them, so spawning concentrates on regions whose live-ins were
+/// proven predictable.
+pub struct StaticHintSpawn;
+
+impl SpawnPolicy for StaticHintSpawn {
+    #[inline(always)]
+    fn consider<T: Tracer, S: StageSet>(
+        m: &mut StagedCore<'_, T, S>,
+        ctx: CtxId,
+        load: UopId,
+        fi: &FetchedInst,
+    ) {
+        if m.hinted(fi.pc) {
+            m.maybe_value_predict(ctx, load, fi);
+        }
+    }
+}
+
 /// No value prediction and no thread spawning: loads rename like any
 /// other instruction. The entire decision point compiles away.
 pub struct NoSpawn;
@@ -205,6 +227,23 @@ impl StageSet for SmtOooStages {
     type Writeback = EventWriteback;
     type Commit = ReconcileCommit;
     type Spawn = ValuePredictSpawn;
+}
+
+/// The SMT out-of-order core with spawning restricted to statically
+/// hinted loads: identical to [`SmtOooStages`] except the spawn decision
+/// point is [`StaticHintSpawn`].
+/// [`StaticHintMachine`](crate::StaticHintMachine) is `StagedCore`
+/// composed with this set.
+pub struct SmtOooStaticHintStages;
+
+impl StageSet for SmtOooStaticHintStages {
+    const NAME: &'static str = "smt-ooo-static-hint";
+    type Fetch = IcountFetch;
+    type Rename = RenameDispatch;
+    type Issue = OooIssue;
+    type Writeback = EventWriteback;
+    type Commit = ReconcileCommit;
+    type Spawn = StaticHintSpawn;
 }
 
 /// A single-context in-order scalar baseline: same front end, memory

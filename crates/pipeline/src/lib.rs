@@ -55,7 +55,10 @@ mod stats;
 mod uop;
 
 pub use config::{FetchPolicy, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
-pub use framework::{Core, InOrderStages, SmtOooStages, SpawnPolicy, Stage, StageSet};
-pub use machine::{InOrderMachine, Machine, StagedCore};
+pub use framework::{
+    Core, InOrderStages, SmtOooStages, SmtOooStaticHintStages, SpawnPolicy, Stage, StageSet,
+    StaticHintSpawn,
+};
+pub use machine::{InOrderMachine, Machine, StagedCore, StaticHintMachine};
 pub use regfile::{PhysRegFile, PregId, RegClass};
 pub use stats::{BranchStats, PipeStats, VpStats};

@@ -174,6 +174,14 @@ pub type Machine<'p, T = NullTracer> = StagedCore<'p, T, SmtOooStages>;
 /// as the SMT core.
 pub type InOrderMachine<'p, T = NullTracer> = StagedCore<'p, T, InOrderStages>;
 
+/// The SMT out-of-order core with the hint-guided spawn policy:
+/// [`StagedCore`] composed with
+/// [`SmtOooStaticHintStages`](crate::framework::SmtOooStaticHintStages).
+/// Identical to [`Machine`] except loads outside `VpConfig::hinted_pcs`
+/// never consult the value predictor or spawn.
+pub type StaticHintMachine<'p, T = NullTracer> =
+    StagedCore<'p, T, crate::framework::SmtOooStaticHintStages>;
+
 /// The simulated machine, borrowing the program it runs.
 ///
 /// The machine is generic over its [`Tracer`] and its [`StageSet`]. The
@@ -225,6 +233,9 @@ pub struct StagedCore<'p, T: Tracer = NullTracer, S: StageSet = SmtOooStages> {
     pub(crate) scratch_ctxs: Vec<CtxId>,
     /// Event sink; [`NullTracer`] by default (zero cost).
     pub(crate) tracer: T,
+    /// Per-pc spawn-hint mask lowered from `VpConfig::hinted_pcs` at
+    /// build time; consulted by `StaticHintSpawn` (O(1), no hashing).
+    pub(crate) hint_mask: Vec<bool>,
     /// Zero-sized marker binding the machine to its stage set.
     _stages: PhantomData<S>,
 }
@@ -398,6 +409,16 @@ impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
             SelectorKind::L3MissOracle => AnySelector::L3Miss,
         };
 
+        // Lower the hinted-load list into a per-pc mask once, here in the
+        // (cold) constructor, so the per-rename policy check is a plain
+        // indexed load.
+        let mut hint_mask = vec![false; program.code.len()];
+        for &pc in &cfg.vp.hinted_pcs {
+            if let Some(slot) = hint_mask.get_mut(pc as usize) {
+                *slot = true;
+            }
+        }
+
         StagedCore {
             mem_sys,
             memory,
@@ -424,11 +445,18 @@ impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
             last_commit_cycle: 0,
             scratch_ready: Vec::new(),
             scratch_ctxs: Vec::new(),
+            hint_mask,
             cfg,
             program,
             tracer,
             _stages: PhantomData,
         }
+    }
+
+    /// Whether the static spawn-hint analysis selected the load at `pc`.
+    #[inline(always)]
+    pub(crate) fn hinted(&self, pc: u64) -> bool {
+        self.hint_mask.get(pc as usize).copied().unwrap_or(false)
     }
 
     /// Consume the machine, yielding the tracer (to read its ring and

@@ -13,9 +13,9 @@
 //! insertion order and prints deterministically.
 
 use mtvp_engine::{
-    builtin, parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, CellEntry,
-    CoreKind, Mode, PredictorKind, RunReport, SamplingParams, Scale, Scenario, SelectorKind,
-    SimConfig,
+    builtin, parse_core, parse_mode, parse_predictor, parse_scale, parse_selector,
+    parse_spawn_policy, CellEntry, CoreKind, Mode, PredictorKind, RunReport, SamplingParams, Scale,
+    Scenario, SelectorKind, SimConfig, SpawnPolicyKind,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -32,6 +32,7 @@ const CONFIG_KEYS: &[&str] = &[
     "contexts",
     "predictor",
     "selector",
+    "spawn_policy",
     "spawn_latency",
     "store_buffer",
     "max_values_per_load",
@@ -182,6 +183,17 @@ pub fn config_from_value(v: Option<&Value>) -> Result<SimConfig, String> {
             Err(_) => {
                 let s = sv.as_str().ok_or_else(|| format!("bad selector {sv}"))?;
                 parse_selector(s).map_err(|e| e.0)?
+            }
+        };
+    }
+    if let Some(pv) = v.get("spawn_policy").filter(|x| !matches!(x, Value::Null)) {
+        cfg.spawn_policy = match SpawnPolicyKind::from_value(pv) {
+            Ok(k) => k,
+            Err(_) => {
+                let s = pv
+                    .as_str()
+                    .ok_or_else(|| format!("bad spawn_policy {pv}"))?;
+                parse_spawn_policy(s).map_err(|e| e.0)?
             }
         };
     }
@@ -440,6 +452,21 @@ mod tests {
         let body =
             serde_json::from_str(r#"{"mode": "mtvp", "sampling": "2000:120000:4000"}"#).unwrap();
         assert_eq!(config_from_value(Some(&body)).unwrap(), cfg);
+    }
+
+    #[test]
+    fn spawn_policy_round_trips_and_parses_cli_form() {
+        let mut cfg = SimConfig::new(Mode::Mtvp);
+        cfg.spawn_policy = SpawnPolicyKind::Static;
+        let back = config_from_value(Some(&cfg.to_value())).unwrap();
+        assert_eq!(back, cfg);
+        // CLI vocabulary is accepted like the other enum fields.
+        let body = serde_json::from_str(r#"{"mode": "mtvp", "spawn_policy": "static"}"#).unwrap();
+        assert_eq!(config_from_value(Some(&body)).unwrap(), cfg);
+        // The static policy is still validated against the machine shape.
+        let bad =
+            serde_json::from_str(r#"{"mode": "baseline", "spawn_policy": "static"}"#).unwrap();
+        assert!(config_from_value(Some(&bad)).is_err());
     }
 
     #[test]
