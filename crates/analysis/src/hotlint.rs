@@ -61,6 +61,10 @@ pub const HOT_FUNCTIONS: &[&str] = &[
     "commit_stage",
     "commit_one",
     "maybe_value_predict",
+    "spawn_child",
+    "reconcile_freed_slot",
+    "cmp_step",
+    "cmp_fast_forward_to",
 ];
 
 /// One source-lint finding.

@@ -5,7 +5,9 @@
 use mtvp_analysis::{
     analyze_spawn_sites, lint_program, validate_against_interp, validate_spawn_hints, Cfg,
 };
-use mtvp_workloads::synth::{random_program, SynthParams};
+use mtvp_isa::interp::{Interp, SimpleBus};
+use mtvp_workloads::synth::{build_co_workload, random_program, SynthParams};
+use mtvp_workloads::Scale;
 use proptest::prelude::*;
 
 proptest! {
@@ -89,5 +91,29 @@ proptest! {
         prop_assert_eq!(&back, &hints);
         let text2 = serde_json::to_string(&serde_json::to_value(&back)).expect("stringify");
         prop_assert!(text == text2, "synth-{}: re-encoding changed bytes", seed);
+    }
+}
+
+// Co-workload specs (`synth:<seed>` / `phases:<seed>`) are the programs
+// the CMP engine schedules onto sibling cores sight unseen: every seed
+// must lint clean at error severity, halt in the reference interpreter,
+// and regenerate byte-identically from its spec.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn co_workload_specs_are_clean_halting_and_reproducible(seed in 0u64..10_000, phased: bool) {
+        let spec = if phased {
+            format!("phases:{seed}")
+        } else {
+            format!("synth:{seed}")
+        };
+        let p = build_co_workload(&spec, Scale::Tiny).unwrap();
+        let report = lint_program(&p);
+        prop_assert!(report.errors() == 0, "{}: {:?}", spec, report.diags);
+        let mut bus = SimpleBus::new();
+        let res = Interp::new(&p).run(&mut bus, 50_000_000);
+        prop_assert!(res.halted, "{} did not halt", spec);
+        prop_assert_eq!(&build_co_workload(&spec, Scale::Tiny).unwrap(), &p);
     }
 }

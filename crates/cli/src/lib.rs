@@ -9,9 +9,9 @@
 
 use mtvp_engine::{
     builtin, builtin_scenarios, chrome_trace, lint_program_cached, pipeview, reference_trace,
-    render_speedup_table, run_program, run_program_traced, run_sampled, suite, Cache, CacheMode,
-    CkptStore, Engine, EngineOptions, Mode, PredictorKind, RunReport, SamplingParams, Scale,
-    Scenario, SelectorKind, SimConfig, TraceOptions,
+    render_speedup_table, run_program, run_program_at, run_program_traced, run_sampled, suite,
+    Cache, CacheMode, CkptStore, Engine, EngineOptions, Mode, PredictorKind, RunReport,
+    SamplingParams, Scale, Scenario, SelectorKind, SimConfig, TraceOptions,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -334,6 +334,25 @@ fn parse_sim_config(rest: &[&str]) -> Result<(SimConfig, Scale), ParseArgsError>
     }
     if let Some(v) = get_flag(rest, "--sample")? {
         config.sampling = Some(SamplingParams::parse(v).map_err(|e| ParseArgsError(e.0))?);
+    }
+    if let Some(v) = get_flag(rest, "--cores")? {
+        config.cores = v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --cores `{v}`")))?;
+    }
+    if let Some(v) = get_flag(rest, "--l3")? {
+        config.l3 = mtvp_engine::L3Params::parse(v).map_err(|e| ParseArgsError(e.0))?;
+    }
+    if let Some(v) = get_flag(rest, "--interconnect")? {
+        config.interconnect_hop = v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --interconnect `{v}`")))?;
+    }
+    if rest.contains(&"--xspawn") || rest.contains(&"--cross-core-spawn") {
+        config.cross_core_spawn = true;
+    }
+    if let Some(v) = get_flag(rest, "--co")? {
+        config.co_workloads = v.split(',').map(|s| s.trim().to_string()).collect();
     }
     config.validate().map_err(|e| ParseArgsError(e.0))?;
     let scale = parse_scale(get_flag(rest, "--scale")?.unwrap_or("small"))?;
@@ -1733,7 +1752,7 @@ impl Command {
                         let (r, t) = run_program_traced(&config, &program, &opts);
                         (r, Some(t))
                     }
-                    None => (run_program(&config, &program), None),
+                    None => (run_program_at(&config, &program, scale), None),
                 };
                 if json {
                     let doc = serde_json::json!({
@@ -1907,6 +1926,8 @@ USAGE:
                        [--spawn-policy dynamic|static] [--spawn-latency N]
                        [--store-buffer N] [--scale tiny|small|full]
                        [--no-prefetch] [--cold-start] [--json]
+                       [--cores M] [--l3 KB:ASSOC:LAT] [--interconnect N]
+                       [--xspawn] [--co spec1,spec2,...]
                        [--sample W:I:U] [--no-cache] [--cache-dir DIR]
                        [--trace[=RING]] [--trace-out FILE] [--trace-window START:END]
   mtvp-sim trace <bench> [run options] [--rows N] [--trace-out FILE]
@@ -1989,6 +2010,24 @@ LINT:
   accumulator / memory-carried), every predictable verdict is checked
   against the tracing interpreter, and the cached artifact's selected
   load PCs are what `run --spawn-policy static` uses as its spawn filter.
+
+CMP:
+  --cores M            chip multiprocessor with M cores (default 1). Cores
+                       above 1 share an L3 and require --core ooo; the primary
+                       workload always runs on core 0. Cells are keyed on every
+                       CMP knob, so mixes are exactly reproducible.
+  --l3 KB:ASSOC:LAT    shared-L3 shape (default 4096:16:50). At --cores 1 this
+                       configures the private L3 instead.
+  --interconnect N     core-to-L3 hop latency in cycles (default 4); a shared
+                       hit pays LAT + 2 hops.
+  --xspawn             let MTVP spawn speculative threads onto idle sibling
+                       cores (remote contexts): spawn and reconcile each pay
+                       two extra hops. Needs a spawning mode and an idle core.
+                       (Alias: --cross-core-spawn.)
+  --co s1,s2,...       co-runner workloads for sibling cores, one per spec:
+                       a registry benchmark name, synth:<seed>, or
+                       phases:<seed> (seeded generated programs; generated
+                       co-runners must pass the error-severity lints).
 
 SAMPLING:
   --sample W:I:U       two-tier sampled simulation: functionally fast-forward
@@ -2215,6 +2254,90 @@ mod tests {
             "2000:20000:1000",
         ])
         .is_ok());
+    }
+
+    #[test]
+    fn parses_cmp_flags_and_rejects_unsupported_topologies() {
+        let cmd = parse(&[
+            "run",
+            "mcf",
+            "--cores",
+            "4",
+            "--l3",
+            "2048:8:40",
+            "--interconnect",
+            "6",
+            "--xspawn",
+            "--co",
+            "synth:7,phases:9",
+            "--scale",
+            "tiny",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run { config, .. } => {
+                assert_eq!(config.cores, 4);
+                assert_eq!(config.l3.kb, 2048);
+                assert_eq!(config.l3.assoc, 8);
+                assert_eq!(config.l3.latency, 40);
+                assert_eq!(config.interconnect_hop, 6);
+                assert!(config.cross_core_spawn);
+                assert_eq!(config.co_workloads, vec!["synth:7", "phases:9"]);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // The long spelling of --xspawn works too.
+        match parse(&["run", "mcf", "--cores", "2", "--cross-core-spawn"]).unwrap() {
+            Command::Run { config, .. } => assert!(config.cross_core_spawn),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Malformed values are parse errors.
+        assert!(parse(&["run", "mcf", "--cores", "lots"]).is_err());
+        assert!(parse(&["run", "mcf", "--l3", "2048:8"]).is_err());
+        assert!(parse(&["run", "mcf", "--interconnect", "-1"]).is_err());
+        // validate() rejects CMP knobs the selected topology lacks, with an
+        // error naming the offending knob.
+        for (bad, needle) in [
+            (
+                vec![
+                    "run", "mcf", "--cores", "2", "--core", "inorder", "--mode", "baseline",
+                ],
+                "in-order",
+            ),
+            (vec!["run", "mcf", "--cores", "0"], "cores"),
+            (vec!["run", "mcf", "--cores", "32"], "cores"),
+            (vec!["run", "mcf", "--xspawn"], "cross_core_spawn"),
+            (
+                vec![
+                    "run", "mcf", "--cores", "2", "--mode", "baseline", "--xspawn",
+                ],
+                "spawn",
+            ),
+            (
+                vec!["run", "mcf", "--cores", "2", "--xspawn", "--co", "synth:1"],
+                "idle",
+            ),
+            (vec!["run", "mcf", "--co", "synth:1"], "sibling"),
+            (
+                vec!["run", "mcf", "--cores", "2", "--co", "synth:1,synth:2"],
+                "exceed",
+            ),
+            (
+                vec!["run", "mcf", "--cores", "2", "--co", "nonesuch-bench"],
+                "nonesuch",
+            ),
+            (
+                vec!["run", "mcf", "--cores", "2", "--co", "synth:notaseed"],
+                "seed",
+            ),
+            (
+                vec!["run", "mcf", "--cores", "2", "--sample", "2000:20000:1000"],
+                "sampl",
+            ),
+        ] {
+            let err = parse(&bad).unwrap_err();
+            assert!(err.0.contains(needle), "{bad:?}: {err}");
+        }
     }
 
     #[test]

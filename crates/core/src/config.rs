@@ -201,6 +201,64 @@ impl SamplingParams {
     }
 }
 
+/// Last-level-cache sizing and timing, parsed from the CLI as
+/// `kb:assoc:latency` (e.g. `4096:16:50`, the paper's 4MB/16-way @50).
+///
+/// With `cores = 1` this shapes the private L3; with `cores > 1` it
+/// shapes the *shared* L3 every core of the CMP attaches to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct L3Params {
+    /// Capacity in KiB.
+    pub kb: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Array hit latency in cycles.
+    pub latency: u64,
+}
+
+impl L3Params {
+    /// Table 1 of the paper: 4MB, 16-way, 50 cycles.
+    pub fn hpca2005() -> Self {
+        L3Params {
+            kb: 4096,
+            assoc: 16,
+            latency: 50,
+        }
+    }
+
+    /// Parse the CLI form `kb:assoc:latency` (e.g. `4096:16:50`).
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] for malformed or non-numeric input;
+    /// geometry rules (power-of-two sets, …) are left to
+    /// [`SimConfig::validate`].
+    pub fn parse(s: &str) -> Result<Self, ConfigError> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let [kb, assoc, lat] = parts.as_slice() else {
+            return Err(ConfigError(format!(
+                "--l3 expects kb:assoc:latency, got `{s}`"
+            )));
+        };
+        let num = |name: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| ConfigError(format!("--l3 {name} `{v}` is not a number")))
+        };
+        Ok(L3Params {
+            kb: num("kb", kb)?,
+            assoc: u32::try_from(num("assoc", assoc)?)
+                .map_err(|_| ConfigError(format!("--l3 assoc `{assoc}` is out of range")))?,
+            latency: num("latency", lat)?,
+        })
+    }
+
+    /// The cache geometry these parameters describe (64-byte lines, like
+    /// every cache in the hierarchy). Call [`SimConfig::validate`] first:
+    /// this panics on geometries validate would have rejected.
+    pub fn geometry(&self) -> mtvp_mem::CacheGeometry {
+        mtvp_mem::CacheGeometry::new(self.kb * 1024, self.assoc, 64)
+    }
+}
+
 /// A complete experiment configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -208,6 +266,24 @@ pub struct SimConfig {
     pub mode: Mode,
     /// Core module the experiment runs on.
     pub core: CoreKind,
+    /// Cores in the chip-multiprocessor topology (1 = the paper's
+    /// single-core SMT machine; >1 attaches every core to a shared L3).
+    pub cores: usize,
+    /// Last-level cache sizing/timing (private when `cores` is 1, shared
+    /// across the CMP otherwise).
+    pub l3: L3Params,
+    /// One-way point-to-point interconnect hop latency in cycles; every
+    /// shared-L3 access pays a round trip (2 hops) on top of the array
+    /// latency. Irrelevant when `cores` is 1.
+    pub interconnect_hop: u64,
+    /// Let the primary core spawn speculative threads into the contexts
+    /// of *idle* sibling cores (cores with no co-scheduled workload),
+    /// paying the interconnect on spawn and reconcile.
+    pub cross_core_spawn: bool,
+    /// Workloads co-scheduled on sibling cores, at most `cores - 1`:
+    /// registry benchmark names (e.g. `mcf`) or seeded synthetic
+    /// programs (`synth:<seed>`, `phases:<seed>`).
+    pub co_workloads: Vec<String>,
     /// Hardware thread contexts (1, 2, 4, 8).
     pub contexts: usize,
     /// Value predictor (ignored for `Baseline`/`WideWindow`/`SpawnOnly`).
@@ -255,6 +331,11 @@ impl SimConfig {
         SimConfig {
             mode,
             core: CoreKind::OutOfOrder,
+            cores: 1,
+            l3: L3Params::hpca2005(),
+            interconnect_hop: 4,
+            cross_core_spawn: false,
+            co_workloads: Vec::new(),
             contexts,
             predictor: match mode {
                 Mode::Baseline | Mode::WideWindow | Mode::SpawnOnly => PredictorKind::None,
@@ -332,6 +413,96 @@ impl SimConfig {
         }
         if self.max_cycles == 0 {
             return Err(ConfigError("max_cycles must be nonzero".into()));
+        }
+        // CMP topology rules: the l3/interconnect/co-scheduling knobs
+        // describe a chip multiprocessor, so they must form one the
+        // simulator can actually build.
+        if self.cores == 0 {
+            return Err(ConfigError("cores must be at least 1".into()));
+        }
+        if self.cores > 16 {
+            return Err(ConfigError(format!(
+                "cores {} exceeds the 16-core CMP limit",
+                self.cores
+            )));
+        }
+        if self.l3.kb == 0 || self.l3.assoc == 0 {
+            return Err(ConfigError(format!(
+                "l3 {}KB/{}-way is not a cache",
+                self.l3.kb, self.l3.assoc
+            )));
+        }
+        {
+            let bytes = self.l3.kb * 1024;
+            let set_bytes = u64::from(self.l3.assoc) * 64;
+            if !bytes.is_multiple_of(set_bytes) || !(bytes / set_bytes).is_power_of_two() {
+                return Err(ConfigError(format!(
+                    "l3 {}KB/{}-way does not divide into a power-of-two number of 64-byte-line \
+                     sets",
+                    self.l3.kb, self.l3.assoc
+                )));
+            }
+        }
+        if self.cores > 1 {
+            if self.core != CoreKind::OutOfOrder {
+                return Err(ConfigError(format!(
+                    "cores {} needs the out-of-order core: the in-order scalar baseline has no \
+                     CMP composition — use --core ooo",
+                    self.cores
+                )));
+            }
+            if self.sampling.is_some() {
+                return Err(ConfigError(
+                    "sampling cannot be combined with a CMP topology: the two-tier driver \
+                     transfers one core's architectural state, and a sampled window cannot \
+                     reconstruct sibling-core and shared-cache state (run CMP cells \
+                     full-detailed)"
+                        .into(),
+                ));
+            }
+        }
+        if !self.co_workloads.is_empty() && self.cores == 1 {
+            return Err(ConfigError(format!(
+                "{} co-workload(s) need sibling cores to run on; raise --cores",
+                self.co_workloads.len()
+            )));
+        }
+        if self.co_workloads.len() > self.cores.saturating_sub(1) {
+            return Err(ConfigError(format!(
+                "{} co-workloads exceed the {} sibling core(s) of a {}-core topology",
+                self.co_workloads.len(),
+                self.cores - 1,
+                self.cores
+            )));
+        }
+        for spec in &self.co_workloads {
+            mtvp_workloads::synth::validate_co_spec(spec).map_err(ConfigError)?;
+        }
+        if self.cross_core_spawn {
+            if self.cores == 1 {
+                return Err(ConfigError(
+                    "cross_core_spawn needs a CMP topology (cores > 1); on one core there is no \
+                     sibling to spawn into"
+                        .into(),
+                ));
+            }
+            if !matches!(
+                self.mode,
+                Mode::Mtvp | Mode::MtvpNoStall | Mode::SpawnOnly | Mode::MultiValue
+            ) {
+                return Err(ConfigError(format!(
+                    "cross_core_spawn requires a thread-spawning mode (mtvp, mtvp-nostall, \
+                     spawn-only, or multi-value); {:?} never spawns",
+                    self.mode
+                )));
+            }
+            if self.co_workloads.len() >= self.cores - 1 {
+                return Err(ConfigError(format!(
+                    "cross_core_spawn needs at least one *idle* sibling core to borrow contexts \
+                     from, but all {} sibling(s) carry co-workloads",
+                    self.cores - 1
+                )));
+            }
         }
         // Knobs the selected core module does not support: the in-order
         // scalar baseline has no spawn policy, no value-prediction
@@ -448,14 +619,40 @@ impl SimConfig {
         Ok(())
     }
 
-    /// The memory-hierarchy configuration this experiment uses.
+    /// The memory-hierarchy configuration this experiment uses. The `l3`
+    /// knob always shapes the last-level cache: the private L3 on a
+    /// single-core machine, and each core's (bypassed) private geometry
+    /// on a CMP, where the shared array from [`SimConfig::shared_l3_spec`]
+    /// takes over demand traffic.
     pub fn to_mem_config(&self) -> mtvp_mem::MemConfig {
         let mut m = mtvp_mem::MemConfig::hpca2005();
         m.mshrs = self.mshrs;
+        m.l3 = self.l3.geometry();
+        m.l3_latency = self.l3.latency;
         if !self.prefetcher {
             m.prefetch = mtvp_mem::PrefetchConfig::disabled();
         }
         m
+    }
+
+    /// The shared-L3 specification of a CMP topology (`None` when
+    /// `cores` is 1 — a single core keeps its private hierarchy).
+    pub fn shared_l3_spec(&self) -> Option<mtvp_mem::SharedL3Spec> {
+        if self.cores <= 1 {
+            return None;
+        }
+        Some(mtvp_mem::SharedL3Spec {
+            geometry: self.l3.geometry(),
+            latency: self.l3.latency,
+            hop: self.interconnect_hop,
+        })
+    }
+
+    /// Sibling cores with no co-scheduled workload: with
+    /// `cross_core_spawn` their contexts are donated to the primary as
+    /// remote spawn slots.
+    pub fn idle_cores(&self) -> usize {
+        self.cores.saturating_sub(1 + self.co_workloads.len())
     }
 
     /// Lower to the mechanism-level pipeline configuration.
@@ -466,6 +663,15 @@ impl SimConfig {
             (CoreKind::OutOfOrder, _) => PipelineConfig::hpca2005(),
         };
         p.hw_contexts = self.contexts;
+        if self.cross_core_spawn {
+            // Each idle sibling core donates its full context complement
+            // as remote slots; spawning into one pays the interconnect
+            // round trip on top of the flash-copy, and freeing one holds
+            // the slot for a round trip of store-buffer reconciliation.
+            p.remote_contexts = self.idle_cores() * self.contexts;
+            p.remote_spawn_extra = 2 * self.interconnect_hop;
+            p.remote_reconcile = 2 * self.interconnect_hop;
+        }
         p.store_buffer_entries = self.store_buffer;
         p.inst_limit = self.inst_limit;
         p.max_cycles = self.max_cycles;
@@ -755,5 +961,159 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn l3_params_parse() {
+        assert_eq!(L3Params::parse("4096:16:50").unwrap(), L3Params::hpca2005());
+        assert_eq!(
+            L3Params::parse("64:8:20").unwrap(),
+            L3Params {
+                kb: 64,
+                assoc: 8,
+                latency: 20,
+            }
+        );
+        assert!(L3Params::parse("4096:16").is_err());
+        assert!(L3Params::parse("4096:16:50:1").is_err());
+        assert!(L3Params::parse("big:16:50").is_err());
+        let g = L3Params::hpca2005().geometry();
+        assert_eq!(g, mtvp_mem::CacheGeometry::new(4 * 1024 * 1024, 16, 64));
+    }
+
+    #[test]
+    fn cmp_defaults_are_single_core_and_validate() {
+        let c = SimConfig::new(Mode::Mtvp);
+        assert_eq!(c.cores, 1);
+        assert_eq!(c.l3, L3Params::hpca2005());
+        assert!(!c.cross_core_spawn);
+        assert!(c.co_workloads.is_empty());
+        assert!(c.shared_l3_spec().is_none());
+        // The default l3 knob reproduces the paper's hierarchy exactly.
+        assert_eq!(c.to_mem_config(), mtvp_mem::MemConfig::hpca2005());
+        // Non-CMP configs lower with no remote slots.
+        let p = c.to_pipeline_config();
+        assert_eq!(p.remote_contexts, 0);
+        assert_eq!(p.total_contexts(), c.contexts);
+    }
+
+    #[test]
+    fn cmp_config_validates_and_lowers() {
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.cores = 4;
+        c.co_workloads = vec!["mcf".into(), "synth:7".into()];
+        c.cross_core_spawn = true;
+        c.validate()
+            .expect("4-core mix with one idle sibling is fine");
+        assert_eq!(c.idle_cores(), 1);
+
+        let spec = c.shared_l3_spec().expect("CMP topologies share an L3");
+        assert_eq!(spec.geometry, c.l3.geometry());
+        assert_eq!(spec.hop, 4);
+
+        let p = c.to_pipeline_config();
+        assert_eq!(p.remote_contexts, c.contexts, "one idle core donates");
+        assert_eq!(p.remote_spawn_extra, 8);
+        assert_eq!(p.remote_reconcile, 8);
+        assert_eq!(p.total_contexts(), 2 * c.contexts);
+
+        // Without cross-core spawning, no remote slots are borrowed.
+        c.cross_core_spawn = false;
+        assert_eq!(c.to_pipeline_config().remote_contexts, 0);
+    }
+
+    #[test]
+    fn validate_rejects_cmp_nonsense() {
+        let reject = |f: &dyn Fn(&mut SimConfig), needle: &str| {
+            let mut c = SimConfig::new(Mode::Mtvp);
+            c.cores = 4;
+            f(&mut c);
+            let e = c.validate().expect_err("should be invalid").0;
+            assert!(e.contains(needle), "error `{e}` should mention `{needle}`");
+        };
+        reject(&|c| c.cores = 0, "cores");
+        reject(&|c| c.cores = 17, "16-core");
+        reject(&|c| c.l3.kb = 0, "not a cache");
+        reject(&|c| c.l3.kb = 100, "power-of-two");
+        // CMP knobs the selected core or mode cannot honour.
+        reject(
+            &|c| {
+                c.cores = 4;
+                c.core = CoreKind::InOrderScalar;
+                c.mode = Mode::Baseline;
+                c.contexts = 1;
+                c.predictor = PredictorKind::None;
+            },
+            "out-of-order",
+        );
+        reject(
+            &|c| {
+                c.sampling = Some(SamplingParams {
+                    window: 2000,
+                    interval: 50_000,
+                    warmup: 1000,
+                });
+            },
+            "sampling",
+        );
+        // Co-workload seating and spelling.
+        reject(
+            &|c| {
+                c.cores = 1;
+                c.co_workloads = vec!["mcf".into()];
+            },
+            "sibling",
+        );
+        reject(
+            &|c| c.co_workloads = vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            "exceed",
+        );
+        reject(&|c| c.co_workloads = vec!["nonesuch".into()], "unknown");
+        reject(&|c| c.co_workloads = vec!["synth:zzz".into()], "seed");
+        // Cross-core spawning needs a spawning mode and an idle sibling.
+        reject(
+            &|c| {
+                c.cores = 1;
+                c.cross_core_spawn = true;
+            },
+            "sibling",
+        );
+        reject(
+            &|c| {
+                c.mode = Mode::Baseline;
+                c.contexts = 1;
+                c.predictor = PredictorKind::None;
+                c.cross_core_spawn = true;
+            },
+            "spawning mode",
+        );
+        reject(
+            &|c| {
+                c.cores = 2;
+                c.co_workloads = vec!["mcf".into()];
+                c.cross_core_spawn = true;
+            },
+            "idle",
+        );
+    }
+
+    #[test]
+    fn cmp_axes_reach_the_cache_key() {
+        let base = serde_json::to_string(&SimConfig::new(Mode::Mtvp)).unwrap();
+        let mutate = |f: &dyn Fn(&mut SimConfig)| {
+            let mut c = SimConfig::new(Mode::Mtvp);
+            f(&mut c);
+            serde_json::to_string(&c).unwrap()
+        };
+        assert_ne!(mutate(&|c| c.cores = 2), base);
+        assert_ne!(mutate(&|c| c.l3.kb = 2048), base);
+        assert_ne!(mutate(&|c| c.interconnect_hop = 9), base);
+        assert_ne!(mutate(&|c| c.cross_core_spawn = true), base);
+        assert_ne!(mutate(&|c| c.co_workloads = vec!["mcf".into()]), base);
+        let mut c = SimConfig::new(Mode::Mtvp);
+        c.cores = 3;
+        c.co_workloads = vec!["phases:2".into()];
+        let back: SimConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back, c);
     }
 }

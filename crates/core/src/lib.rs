@@ -31,7 +31,7 @@ mod config;
 
 pub use config::{
     parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, parse_spawn_policy,
-    ConfigError, CoreKind, Mode, SamplingParams, SimConfig, SpawnPolicyKind,
+    ConfigError, CoreKind, L3Params, Mode, SamplingParams, SimConfig, SpawnPolicyKind,
 };
 
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};

@@ -4,7 +4,7 @@
 //! artifacts and cached cells stay comparable across the refactor.
 
 use crate::scenario::{ConfigGrid, Scenario};
-use mtvp_core::{CoreKind, Mode, SamplingParams, SpawnPolicyKind};
+use mtvp_core::{CoreKind, L3Params, Mode, SamplingParams, SpawnPolicyKind};
 use mtvp_pipeline::PredictorKind;
 use mtvp_workloads::Scale;
 
@@ -24,6 +24,9 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         sampled(),
         baseline(),
         hinted(),
+        cmp_scaling(),
+        mix_matrix(),
+        interference(),
         smoke(),
     ]
 }
@@ -299,6 +302,116 @@ fn hinted() -> Scenario {
     with_series(s, "base", &["dynamic", "static-hints"])
 }
 
+/// CMP scaling: the realistic mtvp4 machine with a growing pool of idle
+/// sibling cores donating remote spawn slots over the shared L3
+/// (DESIGN.md Section 17).
+fn cmp_scaling() -> Scenario {
+    let mut s = Scenario::new(
+        "cmp-scaling",
+        "CMP scaling: idle siblings as remote spawn slots (DESIGN.md Section 17)",
+        "The realistic Wang-Franklin mtvp4 machine alone, then on 2- and \
+         4-core chips whose idle siblings donate their contexts as remote \
+         spawn slots. Cross-core spawn and reconcile each pay two \
+         interconnect hops; all cores share one L3. A single-core machine \
+         anchors the speedup comparison and doubles as the differential \
+         reference for the cores=1 bit-identity guarantee.",
+    );
+    s.scale = Some(Scale::Tiny);
+    s.benches = vec![
+        "mcf".to_string(),
+        "swim".to_string(),
+        "art 1".to_string(),
+        "mgrid".to_string(),
+    ];
+    s.grids = vec![
+        ConfigGrid::new("base", Mode::Baseline),
+        ConfigGrid::new("solo", Mode::Mtvp).contexts(&[4]),
+        ConfigGrid::new("cmp{cores}c", Mode::Mtvp)
+            .contexts(&[4])
+            .cores(&[2, 4])
+            .cross_core_spawn(true),
+    ];
+    with_series(s, "base", &["solo", "cmp2c", "cmp4c"])
+}
+
+/// The multiprogrammed mix matrix: measured benchmarks co-scheduled with
+/// generated co-runner workloads over the shared L3 (DESIGN.md Section 17).
+fn mix_matrix() -> Scenario {
+    let mut s = Scenario::new(
+        "mix-matrix",
+        "Mix matrix: measured bench x generated co-runner (DESIGN.md Section 17)",
+        "Each measured benchmark on a 2-core chip next to one generated \
+         co-runner drawn from the seeded synth and phase-program families, \
+         contending for a halved shared L3. The solo column isolates the \
+         co-runner's interference; seeds are part of the cache key, so every \
+         mix cell is exactly reproducible (see EXPERIMENTS.md for how to \
+         cite a mix).",
+    );
+    s.scale = Some(Scale::Tiny);
+    s.benches = vec!["mcf".to_string(), "swim".to_string(), "mesa".to_string()];
+    let half_l3 = L3Params {
+        kb: 2048,
+        assoc: 16,
+        latency: 50,
+    };
+    s.grids = vec![
+        ConfigGrid::new("solo", Mode::Mtvp)
+            .contexts(&[4])
+            .l3(half_l3),
+        ConfigGrid::new("vs-synth", Mode::Mtvp)
+            .contexts(&[4])
+            .cores(&[2])
+            .l3(half_l3)
+            .co_workloads(&["synth:11"]),
+        ConfigGrid::new("vs-phases", Mode::Mtvp)
+            .contexts(&[4])
+            .cores(&[2])
+            .l3(half_l3)
+            .co_workloads(&["phases:23"]),
+    ];
+    with_series(s, "solo", &["vs-synth", "vs-phases"])
+}
+
+/// Interference under pressure: phase-changing co-runners squeezing a
+/// small shared L3 while the primary also borrows a third, idle core for
+/// cross-core spawns (DESIGN.md Section 17).
+fn interference() -> Scenario {
+    let mut s = Scenario::new(
+        "interference",
+        "Interference: phase-changing co-runners on a small shared L3",
+        "A 4-core chip under memory pressure: the measured mtvp4 machine, \
+         two phase-changing co-runners cycling through memory-bound, \
+         compute-bound and store-heavy profiles, and one idle core donating \
+         remote spawn slots — all over a deliberately small shared L3. The \
+         no-spawn twin separates capacity interference from the value of \
+         cross-core spawning under that interference.",
+    );
+    s.scale = Some(Scale::Tiny);
+    s.benches = vec!["mcf".to_string(), "art 1".to_string()];
+    let small_l3 = L3Params {
+        kb: 512,
+        assoc: 8,
+        latency: 50,
+    };
+    s.grids = vec![
+        ConfigGrid::new("solo", Mode::Mtvp)
+            .contexts(&[4])
+            .l3(small_l3),
+        ConfigGrid::new("pressured", Mode::Mtvp)
+            .contexts(&[4])
+            .cores(&[4])
+            .l3(small_l3)
+            .co_workloads(&["phases:5", "phases:6"]),
+        ConfigGrid::new("pressured+xspawn", Mode::Mtvp)
+            .contexts(&[4])
+            .cores(&[4])
+            .l3(small_l3)
+            .co_workloads(&["phases:5", "phases:6"])
+            .cross_core_spawn(true),
+    ];
+    with_series(s, "solo", &["pressured", "pressured+xspawn"])
+}
+
 /// The tiny CI scenario: two benchmarks, a baseline and one oracle MTVP
 /// machine. Fast enough to run twice in the `exp-smoke` job.
 fn smoke() -> Scenario {
@@ -323,7 +436,7 @@ mod tests {
     #[test]
     fn every_builtin_expands_cleanly() {
         let all = builtin_scenarios();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 17);
         for s in &all {
             let configs = s.configs().unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert!(!configs.is_empty(), "{} expands to nothing", s.name);
@@ -388,6 +501,41 @@ mod tests {
         let mut twin = stat.clone();
         twin.spawn_policy = SpawnPolicyKind::Dynamic;
         assert_eq!(&twin, dynamic);
+    }
+
+    #[test]
+    fn cmp_scenarios_lower_their_topologies() {
+        let scaling = builtin("cmp-scaling").unwrap().configs().unwrap();
+        let cmp4 = &scaling.iter().find(|(l, _)| l == "cmp4c").unwrap().1;
+        assert_eq!(cmp4.cores, 4);
+        assert!(cmp4.cross_core_spawn);
+        assert_eq!(cmp4.idle_cores(), 3);
+        assert!(cmp4.shared_l3_spec().is_some());
+        let solo = &scaling.iter().find(|(l, _)| l == "solo").unwrap().1;
+        assert_eq!(solo.cores, 1);
+        assert!(solo.shared_l3_spec().is_none());
+
+        let mix = builtin("mix-matrix").unwrap().configs().unwrap();
+        let vs = &mix.iter().find(|(l, _)| l == "vs-synth").unwrap().1;
+        assert_eq!(vs.co_workloads, vec!["synth:11".to_string()]);
+        assert_eq!(vs.l3.kb, 2048);
+        assert_eq!(vs.idle_cores(), 0);
+
+        let intf = builtin("interference").unwrap().configs().unwrap();
+        let xs = &intf
+            .iter()
+            .find(|(l, _)| l == "pressured+xspawn")
+            .unwrap()
+            .1;
+        assert_eq!(xs.cores, 4);
+        assert_eq!(xs.co_workloads.len(), 2);
+        assert_eq!(xs.idle_cores(), 1);
+        // The borrowed sibling shows up as remote context slots.
+        let p = xs.to_pipeline_config();
+        assert_eq!(p.remote_contexts, xs.contexts);
+        assert_eq!(p.remote_spawn_extra, 2 * xs.interconnect_hop);
+        let np = &intf.iter().find(|(l, _)| l == "pressured").unwrap().1;
+        assert_eq!(np.to_pipeline_config().remote_contexts, 0);
     }
 
     #[test]

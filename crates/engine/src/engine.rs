@@ -20,7 +20,7 @@
 
 use crate::cache::{Cache, CellEntry};
 use crate::key::{cell_descriptor, key_of, scale_tag, trace_descriptor, JobKey, SIM_VERSION};
-use crate::run::{reference_trace, run_with_trace};
+use crate::run::{reference_trace, run_with_trace_at};
 use crate::sampling::{run_sampled, CkptStore, SampledMeta};
 use crate::scenario::{Scenario, ScenarioError};
 use crate::scheduler::Scheduler;
@@ -310,7 +310,10 @@ impl Engine {
             );
             (s.stats, Some(s.meta))
         } else {
-            (run_with_trace(cfg, &program, dyn_instrs, trace).stats, None)
+            (
+                run_with_trace_at(cfg, &program, dyn_instrs, trace, scale).stats,
+                None,
+            )
         };
         let entry = cell_entry(&wl, cfg, scale, &descriptor, dyn_instrs, stats, sampled);
         if let Some(c) = &cache {
@@ -441,7 +444,8 @@ impl Engine {
                     ckpt_misses.fetch_add(s.ckpt_misses, std::sync::atomic::Ordering::Relaxed);
                     (s.stats, Some(s.meta))
                 } else {
-                    let r = run_with_trace(&j.config, program, *dyn_instrs, trace.clone());
+                    let r =
+                        run_with_trace_at(&j.config, program, *dyn_instrs, trace.clone(), scale);
                     (r.stats, None)
                 };
                 let entry = cell_entry(

@@ -14,7 +14,7 @@ use mtvp_workloads::Scale;
 /// Bump this whenever a change alters simulated statistics (pipeline
 /// semantics, memory timing, predictor behaviour, workload generation) so
 /// stale cache entries can never be served for the new simulator.
-pub const SIM_VERSION: &str = "mtvp-sim-v3";
+pub const SIM_VERSION: &str = "mtvp-sim-v4";
 
 /// A stable 128-bit content hash identifying one job, as 32 hex digits.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

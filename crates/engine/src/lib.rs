@@ -71,7 +71,8 @@ pub use key::{
 pub use lint::{lint_program_cached, LintOutcome};
 pub use partition::{owner_of, partition};
 pub use run::{
-    reference_trace, run_program, run_program_traced, run_with_trace, RunResult, TraceOptions,
+    reference_trace, run_program, run_program_at, run_program_traced, run_with_trace,
+    run_with_trace_at, RunResult, TraceOptions,
 };
 pub use sampling::{ipc_error, relative_errors, run_sampled, CkptStore, SampledMeta, SampledRun};
 pub use scenario::{ConfigGrid, Scenario, ScenarioError};
@@ -82,7 +83,7 @@ pub use sweep::{Cell, Sweep};
 // this crate (mirrors the old `mtvp_core` surface).
 pub use mtvp_core::{
     parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, parse_spawn_policy,
-    ConfigError, CoreKind, Mode, SamplingParams, SimConfig, SpawnPolicyKind,
+    ConfigError, CoreKind, L3Params, Mode, SamplingParams, SimConfig, SpawnPolicyKind,
 };
 pub use mtvp_obs::{chrome_trace, pipeview, Event, Registry, RingTracer};
 pub use mtvp_pipeline::{PipeStats, PredictorKind, SelectorKind};

@@ -4,8 +4,14 @@
 use mtvp_core::{CoreKind, SimConfig, SpawnPolicyKind};
 use mtvp_isa::interp::{Interp, SimpleBus};
 use mtvp_isa::Program;
-use mtvp_obs::{NullTracer, RingTracer};
-use mtvp_pipeline::{Core, InOrderMachine, Machine, PipeStats, PipelineConfig, StaticHintMachine};
+use mtvp_mem::SharedL3Handle;
+use mtvp_obs::{NullTracer, RingTracer, Tracer};
+use mtvp_pipeline::{
+    CmpMachine, CoRunner, Core, InOrderMachine, Machine, PipeStats, PipelineConfig, SmtOooStages,
+    SmtOooStaticHintStages, StageSet, StagedCore, StaticHintMachine,
+};
+use mtvp_workloads::synth::build_co_workload;
+use mtvp_workloads::Scale;
 use std::sync::Arc;
 
 /// Lower `cfg` to a pipeline configuration for `program`. Under the
@@ -50,20 +56,70 @@ pub fn reference_trace(program: &Program) -> (u64, Arc<mtvp_isa::trace::Trace>) 
 }
 
 /// Simulate `program` under `cfg`. The committed path is validated against
-/// the reference interpreter instruction by instruction.
+/// the reference interpreter instruction by instruction. CMP co-workloads
+/// (if any) are built at [`Scale::Small`]; use [`run_program_at`] to pick
+/// the scale explicitly.
 pub fn run_program(cfg: &SimConfig, program: &Program) -> RunResult {
+    run_program_at(cfg, program, Scale::Small)
+}
+
+/// Simulate `program` under `cfg`, building any CMP co-workloads at
+/// `scale` (which only matters when `cfg.cores > 1` and
+/// `cfg.co_workloads` is non-empty — pass the scale `program` itself was
+/// built at so the mix's relative lengths are meaningful).
+pub fn run_program_at(cfg: &SimConfig, program: &Program, scale: Scale) -> RunResult {
     let (dyn_instrs, trace) = reference_trace(program);
-    run_with_trace(cfg, program, dyn_instrs, trace)
+    run_with_trace_at(cfg, program, dyn_instrs, trace, scale)
 }
 
 /// Simulate with a pre-computed reference trace (lets sweeps amortize the
-/// functional run across configurations).
+/// functional run across configurations). CMP co-workloads are built at
+/// [`Scale::Small`]; see [`run_with_trace_at`].
 pub fn run_with_trace(
     cfg: &SimConfig,
     program: &Program,
     dyn_instrs: u64,
     trace: Arc<mtvp_isa::trace::Trace>,
 ) -> RunResult {
+    run_with_trace_at(cfg, program, dyn_instrs, trace, Scale::Small)
+}
+
+/// Simulate with a pre-computed reference trace, building any CMP
+/// co-workloads at `scale`.
+///
+/// # Panics
+/// Panics on co-workload specs [`SimConfig::validate`] would have
+/// rejected, and on generated co-workloads failing the error-severity
+/// program lints (a generator bug, not a configuration).
+pub fn run_with_trace_at(
+    cfg: &SimConfig,
+    program: &Program,
+    dyn_instrs: u64,
+    trace: Arc<mtvp_isa::trace::Trace>,
+    scale: Scale,
+) -> RunResult {
+    if cfg.cores > 1 {
+        // CMP topologies: the co-runner fleet and the shared L3 wrap the
+        // same stage-set selection the single-core arms make below. The
+        // in-order core has no CMP composition (validate() rejects it).
+        return match (cfg.core, cfg.spawn_policy) {
+            (CoreKind::OutOfOrder, SpawnPolicyKind::Dynamic) => {
+                run_cmp_on::<NullTracer, SmtOooStages>(
+                    cfg, program, dyn_instrs, trace, scale, NullTracer,
+                )
+                .0
+            }
+            (CoreKind::OutOfOrder, SpawnPolicyKind::Static) => {
+                run_cmp_on::<NullTracer, SmtOooStaticHintStages>(
+                    cfg, program, dyn_instrs, trace, scale, NullTracer,
+                )
+                .0
+            }
+            (CoreKind::InOrderScalar, _) => {
+                panic!("SimConfig::validate rejects CMP topologies on the in-order core")
+            }
+        };
+    }
     // The only place the (core, spawn policy) axes become a concrete
     // machine type: every core module below this match is reached through
     // the `Core` trait. The in-order core has no spawn decision point, so
@@ -79,6 +135,77 @@ pub fn run_with_trace(
             run_with_trace_on::<InOrderMachine>(cfg, program, dyn_instrs, trace)
         }
     }
+}
+
+/// Resolve, lint-gate, and functionally pre-execute the co-workloads of
+/// a CMP configuration. Generated (synth/phases) programs must pass every
+/// error-severity lint in `mtvp-analysis` before they are allowed onto a
+/// sibling core — a generator that emits an uninitialized read or an
+/// unreachable halt would poison the mix silently otherwise.
+fn resolve_co_workloads(
+    cfg: &SimConfig,
+    scale: Scale,
+) -> Vec<(Program, Arc<mtvp_isa::trace::Trace>)> {
+    cfg.co_workloads
+        .iter()
+        .map(|spec| {
+            let p = build_co_workload(spec, scale)
+                .unwrap_or_else(|e| panic!("{e} (SimConfig::validate admits only valid specs)"));
+            if spec.starts_with("synth:") || spec.starts_with("phases:") {
+                let report = mtvp_analysis::lint_program(&p);
+                assert_eq!(
+                    report.errors(),
+                    0,
+                    "generated co-workload `{spec}` failed error-severity lints: {:?}",
+                    report.diags
+                );
+            }
+            let (_, trace) = reference_trace(&p);
+            (p, trace)
+        })
+        .collect()
+}
+
+/// Assemble and run a CMP topology: the primary core under `tracer`,
+/// one co-runner core per co-workload, idle siblings donating remote
+/// contexts (already lowered into the primary's `PipelineConfig` by
+/// `SimConfig::to_pipeline_config`), all over one shared L3.
+fn run_cmp_on<T: Tracer, S: StageSet>(
+    cfg: &SimConfig,
+    program: &Program,
+    dyn_instrs: u64,
+    trace: Arc<mtvp_isa::trace::Trace>,
+    scale: Scale,
+    tracer: T,
+) -> (RunResult, T) {
+    let co = resolve_co_workloads(cfg, scale);
+    let mem_cfg = cfg.to_mem_config();
+    let primary: StagedCore<'_, T, S> = StagedCore::with_tracer(
+        lowered_pipeline_config(cfg, program),
+        mem_cfg,
+        program,
+        Some(trace),
+        tracer,
+    );
+    // Co-runners never borrow remote slots (only the primary spawns
+    // cross-core), so lower their configs with that knob cleared.
+    let mut co_cfg = cfg.clone();
+    co_cfg.cross_core_spawn = false;
+    let co_runners: Vec<CoRunner<'_, S>> = co
+        .iter()
+        .map(|(p, t)| {
+            CoRunner::new(StagedCore::with_mem_config(
+                lowered_pipeline_config(&co_cfg, p),
+                mem_cfg,
+                p,
+                Some(t.clone()),
+            ))
+        })
+        .collect();
+    let shared = cfg.shared_l3_spec().map(SharedL3Handle::new);
+    let mut machine = CmpMachine::assemble(cfg.cores, primary, co_runners, shared);
+    let stats = machine.run();
+    (RunResult { stats, dyn_instrs }, machine.into_tracer())
 }
 
 fn run_with_trace_on<'p, C: Core<'p>>(
@@ -125,6 +252,40 @@ pub fn run_program_traced(
     program: &Program,
     opts: &TraceOptions,
 ) -> (RunResult, RingTracer) {
+    if cfg.cores > 1 {
+        let (dyn_instrs, trace) = reference_trace(program);
+        let mut tracer = RingTracer::new(opts.ring);
+        if let Some((start, end)) = opts.window {
+            tracer = tracer.with_window(start, end);
+        }
+        // Only the primary core is traced; co-runner lifecycle events
+        // would interleave meaninglessly with the measured workload's.
+        return match (cfg.core, cfg.spawn_policy) {
+            (CoreKind::OutOfOrder, SpawnPolicyKind::Dynamic) => {
+                run_cmp_on::<RingTracer, SmtOooStages>(
+                    cfg,
+                    program,
+                    dyn_instrs,
+                    trace,
+                    Scale::Small,
+                    tracer,
+                )
+            }
+            (CoreKind::OutOfOrder, SpawnPolicyKind::Static) => {
+                run_cmp_on::<RingTracer, SmtOooStaticHintStages>(
+                    cfg,
+                    program,
+                    dyn_instrs,
+                    trace,
+                    Scale::Small,
+                    tracer,
+                )
+            }
+            (CoreKind::InOrderScalar, _) => {
+                panic!("SimConfig::validate rejects CMP topologies on the in-order core")
+            }
+        };
+    }
     match (cfg.core, cfg.spawn_policy) {
         (CoreKind::OutOfOrder, SpawnPolicyKind::Dynamic) => {
             run_traced_on::<Machine<RingTracer>>(cfg, program, opts)

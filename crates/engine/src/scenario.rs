@@ -14,7 +14,7 @@
 
 use mtvp_core::{
     parse_core, parse_mode, parse_predictor, parse_scale, parse_selector, parse_spawn_policy,
-    CoreKind, Mode, SamplingParams, SimConfig, SpawnPolicyKind, Workload,
+    CoreKind, L3Params, Mode, SamplingParams, SimConfig, SpawnPolicyKind, Workload,
 };
 use mtvp_pipeline::{PredictorKind, SelectorKind};
 use mtvp_workloads::Scale;
@@ -72,6 +72,19 @@ pub struct ConfigGrid {
     /// Two-tier sampled simulation schedule (`None`: full detailed).
     /// Scenario files accept the CLI form `"window:interval:warmup"`.
     pub sampling: Option<SamplingParams>,
+    /// CMP core-count axis (empty: single core). Varies slowest; the
+    /// label template may use a `{cores}` placeholder.
+    pub cores: Vec<usize>,
+    /// Override the shared-L3 shape. Scenario files accept the CLI form
+    /// `"kb:assoc:latency"`.
+    pub l3: Option<L3Params>,
+    /// Override the core-to-L3 interconnect hop latency (cycles).
+    pub interconnect_hop: Option<u64>,
+    /// Override cross-core speculative spawning onto idle siblings.
+    pub cross_core_spawn: Option<bool>,
+    /// Co-runner workload specs (`synth:<seed>`, `phases:<seed>`, or a
+    /// registry benchmark name), one per occupied sibling core.
+    pub co_workloads: Vec<String>,
 }
 
 impl ConfigGrid {
@@ -93,6 +106,11 @@ impl ConfigGrid {
             warm_start: None,
             max_values_per_load: None,
             sampling: None,
+            cores: Vec::new(),
+            l3: None,
+            interconnect_hop: None,
+            cross_core_spawn: None,
+            co_workloads: Vec::new(),
         }
     }
 
@@ -169,6 +187,36 @@ impl ConfigGrid {
         self
     }
 
+    /// Builder: the CMP core-count axis.
+    pub fn cores(mut self, v: &[usize]) -> ConfigGrid {
+        self.cores = v.to_vec();
+        self
+    }
+
+    /// Builder: shared-L3 shape override.
+    pub fn l3(mut self, p: L3Params) -> ConfigGrid {
+        self.l3 = Some(p);
+        self
+    }
+
+    /// Builder: interconnect hop latency override.
+    pub fn interconnect_hop(mut self, cycles: u64) -> ConfigGrid {
+        self.interconnect_hop = Some(cycles);
+        self
+    }
+
+    /// Builder: cross-core spawning override.
+    pub fn cross_core_spawn(mut self, on: bool) -> ConfigGrid {
+        self.cross_core_spawn = Some(on);
+        self
+    }
+
+    /// Builder: co-runner workload specs.
+    pub fn co_workloads(mut self, specs: &[&str]) -> ConfigGrid {
+        self.co_workloads = specs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
     /// Expand the grid into labelled, validated configurations, nested
     /// contexts → spawn → store buffer → MSHRs (outermost varies slowest).
     pub fn expand(&self) -> Result<Vec<(String, SimConfig)>, ScenarioError> {
@@ -199,6 +247,18 @@ impl ConfigGrid {
         if let Some(s) = self.sampling {
             base.sampling = Some(s);
         }
+        if let Some(p) = self.l3 {
+            base.l3 = p;
+        }
+        if let Some(h) = self.interconnect_hop {
+            base.interconnect_hop = h;
+        }
+        if let Some(x) = self.cross_core_spawn {
+            base.cross_core_spawn = x;
+        }
+        if !self.co_workloads.is_empty() {
+            base.co_workloads = self.co_workloads.clone();
+        }
         let axis = |list: &[u64], default: u64| -> Vec<u64> {
             if list.is_empty() {
                 vec![default]
@@ -223,26 +283,34 @@ impl ConfigGrid {
             &self.mshrs.iter().map(|&x| x as u64).collect::<Vec<_>>(),
             base.mshrs as u64,
         );
+        let cores = axis(
+            &self.cores.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+            base.cores as u64,
+        );
         let mut out = Vec::new();
-        for &c in &contexts {
-            for &sp in &spawns {
-                for &sb in &sbs {
-                    for &ms in &mshrs {
-                        let mut cfg = base.clone();
-                        cfg.contexts = c as usize;
-                        cfg.spawn_latency = sp;
-                        cfg.store_buffer = sb as usize;
-                        cfg.mshrs = ms as usize;
-                        let label = self
-                            .label
-                            .replace("{contexts}", &c.to_string())
-                            .replace("{spawn}", &sp.to_string())
-                            .replace("{sb}", &sb.to_string())
-                            .replace("{mshrs}", &ms.to_string());
-                        cfg.validate().map_err(|e| {
-                            ScenarioError(format!("config `{label}` is invalid: {e}"))
-                        })?;
-                        out.push((label, cfg));
+        for &nc in &cores {
+            for &c in &contexts {
+                for &sp in &spawns {
+                    for &sb in &sbs {
+                        for &ms in &mshrs {
+                            let mut cfg = base.clone();
+                            cfg.cores = nc as usize;
+                            cfg.contexts = c as usize;
+                            cfg.spawn_latency = sp;
+                            cfg.store_buffer = sb as usize;
+                            cfg.mshrs = ms as usize;
+                            let label = self
+                                .label
+                                .replace("{cores}", &nc.to_string())
+                                .replace("{contexts}", &c.to_string())
+                                .replace("{spawn}", &sp.to_string())
+                                .replace("{sb}", &sb.to_string())
+                                .replace("{mshrs}", &ms.to_string());
+                            cfg.validate().map_err(|e| {
+                                ScenarioError(format!("config `{label}` is invalid: {e}"))
+                            })?;
+                            out.push((label, cfg));
+                        }
                     }
                 }
             }
@@ -397,6 +465,14 @@ fn sampling_value(v: &Value) -> Result<SamplingParams, serde::Error> {
     SamplingParams::parse(s).map_err(|e| serde::Error(e.0))
 }
 
+fn l3_value(v: &Value) -> Result<L3Params, serde::Error> {
+    if let Ok(p) = L3Params::from_value(v) {
+        return Ok(p);
+    }
+    let s = serde::str_get(v)?;
+    L3Params::parse(s).map_err(|e| serde::Error(e.0))
+}
+
 fn core_value(v: &Value) -> Result<CoreKind, serde::Error> {
     if let Ok(c) = CoreKind::from_value(v) {
         return Ok(c);
@@ -442,6 +518,21 @@ impl Deserialize for ConfigGrid {
             None,
         )?;
         grid.sampling = tolerant(v, "sampling", |x| sampling_value(x).map(Some), None)?;
+        grid.cores = tolerant(v, "cores", Vec::from_value, Vec::new())?;
+        grid.l3 = tolerant(v, "l3", |x| l3_value(x).map(Some), None)?;
+        grid.interconnect_hop = tolerant(
+            v,
+            "interconnect_hop",
+            |x| u64::from_value(x).map(Some),
+            None,
+        )?;
+        grid.cross_core_spawn = tolerant(
+            v,
+            "cross_core_spawn",
+            |x| bool::from_value(x).map(Some),
+            None,
+        )?;
+        grid.co_workloads = tolerant(v, "co_workloads", Vec::from_value, Vec::new())?;
         Ok(grid)
     }
 }
@@ -636,6 +727,60 @@ mod tests {
             .contexts(&[4]);
         let e = grid.expand().unwrap_err();
         assert!(e.0.contains("in-order"), "{e}");
+    }
+
+    #[test]
+    fn cmp_axes_round_trip_and_expand() {
+        let mut s = Scenario::new("cmp-x", "x", "");
+        s.grids = vec![
+            ConfigGrid::new("base", Mode::Mtvp),
+            ConfigGrid::new("cmp{cores}c", Mode::Mtvp)
+                .cores(&[2, 4])
+                .l3(L3Params {
+                    kb: 2048,
+                    assoc: 8,
+                    latency: 40,
+                })
+                .interconnect_hop(6)
+                .cross_core_spawn(true),
+        ];
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let configs = back.configs().unwrap();
+        assert_eq!(
+            configs.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>(),
+            vec!["base", "cmp2c", "cmp4c"]
+        );
+        assert_eq!(configs[0].1.cores, 1);
+        assert_eq!(configs[2].1.cores, 4);
+        assert_eq!(configs[2].1.l3.kb, 2048);
+        assert_eq!(configs[2].1.interconnect_hop, 6);
+        assert!(configs[2].1.cross_core_spawn);
+
+        // Sparse JSON with the CLI l3 spelling and co-runner specs.
+        let text = r#"{
+            "name": "mini",
+            "grids": [
+                {"label": "mix{cores}", "mode": "mtvp", "cores": [2],
+                 "l3": "1024:8:30", "co_workloads": ["synth:7"]}
+            ]
+        }"#;
+        let s = Scenario::from_json(text).unwrap();
+        let configs = s.configs().unwrap();
+        assert_eq!(configs[0].0, "mix2");
+        assert_eq!(configs[0].1.l3.assoc, 8);
+        assert_eq!(configs[0].1.co_workloads, vec!["synth:7".to_string()]);
+
+        // A mix wider than the sibling cores is caught at expansion.
+        let bad = Scenario::from_json(
+            r#"{"name": "bad", "grids": [
+                {"label": "x", "mode": "mtvp", "cores": [2],
+                 "co_workloads": ["synth:1", "synth:2"]}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(bad.configs().is_err());
     }
 
     #[test]

@@ -32,10 +32,12 @@ mod cache;
 mod main_memory;
 mod mshr;
 mod prefetch;
+mod shared;
 mod system;
 
 pub use cache::{CacheGeometry, CacheStats, TagCache};
 pub use main_memory::MainMemory;
 pub use mshr::Mshr;
 pub use prefetch::{PrefetchConfig, Prefetcher, StreamBuffer};
+pub use shared::{asid_line, SharedL3Handle, SharedL3Spec};
 pub use system::{Access, AccessKind, HitLevel, MemConfig, MemEvent, MemStats, MemSystem};

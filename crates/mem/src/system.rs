@@ -3,6 +3,7 @@
 use crate::cache::{CacheGeometry, CacheStats, TagCache};
 use crate::mshr::Mshr;
 use crate::prefetch::{PrefetchConfig, PrefetchStats, Prefetcher, StreamProbe};
+use crate::shared::SharedL3Handle;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -187,9 +188,24 @@ pub struct MemSystem {
     prefetcher: Prefetcher,
     pending: BinaryHeap<PendingFill>,
     stats: MemStats,
+    /// CMP topology: when attached, the private L3 is bypassed and every
+    /// below-L2 access consults the shared last-level cache instead,
+    /// paying the interconnect round trip. `None` (the default) leaves
+    /// the single-core hierarchy byte-identical.
+    shared_l3: Option<SharedAttach>,
     /// Observation log: `None` (the default) records nothing and costs one
     /// branch per fill install; `Some` accumulates events until drained.
     obs: Option<Vec<MemEvent>>,
+}
+
+/// One core's attachment to a shared L3: the handle plus timing constants
+/// cached at attach time so the hot path takes the lock only for tag
+/// operations.
+struct SharedAttach {
+    handle: SharedL3Handle,
+    asid: u16,
+    latency: u64,
+    round_trip: u64,
 }
 
 impl MemSystem {
@@ -205,8 +221,29 @@ impl MemSystem {
             pending: BinaryHeap::new(),
             cfg,
             stats: MemStats::default(),
+            shared_l3: None,
             obs: None,
         }
+    }
+
+    /// Attach this hierarchy to a shared L3 as address space `asid`. From
+    /// now on the private L3 is bypassed: every access below L2 consults
+    /// the shared array over the interconnect instead. Call before any
+    /// timed access (the pipeline attaches at construction).
+    pub fn attach_shared_l3(&mut self, handle: SharedL3Handle, asid: u16) {
+        let latency = handle.latency();
+        let round_trip = handle.round_trip();
+        self.shared_l3 = Some(SharedAttach {
+            handle,
+            asid,
+            latency,
+            round_trip,
+        });
+    }
+
+    /// Whether a shared L3 is attached.
+    pub fn has_shared_l3(&self) -> bool {
+        self.shared_l3.is_some()
     }
 
     /// Switch on event observation. Until this is called, the hierarchy
@@ -290,17 +327,38 @@ impl MemSystem {
         self.mshr.live_count(now) < self.cfg.mshrs
     }
 
-    /// Access below L1: probe L2, then L3, then memory. Returns
-    /// (ready cycle, level, fill mask for the levels that missed).
+    /// Access below L1: probe L2, then the last level (private L3, or the
+    /// shared L3 over the interconnect when attached), then memory.
+    /// Returns (ready cycle, level, fill mask for the levels that missed).
     fn below_l1(&mut self, now: u64, line: u64) -> (u64, HitLevel, u8) {
         if self.l2.access(line, false) {
             (now + self.cfg.l2_latency, HitLevel::L2, 0)
+        } else if let Some(sh) = &self.shared_l3 {
+            if sh.handle.access(sh.asid, line) {
+                (now + sh.latency + sh.round_trip, HitLevel::L3, FILL_L2)
+            } else {
+                // Install-at-access (see `crate::shared`): the tag goes in
+                // now; the arrival window is modelled by this core's MSHR.
+                sh.handle.fill(sh.asid, line);
+                let ready = now + sh.round_trip + self.cfg.mem_latency;
+                self.mshr.allocate(now, line, ready);
+                (ready, HitLevel::Memory, FILL_L2)
+            }
         } else if self.l3.access(line, false) {
             (now + self.cfg.l3_latency, HitLevel::L3, FILL_L2)
         } else {
             let ready = now + self.cfg.mem_latency;
             self.mshr.allocate(now, line, ready);
             (ready, HitLevel::Memory, FILL_L2 | FILL_L3)
+        }
+    }
+
+    /// Last-level residency probe: the shared L3 when attached, the
+    /// private L3 otherwise.
+    fn llc_probe(&self, line: u64) -> bool {
+        match &self.shared_l3 {
+            Some(sh) => sh.handle.probe(sh.asid, line),
+            None => self.l3.probe(line),
         }
     }
 
@@ -311,7 +369,7 @@ impl MemSystem {
         !self.l1d.probe(line)
             && self.mshr.lookup(now, line).is_none()
             && !self.l2.probe(line)
-            && !self.l3.probe(line)
+            && !self.llc_probe(line)
             && !self.stream_holds(line)
             && !self.mshr_has_room(now)
     }
@@ -349,7 +407,7 @@ impl MemSystem {
         let ready = if let Some(r) = self.mshr.lookup(now, line) {
             r
         } else {
-            if !self.l2.probe(line) && !self.l3.probe(line) && !self.mshr_has_room(now) {
+            if !self.l2.probe(line) && !self.llc_probe(line) && !self.mshr_has_room(now) {
                 return;
             }
             let (ready, _, mask) = self.below_l1(now, line);
@@ -453,7 +511,12 @@ impl MemSystem {
     /// state after the fast-forward phase of a sampled simulation.
     pub fn warm_line(&mut self, addr: u64) {
         let line = self.line_of(addr);
-        self.l3.fill(line, false);
+        match &self.shared_l3 {
+            Some(sh) => sh.handle.fill(sh.asid, line),
+            None => {
+                self.l3.fill(line, false);
+            }
+        }
         self.l2.fill(line, false);
         self.l1d.fill(line, false);
     }
@@ -469,7 +532,7 @@ impl MemSystem {
             HitLevel::L1
         } else if self.l2.probe(line) {
             HitLevel::L2
-        } else if self.l3.probe(line) {
+        } else if self.llc_probe(line) {
             HitLevel::L3
         } else {
             HitLevel::Memory
@@ -636,6 +699,67 @@ mod tests {
         let b = m.access_data(a.ready_at, 4, 0x10_0000, AccessKind::Read);
         assert_eq!(b.level, HitLevel::L1);
         assert_eq!(m.next_event_cycle(b.ready_at), None);
+    }
+
+    fn shared_pair() -> (MemSystem, MemSystem, crate::shared::SharedL3Handle) {
+        let cfg = MemConfig::hpca2005();
+        let h = crate::shared::SharedL3Handle::new(crate::shared::SharedL3Spec {
+            geometry: cfg.l3,
+            latency: cfg.l3_latency,
+            hop: 4,
+        });
+        let mut a = MemSystem::new(cfg);
+        let mut b = MemSystem::new(cfg);
+        a.attach_shared_l3(h.clone(), 0);
+        b.attach_shared_l3(h.clone(), 1);
+        (a, b, h)
+    }
+
+    #[test]
+    fn shared_l3_pays_the_interconnect_and_isolates_asids() {
+        let (mut a, mut b, h) = shared_pair();
+        // Core A's cold miss travels over the link to memory and installs
+        // the shared tag at access time.
+        let first = a.access_data(0, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!(first.level, HitLevel::Memory);
+        assert_eq!(first.ready_at, 8 + 1000, "round trip + memory latency");
+        assert!(h.probe(0, 0x10_0000));
+        // Core B uses the same virtual address but a different ASID: its
+        // access must not hit core A's line.
+        let other = b.access_data(0, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!(other.level, HitLevel::Memory);
+        // Once A's private copies are evicted, the shared L3 serves it
+        // with the hop cost on top of the array latency. Evict from L1
+        // (2-way, 32KB stride) and L2 (8-way, 64KB stride) by conflict.
+        let mut now = first.ready_at;
+        for i in 1..=8u64 {
+            let x = a.access_data(now, 8, 0x10_0000 + i * 64 * 1024, AccessKind::Read);
+            now = x.ready_at + 1;
+        }
+        let back = a.access_data(now, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!(back.level, HitLevel::L3);
+        assert_eq!(back.ready_at, now + 50 + 8);
+    }
+
+    #[test]
+    fn unattached_hierarchy_is_unchanged_by_the_shared_module() {
+        // The single-core path must be byte-identical to the pre-CMP
+        // hierarchy: exact latencies of the original cold-miss test.
+        let mut m = sys();
+        assert!(!m.has_shared_l3());
+        let a = m.access_data(0, 4, 0x10_0000, AccessKind::Read);
+        assert_eq!((a.level, a.ready_at), (HitLevel::Memory, 1000));
+        let c = m.access_data(1000, 4, 0x10_0010, AccessKind::Read);
+        assert_eq!((c.level, c.ready_at), (HitLevel::L1, 1002));
+    }
+
+    #[test]
+    fn warm_line_fills_the_shared_array_when_attached() {
+        let (mut a, _b, h) = shared_pair();
+        a.warm_line(0x42_0000);
+        assert!(h.probe(0, 0x42_0000));
+        assert!(!h.probe(1, 0x42_0000));
+        assert_eq!(a.probe_level(0x42_0000), HitLevel::L1);
     }
 
     #[test]

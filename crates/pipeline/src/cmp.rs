@@ -1,0 +1,298 @@
+//! CMP topology: M cores × T contexts over a shared last-level cache.
+//!
+//! A [`CmpMachine`] runs one *primary* core — the measured workload —
+//! alongside zero or more *co-runner* cores executing independent
+//! programs, all attached to one [`SharedL3Handle`] (each under its own
+//! ASID, so co-scheduled programs contend for capacity without ever
+//! hitting each other's lines). Cores without a co-runner are *idle
+//! siblings*: the primary may borrow their contexts as remote spawn
+//! slots (`PipelineConfig::remote_contexts`), paying the interconnect on
+//! spawn (register-map flash-copy crosses the link) and on reconcile
+//! (the remote store buffer drains back before the slot frees).
+//!
+//! The cycle loop is *lockstep*: every live core steps one cycle per
+//! iteration, in core order, from a single thread — so shared-L3
+//! interleaving is deterministic by construction. When every core's
+//! cycle is fully idle, all cores jump together to the earliest
+//! scheduled event on *any* core, preserving each core's idle-cycle
+//! accounting exactly as its own single-core fast-forward would.
+//!
+//! A `CmpMachine` with no co-runners and no shared L3 (a `cores = 1`
+//! topology) delegates to the primary's own [`StagedCore::run`] loop
+//! verbatim, so its statistics and trace events are bit-identical to a
+//! plain [`crate::Machine`] — the differential tests lock this down.
+
+use crate::framework::{SmtOooStages, StageSet};
+use crate::machine::{StagedCore, WATCHDOG_CYCLES};
+use crate::stats::PipeStats;
+use mtvp_mem::SharedL3Handle;
+use mtvp_obs::{NullTracer, Tracer};
+
+/// One co-runner core: an independent program occupying a sibling core
+/// of the CMP, built from its own pipeline configuration (no remote
+/// slots — only the primary borrows contexts).
+pub struct CoRunner<'p, S: StageSet = SmtOooStages> {
+    core: StagedCore<'p, NullTracer, S>,
+}
+
+impl<'p, S: StageSet> CoRunner<'p, S> {
+    /// Wrap an already-built core as a co-runner. The core should share
+    /// the primary's stage set and must not borrow remote contexts.
+    pub fn new(core: StagedCore<'p, NullTracer, S>) -> Self {
+        CoRunner { core }
+    }
+}
+
+/// An M-core chip multiprocessor stepping its cores in lockstep.
+///
+/// Generic over the primary core's tracer `T` (co-runners are never
+/// traced) and the stage set `S` every core is composed with.
+pub struct CmpMachine<'p, T: Tracer = NullTracer, S: StageSet = SmtOooStages> {
+    /// Total cores in the topology, including idle siblings that only
+    /// donate remote context slots (`>= 1 + co.len()`).
+    cores: usize,
+    primary: StagedCore<'p, T, S>,
+    co: Vec<StagedCore<'p, NullTracer, S>>,
+    shared: Option<SharedL3Handle>,
+}
+
+impl<'p, T: Tracer, S: StageSet> CmpMachine<'p, T, S> {
+    /// Assemble a CMP from an already-built primary core, its co-runner
+    /// cores, and (for topologies with more than one core) the shared
+    /// L3 every core attaches to.
+    ///
+    /// Attachment order fixes ASIDs: the primary is ASID 0, co-runner
+    /// `i` is ASID `i + 1`. Each attach re-warms that core's data image
+    /// into the shared array when the core is configured to warm-start
+    /// (see [`StagedCore::attach_shared_l3`]).
+    ///
+    /// # Panics
+    /// Panics if `cores` cannot seat the primary and every co-runner.
+    pub fn assemble(
+        cores: usize,
+        mut primary: StagedCore<'p, T, S>,
+        co_runners: Vec<CoRunner<'p, S>>,
+        shared: Option<SharedL3Handle>,
+    ) -> Self {
+        assert!(
+            cores > co_runners.len(),
+            "{cores} cores cannot seat a primary and {} co-runners",
+            co_runners.len()
+        );
+        let mut co: Vec<StagedCore<'p, NullTracer, S>> =
+            co_runners.into_iter().map(|r| r.core).collect();
+        if let Some(h) = &shared {
+            primary.attach_shared_l3(h.clone(), 0);
+            for (i, m) in co.iter_mut().enumerate() {
+                m.attach_shared_l3(h.clone(), (i + 1) as u16);
+            }
+        }
+        CmpMachine {
+            cores,
+            primary,
+            co,
+            shared,
+        }
+    }
+
+    /// Run the topology until the primary finishes (halt, instruction
+    /// limit, or cycle limit) and return the primary's statistics with
+    /// the [`crate::CmpSummary`] filled in.
+    ///
+    /// Co-runners that finish first sit idle; co-runners still running
+    /// when the primary finishes are abandoned where they are (their
+    /// committed path up to that point was trace-validated as usual).
+    ///
+    /// # Panics
+    /// Panics if the primary wedges (no commit for two million cycles)
+    /// or any core fails commit-time trace validation.
+    pub fn run(&mut self) -> PipeStats {
+        if self.co.is_empty() && self.shared.is_none() {
+            // Single-core topology: literally the plain machine.
+            return self.primary.run();
+        }
+        loop {
+            if self.primary.done {
+                break;
+            }
+            let mut progress = self.primary.cmp_step();
+            for m in &mut self.co {
+                if !m.done {
+                    progress |= m.cmp_step();
+                }
+            }
+            if !progress && self.primary.cfg.fast_forward {
+                self.fast_forward_all();
+            }
+            if self.primary.cycles_since_commit() > WATCHDOG_CYCLES {
+                panic!(
+                    "primary core wedged at cycle {} (committed={})",
+                    self.primary.now, self.primary.stats.committed
+                );
+            }
+            if self.primary.now >= self.primary.cfg.max_cycles {
+                break;
+            }
+            let limit = self.primary.cfg.inst_limit;
+            if limit > 0 && self.primary.stats.committed >= limit {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// All cores were fully idle this cycle: jump every live core to the
+    /// earliest scheduled event on *any* live core (or straight into the
+    /// primary's watchdog/cycle cap when nothing is scheduled anywhere).
+    fn fast_forward_all(&mut self) {
+        let cap = self
+            .primary
+            .cfg
+            .max_cycles
+            .min(self.primary.now.saturating_add(WATCHDOG_CYCLES + 1));
+        let mut target = cap;
+        let mut note = |w: Option<u64>| {
+            if let Some(t) = w {
+                target = target.min(t);
+            }
+        };
+        note(self.primary.next_wakeup_cycle());
+        for m in &self.co {
+            if !m.done {
+                note(m.next_wakeup_cycle());
+            }
+        }
+        self.primary.cmp_fast_forward_to(target);
+        for m in &mut self.co {
+            if !m.done {
+                m.cmp_fast_forward_to(target);
+            }
+        }
+    }
+
+    /// Finalize every core's counters and fold the topology summary into
+    /// the primary's statistics.
+    fn finish(&mut self) -> PipeStats {
+        let mut stats = self.primary.stats_now();
+        stats.cmp.cores = self.cores;
+        for m in &mut self.co {
+            let s = m.stats_now();
+            stats.cmp.co_committed += s.committed;
+            stats.cmp.co_cycles += s.cycles;
+        }
+        if let Some(h) = &self.shared {
+            let cs = h.stats();
+            stats.cmp.shared_l3_hits = cs.hits;
+            stats.cmp.shared_l3_misses = cs.misses;
+        }
+        stats
+    }
+
+    /// Per-co-runner statistics snapshots (tests and reporting).
+    pub fn co_stats(&mut self) -> Vec<PipeStats> {
+        self.co.iter_mut().map(|m| m.stats_now()).collect()
+    }
+
+    /// Consume the machine, yielding the primary's tracer.
+    pub fn into_tracer(self) -> T {
+        self.primary.into_tracer()
+    }
+
+    /// The primary core (tests).
+    pub fn primary(&self) -> &StagedCore<'p, T, S> {
+        &self.primary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::machine::Machine;
+    use mtvp_isa::{Program, ProgramBuilder, Reg};
+    use mtvp_mem::{CacheGeometry, MemConfig, SharedL3Spec};
+
+    fn loop_program(iters: i64, stride: i64, words: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let init: Vec<u64> = (0..words).map(|i| i * 3 + 1).collect();
+        let arena = b.alloc_u64(&init);
+        let (sum, i, n, base, addr, v) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6));
+        b.li(sum, 0).li(i, 0).li(n, iters).li(base, arena as i64);
+        let top = b.here_label();
+        let mask = ((words - 1) << 3) as i64 & !7;
+        b.mul(addr, i, Reg(3));
+        b.addi(addr, addr, stride);
+        b.andi(addr, addr, mask);
+        b.add(addr, addr, base);
+        b.ld(v, addr, 0);
+        b.add(sum, sum, v);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        b.build()
+    }
+
+    fn shared_handle() -> SharedL3Handle {
+        SharedL3Handle::new(SharedL3Spec {
+            geometry: CacheGeometry::new(64 * 1024, 8, 64),
+            latency: 20,
+            hop: 4,
+        })
+    }
+
+    #[test]
+    fn single_core_topology_is_bit_identical_to_the_plain_machine() {
+        let p = loop_program(60, 5, 256);
+        let mut cfg = PipelineConfig::tiny();
+        cfg.fast_forward = false;
+        let mut plain = Machine::with_mem_config(cfg.clone(), MemConfig::tiny(), &p, None);
+        let expect = plain.run();
+        let primary = Machine::with_mem_config(cfg, MemConfig::tiny(), &p, None);
+        let mut cmp = CmpMachine::assemble(1, primary, Vec::new(), None);
+        let got = cmp.run();
+        assert_eq!(got, expect);
+        assert_eq!(got.cmp.cores, 0, "single-core runs carry no CMP summary");
+    }
+
+    #[test]
+    fn co_runner_contends_for_the_shared_array_and_both_validate() {
+        let pa = loop_program(80, 7, 512);
+        let pb = loop_program(80, 11, 512);
+        let cfg = PipelineConfig::tiny();
+        let primary = Machine::with_mem_config(cfg.clone(), MemConfig::tiny(), &pa, None);
+        let co = Machine::with_mem_config(cfg, MemConfig::tiny(), &pb, None);
+        let mut cmp =
+            CmpMachine::assemble(2, primary, vec![CoRunner::new(co)], Some(shared_handle()));
+        let stats = cmp.run();
+        assert!(stats.halted, "primary must run to halt");
+        assert_eq!(stats.cmp.cores, 2);
+        let co_stats = cmp.co_stats();
+        assert_eq!(co_stats.len(), 1);
+        assert!(co_stats[0].committed > 0, "co-runner made progress");
+        assert!(
+            stats.cmp.shared_l3_hits + stats.cmp.shared_l3_misses > 0,
+            "demand traffic reached the shared array"
+        );
+        assert_eq!(stats.cmp.co_committed, co_stats[0].committed);
+    }
+
+    #[test]
+    fn lockstep_run_is_deterministic() {
+        let build = || {
+            let pa = loop_program(50, 3, 256);
+            let pb = loop_program(70, 9, 256);
+            (pa, pb)
+        };
+        let run = |pa: &Program, pb: &Program| {
+            let cfg = PipelineConfig::tiny();
+            let primary = Machine::with_mem_config(cfg.clone(), MemConfig::tiny(), pa, None);
+            let co = Machine::with_mem_config(cfg, MemConfig::tiny(), pb, None);
+            CmpMachine::assemble(3, primary, vec![CoRunner::new(co)], Some(shared_handle())).run()
+        };
+        let (pa, pb) = build();
+        let a = run(&pa, &pb);
+        let b = run(&pa, &pb);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp.cores, 3);
+    }
+}

@@ -139,6 +139,21 @@ impl VpConfig {
 pub struct PipelineConfig {
     /// Hardware thread contexts (1, 2, 4 or 8 in the paper).
     pub hw_contexts: usize,
+    /// Additional *remote* context slots borrowed from idle sibling cores
+    /// in a CMP topology (0 outside CMP runs). Remote slots sit after the
+    /// local ones, so the spawn path naturally prefers local contexts;
+    /// spawning into one pays `remote_spawn_extra` on top of the normal
+    /// spawn latency, and freeing one keeps it unavailable for
+    /// `remote_reconcile` cycles (store-buffer reconciliation over the
+    /// interconnect).
+    pub remote_contexts: usize,
+    /// Extra spawn latency (cycles) for a remote slot: the flash-copied
+    /// register map crosses the interconnect to the sibling core.
+    pub remote_spawn_extra: u64,
+    /// Cycles a remote slot stays busy after its thread is killed or
+    /// promoted: speculative store-buffer state is reconciled (drained or
+    /// discarded) across the interconnect before the slot can be reused.
+    pub remote_reconcile: u64,
     /// Total instructions fetched per cycle (16).
     pub fetch_width: usize,
     /// Threads fetched per cycle (2 — "from 2 cachelines").
@@ -200,6 +215,9 @@ impl PipelineConfig {
     pub fn hpca2005() -> Self {
         PipelineConfig {
             hw_contexts: 1,
+            remote_contexts: 0,
+            remote_spawn_extra: 0,
+            remote_reconcile: 0,
             fetch_width: 16,
             fetch_threads: 2,
             front_end_latency: 10,
@@ -281,8 +299,14 @@ impl PipelineConfig {
         }
     }
 
+    /// Total context slots: local hardware contexts plus borrowed remote
+    /// slots (indices `>= hw_contexts` are remote).
+    pub fn total_contexts(&self) -> usize {
+        self.hw_contexts + self.remote_contexts
+    }
+
     /// Number of physical registers per class.
     pub fn phys_regs_per_class(&self) -> usize {
-        32 * self.hw_contexts + self.rename_regs
+        32 * self.total_contexts() + self.rename_regs
     }
 }

@@ -83,6 +83,11 @@ pub struct Context {
     /// Thread committed `halt` while speculative (chain ends here if this
     /// thread is eventually promoted).
     pub committed_halt: bool,
+    /// A freed *remote* (borrowed cross-core) slot may not be re-spawned
+    /// into before this cycle: store-buffer reconciliation and the
+    /// interconnect round trip keep the slot busy after a kill/promote.
+    /// Always 0 for local slots.
+    pub free_at: u64,
     /// Fetch may not resume before this cycle (I-cache miss in progress,
     /// or spawn latency for a fresh child).
     pub fetch_ready_at: u64,
@@ -151,6 +156,7 @@ impl Context {
             wait_redirect: false,
             halted: false,
             committed_halt: false,
+            free_at: 0,
             fetch_ready_at: 0,
             rename_ready_at: 0,
             spawn_load: None,

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cmp;
 mod config;
 mod context;
 pub mod framework;
@@ -54,6 +55,7 @@ mod regfile;
 mod stats;
 mod uop;
 
+pub use cmp::{CmpMachine, CoRunner};
 pub use config::{FetchPolicy, PipelineConfig, PredictorKind, SelectorKind, VpConfig};
 pub use framework::{
     Core, InOrderStages, SmtOooStages, SmtOooStaticHintStages, SpawnPolicy, Stage, StageSet,
@@ -61,4 +63,4 @@ pub use framework::{
 };
 pub use machine::{InOrderMachine, Machine, StagedCore, StaticHintMachine};
 pub use regfile::{PhysRegFile, PregId, RegClass};
-pub use stats::{BranchStats, PipeStats, VpStats};
+pub use stats::{BranchStats, CmpSummary, PipeStats, VpStats};

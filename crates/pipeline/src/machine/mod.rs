@@ -42,7 +42,7 @@ pub(crate) const IADDR_BASE: u64 = 0x4000_0000_0000;
 pub(crate) const FETCH_BUFFER_CAP: usize = 48;
 
 /// Watchdog: a machine that commits nothing for this many cycles is wedged.
-const WATCHDOG_CYCLES: u64 = 2_000_000;
+pub(crate) const WATCHDOG_CYCLES: u64 = 2_000_000;
 
 /// An execution-completion event: (finish cycle, uop, slab generation,
 /// execution token).
@@ -280,6 +280,50 @@ struct ProgressMark {
     reissue_origin: Option<UopId>,
 }
 
+/// Walk the program's initialized data image through the cache tags —
+/// the state after a fast-forward phase of a SimPoint-sampled run.
+///
+/// Only the tail of the walk can survive in an LRU cache: once a set
+/// absorbs a full complement of distinct fills, whatever it held before
+/// is gone. Skipping all but the last 2×capacity lines of the walk is
+/// therefore bit-exact (the 2× margin guarantees every set sees at least
+/// `assoc` fills even when segment boundaries skew the set rotation) and
+/// keeps construction O(cache) instead of O(image) — constant-data
+/// images run to tens of MiB.
+///
+/// Called from `build`, and again by [`StagedCore::attach_shared_l3`]
+/// so the shared array holds the same image tail a private LLC would.
+fn warm_data_image(mem_sys: &mut MemSystem, program: &Program) {
+    let mem_cfg = *mem_sys.config();
+    let line = mem_cfg.line_bytes;
+    let seg_lines = |seg: &mtvp_isa::DataSegment| {
+        let start = seg.base & !(line - 1);
+        let end = seg.base + seg.bytes.len() as u64;
+        end.saturating_sub(start).div_ceil(line)
+    };
+    let total: u64 = program.data.iter().map(&seg_lines).sum();
+    let keep = 2 * [mem_cfg.l1d, mem_cfg.l2, mem_cfg.l3]
+        .iter()
+        .map(|g| g.size_bytes / g.line_bytes)
+        .max()
+        .expect("three levels");
+    let mut skip = total.saturating_sub(keep);
+    for seg in &program.data {
+        let n = seg_lines(seg);
+        if skip >= n {
+            skip -= n;
+            continue;
+        }
+        let mut a = (seg.base & !(line - 1)) + skip * line;
+        skip = 0;
+        let end = seg.base + seg.bytes.len() as u64;
+        while a < end {
+            mem_sys.warm_line(a);
+            a += line;
+        }
+    }
+}
+
 impl<'p, S: StageSet> StagedCore<'p, NullTracer, S> {
     /// Build a machine for `program`. A committed-path `trace` is required
     /// for the oracle predictor and enables commit-time path validation in
@@ -348,44 +392,10 @@ impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
             mem_sys.obs_enable();
         }
         if cfg.warm_start {
-            // Only the tail of the walk can survive in an LRU cache: once
-            // a set absorbs a full complement of distinct fills, whatever
-            // it held before is gone. Skipping all but the last
-            // 2×capacity lines of the walk is therefore bit-exact (the 2×
-            // margin guarantees every set sees at least `assoc` fills even
-            // when segment boundaries skew the set rotation) and keeps
-            // construction O(cache) instead of O(image) — constant-data
-            // images run to tens of MiB.
-            let line = mem_cfg.line_bytes;
-            let seg_lines = |seg: &mtvp_isa::DataSegment| {
-                let start = seg.base & !(line - 1);
-                let end = seg.base + seg.bytes.len() as u64;
-                end.saturating_sub(start).div_ceil(line)
-            };
-            let total: u64 = program.data.iter().map(&seg_lines).sum();
-            let keep = 2 * [mem_cfg.l1d, mem_cfg.l2, mem_cfg.l3]
-                .iter()
-                .map(|g| g.size_bytes / g.line_bytes)
-                .max()
-                .expect("three levels");
-            let mut skip = total.saturating_sub(keep);
-            for seg in &program.data {
-                let n = seg_lines(seg);
-                if skip >= n {
-                    skip -= n;
-                    continue;
-                }
-                let mut a = (seg.base & !(line - 1)) + skip * line;
-                skip = 0;
-                let end = seg.base + seg.bytes.len() as u64;
-                while a < end {
-                    mem_sys.warm_line(a);
-                    a += line;
-                }
-            }
+            warm_data_image(&mut mem_sys, program);
         }
         let mut rf = PhysRegFile::new(cfg.phys_regs_per_class());
-        let mut ctxs: Vec<Context> = (0..cfg.hw_contexts)
+        let mut ctxs: Vec<Context> = (0..cfg.total_contexts())
             .map(|_| Context::free(cfg.ras_entries))
             .collect();
 
@@ -547,6 +557,56 @@ impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
     pub fn stats_now(&mut self) -> PipeStats {
         self.finalize_stats();
         self.stats.clone()
+    }
+
+    // ---- CMP lockstep primitives (used by [`crate::CmpMachine`]) -------
+
+    /// Attach this core to a shared last-level cache, replacing its
+    /// private L3 for all demand traffic. When warm-starting, the data
+    /// image is re-walked so the shared array holds the same tail a
+    /// private LLC would after fast-forward; the private L1/L2 re-touch
+    /// is a no-op because the walk repeats the exact access sequence, so
+    /// their LRU state is unchanged.
+    pub fn attach_shared_l3(&mut self, handle: mtvp_mem::SharedL3Handle, asid: u16) {
+        self.mem_sys.attach_shared_l3(handle, asid);
+        if self.cfg.warm_start {
+            warm_data_image(&mut self.mem_sys, self.program);
+        }
+    }
+
+    /// One lockstep cycle for the CMP driver: simulate a cycle and report
+    /// whether it made observable progress. Idle accounting matches the
+    /// single-core loop cycle-for-cycle; the *jump* over an idle stretch
+    /// is the driver's job, because the next event that matters may
+    /// belong to a sibling core.
+    pub(crate) fn cmp_step(&mut self) -> bool {
+        let before = self.progress_mark();
+        self.cycle();
+        let progressed = self.progress_mark() != before;
+        if !progressed {
+            self.stats.idle_cycles += 1;
+        }
+        progressed
+    }
+
+    /// Jump straight to `target` — a cycle the CMP driver chose as the
+    /// earliest scheduled event on *any* core — with the same idle-cycle
+    /// and round-robin bookkeeping as `fast_forward_idle`.
+    pub(crate) fn cmp_fast_forward_to(&mut self, target: u64) {
+        if target <= self.now {
+            return;
+        }
+        let skipped = target - self.now;
+        self.stats.idle_cycles += skipped;
+        let n = self.ctxs.len();
+        self.rr_cursor = (self.rr_cursor + (skipped % n as u64) as usize) % n;
+        self.now = target;
+    }
+
+    /// Cycles since the last architectural commit (the CMP watchdog's
+    /// wedge detector, mirroring the single-core loop's check).
+    pub(crate) fn cycles_since_commit(&self) -> u64 {
+        self.now.saturating_sub(self.last_commit_cycle)
     }
 
     /// Inject architectural state captured by the functional interpreter:
@@ -757,7 +817,7 @@ impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
     /// A stalled stage with none of these pending (e.g. a wrong-path
     /// context that ran off the text segment) is woken by whichever event
     /// eventually redirects it, so the set above is exhaustive.
-    fn next_wakeup_cycle(&self) -> Option<u64> {
+    pub(crate) fn next_wakeup_cycle(&self) -> Option<u64> {
         // `now` is the next cycle to execute, so an event due exactly at
         // `now` must be kept (it makes the jump a no-op), not skipped.
         let mut wake: Option<u64> = None;
@@ -1043,9 +1103,14 @@ impl<'p, T: Tracer, S: StageSet> StagedCore<'p, T, S> {
         self.last_commit_cycle = self.now;
     }
 
-    /// Find a free hardware context, if any.
+    /// Find a free hardware context, if any. Local slots come first in
+    /// `ctxs`, so a CMP machine with borrowed remote slots naturally
+    /// prefers local contexts; a freed remote slot stays unavailable
+    /// until its cross-core reconciliation finishes (`free_at`).
     pub(crate) fn find_free_ctx(&self) -> Option<CtxId> {
-        self.ctxs.iter().position(|c| c.state == CtxState::Free)
+        self.ctxs
+            .iter()
+            .position(|c| c.state == CtxState::Free && c.free_at <= self.now)
     }
 
     /// Queue for an execution-unit class.

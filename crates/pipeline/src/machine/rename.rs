@@ -347,6 +347,14 @@ impl<T: Tracer, S: StageSet> StagedCore<'_, T, S> {
             self.rf.incref(RegClass::Fp, preg);
         }
 
+        // A remote (cross-core) slot pays the interconnect on top of the
+        // flash-copy: the register map travels to the sibling core.
+        let remote = child >= self.cfg.hw_contexts;
+        let mut spawn_lat = self.cfg.vp.spawn_latency;
+        if remote {
+            spawn_lat += self.cfg.remote_spawn_extra;
+            self.stats.vp.cross_core_spawns += 1;
+        }
         let c = &mut self.ctxs[child];
         c.state = CtxState::Active;
         c.speculative = true;
@@ -354,8 +362,8 @@ impl<T: Tracer, S: StageSet> StagedCore<'_, T, S> {
         c.spawn_seq = load_seq;
         c.int_map = int_map;
         c.fp_map = fp_map;
-        c.fetch_ready_at = self.now + self.cfg.vp.spawn_latency;
-        c.rename_ready_at = self.now + self.cfg.vp.spawn_latency;
+        c.fetch_ready_at = self.now + spawn_lat;
+        c.rename_ready_at = self.now + spawn_lat;
         c.spawn_load = Some((load, self.uops.generation(load)));
         c.committed_spec = 0;
         c.committed_halt = false;

@@ -37,6 +37,29 @@ pub struct VpStats {
     pub reissued_uops: u64,
     /// Commit stalls due to a full speculative store buffer.
     pub store_buffer_stalls: u64,
+    /// Threads spawned into a borrowed remote-core context (CMP
+    /// cross-core spawning; zero on single-core machines).
+    pub cross_core_spawns: u64,
+    /// Remote contexts returned to the free pool at reconcile/kill time
+    /// (each pays the cross-core reconciliation latency).
+    pub cross_core_reconciles: u64,
+}
+
+/// CMP topology summary: filled only by [`crate::CmpMachine`] runs with
+/// more than one core; all-zero (the default) on single-core runs, so a
+/// `cores=1` CMP run stays bit-identical to the plain machine.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmpSummary {
+    /// Cores in the topology (0 = not a CMP run).
+    pub cores: usize,
+    /// Architectural commits across all co-runner cores.
+    pub co_committed: u64,
+    /// Cycles simulated across all co-runner cores.
+    pub co_cycles: u64,
+    /// Shared-L3 hits (all cores, demand accesses).
+    pub shared_l3_hits: u64,
+    /// Shared-L3 misses (all cores, demand accesses).
+    pub shared_l3_misses: u64,
 }
 
 /// Branch statistics.
@@ -88,6 +111,8 @@ pub struct PipeStats {
     pub predictor: PredictorCounters,
     /// Maximum number of contexts simultaneously active.
     pub peak_contexts: usize,
+    /// CMP topology summary (all-zero outside `CmpMachine` runs).
+    pub cmp: CmpSummary,
 }
 
 impl PipeStats {

@@ -14,8 +14,8 @@
 
 use mtvp_engine::{
     builtin, parse_core, parse_mode, parse_predictor, parse_scale, parse_selector,
-    parse_spawn_policy, CellEntry, CoreKind, Mode, PredictorKind, RunReport, SamplingParams, Scale,
-    Scenario, SelectorKind, SimConfig, SpawnPolicyKind,
+    parse_spawn_policy, CellEntry, CoreKind, L3Params, Mode, PredictorKind, RunReport,
+    SamplingParams, Scale, Scenario, SelectorKind, SimConfig, SpawnPolicyKind,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -43,6 +43,11 @@ const CONFIG_KEYS: &[&str] = &[
     "warm_start",
     "fast_forward",
     "sampling",
+    "cores",
+    "l3",
+    "interconnect_hop",
+    "cross_core_spawn",
+    "co_workloads",
 ];
 
 /// A validated `POST /run` body.
@@ -234,6 +239,28 @@ pub fn config_from_value(v: Option<&Value>) -> Result<SimConfig, String> {
                 SamplingParams::parse(s).map_err(|e| e.0)?
             }
         });
+    }
+    if let Some(n) = usize_field(v, "cores")? {
+        cfg.cores = n;
+    }
+    if let Some(lv) = v.get("l3").filter(|x| !matches!(x, Value::Null)) {
+        cfg.l3 = match L3Params::from_value(lv) {
+            Ok(p) => p,
+            Err(_) => {
+                let s = lv.as_str().ok_or_else(|| format!("bad l3 shape {lv}"))?;
+                L3Params::parse(s).map_err(|e| e.0)?
+            }
+        };
+    }
+    if let Some(n) = u64_field(v, "interconnect_hop")? {
+        cfg.interconnect_hop = n;
+    }
+    if let Some(b) = bool_field(v, "cross_core_spawn")? {
+        cfg.cross_core_spawn = b;
+    }
+    if let Some(cv) = v.get("co_workloads").filter(|x| !matches!(x, Value::Null)) {
+        cfg.co_workloads = Vec::from_value(cv)
+            .map_err(|_| "field `co_workloads` must be a string list".to_string())?;
     }
     cfg.validate().map_err(|e| e.0)?;
     Ok(cfg)

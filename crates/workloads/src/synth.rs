@@ -6,6 +6,7 @@
 //! the reference interpreter's architectural state on every one of them,
 //! under every speculation mode.
 
+use crate::Scale;
 use mtvp_isa::{Program, ProgramBuilder, Reg};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -130,6 +131,174 @@ pub fn random_program(seed: u64, p: SynthParams) -> Program {
     b.build()
 }
 
+/// Shape of a phase-changing generated program (see [`phase_program`]).
+#[derive(Copy, Clone, Debug)]
+pub struct PhaseParams {
+    /// Distinct behaviour phases, executed back to back.
+    pub phases: usize,
+    /// Outer-loop iterations per phase.
+    pub iterations: u64,
+    /// Random body operations per phase iteration.
+    pub body_ops: usize,
+    /// log2 of the data arena in 8-byte words.
+    pub arena_words_log2: u32,
+}
+
+impl Default for PhaseParams {
+    fn default() -> Self {
+        PhaseParams {
+            phases: 3,
+            iterations: 30,
+            body_ops: 24,
+            arena_words_log2: 11,
+        }
+    }
+}
+
+impl PhaseParams {
+    /// Default shape scaled to a workload [`Scale`] (iteration counts
+    /// follow the registry kernels' scale factor).
+    pub fn for_scale(scale: Scale) -> Self {
+        PhaseParams {
+            iterations: 30 * scale.iter_factor(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Generate a *phase-changing* random program from `seed`: several
+/// back-to-back bounded loops, each with a distinct behaviour profile —
+/// memory-bound (load-heavy), compute-bound (ALU-heavy), or store-heavy
+/// — chosen pseudo-randomly per phase. Co-scheduling one of these next
+/// to a measured workload exercises a shared cache under *time-varying*
+/// pressure, which steady-state co-runners cannot.
+///
+/// The same halt guarantee as [`random_program`] holds: the only
+/// backward branches are the per-phase loops, each bounded by a counter
+/// the random body never touches, and all memory traffic stays 8-byte
+/// aligned inside a private arena.
+pub fn phase_program(seed: u64, p: PhaseParams) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut b = ProgramBuilder::new();
+    b.name(format!("phases-{seed}"));
+
+    let arena_words = 1u64 << p.arena_words_log2;
+    let init: Vec<u64> = (0..arena_words).map(|_| rng.r#gen()).collect();
+    let arena = b.alloc_u64(&init);
+
+    let work: Vec<Reg> = (1..=8).map(Reg).collect();
+    let (base, cnt, bound, addr) = (Reg(20), Reg(21), Reg(22), Reg(23));
+    let arena_mask = ((arena_words - 1) << 3) as i64 & !7;
+
+    b.li(base, arena as i64);
+    for (k, r) in work.iter().enumerate() {
+        b.li(*r, (seed as i64).wrapping_mul(k as i64 + 5) ^ 0x3C3C);
+    }
+
+    for phase in 0..p.phases {
+        // Per-phase op-class weights: (alu, load, store), out of 12.
+        let (alu_w, load_w) = match rng.gen_range(0..3u32) {
+            0 => (3, 7), // memory-bound: mostly loads
+            1 => (9, 2), // compute-bound: mostly ALU
+            _ => (4, 3), // store-heavy: the rest of the weight is stores
+        };
+        // Phase-local stride perturbs which sets the phase leans on.
+        let stride = (rng.gen_range(1..=64i64)) * 8;
+        b.li(cnt, 0);
+        b.li(bound, p.iterations as i64);
+        let top = b.here_label();
+        for _ in 0..p.body_ops {
+            let rd = work[rng.gen_range(0..work.len())];
+            let rs1 = work[rng.gen_range(0..work.len())];
+            let rs2 = work[rng.gen_range(0..work.len())];
+            let roll = rng.gen_range(0..12u32);
+            if roll < alu_w {
+                match roll % 4 {
+                    0 => {
+                        b.add(rd, rs1, rs2);
+                    }
+                    1 => {
+                        b.mul(rd, rs1, rs2);
+                    }
+                    2 => {
+                        b.xor(rd, rs1, rs2);
+                    }
+                    _ => {
+                        b.addi(rd, rs1, rng.gen_range(-64..64));
+                    }
+                }
+            } else if roll < alu_w + load_w {
+                b.addi(addr, rs1, stride.wrapping_mul(i64::from(phase as u32 + 1)));
+                b.andi(addr, addr, arena_mask);
+                b.add(addr, addr, base);
+                b.ld(rd, addr, 0);
+            } else {
+                b.andi(addr, rs1, arena_mask);
+                b.add(addr, addr, base);
+                b.st(rs2, addr, 0);
+            }
+        }
+        b.addi(cnt, cnt, 1);
+        b.blt(cnt, bound, top);
+    }
+    b.halt();
+    b.build()
+}
+
+/// Check a co-workload specifier without building it: a registry
+/// benchmark name, `synth:<seed>`, or `phases:<seed>`.
+///
+/// # Errors
+/// Returns a message naming the offending spec.
+pub fn validate_co_spec(spec: &str) -> Result<(), String> {
+    let seed_of = |prefix: &str, s: &str| {
+        s.parse::<u64>()
+            .map(|_| ())
+            .map_err(|_| format!("co-workload `{prefix}:{s}`: seed is not a number"))
+    };
+    if let Some(s) = spec.strip_prefix("synth:") {
+        seed_of("synth", s)
+    } else if let Some(s) = spec.strip_prefix("phases:") {
+        seed_of("phases", s)
+    } else if crate::suite().iter().any(|w| w.name == spec) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown co-workload `{spec}` (expected a registry benchmark name, synth:<seed>, \
+             or phases:<seed>)"
+        ))
+    }
+}
+
+/// Build the program a co-workload specifier names, at `scale`.
+/// Synthetic specs scale their iteration counts with the registry
+/// kernels' scale factor, so a mix's relative lengths are stable across
+/// scales; generation is deterministic in (spec, scale).
+///
+/// # Errors
+/// Returns a message naming the offending spec (same checks as
+/// [`validate_co_spec`]).
+pub fn build_co_workload(spec: &str, scale: Scale) -> Result<Program, String> {
+    validate_co_spec(spec)?;
+    if let Some(s) = spec.strip_prefix("synth:") {
+        let seed: u64 = s.parse().expect("validated above");
+        let params = SynthParams {
+            iterations: 40 * scale.iter_factor(),
+            ..SynthParams::default()
+        };
+        Ok(random_program(seed, params))
+    } else if let Some(s) = spec.strip_prefix("phases:") {
+        let seed: u64 = s.parse().expect("validated above");
+        Ok(phase_program(seed, PhaseParams::for_scale(scale)))
+    } else {
+        let wl = crate::suite()
+            .into_iter()
+            .find(|w| w.name == spec)
+            .expect("validated above");
+        Ok(wl.build(scale))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +346,38 @@ mod tests {
             let res = Interp::new(&p).run(&mut bus, 1_000_000);
             assert!(res.halted);
         }
+    }
+
+    #[test]
+    fn phase_programs_halt_and_regenerate() {
+        for seed in 0..10 {
+            let p = phase_program(seed, PhaseParams::default());
+            let mut bus = SimpleBus::new();
+            let res = Interp::new(&p).run(&mut bus, 2_000_000);
+            assert!(res.halted, "phases seed {seed} did not halt");
+            assert_eq!(p, phase_program(seed, PhaseParams::default()));
+        }
+        assert_ne!(
+            phase_program(1, PhaseParams::default()),
+            phase_program(2, PhaseParams::default())
+        );
+    }
+
+    #[test]
+    fn co_workload_specs_resolve_and_reject() {
+        assert!(validate_co_spec("mcf").is_ok());
+        assert!(validate_co_spec("synth:3").is_ok());
+        assert!(validate_co_spec("phases:12").is_ok());
+        assert!(validate_co_spec("nonesuch").is_err());
+        assert!(validate_co_spec("synth:xyz").is_err());
+        assert!(validate_co_spec("phases:").is_err());
+
+        let a = build_co_workload("phases:5", Scale::Tiny).unwrap();
+        let b = build_co_workload("phases:5", Scale::Tiny).unwrap();
+        assert_eq!(a, b, "co-workload builds are deterministic");
+        let c = build_co_workload("phases:5", Scale::Small).unwrap();
+        assert_ne!(a, c, "scale reaches the generated shape");
+        assert!(build_co_workload("mcf", Scale::Tiny).unwrap().len() > 10);
+        assert!(build_co_workload("nope", Scale::Tiny).is_err());
     }
 }

@@ -1,0 +1,212 @@
+//! The CMP lockdown net.
+//!
+//! A single-core CMP topology is *defined* to be the plain machine: a
+//! `CmpMachine` assembled with one core, no co-runners and no shared L3
+//! must produce bit-identical `PipeStats` **and** a bit-identical
+//! `RingTracer` event stream to today's `Machine` on every registry
+//! program. Any divergence means the CMP layer leaked into the
+//! single-core path and every published single-core number is suspect.
+//!
+//! On top of the exhaustive sweep, a proptest throws randomized CMP
+//! configurations at `SimConfig::validate` and runs every accepted one
+//! end to end through the engine: valid configs must simulate to halt
+//! deterministically, and single-core ones must match the plain engine
+//! path exactly.
+
+use mtvp_engine::{reference_trace, run_program_at, Mode, SelectorKind, SimConfig};
+use mtvp_obs::{Event, RingTracer};
+use mtvp_pipeline::{CmpMachine, Machine};
+use mtvp_workloads::synth::{random_program, SynthParams};
+use mtvp_workloads::{suite, Scale};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The configurations the bit-identity sweep runs under: the realistic
+/// MTVP machine (spawning exercises every stage), a baseline (no value
+/// prediction at all), and a small-store-buffer MTVP that stresses the
+/// commit/reconcile paths the CMP layer hooked into.
+fn lockdown_configs() -> Vec<(String, SimConfig)> {
+    let mut mtvp = SimConfig::new(Mode::Mtvp);
+    mtvp.contexts = 4;
+    let mut tiny_sb = SimConfig::new(Mode::Mtvp);
+    tiny_sb.store_buffer = 4;
+    tiny_sb.selector = SelectorKind::Always;
+    vec![
+        ("mtvp4".to_string(), mtvp),
+        ("baseline".to_string(), SimConfig::new(Mode::Baseline)),
+        ("mtvp-tiny-sb".to_string(), tiny_sb),
+    ]
+}
+
+/// Run `program` under `cfg` on the plain machine and on a one-core CMP
+/// topology, both tracing into a ring, and assert stats and event
+/// streams are bit-identical.
+fn assert_single_core_cmp_is_bit_identical(
+    bench: &str,
+    label: &str,
+    cfg: &SimConfig,
+    program: &mtvp_isa::Program,
+) {
+    let (_, trace) = reference_trace(program);
+    let build = || {
+        Machine::with_tracer(
+            cfg.to_pipeline_config(),
+            cfg.to_mem_config(),
+            program,
+            Some(Arc::clone(&trace)),
+            RingTracer::new(1 << 16),
+        )
+    };
+    let mut plain = build();
+    let plain_stats = plain.run();
+    let plain_tracer = plain.into_tracer();
+
+    let mut cmp = CmpMachine::assemble(1, build(), Vec::new(), None);
+    let cmp_stats = cmp.run();
+    let cmp_tracer = cmp.into_tracer();
+
+    assert_eq!(
+        cmp_stats, plain_stats,
+        "{bench}/{label}: single-core CMP stats diverge from the plain machine"
+    );
+    assert_eq!(
+        cmp_stats.cmp.cores, 0,
+        "{bench}/{label}: a single-core run must carry no CMP summary"
+    );
+    let plain_events: Vec<(u64, Event)> = plain_tracer.events().copied().collect();
+    let cmp_events: Vec<(u64, Event)> = cmp_tracer.events().copied().collect();
+    assert_eq!(
+        cmp_events, plain_events,
+        "{bench}/{label}: single-core CMP event stream diverges"
+    );
+    assert_eq!(cmp_tracer.dropped(), plain_tracer.dropped());
+}
+
+#[test]
+fn single_core_cmp_is_bit_identical_on_every_registry_program() {
+    let workloads = suite();
+    // The whole registry, not a sample: a divergence on any one program
+    // invalidates the cores=1 delegation contract.
+    assert!(workloads.len() >= 32, "registry shrank?");
+    let configs = lockdown_configs();
+    for wl in &workloads {
+        let program = wl.build(Scale::Tiny);
+        for (label, cfg) in &configs {
+            assert_single_core_cmp_is_bit_identical(wl.name, label, cfg, &program);
+        }
+    }
+}
+
+#[test]
+fn single_core_cmp_is_bit_identical_on_synthetic_programs() {
+    // Generated programs reach operand mixes the registry kernels don't.
+    let configs = lockdown_configs();
+    for seed in 0..4u64 {
+        let program = random_program(seed, SynthParams::default());
+        for (label, cfg) in &configs {
+            assert_single_core_cmp_is_bit_identical(&program.name, label, cfg, &program);
+        }
+    }
+}
+
+/// A randomized — not necessarily valid — CMP configuration.
+fn arb_cmp_config() -> impl Strategy<Value = SimConfig> {
+    // The vendored proptest shim has no `prop_oneof!`; enumerated axes
+    // are drawn as indices into fixed tables instead.
+    (
+        (0usize..6, 1usize..=4, 0usize..3, any::<bool>()),
+        (0usize..3, 0u64..1000, 0usize..3, 1u64..=8),
+    )
+        .prop_map(
+            |((mode_ix, cores, ctx_ix, xspawn), (co_n, seed, l3_ix, hop))| {
+                let modes = [
+                    Mode::Baseline,
+                    Mode::Stvp,
+                    Mode::Mtvp,
+                    Mode::MtvpNoStall,
+                    Mode::SpawnOnly,
+                    Mode::MultiValue,
+                ];
+                let contexts = [1usize, 2, 4];
+                let l3s = [(512u64, 8u32, 20u64), (1024, 8, 30), (4096, 16, 50)];
+                let mut cfg = SimConfig::new(modes[mode_ix]);
+                cfg.cores = cores;
+                cfg.contexts = contexts[ctx_ix];
+                cfg.cross_core_spawn = xspawn;
+                cfg.co_workloads = (0..co_n)
+                    .map(|i| {
+                        if (seed + i as u64).is_multiple_of(2) {
+                            format!("synth:{}", seed + i as u64)
+                        } else {
+                            format!("phases:{}", seed + i as u64)
+                        }
+                    })
+                    .collect();
+                let (kb, assoc, latency) = l3s[l3_ix];
+                cfg.l3 = mtvp_engine::L3Params { kb, assoc, latency };
+                cfg.interconnect_hop = hop;
+                cfg
+            },
+        )
+}
+
+// Every *valid* randomized CMP configuration simulates a small program
+// to halt, twice, with byte-identical statistics — and a valid
+// single-core configuration is indistinguishable from the plain engine
+// path (it IS the plain engine path).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_valid_cmp_configs_run_deterministically(cfg in arb_cmp_config()) {
+        prop_assume!(cfg.validate().is_ok());
+        let program = random_program(7, SynthParams::default());
+        let a = run_program_at(&cfg, &program, Scale::Tiny);
+        let b = run_program_at(&cfg, &program, Scale::Tiny);
+        prop_assert!(a.stats.halted);
+        prop_assert_eq!(&a.stats, &b.stats);
+        if cfg.cores == 1 {
+            prop_assert_eq!(a.stats.cmp.cores, 0);
+        } else {
+            prop_assert_eq!(a.stats.cmp.cores, cfg.cores);
+        }
+        if cfg.cross_core_spawn {
+            // Remote slots exist; borrowing them is workload-dependent,
+            // but the context complement must have grown.
+            prop_assert_eq!(
+                cfg.to_pipeline_config().total_contexts(),
+                cfg.contexts + cfg.idle_cores() * cfg.contexts
+            );
+        }
+    }
+}
+
+// validate() never panics on randomized CMP knobs, and its verdict is
+// stable.
+proptest! {
+    #[test]
+    fn validate_is_total_and_stable_on_random_cmp_configs(cfg in arb_cmp_config()) {
+        let v1 = cfg.validate();
+        let v2 = cfg.validate();
+        prop_assert_eq!(v1.is_ok(), v2.is_ok());
+    }
+}
+
+// Rejections CMP knobs must always produce: a multiprogrammed mix wider
+// than the sibling cores, and cross-core spawning with no idle sibling
+// to borrow from.
+proptest! {
+    #[test]
+    fn overcommitted_topologies_never_validate(cfg in arb_cmp_config()) {
+        let mut wide = cfg.clone();
+        wide.co_workloads = (0..wide.cores).map(|i| format!("synth:{i}")).collect();
+        prop_assert!(wide.validate().is_err());
+        let mut greedy = cfg;
+        greedy.mode = Mode::Mtvp;
+        greedy.cross_core_spawn = true;
+        greedy.co_workloads = (0..greedy.cores.saturating_sub(1))
+            .map(|i| format!("synth:{i}"))
+            .collect();
+        prop_assert!(greedy.validate().is_err());
+    }
+}

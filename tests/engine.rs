@@ -3,7 +3,8 @@
 //! results), and scenario serde round-trips.
 
 use mtvp_engine::{
-    builtin, cell_descriptor, key_of, CacheMode, Engine, EngineOptions, Mode, Scenario, SimConfig,
+    builtin, cell_descriptor, key_of, CacheMode, Engine, EngineOptions, L3Params, Mode, Scenario,
+    SimConfig,
 };
 use mtvp_pipeline::{PredictorKind, SelectorKind};
 use mtvp_workloads::Scale;
@@ -72,6 +73,23 @@ fn cache_key_depends_on_every_config_field() {
         ("mshrs", Box::new(|c| c.mshrs = 4)),
         ("warm_start", Box::new(|c| c.warm_start = false)),
         ("fast_forward", Box::new(|c| c.fast_forward = false)),
+        ("cores", Box::new(|c| c.cores = 2)),
+        (
+            "l3",
+            Box::new(|c| {
+                c.l3 = L3Params {
+                    kb: 512,
+                    assoc: 8,
+                    latency: 20,
+                }
+            }),
+        ),
+        ("interconnect_hop", Box::new(|c| c.interconnect_hop = 9)),
+        ("cross_core_spawn", Box::new(|c| c.cross_core_spawn = true)),
+        (
+            "co_workloads",
+            Box::new(|c| c.co_workloads = vec!["synth:1".to_string()]),
+        ),
     ];
     for (field, mutate) in &mutations {
         let mut cfg = base.clone();
@@ -154,6 +172,90 @@ fn half_deleted_cache_resumes_bit_identical() {
     assert_eq!(warm.cache_hits, 4);
     assert_eq!(warm.traces_built, 0);
     assert_eq!(warm.sweep, uncached.sweep);
+}
+
+/// The `interference` mix shape: a solo MTVP machine versus a 4-core
+/// CMP whose siblings run generated co-workloads under a pressured
+/// shared L3, with and without cross-core spawning.
+fn interference_configs() -> Vec<(String, SimConfig)> {
+    let mut solo = SimConfig::new(Mode::Mtvp);
+    solo.contexts = 4;
+    let mut pressured = solo.clone();
+    pressured.cores = 4;
+    pressured.l3 = L3Params {
+        kb: 512,
+        assoc: 8,
+        latency: 50,
+    };
+    pressured.co_workloads = vec!["phases:5".to_string(), "phases:6".to_string()];
+    let mut xspawn = pressured.clone();
+    xspawn.cross_core_spawn = true;
+    vec![
+        ("solo".to_string(), solo),
+        ("pressured".to_string(), pressured),
+        ("pressured+xspawn".to_string(), xspawn),
+    ]
+}
+
+/// A multiprogrammed CMP sweep is deterministic end to end: the sweep
+/// JSON is byte-identical across `--jobs 1` vs parallel execution,
+/// across cold vs warm cache, and across shards executed out of order.
+#[test]
+fn cmp_interference_mix_is_deterministic() {
+    let dir = ScratchDir::new("cmp-mix");
+    let configs = interference_configs();
+    for (label, cfg) in &configs {
+        cfg.validate().unwrap_or_else(|e| panic!("{label}: {e:?}"));
+    }
+
+    let serial = Engine::new(EngineOptions {
+        cache: CacheMode::Off,
+        jobs: Some(1),
+        shard: None,
+        progress: false,
+    })
+    .run_cells(&configs, Scale::Tiny, keep);
+    let gold = serde_json::to_string(&serial.sweep).unwrap();
+
+    let parallel = Engine::new(EngineOptions {
+        cache: CacheMode::Off,
+        jobs: Some(4),
+        shard: None,
+        progress: false,
+    })
+    .run_cells(&configs, Scale::Tiny, keep);
+    assert_eq!(
+        gold,
+        serde_json::to_string(&parallel.sweep).unwrap(),
+        "--jobs must not change the sweep"
+    );
+
+    // Cold populate, then warm: byte-identical JSON, zero simulations.
+    let engine = disk_engine(&dir);
+    let cold = engine.run_cells(&configs, Scale::Tiny, keep);
+    assert_eq!(cold.simulated, 6);
+    assert_eq!(gold, serde_json::to_string(&cold.sweep).unwrap());
+    let warm = engine.run_cells(&configs, Scale::Tiny, keep);
+    assert_eq!(warm.simulated, 0);
+    assert_eq!(warm.cache_hits, 6);
+    assert_eq!(gold, serde_json::to_string(&warm.sweep).unwrap());
+
+    // Shards executed out of order fill the same cache; the final warm
+    // read-back is still byte-identical.
+    let shard_dir = ScratchDir::new("cmp-mix-shards");
+    for i in [2usize, 0, 1] {
+        Engine::new(EngineOptions {
+            cache: CacheMode::Disk(shard_dir.0.clone()),
+            jobs: Some(2),
+            shard: Some((i, 3)),
+            progress: false,
+        })
+        .run_cells(&configs, Scale::Tiny, keep);
+    }
+    let merged = disk_engine(&shard_dir).run_cells(&configs, Scale::Tiny, keep);
+    assert_eq!(merged.simulated, 0);
+    assert_eq!(merged.cache_hits, 6);
+    assert_eq!(gold, serde_json::to_string(&merged.sweep).unwrap());
 }
 
 /// Scenario definitions survive a serde round-trip exactly, including
